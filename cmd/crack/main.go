@@ -1,0 +1,181 @@
+// Command crack is the local password cracker: it inverts an MD5 or SHA1
+// digest by exhaustive search over a charset/length key space, on all CPU
+// cores, with the optimized kernels (packed single-block hashing, MD5
+// target reversal, early exit).
+//
+// Usage:
+//
+//	crack -alg md5 -hash 900150983cd24fb0d6963f7d28e17f72 \
+//	      -charset abcdefghijklmnopqrstuvwxyz -min 1 -max 4
+//
+//	crack -alg md5 -hash <hex> -salt-suffix NaCl   # salted target
+//	crack -alg sha1 -hash <hex> -wordlist words.txt -rules leet,capitalize
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"os/signal"
+	"time"
+
+	"keysearch"
+)
+
+func main() {
+	var (
+		algName    = flag.String("alg", "md5", "hash algorithm: md5 or sha1")
+		hashHex    = flag.String("hash", "", "hex digest to invert (required)")
+		charset    = flag.String("charset", keysearch.Lowercase, "candidate charset")
+		minLen     = flag.Int("min", 1, "minimum key length")
+		maxLen     = flag.Int("max", 5, "maximum key length")
+		workers    = flag.Int("workers", 0, "goroutines (0 = all cores)")
+		kernelName = flag.String("kernel", "optimized", "kernel tier: optimized, plain, naive")
+		saltPre    = flag.String("salt-prefix", "", "salt prepended to candidates")
+		saltSuf    = flag.String("salt-suffix", "", "salt appended to candidates")
+		maskSpec   = flag.String("mask", "", "mask attack: per-position pattern like ?u?l?l?d?d")
+		wordlist   = flag.String("wordlist", "", "dictionary attack: word file (one per line)")
+		rulesSpec  = flag.String("rules", "identity", "dictionary mangling rules")
+		maskLen    = flag.Int("mask-digits", 0, "hybrid attack: brute-forced digit suffix length")
+		all        = flag.Bool("all", false, "find all preimages instead of stopping at the first")
+	)
+	flag.Parse()
+
+	if *hashHex == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	alg, err := keysearch.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	var res *keysearch.Result
+	if *maskSpec != "" {
+		res, err = maskAttack(ctx, alg, *hashHex, *maskSpec, *workers)
+	} else if *wordlist != "" {
+		res, err = dictAttack(ctx, alg, *hashHex, *wordlist, *rulesSpec, *maskLen, *workers)
+	} else {
+		res, err = bruteForce(ctx, alg, *hashHex, *charset, *minLen, *maxLen,
+			*kernelName, *saltPre, *saltSuf, *workers, *all)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	elapsed := time.Since(start)
+	for _, s := range res.Solutions {
+		fmt.Printf("FOUND: %q\n", s)
+	}
+	if len(res.Solutions) == 0 {
+		fmt.Println("not found in the search space")
+	}
+	rate := float64(res.Tested) / elapsed.Seconds() / 1e6
+	fmt.Printf("tested %d keys in %v (%.2f MKey/s)\n", res.Tested, elapsed.Round(time.Millisecond), rate)
+}
+
+func bruteForce(ctx context.Context, alg keysearch.Algorithm, hashHex, charset string,
+	minLen, maxLen int, kernelName, saltPre, saltSuf string, workers int, all bool) (*keysearch.Result, error) {
+
+	space, err := keysearch.NewSpace(charset, minLen, maxLen)
+	if err != nil {
+		return nil, err
+	}
+	var kind keysearch.KernelKind
+	switch kernelName {
+	case "optimized":
+		kind = keysearch.KernelOptimized
+	case "plain":
+		kind = keysearch.KernelPlain
+	case "naive":
+		kind = keysearch.KernelNaive
+	default:
+		return nil, fmt.Errorf("unknown kernel %q", kernelName)
+	}
+	job, err := jobFromHex(alg, hashHex, space)
+	if err != nil {
+		return nil, err
+	}
+	job.Kind = kind
+	job.Salt = keysearch.Salt{Prefix: []byte(saltPre), Suffix: []byte(saltSuf)}
+	opt := keysearch.Options{Workers: workers}
+	if all {
+		opt.MaxSolutions = -1
+	}
+	fmt.Printf("searching %v keys (%s, %s kernel)\n", space.Size(), alg, kind)
+	return keysearch.Crack(ctx, job, opt)
+}
+
+func jobFromHex(alg keysearch.Algorithm, hexDigest string, space *keysearch.Space) (*keysearch.Job, error) {
+	raw := make([]byte, alg.DigestSize())
+	if _, err := fmt.Sscanf(hexDigest, "%x", &raw); err != nil || len(raw) != alg.DigestSize() {
+		return nil, fmt.Errorf("bad %s digest %q", alg, hexDigest)
+	}
+	return &keysearch.Job{Algorithm: alg, Target: raw, Space: space}, nil
+}
+
+func maskAttack(ctx context.Context, alg keysearch.Algorithm, hashHex, spec string, workers int) (*keysearch.Result, error) {
+	m, err := keysearch.ParseMask(spec)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, alg.DigestSize())
+	if _, err := fmt.Sscanf(hashHex, "%x", &raw); err != nil {
+		return nil, fmt.Errorf("bad digest %q", hashHex)
+	}
+	fmt.Printf("mask attack %q: %v candidates\n", spec, m.Size())
+	return keysearch.MaskAttack(ctx, alg, raw, m, keysearch.Options{Workers: workers})
+}
+
+func dictAttack(ctx context.Context, alg keysearch.Algorithm, hashHex, wordfile, rulesSpec string,
+	maskDigits, workers int) (*keysearch.Result, error) {
+
+	f, err := os.Open(wordfile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var words []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if w := sc.Text(); w != "" {
+			words = append(words, w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rules, err := keysearch.ParseRules(rulesSpec)
+	if err != nil {
+		return nil, err
+	}
+	var mask *keysearch.Space
+	if maskDigits > 0 {
+		mask, err = keysearch.NewSpaceOrdered(keysearch.DigitsSet, maskDigits, maskDigits, keysearch.SuffixMajor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ds, err := keysearch.NewDictSpace(words, rules, mask)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, alg.DigestSize())
+	if _, err := fmt.Sscanf(hashHex, "%x", &raw); err != nil {
+		return nil, fmt.Errorf("bad digest %q", hashHex)
+	}
+	size := new(big.Int).Set(ds.Size())
+	fmt.Printf("dictionary attack: %d words x rules x mask = %v candidates\n", len(words), size)
+	return keysearch.DictAttack(ctx, alg, raw, ds, keysearch.Options{Workers: workers})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command gpusim cracks a digest on one simulated GPU: every candidate
+// runs through the SIMT warp interpreter on the kernel compiled for that
+// device's compute capability, and the tool reports both the host time the
+// simulation took and the time the modeled device would have needed.
+//
+// Usage:
+//
+//	gpusim -device 660 -alg md5 -hash 900150983cd24fb0d6963f7d28e17f72 -max 3
+//	gpusim -list
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/gpu"
+	"keysearch/internal/keyspace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the modeled devices")
+		devName = flag.String("device", "660", "device (8600M, 8800, 540M, 550Ti, 660, 780)")
+		algName = flag.String("alg", "md5", "hash algorithm: md5 or sha1")
+		hashHex = flag.String("hash", "", "hex digest to invert (required)")
+		charset = flag.String("charset", keyspace.Lower.String(), "candidate charset")
+		minLen  = flag.Int("min", 1, "minimum key length")
+		maxLen  = flag.Int("max", 3, "maximum key length")
+		plain   = flag.Bool("plain", false, "use the unoptimized kernel")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-22s %5s %6s %8s %6s\n", "device", "MPs", "cores", "MHz", "CC")
+		for _, d := range append(append([]arch.Device{}, arch.Catalog...), arch.GeForceGTX780) {
+			fmt.Printf("%-22s %5d %6d %8d %6s\n", d.Name, d.MPs, d.Cores, d.ClockMHz, d.CC)
+		}
+		return
+	}
+	dev, err := arch.DeviceByName(*devName)
+	if err != nil {
+		fatal(err)
+	}
+	alg := gpu.MD5
+	if *algName == "sha1" {
+		alg = gpu.SHA1
+	} else if *algName != "md5" {
+		fatal(fmt.Errorf("unknown algorithm %q", *algName))
+	}
+	target, err := hex.DecodeString(*hashHex)
+	if err != nil {
+		fatal(fmt.Errorf("bad digest: %v", err))
+	}
+	cs, err := keyspace.NewCharset(*charset)
+	if err != nil {
+		fatal(err)
+	}
+	space, err := keyspace.New(cs, *minLen, *maxLen, keyspace.PrefixMajor)
+	if err != nil {
+		fatal(err)
+	}
+	size, ok := space.Size64()
+	if !ok || size > 50_000_000 {
+		fatal(fmt.Errorf("space of %v keys is too large for functional simulation; shrink it", space.Size()))
+	}
+
+	engine := gpu.NewEngine(dev)
+	cfg := gpu.Config{Optimized: !*plain}
+	fmt.Printf("device: %s (%s, %d MPs, %d cores)\n", dev.Name, dev.CC, dev.MPs, dev.Cores)
+	fmt.Printf("modeled sustained throughput: %.1f MKey/s\n", engine.ModelThroughput(alg, cfg)/1e6)
+	fmt.Printf("searching %d keys functionally on simulated warps...\n", size)
+
+	start := time.Now()
+	res, err := engine.Search(context.Background(), space, alg, target, space.Whole(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	host := time.Since(start)
+	for _, f := range res.Found {
+		fmt.Printf("FOUND: %q\n", f)
+	}
+	if len(res.Found) == 0 {
+		fmt.Println("not found in the search space")
+	}
+	fmt.Printf("tested %d keys, %d warps, %d warp instructions, %d kernel rebuilds\n",
+		res.Tested, res.Warps, res.WarpInstructions, res.Recompiles)
+	fmt.Printf("modeled device time: %.3f ms; host simulation time: %v (slowdown %.0fx)\n",
+		res.SimSeconds*1e3, host.Round(time.Millisecond),
+		host.Seconds()/res.SimSeconds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command keymaster is the cluster master: it listens for keyworker
+// processes, sends them the cracking job, runs the tuning step, balances
+// interval sizes to measured throughputs and dispatches until the digest
+// is cracked — the coarse-grain half of the paper's pattern over real TCP.
+//
+// Usage:
+//
+//	keymaster -listen :9031 -workers 2 \
+//	    -alg md5 -hash 900150983cd24fb0d6963f7d28e17f72 \
+//	    -charset abcdefghijklmnopqrstuvwxyz -min 1 -max 4
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"os/signal"
+	"time"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/netproto"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9031", "address to listen on")
+		nworker = flag.Int("workers", 1, "number of workers to wait for")
+		algName = flag.String("alg", "md5", "hash algorithm: md5 or sha1")
+		hashHex = flag.String("hash", "", "hex digest to invert (required)")
+		charset = flag.String("charset", keyspace.Lower.String(), "candidate charset")
+		minLen  = flag.Int("min", 1, "minimum key length")
+		maxLen  = flag.Int("max", 5, "maximum key length")
+		all     = flag.Bool("all", false, "exhaust the space instead of stopping at the first hit")
+		cpPath  = flag.String("checkpoint", "", "checkpoint file: saved after every chunk, resumed from if present")
+	)
+	flag.Parse()
+
+	alg, err := cracker.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	target, err := hex.DecodeString(*hashHex)
+	if err != nil || len(target) != alg.DigestSize() {
+		fatal(fmt.Errorf("bad %s digest %q", alg, *hashHex))
+	}
+
+	spec := netproto.JobSpec{
+		Algorithm: alg,
+		Kind:      cracker.KernelOptimized,
+		Target:    target,
+		Charset:   *charset,
+		MinLen:    *minLen,
+		MaxLen:    *maxLen,
+		Order:     keyspace.PrefixMajor,
+	}
+	job, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	master, err := netproto.NewMaster(*listen, spec)
+	if err != nil {
+		fatal(err)
+	}
+	defer master.Close()
+	fmt.Printf("listening on %s, waiting for %d worker(s)\n", master.Addr(), *nworker)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	workers, err := master.AcceptWorkers(ctx, *nworker)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range workers {
+		fmt.Printf("worker connected: %s\n", w.Name())
+	}
+
+	opts := dispatch.Options{MaxSolutions: 1}
+	if *all {
+		opts.MaxSolutions = 0
+	}
+	if *cpPath != "" {
+		opts.Checkpoint = func(cp *dispatch.Checkpoint) {
+			data, err := cp.Marshal()
+			if err != nil {
+				return
+			}
+			_ = os.WriteFile(*cpPath+".tmp", data, 0o600)
+			_ = os.Rename(*cpPath+".tmp", *cpPath)
+		}
+	}
+	d := dispatch.NewDispatcher("keymaster", opts, workers...)
+
+	start := time.Now()
+	var rep *dispatch.Report
+	if *cpPath != "" {
+		if data, rerr := os.ReadFile(*cpPath); rerr == nil {
+			cp, lerr := dispatch.LoadCheckpoint(data)
+			if lerr != nil {
+				fatal(lerr)
+			}
+			fmt.Printf("resuming from checkpoint: %v keys remaining\n", cp.RemainingKeys())
+			rep, err = d.Resume(ctx, cp)
+		}
+	}
+	if rep == nil && err == nil {
+		fmt.Printf("tuning and dispatching over %v keys...\n", job.Space.Size())
+		rep, err = d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: job.Space.Size()})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range rep.Found {
+		fmt.Printf("FOUND: %q\n", f)
+	}
+	if len(rep.Found) == 0 {
+		fmt.Println("not found in the search space")
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("tested %d keys in %v (%.2f MKey/s aggregate)\n",
+		rep.Tested, elapsed.Round(time.Millisecond),
+		float64(rep.Tested)/elapsed.Seconds()/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keymaster:", err)
+	os.Exit(1)
+}

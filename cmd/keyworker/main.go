@@ -1,0 +1,46 @@
+// Command keyworker is a cluster worker: it dials a keymaster, receives
+// the cracking job, and serves tune/search requests on the local CPU
+// cores until the master disconnects.
+//
+// Usage:
+//
+//	keyworker -master 127.0.0.1:9031 -name node-B -threads 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+)
+
+import "keysearch/internal/netproto"
+
+func main() {
+	var (
+		master  = flag.String("master", "127.0.0.1:9031", "master address")
+		name    = flag.String("name", hostnameDefault(), "worker name")
+		threads = flag.Int("threads", 0, "goroutines (0 = all cores)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("worker %s connecting to %s\n", *name, *master)
+	err := netproto.Dial(ctx, *master, netproto.WorkerConfig{Name: *name, Workers: *threads})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "keyworker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("master disconnected; done")
+}
+
+func hostnameDefault() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "worker"
+	}
+	return h
+}

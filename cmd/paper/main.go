@@ -1,0 +1,252 @@
+// Command paper regenerates every table of "Exhaustive Key Search on
+// Clusters of GPUs" (IPPS 2014) side by side with the published values.
+//
+// Usage:
+//
+//	paper            # all tables
+//	paper -table VIII
+//	paper -table IX -seconds 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/baseline"
+	"keysearch/internal/compile"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/kernel"
+	"keysearch/internal/paperdata"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: I..IX or all")
+	seconds := flag.Float64("seconds", 60, "virtual seconds of aggregate work for Table IX")
+	flag.Parse()
+
+	printers := []struct {
+		name string
+		fn   func()
+	}{
+		{"I", tableI}, {"II", tableII}, {"III", tableIII}, {"IV", tableIV},
+		{"V", tableV}, {"VI", tableVI}, {"VII", tableVII}, {"VIII", tableVIII},
+		{"IX", func() { tableIX(*seconds) }},
+	}
+	want := strings.ToUpper(*table)
+	matched := false
+	for _, p := range printers {
+		if want == "ALL" || want == p.name {
+			p.fn()
+			fmt.Println()
+			matched = true
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown table %q (use I..IX or all)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func tableI() {
+	fmt.Println("TABLE I. MULTIPROCESSOR ARCHITECTURE (model input = paper values)")
+	fmt.Printf("%-28s", "Compute capability")
+	for _, cc := range []arch.CC{arch.CC1x, arch.CC20, arch.CC21, arch.CC30} {
+		fmt.Printf("%10s", cc)
+	}
+	fmt.Println()
+	row := func(label string, get func(arch.MPSpec) string) {
+		fmt.Printf("%-28s", label)
+		for _, cc := range []arch.CC{arch.CC1x, arch.CC20, arch.CC21, arch.CC30} {
+			fmt.Printf("%10s", get(arch.Spec(cc)))
+		}
+		fmt.Println()
+	}
+	row("Cores per MP", func(s arch.MPSpec) string { return fmt.Sprint(s.CoresPerMP) })
+	row("Groups of cores per MP", func(s arch.MPSpec) string { return fmt.Sprint(s.CoreGroups) })
+	row("Group size", func(s arch.MPSpec) string { return fmt.Sprint(s.GroupSize) })
+	row("Issue time (clock cycles)", func(s arch.MPSpec) string { return fmt.Sprint(s.IssueTime) })
+	row("Warp schedulers", func(s arch.MPSpec) string { return fmt.Sprint(s.WarpSchedulers) })
+	row("Issue mode", func(s arch.MPSpec) string {
+		if s.DualIssue {
+			return "dual"
+		}
+		return "single"
+	})
+}
+
+func tableII() {
+	fmt.Println("TABLE II. INSTRUCTION THROUGHPUT (ops/cycle/MP; model input = paper values)")
+	fmt.Printf("%-28s", "Compute capability")
+	for _, cc := range []arch.CC{arch.CC1x, arch.CC20, arch.CC21, arch.CC30} {
+		fmt.Printf("%10s", cc)
+	}
+	fmt.Println()
+	row := func(label string, get func(arch.Throughput) int) {
+		fmt.Printf("%-28s", label)
+		for _, cc := range []arch.CC{arch.CC1x, arch.CC20, arch.CC21, arch.CC30} {
+			fmt.Printf("%10d", get(arch.InstrThroughput(cc)))
+		}
+		fmt.Println()
+	}
+	row("32-bit integer ADD", func(t arch.Throughput) int { return t.Add })
+	row("32-bit bitwise AND/OR/XOR", func(t arch.Throughput) int { return t.Logic })
+	row("32-bit integer shift", func(t arch.Throughput) int { return t.Shift })
+	row("32-bit integer MAD", func(t arch.Throughput) int { return t.MAD })
+}
+
+// md5Sources builds the two MD5 kernel variants on a length-4 template.
+func md5Sources() (plain, optimized *kernel.Program) {
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4"), &block); err != nil {
+		panic(err)
+	}
+	target := md5x.StateWords(md5x.Sum([]byte("Key4")))
+	plain = kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target})
+	optimized = kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+	return plain, optimized
+}
+
+func tableIII() {
+	plain, _ := md5Sources()
+	c := plain.CountClasses()
+	p := paperdata.TableIII
+	fmt.Println("TABLE III. INSTRUCTIONS COUNT (MD5, source level)")
+	fmt.Printf("%-28s %8s %8s\n", "", "paper", "ours")
+	fmt.Printf("%-28s %8d %8d\n", "32-bit integer ADD", p.IADD, c[kernel.ClassAdd]-4) // minus feed-forward
+	fmt.Printf("%-28s %8d %8d\n", "32-bit bitwise AND/OR/XOR", p.Logic, c[kernel.ClassLogic]-plain.CountNot())
+	fmt.Printf("%-28s %8d %8d   (structural count of F/G/I rounds; see EXPERIMENTS.md)\n",
+		"32-bit NOT", p.Not, plain.CountNot())
+	fmt.Printf("%-28s %8d %8d\n", "32-bit integer shift", p.Shift, c[kernel.ClassShift])
+}
+
+func printCountTable(title string, src *kernel.Program, paper map[string]paperdata.InstrCount, bytePerm bool) {
+	fmt.Println(title)
+	fmt.Printf("%-16s %14s %14s %14s %14s\n", "", "paper 1.*", "ours 1.*", "paper 2.*/3.0", "ours 2.*/3.0")
+	opts1 := compile.Options{CC: arch.CC1x}
+	opts2 := compile.Options{CC: arch.CC30, BytePerm: bytePerm}
+	c1 := compile.Compile(src, opts1).Counts
+	c2 := compile.Compile(src, opts2).Counts
+	p1 := paper["1.*"]
+	p2 := paper["2.* and 3.0"]
+	row := func(label string, pv1, ov1, pv2, ov2 int) {
+		fmt.Printf("%-16s %14d %14d %14d %14d\n", label, pv1, ov1, pv2, ov2)
+	}
+	row("IADD", p1.IADD, c1[kernel.ClassAdd], p2.IADD, c2[kernel.ClassAdd])
+	row("AND/OR/XOR", p1.Logic, c1[kernel.ClassLogic], p2.Logic, c2[kernel.ClassLogic])
+	row("SHR/SHL", p1.Shift, c1[kernel.ClassShift], p2.Shift, c2[kernel.ClassShift])
+	row("IMAD/ISCADD", p1.IMAD, c1[kernel.ClassMAD], p2.IMAD, c2[kernel.ClassMAD])
+	if bytePerm {
+		row("PRMT", p1.Perm, c1[kernel.ClassPerm], p2.Perm, c2[kernel.ClassPerm])
+	}
+}
+
+func tableIV() {
+	plain, _ := md5Sources()
+	printCountTable("TABLE IV. ACTUAL INSTRUCTION COUNT (MD5, 64-step kernel)", plain, paperdata.TableIV, false)
+}
+
+func tableV() {
+	_, opt := md5Sources()
+	printCountTable("TABLE V. REAL INSTRUCTIONS COUNT (MD5, reversal + early exit)", opt, paperdata.TableV, false)
+}
+
+func tableVI() {
+	_, opt := md5Sources()
+	printCountTable("TABLE VI. REAL INSTRUCTIONS COUNT FOR THE OPTIMIZED KERNEL (MD5, +byte_perm)", opt, paperdata.TableVI, true)
+	c := compile.Compile(opt, compile.Options{CC: arch.CC30, BytePerm: true})
+	r := float64(c.Counts.AddLogic()) / float64(c.Counts.ShiftMAD())
+	fmt.Printf("R = add+logic / shift+MAD = %.2f (paper: %.2f)\n", r, paperdata.MD5ShiftRatio)
+}
+
+func tableVII() {
+	fmt.Println("TABLE VII. GPU SPECIFICATIONS TABLE (model input = paper values)")
+	fmt.Printf("%-22s %6s %6s %8s %10s\n", "", "MPs", "Cores", "Clock", "CC")
+	for _, d := range arch.Catalog {
+		fmt.Printf("%-22s %6d %6d %8d %10s\n", d.Name, d.MPs, d.Cores, d.ClockMHz, d.CC)
+	}
+}
+
+func tableVIII() {
+	fmt.Println("TABLE VIII. THROUGHPUT ON SINGLE GPU (MKey/s; paper -> ours)")
+	fmt.Printf("%-30s", "")
+	for _, d := range arch.Catalog {
+		short := strings.TrimPrefix(d.Name, "GeForce ")
+		fmt.Printf("%19s", short)
+	}
+	fmt.Println()
+	row := func(label string, paperVal func(paperdata.GPURow) float64, ours func(arch.Device) float64) {
+		fmt.Printf("%-30s", label)
+		for _, d := range arch.Catalog {
+			p := paperVal(paperdata.TableVIII[d.Name])
+			o := ours(d) / 1e6
+			if p == 0 {
+				fmt.Printf("%11s %7.0f", "-", o)
+			} else {
+				fmt.Printf("%9.1f ->%7.0f", p, o)
+			}
+		}
+		fmt.Println()
+	}
+	row("MD5 (theoretical)", func(r paperdata.GPURow) float64 { return r.MD5Theoretical },
+		func(d arch.Device) float64 { return baseline.Theoretical(baseline.MD5, d) })
+	row("MD5 (our approach)", func(r paperdata.GPURow) float64 { return r.MD5Ours },
+		func(d arch.Device) float64 { return baseline.Throughput(baseline.Ours, baseline.MD5, d) })
+	row("MD5 (BarsWF model)", func(r paperdata.GPURow) float64 { return r.MD5BarsWF },
+		func(d arch.Device) float64 { return baseline.Throughput(baseline.BarsWF, baseline.MD5, d) })
+	row("MD5 (Cryptohaze model)", func(r paperdata.GPURow) float64 { return r.MD5Cryptohaze },
+		func(d arch.Device) float64 { return baseline.Throughput(baseline.Cryptohaze, baseline.MD5, d) })
+	row("SHA1 (theoretical)", func(r paperdata.GPURow) float64 { return r.SHA1Theoretical },
+		func(d arch.Device) float64 { return baseline.Theoretical(baseline.SHA1, d) })
+	row("SHA1 (our approach)", func(r paperdata.GPURow) float64 { return r.SHA1Ours },
+		func(d arch.Device) float64 { return baseline.Throughput(baseline.Ours, baseline.SHA1, d) })
+	row("SHA1 (Cryptohaze model)", func(r paperdata.GPURow) float64 { return r.SHA1Cryptohaze },
+		func(d arch.Device) float64 { return baseline.Throughput(baseline.Cryptohaze, baseline.SHA1, d) })
+
+	// Extension: the cc3.5 funnel-shift device the paper could not obtain.
+	d780 := arch.GeForceGTX780
+	fmt.Printf("%-30s %19s\n", "", "GTX 780 (cc3.5, ext)")
+	fmt.Printf("%-30s %11s %7.0f\n", "MD5 (theoretical, funnel)", "-", baseline.Theoretical(baseline.MD5, d780)/1e6)
+	fmt.Printf("%-30s %11s %7.0f\n", "MD5 (our approach, funnel)", "-", baseline.Throughput(baseline.Ours, baseline.MD5, d780)/1e6)
+
+	dev := arch.GeForceGTX660
+	eff := baseline.Throughput(baseline.Ours, baseline.MD5, dev) / baseline.Theoretical(baseline.MD5, dev)
+	fmt.Printf("\nKepler efficiency: ours %.2f%% (paper: %.2f%%), BarsWF %.2f%% (paper: %.2f%%), Cryptohaze %.2f%% (paper: %.2f%%)\n",
+		100*eff, 100*paperdata.KeplerEfficiency,
+		100*baseline.Throughput(baseline.BarsWF, baseline.MD5, dev)/baseline.Theoretical(baseline.MD5, dev),
+		100*paperdata.BarsWFKeplerFraction,
+		100*baseline.Throughput(baseline.Cryptohaze, baseline.MD5, dev)/baseline.Theoretical(baseline.MD5, dev),
+		100*paperdata.CryptohazeKeplerFraction)
+}
+
+func tableIX(seconds float64) {
+	fmt.Println("TABLE IX. THROUGHPUT ON WHOLE NETWORK (MKey/s)")
+	fmt.Printf("%-6s %22s %22s %12s\n", "", "theoretical", "our approach", "efficiency")
+	for _, alg := range []baseline.Algorithm{baseline.MD5, baseline.SHA1} {
+		name := "MD5"
+		if alg == baseline.SHA1 {
+			name = "SHA1"
+		}
+		tree := dispatch.PaperNetwork(func(d arch.Device) float64 {
+			return baseline.Throughput(baseline.Ours, alg, d)
+		})
+		var theo float64
+		for _, d := range arch.Catalog {
+			theo += baseline.Theoretical(alg, d)
+		}
+		total := tree.SumThroughput() * seconds
+		res, err := dispatch.SimulateCluster(tree, total, dispatch.ClusterOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster simulation: %v\n", err)
+			os.Exit(1)
+		}
+		p := paperdata.TableIX[name]
+		fmt.Printf("%-6s %9.1f -> %9.1f %9.1f -> %9.1f %5.3f -> %5.3f\n",
+			name, p.Theoretical, theo/1e6, p.Ours, res.Throughput/1e6,
+			p.Efficiency, res.Throughput/theo)
+	}
+	fmt.Println("(x -> y means paper value -> our reproduction)")
+}

@@ -1,0 +1,70 @@
+// Mining: the introduction's second exhaustive-search workload — a
+// Bitcoin-style pool searching the 32-bit nonce space for a double-SHA256
+// proof of work, with the space split across miners proportionally to
+// their computing power and the reward shared by submitted shares,
+// exactly as the paper describes mining pools.
+//
+//	go run ./examples/mining
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"keysearch"
+)
+
+func main() {
+	var tmpl keysearch.BlockHeader
+	tmpl.Version = 2
+	tmpl.Time = 1390000000
+	tmpl.Bits = 0x1d00ffff
+	for i := range tmpl.PrevBlock {
+		tmpl.PrevBlock[i] = byte(3 * i)
+	}
+	for i := range tmpl.MerkleRoot {
+		tmpl.MerkleRoot[i] = byte(7 * i)
+	}
+
+	// Solo miner first: find any nonce with 16 leading zero bits.
+	const difficulty = 16
+	start := time.Now()
+	nonce, ok, err := keysearch.Mine(context.Background(), tmpl, difficulty, 0, 1<<24, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("no nonce in the first 2^24")
+	}
+	tmpl.Nonce = nonce
+	pow := tmpl.PoW()
+	fmt.Printf("solo: nonce %d in %v -> %x...\n", nonce, time.Since(start).Round(time.Millisecond), pow[:8])
+
+	// Pool round: three miners of unequal power split the whole nonce
+	// space; shares at an easier target measure contribution.
+	pool := &keysearch.MiningPool{
+		Template:        tmpl,
+		Difficulty:      difficulty + 2,
+		ShareDifficulty: difficulty - 6,
+	}
+	// Goroutines proportional to declared hashrate, so actual computing
+	// power matches the declared split.
+	miners := []*keysearch.Miner{
+		{Name: "asic-farm", Hashrate: 8, Goroutines: 8},
+		{Name: "gaming-rig", Hashrate: 3, Goroutines: 3},
+		{Name: "laptop", Hashrate: 1, Goroutines: 1},
+	}
+	start = time.Now()
+	res, err := pool.Run(context.Background(), miners, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool: solved=%v nonce=%d shares=%d in %v\n",
+		res.Solved, res.WinningNonce, res.TotalShares, time.Since(start).Round(time.Millisecond))
+	for _, m := range miners {
+		fmt.Printf("  %-10s hashrate %2.0f -> %4d shares -> %.1f%% of the reward\n",
+			m.Name, m.Hashrate, m.Shares, 100*res.Rewards[m.Name])
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: invert an MD5 digest by exhaustive search on all CPU cores.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"keysearch"
+)
+
+func main() {
+	// The space of lowercase keys of length 1..4 (about 475k candidates),
+	// enumerated in the paper's prefix-major order (equation (4)).
+	space, err := keysearch.NewSpace(keysearch.Lowercase, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search space: %v candidate keys\n", space.Size())
+
+	// md5("frog") — in a real audit this would come from a leaked digest.
+	const digest = "938c2cc0dcc05f2b68c4287040cfcf71"
+
+	start := time.Now()
+	res, err := keysearch.CrackHex(context.Background(), keysearch.MD5, digest, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if len(res.Solutions) == 0 {
+		fmt.Println("no preimage in the space")
+		return
+	}
+	fmt.Printf("cracked: %q\n", res.Solutions[0])
+	fmt.Printf("tested %d keys in %v (%.2f MKey/s)\n",
+		res.Tested, elapsed.Round(time.Millisecond),
+		float64(res.Tested)/elapsed.Seconds()/1e6)
+}

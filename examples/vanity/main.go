@@ -1,0 +1,54 @@
+// Vanity: the exhaustive-search pattern beyond password cracking — find
+// the key whose MD5 digest is numerically smallest (a "vanity hash", the
+// same shape as proof-of-work). This is the §III.A case where the test
+// function cannot confidently accept a candidate: every sub-search returns
+// its own minimum and the master runs the merge step (K_CM).
+//
+//	go run ./examples/vanity
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"keysearch"
+)
+
+func main() {
+	space, err := keysearch.NewSpace(keysearch.Lowercase, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score := func(candidate []byte) float64 {
+		d := keysearch.HashKey(keysearch.MD5, candidate)
+		return float64(binary.BigEndian.Uint64(d[:8]))
+	}
+
+	// Scatter: split the space into four sub-intervals ("nodes"); each
+	// minimizes independently; gather + merge picks the global winner.
+	parts := space.Whole().SplitN(4)
+	start := time.Now()
+	var (
+		bests  []*keysearch.Best
+		tested uint64
+	)
+	for i, iv := range parts {
+		b, n, err := keysearch.FindBest(context.Background(), space, iv, score, keysearch.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d: best %-6q score %.0f (%d keys)\n", i, b.Candidate, b.Score, n)
+		bests = append(bests, b)
+		tested += n
+	}
+	winner := keysearch.MergeBest(bests...)
+	elapsed := time.Since(start)
+
+	digest := keysearch.HashKey(keysearch.MD5, winner.Candidate)
+	fmt.Printf("\nglobal vanity key: %q -> md5 %x\n", winner.Candidate, digest)
+	fmt.Printf("tested %d keys in %v (%.2f MKey/s)\n",
+		tested, elapsed.Round(time.Millisecond), float64(tested)/elapsed.Seconds()/1e6)
+}

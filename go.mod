@@ -1,0 +1,3 @@
+module keysearch
+
+go 1.23

@@ -1,0 +1,189 @@
+// Package arch is the catalog of NVIDIA multiprocessor architectures and
+// devices the paper evaluates: Table I (multiprocessor architecture per
+// compute capability), Table II (instruction-class throughput) and
+// Table VII (GPU specifications), plus the compute-capability 3.5
+// funnel-shift extension discussed in Section V.
+//
+// The reproduction band rules out real CUDA hardware, so these published
+// specifications parameterize the simulator (internal/gpu) and the analytic
+// throughput model (internal/model) instead of a driver.
+package arch
+
+import "fmt"
+
+// CC identifies a compute-capability family. The paper groups 1.0–1.3 as
+// "1.*" because they share the multiprocessor design.
+type CC int
+
+// The compute capabilities of Table I, plus CC35 (excluded from the
+// paper's measurements for lack of hardware, modeled here from the cited
+// PTX ISA documentation).
+const (
+	CC1x CC = iota // compute capability 1.0 – 1.3 (Tesla)
+	CC20           // compute capability 2.0 (Fermi GF100/GF110)
+	CC21           // compute capability 2.1 (Fermi GF104/GF108/GF114)
+	CC30           // compute capability 3.0 (Kepler GK104/GK107)
+	CC35           // compute capability 3.5 (Kepler GK110, funnel shift)
+)
+
+// All lists the modeled compute capabilities in Table I order.
+var All = []CC{CC1x, CC20, CC21, CC30, CC35}
+
+// String returns the conventional name ("1.*", "2.0", ...).
+func (c CC) String() string {
+	switch c {
+	case CC1x:
+		return "1.*"
+	case CC20:
+		return "2.0"
+	case CC21:
+		return "2.1"
+	case CC30:
+		return "3.0"
+	case CC35:
+		return "3.5"
+	default:
+		return fmt.Sprintf("cc(%d)", int(c))
+	}
+}
+
+// HasIMAD reports whether the compiler lowers rotations through
+// IMAD.HI/ISCADD on this architecture (cc2.x and later) instead of the
+// SHL+SHR+ADD triple of cc1.x.
+func (c CC) HasIMAD() bool { return c >= CC20 }
+
+// HasBytePerm reports whether the PRMT (__byte_perm) instruction is worth
+// using for 16-bit rotations (the paper applies it on cc3.0; it exists from
+// cc2.0 but only pays on Kepler where shifts are the bottleneck).
+func (c CC) HasBytePerm() bool { return c >= CC30 }
+
+// HasFunnelShift reports whether 32-bit rotation compiles to a single
+// funnel-shift instruction (cc3.5, SHF in the PTX ISA).
+func (c CC) HasFunnelShift() bool { return c >= CC35 }
+
+// WarpSize is the number of threads per warp on every modeled architecture.
+const WarpSize = 32
+
+// MPSpec is one row of Table I: the multiprocessor design shared by all
+// devices of a compute capability.
+type MPSpec struct {
+	CC             CC
+	CoresPerMP     int  // total CUDA cores per multiprocessor
+	CoreGroups     int  // groups of cores instructions are dispatched to
+	GroupSize      int  // cores per group
+	IssueTime      int  // clock cycles to issue a warp instruction to a group
+	WarpSchedulers int  // schedulers per multiprocessor
+	DualIssue      bool // whether a scheduler can dual-issue independent instructions
+
+	// PipelineLatency is the arithmetic result latency in cycles, used by
+	// the cycle-level simulator to decide how many resident warps are
+	// needed to hide dependencies. Not in Table I; taken from the CUDA
+	// programming guide's "hide arithmetic latency" discussion.
+	PipelineLatency int
+	// MaxResidentWarps is the occupancy ceiling per multiprocessor.
+	MaxResidentWarps int
+}
+
+// specs holds Table I verbatim (plus the latency/occupancy columns and the
+// CC35 row).
+var specs = map[CC]MPSpec{
+	CC1x: {CC: CC1x, CoresPerMP: 8, CoreGroups: 1, GroupSize: 8, IssueTime: 4, WarpSchedulers: 1, DualIssue: false, PipelineLatency: 24, MaxResidentWarps: 24},
+	CC20: {CC: CC20, CoresPerMP: 32, CoreGroups: 2, GroupSize: 16, IssueTime: 2, WarpSchedulers: 2, DualIssue: false, PipelineLatency: 22, MaxResidentWarps: 48},
+	CC21: {CC: CC21, CoresPerMP: 48, CoreGroups: 3, GroupSize: 16, IssueTime: 2, WarpSchedulers: 2, DualIssue: true, PipelineLatency: 22, MaxResidentWarps: 48},
+	CC30: {CC: CC30, CoresPerMP: 192, CoreGroups: 6, GroupSize: 32, IssueTime: 1, WarpSchedulers: 4, DualIssue: true, PipelineLatency: 11, MaxResidentWarps: 64},
+	CC35: {CC: CC35, CoresPerMP: 192, CoreGroups: 6, GroupSize: 32, IssueTime: 1, WarpSchedulers: 4, DualIssue: true, PipelineLatency: 11, MaxResidentWarps: 64},
+}
+
+// Spec returns the multiprocessor specification of a compute capability.
+func Spec(cc CC) MPSpec { return specs[cc] }
+
+// Throughput is one column of Table II: warp-wide instruction throughput in
+// thread-operations per clock cycle per multiprocessor.
+type Throughput struct {
+	Add   int // 32-bit integer addition
+	Logic int // 32-bit bitwise AND/OR/XOR
+	Shift int // 32-bit integer shift
+	MAD   int // 32-bit integer multiply-add (IMAD/ISCADD); also PRMT
+}
+
+var throughputs = map[CC]Throughput{
+	CC1x: {Add: 10, Logic: 8, Shift: 8, MAD: 8},
+	CC20: {Add: 32, Logic: 32, Shift: 16, MAD: 16},
+	CC21: {Add: 48, Logic: 48, Shift: 16, MAD: 16},
+	CC30: {Add: 160, Logic: 160, Shift: 32, MAD: 32},
+	// CC35 doubles the shift-class speed (funnel shift runs at 64/cycle,
+	// and one SHF replaces a SHL+IMAD pair: 4x rotate throughput overall).
+	CC35: {Add: 160, Logic: 160, Shift: 64, MAD: 64},
+}
+
+// InstrThroughput returns the Table II throughputs of a compute capability.
+func InstrThroughput(cc CC) Throughput { return throughputs[cc] }
+
+// SFUExtraAdd is the additional integer-addition throughput (operations
+// per cycle per multiprocessor) the special-function units contribute on
+// cc1.x devices — but only when the kernel exposes instruction-level
+// parallelism, which the paper found its hash kernels do not. The
+// theoretical Table II value of 10 = 8 cores + 2 SFU lanes.
+const SFUExtraAdd = 2
+
+// Device is one column of Table VII: a concrete GPU.
+type Device struct {
+	Name     string
+	MPs      int // multiprocessors
+	Cores    int // total CUDA cores
+	ClockMHz int // shader clock
+	CC       CC
+}
+
+// ClockHz returns the shader clock in Hz.
+func (d Device) ClockHz() float64 { return float64(d.ClockMHz) * 1e6 }
+
+// Spec returns the multiprocessor specification of the device's family.
+func (d Device) Spec() MPSpec { return Spec(d.CC) }
+
+// Validate cross-checks the catalog row: Cores must equal MPs times the
+// family's cores per multiprocessor.
+func (d Device) Validate() error {
+	if got := d.MPs * Spec(d.CC).CoresPerMP; got != d.Cores {
+		return fmt.Errorf("arch: device %s: %d MPs x %d cores/MP = %d, catalog says %d",
+			d.Name, d.MPs, Spec(d.CC).CoresPerMP, got, d.Cores)
+	}
+	return nil
+}
+
+// The five GPUs of Table VII, in table order.
+var (
+	GeForce8600MGT  = Device{Name: "GeForce 8600M GT", MPs: 4, Cores: 32, ClockMHz: 950, CC: CC1x}
+	GeForce8800GTS  = Device{Name: "GeForce 8800 GTS 512", MPs: 16, Cores: 128, ClockMHz: 1625, CC: CC1x}
+	GeForceGT540M   = Device{Name: "GeForce GT 540M", MPs: 2, Cores: 96, ClockMHz: 1344, CC: CC21}
+	GeForceGTX550Ti = Device{Name: "GeForce GTX 550 Ti", MPs: 4, Cores: 192, ClockMHz: 1800, CC: CC21}
+	GeForceGTX660   = Device{Name: "GeForce GTX 660", MPs: 5, Cores: 960, ClockMHz: 1033, CC: CC30}
+
+	// GeForceGTX780 is a cc3.5 device the paper could not obtain ("we were
+	// unable to get access to such type of device in time for this
+	// writing"); it is modeled here to exercise the funnel-shift path the
+	// paper describes as future opportunity.
+	GeForceGTX780 = Device{Name: "GeForce GTX 780", MPs: 12, Cores: 2304, ClockMHz: 863, CC: CC35}
+)
+
+// Catalog lists the Table VII devices in table order.
+var Catalog = []Device{GeForce8600MGT, GeForce8800GTS, GeForceGT540M, GeForceGTX550Ti, GeForceGTX660}
+
+// DeviceByName finds a catalog device (including the cc3.5 extension) by
+// exact or short name.
+func DeviceByName(name string) (Device, error) {
+	all := append(append([]Device{}, Catalog...), GeForceGTX780)
+	for _, d := range all {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	short := map[string]Device{
+		"8600M": GeForce8600MGT, "8800": GeForce8800GTS, "540M": GeForceGT540M,
+		"550Ti": GeForceGTX550Ti, "660": GeForceGTX660, "780": GeForceGTX780,
+	}
+	if d, ok := short[name]; ok {
+		return d, nil
+	}
+	return Device{}, fmt.Errorf("arch: unknown device %q", name)
+}

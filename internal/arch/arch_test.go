@@ -1,0 +1,119 @@
+package arch
+
+import "testing"
+
+// TestTableI checks the Table I rows verbatim.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		cc                                  CC
+		cores, groups, groupSize, issueTime int
+		schedulers                          int
+		dual                                bool
+	}{
+		{CC1x, 8, 1, 8, 4, 1, false},
+		{CC20, 32, 2, 16, 2, 2, false},
+		{CC21, 48, 3, 16, 2, 2, true},
+		{CC30, 192, 6, 32, 1, 4, true},
+	}
+	for _, c := range cases {
+		s := Spec(c.cc)
+		if s.CoresPerMP != c.cores || s.CoreGroups != c.groups || s.GroupSize != c.groupSize ||
+			s.IssueTime != c.issueTime || s.WarpSchedulers != c.schedulers || s.DualIssue != c.dual {
+			t.Errorf("Spec(%v) = %+v, want %+v", c.cc, s, c)
+		}
+		if s.CoreGroups*s.GroupSize != s.CoresPerMP {
+			t.Errorf("%v: groups x size != cores", c.cc)
+		}
+	}
+}
+
+// TestTableII checks the Table II throughputs verbatim.
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		cc                     CC
+		add, logic, shift, mad int
+	}{
+		{CC1x, 10, 8, 8, 8},
+		{CC20, 32, 32, 16, 16},
+		{CC21, 48, 48, 16, 16},
+		{CC30, 160, 160, 32, 32},
+	}
+	for _, c := range cases {
+		th := InstrThroughput(c.cc)
+		if th.Add != c.add || th.Logic != c.logic || th.Shift != c.shift || th.MAD != c.mad {
+			t.Errorf("InstrThroughput(%v) = %+v, want %+v", c.cc, th, c)
+		}
+	}
+	// CC3.5: funnel shift doubles the shift-class speed.
+	if th := InstrThroughput(CC35); th.Shift != 2*InstrThroughput(CC30).Shift {
+		t.Errorf("CC35 shift throughput = %d, want doubled", th.Shift)
+	}
+}
+
+// TestTableVII checks the device catalog verbatim and its internal
+// consistency (Cores = MPs x cores/MP).
+func TestTableVII(t *testing.T) {
+	cases := []struct {
+		dev   Device
+		mps   int
+		cores int
+		clock int
+		cc    CC
+	}{
+		{GeForce8600MGT, 4, 32, 950, CC1x},
+		{GeForce8800GTS, 16, 128, 1625, CC1x},
+		{GeForceGT540M, 2, 96, 1344, CC21},
+		{GeForceGTX550Ti, 4, 192, 1800, CC21},
+		{GeForceGTX660, 5, 960, 1033, CC30},
+	}
+	if len(Catalog) != 5 {
+		t.Fatalf("catalog has %d devices, want 5", len(Catalog))
+	}
+	for i, c := range cases {
+		d := Catalog[i]
+		if d != c.dev {
+			t.Errorf("catalog[%d] = %v, want %v", i, d, c.dev)
+		}
+		if d.MPs != c.mps || d.Cores != c.cores || d.ClockMHz != c.clock || d.CC != c.cc {
+			t.Errorf("device %s fields wrong: %+v", d.Name, d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := GeForceGTX780.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"8600M", "8800", "540M", "550Ti", "660", "780", "GeForce GTX 660"} {
+		if _, err := DeviceByName(name); err != nil {
+			t.Errorf("DeviceByName(%q): %v", name, err)
+		}
+	}
+	if _, err := DeviceByName("Voodoo2"); err == nil {
+		t.Error("unknown device: want error")
+	}
+}
+
+func TestCCPredicates(t *testing.T) {
+	if CC1x.HasIMAD() || !CC20.HasIMAD() || !CC30.HasIMAD() {
+		t.Error("HasIMAD wrong")
+	}
+	if CC21.HasBytePerm() || !CC30.HasBytePerm() {
+		t.Error("HasBytePerm wrong")
+	}
+	if CC30.HasFunnelShift() || !CC35.HasFunnelShift() {
+		t.Error("HasFunnelShift wrong")
+	}
+	if CC21.String() != "2.1" || CC1x.String() != "1.*" {
+		t.Error("String wrong")
+	}
+}
+
+func TestClockHz(t *testing.T) {
+	if GeForceGTX660.ClockHz() != 1.033e9 {
+		t.Errorf("ClockHz = %v", GeForceGTX660.ClockHz())
+	}
+}

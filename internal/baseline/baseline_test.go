@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math/big"
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/paperdata"
+)
+
+// TestToolOrdering: on every device, ours >= BarsWF >= Cryptohaze for MD5,
+// matching Table VIII's ordering.
+func TestToolOrdering(t *testing.T) {
+	for _, dev := range arch.Catalog {
+		ours := Throughput(Ours, MD5, dev)
+		bars := Throughput(BarsWF, MD5, dev)
+		crypt := Throughput(Cryptohaze, MD5, dev)
+		if !(ours >= bars && bars >= crypt) {
+			t.Errorf("%s: ordering broken: ours %.0f, BarsWF %.0f, Cryptohaze %.0f",
+				dev.Name, ours/1e6, bars/1e6, crypt/1e6)
+		}
+		if crypt <= 0 {
+			t.Errorf("%s: zero Cryptohaze throughput", dev.Name)
+		}
+	}
+}
+
+// TestAgainstPublishedRows: each tool's modeled throughput lands within
+// 35% of its published Table VIII MD5 value.
+func TestAgainstPublishedRows(t *testing.T) {
+	for _, dev := range arch.Catalog {
+		row := paperdata.TableVIII[dev.Name]
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"ours", Throughput(Ours, MD5, dev) / 1e6, row.MD5Ours},
+			{"Cryptohaze", Throughput(Cryptohaze, MD5, dev) / 1e6, row.MD5Cryptohaze},
+		}
+		if row.MD5BarsWF > 0 {
+			checks = append(checks, struct {
+				name string
+				got  float64
+				want float64
+			}{"BarsWF", Throughput(BarsWF, MD5, dev) / 1e6, row.MD5BarsWF})
+		}
+		for _, c := range checks {
+			if c.got < c.want*0.65 || c.got > c.want*1.35 {
+				t.Errorf("%s %s: modeled %.0f MKey/s, paper %.0f (tolerance 35%%)",
+					dev.Name, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// TestKeplerFractions reproduces the Section VI text: on the GTX 660,
+// BarsWF and Cryptohaze reach roughly 72% and 69% of theoretical while our
+// kernel is near 100%.
+func TestKeplerFractions(t *testing.T) {
+	dev := arch.GeForceGTX660
+	theo := Theoretical(MD5, dev)
+	oursFrac := Throughput(Ours, MD5, dev) / theo
+	barsFrac := Throughput(BarsWF, MD5, dev) / theo
+	cryptFrac := Throughput(Cryptohaze, MD5, dev) / theo
+	if oursFrac < 0.95 {
+		t.Errorf("ours fraction = %.3f, want ≈ %.3f", oursFrac, paperdata.KeplerEfficiency)
+	}
+	if barsFrac < 0.55 || barsFrac > 0.9 {
+		t.Errorf("BarsWF fraction = %.3f, want ≈ %.3f", barsFrac, paperdata.BarsWFKeplerFraction)
+	}
+	if cryptFrac < 0.55 || cryptFrac > 0.85 {
+		t.Errorf("Cryptohaze fraction = %.3f, want ≈ %.3f", cryptFrac, paperdata.CryptohazeKeplerFraction)
+	}
+	if !(oursFrac > barsFrac && barsFrac >= cryptFrac-0.1) {
+		t.Errorf("fractions out of order: %.2f %.2f %.2f", oursFrac, barsFrac, cryptFrac)
+	}
+}
+
+// TestSHA1Ordering: ours beats Cryptohaze for SHA1 everywhere.
+func TestSHA1Ordering(t *testing.T) {
+	for _, dev := range arch.Catalog {
+		ours := Throughput(Ours, SHA1, dev)
+		crypt := Throughput(Cryptohaze, SHA1, dev)
+		if ours < crypt {
+			t.Errorf("%s SHA1: ours %.0f below Cryptohaze %.0f", dev.Name, ours/1e6, crypt/1e6)
+		}
+	}
+}
+
+// TestVuMemoryImpractical reproduces the Section II criticism: storing all
+// candidates of the paper's alphanumeric <=8 space needs orders of
+// magnitude more memory than any GPU, while our kernel needs under 1 KiB.
+func TestVuMemoryImpractical(t *testing.T) {
+	space, err := keyspace.New(keyspace.Alnum, 1, 8, keyspace.PrefixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := VuMemoryBytes(space)
+	gpuMem := new(big.Int).SetUint64(2 << 30) // a 2013-era 2 GiB card
+	ratio := new(big.Int).Quo(need, gpuMem)
+	if ratio.Cmp(big.NewInt(1000)) < 0 {
+		t.Errorf("Vu memory only %v x a 2GiB GPU; expected vastly more", ratio)
+	}
+	if OursMemoryBytes() >= 1024 {
+		t.Errorf("our footprint %d B, paper claims < 1 KiB", OursMemoryBytes())
+	}
+	// Even a small 4-character space is non-trivial for the precompute
+	// approach (~900 MB), matching the "some Gbytes" remark.
+	small, _ := keyspace.New(keyspace.Alnum, 4, 4, keyspace.PrefixMajor)
+	if VuMemoryBytes(small).Int64() < 500<<20 {
+		t.Errorf("4-char Vu memory = %v, want hundreds of MB", VuMemoryBytes(small))
+	}
+}

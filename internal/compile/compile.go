@@ -1,0 +1,102 @@
+// Package compile lowers source-level kernel programs to per-architecture
+// machine programs, reproducing the transformations the paper observes in
+// nvcc's output (Section V):
+//
+//   - constant folding and propagation ("counting all the operations that
+//     cannot be evaluated at compile time");
+//   - reassociation of constant chains (message word + sine constant merge
+//     into a single addition when the message word is known);
+//   - NOT merging ("the unary NOT operations are omitted since they are
+//     merged with other instructions in the final phase of compilation");
+//   - rotate lowering: SHL+SHR+ADD on cc1.x, SHL+IMAD.HI on cc2.x/3.0
+//     (the IMAD absorbing one addition), PRMT for byte-aligned rotations
+//     when profitable (cc3.0), and the cc3.5 single-instruction funnel
+//     shift;
+//   - dead-code elimination.
+//
+// The class counts of the compiled programs regenerate Tables IV, V and VI.
+package compile
+
+import (
+	"keysearch/internal/arch"
+	"keysearch/internal/kernel"
+)
+
+// Options selects the compilation target and optional passes.
+type Options struct {
+	// CC is the target compute capability.
+	CC arch.CC
+	// BytePerm lowers byte-aligned rotations (8/16/24 bits) to a single
+	// PRMT instruction. The paper enables this on cc3.0, where the
+	// shift/MAD group is the bottleneck (Table V -> Table VI); pass false
+	// to reproduce the Table V kernel on Kepler.
+	BytePerm bool
+	// NoReassociate disables constant reassociation (for ablation).
+	NoReassociate bool
+	// NoNotMerge disables NOT merging (for ablation).
+	NoNotMerge bool
+}
+
+// DefaultOptions returns the paper's choices for a compute capability:
+// byte-perm on Kepler and later, every standard pass enabled.
+func DefaultOptions(cc arch.CC) Options {
+	return Options{CC: cc, BytePerm: cc.HasBytePerm()}
+}
+
+// Compiled is the result of compiling a kernel for one architecture.
+type Compiled struct {
+	Program *kernel.Program
+	CC      arch.CC
+	// Counts are the static machine-instruction counts per class — the
+	// rows of Tables IV–VI.
+	Counts kernel.Counts
+	// DualIssue is the static dual-issue opportunity fraction, the
+	// quantity the paper measured with the CUDA profiler (<10% for the
+	// single-stream kernels).
+	DualIssue float64
+	// Streams is how many candidates one program run tests.
+	Streams int
+}
+
+// Compile runs the pass pipeline on a copy of src.
+func Compile(src *kernel.Program, opt Options) *Compiled {
+	p := cloneProgram(src)
+	copyPropFold(p)
+	if !opt.NoReassociate {
+		// Chains of three constants need two rounds.
+		reassociate(p)
+		reassociate(p)
+		copyPropFold(p)
+	}
+	if !opt.NoNotMerge {
+		mergeNot(p)
+	}
+	lowerRotates(p, opt)
+	copyPropFold(p)
+	deadCode(p)
+	compact(p)
+
+	streams := src.NumInputs
+	if streams == 0 {
+		streams = 1
+	}
+	return &Compiled{
+		Program:   p,
+		CC:        opt.CC,
+		Counts:    p.CountClasses(),
+		DualIssue: p.DualIssueFraction(),
+		Streams:   streams,
+	}
+}
+
+func cloneProgram(src *kernel.Program) *kernel.Program {
+	p := &kernel.Program{
+		Name:      src.Name,
+		NumInputs: src.NumInputs,
+		NumRegs:   src.NumRegs,
+		Instrs:    make([]kernel.Instr, len(src.Instrs)),
+		Outputs:   append([]int(nil), src.Outputs...),
+	}
+	copy(p.Instrs, src.Instrs)
+	return p
+}

@@ -1,0 +1,290 @@
+package compile
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+	"keysearch/internal/kernel"
+)
+
+func md5Kernel(t *testing.T, key string, reversal, earlyExit bool) *kernel.Program {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte(key), &block); err != nil {
+		t.Fatal(err)
+	}
+	target := md5x.StateWords(md5.Sum([]byte(key)))
+	return kernel.BuildMD5(kernel.MD5Config{
+		Template: block, Target: target, Reversal: reversal, EarlyExit: earlyExit,
+	})
+}
+
+// TestCompiledSemantics differential-tests every target lowering against
+// the source program over random inputs — matching and non-matching.
+func TestCompiledSemantics(t *testing.T) {
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	target := md5x.StateWords(md5.Sum([]byte("Key4SUFF")))
+
+	srcs := []*kernel.Program{
+		kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target}),
+		kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true}),
+		kernel.BuildSHA1(mustSHA1(t, "Key4SUFF", true)),
+		kernel.BuildMD5Hash(block),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, src := range srcs {
+		for _, cc := range arch.All {
+			c := Compile(src, DefaultOptions(cc))
+			if c.Program.HasPseudo() {
+				t.Fatalf("%s/%v: pseudo ops survive lowering", src.Name, cc)
+			}
+			for i := 0; i < 40; i++ {
+				w := rng.Uint32()
+				if i == 0 {
+					w = block[0] // the matching candidate
+				}
+				in := make([]uint32, src.NumInputs)
+				for j := range in {
+					in[j] = w
+				}
+				wantOut, wantOK, err := kernel.Run(src, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotOut, gotOK, err := kernel.Run(c.Program, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantOK != gotOK {
+					t.Fatalf("%s/%v input %08x: match %v, want %v", src.Name, cc, w, gotOK, wantOK)
+				}
+				for k := range wantOut {
+					if gotOut[k] != wantOut[k] {
+						t.Fatalf("%s/%v input %08x: out[%d] = %08x, want %08x",
+							src.Name, cc, w, k, gotOut[k], wantOut[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustSHA1(t *testing.T, key string, early bool) kernel.SHA1Config {
+	t.Helper()
+	var block [16]uint32
+	if err := sha1x.PackKey([]byte(key), &block); err != nil {
+		t.Fatal(err)
+	}
+	return kernel.SHA1Config{
+		Template: block, Target: sha1x.StateWords(sha1.Sum([]byte(key))), EarlyExit: early,
+	}
+}
+
+// TestTableIVShape checks the structural facts of Table IV (64-step
+// length-4 kernel): rotations lower to 128 shifts on cc1.x versus
+// 64 SHL + 64 IMAD on cc2.x/3.0, additions shrink from the source-level
+// 320 because constant message words merge into the T constants (and the
+// IMAD absorbs the rotate addition on cc2+).
+func TestTableIVShape(t *testing.T) {
+	src := md5Kernel(t, "Key4", false, false)
+
+	c1 := Compile(src, Options{CC: arch.CC1x})
+	if got := c1.Counts[kernel.ClassShift]; got != 128 {
+		t.Errorf("cc1.x shifts = %d, want 128 (Table IV)", got)
+	}
+	if got := c1.Counts[kernel.ClassMAD]; got != 0 {
+		t.Errorf("cc1.x IMAD = %d, want 0 (Table IV)", got)
+	}
+	if a := c1.Counts[kernel.ClassAdd]; a <= 200 || a >= 320 {
+		t.Errorf("cc1.x IADD = %d, want within (200,320) around Table IV's 284", a)
+	}
+
+	c2 := Compile(src, Options{CC: arch.CC21})
+	if got := c2.Counts[kernel.ClassShift]; got != 64 {
+		t.Errorf("cc2.1 shifts = %d, want 64 (Table IV)", got)
+	}
+	if got := c2.Counts[kernel.ClassMAD]; got != 64 {
+		t.Errorf("cc2.1 IMAD = %d, want 64 (Table IV)", got)
+	}
+	if a := c2.Counts[kernel.ClassAdd]; a <= 150 || a >= 260 {
+		t.Errorf("cc2.1 IADD = %d, want within (150,260) around Table IV's 220", a)
+	}
+	// Logic counts: ~155-156 in the paper for both targets.
+	for _, c := range []*Compiled{c1, c2} {
+		if l := c.Counts[kernel.ClassLogic]; l < 140 || l > 165 {
+			t.Errorf("%v logic = %d, want ≈155 (Table IV)", c.CC, l)
+		}
+	}
+	// All NOTs must have merged.
+	for _, in := range c2.Program.Instrs {
+		if in.Op == kernel.OpNot {
+			t.Error("NOT survived merging")
+			break
+		}
+	}
+}
+
+// TestTableVShape checks the optimized (reversal + early-exit) kernel:
+// about 49/64 of the Table IV counts, shifts 90 on cc1.x and 46+46 split
+// on cc2+ in the paper.
+func TestTableVShape(t *testing.T) {
+	src := md5Kernel(t, "Key4", true, true)
+
+	c1 := Compile(src, Options{CC: arch.CC1x})
+	// 49 steps minus one rotate... the paper reports 90 SHR/SHL.
+	if got := c1.Counts[kernel.ClassShift]; got < 88 || got > 100 {
+		t.Errorf("cc1.x shifts = %d, want ≈90-98 (Table V: 90)", got)
+	}
+	c2 := Compile(src, Options{CC: arch.CC21})
+	if got := c2.Counts[kernel.ClassShift]; got < 44 || got > 50 {
+		t.Errorf("cc2.1 shifts = %d, want ≈46-49 (Table V: 46)", got)
+	}
+	if got := c2.Counts[kernel.ClassMAD]; got != c2.Counts[kernel.ClassShift] {
+		t.Errorf("cc2.1 IMAD = %d, want equal to shifts %d", got, c2.Counts[kernel.ClassShift])
+	}
+	if a := c2.Counts[kernel.ClassAdd]; a < 120 || a > 190 {
+		t.Errorf("cc2.1 IADD = %d, want ≈150 (Table V)", a)
+	}
+	// The optimized kernel must be decisively smaller than the plain one.
+	plain := Compile(md5Kernel(t, "Key4", false, false), Options{CC: arch.CC21})
+	if c2.Counts.Total() >= plain.Counts.Total()*8/10 {
+		t.Errorf("optimized total %d not well below plain %d", c2.Counts.Total(), plain.Counts.Total())
+	}
+}
+
+// TestTableVIBytePerm checks the byte-perm variant on cc3.0: the four
+// 16-bit rotations of round 3 become PRMT instructions (the paper counts
+// 3) and the shift count drops accordingly.
+func TestTableVIBytePerm(t *testing.T) {
+	src := md5Kernel(t, "Key4", true, true)
+	noPerm := Compile(src, Options{CC: arch.CC30})
+	withPerm := Compile(src, Options{CC: arch.CC30, BytePerm: true})
+	if got := noPerm.Counts[kernel.ClassPerm]; got != 0 {
+		t.Errorf("PRMT without byte-perm = %d", got)
+	}
+	perms := withPerm.Counts[kernel.ClassPerm]
+	if perms < 3 || perms > 4 {
+		t.Errorf("PRMT = %d, want 3-4 (Table VI: 3)", perms)
+	}
+	dropped := noPerm.Counts[kernel.ClassShift] - withPerm.Counts[kernel.ClassShift]
+	if dropped != perms {
+		t.Errorf("shift drop %d != PRMT count %d", dropped, perms)
+	}
+	if withPerm.Counts.ShiftMAD() >= noPerm.Counts.ShiftMAD() {
+		t.Error("byte-perm did not reduce the shift/MAD bottleneck class")
+	}
+}
+
+// TestCC35FunnelShift checks the funnel-shift lowering: one shift-class
+// instruction per rotation, no IMAD.
+func TestCC35FunnelShift(t *testing.T) {
+	src := md5Kernel(t, "Key4", true, true)
+	c := Compile(src, Options{CC: arch.CC35})
+	if got := c.Counts[kernel.ClassMAD]; got != 0 {
+		t.Errorf("cc3.5 IMAD = %d, want 0 (funnel shift)", got)
+	}
+	funnels := 0
+	for _, in := range c.Program.Instrs {
+		if in.Op == kernel.OpFunnel {
+			funnels++
+		}
+	}
+	if funnels < 45 || funnels > 50 {
+		t.Errorf("funnel shifts = %d, want one per rotation (≈49)", funnels)
+	}
+	// Versus cc3.0: shift+MAD class at least halves.
+	c30 := Compile(src, Options{CC: arch.CC30})
+	if c.Counts.ShiftMAD()*2 > c30.Counts.ShiftMAD()+4 {
+		t.Errorf("cc3.5 SHM %d vs cc3.0 %d: expected halving", c.Counts.ShiftMAD(), c30.Counts.ShiftMAD())
+	}
+}
+
+// TestReassociationMergesConstants: with reassociation off, the compiled
+// kernel must contain more additions.
+func TestReassociationMergesConstants(t *testing.T) {
+	src := md5Kernel(t, "Key4", false, false)
+	with := Compile(src, Options{CC: arch.CC21})
+	without := Compile(src, Options{CC: arch.CC21, NoReassociate: true})
+	if with.Counts[kernel.ClassAdd] >= without.Counts[kernel.ClassAdd] {
+		t.Errorf("reassociation did not reduce adds: %d vs %d",
+			with.Counts[kernel.ClassAdd], without.Counts[kernel.ClassAdd])
+	}
+}
+
+// TestNotMergeAblation: with NOT merging off, logic count grows by the
+// number of NOTs (48 in MD5).
+func TestNotMergeAblation(t *testing.T) {
+	src := md5Kernel(t, "Key4", false, false)
+	with := Compile(src, Options{CC: arch.CC21})
+	without := Compile(src, Options{CC: arch.CC21, NoNotMerge: true})
+	// 48 NOTs in the source; the step-0 NOT operates on the constant IV
+	// and folds away before merging, leaving 47 to merge.
+	d := without.Counts[kernel.ClassLogic] - with.Counts[kernel.ClassLogic]
+	if d != 47 {
+		t.Errorf("logic delta without NOT merge = %d, want 47", d)
+	}
+	// And semantics must be identical.
+	var block [16]uint32
+	md5x.PackKey([]byte("Key4"), &block)
+	if kernel.Match(with.Program, 1234) != kernel.Match(without.Program, 1234) {
+		t.Error("NOT-merge changed semantics")
+	}
+}
+
+// TestDeadCodeRemovesUnused builds a program with an unused chain.
+func TestDeadCodeRemovesUnused(t *testing.T) {
+	b := kernel.NewBuilder("dce", 1)
+	x := b.Input(0)
+	used := b.Add(x, b.Const(1))
+	_ = b.Xor(x, b.Const(7)) // dead
+	b.ExitNE(used, b.Const(42))
+	c := Compile(b.Build(), Options{CC: arch.CC30})
+	if len(c.Program.Instrs) != 2 {
+		t.Errorf("program has %d instrs, want 2 (add + exit): %v", len(c.Program.Instrs), c.Program.Instrs)
+	}
+}
+
+// TestSHA1Ratio checks the paper's SHA1 observation: the ratio of
+// addition/logical to shift/MAD operations is ≈1.53 (much lower than
+// MD5's 2.93), so on Kepler SHA1 is even more shift-bound.
+func TestSHA1Ratio(t *testing.T) {
+	cfg := mustSHA1(t, "Key4", true)
+	c := Compile(kernel.BuildSHA1(cfg), Options{CC: arch.CC30})
+	ratio := float64(c.Counts.AddLogic()) / float64(c.Counts.ShiftMAD())
+	if ratio < 1.2 || ratio > 2.0 {
+		t.Errorf("SHA1 add+logic / shift+MAD = %.2f, want ≈1.5 (paper: 1.53)", ratio)
+	}
+	md5c := Compile(md5Kernel(t, "Key4", true, true), Options{CC: arch.CC30})
+	md5ratio := float64(md5c.Counts.AddLogic()) / float64(md5c.Counts.ShiftMAD())
+	if md5ratio <= ratio {
+		t.Errorf("MD5 ratio %.2f should exceed SHA1 ratio %.2f", md5ratio, ratio)
+	}
+}
+
+// TestMD5RatioNearPaper: the paper computes R = 270/92 = 2.93 for the
+// optimized MD5 kernel on cc2+.
+func TestMD5RatioNearPaper(t *testing.T) {
+	c := Compile(md5Kernel(t, "Key4", true, true), Options{CC: arch.CC21})
+	r := float64(c.Counts.AddLogic()) / float64(c.Counts.ShiftMAD())
+	if r < 2.4 || r > 3.5 {
+		t.Errorf("MD5 R = %.2f, want ≈2.9 (paper: 2.93)", r)
+	}
+}
+
+func TestCompileIdempotentSemantics(t *testing.T) {
+	src := md5Kernel(t, "ab", true, true) // short key: pad inside word 0
+	var block [16]uint32
+	md5x.PackKey([]byte("ab"), &block)
+	c := Compile(src, DefaultOptions(arch.CC30))
+	if !kernel.Match(c.Program, block[0]) {
+		t.Error("compiled kernel rejected matching short key")
+	}
+}

@@ -1,0 +1,296 @@
+package compile
+
+import "keysearch/internal/kernel"
+
+// copyPropFold performs one forward pass of copy propagation, constant
+// folding and algebraic identity simplification. Folded instructions
+// become OpNop (removed later by compact).
+func copyPropFold(p *kernel.Program) {
+	// val[r] is the canonical operand for register r: an immediate when r
+	// is known constant, another register when r is a copy, or unset.
+	val := make(map[int]kernel.Operand)
+	resolve := func(o kernel.Operand) kernel.Operand {
+		for !o.IsImm {
+			v, ok := val[o.Reg]
+			if !ok {
+				return o
+			}
+			o = v
+		}
+		return o
+	}
+
+	for idx := range p.Instrs {
+		in := &p.Instrs[idx]
+		if in.Op == kernel.OpNop {
+			continue
+		}
+		in.A = resolve(in.A)
+		in.B = resolve(in.B)
+
+		if in.Op == kernel.OpExitNE {
+			if in.A.IsImm && in.B.IsImm && in.A.Imm == in.B.Imm {
+				in.Op = kernel.OpNop // check statically true
+			}
+			continue
+		}
+		if in.Op == kernel.OpMov {
+			val[in.Dst] = in.A
+			in.Op = kernel.OpNop
+			continue
+		}
+
+		// Full constant evaluation.
+		aImm, bImm := in.A.IsImm, in.B.IsImm
+		unary := in.Op == kernel.OpNot || in.Op == kernel.OpShl || in.Op == kernel.OpShr ||
+			in.Op == kernel.OpRotl || in.Op == kernel.OpPerm || in.Op == kernel.OpFunnel
+		if aImm && (bImm || unary) {
+			val[in.Dst] = kernel.Imm(kernel.Eval(in.Op, in.A.Imm, in.B.Imm, in.Sh))
+			in.Op = kernel.OpNop
+			continue
+		}
+
+		// Algebraic identities with one constant operand. Normalize the
+		// constant into B for commutative operations first.
+		switch in.Op {
+		case kernel.OpAdd, kernel.OpAnd, kernel.OpOr, kernel.OpXor:
+			if aImm && !bImm {
+				in.A, in.B = in.B, in.A
+				aImm, bImm = bImm, aImm
+			}
+		}
+		if bImm {
+			c := in.B.Imm
+			switch {
+			case in.Op == kernel.OpAdd && c == 0,
+				in.Op == kernel.OpOr && c == 0,
+				in.Op == kernel.OpXor && c == 0,
+				in.Op == kernel.OpAnd && c == ^uint32(0):
+				val[in.Dst] = in.A
+				in.Op = kernel.OpNop
+				continue
+			case in.Op == kernel.OpAnd && c == 0:
+				val[in.Dst] = kernel.Imm(0)
+				in.Op = kernel.OpNop
+				continue
+			case in.Op == kernel.OpOr && c == ^uint32(0):
+				val[in.Dst] = kernel.Imm(^uint32(0))
+				in.Op = kernel.OpNop
+				continue
+			}
+		}
+		if (in.Op == kernel.OpShl || in.Op == kernel.OpShr) && in.Sh == 0 {
+			val[in.Dst] = in.A
+			in.Op = kernel.OpNop
+		}
+	}
+}
+
+// useCounts tallies, per register, how many operand slots read it
+// (program outputs count as uses).
+func useCounts(p *kernel.Program) []int {
+	uses := make([]int, p.NumRegs)
+	for _, in := range p.Instrs {
+		if in.Op == kernel.OpNop {
+			continue
+		}
+		if !in.A.IsImm {
+			uses[in.A.Reg]++
+		}
+		if !in.B.IsImm {
+			uses[in.B.Reg]++
+		}
+	}
+	for _, r := range p.Outputs {
+		uses[r]++
+	}
+	return uses
+}
+
+// defIndex maps each register to the instruction that defines it (-1 for
+// inputs and undefined registers).
+func defIndex(p *kernel.Program) []int {
+	def := make([]int, p.NumRegs)
+	for i := range def {
+		def[i] = -1
+	}
+	for i, in := range p.Instrs {
+		if in.Op != kernel.OpNop && in.Op != kernel.OpExitNE && in.Dst >= 0 {
+			def[in.Dst] = i
+		}
+	}
+	return def
+}
+
+// reassociate rewrites op(op(x, c1), c2) into op(x, c1?c2) for the
+// commutative-associative operations, when the intermediate has a single
+// use. This is what merges a constant message word into the T[i] addition,
+// the dominant count reduction from Table III to Table IV.
+func reassociate(p *kernel.Program) {
+	uses := useCounts(p)
+	def := defIndex(p)
+	for j := range p.Instrs {
+		in := &p.Instrs[j]
+		switch in.Op {
+		case kernel.OpAdd, kernel.OpXor, kernel.OpAnd, kernel.OpOr:
+		default:
+			continue
+		}
+		// Need exactly one immediate operand; normalize it into B.
+		if in.A.IsImm && !in.B.IsImm {
+			in.A, in.B = in.B, in.A
+		}
+		if in.A.IsImm || !in.B.IsImm {
+			continue
+		}
+		r := in.A.Reg
+		if uses[r] != 1 || def[r] < 0 {
+			continue
+		}
+		inner := &p.Instrs[def[r]]
+		if inner.Op != in.Op {
+			continue
+		}
+		if inner.A.IsImm && !inner.B.IsImm {
+			inner.A, inner.B = inner.B, inner.A
+		}
+		if inner.A.IsImm || !inner.B.IsImm {
+			continue
+		}
+		// op(op(x, c1), c2) -> op(x, c1?c2)
+		combined := kernel.Eval(in.Op, inner.B.Imm, in.B.Imm, 0)
+		in.A = inner.A // x's use moves from inner to in; its count is unchanged
+		in.B = kernel.Imm(combined)
+		uses[r]--
+		inner.Op = kernel.OpNop
+	}
+}
+
+// mergeNot folds unary NOTs into consuming AND/OR instructions (ANDN/ORN
+// forms), the "final phase of compilation" merge the paper observes.
+func mergeNot(p *kernel.Program) {
+	uses := useCounts(p)
+	def := defIndex(p)
+	for j := range p.Instrs {
+		in := &p.Instrs[j]
+		if in.Op != kernel.OpAnd && in.Op != kernel.OpOr {
+			continue
+		}
+		merged := in.Op
+		// Try each register operand for a single-use NOT definition.
+		for _, side := range []int{0, 1} {
+			op := in.A
+			if side == 1 {
+				op = in.B
+			}
+			if op.IsImm || def[op.Reg] < 0 {
+				continue
+			}
+			notIn := &p.Instrs[def[op.Reg]]
+			if notIn.Op != kernel.OpNot || uses[op.Reg] != 1 {
+				continue
+			}
+			// Rewrite: and(other, ^x) -> ANDN(other, x).
+			other := in.B
+			if side == 1 {
+				other = in.A
+			}
+			if merged == kernel.OpAnd {
+				in.Op = kernel.OpAndN
+			} else {
+				in.Op = kernel.OpOrN
+			}
+			in.A = other
+			in.B = notIn.A
+			notIn.Op = kernel.OpNop
+			break
+		}
+	}
+}
+
+// lowerRotates replaces pseudo OpRotl per the target architecture.
+func lowerRotates(p *kernel.Program, opt Options) {
+	out := make([]kernel.Instr, 0, len(p.Instrs)+64)
+	for _, in := range p.Instrs {
+		if in.Op != kernel.OpRotl {
+			out = append(out, in)
+			continue
+		}
+		x, n := in.A, in.Sh
+		switch {
+		case opt.BytePerm && n%8 == 0:
+			// PRMT performs any byte rotation in one instruction.
+			out = append(out, kernel.Instr{Op: kernel.OpPerm, Dst: in.Dst, A: x, Sh: n})
+		case opt.CC.HasFunnelShift():
+			// SHF.L performs the full rotation in one instruction.
+			out = append(out, kernel.Instr{Op: kernel.OpFunnel, Dst: in.Dst, A: x, Sh: n})
+		case opt.CC.HasIMAD():
+			// SHL t = x << n; IMAD.HI dst = hi(x * 2^n) + t — the IMAD
+			// emulates the right shift and absorbs the addition.
+			t := p.NumRegs
+			p.NumRegs++
+			out = append(out,
+				kernel.Instr{Op: kernel.OpShl, Dst: t, A: x, Sh: n},
+				kernel.Instr{Op: kernel.OpIMADHi, Dst: in.Dst, A: x, B: kernel.R(t), Sh: n},
+			)
+		default:
+			// cc1.x: SHL + SHR + ADD.
+			t1 := p.NumRegs
+			t2 := p.NumRegs + 1
+			p.NumRegs += 2
+			out = append(out,
+				kernel.Instr{Op: kernel.OpShl, Dst: t1, A: x, Sh: n},
+				kernel.Instr{Op: kernel.OpShr, Dst: t2, A: x, Sh: 32 - n},
+				kernel.Instr{Op: kernel.OpAdd, Dst: in.Dst, A: kernel.R(t1), B: kernel.R(t2)},
+			)
+		}
+	}
+	p.Instrs = out
+}
+
+// deadCode removes instructions whose results are never observed. Exit
+// checks and program outputs are the roots.
+func deadCode(p *kernel.Program) {
+	live := make([]bool, p.NumRegs)
+	for _, r := range p.Outputs {
+		live[r] = true
+	}
+	for _, in := range p.Instrs {
+		if in.Op == kernel.OpExitNE {
+			if !in.A.IsImm {
+				live[in.A.Reg] = true
+			}
+			if !in.B.IsImm {
+				live[in.B.Reg] = true
+			}
+		}
+	}
+	for i := len(p.Instrs) - 1; i >= 0; i-- {
+		in := &p.Instrs[i]
+		if in.Op == kernel.OpNop || in.Op == kernel.OpExitNE {
+			continue
+		}
+		if in.Dst < 0 || !live[in.Dst] {
+			in.Op = kernel.OpNop
+			continue
+		}
+		if !in.A.IsImm {
+			live[in.A.Reg] = true
+		}
+		if !in.B.IsImm {
+			live[in.B.Reg] = true
+		}
+	}
+	p.Instrs = p.Instrs[:len(p.Instrs):len(p.Instrs)]
+}
+
+// compact drops OpNop placeholders.
+func compact(p *kernel.Program) {
+	out := p.Instrs[:0]
+	for _, in := range p.Instrs {
+		if in.Op != kernel.OpNop {
+			out = append(out, in)
+		}
+	}
+	p.Instrs = out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/keyspace"
+)
+
+// md5Score reads the first digest word as the score — minimizing it is a
+// tiny "vanity hash" search.
+func md5Score() ScoreFunc {
+	return func(c []byte) float64 {
+		d := md5x.Sum(c)
+		return float64(binary.BigEndian.Uint32(d[:4]))
+	}
+}
+
+func TestSearchBestFindsGlobalMinimum(t *testing.T) {
+	space := lowerSpace(t, 1, 2)
+	iv := space.Whole()
+
+	// Oracle: scan sequentially.
+	enum := NewKeyEnumerator(space)
+	if err := enum.Seek(iv.Start); err != nil {
+		t.Fatal(err)
+	}
+	score := md5Score()
+	want := Best{Score: math.Inf(1)}
+	for {
+		if s := score(enum.Candidate()); s < want.Score {
+			want.Score = s
+			want.Candidate = append([]byte(nil), enum.Candidate()...)
+		}
+		if !enum.Next() {
+			break
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		got, tested, err := SearchBest(context.Background(), KeyspaceFactory(space), iv,
+			md5Score, Options{Workers: workers, ChunkSize: 37})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, _ := space.Size64()
+		if tested != size {
+			t.Errorf("workers=%d: tested %d of %d", workers, tested, size)
+		}
+		if string(got.Candidate) != string(want.Candidate) || got.Score != want.Score {
+			t.Errorf("workers=%d: best = %q (%v), want %q (%v)",
+				workers, got.Candidate, got.Score, want.Candidate, want.Score)
+		}
+	}
+}
+
+// TestSearchBestMergeAcrossIntervals splits the space, minimizes each part
+// independently and checks the master merge equals the global minimum —
+// the distributed shape of the §III.A merge condition.
+func TestSearchBestMergeAcrossIntervals(t *testing.T) {
+	space := lowerSpace(t, 1, 2)
+	parts := space.Whole().SplitN(3)
+	var partBests []*Best
+	for _, p := range parts {
+		b, _, err := SearchBest(context.Background(), KeyspaceFactory(space), p, md5Score, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partBests = append(partBests, b)
+	}
+	merged := MergeBest(partBests...)
+	global, _, err := SearchBest(context.Background(), KeyspaceFactory(space), space.Whole(), md5Score, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == nil || string(merged.Candidate) != string(global.Candidate) {
+		t.Errorf("merged best %v != global %v", merged, global)
+	}
+}
+
+func TestSearchBestErrors(t *testing.T) {
+	space := lowerSpace(t, 1, 2)
+	if _, _, err := SearchBest(context.Background(), nil, space.Whole(), md5Score, Options{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, _, err := SearchBest(context.Background(), KeyspaceFactory(space),
+		keyspace.NewInterval(0, 1<<40), md5Score, Options{}); err == nil {
+		t.Error("oversized interval accepted")
+	}
+	if _, _, err := SearchBest(context.Background(), KeyspaceFactory(space),
+		keyspace.NewInterval(3, 3), md5Score, Options{}); err == nil {
+		t.Error("empty interval should error (no minimum)")
+	}
+	if MergeBest() != nil {
+		t.Error("MergeBest of nothing should be nil")
+	}
+	if MergeBest(nil, nil) != nil {
+		t.Error("MergeBest of nils should be nil")
+	}
+}
+
+func TestSearchBestCancellation(t *testing.T) {
+	space := lowerSpace(t, 1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SearchBest(ctx, KeyspaceFactory(space), space.Whole(), md5Score, Options{}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

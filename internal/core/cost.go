@@ -1,0 +1,146 @@
+package core
+
+import "math"
+
+// CostModel carries the per-candidate cost constants of §III.A, in seconds:
+// K_f, the cost to generate a candidate from its identifier; K_next, the
+// cost to derive a candidate from its predecessor; and K_C, the cost to
+// evaluate the test condition. The paper treats K_next and K_C as constants
+// for single-block keys (§IV: for keys shorter than 57 characters the
+// execution time is essentially independent of the length).
+type CostModel struct {
+	Kf    float64
+	Knext float64
+	KC    float64
+}
+
+// SearchCost returns K_search for n candidates using the next operator:
+//
+//	K_search = K_f + (n-1)·K_next + n·K_C
+//
+// which is the paper's first K_search formula with constant costs.
+func (m CostModel) SearchCost(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.Kf + (n-1)*m.Knext + n*m.KC
+}
+
+// SearchCostNoNext returns K_search when every candidate is produced by a
+// fresh f(i) conversion (the paper's second formula):
+//
+//	K_search = Σ (K_f + K_C) = n·(K_f + K_C)
+func (m CostModel) SearchCostNoNext(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return n * (m.Kf + m.KC)
+}
+
+// Efficiency returns the process efficiency at batch size n as defined in
+// §III.A: the time needed to test the candidates over the time needed to
+// generate and test them. With K_next < K_f it increases with n.
+func (m CostModel) Efficiency(n float64) float64 {
+	c := m.SearchCost(n)
+	if c <= 0 {
+		return 0
+	}
+	return n * m.KC / c
+}
+
+// NodeCost carries the per-dispatch cost terms of one computing node j:
+// K_scatter^j, K_search^j and K_gather^j.
+type NodeCost struct {
+	Scatter float64
+	Search  float64
+	Gather  float64
+}
+
+// DispatchBounds returns the paper's best/worst-case bounds on the total
+// dispatch cost K_D:
+//
+//	K_D >= max_j(K_scatter^j + K_search^j + K_gather^j) + K_CM
+//	K_D <= Σ_j K_scatter^j + max_j K_search^j + Σ_j K_gather^j + K_CM
+//
+// The lower bound is attained with fully overlapped communication, the
+// upper bound with fully serialized scatter and gather.
+func DispatchBounds(nodes []NodeCost, merge float64) (lo, hi float64) {
+	var maxTotal, maxSearch, sumScatter, sumGather float64
+	for _, n := range nodes {
+		total := n.Scatter + n.Search + n.Gather
+		maxTotal = math.Max(maxTotal, total)
+		maxSearch = math.Max(maxSearch, n.Search)
+		sumScatter += n.Scatter
+		sumGather += n.Gather
+	}
+	return maxTotal + merge, sumScatter + maxSearch + sumGather + merge
+}
+
+// Tuning is the outcome of the paper's per-node tuning step: the minimum
+// number of candidates n_j the node needs to reach the target efficiency,
+// and its peak throughput X_j in candidates per second.
+type Tuning struct {
+	MinBatch   uint64  // n_j
+	Throughput float64 // X_j
+}
+
+// Balance implements the paper's load-balancing rule. Given the tuning
+// results of the participating nodes it returns the per-node workloads:
+//
+//	N_max = max_j( n_j · X_max / X_j )
+//	N_j   = N_max · X_j / X_max
+//
+// so that every node receives at least its minimum efficient batch and all
+// nodes finish in the same time. Nodes with zero throughput receive zero
+// work.
+func Balance(tunings []Tuning) []uint64 {
+	if len(tunings) == 0 {
+		return nil
+	}
+	xmax := 0.0
+	for _, t := range tunings {
+		xmax = math.Max(xmax, t.Throughput)
+	}
+	if xmax == 0 {
+		return make([]uint64, len(tunings))
+	}
+	nmax := 0.0
+	for _, t := range tunings {
+		if t.Throughput == 0 {
+			continue
+		}
+		nmax = math.Max(nmax, float64(t.MinBatch)*xmax/t.Throughput)
+	}
+	out := make([]uint64, len(tunings))
+	for j, t := range tunings {
+		out[j] = uint64(math.Ceil(nmax * t.Throughput / xmax))
+	}
+	return out
+}
+
+// Aggregate folds the tunings of a dispatch subtree into the tuning of the
+// subtree's root, per §III: a dispatcher behaves as a node whose throughput
+// is the sum of its children's and whose minimum batch is Σ N_j of the
+// balanced children.
+func Aggregate(tunings []Tuning) Tuning {
+	var agg Tuning
+	for _, n := range Balance(tunings) {
+		agg.MinBatch += n
+	}
+	for _, t := range tunings {
+		agg.Throughput += t.Throughput
+	}
+	return agg
+}
+
+// Weights converts tunings to relative throughput weights, the form the
+// interval splitter consumes ("the ratio between the number of identifiers
+// provided to different nodes should be equal to the ratio of the computing
+// power of the nodes", §IV).
+func Weights(tunings []Tuning) []float64 {
+	w := make([]float64, len(tunings))
+	for i, t := range tunings {
+		w[i] = t.Throughput
+	}
+	return w
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"time"
+
+	"keysearch/internal/keyspace"
+)
+
+// Options configures a Search run.
+type Options struct {
+	// Workers is the number of concurrent search goroutines; 0 means
+	// runtime.NumCPU(). This is the fine-grain parallelism of the paper's
+	// pattern (the GPU-thread analogue on a CPU).
+	Workers int
+	// ChunkSize is the number of candidate identifiers a worker claims at a
+	// time; 0 means a heuristic default. Chunks are the intra-node
+	// granularity knob: large enough to amortize claiming overhead (the
+	// paper's n_j tuning at thread scale), small enough to balance load.
+	ChunkSize uint64
+	// MaxSolutions stops the search once that many solutions are found;
+	// 0 means exhaust the interval.
+	MaxSolutions int
+	// Progress, when non-nil, is called roughly every ProgressEvery tested
+	// candidates with the cumulative count. Used by dispatchers to gather
+	// periodic status (§III: "collect periodically a fairly small amount
+	// of data from each device").
+	Progress      func(tested uint64)
+	ProgressEvery uint64
+}
+
+const defaultChunkSize = 1 << 14
+
+// Result reports the outcome of a Search run.
+type Result struct {
+	// Solutions holds the candidates accepted by the test, in no
+	// particular order across workers.
+	Solutions [][]byte
+	// Tested is the exact number of candidates evaluated.
+	Tested uint64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// Exhausted reports whether the whole interval was searched (false if
+	// stopped early by MaxSolutions or context cancellation).
+	Exhausted bool
+}
+
+// Throughput returns the observed keys-per-second rate.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tested) / r.Elapsed.Seconds()
+}
+
+// Search exhaustively evaluates the candidates of interval iv (a range of
+// identifiers of the factory's space) against test, using a pool of
+// workers. Each worker claims contiguous chunks, seeks once per chunk via
+// f(id) and then iterates with the cheap next operator — the fine-grain
+// schema of §IV: "each thread would generate its start identifier ... to
+// reduce the time spent on the conversion routine ... by applying the next
+// operator".
+func Search(ctx context.Context, factory Factory, iv keyspace.Interval, test TestFunc, opt Options) (*Result, error) {
+	if test == nil {
+		return nil, errors.New("core: nil test")
+	}
+	return SearchEach(ctx, factory, iv, func() TestFunc { return test }, opt)
+}
+
+// SearchEach is Search with a per-worker test factory, for stateful test
+// kernels that are not safe for concurrent use (the common case: the
+// optimized hash searchers keep reverse-context caches).
+func SearchEach(ctx context.Context, factory Factory, iv keyspace.Interval, newTest TestFactory, opt Options) (*Result, error) {
+	if factory == nil || newTest == nil {
+		return nil, errors.New("core: nil factory or test factory")
+	}
+	size := factory.Size()
+	if iv.Start.Sign() < 0 || iv.End.Cmp(size) > 0 {
+		return nil, fmt.Errorf("core: interval %v outside space [0, %v)", iv, size)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	chunk := opt.ChunkSize
+	if chunk == 0 {
+		chunk = defaultChunkSize
+	}
+
+	start := time.Now()
+	res := &Result{}
+	total := iv.Len()
+	if total.Sign() == 0 {
+		res.Exhausted = true
+		return res, ctx.Err()
+	}
+
+	var (
+		mu        sync.Mutex // guards cursor, res.Solutions, stop bookkeeping
+		cursor    = new(big.Int).Set(iv.Start)
+		stopped   bool
+		testedAll uint64
+		progAccum uint64
+	)
+	progEvery := opt.ProgressEvery
+	if progEvery == 0 {
+		progEvery = chunk
+	}
+
+	claim := func() (startID *big.Int, n uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || cursor.Cmp(iv.End) >= 0 {
+			return nil, 0
+		}
+		remaining := new(big.Int).Sub(iv.End, cursor)
+		n = chunk
+		if remaining.IsUint64() && remaining.Uint64() < n {
+			n = remaining.Uint64()
+		}
+		startID = new(big.Int).Set(cursor)
+		cursor.Add(cursor, new(big.Int).SetUint64(n))
+		return startID, n
+	}
+
+	report := func(found [][]byte, tested uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		testedAll += tested
+		progAccum += tested
+		if opt.Progress != nil && progAccum >= progEvery {
+			opt.Progress(testedAll)
+			progAccum = 0
+		}
+		if len(found) > 0 {
+			res.Solutions = append(res.Solutions, found...)
+			if opt.MaxSolutions > 0 && len(res.Solutions) >= opt.MaxSolutions {
+				stopped = true
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enum := factory.NewEnumerator()
+			test := newTest()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				startID, n := claim()
+				if n == 0 {
+					return
+				}
+				if err := enum.Seek(startID); err != nil {
+					errCh <- err
+					return
+				}
+				var found [][]byte
+				tested := uint64(0)
+				for i := uint64(0); i < n; i++ {
+					cand := enum.Candidate()
+					tested++
+					if test(cand) {
+						cp := make([]byte, len(cand))
+						copy(cp, cand)
+						found = append(found, cp)
+					}
+					if i+1 < n && !enum.Next() {
+						errCh <- fmt.Errorf("core: enumerator exhausted %d candidates early", n-i-1)
+						report(found, tested)
+						return
+					}
+				}
+				report(found, tested)
+				mu.Lock()
+				done := stopped
+				mu.Unlock()
+				if done {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	res.Tested = testedAll
+	res.Elapsed = time.Since(start)
+	mu.Lock()
+	res.Exhausted = !stopped && cursor.Cmp(iv.End) >= 0 && ctx.Err() == nil
+	mu.Unlock()
+	return res, ctx.Err()
+}

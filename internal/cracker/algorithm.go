@@ -1,0 +1,72 @@
+package cracker
+
+import (
+	"fmt"
+	"strings"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+)
+
+// Algorithm identifies a supported hash function.
+type Algorithm int
+
+// Supported algorithms (the two the paper cracks).
+const (
+	MD5 Algorithm = iota
+	SHA1
+)
+
+// ParseAlgorithm parses an algorithm name ("md5" or "sha1", any case).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "md5":
+		return MD5, nil
+	case "sha1", "sha-1":
+		return SHA1, nil
+	default:
+		return 0, fmt.Errorf("cracker: unknown algorithm %q", s)
+	}
+}
+
+// String returns the canonical algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case MD5:
+		return "md5"
+	case SHA1:
+		return "sha1"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// DigestSize returns the digest length in bytes.
+func (a Algorithm) DigestSize() int {
+	switch a {
+	case MD5:
+		return md5x.Size
+	case SHA1:
+		return sha1x.Size
+	default:
+		return 0
+	}
+}
+
+// HashKey returns the digest of key under the algorithm (convenience for
+// tests, examples and target generation).
+func (a Algorithm) HashKey(key []byte) []byte {
+	switch a {
+	case MD5:
+		d := md5x.Sum(key)
+		return d[:]
+	case SHA1:
+		d := sha1x.Sum(key)
+		return d[:]
+	default:
+		return nil
+	}
+}
+
+// Valid reports whether a is a supported algorithm.
+func (a Algorithm) Valid() bool { return a == MD5 || a == SHA1 }

@@ -1,0 +1,81 @@
+package cracker
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// Job describes one cracking task: which digest to invert over which key
+// space, with which kernel tier.
+type Job struct {
+	Algorithm Algorithm
+	// Target is the raw digest to invert.
+	Target []byte
+	// Space is the candidate key space.
+	Space *keyspace.Space
+	// Kind selects the kernel optimization tier (default KernelOptimized).
+	Kind KernelKind
+	// Salt, when non-empty, is combined with each candidate before
+	// hashing.
+	Salt Salt
+}
+
+// NewJobHex builds a job from a hex-encoded digest.
+func NewJobHex(alg Algorithm, hexDigest string, space *keyspace.Space) (*Job, error) {
+	raw, err := hex.DecodeString(hexDigest)
+	if err != nil {
+		return nil, fmt.Errorf("cracker: bad hex digest: %w", err)
+	}
+	if len(raw) != alg.DigestSize() {
+		return nil, fmt.Errorf("cracker: digest length %d, want %d for %s", len(raw), alg.DigestSize(), alg)
+	}
+	return &Job{Algorithm: alg, Target: raw, Space: space}, nil
+}
+
+// TestFactory returns a core.TestFactory producing one kernel per worker.
+func (j *Job) TestFactory() (core.TestFactory, error) {
+	// Build one kernel eagerly to surface configuration errors.
+	if _, err := NewSaltedKernel(j.Algorithm, j.Kind, j.Target, j.Salt); err != nil {
+		return nil, err
+	}
+	return func() core.TestFunc {
+		k, _ := NewSaltedKernel(j.Algorithm, j.Kind, j.Target, j.Salt)
+		return k.Test
+	}, nil
+}
+
+// Crack searches the whole space of the job for preimages of the target.
+func Crack(ctx context.Context, job *Job, opt core.Options) (*core.Result, error) {
+	return CrackInterval(ctx, job, job.Space.Whole(), opt)
+}
+
+// CrackInterval searches only the given identifier interval, the entry
+// point dispatch workers use on their assigned sub-spaces.
+func CrackInterval(ctx context.Context, job *Job, iv keyspace.Interval, opt core.Options) (*core.Result, error) {
+	if job.Space == nil {
+		return nil, fmt.Errorf("cracker: job has no key space")
+	}
+	factory, err := job.TestFactory()
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxSolutions == 0 {
+		opt.MaxSolutions = 1
+	}
+	return core.SearchEach(ctx, core.KeyspaceFactory(job.Space), iv, factory, opt)
+}
+
+// CrackAll is CrackInterval with no early stop: it exhausts the interval
+// and returns every preimage (hash collisions within the space included).
+func CrackAll(ctx context.Context, job *Job, iv keyspace.Interval, opt core.Options) (*core.Result, error) {
+	opt.MaxSolutions = -1 // negative disables the early stop
+	factory, err := job.TestFactory()
+	if err != nil {
+		return nil, err
+	}
+	return core.SearchEach(ctx, core.KeyspaceFactory(job.Space), iv, factory, opt)
+}

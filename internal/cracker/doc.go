@@ -1,0 +1,14 @@
+// Package cracker is the CPU password-cracking engine: it binds the
+// exhaustive-search pattern of internal/core to the key enumeration of
+// internal/keyspace and the optimized hash kernels of internal/hash.
+//
+// This is the "real" counterpart of the paper's GPU kernels — it actually
+// finds preimages, on goroutines instead of CUDA threads, applying the same
+// fine-grain structure: each worker claims an identifier interval, converts
+// the start identifier once with f(id), then walks candidates with the
+// cheap next operator, testing each against a reversal-optimized
+// early-exit kernel.
+//
+// The package supports single targets, multi-target audit sets and salted
+// targets (prefix or suffix salt), for MD5 and SHA1.
+package cracker

@@ -1,0 +1,86 @@
+package cracker
+
+import (
+	"fmt"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+)
+
+// Kernel tests candidate keys against a target. Kernels are stateful and
+// owned by a single worker; Factory functions hand a fresh one to each.
+type Kernel interface {
+	// Test reports whether key hashes to the kernel's target.
+	Test(key []byte) bool
+}
+
+// KernelKind selects the optimization tier, mirroring the ablation levels
+// of Section V of the paper.
+type KernelKind int
+
+const (
+	// KernelOptimized is the full optimization set: packed single-block
+	// keys, target reversal (MD5), hoisted feed-forward and early-exit
+	// comparisons. This is "our approach" in Table VIII.
+	KernelOptimized KernelKind = iota
+	// KernelPlain packs keys into a single block but runs the full hash
+	// per candidate (the BarsWF-without-reversal tier).
+	KernelPlain
+	// KernelNaive rehashes each candidate through the streaming
+	// implementation and compares digests — the completely unoptimized
+	// baseline, analogous to calling a library hash per key.
+	KernelNaive
+)
+
+// String names the kernel kind.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelOptimized:
+		return "optimized"
+	case KernelPlain:
+		return "plain"
+	case KernelNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// NewKernel builds a single-target kernel of the given kind. The target
+// must be a raw digest of the algorithm's size.
+func NewKernel(alg Algorithm, kind KernelKind, target []byte) (Kernel, error) {
+	if len(target) != alg.DigestSize() {
+		return nil, fmt.Errorf("cracker: target length %d, want %d for %s", len(target), alg.DigestSize(), alg)
+	}
+	switch alg {
+	case MD5:
+		var d [md5x.Size]byte
+		copy(d[:], target)
+		s := md5x.NewSearcher(d)
+		switch kind {
+		case KernelOptimized:
+			return kernelFunc(s.Test), nil
+		case KernelPlain:
+			return kernelFunc(s.TestPlain), nil
+		case KernelNaive:
+			return kernelFunc(func(key []byte) bool { return md5x.Sum(key) == d }), nil
+		}
+	case SHA1:
+		var d [sha1x.Size]byte
+		copy(d[:], target)
+		s := sha1x.NewSearcher(d)
+		switch kind {
+		case KernelOptimized:
+			return kernelFunc(s.Test), nil
+		case KernelPlain:
+			return kernelFunc(s.TestPlain), nil
+		case KernelNaive:
+			return kernelFunc(func(key []byte) bool { return sha1x.Sum(key) == d }), nil
+		}
+	}
+	return nil, fmt.Errorf("cracker: unsupported algorithm %v / kind %v", alg, kind)
+}
+
+type kernelFunc func(key []byte) bool
+
+func (f kernelFunc) Test(key []byte) bool { return f(key) }

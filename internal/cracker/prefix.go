@@ -1,0 +1,66 @@
+package cracker
+
+import (
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+)
+
+// prefixThreshold is the salt-prefix length from which the
+// precomputed-state kernels win: at one full block the cached state skips
+// a whole compression per candidate.
+const prefixThreshold = 64
+
+// prefixMD5Kernel handles salted targets whose prefix spans one or more
+// whole hash blocks: the compression of those blocks is computed once and
+// reused for every candidate — the §IV observation that "for longer
+// strings, the intermediate result of the hashing algorithm may be saved
+// and reused for a large number of instances sharing the first bytes of
+// the string; thus, for each key we can process only the last block".
+// The digests are plain value types, so "cloning" the absorbed-prefix
+// state is a struct copy.
+type prefixMD5Kernel struct {
+	base   md5x.Digest // prefix already absorbed
+	suffix []byte
+	target [16]byte
+	buf    []byte
+	work   md5x.Digest
+}
+
+func newPrefixMD5Kernel(target []byte, salt Salt) *prefixMD5Kernel {
+	k := &prefixMD5Kernel{base: *md5x.New(), suffix: salt.Suffix}
+	copy(k.target[:], target)
+	k.base.Write(salt.Prefix)
+	return k
+}
+
+func (k *prefixMD5Kernel) Test(key []byte) bool {
+	k.work = k.base // no re-hashing of the prefix
+	k.work.Write(key)
+	k.work.Write(k.suffix)
+	k.buf = k.work.Sum(k.buf[:0])
+	return string(k.buf) == string(k.target[:])
+}
+
+// prefixSHA1Kernel is the SHA1 twin.
+type prefixSHA1Kernel struct {
+	base   sha1x.Digest
+	suffix []byte
+	target [20]byte
+	buf    []byte
+	work   sha1x.Digest
+}
+
+func newPrefixSHA1Kernel(target []byte, salt Salt) *prefixSHA1Kernel {
+	k := &prefixSHA1Kernel{base: *sha1x.New(), suffix: salt.Suffix}
+	copy(k.target[:], target)
+	k.base.Write(salt.Prefix)
+	return k
+}
+
+func (k *prefixSHA1Kernel) Test(key []byte) bool {
+	k.work = k.base
+	k.work.Write(key)
+	k.work.Write(k.suffix)
+	k.buf = k.work.Sum(k.buf[:0])
+	return string(k.buf) == string(k.target[:])
+}

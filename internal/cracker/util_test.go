@@ -1,0 +1,5 @@
+package cracker
+
+import "math/big"
+
+func bigZero() *big.Int { return new(big.Int) }

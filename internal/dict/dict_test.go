@@ -1,0 +1,149 @@
+package dict
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+func TestRules(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		in   string
+		want string
+	}{
+		{Identity, "Pass", "Pass"},
+		{Capitalize, "pASS", "Pass"},
+		{Upper, "pass1", "PASS1"},
+		{Reverse, "abc", "cba"},
+		{Duplicate, "ab", "abab"},
+		{Leet, "passWord", "p@$$W0rd"},
+	}
+	for _, c := range cases {
+		got := string(c.rule.Apply(nil, []byte(c.in)))
+		if got != c.want {
+			t.Errorf("%s(%q) = %q, want %q", c.rule.Name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("identity, leet ,upper")
+	if err != nil || len(rules) != 3 || rules[1].Name != "leet" {
+		t.Errorf("ParseRules: %v %v", rules, err)
+	}
+	if _, err := ParseRules("bogus"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	def, err := ParseRules("")
+	if err != nil || len(def) != 1 || def[0].Name != "identity" {
+		t.Errorf("default rules: %v %v", def, err)
+	}
+}
+
+func TestSpaceEnumeration(t *testing.T) {
+	s, err := New([]string{"cat", "dog"}, []Rule{Identity, Upper}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size().Int64() != 4 {
+		t.Fatalf("size = %v", s.Size())
+	}
+	want := []string{"cat", "CAT", "dog", "DOG"}
+	for i, w := range want {
+		if got := string(s.Candidate(uint64(i))); got != w {
+			t.Errorf("candidate %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHybridMask(t *testing.T) {
+	digits, err := keyspace.New(keyspace.Digits, 2, 2, keyspace.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New([]string{"pw"}, []Rule{Identity}, digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size().Int64() != 100 {
+		t.Fatalf("size = %v", s.Size())
+	}
+	if got := string(s.Candidate(0)); got != "pw00" {
+		t.Errorf("candidate 0 = %q", got)
+	}
+	if got := string(s.Candidate(99)); got != "pw99" {
+		t.Errorf("candidate 99 = %q", got)
+	}
+}
+
+// TestEnumeratorMatchesSeek: Next must agree with Seek at every id.
+func TestEnumeratorMatchesSeek(t *testing.T) {
+	digits, _ := keyspace.New(keyspace.Digits, 1, 1, keyspace.SuffixMajor)
+	s, err := New([]string{"a", "bc"}, []Rule{Identity, Reverse, Leet}, digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Factory().NewEnumerator()
+	if err := e.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	size := s.Size().Uint64()
+	for i := uint64(0); i < size; i++ {
+		want := s.Candidate(i)
+		if string(e.Candidate()) != string(want) {
+			t.Fatalf("id %d: walk %q, seek %q", i, e.Candidate(), want)
+		}
+		if (i < size-1) != e.Next() {
+			t.Fatalf("Next at %d", i)
+		}
+	}
+}
+
+// TestDictionaryAttackEndToEnd cracks a leeted, digit-suffixed password
+// through the standard core.Search engine.
+func TestDictionaryAttackEndToEnd(t *testing.T) {
+	password := "$3cr3t77" // leet("secret") + "77"
+	target := cracker.MD5.HashKey([]byte(password))
+
+	digits, _ := keyspace.New(keyspace.Digits, 2, 2, keyspace.SuffixMajor)
+	s, err := New([]string{"hello", "secret", "admin"}, []Rule{Identity, Capitalize, Leet}, digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() core.TestFunc {
+		k, _ := cracker.NewKernel(cracker.MD5, cracker.KernelOptimized, target)
+		return k.Test
+	}
+	res, err := core.SearchEach(context.Background(), s.Factory(),
+		keyspace.Interval{Start: new(big.Int), End: s.Size()}, factory,
+		core.Options{Workers: 4, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != password {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Error("empty wordlist accepted")
+	}
+	huge, _ := keyspace.New(keyspace.Alnum, 1, 20, keyspace.SuffixMajor)
+	if _, err := New([]string{"a"}, nil, huge); err == nil {
+		t.Error("oversized mask accepted")
+	}
+}
+
+func TestSeekOutOfRange(t *testing.T) {
+	s, _ := New([]string{"a"}, nil, nil)
+	e := s.Factory().NewEnumerator()
+	if err := e.Seek(big.NewInt(5)); err == nil {
+		t.Error("seek past end accepted")
+	}
+}

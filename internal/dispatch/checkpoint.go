@@ -1,0 +1,94 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+
+	"keysearch/internal/keyspace"
+)
+
+// Checkpoint is a serializable snapshot of a dispatch search: the
+// identifier intervals not yet (or not provably) searched, plus the
+// results so far. §III covers worker failures; a checkpoint extends the
+// fault model to the master itself — persist it and resume in a new
+// process. In-flight chunks are included in Remaining, so a crash between
+// snapshots re-searches at most one round of chunks and never skips keys.
+type Checkpoint struct {
+	Remaining []CheckpointInterval `json:"remaining"`
+	Found     [][]byte             `json:"found,omitempty"`
+	Tested    uint64               `json:"tested"`
+}
+
+// CheckpointInterval is one [Start, End) identifier range, in decimal so
+// that arbitrarily large spaces serialize exactly.
+type CheckpointInterval struct {
+	Start string `json:"start"`
+	End   string `json:"end"`
+}
+
+// RemainingKeys sums the unsearched identifiers.
+func (cp *Checkpoint) RemainingKeys() *big.Int {
+	total := new(big.Int)
+	for _, r := range cp.Remaining {
+		iv, err := r.interval()
+		if err != nil {
+			continue
+		}
+		total.Add(total, iv.Len())
+	}
+	return total
+}
+
+// Done reports whether nothing remains.
+func (cp *Checkpoint) Done() bool { return cp.RemainingKeys().Sign() == 0 }
+
+// Marshal encodes the checkpoint as JSON.
+func (cp *Checkpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+
+// LoadCheckpoint decodes a JSON checkpoint.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("dispatch: bad checkpoint: %w", err)
+	}
+	for _, r := range cp.Remaining {
+		if _, err := r.interval(); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+func (r CheckpointInterval) interval() (keyspace.Interval, error) {
+	start, ok := new(big.Int).SetString(r.Start, 10)
+	if !ok {
+		return keyspace.Interval{}, fmt.Errorf("dispatch: bad interval start %q", r.Start)
+	}
+	end, ok := new(big.Int).SetString(r.End, 10)
+	if !ok {
+		return keyspace.Interval{}, fmt.Errorf("dispatch: bad interval end %q", r.End)
+	}
+	return keyspace.Interval{Start: start, End: end}, nil
+}
+
+func checkpointInterval(iv keyspace.Interval) CheckpointInterval {
+	return CheckpointInterval{Start: iv.Start.String(), End: iv.End.String()}
+}
+
+// snapshot captures the pool plus in-flight chunks.
+func snapshotCheckpoint(work *pool, inflight map[int]keyspace.Interval, rep *Report) *Checkpoint {
+	cp := &Checkpoint{Tested: rep.Tested}
+	for _, f := range rep.Found {
+		cp.Found = append(cp.Found, append([]byte(nil), f...))
+	}
+	work.mu.Lock()
+	for _, iv := range work.ivs {
+		cp.Remaining = append(cp.Remaining, checkpointInterval(iv))
+	}
+	work.mu.Unlock()
+	for _, iv := range inflight {
+		cp.Remaining = append(cp.Remaining, checkpointInterval(iv))
+	}
+	return cp
+}

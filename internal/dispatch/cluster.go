@@ -1,0 +1,434 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+
+	"keysearch/internal/core"
+	"keysearch/internal/sim"
+)
+
+// SimNode models a leaf computing node of the virtual-time cluster: a GPU
+// whose sustained throughput comes from the analytic model.
+type SimNode struct {
+	Name string
+	// Throughput is the sustained key-test rate in keys/s.
+	Throughput float64
+	// Overhead is the fixed cost per dispatched chunk in seconds (kernel
+	// launches, host transfers).
+	Overhead float64
+	// FailAt, when positive, is the virtual time at which the node dies
+	// mid-search (fault-injection experiments).
+	FailAt float64
+	// JoinAt, when positive, is the virtual time at which the node joins
+	// the running cluster (§III: "the proposed pattern can be extended to
+	// a dynamic network that can be configured at runtime"). Until then
+	// the node is online-pending: it blocks nothing and receives nothing.
+	JoinAt float64
+}
+
+// SimTree is a dispatch tree mirroring §III's hierarchical topology: a
+// leaf carries a SimNode, an inner node dispatches to children. Links
+// connect each tree node to its parent.
+type SimTree struct {
+	Name     string
+	Node     *SimNode   // leaf payload (nil for dispatchers)
+	Children []*SimTree // dispatcher payload (empty for leaves)
+	Link     sim.Link   // link to the parent
+	// Overhead is the dispatcher's own per-round bookkeeping in seconds.
+	Overhead float64
+}
+
+// Leaf builds a leaf tree node.
+func Leaf(node SimNode, link sim.Link) *SimTree {
+	n := node
+	return &SimTree{Name: node.Name, Node: &n, Link: link}
+}
+
+// Branch builds a dispatcher tree node.
+func Branch(name string, link sim.Link, children ...*SimTree) *SimTree {
+	return &SimTree{Name: name, Children: children, Link: link, Overhead: 1e-4}
+}
+
+// SumThroughput returns the sum of the leaf throughputs — the "roughly
+// equal to the sum of the throughputs of the single devices" yardstick of
+// Table IX.
+func (t *SimTree) SumThroughput() float64 {
+	if t.Node != nil {
+		return t.Node.Throughput
+	}
+	var s float64
+	for _, c := range t.Children {
+		s += c.SumThroughput()
+	}
+	return s
+}
+
+// Leaves returns the leaf nodes in depth-first order.
+func (t *SimTree) Leaves() []*SimNode {
+	if t.Node != nil {
+		return []*SimNode{t.Node}
+	}
+	var out []*SimNode
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// ClusterOptions tunes the virtual-time cluster run.
+type ClusterOptions struct {
+	// TargetEfficiency sizes the per-node chunks: a node's minimum batch
+	// is what keeps its overhead below (1 - target) of its time. 0 = 0.98.
+	TargetEfficiency float64
+	// RoundScale multiplies chunk sizes (same knob as Options.RoundScale).
+	RoundScale float64
+	// MessageBytes is the size of a work-assignment or result message on
+	// the links (0 = 64; the paper: "only a very small amount of data must
+	// be scattered" — an interval is two integers).
+	MessageBytes int
+	// FailureDetect is the delay before a dead node's unfinished work is
+	// reassigned (0 = 0.5s).
+	FailureDetect float64
+}
+
+// ClusterResult reports a virtual-time cluster search (the Table IX rows).
+type ClusterResult struct {
+	// Keys is the number of key tests completed.
+	Keys float64
+	// SimSeconds is the virtual wall-clock duration.
+	SimSeconds float64
+	// Throughput is Keys / SimSeconds.
+	Throughput float64
+	// SumThroughput is the sum of the per-device sustained throughputs.
+	SumThroughput float64
+	// DispatchEfficiency is Throughput / SumThroughput — what the
+	// coarse-grain dispatch loses on top of the per-device limits.
+	DispatchEfficiency float64
+	// PerNode is the number of keys each leaf tested.
+	PerNode map[string]float64
+	// Failed lists nodes (and exhausted subtrees) that died during the run.
+	Failed []string
+}
+
+// simActor is the runtime state of one tree node within the simulation.
+type simActor struct {
+	tree     *SimTree
+	parent   *simActor
+	children []*simActor
+	tuning   core.Tuning
+	chunk    float64 // chunk size this actor requests from its parent
+
+	// Dispatcher state.
+	pool        float64 // unassigned keys held
+	active      int     // children with an outstanding assignment
+	currentDone func()  // completion callback of the current assignment
+
+	// State as seen by the parent.
+	busy    bool
+	failed  bool
+	offline bool // not yet joined (JoinAt in the future)
+
+	res *ClusterResult
+	opt ClusterOptions
+	eng *sim.Engine
+}
+
+// SimulateCluster runs an exhaustive search of totalKeys key tests over
+// the dispatch tree in virtual time. Nothing is hashed — the simulation
+// models time, work conservation, link traffic and failures; per-node
+// throughputs come from the device model. This is the engine behind the
+// Table IX reproduction and the granularity/fault benchmarks.
+func SimulateCluster(tree *SimTree, totalKeys float64, opt ClusterOptions) (*ClusterResult, error) {
+	if totalKeys <= 0 {
+		return nil, fmt.Errorf("dispatch: totalKeys must be positive")
+	}
+	if opt.TargetEfficiency == 0 {
+		opt.TargetEfficiency = 0.98
+	}
+	if opt.RoundScale == 0 {
+		opt.RoundScale = 1
+	}
+	if opt.MessageBytes == 0 {
+		opt.MessageBytes = 64
+	}
+	if opt.FailureDetect == 0 {
+		opt.FailureDetect = 0.5
+	}
+
+	eng := sim.NewEngine()
+	res := &ClusterResult{
+		SumThroughput: tree.SumThroughput(),
+		PerNode:       make(map[string]float64),
+	}
+
+	root := buildActor(tree, nil, res, opt, eng)
+	root.tune()
+	scheduleJoins(root, eng)
+
+	finished := false
+	root.assign(totalKeys, func() { finished = true })
+	end := eng.Run()
+	if !finished {
+		return nil, fmt.Errorf("dispatch: cluster simulation stalled at t=%.3fs with work outstanding", end)
+	}
+
+	res.SimSeconds = end
+	res.Keys = totalKeys
+	if end > 0 {
+		res.Throughput = totalKeys / end
+	}
+	if res.SumThroughput > 0 {
+		res.DispatchEfficiency = res.Throughput / res.SumThroughput
+	}
+	return res, nil
+}
+
+func buildActor(t *SimTree, parent *simActor, res *ClusterResult, opt ClusterOptions, eng *sim.Engine) *simActor {
+	a := &simActor{tree: t, parent: parent, res: res, opt: opt, eng: eng}
+	if t.Node != nil && t.Node.JoinAt > 0 {
+		a.offline = true
+	}
+	for _, c := range t.Children {
+		a.children = append(a.children, buildActor(c, a, res, opt, eng))
+	}
+	return a
+}
+
+// scheduleJoins arms the join events of late-arriving nodes: at JoinAt the
+// node comes online and its parent immediately rebalances — "executing the
+// above mentioned steps each time the number of depending nodes ... vary".
+func scheduleJoins(a *simActor, eng *sim.Engine) {
+	if a.offline {
+		node := a
+		eng.Schedule(node.tree.Node.JoinAt, func() {
+			node.offline = false
+			if p := node.parent; p != nil {
+				p.distribute()
+				p.maybeFinish()
+			}
+		})
+	}
+	for _, c := range a.children {
+		scheduleJoins(c, eng)
+	}
+}
+
+// tune computes, bottom-up, each actor's tuning (X_j, n_j) and the chunk
+// size it will request: leaves derive n_j from the efficiency target and
+// their fixed overhead, dispatchers aggregate their children per §III.
+func (a *simActor) tune() {
+	if a.tree.Node != nil {
+		n := a.tree.Node
+		// Efficiency e at batch b: (b/X) / (o + b/X) >= e  =>
+		// b >= X·o·e/(1-e), with o covering the chunk overhead plus the
+		// scatter/gather round trip.
+		e := a.opt.TargetEfficiency
+		o := n.Overhead + 2*a.tree.Link.TransferTime(a.opt.MessageBytes)
+		minBatch := n.Throughput * o * e / (1 - e)
+		a.tuning = core.Tuning{MinBatch: uint64(minBatch) + 1, Throughput: n.Throughput}
+		a.chunk = math.Ceil(minBatch+1) * a.opt.RoundScale
+		if a.chunk < 1 {
+			a.chunk = 1
+		}
+		return
+	}
+	ts := make([]core.Tuning, len(a.children))
+	for i, c := range a.children {
+		c.tune()
+		ts[i] = c.tuning
+	}
+	// Children chunks follow the balancing rule N_j = N_max · X_j / X_max.
+	balanced := core.Balance(ts)
+	for i, c := range a.children {
+		c.chunk = float64(balanced[i]) * a.opt.RoundScale
+		if c.chunk < 1 && c.tuning.Throughput > 0 {
+			c.chunk = 1
+		}
+	}
+	a.tuning = core.Aggregate(ts)
+	a.chunk = 0
+	for _, c := range a.children {
+		a.chunk += c.chunk
+	}
+	// The subtree's round must also amortize the dispatcher's own
+	// scatter/gather path, not just the leaves' overheads: grow the
+	// children's chunks proportionally if the sum falls short. This is
+	// §III's observation that N_node "could be arbitrarily increased to
+	// minimize the overhead caused by the dispatch and merge steps".
+	e := a.opt.TargetEfficiency
+	oDisp := a.tree.Overhead + 2*a.tree.Link.TransferTime(a.opt.MessageBytes)
+	minRound := a.tuning.Throughput * oDisp * e / (1 - e)
+	if a.chunk > 0 && a.chunk < minRound {
+		f := minRound / a.chunk
+		for _, c := range a.children {
+			c.chunk *= f
+		}
+		a.chunk = minRound
+	}
+	if a.tuning.MinBatch < uint64(a.chunk) {
+		a.tuning.MinBatch = uint64(a.chunk)
+	}
+}
+
+// assign hands the actor an amount of work; done fires (after the gather
+// message) when it completes. An actor holds at most one assignment.
+func (a *simActor) assign(keys float64, done func()) {
+	if a.tree.Node != nil {
+		a.computeLeaf(keys, done)
+		return
+	}
+	a.pool += keys
+	a.currentDone = done
+	a.distribute()
+	a.maybeFinish()
+}
+
+// distribute scatters one round of pool work across the live children,
+// split proportionally to their tuned throughputs — the paper's rule
+// N_j = N_max · X_j / X_max verbatim. A round is at most the sum of the
+// children's balanced chunks (times RoundScale), so the dispatcher gathers
+// periodically rather than handing out the whole space at once; because
+// the shares are proportional, the children finish together and no
+// straggler tail builds up inside a round.
+func (a *simActor) distribute() {
+	if a.pool <= 0 {
+		return
+	}
+	var liveX, roundCap float64
+	for _, c := range a.children {
+		if c.failed || c.offline || c.tuning.Throughput == 0 {
+			continue
+		}
+		if c.busy {
+			return // a round is in flight; its barrier re-triggers us
+		}
+		liveX += c.tuning.Throughput
+		roundCap += c.chunk
+	}
+	if liveX == 0 {
+		return // no live children; maybeFinish bubbles the pool up
+	}
+	// Absorb small overages into the current round: chunk sizes are
+	// minimums for efficiency, so running a round up to 50% larger is
+	// cheaper than paying a full barrier for the residue afterwards.
+	round := a.pool
+	if round > roundCap*1.5 {
+		round = roundCap
+	}
+	a.pool -= round
+	for _, c := range a.children {
+		if c.failed || c.offline || c.tuning.Throughput == 0 {
+			continue
+		}
+		share := round * c.tuning.Throughput / liveX
+		if share <= 0 {
+			continue
+		}
+		a.active++
+		c.busy = true
+		child := c
+		// Scatter: the assignment crosses the child's link; the child's
+		// completion (gather) fires the callback back here.
+		child.tree.Link.Send(a.eng, a.opt.MessageBytes, func() {
+			child.assign(share, func() {
+				child.busy = false
+				a.active--
+				a.distribute()
+				a.maybeFinish()
+			})
+		})
+	}
+}
+
+// maybeFinish completes the dispatcher's current assignment when the pool
+// is drained and every child is idle. If work remains but every child is
+// dead, the unfinished pool bubbles up to the grandparent — the subtree
+// behaves like one failed node, the recovery for the dispatching-node
+// failure §III warns about.
+func (a *simActor) maybeFinish() {
+	if a.active > 0 || a.currentDone == nil {
+		return
+	}
+	if a.pool > 0 {
+		if !a.allChildrenDead() {
+			return // distribute will drain it
+		}
+		rest := a.pool
+		a.pool = 0
+		a.currentDone = nil
+		if !a.failed {
+			a.failed = true
+			a.res.Failed = append(a.res.Failed, a.tree.Name)
+		}
+		if parent := a.parent; parent != nil {
+			a.tree.Link.Send(a.eng, a.opt.MessageBytes, func() {
+				a.busy = false
+				parent.pool += rest
+				parent.active--
+				parent.distribute()
+				parent.maybeFinish()
+			})
+		}
+		// With no parent (the root) the work is stranded; SimulateCluster
+		// reports the stall.
+		return
+	}
+	finish := a.currentDone
+	a.currentDone = nil
+	// Gather: the dispatcher's bookkeeping overhead plus the completion
+	// message crossing its own link.
+	a.eng.Schedule(a.tree.Overhead, func() {
+		a.tree.Link.Send(a.eng, a.opt.MessageBytes, finish)
+	})
+}
+
+// allChildrenDead reports whether no child can ever take work again.
+// Offline (not-yet-joined) children count as alive: their join event will
+// restart distribution.
+func (a *simActor) allChildrenDead() bool {
+	for _, c := range a.children {
+		if !c.failed && c.tuning.Throughput > 0 {
+			return false
+		}
+	}
+	return len(a.children) > 0
+}
+
+// computeLeaf models a leaf executing a chunk, including mid-chunk death.
+func (a *simActor) computeLeaf(keys float64, done func()) {
+	n := a.tree.Node
+	dur := n.Overhead + keys/n.Throughput
+	start := a.eng.Now()
+	if n.FailAt > 0 && start+dur > n.FailAt {
+		// The node dies mid-chunk: credit the completed fraction, then
+		// after the detection delay the parent reclaims the rest and
+		// excludes the node. In a real run the partially-searched prefix
+		// would be re-searched by the inheritor; the simulation credits it
+		// once and returns only the remainder, keeping conservation exact.
+		healthy := math.Max(0, n.FailAt-start-n.Overhead)
+		did := math.Min(keys, healthy*n.Throughput)
+		rest := keys - did
+		a.res.PerNode[n.Name] += did
+		a.eng.Schedule(math.Max(0, n.FailAt-start)+a.opt.FailureDetect, func() {
+			if !a.failed {
+				a.failed = true
+				a.res.Failed = append(a.res.Failed, n.Name)
+			}
+			a.busy = false
+			if parent := a.parent; parent != nil {
+				parent.pool += rest
+				parent.active--
+				parent.distribute()
+				parent.maybeFinish()
+			}
+		})
+		return
+	}
+	a.eng.Schedule(dur, func() {
+		a.res.PerNode[n.Name] += keys
+		// Gather: the result message crosses the leaf's link back to the
+		// parent, which then marks the leaf idle.
+		a.tree.Link.Send(a.eng, a.opt.MessageBytes, done)
+	})
+}

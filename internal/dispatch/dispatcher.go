@@ -1,0 +1,245 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// MaxSolutions stops the search once this many keys have been found
+	// (0 = exhaust the interval).
+	MaxSolutions int
+	// RoundScale multiplies the balanced per-worker chunk sizes N_j.
+	// Values above 1 reduce dispatch overhead at the cost of a longer
+	// straggler tail; §III notes N could "be arbitrarily increased to
+	// minimize the overhead caused by the dispatch and merge steps".
+	// 0 means 1.
+	RoundScale float64
+	// TargetEfficiency is passed to the tuning step (0 = 0.9).
+	TargetEfficiency float64
+	// MinChunk floors the per-worker chunk size (0 = 1).
+	MinChunk uint64
+	// Progress, when non-nil, is called (serialized) after every gathered
+	// chunk with the cumulative tested count and number of solutions so
+	// far — §III's periodic collection of "a fairly small amount of data
+	// from each device".
+	Progress func(tested uint64, found int)
+	// Checkpoint, when non-nil, receives (serialized) a resumable snapshot
+	// after every gathered chunk; persist the latest one to survive a
+	// master crash and continue with Resume.
+	Checkpoint func(*Checkpoint)
+}
+
+// Dispatcher drives a set of workers over identifier intervals. It
+// implements Worker itself, so dispatchers compose into the arbitrary
+// trees of §III ("in a hierarchical topology, the task will dispatch work
+// to other network's subtrees").
+type Dispatcher struct {
+	name    string
+	workers []Worker
+	opts    Options
+
+	mu      sync.Mutex
+	tunings []core.Tuning
+	tuned   bool
+}
+
+// NewDispatcher builds a dispatcher over the given workers.
+func NewDispatcher(name string, opts Options, workers ...Worker) *Dispatcher {
+	return &Dispatcher{name: name, workers: workers, opts: opts}
+}
+
+// Name identifies the dispatcher.
+func (d *Dispatcher) Name() string { return d.name }
+
+// Workers returns the attached workers.
+func (d *Dispatcher) Workers() []Worker { return d.workers }
+
+// Tune runs the tuning step on every worker concurrently, caches the
+// results and returns the aggregate tuning of the subtree: throughput is
+// the sum of the children's, the minimum batch is the sum of the balanced
+// children batches (§III).
+func (d *Dispatcher) Tune(ctx context.Context) (core.Tuning, error) {
+	d.mu.Lock()
+	if d.tuned {
+		t := core.Aggregate(d.tunings)
+		d.mu.Unlock()
+		return t, nil
+	}
+	d.mu.Unlock()
+
+	tunings := make([]core.Tuning, len(d.workers))
+	errs := make([]error, len(d.workers))
+	var wg sync.WaitGroup
+	for i, w := range d.workers {
+		wg.Add(1)
+		go func(i int, w Worker) {
+			defer wg.Done()
+			tunings[i], errs[i] = w.Tune(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	// A worker that cannot be tuned contributes nothing: zero its tuning
+	// so balancing assigns it no work. Dynamic reconfiguration per §III:
+	// call Retune when the node population changes.
+	for i, err := range errs {
+		if err != nil {
+			tunings[i] = core.Tuning{}
+		}
+	}
+
+	d.mu.Lock()
+	d.tunings = tunings
+	d.tuned = true
+	t := core.Aggregate(tunings)
+	d.mu.Unlock()
+	return t, nil
+}
+
+// Retune clears the cached tunings; the next Search re-runs the tuning
+// step. Call after the worker population or their performance changes
+// (the paper's dynamic-network extension).
+func (d *Dispatcher) Retune() {
+	d.mu.Lock()
+	d.tuned = false
+	d.mu.Unlock()
+}
+
+// Search dispatches the interval across the workers: each worker
+// repeatedly claims a chunk proportional to its tuned throughput and
+// searches it; failed workers are dropped and their unfinished chunks
+// return to the pool. Search satisfies the Worker interface.
+func (d *Dispatcher) Search(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+	return d.searchPool(ctx, newPool(iv), &Report{})
+}
+
+// Resume continues a search from a checkpoint: the remaining intervals
+// become the work pool and the recorded results seed the report.
+func (d *Dispatcher) Resume(ctx context.Context, cp *Checkpoint) (*Report, error) {
+	work := &pool{}
+	for _, r := range cp.Remaining {
+		iv, err := r.interval()
+		if err != nil {
+			return nil, err
+		}
+		work.putBack(iv)
+	}
+	rep := &Report{Tested: cp.Tested}
+	for _, f := range cp.Found {
+		rep.Found = append(rep.Found, append([]byte(nil), f...))
+	}
+	return d.searchPool(ctx, work, rep)
+}
+
+func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*Report, error) {
+	start := time.Now()
+	if _, err := d.Tune(ctx); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	tunings := append([]core.Tuning(nil), d.tunings...)
+	d.mu.Unlock()
+
+	shares := core.Balance(tunings)
+	scale := d.opts.RoundScale
+	if scale == 0 {
+		scale = 1
+	}
+	minChunk := d.opts.MinChunk
+	if minChunk == 0 {
+		minChunk = 1
+	}
+	for i := range shares {
+		shares[i] = uint64(float64(shares[i]) * scale)
+		if shares[i] < minChunk && tunings[i].Throughput > 0 {
+			shares[i] = minChunk
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		errs     []error
+		stopped  bool
+		inflight = make(map[int]keyspace.Interval)
+		tokens   int
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i, w := range d.workers {
+		if shares[i] == 0 {
+			continue // dead or useless worker gets no goroutine
+		}
+		wg.Add(1)
+		go func(i int, w Worker) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				done := stopped
+				mu.Unlock()
+				if done {
+					return
+				}
+				mu.Lock()
+				chunk, ok := work.claim(shares[i])
+				var token int
+				if ok {
+					tokens++
+					token = tokens
+					inflight[token] = chunk
+				}
+				mu.Unlock()
+				if !ok {
+					return
+				}
+				sub, err := w.Search(ctx, chunk)
+				mu.Lock()
+				delete(inflight, token)
+				if err != nil && ctx.Err() == nil {
+					// Worker failed mid-chunk: reclaim the whole chunk so
+					// surviving workers pick it up (§III fault tolerance).
+					// Re-testing a prefix the worker may have covered is
+					// the price of never missing an identifier.
+					errs = append(errs, err)
+					work.putBack(chunk)
+					mu.Unlock()
+					return
+				}
+				if sub != nil {
+					rep.Found = append(rep.Found, sub.Found...)
+					rep.Tested += sub.Tested
+					if d.opts.Progress != nil {
+						d.opts.Progress(rep.Tested, len(rep.Found))
+					}
+					if d.opts.Checkpoint != nil {
+						d.opts.Checkpoint(snapshotCheckpoint(work, inflight, rep))
+					}
+					if d.opts.MaxSolutions > 0 && len(rep.Found) >= d.opts.MaxSolutions {
+						stopped = true
+						cancel()
+					}
+				}
+				mu.Unlock()
+			}
+		}(i, w)
+	}
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	if ctx.Err() != nil && !stopped {
+		return rep, ctx.Err()
+	}
+	if !work.empty() && !stopped {
+		return rep, &errNoWorkers{name: d.name, remaining: work.remaining(), causes: errs}
+	}
+	return rep, nil
+}

@@ -1,0 +1,424 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// recordingWorker tests every id of its chunks into a shared coverage map
+// and "finds" ids from a target set. speed scales its chunk appetite via
+// the reported tuning.
+type recordingWorker struct {
+	name    string
+	speed   float64
+	targets map[uint64]bool
+	cover   *coverage
+	failAt  uint64 // fail after testing this many ids in total (0 = never)
+	tested  uint64
+	delay   time.Duration
+}
+
+type coverage struct {
+	mu     sync.Mutex
+	counts map[uint64]int
+}
+
+func newCoverage() *coverage { return &coverage{counts: make(map[uint64]int)} }
+
+func (c *coverage) hit(id uint64) {
+	c.mu.Lock()
+	c.counts[id]++
+	c.mu.Unlock()
+}
+
+func (w *recordingWorker) Name() string { return w.name }
+
+func (w *recordingWorker) Tune(ctx context.Context) (core.Tuning, error) {
+	return core.Tuning{MinBatch: 10, Throughput: w.speed}, nil
+}
+
+func (w *recordingWorker) Search(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+	rep := &Report{}
+	n, _ := iv.Len64()
+	start := iv.Start.Uint64()
+	for i := uint64(0); i < n; i++ {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		if w.failAt > 0 && w.tested >= w.failAt {
+			return rep, errors.New(w.name + " crashed")
+		}
+		id := start + i
+		w.cover.hit(id)
+		w.tested++
+		rep.Tested++
+		if w.targets[id] {
+			rep.Found = append(rep.Found, []byte(fmt.Sprintf("id:%d", id)))
+		}
+	}
+	if w.delay > 0 {
+		time.Sleep(w.delay)
+	}
+	return rep, nil
+}
+
+func TestDispatcherCoversExactlyOnce(t *testing.T) {
+	cover := newCoverage()
+	targets := map[uint64]bool{123: true, 4567: true}
+	d := NewDispatcher("root", Options{},
+		&recordingWorker{name: "fast", speed: 100, cover: cover, targets: targets},
+		&recordingWorker{name: "slow", speed: 10, cover: cover, targets: targets},
+	)
+	iv := keyspace.NewInterval(0, 10000)
+	rep, err := d.Search(context.Background(), iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tested != 10000 {
+		t.Errorf("tested %d, want 10000", rep.Tested)
+	}
+	if len(rep.Found) != 2 {
+		t.Errorf("found %q", rep.Found)
+	}
+	for id := uint64(0); id < 10000; id++ {
+		if cover.counts[id] != 1 {
+			t.Fatalf("id %d covered %d times", id, cover.counts[id])
+		}
+	}
+}
+
+// TestDispatcherBalancesByThroughput: chunk sizes must follow the tuned
+// throughputs, so the fast worker tests roughly 10x the ids of the slow
+// one when both pace their chunks identically in wall time.
+func TestDispatcherBalancesByThroughput(t *testing.T) {
+	cover := newCoverage()
+	fast := &recordingWorker{name: "fast", speed: 1000, cover: cover, delay: time.Millisecond}
+	slow := &recordingWorker{name: "slow", speed: 100, cover: cover, delay: time.Millisecond}
+	d := NewDispatcher("root", Options{}, fast, slow)
+	if _, err := d.Search(context.Background(), keyspace.NewInterval(0, 50000)); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(fast.tested) / float64(slow.tested+1)
+	if ratio < 4 {
+		t.Errorf("fast/slow tested ratio = %.1f (%d vs %d), want >= 4",
+			ratio, fast.tested, slow.tested)
+	}
+}
+
+// TestDispatcherFaultTolerance: a worker that crashes mid-search must not
+// lose coverage — its chunks are re-dispatched to the survivor.
+func TestDispatcherFaultTolerance(t *testing.T) {
+	cover := newCoverage()
+	flaky := &recordingWorker{name: "flaky", speed: 100, cover: cover, failAt: 500}
+	steady := &recordingWorker{name: "steady", speed: 100, cover: cover}
+	d := NewDispatcher("root", Options{}, flaky, steady)
+	rep, err := d.Search(context.Background(), keyspace.NewInterval(0, 5000))
+	if err != nil {
+		t.Fatalf("search failed despite a survivor: %v", err)
+	}
+	for id := uint64(0); id < 5000; id++ {
+		if cover.counts[id] < 1 {
+			t.Fatalf("id %d never covered after failure", id)
+		}
+	}
+	if rep.Tested < 5000 {
+		t.Errorf("tested %d, want >= 5000", rep.Tested)
+	}
+}
+
+// TestDispatcherAllWorkersFail: with no survivors the search must report
+// the unsearched remainder.
+func TestDispatcherAllWorkersFail(t *testing.T) {
+	cover := newCoverage()
+	d := NewDispatcher("root", Options{},
+		&recordingWorker{name: "f1", speed: 100, cover: cover, failAt: 100},
+		&recordingWorker{name: "f2", speed: 100, cover: cover, failAt: 100},
+	)
+	_, err := d.Search(context.Background(), keyspace.NewInterval(0, 100000))
+	if err == nil {
+		t.Fatal("want error when every worker fails")
+	}
+	var nw *errNoWorkers
+	if !errors.As(err, &nw) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if nw.remaining == 0 {
+		t.Error("remaining should be non-zero")
+	}
+}
+
+// TestDispatcherHierarchy composes dispatchers two levels deep, mirroring
+// the paper's A -> (B, C), C -> D topology.
+func TestDispatcherHierarchy(t *testing.T) {
+	cover := newCoverage()
+	mk := func(name string, speed float64) *recordingWorker {
+		return &recordingWorker{name: name, speed: speed, cover: cover}
+	}
+	nodeD := NewDispatcher("node-D", Options{}, mk("8800", 480))
+	nodeC := NewDispatcher("node-C", Options{}, mk("8600M", 71), nodeD)
+	nodeB := NewDispatcher("node-B", Options{}, mk("660", 1841), mk("550Ti", 654))
+	root := NewDispatcher("node-A", Options{}, mk("540M", 214), nodeB, nodeC)
+
+	rep, err := root.Search(context.Background(), keyspace.NewInterval(0, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tested != 30000 {
+		t.Errorf("tested %d, want 30000", rep.Tested)
+	}
+	for id := uint64(0); id < 30000; id++ {
+		if cover.counts[id] != 1 {
+			t.Fatalf("id %d covered %d times", id, cover.counts[id])
+		}
+	}
+	// The aggregate tuning must report the summed throughput.
+	agg, err := root.Tune(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 214.0 + 1841 + 654 + 71 + 480
+	if agg.Throughput != want {
+		t.Errorf("aggregate throughput = %v, want %v", agg.Throughput, want)
+	}
+}
+
+func TestDispatcherMaxSolutions(t *testing.T) {
+	cover := newCoverage()
+	targets := make(map[uint64]bool)
+	for id := uint64(0); id < 1000; id += 10 {
+		targets[id] = true
+	}
+	w := &recordingWorker{name: "w", speed: 100, cover: cover, targets: targets}
+	d := NewDispatcher("root", Options{MaxSolutions: 3, MinChunk: 50}, w)
+	rep, err := d.Search(context.Background(), keyspace.NewInterval(0, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Found) < 3 {
+		t.Errorf("found %d, want >= 3", len(rep.Found))
+	}
+	if rep.Tested >= 1_000_000 {
+		t.Error("early stop did not stop")
+	}
+}
+
+func TestDispatcherContextCancel(t *testing.T) {
+	cover := newCoverage()
+	w := &recordingWorker{name: "w", speed: 100, cover: cover, delay: 5 * time.Millisecond}
+	d := NewDispatcher("root", Options{MinChunk: 10}, w)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := d.Search(ctx, keyspace.NewInterval(0, 1_000_000_000))
+	if err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestDispatcherRetune(t *testing.T) {
+	calls := 0
+	w := &FuncWorker{
+		WorkerName: "w",
+		TuneFunc: func(ctx context.Context) (core.Tuning, error) {
+			calls++
+			return core.Tuning{MinBatch: 1, Throughput: 10}, nil
+		},
+		SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+			n, _ := iv.Len64()
+			return &Report{Tested: n}, nil
+		},
+	}
+	d := NewDispatcher("root", Options{}, w)
+	if _, err := d.Tune(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tune(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("tune calls = %d, want 1 (cached)", calls)
+	}
+	d.Retune()
+	if _, err := d.Tune(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("tune calls after Retune = %d, want 2", calls)
+	}
+}
+
+func TestDispatcherUntunableWorkerGetsNoWork(t *testing.T) {
+	cover := newCoverage()
+	broken := &FuncWorker{
+		WorkerName: "broken",
+		TuneFunc: func(ctx context.Context) (core.Tuning, error) {
+			return core.Tuning{}, errors.New("no device")
+		},
+		SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+			t.Error("broken worker must not receive work")
+			return &Report{}, nil
+		},
+	}
+	good := &recordingWorker{name: "good", speed: 10, cover: cover}
+	d := NewDispatcher("root", Options{}, broken, good)
+	rep, err := d.Search(context.Background(), keyspace.NewInterval(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tested != 1000 {
+		t.Errorf("tested %d", rep.Tested)
+	}
+}
+
+func TestPoolClaimPutBack(t *testing.T) {
+	p := newPool(keyspace.NewInterval(0, 100))
+	a, ok := p.claim(30)
+	if !ok || a.Len().Int64() != 30 {
+		t.Fatalf("claim: %v %v", a, ok)
+	}
+	p.putBack(a)
+	total := uint64(0)
+	for {
+		c, ok := p.claim(7)
+		if !ok {
+			break
+		}
+		n, _ := c.Len64()
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("reclaimed %d, want 100", total)
+	}
+	if !p.empty() || p.remaining() != 0 {
+		t.Error("pool should be empty")
+	}
+	p.putBack(keyspace.Interval{Start: big.NewInt(5), End: big.NewInt(5)})
+	if !p.empty() {
+		t.Error("empty interval must not refill the pool")
+	}
+}
+
+func TestDispatcherProgress(t *testing.T) {
+	cover := newCoverage()
+	var calls int
+	var last uint64
+	d := NewDispatcher("root", Options{
+		MinChunk: 100,
+		Progress: func(tested uint64, found int) { calls++; last = tested },
+	}, &recordingWorker{name: "w", speed: 100, cover: cover})
+	rep, err := d.Search(context.Background(), keyspace.NewInterval(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress never called")
+	}
+	if last != rep.Tested {
+		t.Errorf("last progress %d != final tested %d", last, rep.Tested)
+	}
+}
+
+// TestCheckpointResume simulates a master crash: a search is cancelled
+// mid-run, the latest checkpoint is serialized and reloaded, and a fresh
+// dispatcher resumes it. Every identifier must end up covered at least
+// once and the final report must account for the whole interval.
+func TestCheckpointResume(t *testing.T) {
+	cover := newCoverage()
+	const total = 20000
+
+	var lastCP []byte
+	var cpMu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	d1 := NewDispatcher("run1", Options{
+		MinChunk: 500,
+		Checkpoint: func(cp *Checkpoint) {
+			data, err := cp.Marshal()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cpMu.Lock()
+			lastCP = data
+			cpMu.Unlock()
+			// Crash after a few chunks.
+			if cp.Tested >= 2000 {
+				cancel()
+			}
+		},
+	}, &recordingWorker{name: "w1", speed: 100, cover: cover, delay: time.Millisecond})
+	_, err := d1.Search(ctx, keyspace.NewInterval(0, total))
+	if err == nil {
+		t.Fatal("expected cancellation")
+	}
+	cpMu.Lock()
+	data := lastCP
+	cpMu.Unlock()
+	if data == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	cp, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Done() {
+		t.Fatal("checkpoint claims completion")
+	}
+	if cp.RemainingKeys().Int64() >= total {
+		t.Error("checkpoint shows no progress")
+	}
+
+	// Fresh "process": new dispatcher, new worker.
+	d2 := NewDispatcher("run2", Options{MinChunk: 500},
+		&recordingWorker{name: "w2", speed: 100, cover: cover})
+	rep, err := d2.Resume(context.Background(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < total; id++ {
+		if cover.counts[id] < 1 {
+			t.Fatalf("id %d never covered across crash/resume", id)
+		}
+	}
+	if rep.Tested < total {
+		t.Errorf("final tested %d < %d", rep.Tested, total)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Remaining: []CheckpointInterval{
+			{Start: "0", End: "1000"},
+			{Start: "123456789012345678901234567890", End: "123456789012345678901234567899"},
+		},
+		Found:  [][]byte{[]byte("abc")},
+		Tested: 42,
+	}
+	data, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tested != 42 || len(back.Found) != 1 || string(back.Found[0]) != "abc" {
+		t.Errorf("round trip: %+v", back)
+	}
+	if back.RemainingKeys().Int64() != 1009 {
+		t.Errorf("remaining = %v, want 1009", back.RemainingKeys())
+	}
+	if _, err := LoadCheckpoint([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadCheckpoint([]byte(`{"remaining":[{"start":"x","end":"1"}]}`)); err == nil {
+		t.Error("bad big int accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package dispatch
+
+import (
+	"context"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+// LocalWorker runs a cracking job on local goroutines — the in-process
+// leaf node of a dispatch tree. Its Tune actually searches increasing
+// batches of the job's space and fits the latency/throughput model, the
+// honest version of the paper's tuning step.
+type LocalWorker struct {
+	name    string
+	job     *cracker.Job
+	workers int
+	tuneCfg core.TuneOptions
+}
+
+// NewLocalWorker wraps a cracking job as a dispatch worker. workers is the
+// goroutine count (0 = NumCPU).
+func NewLocalWorker(name string, job *cracker.Job, workers int) *LocalWorker {
+	return &LocalWorker{
+		name:    name,
+		job:     job,
+		workers: workers,
+		tuneCfg: core.TuneOptions{Start: 4096, TargetEfficiency: 0.9},
+	}
+}
+
+// Name identifies the worker.
+func (w *LocalWorker) Name() string { return w.name }
+
+// Tune benchmarks the local engine with doubling batches.
+func (w *LocalWorker) Tune(ctx context.Context) (core.Tuning, error) {
+	factory, err := w.job.TestFactory()
+	if err != nil {
+		return core.Tuning{}, err
+	}
+	size, ok := w.job.Space.Size64()
+	if !ok {
+		size = 1 << 62
+	}
+	bench := func(n uint64) time.Duration {
+		if n > size {
+			n = size
+		}
+		start := time.Now()
+		iv := keyspace.Interval{Start: bigZero(), End: bigUint(n)}
+		if _, err := core.SearchEach(ctx, core.KeyspaceFactory(w.job.Space), iv, factory,
+			core.Options{Workers: w.workers}); err != nil {
+			return time.Hour // poison on error/cancel: tuning stops growing
+		}
+		return time.Since(start)
+	}
+	cfg := w.tuneCfg
+	cfg.MaxBatch = size
+	return core.Tune(bench, cfg), nil
+}
+
+// Search exhausts the interval, returning every match (the dispatcher
+// layer owns early stopping).
+func (w *LocalWorker) Search(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+	start := time.Now()
+	res, err := cracker.CrackAll(ctx, w.job, iv, core.Options{Workers: w.workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Found: res.Solutions, Tested: res.Tested, Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,41 @@
+package dispatch
+
+import (
+	"keysearch/internal/arch"
+	"keysearch/internal/sim"
+)
+
+// PCIe is the link between a host dispatcher and a GPU plugged into it:
+// negligible latency at this scale, generous bandwidth.
+func PCIe() sim.Link { return sim.Link{Latency: 10e-6, Bandwidth: 4e9} }
+
+// GPUChunkOverhead is the fixed per-chunk cost of driving one GPU: kernel
+// launches, argument upload, result read-back (matches
+// gpu.DefaultOverhead).
+const GPUChunkOverhead = 2e-3
+
+// PaperNetwork builds the evaluation network of Section VI-A:
+//
+//   - Node A holds a GeForce GT 540M and dispatches to nodes B and C;
+//   - Node B holds a GeForce GTX 660 and a GeForce GTX 550 Ti;
+//   - Node C holds a GeForce 8600M GT and dispatches to node D;
+//   - Node D holds a GeForce 8800 GTS 512.
+//
+// The paper chose this deliberately unbalanced, heterogeneous tree "to
+// demonstrate the system flexibility". throughput maps each device to its
+// sustained key rate (e.g. model.Achieved over the compiled kernel).
+func PaperNetwork(throughput func(dev arch.Device) float64) *SimTree {
+	lan := sim.LAN()
+	gpu := func(dev arch.Device) *SimTree {
+		return Leaf(SimNode{
+			Name:       dev.Name,
+			Throughput: throughput(dev),
+			Overhead:   GPUChunkOverhead,
+		}, PCIe())
+	}
+	nodeD := Branch("node-D", lan, gpu(arch.GeForce8800GTS))
+	nodeC := Branch("node-C", lan, gpu(arch.GeForce8600MGT), nodeD)
+	nodeB := Branch("node-B", lan, gpu(arch.GeForceGTX660), gpu(arch.GeForceGTX550Ti))
+	// Node A is the root: its own GPU attaches locally, B and C over LAN.
+	return Branch("node-A", sim.Link{}, gpu(arch.GeForceGT540M), nodeB, nodeC)
+}

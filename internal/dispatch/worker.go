@@ -1,0 +1,162 @@
+// Package dispatch implements the coarse-grain half of the paper's
+// pattern (Section III): a hierarchical dispatcher that tunes its workers,
+// balances identifier intervals proportionally to measured throughput
+// (N_j = N_max · X_j / X_max), scatters work, gathers results, survives
+// worker failures by reclaiming unfinished intervals, and composes into
+// trees (a Dispatcher is itself a Worker).
+//
+// Two executions are provided: the concurrent dispatcher in this file and
+// dispatcher.go drives real workers (in-process CPU crackers, TCP-attached
+// nodes) in wall-clock time; cluster.go drives modeled GPU nodes in
+// virtual time on the discrete-event engine, which is how the paper-scale
+// Table IX network is reproduced.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// Report accumulates the outcome of a (sub)search.
+type Report struct {
+	// Found lists matching keys.
+	Found [][]byte
+	// Tested is the number of candidates evaluated.
+	Tested uint64
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// Throughput returns the observed rate in keys/s.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tested) / r.Elapsed.Seconds()
+}
+
+// Worker is a computing resource the dispatcher can drive: a local CPU
+// engine, a simulated GPU, a TCP-attached remote node, or another
+// Dispatcher (hierarchical composition).
+type Worker interface {
+	// Name identifies the worker in diagnostics.
+	Name() string
+	// Tune runs the paper's tuning step: estimate the worker's peak
+	// throughput X_j and minimum efficient batch n_j.
+	Tune(ctx context.Context) (core.Tuning, error)
+	// Search evaluates the candidates of the identifier interval and
+	// returns what it found. Implementations must test every identifier
+	// of the interval unless the context is cancelled.
+	Search(ctx context.Context, iv keyspace.Interval) (*Report, error)
+}
+
+// FuncWorker adapts closures to the Worker interface (used heavily by
+// tests and the simulated-GPU adapter).
+type FuncWorker struct {
+	WorkerName string
+	TuneFunc   func(ctx context.Context) (core.Tuning, error)
+	SearchFunc func(ctx context.Context, iv keyspace.Interval) (*Report, error)
+}
+
+// Name identifies the worker.
+func (w *FuncWorker) Name() string { return w.WorkerName }
+
+// Tune delegates to TuneFunc.
+func (w *FuncWorker) Tune(ctx context.Context) (core.Tuning, error) { return w.TuneFunc(ctx) }
+
+// Search delegates to SearchFunc.
+func (w *FuncWorker) Search(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+	return w.SearchFunc(ctx, iv)
+}
+
+// pool is the shared work queue: a list of disjoint identifier intervals
+// still to be searched. Failed workers' unfinished intervals return here,
+// which is the fault-tolerance story of §III.
+type pool struct {
+	mu    sync.Mutex
+	ivs   []keyspace.Interval
+	total uint64 // identifiers currently in the pool (diagnostics)
+}
+
+func newPool(iv keyspace.Interval) *pool {
+	p := &pool{}
+	if !iv.Empty() {
+		n, _ := iv.Len64()
+		p.ivs = []keyspace.Interval{iv.Clone()}
+		p.total = n
+	}
+	return p
+}
+
+// claim removes and returns up to n identifiers from the pool.
+func (p *pool) claim(n uint64) (keyspace.Interval, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ivs) == 0 || n == 0 {
+		return keyspace.Interval{}, false
+	}
+	head, tail := p.ivs[0].Take(new(big.Int).SetUint64(n))
+	if tail.Empty() {
+		p.ivs = p.ivs[1:]
+	} else {
+		p.ivs[0] = tail
+	}
+	got, _ := head.Len64()
+	p.total -= got
+	return head, !head.Empty()
+}
+
+// putBack returns an unfinished interval to the pool.
+func (p *pool) putBack(iv keyspace.Interval) {
+	if iv.Empty() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ivs = append(p.ivs, iv.Clone())
+	n, _ := iv.Len64()
+	p.total += n
+}
+
+// empty reports whether no work remains.
+func (p *pool) empty() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ivs) == 0
+}
+
+// remaining returns the number of unclaimed identifiers.
+func (p *pool) remaining() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// errNoWorkers reports a search that ran out of live workers.
+type errNoWorkers struct {
+	name      string
+	remaining uint64
+	causes    []error
+}
+
+func (e *errNoWorkers) Error() string {
+	return fmt.Sprintf("dispatch %s: all workers failed with %d identifiers unsearched (first cause: %v)",
+		e.name, e.remaining, firstErr(e.causes))
+}
+
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}
+
+func bigZero() *big.Int { return new(big.Int) }
+
+func bigUint(n uint64) *big.Int { return new(big.Int).SetUint64(n) }

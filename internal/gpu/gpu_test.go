@@ -1,0 +1,370 @@
+package gpu
+
+import (
+	"context"
+	"crypto/md5"
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/kernel"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/model"
+)
+
+func md5Program(t testing.TB, key string, cc arch.CC, optimized bool) (*kernel.Program, [16]uint32) {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte(key), &block); err != nil {
+		t.Fatal(err)
+	}
+	target := md5x.StateWords(md5.Sum([]byte(key)))
+	src := kernel.BuildMD5(kernel.MD5Config{
+		Template: block, Target: target, Reversal: optimized, EarlyExit: optimized,
+	})
+	return compile.Compile(src, compile.DefaultOptions(cc)).Program, block
+}
+
+// TestWarpMatchesScalar: warp-wide execution agrees with the scalar
+// reference interpreter on every lane.
+func TestWarpMatchesScalar(t *testing.T) {
+	prog, block := md5Program(t, "Key4SUFF", arch.CC30, true)
+	interp := NewWarpInterp()
+	rng := rand.New(rand.NewSource(1))
+	var inputs [1][arch.WarpSize]uint32
+	for lane := 0; lane < arch.WarpSize; lane++ {
+		inputs[0][lane] = rng.Uint32()
+	}
+	inputs[0][7] = block[0] // one matching lane
+	res, err := interp.Run(prog, inputs[:], FullMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < arch.WarpSize; lane++ {
+		want := kernel.Match(prog, inputs[0][lane])
+		if res.Survivors.Lane(lane) != want {
+			t.Errorf("lane %d: survivor=%v, scalar=%v", lane, res.Survivors.Lane(lane), want)
+		}
+	}
+	if res.Survivors.Count() != 1 {
+		t.Errorf("survivors = %d, want 1", res.Survivors.Count())
+	}
+}
+
+// TestWarpEarlyExitSavesWork: a warp of all-mismatching lanes must execute
+// fewer instructions on the early-exit kernel than the full kernel.
+func TestWarpEarlyExitSavesWork(t *testing.T) {
+	early, _ := md5Program(t, "Key4SUFF", arch.CC30, true)
+	full, _ := md5Program(t, "Key4SUFF", arch.CC30, false)
+	interp := NewWarpInterp()
+	var inputs [1][arch.WarpSize]uint32
+	for lane := range inputs[0] {
+		inputs[0][lane] = uint32(lane) * 977
+	}
+	re, err := interp.Run(early, inputs[:], FullMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := interp.Run(full, inputs[:], FullMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Executed >= rf.Executed {
+		t.Errorf("early-exit executed %d, full %d", re.Executed, rf.Executed)
+	}
+	// The early-exit kernel stops right after the first failed check: the
+	// executed count must be below ~96% of its static size.
+	if float64(re.Executed) > 0.97*float64(len(early.Instrs)) {
+		t.Errorf("early exit did not cut execution: %d of %d", re.Executed, len(early.Instrs))
+	}
+}
+
+func TestWarpPartialMask(t *testing.T) {
+	prog, block := md5Program(t, "Key4SUFF", arch.CC21, true)
+	interp := NewWarpInterp()
+	var inputs [1][arch.WarpSize]uint32
+	inputs[0][0] = block[0]
+	inputs[0][1] = block[0]
+	res, err := interp.Run(prog, inputs[:], LaneMask(0b01)) // only lane 0 active
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Survivors.Lane(0) || res.Survivors.Lane(1) {
+		t.Errorf("survivors = %032b", res.Survivors)
+	}
+}
+
+func TestWarpInputMismatch(t *testing.T) {
+	prog, _ := md5Program(t, "Key4", arch.CC30, true)
+	if _, err := NewWarpInterp().Run(prog, nil, FullMask); err == nil {
+		t.Error("want error for missing inputs")
+	}
+}
+
+// TestSimulateMPAgainstModel: the cycle-level simulator must land near the
+// analytic achieved model on each architecture for the optimized kernel.
+func TestSimulateMPAgainstModel(t *testing.T) {
+	for _, cc := range []arch.CC{arch.CC1x, arch.CC20, arch.CC21, arch.CC30} {
+		prog, _ := md5Program(t, "Key4SUFF", cc, true)
+		sim, err := SimulateMP(prog, cc, arch.Spec(cc).MaxResidentWarps, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", cc, err)
+		}
+		prof := model.Profile{Counts: prog.CountClasses(), DualIssue: prog.DualIssueFraction(), Streams: 1}
+		want := model.CyclesAchieved(cc, prof, model.AchievedOptions{ILP: -1})
+		got := sim.CyclesPerCandidate(1)
+		// The cycle simulator adds latency bubbles and port conflicts the
+		// closed-form model idealizes away; it may only be slower. The
+		// slack is architecture-dependent: worst on cc2.0, where all
+		// shifts contend with scheduler-0's additions for core group 0
+		// (the paper measured no cc2.0 device, so there is no ground
+		// truth to calibrate against; see EXPERIMENTS.md).
+		hi := 1.7
+		if cc == arch.CC20 {
+			hi = 2.1
+		}
+		if got < want*0.95 || got > want*hi {
+			t.Errorf("%v: simulated %.1f cycles/hash, analytic %.1f", cc, got, want)
+		}
+	}
+}
+
+// TestSimulatedFermiStarvation: on cc2.1 the simulated cycles per hash
+// must exceed the theoretical bound noticeably (the unused-group effect),
+// while on cc3.0 they must be close to it.
+func TestSimulatedFermiStarvation(t *testing.T) {
+	progF, _ := md5Program(t, "Key4SUFF", arch.CC21, true)
+	simF, err := SimulateMP(progF, arch.CC21, 48, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profF := model.Profile{Counts: progF.CountClasses(), DualIssue: progF.DualIssueFraction(), Streams: 1}
+	theoF := model.CyclesTheoretical(arch.CC21, profF)
+	fermiWaste := simF.CyclesPerCandidate(1) / theoF
+	if fermiWaste < 1.3 {
+		t.Errorf("cc2.1: simulated %.1f vs theoretical %.1f — expected ILP starvation",
+			simF.CyclesPerCandidate(1), theoF)
+	}
+
+	progK, _ := md5Program(t, "Key4SUFF", arch.CC30, true)
+	simK, err := SimulateMP(progK, arch.CC30, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profK := model.Profile{Counts: progK.CountClasses(), DualIssue: progK.DualIssueFraction(), Streams: 1}
+	theoK := model.CyclesTheoretical(arch.CC30, profK)
+	keplerWaste := simK.CyclesPerCandidate(1) / theoK
+	if keplerWaste > 1.5 {
+		t.Errorf("cc3.0: simulated %.1f vs theoretical %.1f — Kepler should be near peak",
+			simK.CyclesPerCandidate(1), theoK)
+	}
+	// Fermi wastes relatively more than Kepler — the paper's central
+	// per-architecture efficiency contrast.
+	if fermiWaste <= keplerWaste {
+		t.Errorf("cc2.1 waste %.2f not above cc3.0 waste %.2f", fermiWaste, keplerWaste)
+	}
+}
+
+func TestSimulateMPErrors(t *testing.T) {
+	prog, _ := md5Program(t, "Key4", arch.CC30, true)
+	if _, err := SimulateMP(prog, arch.CC30, 0, 1); err == nil {
+		t.Error("want error for zero warps")
+	}
+}
+
+// TestEngineCracks runs the full simulated-GPU search end to end on every
+// catalog device.
+func TestEngineCracks(t *testing.T) {
+	space, err := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	password := []byte("gpu")
+	md5Target := md5.Sum(password)
+	sha1Target := sha1.Sum(password)
+
+	for _, dev := range []arch.Device{arch.GeForceGTX660, arch.GeForceGT540M, arch.GeForce8600MGT} {
+		e := NewEngine(dev)
+		res, err := e.SearchWhole(context.Background(), space, MD5, md5Target[:], Config{Optimized: true})
+		if err != nil {
+			t.Fatalf("%s md5: %v", dev.Name, err)
+		}
+		if len(res.Found) != 1 || string(res.Found[0]) != "gpu" {
+			t.Errorf("%s md5: found %q", dev.Name, res.Found)
+		}
+		size, _ := space.Size64()
+		if res.Tested != size {
+			t.Errorf("%s tested %d of %d", dev.Name, res.Tested, size)
+		}
+		if res.SimSeconds <= 0 || res.Throughput <= 0 {
+			t.Errorf("%s: bad timing %+v", dev.Name, res)
+		}
+
+		res1, err := e.SearchWhole(context.Background(), space, SHA1, sha1Target[:], Config{Optimized: true})
+		if err != nil {
+			t.Fatalf("%s sha1: %v", dev.Name, err)
+		}
+		if len(res1.Found) != 1 || string(res1.Found[0]) != "gpu" {
+			t.Errorf("%s sha1: found %q", dev.Name, res1.Found)
+		}
+	}
+}
+
+// TestEngineRecompilesPerRun: suffix runs keep the compiled kernel; the
+// recompile count must be the number of template changes, not candidates.
+func TestEngineRecompiles(t *testing.T) {
+	space, err := keyspace.New(keyspace.Lower, 5, 5, keyspace.PrefixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(arch.GeForceGTX660)
+	target := md5.Sum([]byte("zzzzz"))
+	// First 26^4 ids share the 5th character 'a': one template.
+	iv := keyspace.NewInterval(0, 26*26*26*26+10)
+	res, err := e.Search(context.Background(), space, MD5, target[:], iv, Config{Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recompiles != 2 {
+		t.Errorf("recompiles = %d, want 2 (one per suffix run)", res.Recompiles)
+	}
+}
+
+func TestEngineThroughputOrdering(t *testing.T) {
+	// Modeled throughput must order the devices as Table VIII does:
+	// 660 > 550Ti > 8800 > 540M > 8600M for MD5.
+	names := []arch.Device{arch.GeForceGTX660, arch.GeForceGTX550Ti, arch.GeForce8800GTS, arch.GeForceGT540M, arch.GeForce8600MGT}
+	prev := 1e18
+	for _, dev := range names {
+		x := NewEngine(dev).ModelThroughput(MD5, Config{Optimized: true})
+		if x >= prev {
+			t.Errorf("%s throughput %.0f not below previous %.0f", dev.Name, x/1e6, prev/1e6)
+		}
+		prev = x
+	}
+}
+
+func TestEngineRejectsBadInput(t *testing.T) {
+	e := NewEngine(arch.GeForceGTX660)
+	suffix, _ := keyspace.New(keyspace.Lower, 1, 2, keyspace.SuffixMajor)
+	target := md5.Sum([]byte("xx"))
+	if _, err := e.SearchWhole(context.Background(), suffix, MD5, target[:], Config{}); err == nil {
+		t.Error("suffix-major space: want error")
+	}
+	prefix, _ := keyspace.New(keyspace.Lower, 1, 2, keyspace.PrefixMajor)
+	if _, err := e.SearchWhole(context.Background(), prefix, MD5, []byte("short"), Config{}); err == nil {
+		t.Error("bad target length: want error")
+	}
+	if _, err := e.SearchWhole(context.Background(), prefix, SHA1, target[:], Config{}); err == nil {
+		t.Error("md5-sized target for sha1: want error")
+	}
+}
+
+// TestEngineEfficiencyCurve: the estimate must show the paper's efficiency
+// behaviour — tiny batches dominated by overhead, large batches approaching
+// peak throughput.
+func TestEngineEfficiencyCurve(t *testing.T) {
+	e := NewEngine(arch.GeForceGTX660)
+	cfg := Config{Optimized: true}
+	x := e.ModelThroughput(MD5, cfg)
+	small := e.EstimateSeconds(MD5, cfg, 1000)
+	if eff := 1000 / x / small; eff > 0.1 {
+		t.Errorf("small-batch efficiency = %.3f, want < 0.1", eff)
+	}
+	big := e.EstimateSeconds(MD5, cfg, 10_000_000_000)
+	if eff := 10_000_000_000 / x / big; eff < 0.9 {
+		t.Errorf("large-batch efficiency = %.3f, want > 0.9", eff)
+	}
+}
+
+func TestLaneMask(t *testing.T) {
+	if FullMask.Count() != 32 {
+		t.Error("FullMask count")
+	}
+	m := LaneMask(0b1010)
+	if m.Count() != 2 || !m.Lane(1) || m.Lane(0) {
+		t.Error("LaneMask ops wrong")
+	}
+}
+
+// TestEngineLaunchSplitting models the §IV watchdog workaround: capping
+// keys per launch multiplies the dispatch overhead but changes nothing
+// functionally.
+func TestEngineLaunchSplitting(t *testing.T) {
+	space, err := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := md5.Sum([]byte("gpu"))
+	e := NewEngine(arch.GeForceGTX660)
+
+	one, err := e.SearchWhole(context.Background(), space, MD5, target[:], Config{Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Launches != 1 {
+		t.Errorf("default launches = %d, want 1 for a tiny space", one.Launches)
+	}
+	split, err := e.SearchWhole(context.Background(), space, MD5, target[:],
+		Config{Optimized: true, MaxKeysPerLaunch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := space.Size64()
+	wantLaunches := int((size + 999) / 1000)
+	if split.Launches != wantLaunches {
+		t.Errorf("launches = %d, want %d", split.Launches, wantLaunches)
+	}
+	if split.SimSeconds <= one.SimSeconds {
+		t.Error("splitting into many launches should cost simulated time")
+	}
+	if len(split.Found) != 1 || string(split.Found[0]) != "gpu" {
+		t.Errorf("split search found %q", split.Found)
+	}
+}
+
+// TestNodeSplitsAcrossDevices models the paper's node B: two GPUs behind
+// one host, interval split by modeled throughput, concurrent completion.
+func TestNodeSplitsAcrossDevices(t *testing.T) {
+	e660 := NewEngine(arch.GeForceGTX660)
+	e550 := NewEngine(arch.GeForceGTX550Ti)
+	node, err := NewNode("node-B", e660, e550)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := md5.Sum([]byte("two"))
+	cfg := Config{Optimized: true}
+	res, err := node.Search(context.Background(), space, MD5, target[:], space.Whole(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Found) != 1 || string(res.Found[0]) != "two" {
+		t.Errorf("found %q", res.Found)
+	}
+	size, _ := space.Size64()
+	if res.Tested != size {
+		t.Errorf("tested %d of %d", res.Tested, size)
+	}
+	// The node's time must be the max of the devices', and with balanced
+	// shares it must be well below what one device alone would need.
+	solo, err := e550.SearchWhole(context.Background(), space, MD5, target[:], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimSeconds >= solo.SimSeconds {
+		t.Errorf("node time %.4fs not below slow-device-alone %.4fs", res.SimSeconds, solo.SimSeconds)
+	}
+	if got, want := res.Throughput, e660.ModelThroughput(MD5, cfg)+e550.ModelThroughput(MD5, cfg); got != want {
+		t.Errorf("node throughput %v, want %v", got, want)
+	}
+	if _, err := NewNode("empty"); err == nil {
+		t.Error("empty node accepted")
+	}
+}

@@ -1,0 +1,259 @@
+package gpu
+
+import (
+	"fmt"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/kernel"
+)
+
+// MPSimResult reports a cycle-level simulation of one multiprocessor.
+type MPSimResult struct {
+	Cycles       int     // total cycles simulated
+	Issued       int     // warp instructions issued
+	DualIssued   int     // warp instructions issued as the second of a pair
+	Completed    int     // program executions completed
+	CyclesPerRun float64 // average cycles per program execution
+}
+
+// DualIssueRate returns the fraction of instructions issued in the second
+// slot of a dual-issue pair — the quantity the paper read from the CUDA
+// profiler.
+func (r MPSimResult) DualIssueRate() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.DualIssued) / float64(r.Issued)
+}
+
+// CyclesPerCandidate converts the per-run cost to a per-candidate cost:
+// one program run evaluates WarpSize lanes times `streams` interleaved
+// candidates per lane. This is the unit the analytic model
+// (model.CyclesAchieved) speaks.
+func (r MPSimResult) CyclesPerCandidate(streams int) float64 {
+	if streams <= 0 {
+		streams = 1
+	}
+	return r.CyclesPerRun / float64(arch.WarpSize*streams)
+}
+
+type instrMeta struct {
+	class      kernel.Class
+	srcA, srcB int // defining instruction index within the program, -1 if none
+}
+
+type simWarp struct {
+	pc    int
+	iter  int
+	ready []int // completion cycle per instruction index of the current run
+}
+
+// mpSim carries the mutable simulation state.
+type mpSim struct {
+	prog       *kernel.Program
+	metas      []instrMeta
+	spec       arch.MPSpec
+	cc         arch.CC
+	groupFree  []int // first free cycle per core group
+	restricted int   // the shift/MAD group index
+}
+
+// SimulateMP runs a cycle-level scoreboard simulation of one
+// multiprocessor executing prog repeatedly on `warps` resident warps,
+// `iters` iterations each. It models the Table I geometry: per-scheduler
+// warp ownership, core groups with per-class restrictions, issue time,
+// dual issue of independent consecutive instructions, and pipeline
+// latency.
+//
+// Scheduling constraints (the microarchitectural reading of Section V):
+//
+//   - each warp belongs to scheduler (warp mod schedulers);
+//   - on cc2.x a scheduler single-issues additions/logicals only to its
+//     affine core group; the second instruction of a dual-issue pair may
+//     use any free group — this is why cc2.1 "leaves a group of cores
+//     unused most of the time" when a kernel has no ILP;
+//   - shift/MAD/PRMT instructions execute only on the restricted group
+//     (group 0 on cc1.x/2.x, the dedicated last group on cc3.x);
+//   - a core group accepts one warp instruction per IssueTime cycles;
+//   - a result becomes readable PipelineLatency cycles after issue.
+func SimulateMP(prog *kernel.Program, cc arch.CC, warps, iters int) (MPSimResult, error) {
+	if warps <= 0 || iters <= 0 {
+		return MPSimResult{}, fmt.Errorf("gpu: bad simulation size warps=%d iters=%d", warps, iters)
+	}
+	spec := arch.Spec(cc)
+	if warps > spec.MaxResidentWarps {
+		warps = spec.MaxResidentWarps
+	}
+
+	sim := &mpSim{prog: prog, spec: spec, cc: cc, groupFree: make([]int, spec.CoreGroups)}
+	if cc == arch.CC30 || cc == arch.CC35 {
+		sim.restricted = spec.CoreGroups - 1
+	}
+	defOf := make(map[int]int)
+	sim.metas = make([]instrMeta, len(prog.Instrs))
+	for i, in := range prog.Instrs {
+		m := instrMeta{class: in.Op.Classify(), srcA: -1, srcB: -1}
+		if !in.A.IsImm {
+			if d, ok := defOf[in.A.Reg]; ok {
+				m.srcA = d
+			}
+		}
+		if !in.B.IsImm {
+			if d, ok := defOf[in.B.Reg]; ok {
+				m.srcB = d
+			}
+		}
+		sim.metas[i] = m
+		if in.Op != kernel.OpExitNE && in.Dst >= 0 {
+			defOf[in.Dst] = i
+		}
+	}
+
+	ws := make([]*simWarp, warps)
+	for i := range ws {
+		ws[i] = &simWarp{ready: make([]int, len(prog.Instrs))}
+	}
+	// Static warp-to-scheduler ownership: warp w belongs to scheduler
+	// w mod schedulers.
+	owned := make([][]*simWarp, spec.WarpSchedulers)
+	for w, st := range ws {
+		s := w % spec.WarpSchedulers
+		owned[s] = append(owned[s], st)
+	}
+
+	res := MPSimResult{}
+	total := warps * iters
+	cycle := 0
+	maxCycles := 1 << 26 // runaway guard
+	for res.Completed < total && cycle < maxCycles {
+		for s := 0; s < spec.WarpSchedulers; s++ {
+			var first *simWarp
+			if len(owned[s]) == 0 {
+				continue
+			}
+			start := cycle % len(owned[s]) // rotate for fairness
+			for k := range owned[s] {
+				st := owned[s][(start+k)%len(owned[s])]
+				if st.iter >= iters || st.pc >= len(prog.Instrs) {
+					continue
+				}
+				if sim.tryIssue(st, cycle, s, false) {
+					res.Issued++
+					first = st
+					break
+				}
+			}
+			if first != nil && spec.DualIssue && first.pc < len(prog.Instrs) {
+				prev := first.pc - 1
+				m := sim.metas[first.pc]
+				if m.srcA != prev && m.srcB != prev {
+					if sim.tryIssue(first, cycle, s, true) {
+						res.Issued++
+						res.DualIssued++
+					}
+				}
+			}
+		}
+		for _, st := range ws {
+			if st.iter < iters && st.pc >= len(prog.Instrs) {
+				// The warp's last result must be complete before the next
+				// program run starts (the next candidate's first step
+				// consumes fresh state).
+				done := 0
+				if n := len(st.ready); n > 0 {
+					done = st.ready[n-1]
+				}
+				if done <= cycle {
+					st.pc = 0
+					st.iter++
+					res.Completed++
+					for i := range st.ready {
+						st.ready[i] = 0
+					}
+				}
+			}
+		}
+		cycle++
+	}
+	if res.Completed < total {
+		return res, fmt.Errorf("gpu: simulation did not converge after %d cycles", cycle)
+	}
+	res.Cycles = cycle
+	// Multiprocessor-wide: all warps run concurrently, so the sustained
+	// cost of one program execution is total cycles over total runs.
+	res.CyclesPerRun = float64(cycle) / float64(total)
+	return res, nil
+}
+
+// tryIssue attempts to issue warp st's next instruction at cycle on
+// scheduler sched (dualSlot marks the second slot of a pair). On success
+// the warp advances and the core group is reserved.
+func (sim *mpSim) tryIssue(st *simWarp, cycle, sched int, dualSlot bool) bool {
+	in := sim.prog.Instrs[st.pc]
+	m := sim.metas[st.pc]
+	// Operand readiness (scoreboard).
+	if m.srcA >= 0 && st.ready[m.srcA] > cycle {
+		return false
+	}
+	if m.srcB >= 0 && st.ready[m.srcB] > cycle {
+		return false
+	}
+	// Exit checks consume an issue slot but no core group (they retire in
+	// the branch unit); model them as latency-1 issues.
+	if in.Op == kernel.OpExitNE {
+		st.ready[st.pc] = cycle + 1
+		st.pc++
+		return true
+	}
+	g, ok := sim.pickGroup(m.class, sched, dualSlot, cycle)
+	if !ok {
+		return false
+	}
+	sim.groupFree[g] = cycle + sim.spec.IssueTime
+	st.ready[st.pc] = cycle + sim.spec.PipelineLatency
+	st.pc++
+	return true
+}
+
+// pickGroup finds a free core group allowed for the class/slot.
+func (sim *mpSim) pickGroup(c kernel.Class, sched int, dualSlot bool, cycle int) (int, bool) {
+	free := func(g int) bool { return sim.groupFree[g] <= cycle }
+	switch c {
+	case kernel.ClassShift, kernel.ClassMAD, kernel.ClassPerm:
+		if free(sim.restricted) {
+			return sim.restricted, true
+		}
+		return 0, false
+	case kernel.ClassNone, kernel.ClassControl:
+		return 0, true // should not reach here; exits handled earlier
+	}
+	// Additions / logicals.
+	if sim.cc == arch.CC30 || sim.cc == arch.CC35 {
+		for g := 0; g < sim.spec.CoreGroups-1; g++ {
+			if free(g) {
+				return g, true
+			}
+		}
+		return 0, false
+	}
+	if sim.cc == arch.CC1x {
+		if free(0) {
+			return 0, true
+		}
+		return 0, false
+	}
+	// cc2.x: affine group for the first slot, any group for the second.
+	if dualSlot {
+		for g := 0; g < sim.spec.CoreGroups; g++ {
+			if free(g) {
+				return g, true
+			}
+		}
+		return 0, false
+	}
+	g := sched % sim.spec.CoreGroups
+	if free(g) {
+		return g, true
+	}
+	return 0, false
+}

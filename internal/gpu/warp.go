@@ -1,0 +1,127 @@
+// Package gpu simulates a CUDA-class SIMT device well enough to run the
+// compiled search kernels of internal/compile: a functional warp
+// interpreter (lanes, exit masks), a cycle-level multiprocessor simulator
+// (warp schedulers, core groups, dual issue, scoreboarding) that validates
+// the analytic model of internal/model, and a device-level search engine
+// that actually finds keys while accounting simulated time.
+//
+// This package is the substitution for the paper's physical GPUs (see
+// DESIGN.md §2): the same kernels, the same per-architecture lowering, the
+// same scheduling constraints — interpreted instead of executed.
+package gpu
+
+import (
+	"fmt"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/kernel"
+)
+
+// LaneMask is a bitmask over the 32 lanes of a warp.
+type LaneMask uint32
+
+// FullMask has every lane alive.
+const FullMask = LaneMask(0xffffffff)
+
+// Count returns the number of set lanes.
+func (m LaneMask) Count() int {
+	n := 0
+	for v := uint32(m); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Lane reports whether lane i is set.
+func (m LaneMask) Lane(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// WarpResult reports one warp execution.
+type WarpResult struct {
+	// Survivors has a bit set for each lane that passed every exit check.
+	Survivors LaneMask
+	// Executed counts warp instructions actually issued (an instruction
+	// executes while at least one lane is alive — the SIMT early-exit
+	// saving).
+	Executed int
+	// ExecutedByClass breaks Executed down per instruction class.
+	ExecutedByClass kernel.Counts
+	// Outputs holds per-lane values of the program outputs (nil when the
+	// program has none).
+	Outputs [][arch.WarpSize]uint32
+}
+
+// WarpInterp executes programs warp-wide. It reuses its register file
+// across calls; one WarpInterp per goroutine.
+type WarpInterp struct {
+	regs [][arch.WarpSize]uint32
+}
+
+// NewWarpInterp returns an interpreter.
+func NewWarpInterp() *WarpInterp { return &WarpInterp{} }
+
+// Run executes prog over a warp whose lane inputs are given per input
+// register: inputs[i][lane] is input register i of that lane. Lanes whose
+// active bit is clear in activeIn never run (partial warps at the tail of
+// an interval).
+func (w *WarpInterp) Run(prog *kernel.Program, inputs [][arch.WarpSize]uint32, activeIn LaneMask) (WarpResult, error) {
+	if len(inputs) != prog.NumInputs {
+		return WarpResult{}, fmt.Errorf("gpu: program %s wants %d inputs, got %d", prog.Name, prog.NumInputs, len(inputs))
+	}
+	if cap(w.regs) < prog.NumRegs {
+		w.regs = make([][arch.WarpSize]uint32, prog.NumRegs)
+	}
+	regs := w.regs[:prog.NumRegs]
+	for i := range inputs {
+		regs[i] = inputs[i]
+	}
+
+	res := WarpResult{Survivors: activeIn, ExecutedByClass: make(kernel.Counts)}
+	alive := activeIn
+
+	for _, in := range prog.Instrs {
+		if alive == 0 {
+			break // whole warp exited: SIMT branches around the rest
+		}
+		res.Executed++
+		res.ExecutedByClass[in.Op.Classify()]++
+
+		if in.Op == kernel.OpExitNE {
+			for lane := 0; lane < arch.WarpSize; lane++ {
+				if !alive.Lane(lane) {
+					continue
+				}
+				a := readLane(regs, in.A, lane)
+				b := readLane(regs, in.B, lane)
+				if a != b {
+					alive &^= 1 << uint(lane)
+				}
+			}
+			continue
+		}
+
+		dst := &regs[in.Dst]
+		for lane := 0; lane < arch.WarpSize; lane++ {
+			// Arithmetic on dead lanes is harmless (predicated off in
+			// hardware); computing it unconditionally is faster here.
+			a := readLane(regs, in.A, lane)
+			b := readLane(regs, in.B, lane)
+			dst[lane] = kernel.Eval(in.Op, a, b, in.Sh)
+		}
+	}
+
+	res.Survivors = alive
+	if len(prog.Outputs) > 0 {
+		res.Outputs = make([][arch.WarpSize]uint32, len(prog.Outputs))
+		for i, r := range prog.Outputs {
+			res.Outputs[i] = regs[r]
+		}
+	}
+	return res, nil
+}
+
+func readLane(regs [][arch.WarpSize]uint32, o kernel.Operand, lane int) uint32 {
+	if o.IsImm {
+		return o.Imm
+	}
+	return regs[o.Reg][lane]
+}

@@ -1,0 +1,115 @@
+package md5x
+
+import "encoding/binary"
+
+// Digest is a streaming MD5 computation implementing hash.Hash semantics
+// (Write never fails, Sum appends, Reset restarts). The zero value must be
+// Reset before use; New returns one ready to go.
+type Digest struct {
+	state [4]uint32
+	buf   [BlockSize]byte
+	n     int    // bytes buffered in buf
+	len   uint64 // total message length in bytes
+}
+
+// New returns a reset Digest.
+func New() *Digest {
+	d := new(Digest)
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial state.
+func (d *Digest) Reset() {
+	d.state = iv
+	d.n = 0
+	d.len = 0
+}
+
+// Size returns the digest length in bytes.
+func (d *Digest) Size() int { return Size }
+
+// BlockSize returns the block length in bytes.
+func (d *Digest) BlockSize() int { return BlockSize }
+
+// Write absorbs p into the digest. It never returns an error.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.n > 0 {
+		c := copy(d.buf[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == BlockSize {
+			d.compressBuf()
+			d.n = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		var block [16]uint32
+		for i := range block {
+			block[i] = binary.LittleEndian.Uint32(p[4*i:])
+		}
+		Compress(&d.state, &block)
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+func (d *Digest) compressBuf() {
+	var block [16]uint32
+	for i := range block {
+		block[i] = binary.LittleEndian.Uint32(d.buf[4*i:])
+	}
+	Compress(&d.state, &block)
+}
+
+// Sum appends the digest of the data written so far to b and returns the
+// extended slice. It does not change the underlying state.
+func (d *Digest) Sum(b []byte) []byte {
+	var out [Size]byte
+	d.sumInto(&out)
+	return append(b, out[:]...)
+}
+
+func (d *Digest) sumInto(out *[Size]byte) {
+	tmp := *d // copy so Sum is non-destructive
+	// Padding: 0x80, zeros to 56 mod 64, then the bit length little-endian.
+	tmp.buf[tmp.n] = 0x80
+	for i := tmp.n + 1; i < BlockSize; i++ {
+		tmp.buf[i] = 0
+	}
+	if tmp.n >= 56 {
+		tmp.compressBuf()
+		for i := range tmp.buf {
+			tmp.buf[i] = 0
+		}
+	}
+	binary.LittleEndian.PutUint64(tmp.buf[56:], tmp.len<<3)
+	tmp.compressBuf()
+	for i, s := range tmp.state {
+		binary.LittleEndian.PutUint32(out[4*i:], s)
+	}
+}
+
+// StateWords decodes a 16-byte digest into the four little-endian state
+// words (the representation the search kernels compare against).
+func StateWords(digest [Size]byte) [4]uint32 {
+	var w [4]uint32
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint32(digest[4*i:])
+	}
+	return w
+}
+
+// DigestBytes encodes four state words as a 16-byte digest.
+func DigestBytes(w [4]uint32) [Size]byte {
+	var out [Size]byte
+	for i := range w {
+		binary.LittleEndian.PutUint32(out[4*i:], w[i])
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package md5x
+
+import (
+	"bytes"
+	"crypto/md5"
+	"testing"
+)
+
+// FuzzPackedDigest cross-checks the packed single-block path against
+// crypto/md5 for arbitrary short keys and verifies unpack round trips.
+func FuzzPackedDigest(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("Key4SUFF"))
+	f.Add(bytes.Repeat([]byte{0xff}, 55))
+	f.Fuzz(func(t *testing.T, key []byte) {
+		if len(key) > MaxSingleBlockKey {
+			key = key[:MaxSingleBlockKey]
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatal(err)
+		}
+		if got := UnpackKey(nil, &block); !bytes.Equal(got, key) {
+			t.Fatalf("unpack = %x, want %x", got, key)
+		}
+		got := DigestBytes(SumPacked(&block))
+		want := md5.Sum(key)
+		if got != want {
+			t.Fatalf("packed digest %x, want %x", got, want)
+		}
+		// The searcher built on this target must accept exactly this key.
+		s := NewSearcher(want)
+		if !s.Test(key) {
+			t.Fatal("searcher rejected its own key")
+		}
+	})
+}
+
+// FuzzStreamingMatchesStdlib checks the multi-block streaming path.
+func FuzzStreamingMatchesStdlib(f *testing.F) {
+	f.Add([]byte("hello"), 3)
+	f.Add(bytes.Repeat([]byte("x"), 200), 64)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		want := md5.Sum(data)
+		if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Fatalf("streamed %x, want %x", got, want)
+		}
+	})
+}

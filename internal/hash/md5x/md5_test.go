@@ -1,0 +1,174 @@
+package md5x
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRFC1321Vectors checks the appendix A.5 test suite of RFC 1321.
+func TestRFC1321Vectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"", "d41d8cd98f00b204e9800998ecf8427e"},
+		{"a", "0cc175b9c0f1b6a831c399e269772661"},
+		{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+		{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+		{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+			"d174ab98d277d9f5a5611c2c9f419d9f"},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+			"57edf4a22be3c955ac49da2e2107b67a"},
+	}
+	for _, v := range vectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+// TestDifferentialAgainstStdlib fuzzes our implementation against
+// crypto/md5 over random lengths, including multi-block messages and
+// block-boundary cases.
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300)
+		switch i {
+		case 0:
+			n = 55
+		case 1:
+			n = 56
+		case 2:
+			n = 63
+		case 3:
+			n = 64
+		case 4:
+			n = 65
+		case 5:
+			n = 119
+		case 6:
+			n = 128
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		got := Sum(data)
+		want := md5.Sum(data)
+		if got != want {
+			t.Fatalf("len %d: got %x, want %x", n, got, want)
+		}
+	}
+}
+
+// TestStreamingWriteChunks verifies that arbitrary Write segmentation does
+// not change the digest.
+func TestStreamingWriteChunks(t *testing.T) {
+	data := make([]byte, 1000)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(data)
+	want := Sum(data)
+
+	d := New()
+	rest := data
+	for len(rest) > 0 {
+		n := rng.Intn(100) + 1
+		if n > len(rest) {
+			n = len(rest)
+		}
+		d.Write(rest[:n])
+		rest = rest[n:]
+	}
+	got := d.Sum(nil)
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("chunked = %x, want %x", got, want)
+	}
+	// Sum must be non-destructive.
+	if again := d.Sum(nil); !bytes.Equal(again, want[:]) {
+		t.Errorf("second Sum = %x, want %x", again, want)
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("after reset: %x, want %x", got, want)
+	}
+	if d.Size() != 16 || d.BlockSize() != 64 {
+		t.Error("Size/BlockSize wrong")
+	}
+}
+
+func TestStateWordsRoundTrip(t *testing.T) {
+	sum := Sum([]byte("roundtrip"))
+	if DigestBytes(StateWords(sum)) != sum {
+		t.Error("StateWords/DigestBytes not inverse")
+	}
+}
+
+// TestMsgIndex verifies the round permutations and the property the
+// reversal trick depends on: m[0] is read by steps 0, 19, 41, 48 only.
+func TestMsgIndex(t *testing.T) {
+	var uses []int
+	for i := 0; i < 64; i++ {
+		if MsgIndex(i) == 0 {
+			uses = append(uses, i)
+		}
+	}
+	want := []int{0, 19, 41, 48}
+	if len(uses) != 4 {
+		t.Fatalf("m[0] used at %v", uses)
+	}
+	for k := range want {
+		if uses[k] != want[k] {
+			t.Fatalf("m[0] used at %v, want %v", uses, want)
+		}
+	}
+	// Each round reads every message word exactly once.
+	for round := 0; round < 4; round++ {
+		var seen [16]bool
+		for i := 16 * round; i < 16*(round+1); i++ {
+			g := MsgIndex(i)
+			if seen[g] {
+				t.Fatalf("round %d reads m[%d] twice", round, g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+// TestInvStepInvertsStep is the round-trip property of the reversal.
+func TestInvStepInvertsStep(t *testing.T) {
+	f := func(i8 uint8, a, b, c, d, m uint32) bool {
+		i := int(i8) % 64
+		na, nb, nc, nd := Step(i, a, b, c, d, m)
+		pa, pb, pc, pd := InvStep(i, na, nb, nc, nd, m)
+		return pa == a && pb == b && pc == c && pd == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepMatchesCompress(t *testing.T) {
+	var block [16]uint32
+	rng := rand.New(rand.NewSource(3))
+	for i := range block {
+		block[i] = rng.Uint32()
+	}
+	a, b, c, d := iv[0], iv[1], iv[2], iv[3]
+	for i := 0; i < 64; i++ {
+		a, b, c, d = Step(i, a, b, c, d, block[MsgIndex(i)])
+	}
+	state := iv
+	Compress(&state, &block)
+	if state[0] != iv[0]+a || state[1] != iv[1]+b || state[2] != iv[2]+c || state[3] != iv[3]+d {
+		t.Error("Step-by-step walk disagrees with Compress")
+	}
+}

@@ -1,0 +1,51 @@
+package md5x
+
+import "fmt"
+
+// MaxSingleBlockKey is the longest key that fits a single MD5/SHA1 block
+// after padding: 64 bytes minus 1 pad byte minus 8 length bytes.
+const MaxSingleBlockKey = 55
+
+// PackKey encodes a key of at most 55 bytes as a single padded MD5 block of
+// 16 little-endian words: the key bytes, a 0x80 terminator, zeros, and the
+// bit length in word 14. This is the packed-uint32 representation the
+// paper's GPU kernel keeps in registers (Section IV-A): strings are aligned
+// to integer boundaries and padded with the EOF byte.
+func PackKey(key []byte, block *[16]uint32) error {
+	if len(key) > MaxSingleBlockKey {
+		return fmt.Errorf("md5x: key length %d exceeds single block limit %d", len(key), MaxSingleBlockKey)
+	}
+	*block = [16]uint32{}
+	for i, b := range key {
+		block[i/4] |= uint32(b) << (8 * uint(i%4))
+	}
+	block[len(key)/4] |= 0x80 << (8 * uint(len(key)%4))
+	block[14] = uint32(len(key)) << 3
+	return nil
+}
+
+// PackedLen returns the key length encoded in a packed block.
+func PackedLen(block *[16]uint32) int { return int(block[14] >> 3) }
+
+// UnpackKey decodes the key bytes from a packed block, appending to dst.
+func UnpackKey(dst []byte, block *[16]uint32) []byte {
+	n := PackedLen(block)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(block[i/4]>>(8*uint(i%4))))
+	}
+	return dst
+}
+
+// SumPacked computes the MD5 state words of a packed single-block key.
+func SumPacked(block *[16]uint32) [4]uint32 {
+	state := iv
+	Compress(&state, block)
+	return state
+}
+
+// SetWord0Bytes overwrites the first four key bytes of a packed block.
+// It is the mutation a reversal-optimized thread applies per candidate:
+// everything else in the block stays constant.
+func SetWord0Bytes(block *[16]uint32, b0, b1, b2, b3 byte) {
+	block[0] = uint32(b0) | uint32(b1)<<8 | uint32(b2)<<16 | uint32(b3)<<24
+}

@@ -1,0 +1,65 @@
+package md5x
+
+import (
+	"crypto/md5"
+	"math/rand"
+	"testing"
+)
+
+// TestPackKeyMatchesPadding checks that compressing a packed key block
+// yields exactly the standard MD5 digest, for every single-block length.
+func TestPackKeyMatchesPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= MaxSingleBlockKey; n++ {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(rng.Intn(256))
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatalf("PackKey len %d: %v", n, err)
+		}
+		got := DigestBytes(SumPacked(&block))
+		want := md5.Sum(key)
+		if got != want {
+			t.Fatalf("len %d: packed digest %x, want %x", n, got, want)
+		}
+	}
+}
+
+func TestPackKeyTooLong(t *testing.T) {
+	var block [16]uint32
+	if err := PackKey(make([]byte, 56), &block); err == nil {
+		t.Error("want error for 56-byte key")
+	}
+}
+
+func TestPackedLenAndUnpack(t *testing.T) {
+	key := []byte("S3cret!")
+	var block [16]uint32
+	if err := PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	if PackedLen(&block) != len(key) {
+		t.Errorf("PackedLen = %d, want %d", PackedLen(&block), len(key))
+	}
+	if got := UnpackKey(nil, &block); string(got) != string(key) {
+		t.Errorf("UnpackKey = %q", got)
+	}
+}
+
+func TestSetWord0Bytes(t *testing.T) {
+	var block [16]uint32
+	if err := PackKey([]byte("abcdWXYZ"), &block); err != nil {
+		t.Fatal(err)
+	}
+	SetWord0Bytes(&block, 'e', 'f', 'g', 'h')
+	if got := UnpackKey(nil, &block); string(got) != "efghWXYZ" {
+		t.Errorf("after SetWord0Bytes: %q", got)
+	}
+	got := DigestBytes(SumPacked(&block))
+	want := md5.Sum([]byte("efghWXYZ"))
+	if got != want {
+		t.Errorf("digest %x, want %x", got, want)
+	}
+}

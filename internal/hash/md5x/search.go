@@ -1,0 +1,148 @@
+package md5x
+
+import "math/bits"
+
+// ReverseSteps is the number of trailing MD5 steps that never read message
+// word m[0] and can therefore be inverted once per candidate run instead of
+// executed once per candidate (Section V of the paper; the trick originates
+// in the BarsWF cracker).
+const ReverseSteps = 15
+
+// ForwardSteps is the number of steps a reversal-optimized candidate test
+// executes: 64 total minus the 15 reversed ones.
+const ForwardSteps = 64 - ReverseSteps
+
+// ReverseContext holds the target digest reversed through the last 15 MD5
+// steps for a fixed message template. Only message word 0 may vary between
+// candidates; words 1..15 (key suffix, padding, length) are baked in.
+//
+// A ReverseContext is not safe for concurrent use; each worker owns one.
+type ReverseContext struct {
+	block [16]uint32 // message template; word 0 is overwritten per test
+	rev   [4]uint32  // register file after step 48, derived from the target
+}
+
+// NewReverseContext builds a reversal context for the given target state
+// words (little-endian decoding of the digest) and message template.
+// Word 0 of the template is ignored.
+func NewReverseContext(target [4]uint32, template *[16]uint32) *ReverseContext {
+	r := &ReverseContext{block: *template}
+	// Undo the final feed-forward addition of the IV...
+	a := target[0] - iv[0]
+	b := target[1] - iv[1]
+	c := target[2] - iv[2]
+	d := target[3] - iv[3]
+	// ...then invert steps 63 down to 49. None of them reads m[0]
+	// (MsgIndex(i) != 0 for i in [49,63]); step 48 is the first that does.
+	for i := 63; i >= 64-ReverseSteps; i-- {
+		a, b, c, d = InvStep(i, a, b, c, d, r.block[MsgIndex(i)])
+	}
+	r.rev = [4]uint32{a, b, c, d}
+	return r
+}
+
+// Reversed returns the register file after step 48 implied by the target.
+func (r *ReverseContext) Reversed() [4]uint32 { return r.rev }
+
+// Test reports whether the key whose packed word 0 is m0 (and whose words
+// 1..15 match the template) hashes to the target. It executes at most 49
+// forward steps, with early-exit comparisons after steps 45, 46, 47 and 48:
+// each of those steps produces one register of the meet-in-the-middle state,
+// so a mismatching candidate usually dies after 46 steps.
+func (r *ReverseContext) Test(m0 uint32) bool {
+	m := &r.block
+	m[0] = m0
+	a, b, c, d := iv[0], iv[1], iv[2], iv[3]
+
+	for i := 0; i < 16; i++ {
+		t := a + fF(b, c, d) + m[i] + T[i]
+		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
+	}
+	for i := 16; i < 32; i++ {
+		t := a + fG(b, c, d) + m[(5*i+1)%16] + T[i]
+		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
+	}
+	for i := 32; i < 46; i++ {
+		t := a + fH(b, c, d) + m[(3*i+5)%16] + T[i]
+		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
+	}
+	// After step 45 the b register equals the A component of the state
+	// after step 48 (it is shifted B->C->D->A by the next three steps).
+	if b != r.rev[0] {
+		return false
+	}
+	for i := 46; i < 48; i++ {
+		t := a + fH(b, c, d) + m[(3*i+5)%16] + T[i]
+		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
+		// Step 46 produces the D component, step 47 the C component.
+		if b != r.rev[49-i] {
+			return false
+		}
+	}
+	// Step 48 (the only late step reading m[0]) produces the B component.
+	t := a + fI(b, c, d) + m[0] + T[48]
+	b = b + bits.RotateLeft32(t, int(shifts[48]))
+	return b == r.rev[1]
+}
+
+// Searcher tests candidate keys against a fixed MD5 target, transparently
+// maintaining a ReverseContext across candidates that share the same packed
+// suffix (words 1..15). With the prefix-major enumeration order of the
+// paper's equation (4), the context is rebuilt only once every N^4
+// candidates. Not safe for concurrent use.
+type Searcher struct {
+	target  [4]uint32
+	scratch [16]uint32
+	rev     *ReverseContext
+	haveCtx bool
+}
+
+// NewSearcher builds a searcher for a raw 16-byte MD5 digest.
+func NewSearcher(digest [Size]byte) *Searcher {
+	return &Searcher{target: StateWords(digest)}
+}
+
+// NewSearcherWords builds a searcher from pre-decoded state words.
+func NewSearcherWords(target [4]uint32) *Searcher {
+	return &Searcher{target: target}
+}
+
+// Test reports whether key hashes to the target. Keys longer than 55 bytes
+// fall back to the streaming implementation.
+func (s *Searcher) Test(key []byte) bool {
+	if len(key) > MaxSingleBlockKey {
+		sum := Sum(key)
+		return StateWords(sum) == s.target
+	}
+	if err := PackKey(key, &s.scratch); err != nil {
+		return false
+	}
+	if !s.haveCtx || !sameSuffix(&s.rev.block, &s.scratch) {
+		s.rev = NewReverseContext(s.target, &s.scratch)
+		s.haveCtx = true
+	}
+	return s.rev.Test(s.scratch[0])
+}
+
+// TestPlain is the unoptimized baseline: full 64-step hash plus digest
+// comparison, no reversal, no early exit. It exists for the ablation
+// benchmarks of DESIGN.md (§5.2).
+func (s *Searcher) TestPlain(key []byte) bool {
+	if len(key) > MaxSingleBlockKey {
+		sum := Sum(key)
+		return StateWords(sum) == s.target
+	}
+	if err := PackKey(key, &s.scratch); err != nil {
+		return false
+	}
+	return SumPacked(&s.scratch) == s.target
+}
+
+func sameSuffix(a, b *[16]uint32) bool {
+	for i := 1; i < 16; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package md5x
+
+import (
+	"crypto/md5"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReverseContextRoundTrip: reversing the last 15 steps of a forward
+// computation must land on the forward state after step 48.
+func TestReverseContextRoundTrip(t *testing.T) {
+	f := func(m0 uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var block [16]uint32
+		for i := range block {
+			block[i] = rng.Uint32()
+		}
+		block[0] = m0
+
+		// Forward walk recording the state after step 48.
+		a, b, c, d := iv[0], iv[1], iv[2], iv[3]
+		var mid [4]uint32
+		for i := 0; i < 64; i++ {
+			a, b, c, d = Step(i, a, b, c, d, block[MsgIndex(i)])
+			if i == 48 {
+				mid = [4]uint32{a, b, c, d}
+			}
+		}
+		target := [4]uint32{iv[0] + a, iv[1] + b, iv[2] + c, iv[3] + d}
+
+		rc := NewReverseContext(target, &block)
+		return rc.Reversed() == mid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReverseContextTest: the 49-step early-exit test must accept exactly
+// the matching word 0 and reject others.
+func TestReverseContextTest(t *testing.T) {
+	key := []byte("Pa55word")
+	var block [16]uint32
+	if err := PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	target := StateWords(md5.Sum(key))
+	rc := NewReverseContext(target, &block)
+
+	if !rc.Test(block[0]) {
+		t.Fatal("matching candidate rejected")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		w := rng.Uint32()
+		if w == block[0] {
+			continue
+		}
+		if rc.Test(w) {
+			t.Fatalf("false positive for word %08x", w)
+		}
+	}
+}
+
+func TestSearcherFindsKey(t *testing.T) {
+	for _, key := range []string{"", "a", "ab", "abc", "abcd", "abcde", "Pa55word!", "0123456789abcdef0123"} {
+		digest := md5.Sum([]byte(key))
+		s := NewSearcher(digest)
+		if !s.Test([]byte(key)) {
+			t.Errorf("Searcher rejected its own key %q", key)
+		}
+		if !s.TestPlain([]byte(key)) {
+			t.Errorf("TestPlain rejected its own key %q", key)
+		}
+		if s.Test([]byte(key + "x")) {
+			t.Errorf("Searcher accepted wrong key for %q", key)
+		}
+	}
+}
+
+// TestSearcherSuffixSwitch drives the searcher across keys with different
+// suffixes and lengths, forcing reverse-context rebuilds, and checks it
+// against the oracle each time.
+func TestSearcherSuffixSwitch(t *testing.T) {
+	target := md5.Sum([]byte("wxyzSUFF"))
+	s := NewSearcher(target)
+	keys := []string{
+		"aaaaSUFF", "baaaSUFF", "wxyzSUFF", // same suffix run
+		"aaaaTUFF",          // suffix change
+		"wxyzSUFF",          // back again
+		"short", "wxyz", "", // length changes
+		"wxyzSUFFlonger", "wxyzSUFF",
+	}
+	for _, k := range keys {
+		want := md5.Sum([]byte(k)) == target
+		if got := s.Test([]byte(k)); got != want {
+			t.Errorf("Test(%q) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestSearcherLongKeys exercises the multi-block fallback.
+func TestSearcherLongKeys(t *testing.T) {
+	long := make([]byte, 80)
+	for i := range long {
+		long[i] = byte('A' + i%26)
+	}
+	s := NewSearcher(md5.Sum(long))
+	if !s.Test(long) {
+		t.Error("long key rejected")
+	}
+	long[79]++
+	if s.Test(long) {
+		t.Error("mutated long key accepted")
+	}
+}
+
+// TestQuickSearcherAgreesWithOracle is the main correctness property of the
+// optimized path: for random keys and random targets, Test agrees with a
+// full hash comparison.
+func TestQuickSearcherAgreesWithOracle(t *testing.T) {
+	f := func(keyBytes []byte, targetSeed []byte) bool {
+		if len(keyBytes) > 55 {
+			keyBytes = keyBytes[:55]
+		}
+		target := md5.Sum(targetSeed)
+		s := NewSearcher(target)
+		want := md5.Sum(keyBytes) == target
+		return s.Test(keyBytes) == want && s.TestPlain(keyBytes) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTestReversed(b *testing.B) {
+	key := []byte("aaaaaaaa")
+	target := md5.Sum([]byte("zzzzzzzz"))
+	s := NewSearcher(target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Test(key)
+	}
+}
+
+func BenchmarkTestPlain(b *testing.B) {
+	key := []byte("aaaaaaaa")
+	target := md5.Sum([]byte("zzzzzzzz"))
+	s := NewSearcher(target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestPlain(key)
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	data := []byte("The quick brown fox jumps over the lazy dog")
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

@@ -1,0 +1,161 @@
+package sha1x
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxSingleBlockKey is the longest key that fits a single SHA1 block.
+const MaxSingleBlockKey = 55
+
+// PackKey encodes a key of at most 55 bytes as a single padded SHA1 block
+// of 16 big-endian words.
+func PackKey(key []byte, block *[16]uint32) error {
+	if len(key) > MaxSingleBlockKey {
+		return fmt.Errorf("sha1x: key length %d exceeds single block limit %d", len(key), MaxSingleBlockKey)
+	}
+	*block = [16]uint32{}
+	for i, b := range key {
+		block[i/4] |= uint32(b) << (24 - 8*uint(i%4))
+	}
+	block[len(key)/4] |= 0x80 << (24 - 8*uint(len(key)%4))
+	block[15] = uint32(len(key)) << 3
+	return nil
+}
+
+// PackedLen returns the key length encoded in a packed block.
+func PackedLen(block *[16]uint32) int { return int(block[15] >> 3) }
+
+// UnpackKey decodes the key bytes from a packed block, appending to dst.
+func UnpackKey(dst []byte, block *[16]uint32) []byte {
+	n := PackedLen(block)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(block[i/4]>>(24-8*uint(i%4))))
+	}
+	return dst
+}
+
+// SumPacked computes the SHA1 state words of a packed single-block key.
+func SumPacked(block *[16]uint32) [5]uint32 {
+	state := iv
+	Compress(&state, block)
+	return state
+}
+
+// Searcher tests candidate keys against a fixed SHA1 target. The final
+// feed-forward additions are hoisted: the kernel compares the raw register
+// file after step 79 against target−IV, with early-exit checks starting at
+// step 75 (each of the last five steps pins one target register, because
+// the register file only shifts afterwards). Not safe for concurrent use.
+type Searcher struct {
+	// mid is target−IV: the register file the compression must reach.
+	mid [5]uint32
+	// e76..b79 are the early-exit reference values: mid rotated back to the
+	// register that first determines each component.
+	e76, d77, c78 uint32
+	scratch       [16]uint32
+}
+
+// NewSearcher builds a searcher for a raw 20-byte SHA1 digest.
+func NewSearcher(digest [Size]byte) *Searcher {
+	return NewSearcherWords(StateWords(digest))
+}
+
+// NewSearcherWords builds a searcher from pre-decoded state words.
+func NewSearcherWords(target [5]uint32) *Searcher {
+	s := &Searcher{}
+	for i := range s.mid {
+		s.mid[i] = target[i] - iv[i]
+	}
+	// E80 = rotl30(a after step 75); D80 = rotl30(a after 76);
+	// C80 = rotl30(a after 77); B80 = a after 78; A80 = a after 79.
+	s.e76 = bits.RotateLeft32(s.mid[4], -30)
+	s.d77 = bits.RotateLeft32(s.mid[3], -30)
+	s.c78 = bits.RotateLeft32(s.mid[2], -30)
+	return s
+}
+
+// TestPacked reports whether the packed single-block key hashes to the
+// target, using the early-exit kernel.
+func (s *Searcher) TestPacked(block *[16]uint32) bool {
+	var w [80]uint32
+	copy(w[:16], block[:])
+	Expand(&w)
+
+	a, b, c, d, e := iv[0], iv[1], iv[2], iv[3], iv[4]
+	for i := 0; i < 20; i++ {
+		t := bits.RotateLeft32(a, 5) + fCh(b, c, d) + e + w[i] + K[0]
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for i := 20; i < 40; i++ {
+		t := bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[i] + K[1]
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for i := 40; i < 60; i++ {
+		t := bits.RotateLeft32(a, 5) + fMaj(b, c, d) + e + w[i] + K[2]
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for i := 60; i < 76; i++ {
+		t := bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[i] + K[3]
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	// a now holds the register produced by step 75, which the remaining
+	// four steps shift into the E slot of the final state.
+	if a != s.e76 {
+		return false
+	}
+	t := bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[76] + K[3]
+	a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	if a != s.d77 {
+		return false
+	}
+	t = bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[77] + K[3]
+	a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	if a != s.c78 {
+		return false
+	}
+	t = bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[78] + K[3]
+	a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	if a != s.mid[1] {
+		return false
+	}
+	t = bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[79] + K[3]
+	return t == s.mid[0]
+}
+
+// Test reports whether key hashes to the target. Keys longer than 55 bytes
+// fall back to the streaming implementation.
+func (s *Searcher) Test(key []byte) bool {
+	if len(key) > MaxSingleBlockKey {
+		sum := Sum(key)
+		got := StateWords(sum)
+		for i := range got {
+			if got[i] != s.mid[i]+iv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := PackKey(key, &s.scratch); err != nil {
+		return false
+	}
+	return s.TestPacked(&s.scratch)
+}
+
+// TestPlain is the unoptimized baseline: full 80 steps plus feed-forward
+// and digest comparison. It exists for ablation benchmarks.
+func (s *Searcher) TestPlain(key []byte) bool {
+	if len(key) > MaxSingleBlockKey {
+		return s.Test(key)
+	}
+	if err := PackKey(key, &s.scratch); err != nil {
+		return false
+	}
+	got := SumPacked(&s.scratch)
+	for i := range got {
+		if got[i] != s.mid[i]+iv[i] {
+			return false
+		}
+	}
+	return true
+}

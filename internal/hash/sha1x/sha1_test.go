@@ -1,0 +1,205 @@
+package sha1x
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRFC3174Vectors checks the RFC 3174 test suite plus FIPS examples.
+func TestRFC3174Vectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"The quick brown fox jumps over the lazy dog",
+			"2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+	}
+	for _, v := range vectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+	// "a" repeated one million times (RFC 3174 test 3), via streaming.
+	d := New()
+	chunk := bytes.Repeat([]byte("a"), 1000)
+	for i := 0; i < 1000; i++ {
+		d.Write(chunk)
+	}
+	if got := hex.EncodeToString(d.Sum(nil)); got != "34aa973cd4c4daa4f61eeb2bdbad27316534016f" {
+		t.Errorf("million a's = %s", got)
+	}
+}
+
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300)
+		switch i {
+		case 0:
+			n = 55
+		case 1:
+			n = 56
+		case 2:
+			n = 63
+		case 3:
+			n = 64
+		case 4:
+			n = 65
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		got := Sum(data)
+		want := sha1.Sum(data)
+		if got != want {
+			t.Fatalf("len %d: got %x, want %x", n, got, want)
+		}
+	}
+}
+
+func TestStreamingWriteChunks(t *testing.T) {
+	data := make([]byte, 777)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(data)
+	want := Sum(data)
+	d := New()
+	rest := data
+	for len(rest) > 0 {
+		n := rng.Intn(64) + 1
+		if n > len(rest) {
+			n = len(rest)
+		}
+		d.Write(rest[:n])
+		rest = rest[n:]
+	}
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("chunked = %x, want %x", got, want)
+	}
+}
+
+func TestStateWordsRoundTrip(t *testing.T) {
+	sum := Sum([]byte("roundtrip"))
+	if DigestBytes(StateWords(sum)) != sum {
+		t.Error("StateWords/DigestBytes not inverse")
+	}
+}
+
+func TestPackKeyMatchesPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= MaxSingleBlockKey; n++ {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(rng.Intn(256))
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatalf("PackKey len %d: %v", n, err)
+		}
+		got := DigestBytes(SumPacked(&block))
+		want := sha1.Sum(key)
+		if got != want {
+			t.Fatalf("len %d: packed digest %x, want %x", n, got, want)
+		}
+		if PackedLen(&block) != n {
+			t.Fatalf("PackedLen = %d, want %d", PackedLen(&block), n)
+		}
+		if back := UnpackKey(nil, &block); !bytes.Equal(back, key) {
+			t.Fatalf("UnpackKey = %x, want %x", back, key)
+		}
+	}
+	var block [16]uint32
+	if err := PackKey(make([]byte, 56), &block); err == nil {
+		t.Error("want error for 56-byte key")
+	}
+}
+
+func TestSearcherFindsKey(t *testing.T) {
+	for _, key := range []string{"", "a", "abc", "abcd", "Pa55word!", "0123456789abcdef0123"} {
+		digest := sha1.Sum([]byte(key))
+		s := NewSearcher(digest)
+		if !s.Test([]byte(key)) {
+			t.Errorf("Searcher rejected its own key %q", key)
+		}
+		if !s.TestPlain([]byte(key)) {
+			t.Errorf("TestPlain rejected its own key %q", key)
+		}
+		if s.Test([]byte(key + "x")) {
+			t.Errorf("Searcher accepted a wrong key for %q", key)
+		}
+	}
+}
+
+func TestSearcherLongKeys(t *testing.T) {
+	long := bytes.Repeat([]byte("xyz"), 30)
+	s := NewSearcher(sha1.Sum(long))
+	if !s.Test(long) {
+		t.Error("long key rejected")
+	}
+	long[10]++
+	if s.Test(long) {
+		t.Error("mutated long key accepted")
+	}
+}
+
+func TestQuickSearcherAgreesWithOracle(t *testing.T) {
+	f := func(keyBytes []byte, targetSeed []byte) bool {
+		if len(keyBytes) > 55 {
+			keyBytes = keyBytes[:55]
+		}
+		target := sha1.Sum(targetSeed)
+		s := NewSearcher(target)
+		want := sha1.Sum(keyBytes) == target
+		return s.Test(keyBytes) == want && s.TestPlain(keyBytes) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoFalsePositives hammers the early-exit kernel with near-miss
+// candidates sharing a long prefix with the real key.
+func TestNoFalsePositives(t *testing.T) {
+	target := sha1.Sum([]byte("aaaa0000"))
+	s := NewSearcher(target)
+	key := []byte("aaaa0000")
+	hits := 0
+	for c0 := byte('a'); c0 <= 'z'; c0++ {
+		for c1 := byte('a'); c1 <= 'z'; c1++ {
+			key[0], key[1] = c0, c1
+			if s.Test(key) {
+				hits++
+				if c0 != 'a' || c1 != 'a' {
+					t.Fatalf("false positive at %q", key)
+				}
+			}
+		}
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func BenchmarkTestEarlyExit(b *testing.B) {
+	key := []byte("aaaaaaaa")
+	target := sha1.Sum([]byte("zzzzzzzz"))
+	s := NewSearcher(target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Test(key)
+	}
+}
+
+func BenchmarkTestPlain(b *testing.B) {
+	key := []byte("aaaaaaaa")
+	target := sha1.Sum([]byte("zzzzzzzz"))
+	s := NewSearcher(target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestPlain(key)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sha256x is a from-scratch implementation of the SHA-256 hash
+// (FIPS 180-4), built as the substrate for the Bitcoin-style mining
+// workload the paper's introduction motivates: an exhaustive search for a
+// 32-bit nonce whose double-SHA256 digest has a required number of leading
+// zero bits.
+//
+// crypto/sha256 is used only in tests, as a differential oracle.
+package sha256x
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Size is the length of a SHA-256 digest in bytes.
+const Size = 32
+
+// BlockSize is the SHA-256 block size in bytes.
+const BlockSize = 64
+
+var iv = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+var k = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// Compress applies the SHA-256 block transform to state in place.
+func Compress(state *[8]uint32, block *[16]uint32) {
+	var w [64]uint32
+	copy(w[:16], block[:])
+	for i := 16; i < 64; i++ {
+		s0 := bits.RotateLeft32(w[i-15], -7) ^ bits.RotateLeft32(w[i-15], -18) ^ (w[i-15] >> 3)
+		s1 := bits.RotateLeft32(w[i-2], -17) ^ bits.RotateLeft32(w[i-2], -19) ^ (w[i-2] >> 10)
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+
+	a, b, c, d, e, f, g, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+	for i := 0; i < 64; i++ {
+		s1 := bits.RotateLeft32(e, -6) ^ bits.RotateLeft32(e, -11) ^ bits.RotateLeft32(e, -25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + s1 + ch + k[i] + w[i]
+		s0 := bits.RotateLeft32(a, -2) ^ bits.RotateLeft32(a, -13) ^ bits.RotateLeft32(a, -22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := s0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+
+	state[0] += a
+	state[1] += b
+	state[2] += c
+	state[3] += d
+	state[4] += e
+	state[5] += f
+	state[6] += g
+	state[7] += h
+}
+
+// Digest is a streaming SHA-256 computation implementing hash.Hash
+// semantics.
+type Digest struct {
+	state [8]uint32
+	buf   [BlockSize]byte
+	n     int
+	len   uint64
+}
+
+// New returns a reset Digest.
+func New() *Digest {
+	d := new(Digest)
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial state.
+func (d *Digest) Reset() {
+	d.state = iv
+	d.n = 0
+	d.len = 0
+}
+
+// Size returns the digest length in bytes.
+func (d *Digest) Size() int { return Size }
+
+// BlockSize returns the block length in bytes.
+func (d *Digest) BlockSize() int { return BlockSize }
+
+// Write absorbs p into the digest. It never returns an error.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.n > 0 {
+		c := copy(d.buf[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == BlockSize {
+			d.compressBuf()
+			d.n = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		var block [16]uint32
+		for i := range block {
+			block[i] = binary.BigEndian.Uint32(p[4*i:])
+		}
+		Compress(&d.state, &block)
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+func (d *Digest) compressBuf() {
+	var block [16]uint32
+	for i := range block {
+		block[i] = binary.BigEndian.Uint32(d.buf[4*i:])
+	}
+	Compress(&d.state, &block)
+}
+
+// Sum appends the digest of the data written so far to b.
+func (d *Digest) Sum(b []byte) []byte {
+	tmp := *d
+	tmp.buf[tmp.n] = 0x80
+	for i := tmp.n + 1; i < BlockSize; i++ {
+		tmp.buf[i] = 0
+	}
+	if tmp.n >= 56 {
+		tmp.compressBuf()
+		for i := range tmp.buf {
+			tmp.buf[i] = 0
+		}
+	}
+	binary.BigEndian.PutUint64(tmp.buf[56:], tmp.len<<3)
+	tmp.compressBuf()
+	var out [Size]byte
+	for i, s := range tmp.state {
+		binary.BigEndian.PutUint32(out[4*i:], s)
+	}
+	return append(b, out[:]...)
+}
+
+// Sum returns the SHA-256 digest of data.
+func Sum(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// DoubleSum returns SHA256(SHA256(data)), the Bitcoin proof-of-work hash.
+func DoubleSum(data []byte) [Size]byte {
+	first := Sum(data)
+	return Sum(first[:])
+}
+
+// LeadingZeroBits counts the number of leading zero bits of a digest,
+// reading it as a big-endian integer. Bitcoin-style difficulty requires
+// this count to reach a network-provided threshold.
+func LeadingZeroBits(digest [Size]byte) int {
+	n := 0
+	for _, b := range digest {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(b)
+		break
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package sha256x
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+func TestFIPSVectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	}
+	for _, v := range vectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		n := rng.Intn(260)
+		if i < 6 {
+			n = []int{55, 56, 63, 64, 65, 128}[i]
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		got := Sum(data)
+		want := sha256.Sum256(data)
+		if got != want {
+			t.Fatalf("len %d: got %x, want %x", n, got, want)
+		}
+	}
+}
+
+func TestStreamingWriteChunks(t *testing.T) {
+	data := make([]byte, 500)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(data)
+	want := Sum(data)
+	d := New()
+	rest := data
+	for len(rest) > 0 {
+		n := rng.Intn(70) + 1
+		if n > len(rest) {
+			n = len(rest)
+		}
+		d.Write(rest[:n])
+		rest = rest[n:]
+	}
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("chunked = %x, want %x", got, want)
+	}
+}
+
+func TestDoubleSum(t *testing.T) {
+	data := []byte("block header")
+	first := sha256.Sum256(data)
+	want := sha256.Sum256(first[:])
+	if got := DoubleSum(data); got != want {
+		t.Errorf("DoubleSum = %x, want %x", got, want)
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	var d [Size]byte
+	for i := range d {
+		d[i] = 0xff
+	}
+	if LeadingZeroBits(d) != 0 {
+		t.Error("all-ones digest should have 0 leading zeros")
+	}
+	d = [Size]byte{}
+	if LeadingZeroBits(d) != 256 {
+		t.Error("zero digest should have 256 leading zeros")
+	}
+	d = [Size]byte{0, 0, 0x01}
+	if got := LeadingZeroBits(d); got != 23 {
+		t.Errorf("LeadingZeroBits = %d, want 23", got)
+	}
+	d = [Size]byte{0x0f}
+	if got := LeadingZeroBits(d); got != 4 {
+		t.Errorf("LeadingZeroBits = %d, want 4", got)
+	}
+}
+
+func BenchmarkDoubleSum(b *testing.B) {
+	data := make([]byte, 80) // Bitcoin block header size
+	for i := 0; i < b.N; i++ {
+		DoubleSum(data)
+	}
+}

@@ -1,0 +1,93 @@
+package kernel
+
+import "fmt"
+
+// Val is a value under construction: either a register produced by a prior
+// instruction (or an input) or a compile-time constant. Builders thread
+// Vals through the hash rounds exactly like the CUDA source threads C
+// expressions; the compile package decides later what folds.
+type Val = Operand
+
+// Builder assembles a straight-line Program. Each emitted instruction
+// allocates a fresh SSA register.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder starts a program with the given number of per-thread input
+// registers (inputs occupy registers 0..numInputs-1).
+func NewBuilder(name string, numInputs int) *Builder {
+	return &Builder{prog: &Program{
+		Name:      name,
+		NumInputs: numInputs,
+		NumRegs:   numInputs,
+	}}
+}
+
+// Input returns the i-th input register as a value.
+func (b *Builder) Input(i int) Val {
+	if i < 0 || i >= b.prog.NumInputs {
+		panic(fmt.Sprintf("kernel: input %d out of range", i))
+	}
+	return R(i)
+}
+
+// Const returns an immediate value.
+func (b *Builder) Const(v uint32) Val { return Imm(v) }
+
+func (b *Builder) emit(op Op, a, bb Val, sh uint8) Val {
+	dst := b.prog.NumRegs
+	b.prog.NumRegs++
+	b.prog.Instrs = append(b.prog.Instrs, Instr{Op: op, Dst: dst, A: a, B: bb, Sh: sh})
+	return R(dst)
+}
+
+// Add emits dst = x + y.
+func (b *Builder) Add(x, y Val) Val { return b.emit(OpAdd, x, y, 0) }
+
+// And emits dst = x & y.
+func (b *Builder) And(x, y Val) Val { return b.emit(OpAnd, x, y, 0) }
+
+// Or emits dst = x | y.
+func (b *Builder) Or(x, y Val) Val { return b.emit(OpOr, x, y, 0) }
+
+// Xor emits dst = x ^ y.
+func (b *Builder) Xor(x, y Val) Val { return b.emit(OpXor, x, y, 0) }
+
+// Not emits dst = ^x.
+func (b *Builder) Not(x Val) Val { return b.emit(OpNot, x, Imm(0), 0) }
+
+// Shl emits dst = x << n.
+func (b *Builder) Shl(x Val, n uint8) Val { return b.emit(OpShl, x, Imm(0), n) }
+
+// Shr emits dst = x >> n.
+func (b *Builder) Shr(x Val, n uint8) Val { return b.emit(OpShr, x, Imm(0), n) }
+
+// Rotl emits the pseudo rotate dst = rotl(x, n); lowering picks the
+// machine idiom per architecture.
+func (b *Builder) Rotl(x Val, n uint8) Val {
+	n %= 32
+	if n == 0 {
+		return x
+	}
+	return b.emit(OpRotl, x, Imm(0), n)
+}
+
+// ExitNE emits a check: lanes where x != y exit with a negative verdict.
+func (b *Builder) ExitNE(x, y Val) {
+	b.prog.Instrs = append(b.prog.Instrs, Instr{Op: OpExitNE, Dst: -1, A: x, B: y})
+}
+
+// Output marks values as program results.
+func (b *Builder) Output(vals ...Val) {
+	for _, v := range vals {
+		if v.IsImm {
+			// Materialize so that outputs are always registers.
+			v = b.emit(OpMov, v, Imm(0), 0)
+		}
+		b.prog.Outputs = append(b.prog.Outputs, v.Reg)
+	}
+}
+
+// Build finalizes and returns the program.
+func (b *Builder) Build() *Program { return b.prog }

@@ -1,0 +1,57 @@
+package kernel
+
+import "fmt"
+
+// Run executes the program for a single lane with the given input words.
+// It returns the values of the output registers and whether the lane
+// survived every exit check (i.e. the candidate matched). Run handles both
+// source-level programs (pseudo rotations evaluate directly) and lowered
+// machine programs, which makes it the reference semantics the compile
+// passes are differential-tested against.
+func Run(p *Program, inputs []uint32) (outputs []uint32, survived bool, err error) {
+	if len(inputs) != p.NumInputs {
+		return nil, false, fmt.Errorf("kernel: program %s wants %d inputs, got %d", p.Name, p.NumInputs, len(inputs))
+	}
+	regs := make([]uint32, p.NumRegs)
+	copy(regs, inputs)
+	read := func(o Operand) uint32 {
+		if o.IsImm {
+			return o.Imm
+		}
+		return regs[o.Reg]
+	}
+	survived = true
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpNop:
+		case OpExitNE:
+			if read(in.A) != read(in.B) {
+				survived = false
+				// A real lane stops here; keep semantics identical.
+				outputs = collectOutputs(p, regs)
+				return outputs, false, nil
+			}
+		default:
+			regs[in.Dst] = Eval(in.Op, read(in.A), read(in.B), in.Sh)
+		}
+	}
+	return collectOutputs(p, regs), survived, nil
+}
+
+func collectOutputs(p *Program, regs []uint32) []uint32 {
+	if len(p.Outputs) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(p.Outputs))
+	for i, r := range p.Outputs {
+		out[i] = regs[r]
+	}
+	return out
+}
+
+// Match is a convenience wrapper for search programs: it reports whether
+// the lane with the given inputs survives all exit checks.
+func Match(p *Program, inputs ...uint32) bool {
+	_, ok, err := Run(p, inputs)
+	return err == nil && ok
+}

@@ -1,0 +1,327 @@
+// Package kernel defines the virtual instruction set the simulated GPU
+// executes and builds the MD5/SHA1 search kernels in it.
+//
+// The paper derives its performance results from the machine code nvcc
+// emits (inspected with cuobjdump -sass): instruction counts per class
+// (Tables III–VI) and the per-architecture lowering of the rotate idiom
+// (SHL+SHR+ADD on cc1.x, SHL+IMAD.HI on cc2.x/3.0, PRMT for 16-bit
+// rotations, funnel shift on cc3.5). This package models that layer: a
+// small SSA-style register IR with exactly the operation classes the paper
+// accounts for, kernel builders that emit the "CUDA source level" program,
+// and (in internal/compile) the lowering and folding passes that turn it
+// into the per-architecture machine program whose class counts reproduce
+// the tables.
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Class buckets instructions the way Tables II–VI do.
+type Class int
+
+// Instruction classes. ClassNone marks pseudo-instructions that cost
+// nothing (constant materialization from the constant bank is overlapped
+// with arithmetic and never dominates; the paper ships the target hash and
+// the common substring through constant memory for this reason).
+const (
+	ClassNone    Class = iota
+	ClassAdd           // 32-bit integer addition
+	ClassLogic         // 32-bit bitwise AND/OR/XOR (including merged-NOT forms)
+	ClassShift         // 32-bit integer shift (SHL/SHR, funnel shift)
+	ClassMAD           // integer multiply-add family (IMAD.HI, ISCADD)
+	ClassPerm          // PRMT / __byte_perm
+	ClassControl       // compare-and-exit; not part of the paper's tables
+)
+
+// String names the class as the tables do.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassAdd:
+		return "IADD"
+	case ClassLogic:
+		return "AND/OR/XOR"
+	case ClassShift:
+		return "SHR/SHL"
+	case ClassMAD:
+		return "IMAD/ISCADD"
+	case ClassPerm:
+		return "PRMT"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Op is a virtual-ISA operation.
+type Op int
+
+// Source-level operations (emitted by builders) and machine-level
+// operations (produced by lowering).
+const (
+	OpNop Op = iota
+	// Source + machine level.
+	OpAdd // dst = a + b
+	OpAnd // dst = a & b
+	OpOr  // dst = a | b
+	OpXor // dst = a ^ b
+	OpNot // dst = ^a
+	OpShl // dst = a << sh
+	OpShr // dst = a >> sh
+	// Pseudo (source level only; lowered per architecture).
+	OpRotl // dst = rotl(a, sh)
+	// Machine level only (introduced by compile passes).
+	OpAndN   // dst = a & ^b (NOT merged into AND)
+	OpOrN    // dst = a | ^b (NOT merged into OR)
+	OpIMADHi // dst = (a >> (32-sh)) + b   — IMAD.HI(a, 2^sh, b)
+	OpISCADD // dst = (a << sh) + b
+	OpPerm   // dst = rotl(a, sh), sh in {8,16,24} — PRMT byte rotation
+	OpFunnel // dst = rotl(a, sh) — cc3.5 funnel shift (SHF)
+	// Control.
+	OpExitNE // if a != b the lane exits with a negative verdict
+	OpMov    // dst = a (erased by copy propagation)
+)
+
+// Classify returns the accounting class of an operation.
+func (o Op) Classify() Class {
+	switch o {
+	case OpAdd:
+		return ClassAdd
+	case OpAnd, OpOr, OpXor, OpNot, OpAndN, OpOrN:
+		return ClassLogic
+	case OpShl, OpShr, OpFunnel:
+		return ClassShift
+	case OpIMADHi, OpISCADD:
+		return ClassMAD
+	case OpPerm:
+		return ClassPerm
+	case OpExitNE:
+		return ClassControl
+	default:
+		return ClassNone
+	}
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	names := map[Op]string{
+		OpNop: "NOP", OpAdd: "IADD", OpAnd: "AND", OpOr: "OR", OpXor: "XOR",
+		OpNot: "NOT", OpShl: "SHL", OpShr: "SHR", OpRotl: "ROTL",
+		OpAndN: "ANDN", OpOrN: "ORN", OpIMADHi: "IMAD.HI", OpISCADD: "ISCADD",
+		OpPerm: "PRMT", OpFunnel: "SHF", OpExitNE: "EXIT.NE", OpMov: "MOV",
+	}
+	if n, ok := names[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsPseudo reports whether the operation must be lowered before execution
+// on a machine target.
+func (o Op) IsPseudo() bool { return o == OpRotl }
+
+// Operand is either a register reference or an immediate value.
+type Operand struct {
+	IsImm bool
+	Reg   int
+	Imm   uint32
+}
+
+// R makes a register operand.
+func R(reg int) Operand { return Operand{Reg: reg} }
+
+// Imm makes an immediate operand.
+func Imm(v uint32) Operand { return Operand{IsImm: true, Imm: v} }
+
+// String formats the operand.
+func (o Operand) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("0x%08x", o.Imm)
+	}
+	return fmt.Sprintf("r%d", o.Reg)
+}
+
+// Instr is one instruction. Dst is -1 for instructions without a result
+// (OpExitNE). Sh carries the shift amount for shift-family operations.
+type Instr struct {
+	Op   Op
+	Dst  int
+	A, B Operand
+	Sh   uint8
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpShl, OpShr, OpRotl, OpPerm, OpFunnel:
+		return fmt.Sprintf("%-8s r%d, %s, %d", in.Op, in.Dst, in.A, in.Sh)
+	case OpIMADHi, OpISCADD:
+		return fmt.Sprintf("%-8s r%d, %s, %d, %s", in.Op, in.Dst, in.A, in.Sh, in.B)
+	case OpNot, OpMov:
+		return fmt.Sprintf("%-8s r%d, %s", in.Op, in.Dst, in.A)
+	case OpExitNE:
+		return fmt.Sprintf("%-8s %s, %s", in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%-8s r%d, %s, %s", in.Op, in.Dst, in.A, in.B)
+	}
+}
+
+// Eval computes the result of a single instruction given operand values.
+// It panics on OpExitNE (handled by the interpreter) and pseudo/meta ops
+// the interpreter should never see after lowering — except OpRotl, which
+// evaluates directly so that source-level programs are also executable.
+func Eval(op Op, a, b uint32, sh uint8) uint32 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpAndN:
+		return a & ^b
+	case OpOrN:
+		return a | ^b
+	case OpShl:
+		return a << sh
+	case OpShr:
+		return a >> sh
+	case OpRotl, OpPerm, OpFunnel:
+		return bits.RotateLeft32(a, int(sh))
+	case OpIMADHi:
+		return (a >> (32 - uint32(sh))) + b
+	case OpISCADD:
+		return (a << sh) + b
+	case OpMov:
+		return a
+	default:
+		panic(fmt.Sprintf("kernel: Eval on %v", op))
+	}
+}
+
+// Program is a straight-line SSA program: registers 0..NumInputs-1 are the
+// per-thread inputs, every instruction writes a fresh register (except
+// OpExitNE), and execution either survives every exit check (a match) or
+// dies at the first failing one.
+type Program struct {
+	Name      string
+	NumInputs int
+	NumRegs   int
+	Instrs    []Instr
+	// Outputs lists registers whose final values are the program results
+	// (kept live through dead-code elimination alongside exit checks).
+	Outputs []int
+}
+
+// Counts maps each accounting class to its static instruction count.
+type Counts map[Class]int
+
+// Total sums the counted classes of the paper's tables (Add, Logic,
+// Shift, MAD, Perm), excluding control and pseudo bookkeeping.
+func (c Counts) Total() int {
+	return c[ClassAdd] + c[ClassLogic] + c[ClassShift] + c[ClassMAD] + c[ClassPerm]
+}
+
+// ShiftMAD returns the combined shift/MAD/PRMT count — the class the paper
+// identifies as the Kepler bottleneck.
+func (c Counts) ShiftMAD() int { return c[ClassShift] + c[ClassMAD] + c[ClassPerm] }
+
+// AddLogic returns the combined addition/logical count — the class the
+// paper identifies as the Fermi bottleneck.
+func (c Counts) AddLogic() int { return c[ClassAdd] + c[ClassLogic] }
+
+// CountClasses tallies the program's instructions per class. Pseudo
+// rotations are counted as they would appear in CUDA source, i.e. two
+// shifts plus one addition ((x<<n)+(x>>(32-n))) — this is how Table III
+// counts the unlowered kernel.
+func (p *Program) CountClasses() Counts {
+	c := make(Counts)
+	for _, in := range p.Instrs {
+		if in.Op == OpRotl {
+			c[ClassShift] += 2
+			c[ClassAdd]++
+			continue
+		}
+		if in.Op == OpMov || in.Op == OpNop {
+			continue
+		}
+		c[in.Op.Classify()]++
+	}
+	return c
+}
+
+// CountNot tallies unary NOT operations separately (Table III lists them
+// in their own row; compilation merges them into neighboring logicals).
+func (p *Program) CountNot() int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op == OpNot {
+			n++
+		}
+	}
+	return n
+}
+
+// HasPseudo reports whether any pseudo-ops remain (i.e. the program has
+// not been lowered).
+func (p *Program) HasPseudo() bool {
+	for _, in := range p.Instrs {
+		if in.Op.IsPseudo() {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstExit returns the index of the first OpExitNE, or len(Instrs) if
+// there is none. Instructions up to and including it are what a mismatched
+// candidate executes — the early-exit saving of Section V.
+func (p *Program) FirstExit() int {
+	for i, in := range p.Instrs {
+		if in.Op == OpExitNE {
+			return i
+		}
+	}
+	return len(p.Instrs)
+}
+
+// DualIssueFraction is the fraction of instructions that could dual-issue
+// with their predecessor: adjacent pairs with no register dependence and
+// both sides costing an issue slot. The paper measured this with the CUDA
+// profiler ("the number of instructions dispatched in a dual-issue fashion
+// is very low, less than 10%") — a long dependency chain like MD5 scores
+// near zero unless two hashes are interleaved.
+func (p *Program) DualIssueFraction() float64 {
+	issued := 0
+	paired := 0
+	for i, in := range p.Instrs {
+		if in.Op == OpNop || in.Op == OpMov {
+			continue
+		}
+		issued++
+		if i == 0 {
+			continue
+		}
+		prev := p.Instrs[i-1]
+		if prev.Op == OpNop || prev.Op == OpMov || prev.Op == OpExitNE {
+			continue
+		}
+		if prev.Dst >= 0 &&
+			((!in.A.IsImm && in.A.Reg == prev.Dst) || (!in.B.IsImm && in.B.Reg == prev.Dst)) {
+			continue
+		}
+		paired++
+	}
+	if issued == 0 {
+		return 0
+	}
+	return float64(paired) / float64(issued)
+}

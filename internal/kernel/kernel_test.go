@@ -1,0 +1,257 @@
+package kernel
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+)
+
+func md5Template(t *testing.T, key string) ([16]uint32, [4]uint32) {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte(key), &block); err != nil {
+		t.Fatal(err)
+	}
+	return block, md5x.StateWords(md5.Sum([]byte(key)))
+}
+
+func sha1Template(t *testing.T, key string) ([16]uint32, [5]uint32) {
+	t.Helper()
+	var block [16]uint32
+	if err := sha1x.PackKey([]byte(key), &block); err != nil {
+		t.Fatal(err)
+	}
+	return block, sha1x.StateWords(sha1.Sum([]byte(key)))
+}
+
+// TestBuildMD5HashMatchesOracle runs the IR hashing program over random
+// word-0 inputs and compares against the scratch MD5.
+func TestBuildMD5HashMatchesOracle(t *testing.T) {
+	block, _ := md5Template(t, "abcdWXYZ")
+	prog := BuildMD5Hash(block)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		w0 := rng.Uint32()
+		out, _, err := Run(prog, []uint32{w0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := block
+		b[0] = w0
+		want := md5x.SumPacked(&b)
+		for j := 0; j < 4; j++ {
+			if out[j] != want[j] {
+				t.Fatalf("w0=%08x: out[%d]=%08x, want %08x", w0, j, out[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBuildSHA1HashMatchesOracle(t *testing.T) {
+	block, _ := sha1Template(t, "abcdWXYZ")
+	prog := BuildSHA1Hash(block)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		w0 := rng.Uint32()
+		out, _, err := Run(prog, []uint32{w0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := block
+		b[0] = w0
+		want := sha1x.SumPacked(&b)
+		for j := 0; j < 5; j++ {
+			if out[j] != want[j] {
+				t.Fatalf("w0=%08x: out[%d]=%08x, want %08x", w0, j, out[j], want[j])
+			}
+		}
+	}
+}
+
+// TestBuildMD5SearchVariants checks that every optimization tier accepts
+// exactly the matching word 0.
+func TestBuildMD5SearchVariants(t *testing.T) {
+	block, target := md5Template(t, "Key4SUFF")
+	for _, cfg := range []MD5Config{
+		{Template: block, Target: target},
+		{Template: block, Target: target, EarlyExit: true},
+		{Template: block, Target: target, Reversal: true},
+		{Template: block, Target: target, Reversal: true, EarlyExit: true},
+	} {
+		prog := BuildMD5(cfg)
+		if !Match(prog, block[0]) {
+			t.Errorf("%s: rejected matching candidate", prog.Name)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 3000; i++ {
+			w := rng.Uint32()
+			if w == block[0] {
+				continue
+			}
+			if Match(prog, w) {
+				t.Fatalf("%s: false positive %08x", prog.Name, w)
+			}
+		}
+	}
+}
+
+func TestBuildMD5Interleaved(t *testing.T) {
+	block, target := md5Template(t, "Key4SUFF")
+	prog := BuildMD5(MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true, Interleave: true})
+	if prog.NumInputs != 2 {
+		t.Fatalf("interleaved program has %d inputs", prog.NumInputs)
+	}
+	// Either slot matching must survive... the pair survives only if both
+	// exit chains pass; since exits kill on mismatch, a pair survives only
+	// when BOTH match. The harness therefore pairs each candidate with
+	// itself-shifted runs — here we verify the defined semantics.
+	if !Match(prog, block[0], block[0]) {
+		t.Error("both-match pair rejected")
+	}
+	if Match(prog, block[0], block[0]+1) {
+		t.Error("half-match pair accepted (semantics changed?)")
+	}
+	// The ILP variant must expose far more dual-issue opportunity.
+	single := BuildMD5(MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+	if d2, d1 := prog.DualIssueFraction(), single.DualIssueFraction(); d2 < d1+0.3 {
+		t.Errorf("interleaved dual-issue fraction %.2f not well above single %.2f", d2, d1)
+	}
+}
+
+func TestBuildSHA1SearchVariants(t *testing.T) {
+	block, target := sha1Template(t, "Key4SUFF")
+	for _, cfg := range []SHA1Config{
+		{Template: block, Target: target},
+		{Template: block, Target: target, EarlyExit: true},
+	} {
+		prog := BuildSHA1(cfg)
+		if !Match(prog, block[0]) {
+			t.Errorf("%s: rejected matching candidate", prog.Name)
+		}
+		rng := rand.New(rand.NewSource(10))
+		for i := 0; i < 2000; i++ {
+			w := rng.Uint32()
+			if w == block[0] {
+				continue
+			}
+			if Match(prog, w) {
+				t.Fatalf("%s: false positive %08x", prog.Name, w)
+			}
+		}
+	}
+}
+
+// TestTableIIISourceCounts verifies the source-level instruction counts of
+// the plain 64-step MD5 kernel against Table III: 320 additions, 160
+// logicals, 128 shifts (from 64 two-shift rotations). The paper's NOT row
+// (160) disagrees with the structural count of the round functions (48 =
+// 16 F + 16 G + 16 I); we assert our structural value and record the delta
+// in EXPERIMENTS.md.
+func TestTableIIISourceCounts(t *testing.T) {
+	block, target := md5Template(t, "Key4")
+	prog := BuildMD5(MD5Config{Template: block, Target: target})
+	c := prog.CountClasses()
+	// 64 steps x 5 additions (3 sum terms, 1 in the rotate idiom, 1 final
+	// b+rot) + 4 feed-forward = 324; Table III counts the hash body: 320.
+	if got := c[ClassAdd]; got != 324 {
+		t.Errorf("source IADD = %d, want 324 (Table III: 320 + 4 feed-forward)", got)
+	}
+	if got := c[ClassLogic] - prog.CountNot(); got != 160 {
+		t.Errorf("source AND/OR/XOR = %d, want 160 (Table III)", got)
+	}
+	if got := c[ClassShift]; got != 128 {
+		t.Errorf("source SHR/SHL = %d, want 128 (Table III)", got)
+	}
+	if got := prog.CountNot(); got != 48 {
+		t.Errorf("source NOT = %d, want 48 (Table III says 160; see EXPERIMENTS.md)", got)
+	}
+	if c[ClassMAD] != 0 || c[ClassPerm] != 0 {
+		t.Error("source program must not contain machine-only classes")
+	}
+}
+
+func TestDualIssueFractionLowOnChain(t *testing.T) {
+	block, target := md5Template(t, "Key4")
+	prog := BuildMD5(MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+	if d := prog.DualIssueFraction(); d > 0.45 {
+		t.Errorf("single-stream MD5 dual-issue fraction = %.2f, expected a dependency chain", d)
+	}
+}
+
+func TestFirstExit(t *testing.T) {
+	block, target := md5Template(t, "Key4")
+	early := BuildMD5(MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+	late := BuildMD5(MD5Config{Template: block, Target: target, Reversal: true})
+	if early.FirstExit() >= late.FirstExit() {
+		t.Errorf("early-exit kernel first exit %d not before %d", early.FirstExit(), late.FirstExit())
+	}
+	if late.FirstExit() >= len(late.Instrs) {
+		t.Error("no exits in search kernel")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	block, target := md5Template(t, "Key4")
+	prog := BuildMD5(MD5Config{Template: block, Target: target})
+	if _, _, err := Run(prog, nil); err == nil {
+		t.Error("wrong input count: want error")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder("t", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Input out of range should panic")
+		}
+	}()
+	b.Input(5)
+}
+
+func TestRotlZeroIsIdentity(t *testing.T) {
+	b := NewBuilder("t", 1)
+	v := b.Rotl(b.Input(0), 32)
+	if v != b.Input(0) {
+		t.Error("rotl by 32 should be the identity value")
+	}
+	if len(b.Build().Instrs) != 0 {
+		t.Error("rotl by 32 should emit nothing")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	ins := []Instr{
+		{Op: OpAdd, Dst: 3, A: R(1), B: Imm(7)},
+		{Op: OpShl, Dst: 4, A: R(3), Sh: 5},
+		{Op: OpIMADHi, Dst: 5, A: R(4), B: R(1), Sh: 25},
+		{Op: OpExitNE, Dst: -1, A: R(5), B: Imm(1)},
+		{Op: OpNot, Dst: 6, A: R(5)},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("empty disassembly for %v", in.Op)
+		}
+	}
+}
+
+func TestBuildSHA1Interleaved(t *testing.T) {
+	block, target := sha1Template(t, "Key4SUFF")
+	prog := BuildSHA1(SHA1Config{Template: block, Target: target, EarlyExit: true, Interleave: true})
+	if prog.NumInputs != 2 {
+		t.Fatalf("interleaved SHA1 has %d inputs", prog.NumInputs)
+	}
+	if !Match(prog, block[0], block[0]) {
+		t.Error("both-match pair rejected")
+	}
+	if Match(prog, block[0], block[0]+1) {
+		t.Error("half-match pair accepted")
+	}
+	single := BuildSHA1(SHA1Config{Template: block, Target: target, EarlyExit: true})
+	if d2, d1 := prog.DualIssueFraction(), single.DualIssueFraction(); d2 < d1+0.3 {
+		t.Errorf("interleaved SHA1 dual-issue %.2f not well above single %.2f", d2, d1)
+	}
+}

@@ -1,0 +1,217 @@
+package kernel
+
+import "keysearch/internal/hash/md5x"
+
+// MD5Config describes the MD5 search kernel to build. It mirrors the
+// optimization tiers of Section V: Table IV is the kernel with neither
+// Reversal nor EarlyExit, Table V adds both, Table VI additionally lets the
+// compiler use byte-perm rotations (a compile-pass option, not a build
+// option — see compile.Options.BytePerm).
+type MD5Config struct {
+	// Template is the packed single-block message. Word 0 is replaced by
+	// the per-thread input; words 1..15 (key suffix, padding, bit length)
+	// are baked into the program as constants — the paper loads them from
+	// constant memory.
+	Template [16]uint32
+	// Target is the digest to match, as little-endian state words.
+	Target [4]uint32
+	// Reversal inverts the last 15 steps at build time (they never read
+	// message word 0) so each candidate runs only 49 forward steps.
+	Reversal bool
+	// EarlyExit emits an exit comparison as soon as each component of the
+	// meet state is produced instead of one block comparison at the end,
+	// saving about three steps per mismatching candidate.
+	EarlyExit bool
+	// Interleave builds the two-way ILP variant: the program hashes two
+	// candidates (inputs 0 and 1) with instruction-level interleaving.
+	// Section V recommends it on Fermi, whose bottleneck is the
+	// addition/logical throughput reachable only via dual issue.
+	Interleave bool
+}
+
+// name derives the program name from the configuration.
+func (cfg MD5Config) name() string {
+	n := "md5"
+	if cfg.Reversal {
+		n += "+rev"
+	}
+	if cfg.EarlyExit {
+		n += "+exit"
+	}
+	if cfg.Interleave {
+		n += "+ilp2"
+	}
+	return n
+}
+
+// Streams returns the number of candidates tested per program run.
+func (cfg MD5Config) Streams() int {
+	if cfg.Interleave {
+		return 2
+	}
+	return 1
+}
+
+type md5Regs struct{ a, b, c, d Val }
+
+// BuildMD5 assembles the MD5 search kernel program. A lane survives (all
+// exit checks pass) exactly when one of its input words completes a key
+// hashing to the target.
+func BuildMD5(cfg MD5Config) *Program {
+	streams := cfg.Streams()
+	b := NewBuilder(cfg.name(), streams)
+	st := make([]md5Regs, streams)
+	iv := md5x.IV()
+	for k := range st {
+		st[k] = md5Regs{a: Imm(iv[0]), b: Imm(iv[1]), c: Imm(iv[2]), d: Imm(iv[3])}
+	}
+
+	steps := 64
+	var rev [4]uint32
+	if cfg.Reversal {
+		steps = md5x.ForwardSteps // 49
+		rc := md5x.NewReverseContext(cfg.Target, &cfg.Template)
+		rev = rc.Reversed()
+	}
+
+	for i := 0; i < steps; i++ {
+		emitMD5Step(b, st, i, cfg)
+		if cfg.Reversal && cfg.EarlyExit {
+			// Steps 45..48 pin, in order, the A, D, C and B components of
+			// the state after step 48 (the register file only shifts in
+			// between).
+			switch i {
+			case 45:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, rev[0])
+			case 46:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, rev[3])
+			case 47:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, rev[2])
+			case 48:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, rev[1])
+			}
+		}
+		if !cfg.Reversal && cfg.EarlyExit {
+			// Steps 60..63 pin the A, D, C, B components of the final
+			// state; the feed-forward addition folds into the reference
+			// constants.
+			switch i {
+			case 60:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, cfg.Target[0]-iv[0])
+			case 61:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, cfg.Target[3]-iv[3])
+			case 62:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, cfg.Target[2]-iv[2])
+			case 63:
+				exitAll(b, st, func(r md5Regs) Val { return r.b }, cfg.Target[1]-iv[1])
+			}
+		}
+	}
+
+	if !cfg.EarlyExit {
+		if cfg.Reversal {
+			for k := range st {
+				b.ExitNE(st[k].a, Imm(rev[0]))
+				b.ExitNE(st[k].b, Imm(rev[1]))
+				b.ExitNE(st[k].c, Imm(rev[2]))
+				b.ExitNE(st[k].d, Imm(rev[3]))
+			}
+		} else {
+			// The fully naive tail: feed-forward additions then compare.
+			for k := range st {
+				fa := b.Add(st[k].a, Imm(iv[0]))
+				fb := b.Add(st[k].b, Imm(iv[1]))
+				fc := b.Add(st[k].c, Imm(iv[2]))
+				fd := b.Add(st[k].d, Imm(iv[3]))
+				b.ExitNE(fa, Imm(cfg.Target[0]))
+				b.ExitNE(fb, Imm(cfg.Target[1]))
+				b.ExitNE(fc, Imm(cfg.Target[2]))
+				b.ExitNE(fd, Imm(cfg.Target[3]))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// emitMD5Step emits one MD5 step for every stream, interleaving the
+// streams' instructions so that adjacent instructions are independent
+// (that is what buys dual-issue slots on cc2.1/3.0).
+func emitMD5Step(b *Builder, st []md5Regs, i int, cfg MD5Config) {
+	g := md5x.MsgIndex(i)
+	s := uint8(md5x.Shift(i))
+	tc := md5TConst(i)
+
+	f := make([]Val, len(st))
+	mapStreams(st, func(k int) {
+		f[k] = emitMD5Round(b, i, st[k])
+	})
+	t1 := make([]Val, len(st))
+	mapStreams(st, func(k int) { t1[k] = b.Add(st[k].a, f[k]) })
+	t2 := make([]Val, len(st))
+	mapStreams(st, func(k int) {
+		var m Val
+		if g == 0 {
+			m = b.Input(k)
+		} else {
+			m = Imm(cfg.Template[g])
+		}
+		t2[k] = b.Add(t1[k], m)
+	})
+	t3 := make([]Val, len(st))
+	mapStreams(st, func(k int) { t3[k] = b.Add(t2[k], tc) })
+	rot := make([]Val, len(st))
+	mapStreams(st, func(k int) { rot[k] = b.Rotl(t3[k], s) })
+	mapStreams(st, func(k int) {
+		nb := b.Add(st[k].b, rot[k])
+		st[k] = md5Regs{a: st[k].d, b: nb, c: st[k].b, d: st[k].c}
+	})
+}
+
+// emitMD5Round emits the round function of step i on stream registers.
+func emitMD5Round(b *Builder, i int, r md5Regs) Val {
+	switch {
+	case i < 16: // F = (b & c) | (~b & d)
+		return b.Or(b.And(r.b, r.c), b.And(b.Not(r.b), r.d))
+	case i < 32: // G = (b & d) | (c & ~d)
+		return b.Or(b.And(r.b, r.d), b.And(r.c, b.Not(r.d)))
+	case i < 48: // H = b ^ c ^ d
+		return b.Xor(b.Xor(r.b, r.c), r.d)
+	default: // I = c ^ (b | ~d)
+		return b.Xor(r.c, b.Or(r.b, b.Not(r.d)))
+	}
+}
+
+func md5TConst(i int) Val { return Imm(md5x.T[i]) }
+
+// mapStreams runs f per stream. With one stream it is a plain call; with
+// two it yields the per-instruction interleaving.
+func mapStreams(st []md5Regs, f func(k int)) {
+	for k := range st {
+		f(k)
+	}
+}
+
+func exitAll(b *Builder, st []md5Regs, pick func(md5Regs) Val, want uint32) {
+	for k := range st {
+		b.ExitNE(pick(st[k]), Imm(want))
+	}
+}
+
+// BuildMD5Hash builds a pure hashing program (no target): input word 0
+// replaces template word 0, outputs are the four digest state words. Used
+// to differential-test the interpreter against the scratch MD5.
+func BuildMD5Hash(template [16]uint32) *Program {
+	b := NewBuilder("md5-hash", 1)
+	iv := md5x.IV()
+	st := []md5Regs{{a: Imm(iv[0]), b: Imm(iv[1]), c: Imm(iv[2]), d: Imm(iv[3])}}
+	cfg := MD5Config{Template: template}
+	for i := 0; i < 64; i++ {
+		emitMD5Step(b, st, i, cfg)
+	}
+	fa := b.Add(st[0].a, Imm(iv[0]))
+	fb := b.Add(st[0].b, Imm(iv[1]))
+	fc := b.Add(st[0].c, Imm(iv[2]))
+	fd := b.Add(st[0].d, Imm(iv[3]))
+	b.Output(fa, fb, fc, fd)
+	return b.Build()
+}

@@ -1,0 +1,197 @@
+package kernel
+
+import "keysearch/internal/hash/sha1x"
+
+// SHA1Config describes the SHA1 search kernel to build. SHA1's message
+// schedule expands word 0 into the late rounds, so there is no 15-step
+// reversal; the transferable optimizations are the hoisted feed-forward
+// (compare against target−IV) and the early-exit checks over the last five
+// steps. The paper notes SHA1's lower addition/logical-to-shift ratio
+// (≈1.53), which this builder reproduces structurally via the per-step
+// rotl5/rotl30 and the schedule's rotl1.
+type SHA1Config struct {
+	// Template is the packed single-block message (big-endian words);
+	// word 0 is the per-thread input.
+	Template [16]uint32
+	// Target is the digest to match, as big-endian state words.
+	Target [5]uint32
+	// EarlyExit emits exit checks at steps 75..79 instead of a single
+	// comparison after the feed-forward.
+	EarlyExit bool
+	// Interleave builds the two-way ILP variant.
+	Interleave bool
+}
+
+func (cfg SHA1Config) name() string {
+	n := "sha1"
+	if cfg.EarlyExit {
+		n += "+exit"
+	}
+	if cfg.Interleave {
+		n += "+ilp2"
+	}
+	return n
+}
+
+// Streams returns the number of candidates tested per program run.
+func (cfg SHA1Config) Streams() int {
+	if cfg.Interleave {
+		return 2
+	}
+	return 1
+}
+
+type sha1Regs struct {
+	a, b, c, d, e Val
+	w             [80]Val
+	nextW         int
+}
+
+// BuildSHA1 assembles the SHA1 search kernel program.
+func BuildSHA1(cfg SHA1Config) *Program {
+	streams := cfg.Streams()
+	b := NewBuilder(cfg.name(), streams)
+	iv := sha1x.IV()
+	st := make([]*sha1Regs, streams)
+	for k := range st {
+		r := &sha1Regs{a: Imm(iv[0]), b: Imm(iv[1]), c: Imm(iv[2]), d: Imm(iv[3]), e: Imm(iv[4])}
+		r.w[0] = b.Input(k)
+		for i := 1; i < 16; i++ {
+			r.w[i] = Imm(cfg.Template[i])
+		}
+		st[k] = r
+	}
+
+	var mid [5]uint32
+	for i := range mid {
+		mid[i] = cfg.Target[i] - iv[i]
+	}
+	rotr30 := func(x uint32) uint32 { return x>>30 | x<<2 }
+
+	for i := 0; i < 80; i++ {
+		emitSHA1Step(b, st, i)
+		if cfg.EarlyExit {
+			// Steps 75..79 pin, in order, the E, D, C, B, A components of
+			// the final state (see sha1x.Searcher for the register
+			// shifting argument).
+			switch i {
+			case 75:
+				for k := range st {
+					b.ExitNE(st[k].a, Imm(rotr30(mid[4])))
+				}
+			case 76:
+				for k := range st {
+					b.ExitNE(st[k].a, Imm(rotr30(mid[3])))
+				}
+			case 77:
+				for k := range st {
+					b.ExitNE(st[k].a, Imm(rotr30(mid[2])))
+				}
+			case 78:
+				for k := range st {
+					b.ExitNE(st[k].a, Imm(mid[1]))
+				}
+			case 79:
+				for k := range st {
+					b.ExitNE(st[k].a, Imm(mid[0]))
+				}
+			}
+		}
+	}
+	if !cfg.EarlyExit {
+		for k := range st {
+			b.ExitNE(st[k].a, Imm(mid[0]))
+			b.ExitNE(st[k].b, Imm(mid[1]))
+			b.ExitNE(st[k].c, Imm(mid[2]))
+			b.ExitNE(st[k].d, Imm(mid[3]))
+			b.ExitNE(st[k].e, Imm(mid[4]))
+		}
+	}
+	return b.Build()
+}
+
+// emitSHA1Step emits one SHA1 step (with on-demand schedule expansion) for
+// every stream, interleaving stream instructions.
+func emitSHA1Step(b *Builder, st []*sha1Regs, i int) {
+	// Schedule expansion W[i] = rotl1(W[i-3]^W[i-8]^W[i-14]^W[i-16]).
+	if i >= 16 {
+		x1 := make([]Val, len(st))
+		for k, r := range st {
+			x1[k] = b.Xor(r.w[i-3], r.w[i-8])
+		}
+		x2 := make([]Val, len(st))
+		for k, r := range st {
+			x2[k] = b.Xor(x1[k], r.w[i-14])
+		}
+		x3 := make([]Val, len(st))
+		for k, r := range st {
+			x3[k] = b.Xor(x2[k], r.w[i-16])
+		}
+		for k, r := range st {
+			r.w[i] = b.Rotl(x3[k], 1)
+		}
+	}
+
+	f := make([]Val, len(st))
+	for k, r := range st {
+		f[k] = emitSHA1Round(b, i, r)
+	}
+	r5 := make([]Val, len(st))
+	for k, r := range st {
+		r5[k] = b.Rotl(r.a, 5)
+	}
+	t1 := make([]Val, len(st))
+	for k := range st {
+		t1[k] = b.Add(r5[k], f[k])
+	}
+	t2 := make([]Val, len(st))
+	for k, r := range st {
+		t2[k] = b.Add(t1[k], r.e)
+	}
+	t3 := make([]Val, len(st))
+	for k, r := range st {
+		t3[k] = b.Add(t2[k], r.w[i])
+	}
+	t4 := make([]Val, len(st))
+	for k := range st {
+		t4[k] = b.Add(t3[k], Imm(sha1x.K[i/20]))
+	}
+	for k, r := range st {
+		c30 := b.Rotl(r.b, 30)
+		st[k].a, st[k].b, st[k].c, st[k].d, st[k].e = t4[k], r.a, c30, r.c, r.d
+	}
+}
+
+func emitSHA1Round(b *Builder, i int, r *sha1Regs) Val {
+	switch {
+	case i < 20: // Ch = (b & c) | (~b & d)
+		return b.Or(b.And(r.b, r.c), b.And(b.Not(r.b), r.d))
+	case i < 40, i >= 60: // Parity = b ^ c ^ d
+		return b.Xor(b.Xor(r.b, r.c), r.d)
+	default: // Maj = (b & c) | (b & d) | (c & d)
+		return b.Or(b.Or(b.And(r.b, r.c), b.And(r.b, r.d)), b.And(r.c, r.d))
+	}
+}
+
+// BuildSHA1Hash builds a pure hashing program: input word 0 replaces
+// template word 0, outputs are the five digest state words.
+func BuildSHA1Hash(template [16]uint32) *Program {
+	b := NewBuilder("sha1-hash", 1)
+	iv := sha1x.IV()
+	r := &sha1Regs{a: Imm(iv[0]), b: Imm(iv[1]), c: Imm(iv[2]), d: Imm(iv[3]), e: Imm(iv[4])}
+	r.w[0] = b.Input(0)
+	for i := 1; i < 16; i++ {
+		r.w[i] = Imm(template[i])
+	}
+	st := []*sha1Regs{r}
+	for i := 0; i < 80; i++ {
+		emitSHA1Step(b, st, i)
+	}
+	fa := b.Add(st[0].a, Imm(iv[0]))
+	fb := b.Add(st[0].b, Imm(iv[1]))
+	fc := b.Add(st[0].c, Imm(iv[2]))
+	fd := b.Add(st[0].d, Imm(iv[3]))
+	fe := b.Add(st[0].e, Imm(iv[4]))
+	b.Output(fa, fb, fc, fd, fe)
+	return b.Build()
+}

@@ -1,0 +1,92 @@
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Charset is an ordered set of distinct byte symbols. The order defines the
+// digit values of the base-N number system used by the enumeration: the
+// symbol at position 0 is the digit with value 0.
+type Charset struct {
+	symbols []byte
+	index   [256]int16 // -1 when the byte is not in the set
+}
+
+// Predefined charsets matching the ones used throughout the paper's
+// evaluation (Section VI uses lower+upper+digits, i.e. Alnum).
+var (
+	Lower  = MustCharset("abcdefghijklmnopqrstuvwxyz")
+	Upper  = MustCharset("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	Digits = MustCharset("0123456789")
+	Alpha  = MustCharset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	Alnum  = MustCharset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+	// Printable is the set of printable ASCII characters (space through ~).
+	Printable = mustPrintable()
+)
+
+func mustPrintable() *Charset {
+	b := make([]byte, 0, 95)
+	for c := byte(' '); c <= '~'; c++ {
+		b = append(b, c)
+	}
+	cs, err := NewCharset(string(b))
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// NewCharset builds a charset from the bytes of s, in order. It fails if s
+// is empty or contains duplicate bytes.
+func NewCharset(s string) (*Charset, error) {
+	if len(s) == 0 {
+		return nil, errors.New("keyspace: empty charset")
+	}
+	if len(s) > 256 {
+		return nil, fmt.Errorf("keyspace: charset too large (%d > 256)", len(s))
+	}
+	c := &Charset{symbols: []byte(s)}
+	for i := range c.index {
+		c.index[i] = -1
+	}
+	for i, b := range c.symbols {
+		if c.index[b] >= 0 {
+			return nil, fmt.Errorf("keyspace: duplicate symbol %q in charset", b)
+		}
+		c.index[b] = int16(i)
+	}
+	return c, nil
+}
+
+// MustCharset is like NewCharset but panics on error. It is intended for
+// package-level charset constants.
+func MustCharset(s string) *Charset {
+	c, err := NewCharset(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of symbols N in the charset.
+func (c *Charset) Len() int { return len(c.symbols) }
+
+// Symbol returns the symbol with digit value i.
+func (c *Charset) Symbol(i int) byte { return c.symbols[i] }
+
+// Index returns the digit value of symbol b, or -1 if b is not in the set.
+func (c *Charset) Index(b byte) int { return int(c.index[b]) }
+
+// Contains reports whether every byte of key belongs to the charset.
+func (c *Charset) Contains(key []byte) bool {
+	for _, b := range key {
+		if c.index[b] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns the symbols of the charset in digit order.
+func (c *Charset) String() string { return string(c.symbols) }

@@ -1,0 +1,76 @@
+package keyspace
+
+import "testing"
+
+func TestNewCharset(t *testing.T) {
+	cs, err := NewCharset("abc")
+	if err != nil {
+		t.Fatalf("NewCharset: %v", err)
+	}
+	if cs.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", cs.Len())
+	}
+	for i, want := range []byte{'a', 'b', 'c'} {
+		if got := cs.Symbol(i); got != want {
+			t.Errorf("Symbol(%d) = %q, want %q", i, got, want)
+		}
+		if got := cs.Index(want); got != i {
+			t.Errorf("Index(%q) = %d, want %d", want, got, i)
+		}
+	}
+	if cs.Index('z') != -1 {
+		t.Errorf("Index('z') = %d, want -1", cs.Index('z'))
+	}
+}
+
+func TestNewCharsetErrors(t *testing.T) {
+	if _, err := NewCharset(""); err == nil {
+		t.Error("empty charset: want error")
+	}
+	if _, err := NewCharset("aa"); err == nil {
+		t.Error("duplicate symbols: want error")
+	}
+	if _, err := NewCharset("aba"); err == nil {
+		t.Error("duplicate symbols: want error")
+	}
+}
+
+func TestPredefinedCharsets(t *testing.T) {
+	cases := []struct {
+		cs   *Charset
+		want int
+	}{
+		{Lower, 26},
+		{Upper, 26},
+		{Digits, 10},
+		{Alpha, 52},
+		{Alnum, 62},
+		{Printable, 95},
+	}
+	for _, c := range cases {
+		if c.cs.Len() != c.want {
+			t.Errorf("charset %q: Len = %d, want %d", c.cs.String()[:5], c.cs.Len(), c.want)
+		}
+	}
+}
+
+func TestCharsetContains(t *testing.T) {
+	if !Lower.Contains([]byte("hello")) {
+		t.Error("Lower should contain \"hello\"")
+	}
+	if Lower.Contains([]byte("Hello")) {
+		t.Error("Lower should not contain \"Hello\"")
+	}
+	if !Alnum.Contains(nil) {
+		t.Error("every charset contains the empty key")
+	}
+}
+
+func TestMustCharsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCharset(\"\") should panic")
+		}
+	}()
+	MustCharset("")
+}

@@ -1,0 +1,112 @@
+package keyspace
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Cursor walks a key space sequentially using the cheap next operator of
+// Figure 2 instead of re-running the f(id) conversion of Figure 1 for every
+// candidate. This is the paper's core fine-grain optimization: K_next is a
+// small constant (usually a single byte mutation) while K_f grows with the
+// key length.
+//
+// A Cursor is not safe for concurrent use; each worker thread owns one.
+type Cursor struct {
+	space *Space
+	key   []byte
+	done  bool
+}
+
+// NewCursor positions a cursor on the key with dense identifier id.
+func NewCursor(s *Space, id *big.Int) (*Cursor, error) {
+	key, err := s.AppendKey(make([]byte, 0, s.maxLen+1), id)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{space: s, key: key}, nil
+}
+
+// NewCursor64 positions a cursor on the key with identifier id (uint64 fast
+// path). It panics when the space does not fit in a uint64.
+func NewCursor64(s *Space, id uint64) *Cursor {
+	key := s.AppendKey64(make([]byte, 0, s.maxLen+1), id)
+	return &Cursor{space: s, key: key}
+}
+
+// CursorAt positions a cursor on an explicit key, which must belong to the
+// space.
+func CursorAt(s *Space, key []byte) (*Cursor, error) {
+	if !s.Contains(key) {
+		return nil, fmt.Errorf("keyspace: key %q not in space", key)
+	}
+	c := &Cursor{space: s, key: make([]byte, len(key), s.maxLen+1)}
+	copy(c.key, key)
+	return c, nil
+}
+
+// Key returns the current key. The returned slice aliases the cursor's
+// internal buffer and is invalidated by Next; copy it to retain it.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Exhausted reports whether the cursor has moved past the end of the space.
+func (c *Cursor) Exhausted() bool { return c.done }
+
+// Next advances the cursor to the successor key. It returns false, and
+// marks the cursor exhausted, when the current key is the last one of the
+// space. The amortized cost is O(1): most calls mutate a single byte.
+func (c *Cursor) Next() bool {
+	if c.done {
+		return false
+	}
+	c.key = nextRaw(c.key, c.space.cs, c.space.order)
+	if len(c.key) > c.space.maxLen {
+		// The previous key was the last one of the space: every position
+		// held the top symbol. Restore it and mark the cursor exhausted.
+		top := c.space.cs.Symbol(c.space.cs.Len() - 1)
+		c.key = c.key[:c.space.maxLen]
+		for i := range c.key {
+			c.key[i] = top
+		}
+		c.done = true
+		return false
+	}
+	return true
+}
+
+// Skip advances the cursor by n keys (equivalent to n calls to Next).
+// It returns the number of keys actually skipped, which is smaller than n
+// only when the space is exhausted first. Skip re-derives the key from the
+// identifier, so it costs one f(id) conversion, not n next operations.
+func (c *Cursor) Skip(n *big.Int) (*big.Int, error) {
+	if n.Sign() < 0 {
+		return nil, fmt.Errorf("keyspace: negative skip %v", n)
+	}
+	if c.done {
+		return new(big.Int), nil
+	}
+	id, err := c.space.ID(c.key)
+	if err != nil {
+		return nil, err
+	}
+	id.Add(id, n)
+	last := new(big.Int).Sub(c.space.size, oneBig)
+	skipped := new(big.Int).Set(n)
+	if id.Cmp(last) > 0 {
+		over := new(big.Int).Sub(id, last)
+		skipped.Sub(skipped, over)
+		if skipped.Sign() < 0 {
+			skipped.SetInt64(0)
+		}
+		c.done = true
+		id.Set(last)
+	}
+	c.key, err = c.space.AppendKey(c.key[:0], id)
+	if err != nil {
+		return nil, err
+	}
+	return skipped, nil
+}
+
+// ID returns the dense identifier of the current key.
+func (c *Cursor) ID() (*big.Int, error) { return c.space.ID(c.key) }

@@ -1,0 +1,16 @@
+// Package keyspace implements the candidate-key enumeration of the paper
+// "Exhaustive Key Search on Clusters of GPUs" (Barbieri, Cardellini,
+// Filippone; IPPS 2014), Section IV.
+//
+// A key space is the set of strings over a finite charset whose length lies
+// in [MinLen, MaxLen]. The package provides the bijection f : N -> S of
+// Figure 1, the cheap successor operator next of Figure 2, the two
+// enumeration orders of equations (1) and (4) of the paper, the closed-form
+// space-size formulas of equations (2) and (3), and exact interval
+// arithmetic used to partition the space across computing nodes.
+//
+// Identifiers are arbitrary-precision (math/big) because realistic spaces
+// exceed 2^64 (62 alphanumeric symbols at length 20 is about 7e35); a uint64
+// fast path is provided for spaces that fit, which is what the per-thread
+// hot loops use.
+package keyspace

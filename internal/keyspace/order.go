@@ -1,0 +1,41 @@
+package keyspace
+
+// Order selects one of the two enumeration orders defined in the paper.
+//
+// SuffixMajor is the mapping of equation (1) (Figure 1 as printed): the
+// *last* character of the key is the least-significant digit and therefore
+// changes fastest:
+//
+//	[0,1,2,...] -> [ε, a, b, c, aa, ab, ac, ba, bb, ...]
+//
+// PrefixMajor is the mapping of equation (4), obtained by appending instead
+// of prepending in Figure 1: the *first* character is the least-significant
+// digit:
+//
+//	[0,1,2,...] -> [ε, a, b, c, aa, ba, ca, ab, bb, ...]
+//
+// PrefixMajor is the order required by the GPU reversal optimization of
+// Section V: a thread iterating over consecutive identifiers only mutates
+// the first 4-byte block of the key, so the 15 reversed MD5 steps (which do
+// not read that block) can be hoisted out of the loop.
+type Order int
+
+const (
+	SuffixMajor Order = iota // equation (1): last character changes fastest
+	PrefixMajor              // equation (4): first character changes fastest
+)
+
+// String returns the name of the order.
+func (o Order) String() string {
+	switch o {
+	case SuffixMajor:
+		return "suffix-major"
+	case PrefixMajor:
+		return "prefix-major"
+	default:
+		return "invalid-order"
+	}
+}
+
+// Valid reports whether o is one of the defined orders.
+func (o Order) Valid() bool { return o == SuffixMajor || o == PrefixMajor }

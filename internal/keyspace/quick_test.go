@@ -1,0 +1,141 @@
+package keyspace
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: f is injective — distinct ids map to distinct keys — and ID is
+// its exact inverse, for random charsets/orders/ids.
+func TestQuickBijection(t *testing.T) {
+	charsets := []*Charset{abc, Lower, Digits, Alnum}
+	f := func(csIdx uint8, orderBit bool, rawA, rawB uint32) bool {
+		cs := charsets[int(csIdx)%len(charsets)]
+		order := SuffixMajor
+		if orderBit {
+			order = PrefixMajor
+		}
+		s := MustNew(cs, 0, 6, order)
+		size, _ := s.Size64()
+		a := uint64(rawA) % size
+		b := uint64(rawB) % size
+		ka := s.Key64(a)
+		kb := s.Key64(b)
+		if (a == b) != (string(ka) == string(kb)) {
+			return false
+		}
+		ia, err := s.ID64(ka)
+		return err == nil && ia == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: next(f(i)) == f(i+1) starting at random positions.
+func TestQuickSuccessor(t *testing.T) {
+	f := func(orderBit bool, rawStart uint32, rawSteps uint8) bool {
+		order := SuffixMajor
+		if orderBit {
+			order = PrefixMajor
+		}
+		s := MustNew(Lower, 1, 5, order)
+		size, _ := s.Size64()
+		start := uint64(rawStart) % size
+		steps := uint64(rawSteps)
+		if start+steps >= size {
+			steps = size - 1 - start
+		}
+		c := NewCursor64(s, start)
+		for k := uint64(1); k <= steps; k++ {
+			if !c.Next() {
+				return false
+			}
+			want := s.Key64(start + k)
+			if string(c.Key()) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitWeighted always forms an exact contiguous partition.
+func TestQuickSplitWeightedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(rawLen uint32, nNodes uint8) bool {
+		n := int(nNodes)%8 + 1
+		weights := make([]float64, n)
+		any := false
+		for i := range weights {
+			weights[i] = float64(rng.Intn(2000))
+			if weights[i] > 0 {
+				any = true
+			}
+		}
+		if !any {
+			weights[0] = 1
+		}
+		iv := NewInterval(0, int64(rawLen))
+		parts, err := iv.SplitWeighted(weights)
+		if err != nil {
+			return false
+		}
+		cur := new(big.Int)
+		for _, p := range parts {
+			if p.Start.Cmp(cur) != 0 || p.Len().Sign() < 0 {
+				return false
+			}
+			cur = p.End
+		}
+		return cur.Cmp(iv.End) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Skip(n) lands on the same key as n Next calls.
+func TestQuickSkipEqualsNext(t *testing.T) {
+	f := func(rawStart uint16, rawSkip uint8) bool {
+		s := MustNew(abc, 0, 6, SuffixMajor)
+		size, _ := s.Size64()
+		start := uint64(rawStart) % size
+		skip := uint64(rawSkip)
+		a := NewCursor64(s, start)
+		b := NewCursor64(s, start)
+		if _, err := a.Skip(new(big.Int).SetUint64(skip)); err != nil {
+			return false
+		}
+		for i := uint64(0); i < skip; i++ {
+			b.Next()
+		}
+		return string(a.Key()) == string(b.Key()) && a.Exhausted() == b.Exhausted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFOfID(b *testing.B) {
+	s := MustNew(Alnum, 8, 8, PrefixMajor)
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendKey64(buf[:0], uint64(i)%1_000_000)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	s := MustNew(Alnum, 8, 8, PrefixMajor)
+	c := NewCursor64(s, 0)
+	for i := 0; i < b.N; i++ {
+		if !c.Next() {
+			c = NewCursor64(s, 0)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package keyspace
+
+import "math/big"
+
+// This file implements the raw enumeration over *all* strings of a charset
+// (any length, including the empty string), exactly as in Figures 1 and 2
+// of the paper. Space (space.go) layers the [MinLen, MaxLen] window on top.
+
+// appendRawKey appends f(id) to dst and returns the extended slice,
+// following the algorithm of Figure 1 (adapted to the chosen order).
+// id is consumed.
+func appendRawKey(dst []byte, id *big.Int, cs *Charset, order Order) []byte {
+	n := big.NewInt(int64(cs.Len()))
+	var rem big.Int
+	start := len(dst)
+	for id.Sign() > 0 {
+		id.Sub(id, oneBig)
+		id.QuoRem(id, n, &rem)
+		// Figure 1 prepends (suffix-major); equation (4) appends instead.
+		// We always append and fix up with a reversal for suffix-major,
+		// which avoids quadratic behaviour on long keys.
+		dst = append(dst, cs.Symbol(int(rem.Int64())))
+	}
+	if order == SuffixMajor {
+		reverseBytes(dst[start:])
+	}
+	return dst
+}
+
+// appendRawKey64 is the uint64 fast path of appendRawKey.
+func appendRawKey64(dst []byte, id uint64, cs *Charset, order Order) []byte {
+	n := uint64(cs.Len())
+	start := len(dst)
+	for id > 0 {
+		id--
+		dst = append(dst, cs.Symbol(int(id%n)))
+		id /= n
+	}
+	if order == SuffixMajor {
+		reverseBytes(dst[start:])
+	}
+	return dst
+}
+
+// rawID computes the inverse of appendRawKey: the identifier of key in the
+// raw enumeration. It returns nil if key contains a byte outside cs.
+func rawID(key []byte, cs *Charset, order Order) *big.Int {
+	n := big.NewInt(int64(cs.Len()))
+	id := new(big.Int)
+	if order == SuffixMajor {
+		for _, b := range key {
+			d := cs.Index(b)
+			if d < 0 {
+				return nil
+			}
+			// id = id*n + (d+1)
+			id.Mul(id, n)
+			id.Add(id, big.NewInt(int64(d)+1))
+		}
+	} else {
+		for i := len(key) - 1; i >= 0; i-- {
+			d := cs.Index(key[i])
+			if d < 0 {
+				return nil
+			}
+			id.Mul(id, n)
+			id.Add(id, big.NewInt(int64(d)+1))
+		}
+	}
+	return id
+}
+
+// nextRaw advances key to its successor in the raw enumeration, following
+// Figure 2 (adapted to the chosen order). It mutates key in place when the
+// length does not change and returns the possibly re-sliced key. In most
+// calls it touches a single byte, which is the property the paper's cost
+// model relies on (K_next << K_f).
+func nextRaw(key []byte, cs *Charset, order Order) []byte {
+	n := cs.Len()
+	if order == SuffixMajor {
+		for i := len(key) - 1; i >= 0; i-- {
+			d := cs.Index(key[i]) + 1
+			if d < n {
+				key[i] = cs.Symbol(d)
+				return key
+			}
+			key[i] = cs.Symbol(0)
+		}
+	} else {
+		for i := 0; i < len(key); i++ {
+			d := cs.Index(key[i]) + 1
+			if d < n {
+				key[i] = cs.Symbol(d)
+				return key
+			}
+			key[i] = cs.Symbol(0)
+		}
+	}
+	// Every position wrapped: the successor is one character longer, all
+	// zero digits. The wrapped positions are already charset[0].
+	return append(key, cs.Symbol(0))
+}
+
+func reverseBytes(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+var oneBig = big.NewInt(1)

@@ -1,0 +1,176 @@
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// MaxKeyLen is the maximum supported key length. The paper limits candidate
+// keys to 20 characters (Section IV-A); we keep the same bound so that every
+// candidate fits in a single 64-byte MD5/SHA1 block after padding.
+const MaxKeyLen = 20
+
+// Space is the set of keys over a charset whose length lies in
+// [MinLen, MaxLen], enumerated in a fixed Order. Identifiers are dense:
+// ids 0 .. Size()-1 map bijectively onto the keys, shortest keys first.
+type Space struct {
+	cs     *Charset
+	minLen int
+	maxLen int
+	order  Order
+
+	size   *big.Int // total number of keys, equation (2)/(3)
+	offset *big.Int // number of raw strings shorter than minLen
+	size64 uint64   // size when it fits a uint64, else 0
+	off64  uint64   // offset when the whole raw range fits a uint64, else 0
+	fits64 bool
+}
+
+// New builds a key space. minLen may be 0 (the empty string is then a
+// candidate, as in the paper's equation (1) enumeration).
+func New(cs *Charset, minLen, maxLen int, order Order) (*Space, error) {
+	if cs == nil {
+		return nil, errors.New("keyspace: nil charset")
+	}
+	if !order.Valid() {
+		return nil, fmt.Errorf("keyspace: invalid order %d", int(order))
+	}
+	if minLen < 0 || maxLen < minLen {
+		return nil, fmt.Errorf("keyspace: invalid length range [%d, %d]", minLen, maxLen)
+	}
+	if maxLen > MaxKeyLen {
+		return nil, fmt.Errorf("keyspace: max length %d exceeds limit %d", maxLen, MaxKeyLen)
+	}
+	s := &Space{cs: cs, minLen: minLen, maxLen: maxLen, order: order}
+	s.size = SizeRange(cs.Len(), minLen, maxLen)
+	if minLen == 0 {
+		s.offset = new(big.Int)
+	} else {
+		s.offset = SizeRange(cs.Len(), 0, minLen-1)
+	}
+	end := new(big.Int).Add(s.offset, s.size)
+	if end.IsUint64() {
+		s.fits64 = true
+		s.size64 = s.size.Uint64()
+		s.off64 = s.offset.Uint64()
+	}
+	return s, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(cs *Charset, minLen, maxLen int, order Order) *Space {
+	s, err := New(cs, minLen, maxLen, order)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SizeRange returns the number of strings over an n-symbol charset with
+// length in [k0, k], i.e. equation (2) of the paper, or equation (3) when
+// n == 1.
+func SizeRange(n, k0, k int) *big.Int {
+	if k < k0 {
+		return new(big.Int)
+	}
+	if n == 1 {
+		// Equation (3): S = K - K0 + 1.
+		return big.NewInt(int64(k - k0 + 1))
+	}
+	// Equation (2): S = (N^(K+1) - N^K0) / (N - 1).
+	nn := big.NewInt(int64(n))
+	hi := new(big.Int).Exp(nn, big.NewInt(int64(k+1)), nil)
+	lo := new(big.Int).Exp(nn, big.NewInt(int64(k0)), nil)
+	hi.Sub(hi, lo)
+	return hi.Quo(hi, big.NewInt(int64(n-1)))
+}
+
+// Charset returns the space's charset.
+func (s *Space) Charset() *Charset { return s.cs }
+
+// MinLen returns the minimum key length.
+func (s *Space) MinLen() int { return s.minLen }
+
+// MaxLen returns the maximum key length.
+func (s *Space) MaxLen() int { return s.maxLen }
+
+// Order returns the enumeration order.
+func (s *Space) Order() Order { return s.order }
+
+// Size returns the number of keys in the space as a fresh big.Int.
+func (s *Space) Size() *big.Int { return new(big.Int).Set(s.size) }
+
+// Size64 returns the number of keys and true when it fits in a uint64.
+func (s *Space) Size64() (uint64, bool) { return s.size64, s.fits64 }
+
+// Contains reports whether key is a member of the space.
+func (s *Space) Contains(key []byte) bool {
+	return len(key) >= s.minLen && len(key) <= s.maxLen && s.cs.Contains(key)
+}
+
+// AppendKey appends the key with the given dense identifier to dst.
+// It returns an error if id is out of range. id is not modified.
+func (s *Space) AppendKey(dst []byte, id *big.Int) ([]byte, error) {
+	if id.Sign() < 0 || id.Cmp(s.size) >= 0 {
+		return dst, fmt.Errorf("keyspace: id %v out of range [0, %v)", id, s.size)
+	}
+	raw := new(big.Int).Add(id, s.offset)
+	return appendRawKey(dst, raw, s.cs, s.order), nil
+}
+
+// Key returns the key with the given dense identifier.
+func (s *Space) Key(id *big.Int) ([]byte, error) {
+	return s.AppendKey(nil, id)
+}
+
+// Key64 returns the key with the given dense identifier using uint64
+// arithmetic. It panics if the space does not fit in a uint64 or id is out
+// of range; use Key for big spaces.
+func (s *Space) Key64(id uint64) []byte {
+	return s.AppendKey64(nil, id)
+}
+
+// AppendKey64 appends the key with identifier id to dst (uint64 fast path).
+func (s *Space) AppendKey64(dst []byte, id uint64) []byte {
+	if !s.fits64 {
+		panic("keyspace: space does not fit in uint64; use AppendKey")
+	}
+	if id >= s.size64 {
+		panic(fmt.Sprintf("keyspace: id %d out of range [0, %d)", id, s.size64))
+	}
+	return appendRawKey64(dst, id+s.off64, s.cs, s.order)
+}
+
+// ID returns the dense identifier of key, or an error if key is not in the
+// space.
+func (s *Space) ID(key []byte) (*big.Int, error) {
+	if !s.Contains(key) {
+		return nil, fmt.Errorf("keyspace: key %q not in space", key)
+	}
+	raw := rawID(key, s.cs, s.order)
+	return raw.Sub(raw, s.offset), nil
+}
+
+// ID64 returns the dense identifier of key using uint64 arithmetic.
+func (s *Space) ID64(key []byte) (uint64, error) {
+	if !s.fits64 {
+		return 0, errors.New("keyspace: space does not fit in uint64; use ID")
+	}
+	id, err := s.ID(key)
+	if err != nil {
+		return 0, err
+	}
+	return id.Uint64(), nil
+}
+
+// Whole returns the interval covering the entire space.
+func (s *Space) Whole() Interval {
+	return Interval{Start: new(big.Int), End: s.Size()}
+}
+
+// String describes the space.
+func (s *Space) String() string {
+	return fmt.Sprintf("keyspace{N=%d len=[%d,%d] %s size=%v}",
+		s.cs.Len(), s.minLen, s.maxLen, s.order, s.size)
+}

@@ -1,0 +1,367 @@
+// Package markov implements Markov-chain guided key enumeration, the
+// technique the paper's related work singles out (Marechal's "Advances in
+// password cracking" and Narayanan–Shmatikov's time-space tradeoff
+// dictionary attacks) and that §III.A explicitly leaves room for: "f(i)
+// can be trivial or it can follow a heuristics to favor testing of the
+// most likely solutions".
+//
+// A first-order character model assigns every key an integer cost
+// (quantized bits of surprisal); the set of keys with cost in a band
+// (lo, hi] forms a search space with an *exact bijection* f : [0, size) ->
+// keys, implemented by dynamic-programming rank/unrank. Because the space
+// still provides dense identifiers, the whole machinery of the paper —
+// interval splitting, tuning, balanced dispatch, TCP workers — applies
+// unchanged to probability-ordered cracking: search the cheapest band
+// first, then widen.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// MaxLen is the maximum supported key length (keeps the uint64 ranking
+// arithmetic overflow-free for every charset up to 256 symbols).
+const MaxLen = 10
+
+// Model is a first-order character model over a charset: quantized
+// surprisal costs for the first character and for each transition.
+type Model struct {
+	cs *keyspace.Charset
+	// startCost[d] is the cost of starting with symbol d.
+	startCost []int
+	// transCost[p][d] is the cost of symbol d following symbol p.
+	transCost [][]int
+	maxCost   int
+}
+
+// Train fits a model on sample words (typically a leaked-password corpus)
+// with add-one smoothing. Sample characters outside the charset are
+// skipped. The cost unit is one bit of surprisal, rounded.
+func Train(samples []string, cs *keyspace.Charset) (*Model, error) {
+	if cs == nil {
+		return nil, errors.New("markov: nil charset")
+	}
+	n := cs.Len()
+	startN := make([]float64, n)
+	transN := make([][]float64, n)
+	for i := range transN {
+		transN[i] = make([]float64, n)
+	}
+	for _, w := range samples {
+		prev := -1
+		for i := 0; i < len(w); i++ {
+			d := cs.Index(w[i])
+			if d < 0 {
+				prev = -1
+				continue
+			}
+			if prev < 0 {
+				startN[d]++
+			} else {
+				transN[prev][d]++
+			}
+			prev = d
+		}
+	}
+
+	m := &Model{cs: cs, startCost: make([]int, n), transCost: make([][]int, n)}
+	quantize := func(count, total float64) int {
+		p := (count + 1) / (total + float64(n)) // add-one smoothing
+		c := int(math.Round(-math.Log2(p)))
+		if c < 1 {
+			c = 1 // every character costs something
+		}
+		return c
+	}
+	var startTotal float64
+	for _, c := range startN {
+		startTotal += c
+	}
+	for d := 0; d < n; d++ {
+		m.startCost[d] = quantize(startN[d], startTotal)
+		if m.startCost[d] > m.maxCost {
+			m.maxCost = m.startCost[d]
+		}
+	}
+	for p := 0; p < n; p++ {
+		m.transCost[p] = make([]int, n)
+		var rowTotal float64
+		for _, c := range transN[p] {
+			rowTotal += c
+		}
+		for d := 0; d < n; d++ {
+			m.transCost[p][d] = quantize(transN[p][d], rowTotal)
+			if m.transCost[p][d] > m.maxCost {
+				m.maxCost = m.transCost[p][d]
+			}
+		}
+	}
+	return m, nil
+}
+
+// Charset returns the model's charset.
+func (m *Model) Charset() *keyspace.Charset { return m.cs }
+
+// Cost returns the model cost of a key, or an error if a byte is outside
+// the charset or the key is empty.
+func (m *Model) Cost(key []byte) (int, error) {
+	if len(key) == 0 {
+		return 0, errors.New("markov: empty key")
+	}
+	prev := m.cs.Index(key[0])
+	if prev < 0 {
+		return 0, fmt.Errorf("markov: byte %q not in charset", key[0])
+	}
+	total := m.startCost[prev]
+	for _, b := range key[1:] {
+		d := m.cs.Index(b)
+		if d < 0 {
+			return 0, fmt.Errorf("markov: byte %q not in charset", b)
+		}
+		total += m.transCost[prev][d]
+		prev = d
+	}
+	return total, nil
+}
+
+// Space is the set of keys with length in [minLen, maxLen] and model cost
+// in (lo, hi], with dense identifiers: shorter keys first, then by charset
+// order. It implements the exact f/rank pair via per-state suffix counts.
+type Space struct {
+	model          *Model
+	minLen, maxLen int
+	lo, hi         int
+
+	// cum[r][p][b] = number of length-r suffixes following symbol p with
+	// suffix cost <= b (b in 0..hi). p == n is the virtual start state.
+	cum [][][]uint64
+	// sizeByLen[L] = number of keys of length L in the band.
+	sizeByLen []uint64
+	size      uint64
+}
+
+// NewSpace builds the band space. lo = -1 yields all keys with cost <= hi.
+func NewSpace(m *Model, minLen, maxLen, lo, hi int) (*Space, error) {
+	if minLen < 1 || maxLen < minLen || maxLen > MaxLen {
+		return nil, fmt.Errorf("markov: bad length range [%d, %d]", minLen, maxLen)
+	}
+	if hi < 0 || lo >= hi {
+		return nil, fmt.Errorf("markov: bad cost band (%d, %d]", lo, hi)
+	}
+	n := m.cs.Len()
+	// Overflow guard: total keys <= N^maxLen must fit comfortably.
+	if math.Pow(float64(n), float64(maxLen)) > math.MaxUint64/4 {
+		return nil, errors.New("markov: charset^maxLen too large for uint64 ranking")
+	}
+
+	s := &Space{model: m, minLen: minLen, maxLen: maxLen, lo: lo, hi: hi}
+	// Build cumulative suffix counts. State p in [0,n] (n = start state).
+	s.cum = make([][][]uint64, maxLen+1)
+	for r := 0; r <= maxLen; r++ {
+		s.cum[r] = make([][]uint64, n+1)
+		for p := 0; p <= n; p++ {
+			s.cum[r][p] = make([]uint64, hi+1)
+		}
+	}
+	for p := 0; p <= n; p++ {
+		for b := 0; b <= hi; b++ {
+			s.cum[0][p][b] = 1 // the empty suffix costs 0
+		}
+	}
+	costOf := func(p, d int) int {
+		if p == n {
+			return m.startCost[d]
+		}
+		return m.transCost[p][d]
+	}
+	for r := 1; r <= maxLen; r++ {
+		for p := 0; p <= n; p++ {
+			row := s.cum[r][p]
+			for d := 0; d < n; d++ {
+				c := costOf(p, d)
+				sub := s.cum[r-1][d]
+				for b := c; b <= hi; b++ {
+					row[b] += sub[b-c]
+				}
+			}
+		}
+	}
+
+	// Band counts per length: suffixes from the start state with cost in
+	// (lo, hi]: cum[L][n][hi] - cum[L][n][lo].
+	s.sizeByLen = make([]uint64, maxLen+1)
+	for L := minLen; L <= maxLen; L++ {
+		total := s.cum[L][n][hi]
+		if lo >= 0 {
+			total -= s.cum[L][n][lo]
+		}
+		s.sizeByLen[L] = total
+		s.size += total
+	}
+	return s, nil
+}
+
+// window returns the number of length-r suffixes from state p whose cost
+// lands the running total within (lo, hi], given `spent` already.
+func (s *Space) window(r, p, spent int) uint64 {
+	hiB := s.hi - spent
+	if hiB < 0 {
+		return 0
+	}
+	v := s.cum[r][p][hiB]
+	loB := s.lo - spent
+	if loB >= 0 {
+		v -= s.cum[r][p][loB]
+	}
+	return v
+}
+
+// Size returns the number of keys in the band.
+func (s *Space) Size() *big.Int { return new(big.Int).SetUint64(s.size) }
+
+// Size64 returns the size as a uint64.
+func (s *Space) Size64() uint64 { return s.size }
+
+// AppendKey unranks identifier id into dst (f(id)).
+func (s *Space) AppendKey(dst []byte, id uint64) ([]byte, error) {
+	if id >= s.size {
+		return dst, fmt.Errorf("markov: id %d out of range [0, %d)", id, s.size)
+	}
+	L := s.minLen
+	for id >= s.sizeByLen[L] {
+		id -= s.sizeByLen[L]
+		L++
+	}
+	n := s.model.cs.Len()
+	p := n // start state
+	spent := 0
+	for pos := 0; pos < L; pos++ {
+		for d := 0; d < n; d++ {
+			var c int
+			if p == n {
+				c = s.model.startCost[d]
+			} else {
+				c = s.model.transCost[p][d]
+			}
+			completions := s.window(L-pos-1, d, spent+c)
+			if id < completions {
+				dst = append(dst, s.model.cs.Symbol(d))
+				p = d
+				spent += c
+				break
+			}
+			id -= completions
+			if d == n-1 {
+				return dst, errors.New("markov: internal unrank error")
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Rank returns the identifier of key (the inverse of AppendKey), or an
+// error if the key is not in the band.
+func (s *Space) Rank(key []byte) (uint64, error) {
+	L := len(key)
+	if L < s.minLen || L > s.maxLen {
+		return 0, fmt.Errorf("markov: key length %d outside [%d, %d]", L, s.minLen, s.maxLen)
+	}
+	cost, err := s.model.Cost(key)
+	if err != nil {
+		return 0, err
+	}
+	if cost <= s.lo || cost > s.hi {
+		return 0, fmt.Errorf("markov: key cost %d outside band (%d, %d]", cost, s.lo, s.hi)
+	}
+	var id uint64
+	for l := s.minLen; l < L; l++ {
+		id += s.sizeByLen[l]
+	}
+	n := s.model.cs.Len()
+	p := n
+	spent := 0
+	for pos := 0; pos < L; pos++ {
+		want := s.model.cs.Index(key[pos])
+		for d := 0; d < want; d++ {
+			var c int
+			if p == n {
+				c = s.model.startCost[d]
+			} else {
+				c = s.model.transCost[p][d]
+			}
+			id += s.window(L-pos-1, d, spent+c)
+		}
+		if p == n {
+			spent += s.model.startCost[want]
+		} else {
+			spent += s.model.transCost[p][want]
+		}
+		p = want
+	}
+	return id, nil
+}
+
+// Factory adapts the band space to core.Factory so the standard search
+// engine and dispatchers drive it.
+func (s *Space) Factory() core.Factory {
+	return core.FuncFactory{
+		New:      func() core.Enumerator { return &enum{space: s} },
+		SpaceLen: s.Size(),
+	}
+}
+
+type enum struct {
+	space *Space
+	id    uint64
+	buf   []byte
+}
+
+// Seek positions the enumerator at identifier id.
+func (e *enum) Seek(id *big.Int) error {
+	if !id.IsUint64() {
+		return fmt.Errorf("markov: id %v out of range", id)
+	}
+	e.id = id.Uint64()
+	var err error
+	e.buf, err = e.space.AppendKey(e.buf[:0], e.id)
+	return err
+}
+
+// Candidate returns the current key.
+func (e *enum) Candidate() []byte { return e.buf }
+
+// Next advances to the next key of the band.
+func (e *enum) Next() bool {
+	if e.id+1 >= e.space.size {
+		return false
+	}
+	e.id++
+	var err error
+	e.buf, err = e.space.AppendKey(e.buf[:0], e.id)
+	return err == nil
+}
+
+// Bands partitions costs (0, maxCost] into k contiguous bands of equal
+// width for the widen-as-you-go attack loop.
+func Bands(maxCost, k int) [][2]int {
+	if k <= 0 || maxCost <= 0 {
+		return nil
+	}
+	out := make([][2]int, 0, k)
+	lo := -1
+	for i := 1; i <= k; i++ {
+		hi := maxCost * i / k
+		if hi <= lo {
+			continue
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package markov
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+var corpus = []string{
+	"password", "dragon", "sunshine", "shadow", "master", "monkey",
+	"summer", "banana", "flower", "orange", "silver", "golden",
+	"hello", "lovely", "happy", "people", "little", "letter",
+}
+
+func trained(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(corpus, keyspace.Lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCostOrdering(t *testing.T) {
+	m := trained(t)
+	// A corpus word must cost less than charset-uniform junk of the same
+	// length.
+	word, err := m.Cost([]byte("dragon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk, err := m.Cost([]byte("qxzjwq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word >= junk {
+		t.Errorf("cost(dragon)=%d not below cost(qxzjwq)=%d", word, junk)
+	}
+	if _, err := m.Cost([]byte("UPPER")); err == nil {
+		t.Error("out-of-charset key accepted")
+	}
+	if _, err := m.Cost(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+// TestRankUnrankBijection: AppendKey and Rank must be exact inverses over
+// the whole band, and enumeration must cover each in-band key exactly once.
+func TestRankUnrankBijection(t *testing.T) {
+	m := trained(t)
+	s, err := NewSpace(m, 1, 3, -1, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := s.Size64()
+	if size == 0 {
+		t.Fatal("empty band")
+	}
+	seen := make(map[string]bool, size)
+	var buf []byte
+	for id := uint64(0); id < size; id++ {
+		buf, err = s.AppendKey(buf[:0], id)
+		if err != nil {
+			t.Fatalf("AppendKey(%d): %v", id, err)
+		}
+		if seen[string(buf)] {
+			t.Fatalf("duplicate key %q", buf)
+		}
+		seen[string(buf)] = true
+		back, err := s.Rank(buf)
+		if err != nil {
+			t.Fatalf("Rank(%q): %v", buf, err)
+		}
+		if back != id {
+			t.Fatalf("Rank(AppendKey(%d)) = %d", id, back)
+		}
+		// Every enumerated key's cost must lie in the band.
+		c, err := m.Cost(buf)
+		if err != nil || c > 18 {
+			t.Fatalf("key %q cost %d outside band", buf, c)
+		}
+	}
+}
+
+// TestBandsPartition: the cost bands must tile the space — every key of
+// the full <=maxCost space appears in exactly one band.
+func TestBandsPartition(t *testing.T) {
+	m := trained(t)
+	const maxCost = 16
+	full, err := NewSpace(m, 1, 2, -1, maxCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bandTotal uint64
+	seen := make(map[string]int)
+	for _, b := range Bands(maxCost, 4) {
+		s, err := NewSpace(m, 1, 2, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bandTotal += s.Size64()
+		var buf []byte
+		for id := uint64(0); id < s.Size64(); id++ {
+			buf, _ = s.AppendKey(buf[:0], id)
+			seen[string(buf)]++
+		}
+	}
+	if bandTotal != full.Size64() {
+		t.Errorf("band sizes sum to %d, full space %d", bandTotal, full.Size64())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %q appears in %d bands", k, n)
+		}
+	}
+}
+
+// TestLikelyKeysComeEarly: searching bands in cost order must reach a
+// corpus-like password after testing far fewer candidates than its
+// position in the plain lexicographic enumeration.
+func TestLikelyKeysComeEarly(t *testing.T) {
+	m := trained(t)
+	target := []byte("golden") // in-corpus style, length 6
+	cost, err := m.Cost(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates tested before reaching the target via cost bands:
+	var before uint64
+	for _, b := range Bands(cost+10, cost+10) { // unit-width bands
+		s, err := NewSpace(m, 6, 6, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > b[0] && cost <= b[1] {
+			r, err := s.Rank(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before += r
+			break
+		}
+		before += s.Size64()
+	}
+	// Plain enumeration position.
+	plain, err := keyspace.New(keyspace.Lower, 6, 6, keyspace.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainID, err := plain.ID64(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before*10 > plainID {
+		t.Errorf("markov position %d not well below lexicographic %d", before, plainID)
+	}
+}
+
+// TestMarkovCrackEndToEnd cracks a likely password through the standard
+// search engine over a cost band.
+func TestMarkovCrackEndToEnd(t *testing.T) {
+	m := trained(t)
+	password := []byte("lemon")
+	cost, err := m.Cost(password)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpace(m, 5, 5, -1, cost+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := cracker.MD5.HashKey(password)
+	factory := func() core.TestFunc {
+		k, _ := cracker.NewKernel(cracker.MD5, cracker.KernelOptimized, target)
+		return k.Test
+	}
+	res, err := core.SearchEach(context.Background(), s.Factory(),
+		keyspace.Interval{Start: new(big.Int), End: s.Size()}, factory,
+		core.Options{Workers: 4, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "lemon" {
+		t.Errorf("solutions = %q (band size %d)", res.Solutions, s.Size64())
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	m := trained(t)
+	if _, err := NewSpace(m, 0, 3, -1, 10); err == nil {
+		t.Error("zero min length accepted")
+	}
+	if _, err := NewSpace(m, 1, MaxLen+1, -1, 10); err == nil {
+		t.Error("over max length accepted")
+	}
+	if _, err := NewSpace(m, 1, 2, 5, 5); err == nil {
+		t.Error("empty band accepted")
+	}
+	if _, err := NewSpace(m, 1, 2, -1, -1); err == nil {
+		t.Error("negative hi accepted")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	m := trained(t)
+	s, err := NewSpace(m, 2, 3, -1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rank([]byte("a")); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := s.Rank([]byte("qxzj")); err == nil {
+		t.Error("long key accepted")
+	}
+	if _, err := s.AppendKey(nil, s.Size64()); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestEnumeratorWalk(t *testing.T) {
+	m := trained(t)
+	s, err := NewSpace(m, 1, 2, -1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Factory().NewEnumerator()
+	if err := e.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	count := uint64(1)
+	prev := append([]byte(nil), e.Candidate()...)
+	for e.Next() {
+		count++
+		if string(e.Candidate()) == string(prev) {
+			t.Fatal("Next did not advance")
+		}
+		prev = append(prev[:0], e.Candidate()...)
+	}
+	if count != s.Size64() {
+		t.Errorf("walked %d keys, size %d", count, s.Size64())
+	}
+}
+
+func TestBandsHelper(t *testing.T) {
+	bs := Bands(20, 4)
+	if len(bs) != 4 || bs[0][0] != -1 || bs[3][1] != 20 {
+		t.Errorf("bands = %v", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i][0] != bs[i-1][1] {
+			t.Errorf("bands not contiguous: %v", bs)
+		}
+	}
+	if Bands(0, 3) != nil || Bands(10, 0) != nil {
+		t.Error("degenerate bands should be nil")
+	}
+}

@@ -1,0 +1,27 @@
+package mask
+
+import "testing"
+
+// FuzzParse: arbitrary mask specs must never panic, and accepted masks
+// must unrank/rank consistently at the boundaries.
+func FuzzParse(f *testing.F) {
+	f.Add("?u?l?d")
+	f.Add("a?sb")
+	f.Add("???")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		for _, id := range []uint64{0, m.Size64() - 1, m.Size64() / 2} {
+			key, err := m.AppendKey(nil, id)
+			if err != nil {
+				t.Fatalf("AppendKey(%d): %v", id, err)
+			}
+			back, err := m.ID(key)
+			if err != nil || back != id {
+				t.Fatalf("ID(key(%d)) = %d, %v", id, back, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Package mask implements per-position charset ("mask") attacks — the
+// "list of common password patterns" the paper's introduction pairs with
+// dictionaries: most human passwords follow shapes like
+// Uppercase-lowercase...-digit-digit, so enumerating one shape at a time
+// visits a tiny, high-yield slice of the full space.
+//
+// A mask is written in the conventional syntax:
+//
+//	?l lowercase   ?u uppercase   ?d digit   ?s symbol   ?a printable
+//	any other byte matches itself (literal)
+//
+// e.g. "?u?l?l?l?d?d" for "Pass12"-shaped keys. Masks are Spaces with
+// dense identifiers (first position fastest, matching the paper's
+// prefix-major order), so they plug into the same search engine,
+// dispatcher and wire protocol as plain brute force.
+package mask
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// Position is the candidate set of one key position.
+type Position struct {
+	symbols []byte
+}
+
+// builtin charset classes.
+var classes = map[byte]string{
+	'l': "abcdefghijklmnopqrstuvwxyz",
+	'u': "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+	'd': "0123456789",
+	's': " !\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~",
+}
+
+func init() {
+	all := classes['l'] + classes['u'] + classes['d'] + classes['s']
+	classes['a'] = all
+}
+
+// Mask is a sequence of per-position candidate sets.
+type Mask struct {
+	positions []Position
+	size      uint64
+}
+
+// Parse compiles a mask string.
+func Parse(spec string) (*Mask, error) {
+	if spec == "" {
+		return nil, errors.New("mask: empty mask")
+	}
+	m := &Mask{size: 1}
+	for i := 0; i < len(spec); i++ {
+		var syms string
+		if spec[i] == '?' {
+			if i+1 >= len(spec) {
+				return nil, errors.New("mask: dangling '?'")
+			}
+			i++
+			if spec[i] == '?' {
+				syms = "?" // literal question mark
+			} else {
+				var ok bool
+				syms, ok = classes[spec[i]]
+				if !ok {
+					return nil, fmt.Errorf("mask: unknown class ?%c", spec[i])
+				}
+			}
+		} else {
+			syms = spec[i : i+1]
+		}
+		if len(m.positions) >= keyspace.MaxKeyLen {
+			return nil, fmt.Errorf("mask: longer than %d positions", keyspace.MaxKeyLen)
+		}
+		m.positions = append(m.positions, Position{symbols: []byte(syms)})
+		if m.size > (1<<63)/uint64(len(syms)) {
+			return nil, errors.New("mask: space exceeds uint64")
+		}
+		m.size *= uint64(len(syms))
+	}
+	return m, nil
+}
+
+// MustParse is Parse that panics on error (for constants in tests).
+func MustParse(spec string) *Mask {
+	m, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Len returns the key length the mask produces.
+func (m *Mask) Len() int { return len(m.positions) }
+
+// Size returns the number of candidate keys.
+func (m *Mask) Size() *big.Int { return new(big.Int).SetUint64(m.size) }
+
+// Size64 returns the size as a uint64.
+func (m *Mask) Size64() uint64 { return m.size }
+
+// AppendKey decodes identifier id (first position least significant, i.e.
+// fastest-varying — the property the GPU reversal trick needs).
+func (m *Mask) AppendKey(dst []byte, id uint64) ([]byte, error) {
+	if id >= m.size {
+		return dst, fmt.Errorf("mask: id %d out of range [0, %d)", id, m.size)
+	}
+	for _, p := range m.positions {
+		n := uint64(len(p.symbols))
+		dst = append(dst, p.symbols[id%n])
+		id /= n
+	}
+	return dst, nil
+}
+
+// ID returns the identifier of key, or an error if key does not match the
+// mask.
+func (m *Mask) ID(key []byte) (uint64, error) {
+	if len(key) != len(m.positions) {
+		return 0, fmt.Errorf("mask: key length %d, mask length %d", len(key), len(m.positions))
+	}
+	var id, mult uint64 = 0, 1
+	for i, p := range m.positions {
+		idx := -1
+		for j, s := range p.symbols {
+			if s == key[i] {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("mask: byte %q not allowed at position %d", key[i], i)
+		}
+		id += uint64(idx) * mult
+		mult *= uint64(len(p.symbols))
+	}
+	return id, nil
+}
+
+// Matches reports whether key fits the mask.
+func (m *Mask) Matches(key []byte) bool {
+	_, err := m.ID(key)
+	return err == nil
+}
+
+// Factory adapts the mask to core.Factory.
+func (m *Mask) Factory() core.Factory {
+	return core.FuncFactory{
+		New:      func() core.Enumerator { return &enum{mask: m} },
+		SpaceLen: m.Size(),
+	}
+}
+
+type enum struct {
+	mask *Mask
+	id   uint64
+	buf  []byte
+}
+
+// Seek positions the enumerator at identifier id.
+func (e *enum) Seek(id *big.Int) error {
+	if !id.IsUint64() {
+		return fmt.Errorf("mask: id %v out of range", id)
+	}
+	e.id = id.Uint64()
+	var err error
+	e.buf, err = e.mask.AppendKey(e.buf[:0], e.id)
+	return err
+}
+
+// Candidate returns the current key.
+func (e *enum) Candidate() []byte { return e.buf }
+
+// Next advances with the cheap increment: usually only the first position
+// mutates (the mask analogue of Figure 2).
+func (e *enum) Next() bool {
+	if e.id+1 >= e.mask.size {
+		return false
+	}
+	e.id++
+	for i, p := range e.mask.positions {
+		n := len(p.symbols)
+		idx := 0
+		for j, s := range p.symbols {
+			if s == e.buf[i] {
+				idx = j
+				break
+			}
+		}
+		if idx+1 < n {
+			e.buf[i] = p.symbols[idx+1]
+			return true
+		}
+		e.buf[i] = p.symbols[0]
+	}
+	return true // unreachable given the size guard
+}

@@ -1,0 +1,132 @@
+package mask
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+func TestParse(t *testing.T) {
+	m, err := Parse("?u?l?d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 || m.Size64() != 26*26*10 {
+		t.Errorf("len=%d size=%d", m.Len(), m.Size64())
+	}
+	lit, err := Parse("a?db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit.Size64() != 10 {
+		t.Errorf("literal mask size = %d", lit.Size64())
+	}
+	qm, err := Parse("???d") // "??" is a literal '?'
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.Len() != 2 || qm.Size64() != 10 {
+		t.Errorf("?? mask: len=%d size=%d", qm.Len(), qm.Size64())
+	}
+	for _, bad := range []string{"", "?x", "?"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+	if _, err := Parse("?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a"); err == nil {
+		t.Error("21-position mask accepted")
+	}
+}
+
+func TestAppendKeyAndID(t *testing.T) {
+	m := MustParse("?u?d")
+	first, err := m.AppendKey(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "A0" {
+		t.Errorf("key(0) = %q", first)
+	}
+	// First position fastest: id 1 -> "B0".
+	second, _ := m.AppendKey(nil, 1)
+	if string(second) != "B0" {
+		t.Errorf("key(1) = %q", second)
+	}
+	last, _ := m.AppendKey(nil, m.Size64()-1)
+	if string(last) != "Z9" {
+		t.Errorf("key(last) = %q", last)
+	}
+	if _, err := m.AppendKey(nil, m.Size64()); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	// Round trip on the whole space.
+	var buf []byte
+	for id := uint64(0); id < m.Size64(); id++ {
+		buf, _ = m.AppendKey(buf[:0], id)
+		back, err := m.ID(buf)
+		if err != nil || back != id {
+			t.Fatalf("ID(key(%d)) = %d, %v", id, back, err)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	m := MustParse("?u?l?l?d")
+	if !m.Matches([]byte("Abc7")) {
+		t.Error("Abc7 should match ?u?l?l?d")
+	}
+	for _, bad := range []string{"abc7", "ABC7", "Abcd", "Abc77", "Ab7"} {
+		if m.Matches([]byte(bad)) {
+			t.Errorf("%q should not match", bad)
+		}
+	}
+}
+
+func TestEnumeratorNextMatchesSeek(t *testing.T) {
+	m := MustParse("?d?u?d")
+	e := m.Factory().NewEnumerator()
+	if err := e.Seek(big.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for id := uint64(0); id < m.Size64(); id++ {
+		buf, _ = m.AppendKey(buf[:0], id)
+		if string(e.Candidate()) != string(buf) {
+			t.Fatalf("id %d: walk %q, unrank %q", id, e.Candidate(), buf)
+		}
+		if (id < m.Size64()-1) != e.Next() {
+			t.Fatalf("Next at %d", id)
+		}
+	}
+}
+
+// TestMaskCrackEndToEnd cracks a "Pass12"-shaped password through the
+// standard engine — the hybrid-pattern attack of the introduction.
+func TestMaskCrackEndToEnd(t *testing.T) {
+	password := []byte("Zx97")
+	target := cracker.SHA1.HashKey(password)
+	m := MustParse("?u?l?d?d")
+	factory := func() core.TestFunc {
+		k, _ := cracker.NewKernel(cracker.SHA1, cracker.KernelOptimized, target)
+		return k.Test
+	}
+	res, err := core.SearchEach(context.Background(), m.Factory(),
+		keyspace.Interval{Start: new(big.Int), End: m.Size()}, factory,
+		core.Options{Workers: 4, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "Zx97" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+	// The mask space is a sliver of the full printable space of the same
+	// length — the point of pattern attacks.
+	full := new(big.Int).Exp(big.NewInt(95), big.NewInt(4), nil)
+	if new(big.Int).Div(full, m.Size()).Int64() < 100 {
+		t.Error("mask space not much smaller than full space")
+	}
+}

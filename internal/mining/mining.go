@@ -1,0 +1,247 @@
+// Package mining implements the second exhaustive-search application the
+// paper's introduction motivates: Bitcoin-style proof of work, "an
+// exhaustive search ... to find a 32-bit value (nonce) that is used as
+// input to a hashing function based on the SHA256 algorithm, producing a
+// hash with a certain number of leading zero bits".
+//
+// The nonce search is expressed through the same pattern as password
+// cracking — f(i) stamps the nonce into the header (the cheap next
+// operator is a 4-byte overwrite), C counts leading zero bits — and the
+// pool splits the nonce space and shares rewards "on the basis of the
+// computing power contribution", exactly as the paper describes mining
+// pools.
+package mining
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"keysearch/internal/core"
+	"keysearch/internal/hash/sha256x"
+	"keysearch/internal/keyspace"
+)
+
+// HeaderSize is the serialized block-header size (the Bitcoin layout:
+// version, previous hash, merkle root, time, bits, nonce).
+const HeaderSize = 80
+
+// Header is a block header template; the nonce field is the search space.
+type Header struct {
+	Version    uint32
+	PrevBlock  [32]byte
+	MerkleRoot [32]byte
+	Time       uint32
+	Bits       uint32
+	Nonce      uint32
+}
+
+// Marshal serializes the header into the 80-byte wire layout.
+func (h *Header) Marshal() [HeaderSize]byte {
+	var out [HeaderSize]byte
+	binary.LittleEndian.PutUint32(out[0:], h.Version)
+	copy(out[4:], h.PrevBlock[:])
+	copy(out[36:], h.MerkleRoot[:])
+	binary.LittleEndian.PutUint32(out[68:], h.Time)
+	binary.LittleEndian.PutUint32(out[72:], h.Bits)
+	binary.LittleEndian.PutUint32(out[76:], h.Nonce)
+	return out
+}
+
+// PoW returns the proof-of-work hash: double SHA-256 of the header.
+func (h *Header) PoW() [32]byte {
+	buf := h.Marshal()
+	return sha256x.DoubleSum(buf[:])
+}
+
+// MeetsDifficulty reports whether the header's hash has at least bits
+// leading zero bits.
+func (h *Header) MeetsDifficulty(bits int) bool {
+	return sha256x.LeadingZeroBits(h.PoW()) >= bits
+}
+
+// Mine searches the nonce interval [from, to) for a nonce meeting the
+// difficulty, using the core search engine over the nonce identifier
+// space. It returns the first nonce found.
+func Mine(ctx context.Context, tmpl Header, difficulty int, from, to uint64, workers int) (uint32, bool, error) {
+	if difficulty < 0 || difficulty > 256 {
+		return 0, false, fmt.Errorf("mining: difficulty %d out of range", difficulty)
+	}
+	if to > 1<<32 {
+		return 0, false, errors.New("mining: nonce range exceeds 32 bits")
+	}
+	factory := core.FuncFactory{
+		New:      func() core.Enumerator { return &nonceEnum{tmpl: tmpl} },
+		SpaceLen: new(big.Int).Lsh(big.NewInt(1), 32),
+	}
+	test := func() core.TestFunc {
+		return func(candidate []byte) bool {
+			sum := sha256x.DoubleSum(candidate)
+			return sha256x.LeadingZeroBits(sum) >= difficulty
+		}
+	}
+	iv := keyspace.Interval{
+		Start: new(big.Int).SetUint64(from),
+		End:   new(big.Int).SetUint64(to),
+	}
+	res, err := core.SearchEach(ctx, factory, iv, test, core.Options{
+		Workers: workers, ChunkSize: 4096, MaxSolutions: 1,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Solutions) == 0 {
+		return 0, false, nil
+	}
+	nonce := binary.LittleEndian.Uint32(res.Solutions[0][76:])
+	return nonce, true, nil
+}
+
+// nonceEnum enumerates headers by nonce: f(i) writes the nonce into the
+// serialized header; next is a single 4-byte overwrite — an extreme case
+// of the paper's K_next << K_f observation.
+type nonceEnum struct {
+	tmpl  Header
+	buf   [HeaderSize]byte
+	nonce uint64
+	init  bool
+}
+
+// Seek positions the enumerator at the given nonce.
+func (e *nonceEnum) Seek(id *big.Int) error {
+	if !id.IsUint64() || id.Uint64() >= 1<<32 {
+		return fmt.Errorf("mining: nonce %v out of range", id)
+	}
+	if !e.init {
+		e.buf = e.tmpl.Marshal()
+		e.init = true
+	}
+	e.nonce = id.Uint64()
+	binary.LittleEndian.PutUint32(e.buf[76:], uint32(e.nonce))
+	return nil
+}
+
+// Candidate returns the serialized header with the current nonce.
+func (e *nonceEnum) Candidate() []byte { return e.buf[:] }
+
+// Next advances the nonce.
+func (e *nonceEnum) Next() bool {
+	if e.nonce+1 >= 1<<32 {
+		return false
+	}
+	e.nonce++
+	binary.LittleEndian.PutUint32(e.buf[76:], uint32(e.nonce))
+	return true
+}
+
+// Miner is one pool participant.
+type Miner struct {
+	Name string
+	// Hashrate is the miner's relative computing power; the pool sizes
+	// nonce shares proportionally (the paper: rewards shared "on the
+	// basis of the computing power contribution").
+	Hashrate float64
+	// Goroutines is the miner's actual local parallelism (0 = the pool
+	// run's default). Demos set it proportional to Hashrate so declared
+	// and actual power agree.
+	Goroutines int
+	// Shares counts lower-difficulty proofs submitted (the pool's
+	// contribution metric).
+	Shares int
+}
+
+// Pool coordinates miners over one block template.
+type Pool struct {
+	Template Header
+	// Difficulty is the network target in leading zero bits.
+	Difficulty int
+	// ShareDifficulty is the easier per-share target the pool credits.
+	ShareDifficulty int
+}
+
+// PoolResult reports a pool round.
+type PoolResult struct {
+	// WinningNonce solves the block (valid only if Solved).
+	WinningNonce uint32
+	Solved       bool
+	// Rewards maps miner name to its fraction of the block reward,
+	// proportional to submitted shares.
+	Rewards map[string]float64
+	// TotalShares across miners.
+	TotalShares int
+}
+
+// Run mines the full 32-bit nonce space split across the miners
+// proportionally to hashrate (each miner runs workers goroutines), counts
+// shares at the pool's share difficulty, and splits the reward by shares.
+func (p *Pool) Run(ctx context.Context, miners []*Miner, workers int) (*PoolResult, error) {
+	if len(miners) == 0 {
+		return nil, errors.New("mining: no miners")
+	}
+	if p.ShareDifficulty > p.Difficulty {
+		return nil, errors.New("mining: share difficulty above block difficulty")
+	}
+	weights := make([]float64, len(miners))
+	for i, m := range miners {
+		if m.Hashrate <= 0 {
+			return nil, fmt.Errorf("mining: miner %s has no hashrate", m.Name)
+		}
+		weights[i] = m.Hashrate
+	}
+	whole := keyspace.Interval{Start: new(big.Int), End: new(big.Int).Lsh(big.NewInt(1), 32)}
+	parts, err := whole.SplitWeighted(weights)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PoolResult{Rewards: make(map[string]float64)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for i, m := range miners {
+		wg.Add(1)
+		go func(m *Miner, iv keyspace.Interval) {
+			defer wg.Done()
+			factory := core.FuncFactory{
+				New:      func() core.Enumerator { return &nonceEnum{tmpl: p.Template} },
+				SpaceLen: new(big.Int).Lsh(big.NewInt(1), 32),
+			}
+			test := func() core.TestFunc {
+				return func(candidate []byte) bool {
+					sum := sha256x.DoubleSum(candidate)
+					zeros := sha256x.LeadingZeroBits(sum)
+					if zeros >= p.ShareDifficulty {
+						mu.Lock()
+						m.Shares++
+						res.TotalShares++
+						if zeros >= p.Difficulty && !res.Solved {
+							res.Solved = true
+							res.WinningNonce = binary.LittleEndian.Uint32(candidate[76:])
+							cancel()
+						}
+						mu.Unlock()
+					}
+					return false // never stop via solutions; cancel() stops us
+				}
+			}
+			g := m.Goroutines
+			if g == 0 {
+				g = workers
+			}
+			_, _ = core.SearchEach(ctx, factory, iv, test, core.Options{Workers: g, ChunkSize: 4096})
+		}(m, parts[i])
+	}
+	wg.Wait()
+
+	if res.TotalShares > 0 {
+		for _, m := range miners {
+			res.Rewards[m.Name] = float64(m.Shares) / float64(res.TotalShares)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,206 @@
+// Package model implements the throughput model of Section VI: given the
+// per-class instruction counts of a compiled kernel and the architecture
+// parameters of Tables I/II, it predicts the theoretical peak throughput of
+// each device and the sustained ("achieved") throughput once the kernel's
+// lack of instruction-level parallelism is accounted for.
+//
+// The theoretical formulas follow the paper exactly:
+//
+//   - cc1.x has a single single-issue scheduler, so all classes serialize:
+//     T = N_add/X_add + N_logic/X_logic + N_shm/X_shm per multiprocessor.
+//   - cc2.x shares all cores between classes, with the shift/MAD class
+//     restricted to one 16-core group: T = max(N_shm/16, N_total/X_cores).
+//   - cc3.0/3.5 run additions/logicals on five 32-core groups and
+//     shifts/MADs on the sixth: T = max(N_shm/X_shm, N_addlogic/X_add).
+//
+// The achieved model adds the paper's per-architecture ILP observations:
+// cc1.x loses the SFU addition lanes (10 -> 8 per cycle), cc2.1 can only
+// reach its third core group through dual issue (so the usable addition
+// throughput is 16·(2+δ) with δ the dual-issue fraction), and cc3.0 is
+// bounded by warp-scheduler issue capacity and occupancy.
+package model
+
+import (
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/kernel"
+)
+
+// Profile is what the model needs to know about a kernel.
+type Profile struct {
+	// Counts are static machine-instruction counts per class for the whole
+	// program (all streams).
+	Counts kernel.Counts
+	// DualIssue is the fraction of instructions that can pair with their
+	// predecessor (δ).
+	DualIssue float64
+	// Streams is the number of candidates one program run tests.
+	Streams int
+}
+
+// FromCompiled extracts a Profile from a compiled kernel.
+func FromCompiled(c *compile.Compiled) Profile {
+	return Profile{Counts: c.Counts, DualIssue: c.DualIssue, Streams: c.Streams}
+}
+
+// perCandidate returns the class counts normalized to one candidate.
+func (p Profile) perCandidate() (add, logic, shm, total float64) {
+	s := float64(p.Streams)
+	if s == 0 {
+		s = 1
+	}
+	add = float64(p.Counts[kernel.ClassAdd]) / s
+	logic = float64(p.Counts[kernel.ClassLogic]) / s
+	shm = float64(p.Counts.ShiftMAD()) / s
+	total = float64(p.Counts.Total()) / s
+	return add, logic, shm, total
+}
+
+// CyclesTheoretical returns the best-case cycles per candidate per
+// multiprocessor.
+func CyclesTheoretical(cc arch.CC, p Profile) float64 {
+	add, logic, shm, total := p.perCandidate()
+	th := arch.InstrThroughput(cc)
+	switch cc {
+	case arch.CC1x:
+		// Single-issue: classes serialize at their peak rates.
+		return add/float64(th.Add) + logic/float64(th.Logic) + shm/float64(th.Shift)
+	case arch.CC20, arch.CC21:
+		// Shared cores; shifts restricted to one 16-core group.
+		return maxf(shm/float64(th.Shift), total/float64(th.Add))
+	default: // CC30, CC35
+		// Dedicated shift group overlaps the addition/logical groups.
+		return maxf(shm/float64(th.Shift), (add+logic)/float64(th.Add))
+	}
+}
+
+// Theoretical returns the device's peak throughput in keys per second —
+// the "theoretical" rows of Table VIII.
+func Theoretical(dev arch.Device, p Profile) float64 {
+	cyc := CyclesTheoretical(dev.CC, p)
+	if cyc <= 0 {
+		return 0
+	}
+	return dev.ClockHz() * float64(dev.MPs) / cyc
+}
+
+// AchievedOptions tunes the sustained-throughput model.
+type AchievedOptions struct {
+	// ResidentWarps overrides the occupancy (0 = architecture maximum).
+	// Used to model legacy tools that launch too few warps on Kepler.
+	ResidentWarps int
+	// ILP overrides the kernel's dual-issue fraction when >= 0
+	// (pass a negative value to use the profile's).
+	ILP float64
+	// KeysPerThread is how many candidates one thread iterates with the
+	// next operator before retiring (0 = DefaultKeysPerThread). §IV/§V:
+	// "each thread should produce a certain quantity of useful work per
+	// kernel call to reduce the impact of the thread overhead"; the
+	// per-thread setup (id conversion, register init) costs
+	// ThreadOverheadCycles and amortizes over this count.
+	KeysPerThread int
+}
+
+// ThreadOverheadInstrs is the per-thread fixed cost in instructions: the
+// f(id) start-identifier conversion (integer divisions per character),
+// register-file initialization and the result write-back — several
+// hash-equivalents of work executed once per thread and amortized over its
+// keys-per-thread iterations through the same pipelines as the hash.
+const ThreadOverheadInstrs = 2000
+
+// DefaultKeysPerThread is the default per-thread iteration count; at this
+// value the thread overhead costs well under 1% of the useful work.
+const DefaultKeysPerThread = 1 << 12
+
+// CyclesAchieved returns the model's sustained cycles per candidate per
+// multiprocessor, applying the paper's ILP findings.
+func CyclesAchieved(cc arch.CC, p Profile, opt AchievedOptions) float64 {
+	add, logic, shm, total := p.perCandidate()
+	th := arch.InstrThroughput(cc)
+	spec := arch.Spec(cc)
+	delta := p.DualIssue
+	if opt.ILP >= 0 {
+		delta = opt.ILP
+	}
+	warps := opt.ResidentWarps
+	if warps <= 0 {
+		warps = spec.MaxResidentWarps
+	}
+
+	switch cc {
+	case arch.CC1x:
+		// Without ILP the SFUs never co-issue additions: 10 -> 8 per
+		// cycle. A high-ILP kernel would keep the Table II rate.
+		addRate := float64(th.Logic)
+		if delta > 0.5 {
+			addRate = float64(th.Add)
+		}
+		return add/addRate + logic/float64(th.Logic) + shm/float64(th.Shift)
+	case arch.CC20:
+		// Two single-issue schedulers reach both 16-core groups; no ILP
+		// needed, so the sustained bound matches the theoretical shape.
+		return maxf(shm/float64(th.Shift), total/float64(th.Add))
+	case arch.CC21:
+		// The third group of cores is reachable only via dual issue: the
+		// usable core throughput is 16·(2+δ) of the nominal 48
+		// ("we leave a group of cores unused most of the time").
+		usable := 16 * (2 + delta)
+		return maxf(shm/float64(th.Shift), total/usable)
+	default: // CC30, CC35
+		// Class capacities plus the warp-scheduler issue bound: with a
+		// serial dependency chain each warp has one instruction in
+		// flight, so at most warps/latency instructions issue per cycle,
+		// capped by the scheduler count times (1+δ) for dual issue.
+		issuePerCycle := minf(float64(warps)/float64(spec.PipelineLatency),
+			float64(spec.WarpSchedulers)*(1+delta))
+		opsPerCycle := issuePerCycle * arch.WarpSize
+		return maxf(shm/float64(th.Shift),
+			maxf((add+logic)/float64(th.Add), total/opsPerCycle))
+	}
+}
+
+// Achieved returns the modeled sustained throughput in keys per second —
+// the "our approach" rows of Table VIII — including the amortized
+// per-thread overhead.
+func Achieved(dev arch.Device, p Profile, opt AchievedOptions) float64 {
+	cyc := CyclesAchieved(dev.CC, p, opt)
+	if cyc <= 0 {
+		return 0
+	}
+	kpt := opt.KeysPerThread
+	if kpt <= 0 {
+		kpt = DefaultKeysPerThread
+	}
+	// The per-thread setup adds ThreadOverheadInstrs/kpt instructions per
+	// candidate, executed at the same sustained rate as the kernel body.
+	_, _, _, total := p.perCandidate()
+	if total > 0 {
+		cyc *= 1 + ThreadOverheadInstrs/(float64(kpt)*total)
+	}
+	return dev.ClockHz() * float64(dev.MPs) / cyc
+}
+
+// Efficiency returns achieved/theoretical for a device and profile — the
+// per-device efficiency Section VI discusses (99.46% on Kepler, much lower
+// on ILP-starved Fermi).
+func Efficiency(dev arch.Device, p Profile, opt AchievedOptions) float64 {
+	t := Theoretical(dev, p)
+	if t == 0 {
+		return 0
+	}
+	return Achieved(dev, p, opt) / t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package model
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+	"keysearch/internal/kernel"
+)
+
+// paperTableVI is the paper's final optimized MD5 instruction count
+// (Table VI), used to validate the model formulas independently of our
+// compiler's (slightly different) counts.
+func paperTableVI(cc arch.CC) Profile {
+	var c kernel.Counts
+	if cc == arch.CC1x {
+		c = kernel.Counts{kernel.ClassAdd: 197, kernel.ClassLogic: 118, kernel.ClassShift: 90}
+	} else {
+		c = kernel.Counts{kernel.ClassAdd: 150, kernel.ClassLogic: 120,
+			kernel.ClassShift: 43, kernel.ClassMAD: 43, kernel.ClassPerm: 3}
+	}
+	return Profile{Counts: c, DualIssue: 0.08, Streams: 1}
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Errorf("%s = %.1f, want %.1f ±%.0f%%", name, got, want, tol*100)
+	}
+}
+
+// TestTheoreticalMatchesTableVIII feeds the paper's own Table VI counts
+// through the model and checks the theoretical MD5 rows of Table VIII.
+func TestTheoreticalMatchesTableVIII(t *testing.T) {
+	mkeys := func(d arch.Device) float64 {
+		return Theoretical(d, paperTableVI(d.CC)) / 1e6
+	}
+	within(t, "8600M theoretical", mkeys(arch.GeForce8600MGT), 83, 0.03)
+	within(t, "8800 theoretical", mkeys(arch.GeForce8800GTS), 568, 0.03)
+	within(t, "540M theoretical", mkeys(arch.GeForceGT540M), 359.4, 0.03)
+	within(t, "550Ti theoretical", mkeys(arch.GeForceGTX550Ti), 962.7, 0.03)
+	within(t, "660 theoretical", mkeys(arch.GeForceGTX660), 1851, 0.03)
+}
+
+// TestAchievedMatchesTableVIII checks the "our approach" MD5 rows with a
+// looser tolerance: these depend on the ILP discussion, not just Table II.
+func TestAchievedMatchesTableVIII(t *testing.T) {
+	opt := AchievedOptions{ILP: -1}
+	mkeys := func(d arch.Device) float64 {
+		return Achieved(d, paperTableVI(d.CC), opt) / 1e6
+	}
+	within(t, "8600M achieved", mkeys(arch.GeForce8600MGT), 71, 0.10)
+	within(t, "8800 achieved", mkeys(arch.GeForce8800GTS), 480, 0.10)
+	within(t, "540M achieved", mkeys(arch.GeForceGT540M), 214, 0.25)
+	within(t, "550Ti achieved", mkeys(arch.GeForceGTX550Ti), 654, 0.25)
+	within(t, "660 achieved", mkeys(arch.GeForceGTX660), 1841, 0.10)
+}
+
+// TestKeplerEfficiencyNearOne reproduces the paper's headline: on the
+// Kepler 660 the achieved throughput is ≈99.5% of theoretical, while the
+// Fermi devices sit far below for lack of ILP.
+func TestKeplerEfficiencyNearOne(t *testing.T) {
+	opt := AchievedOptions{ILP: -1}
+	eff660 := Efficiency(arch.GeForceGTX660, paperTableVI(arch.CC30), opt)
+	if eff660 < 0.97 || eff660 > 1.0001 {
+		t.Errorf("660 efficiency = %.3f, want ≈0.995", eff660)
+	}
+	eff540 := Efficiency(arch.GeForceGT540M, paperTableVI(arch.CC21), opt)
+	if eff540 > 0.8 {
+		t.Errorf("540M efficiency = %.3f, want well below 1 (paper: 0.595)", eff540)
+	}
+	if eff540 >= eff660 {
+		t.Error("Fermi efficiency should be below Kepler")
+	}
+}
+
+// TestOurCompiledKernelClose runs our actual compiler output through the
+// model and checks it stays within 15% of the paper's Table VIII MD5 rows.
+func TestOurCompiledKernelClose(t *testing.T) {
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4"), &block); err != nil {
+		t.Fatal(err)
+	}
+	target := md5x.StateWords(md5.Sum([]byte("Key4")))
+	src := kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+
+	paper := map[string]struct{ theo, ours float64 }{
+		"GeForce 8600M GT":     {83, 71},
+		"GeForce 8800 GTS 512": {568, 480},
+		"GeForce GT 540M":      {359.4, 214},
+		"GeForce GTX 550 Ti":   {962.7, 654},
+		"GeForce GTX 660":      {1851, 1841},
+	}
+	for _, dev := range arch.Catalog {
+		c := compile.Compile(src, compile.DefaultOptions(dev.CC))
+		p := FromCompiled(c)
+		want := paper[dev.Name]
+		within(t, dev.Name+" theoretical(ours)", Theoretical(dev, p)/1e6, want.theo, 0.15)
+		within(t, dev.Name+" achieved(ours)", Achieved(dev, p, AchievedOptions{ILP: -1})/1e6, want.ours, 0.30)
+	}
+}
+
+// TestSHA1ModelShape checks the SHA1 theoretical rows (Table VIII bottom):
+// SHA1 is shift-bound on Fermi and Kepler per the paper's discussion.
+func TestSHA1ModelShape(t *testing.T) {
+	var block [16]uint32
+	if err := sha1x.PackKey([]byte("Key4"), &block); err != nil {
+		t.Fatal(err)
+	}
+	target := sha1x.StateWords(sha1.Sum([]byte("Key4")))
+	src := kernel.BuildSHA1(kernel.SHA1Config{Template: block, Target: target, EarlyExit: true})
+
+	paper := map[string]float64{
+		"GeForce 8600M GT":     25,
+		"GeForce 8800 GTS 512": 170,
+		"GeForce GT 540M":      128,
+		"GeForce GTX 550 Ti":   345,
+		"GeForce GTX 660":      390,
+	}
+	for _, dev := range arch.Catalog {
+		c := compile.Compile(src, compile.DefaultOptions(dev.CC))
+		p := FromCompiled(c)
+		got := Theoretical(dev, p) / 1e6
+		want := paper[dev.Name]
+		// SHA1 counts are more sensitive to schedule-expansion folding;
+		// allow 35%.
+		within(t, dev.Name+" SHA1 theoretical", got, want, 0.35)
+	}
+	// MD5 must be 3-7x faster than SHA1 on every device (paper: 4.7x on
+	// the 660, 3.3x on the 8600M).
+	var mblock [16]uint32
+	md5x.PackKey([]byte("Key4"), &mblock)
+	msrc := kernel.BuildMD5(kernel.MD5Config{
+		Template: mblock, Target: md5x.StateWords(md5.Sum([]byte("Key4"))),
+		Reversal: true, EarlyExit: true,
+	})
+	for _, dev := range arch.Catalog {
+		md := FromCompiled(compile.Compile(msrc, compile.DefaultOptions(dev.CC)))
+		sh := FromCompiled(compile.Compile(src, compile.DefaultOptions(dev.CC)))
+		ratio := Theoretical(dev, md) / Theoretical(dev, sh)
+		if ratio < 2.5 || ratio > 8 {
+			t.Errorf("%s MD5/SHA1 ratio = %.1f, want 3-7", dev.Name, ratio)
+		}
+	}
+}
+
+// TestILPHelpsFermi: the two-way interleaved kernel must beat the
+// single-stream kernel on cc2.1 (the paper: "a good choice on Fermi") and
+// not help on cc3.0 (bottleneck is the shift group, "providing a better
+// ILP factor would be pointless").
+func TestILPHelpsFermi(t *testing.T) {
+	var block [16]uint32
+	md5x.PackKey([]byte("Key4"), &block)
+	target := md5x.StateWords(md5.Sum([]byte("Key4")))
+	single := kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+	double := kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true, Interleave: true})
+
+	opt := AchievedOptions{ILP: -1}
+	fermiSingle := Achieved(arch.GeForceGT540M, FromCompiled(compile.Compile(single, compile.DefaultOptions(arch.CC21))), opt)
+	fermiDouble := Achieved(arch.GeForceGT540M, FromCompiled(compile.Compile(double, compile.DefaultOptions(arch.CC21))), opt)
+	if fermiDouble < fermiSingle*1.15 {
+		t.Errorf("ILP=2 on Fermi: %.0f vs %.0f MKey/s, want >=15%% gain",
+			fermiDouble/1e6, fermiSingle/1e6)
+	}
+	keplerSingle := Achieved(arch.GeForceGTX660, FromCompiled(compile.Compile(single, compile.DefaultOptions(arch.CC30))), opt)
+	keplerDouble := Achieved(arch.GeForceGTX660, FromCompiled(compile.Compile(double, compile.DefaultOptions(arch.CC30))), opt)
+	if keplerDouble > keplerSingle*1.05 {
+		t.Errorf("ILP=2 on Kepler: %.0f vs %.0f MKey/s, want no real gain",
+			keplerDouble/1e6, keplerSingle/1e6)
+	}
+}
+
+// TestFunnelShiftUplift: the cc3.5 device must beat a hypothetical cc3.0
+// device with identical geometry thanks to the funnel shift.
+func TestFunnelShiftUplift(t *testing.T) {
+	var block [16]uint32
+	md5x.PackKey([]byte("Key4"), &block)
+	target := md5x.StateWords(md5.Sum([]byte("Key4")))
+	src := kernel.BuildMD5(kernel.MD5Config{Template: block, Target: target, Reversal: true, EarlyExit: true})
+
+	dev35 := arch.GeForceGTX780
+	dev30 := arch.Device{Name: "GTX780-as-cc30", MPs: dev35.MPs, Cores: dev35.Cores, ClockMHz: dev35.ClockMHz, CC: arch.CC30}
+	x35 := Theoretical(dev35, FromCompiled(compile.Compile(src, compile.DefaultOptions(arch.CC35))))
+	x30 := Theoretical(dev30, FromCompiled(compile.Compile(src, compile.DefaultOptions(arch.CC30))))
+	if x35 < x30*1.5 {
+		t.Errorf("funnel shift uplift = %.2fx, want > 1.5x", x35/x30)
+	}
+}
+
+// TestOccupancyPenalty reproduces the legacy-tool behaviour on Kepler:
+// halving resident warps pushes the achieved throughput down.
+func TestOccupancyPenalty(t *testing.T) {
+	p := paperTableVI(arch.CC30)
+	full := Achieved(arch.GeForceGTX660, p, AchievedOptions{ILP: -1})
+	half := Achieved(arch.GeForceGTX660, p, AchievedOptions{ILP: -1, ResidentWarps: 32})
+	if half >= full {
+		t.Errorf("half occupancy %.0f not below full %.0f", half/1e6, full/1e6)
+	}
+	// BarsWF measured 1340 of 1851 theoretical; half occupancy should land
+	// in that region (60-85%).
+	ratio := half / Theoretical(arch.GeForceGTX660, p)
+	if ratio < 0.55 || ratio > 0.9 {
+		t.Errorf("half-occupancy efficiency = %.2f, want ≈0.7", ratio)
+	}
+}
+
+func TestDegenerateProfiles(t *testing.T) {
+	if Theoretical(arch.GeForceGTX660, Profile{}) != 0 {
+		t.Error("empty profile should yield 0")
+	}
+	if Achieved(arch.GeForceGTX660, Profile{}, AchievedOptions{}) != 0 {
+		t.Error("empty profile should yield 0")
+	}
+	if Efficiency(arch.GeForceGTX660, Profile{}, AchievedOptions{}) != 0 {
+		t.Error("empty profile efficiency should be 0")
+	}
+}
+
+// TestKeysPerThreadAmortization reproduces the §IV/§V thread-overhead
+// argument: one key per thread wastes most of the device on id
+// conversions; a few thousand keys per thread make the overhead vanish.
+func TestKeysPerThreadAmortization(t *testing.T) {
+	p := paperTableVI(arch.CC30)
+	dev := arch.GeForceGTX660
+	one := Achieved(dev, p, AchievedOptions{ILP: -1, KeysPerThread: 1})
+	def := Achieved(dev, p, AchievedOptions{ILP: -1})
+	// The conversion costs ~2000/359 ≈ 5.6 hash-equivalents, so one key
+	// per thread runs at under a quarter of the amortized rate.
+	if one > def/4 {
+		t.Errorf("1 key/thread = %.0f MKey/s, should be crushed vs %.0f", one/1e6, def/1e6)
+	}
+	// Monotone saturation.
+	prev := 0.0
+	for _, kpt := range []int{1, 16, 256, 4096, 65536} {
+		x := Achieved(dev, p, AchievedOptions{ILP: -1, KeysPerThread: kpt})
+		if x < prev {
+			t.Errorf("throughput not monotone at kpt=%d", kpt)
+		}
+		prev = x
+	}
+	// At the default, overhead costs under 1%.
+	raw := dev.ClockHz() * float64(dev.MPs) / CyclesAchieved(arch.CC30, p, AchievedOptions{ILP: -1})
+	if def < raw*0.99 {
+		t.Errorf("default kpt loses %.1f%%, want <1%%", 100*(1-def/raw))
+	}
+}

@@ -1,0 +1,55 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame: arbitrary bytes must never panic or over-allocate.
+func FuzzReadFrame(f *testing.F) {
+	good := func(t MsgType, payload []byte) []byte {
+		var buf bytes.Buffer
+		_ = WriteFrame(&buf, t, payload)
+		return buf.Bytes()
+	}
+	f.Add(good(MsgHello, EncodeHello(Hello{Version: 1, Name: "w"})))
+	f.Add(good(MsgSearch, []byte{1, 2, 3}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed frame must survive decode attempts without
+		// panicking, whatever its type claims.
+		switch typ {
+		case MsgHello:
+			_, _ = DecodeHello(payload)
+		case MsgJob:
+			_, _ = DecodeJob(payload)
+		case MsgTuneResult:
+			_, _ = DecodeTuneResult(payload)
+		case MsgSearch:
+			_, _ = DecodeSearch(payload)
+		case MsgSearchResult:
+			_, _ = DecodeSearchResult(payload)
+		}
+	})
+}
+
+// FuzzJobRoundTrip: encode/decode must be the identity on valid specs.
+func FuzzJobRoundTrip(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), "abc", 1, 4)
+	f.Fuzz(func(t *testing.T, target []byte, charset string, minLen, maxLen int) {
+		spec := JobSpec{Target: target, Charset: charset,
+			MinLen: minLen & 0xffff, MaxLen: maxLen & 0xffff}
+		back, err := DecodeJob(EncodeJob(spec))
+		if err != nil {
+			return // invalid algorithm/order combinations are rejected
+		}
+		if !bytes.Equal(back.Target, spec.Target) || back.Charset != spec.Charset {
+			t.Fatal("round trip changed the job")
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package netproto
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+)
+
+// Master accepts worker connections and exposes each as a
+// dispatch.Worker, so the regular Dispatcher drives the network exactly
+// like local workers — the paper's hierarchy-agnostic pattern.
+type Master struct {
+	ln   net.Listener
+	spec JobSpec
+}
+
+// NewMaster listens on addr (e.g. "127.0.0.1:0") for workers and will
+// hand each the given job.
+func NewMaster(addr string, spec JobSpec) (*Master, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Master{ln: ln, spec: spec}, nil
+}
+
+// Addr returns the listen address workers should dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Close stops accepting workers.
+func (m *Master) Close() error { return m.ln.Close() }
+
+// AcceptWorkers waits for n workers to register and returns them as
+// dispatch.Workers. The job spec is sent to each on registration.
+func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]dispatch.Worker, error) {
+	type result struct {
+		w   dispatch.Worker
+		err error
+	}
+	ch := make(chan result, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			conn, err := m.ln.Accept()
+			if err != nil {
+				ch <- result{err: err}
+				return
+			}
+			w, err := m.register(conn)
+			ch <- result{w: w, err: err}
+		}
+	}()
+
+	var workers []dispatch.Worker
+	for len(workers) < n {
+		select {
+		case <-ctx.Done():
+			return workers, ctx.Err()
+		case r := <-ch:
+			if r.err != nil {
+				return workers, r.err
+			}
+			workers = append(workers, r.w)
+		}
+	}
+	return workers, nil
+}
+
+func (m *Master) register(conn net.Conn) (dispatch.Worker, error) {
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if t != MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: expected hello, got type %d", t)
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if hello.Version != Version {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: version mismatch: worker %d, master %d", hello.Version, Version)
+	}
+	if err := WriteFrame(conn, MsgJob, EncodeJob(m.spec)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &remoteWorker{name: hello.Name, conn: conn}, nil
+}
+
+// remoteWorker proxies dispatch.Worker calls over the connection. Calls
+// are serialized: the protocol is strict request/response.
+type remoteWorker struct {
+	name string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Name identifies the remote worker.
+func (w *remoteWorker) Name() string { return w.name }
+
+// Tune runs the tuning step remotely.
+func (w *remoteWorker) Tune(ctx context.Context) (core.Tuning, error) {
+	payload, err := w.call(ctx, MsgTune, nil, MsgTuneResult)
+	if err != nil {
+		return core.Tuning{}, err
+	}
+	res, err := DecodeTuneResult(payload)
+	if err != nil {
+		return core.Tuning{}, err
+	}
+	return core.Tuning{MinBatch: res.MinBatch, Throughput: res.Throughput}, nil
+}
+
+// Search runs an interval remotely.
+func (w *remoteWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispatch.Report, error) {
+	payload, err := w.call(ctx, MsgSearch, EncodeSearch(SearchRequest{Start: iv.Start, End: iv.End}), MsgSearchResult)
+	if err != nil {
+		return nil, err
+	}
+	res, err := DecodeSearchResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &dispatch.Report{Found: res.Found, Tested: res.Tested, Elapsed: res.Elapsed}, nil
+}
+
+// call sends a request and awaits the matching response type; a MsgError
+// response becomes an error. Cancellation closes the connection (the
+// worker notices EOF), which is also how a hung remote is abandoned.
+func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = w.conn.SetDeadline(deadline)
+	} else {
+		_ = w.conn.SetDeadline(time.Time{})
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = w.conn.SetDeadline(time.Now()) // unblock pending IO
+		case <-stop:
+		}
+	}()
+
+	if err := WriteFrame(w.conn, req, payload); err != nil {
+		return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
+	}
+	t, resp, err := ReadFrame(w.conn)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
+	}
+	switch t {
+	case want:
+		return resp, nil
+	case MsgError:
+		return nil, fmt.Errorf("netproto: %s: remote error: %s", w.name, resp)
+	default:
+		return nil, fmt.Errorf("netproto: %s: unexpected response type %d", w.name, t)
+	}
+}

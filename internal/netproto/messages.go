@@ -1,0 +1,186 @@
+package netproto
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+func mathFloat64bits(v float64) uint64     { return math.Float64bits(v) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Hello is the worker's registration message.
+type Hello struct {
+	Version int
+	Name    string
+}
+
+// EncodeHello serializes a Hello.
+func EncodeHello(h Hello) []byte {
+	var e enc
+	e.u32(uint32(h.Version))
+	e.str(h.Name)
+	return e.b
+}
+
+// DecodeHello parses a Hello.
+func DecodeHello(b []byte) (Hello, error) {
+	d := dec{b: b}
+	h := Hello{Version: int(d.u32()), Name: d.str()}
+	return h, d.err()
+}
+
+// JobSpec describes a cracking job on the wire: everything a worker needs
+// to regenerate its sub-space locally.
+type JobSpec struct {
+	Algorithm  cracker.Algorithm
+	Kind       cracker.KernelKind
+	Target     []byte
+	SaltPrefix []byte
+	SaltSuffix []byte
+	Charset    string
+	MinLen     int
+	MaxLen     int
+	Order      keyspace.Order
+}
+
+// EncodeJob serializes a JobSpec.
+func EncodeJob(j JobSpec) []byte {
+	var e enc
+	e.u8(byte(j.Algorithm))
+	e.u8(byte(j.Kind))
+	e.bytes(j.Target)
+	e.bytes(j.SaltPrefix)
+	e.bytes(j.SaltSuffix)
+	e.str(j.Charset)
+	e.u32(uint32(j.MinLen))
+	e.u32(uint32(j.MaxLen))
+	e.u8(byte(j.Order))
+	return e.b
+}
+
+// DecodeJob parses a JobSpec.
+func DecodeJob(b []byte) (JobSpec, error) {
+	d := dec{b: b}
+	j := JobSpec{
+		Algorithm:  cracker.Algorithm(d.u8()),
+		Kind:       cracker.KernelKind(d.u8()),
+		Target:     d.bytes(),
+		SaltPrefix: d.bytes(),
+		SaltSuffix: d.bytes(),
+		Charset:    d.str(),
+		MinLen:     int(d.u32()),
+		MaxLen:     int(d.u32()),
+		Order:      keyspace.Order(d.u8()),
+	}
+	if err := d.err(); err != nil {
+		return j, err
+	}
+	if !j.Algorithm.Valid() {
+		return j, fmt.Errorf("netproto: bad algorithm %d", int(j.Algorithm))
+	}
+	if !j.Order.Valid() {
+		return j, fmt.Errorf("netproto: bad order %d", int(j.Order))
+	}
+	return j, nil
+}
+
+// Build materializes the job: parses the charset, builds the space and the
+// cracker job.
+func (j JobSpec) Build() (*cracker.Job, error) {
+	cs, err := keyspace.NewCharset(j.Charset)
+	if err != nil {
+		return nil, err
+	}
+	space, err := keyspace.New(cs, j.MinLen, j.MaxLen, j.Order)
+	if err != nil {
+		return nil, err
+	}
+	return &cracker.Job{
+		Algorithm: j.Algorithm,
+		Target:    j.Target,
+		Space:     space,
+		Kind:      j.Kind,
+		Salt:      cracker.Salt{Prefix: j.SaltPrefix, Suffix: j.SaltSuffix},
+	}, nil
+}
+
+// TuneResult carries the tuning step's outcome.
+type TuneResult struct {
+	MinBatch   uint64
+	Throughput float64
+}
+
+// EncodeTuneResult serializes a TuneResult.
+func EncodeTuneResult(t TuneResult) []byte {
+	var e enc
+	e.u64(t.MinBatch)
+	e.f64(t.Throughput)
+	return e.b
+}
+
+// DecodeTuneResult parses a TuneResult.
+func DecodeTuneResult(b []byte) (TuneResult, error) {
+	d := dec{b: b}
+	t := TuneResult{MinBatch: d.u64(), Throughput: d.f64()}
+	return t, d.err()
+}
+
+// SearchRequest is an identifier interval to search.
+type SearchRequest struct {
+	Start, End *big.Int
+}
+
+// EncodeSearch serializes a SearchRequest.
+func EncodeSearch(s SearchRequest) []byte {
+	var e enc
+	e.bigint(s.Start)
+	e.bigint(s.End)
+	return e.b
+}
+
+// DecodeSearch parses a SearchRequest.
+func DecodeSearch(b []byte) (SearchRequest, error) {
+	d := dec{b: b}
+	s := SearchRequest{Start: d.bigint(), End: d.bigint()}
+	return s, d.err()
+}
+
+// SearchResult carries a worker's findings for one interval.
+type SearchResult struct {
+	Found   [][]byte
+	Tested  uint64
+	Elapsed time.Duration
+}
+
+// EncodeSearchResult serializes a SearchResult.
+func EncodeSearchResult(r SearchResult) []byte {
+	var e enc
+	e.u32(uint32(len(r.Found)))
+	for _, f := range r.Found {
+		e.bytes(f)
+	}
+	e.u64(r.Tested)
+	e.u64(uint64(r.Elapsed))
+	return e.b
+}
+
+// DecodeSearchResult parses a SearchResult.
+func DecodeSearchResult(b []byte) (SearchResult, error) {
+	d := dec{b: b}
+	n := d.u32()
+	if d.e == nil && n > MaxFrame/5 {
+		return SearchResult{}, fmt.Errorf("netproto: implausible found count %d", n)
+	}
+	r := SearchResult{}
+	for i := uint32(0); i < n && d.e == nil; i++ {
+		r.Found = append(r.Found, d.bytes())
+	}
+	r.Tested = d.u64()
+	r.Elapsed = time.Duration(d.u64())
+	return r, d.err()
+}

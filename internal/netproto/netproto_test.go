@@ -1,0 +1,318 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+)
+
+func testJob(t *testing.T, password string) JobSpec {
+	t.Helper()
+	return JobSpec{
+		Algorithm: cracker.MD5,
+		Kind:      cracker.KernelOptimized,
+		Target:    cracker.MD5.HashKey([]byte(password)),
+		Charset:   keyspace.Lower.String(),
+		MinLen:    1,
+		MaxLen:    3,
+		Order:     keyspace.PrefixMajor,
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgSearch, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgSearch || string(payload) != "payload" {
+		t.Errorf("got %d %q", typ, payload)
+	}
+}
+
+func TestFrameMalformed(t *testing.T) {
+	// Oversized length header.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgHello)})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Unknown type.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, 99})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Truncated stream.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 9, byte(MsgJob), 1, 2})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	h, err := DecodeHello(EncodeHello(Hello{Version: 1, Name: "worker-7"}))
+	if err != nil || h.Name != "worker-7" || h.Version != 1 {
+		t.Errorf("hello: %+v %v", h, err)
+	}
+
+	spec := JobSpec{
+		Algorithm:  cracker.SHA1,
+		Kind:       cracker.KernelPlain,
+		Target:     bytes.Repeat([]byte{0xab}, 20),
+		SaltPrefix: []byte("pre"),
+		SaltSuffix: []byte("suf"),
+		Charset:    "abc123",
+		MinLen:     2,
+		MaxLen:     6,
+		Order:      keyspace.PrefixMajor,
+	}
+	j, err := DecodeJob(EncodeJob(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Algorithm != spec.Algorithm || j.Kind != spec.Kind || !bytes.Equal(j.Target, spec.Target) ||
+		string(j.SaltPrefix) != "pre" || string(j.SaltSuffix) != "suf" ||
+		j.Charset != spec.Charset || j.MinLen != 2 || j.MaxLen != 6 || j.Order != spec.Order {
+		t.Errorf("job round trip: %+v", j)
+	}
+
+	tr, err := DecodeTuneResult(EncodeTuneResult(TuneResult{MinBatch: 12345, Throughput: 9.5e6}))
+	if err != nil || tr.MinBatch != 12345 || tr.Throughput != 9.5e6 {
+		t.Errorf("tune: %+v %v", tr, err)
+	}
+
+	sr, err := DecodeSearch(EncodeSearch(SearchRequest{Start: big.NewInt(100), End: big.NewInt(2000)}))
+	if err != nil || sr.Start.Int64() != 100 || sr.End.Int64() != 2000 {
+		t.Errorf("search: %+v %v", sr, err)
+	}
+
+	res, err := DecodeSearchResult(EncodeSearchResult(SearchResult{
+		Found:   [][]byte{[]byte("aa"), []byte("bb")},
+		Tested:  777,
+		Elapsed: 3 * time.Second,
+	}))
+	if err != nil || len(res.Found) != 2 || string(res.Found[1]) != "bb" || res.Tested != 777 || res.Elapsed != 3*time.Second {
+		t.Errorf("result: %+v %v", res, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJob([]byte{1, 2, 3}); err == nil {
+		t.Error("short job accepted")
+	}
+	if _, err := DecodeHello(nil); err == nil {
+		t.Error("empty hello accepted")
+	}
+	bad := EncodeJob(JobSpec{Algorithm: cracker.Algorithm(9), Charset: "abc", Order: keyspace.SuffixMajor})
+	if _, err := DecodeJob(bad); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	// Trailing bytes.
+	good := EncodeTuneResult(TuneResult{})
+	if _, err := DecodeTuneResult(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestEndToEndCrack runs a real master and three worker connections over
+// loopback TCP and cracks a password through the standard dispatcher.
+func TestEndToEndCrack(t *testing.T) {
+	spec := testJob(t, "net")
+	m, err := NewMaster("127.0.0.1:0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for i := 0; i < 3; i++ {
+		name := string(rune('A' + i))
+		go func() {
+			_ = Dial(ctx, m.Addr(), WorkerConfig{Name: "worker-" + name, Workers: 2, TuneStart: 1024})
+		}()
+	}
+	workers, err := m.AcceptWorkers(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 3 {
+		t.Fatalf("workers = %d", len(workers))
+	}
+
+	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{MaxSolutions: 1}, workers...)
+	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Found) == 0 || string(rep.Found[0]) != "net" {
+		t.Errorf("found %q", rep.Found)
+	}
+}
+
+// TestWorkerDeathMidSearch: killing a worker's connection mid-run must not
+// break the search — the dispatcher reassigns to the survivor.
+func TestWorkerDeathMidSearch(t *testing.T) {
+	spec := testJob(t, "zzz") // last key: the space must be fully searched
+	m, err := NewMaster("127.0.0.1:0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Victim worker: dial raw so we can slam the connection shut.
+	victimConn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimCtx, victimCancel := context.WithCancel(ctx)
+	go func() {
+		_ = ServeConn(victimCtx, victimConn, WorkerConfig{Name: "victim", Workers: 1, TuneStart: 512})
+	}()
+	go func() {
+		_ = Dial(ctx, m.Addr(), WorkerConfig{Name: "survivor", Workers: 2, TuneStart: 1024})
+	}()
+
+	workers, err := m.AcceptWorkers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the victim shortly after the search starts.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		victimCancel()
+		victimConn.Close()
+	}()
+
+	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{}, workers...)
+	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
+	if err != nil {
+		t.Fatalf("search failed despite a survivor: %v", err)
+	}
+	if len(rep.Found) != 1 || string(rep.Found[0]) != "zzz" {
+		t.Errorf("found %q", rep.Found)
+	}
+}
+
+// TestVersionMismatch: a worker with the wrong protocol version must be
+// rejected at registration.
+func TestVersionMismatch(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0", testJob(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() {
+		conn, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = WriteFrame(conn, MsgHello, EncodeHello(Hello{Version: 99, Name: "old"}))
+	}()
+	if _, err := m.AcceptWorkers(ctx, 1); err == nil {
+		t.Error("version mismatch accepted")
+	}
+}
+
+// TestMasterRejectsGarbage: raw garbage bytes at registration must not
+// wedge or crash the master.
+func TestMasterRejectsGarbage(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0", testJob(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() {
+		conn, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n"))
+	}()
+	if _, err := m.AcceptWorkers(ctx, 1); err == nil {
+		t.Error("garbage registration accepted")
+	}
+}
+
+// TestDecodeSearchResultBounds: a frame claiming an implausible number of
+// found keys must be rejected before any allocation storm.
+func TestDecodeSearchResultBounds(t *testing.T) {
+	var e enc
+	e.u32(1 << 30) // claimed found count
+	if _, err := DecodeSearchResult(e.b); err == nil {
+		t.Error("implausible found count accepted")
+	}
+}
+
+// TestWorkerRejectsNonJobFirstMessage: the first master message must be
+// the job.
+func TestWorkerRejectsNonJobFirstMessage(t *testing.T) {
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeConn(context.Background(), server, WorkerConfig{Name: "w"})
+	}()
+	// Read the hello, reply with a Search instead of a Job.
+	if _, _, err := ReadFrame(client); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(client, MsgSearch, EncodeSearch(SearchRequest{Start: big.NewInt(0), End: big.NewInt(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Error("worker accepted a non-job first message")
+	}
+	client.Close()
+}
+
+// TestSearchOutOfSpaceInterval: the worker must answer MsgError (not die)
+// for an interval beyond its space.
+func TestSearchOutOfSpaceInterval(t *testing.T) {
+	spec := testJob(t, "abc")
+	m, err := NewMaster("127.0.0.1:0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { _ = Dial(ctx, m.Addr(), WorkerConfig{Name: "w", Workers: 1}) }()
+	workers, err := m.AcceptWorkers(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workers[0].Search(ctx, keyspace.NewInterval(0, 1<<40)); err == nil {
+		t.Error("out-of-space interval accepted")
+	}
+	// The connection must still work afterwards.
+	rep, err := workers[0].Search(ctx, keyspace.NewInterval(0, 100))
+	if err != nil || rep.Tested != 100 {
+		t.Errorf("post-error search: %+v, %v", rep, err)
+	}
+}

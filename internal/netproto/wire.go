@@ -1,0 +1,182 @@
+// Package netproto implements the cluster wire protocol: a master process
+// drives remote worker processes over TCP, each worker exposing the
+// dispatch.Worker operations (tune, search) on its local CPU cracker.
+//
+// This is the real-network counterpart of the virtual-time cluster of
+// internal/dispatch: the same dispatcher tree drives both, which is the
+// point of the paper's pattern — the coarse grain does not care whether a
+// node is a goroutine, a GPU model, or a machine across a LAN.
+//
+// Framing: every message is a 4-byte big-endian payload length, a 1-byte
+// message type, then the payload. Payloads are hand-encoded with
+// length-prefixed fields; the amount of data is deliberately tiny (§III:
+// "only a very small amount of data must be scattered ... to each
+// computing node" — an interval is two integers).
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// MsgType identifies a protocol message.
+type MsgType byte
+
+// Protocol messages.
+const (
+	MsgHello        MsgType = iota + 1 // worker -> master: version, name
+	MsgJob                             // master -> worker: job description
+	MsgTune                            // master -> worker: run the tuning step
+	MsgTuneResult                      // worker -> master: n_j, X_j
+	MsgSearch                          // master -> worker: identifier interval
+	MsgSearchResult                    // worker -> master: found keys, tested count
+	MsgError                           // either direction: failure description
+)
+
+// Version is the protocol version exchanged in MsgHello.
+const Version = 1
+
+// MaxFrame is the maximum accepted payload size; anything larger is
+// treated as a malformed frame. Search results carry at most a few keys,
+// so frames stay tiny.
+const MaxFrame = 1 << 20
+
+// WriteFrame sends one message.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("netproto: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one message.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
+	}
+	t := MsgType(hdr[4])
+	if t < MsgHello || t > MsgError {
+		return 0, nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// enc is an append-style payload encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], mathFloat64bits(v))
+	e.b = append(e.b, buf[:]...)
+}
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) str(v string) { e.bytes([]byte(v)) }
+func (e *enc) bigint(v *big.Int) {
+	if v == nil {
+		e.bytes(nil)
+		return
+	}
+	e.bytes(v.Bytes())
+}
+
+// dec is a sequential payload decoder. Every method fails softly by
+// recording the first error; callers check err() once.
+type dec struct {
+	b   []byte
+	off int
+	e   error
+}
+
+var errShortPayload = errors.New("netproto: truncated payload")
+
+func (d *dec) take(n int) []byte {
+	if d.e != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.e = errShortPayload
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) u8() byte {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *dec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+func (d *dec) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func (d *dec) f64() float64 {
+	return mathFloat64frombits(d.u64())
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.e == nil && int(n) > len(d.b)-d.off {
+		d.e = errShortPayload
+		return nil
+	}
+	v := d.take(int(n))
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) bigint() *big.Int { return new(big.Int).SetBytes(d.bytes()) }
+
+func (d *dec) err() error {
+	if d.e != nil {
+		return d.e
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("netproto: %d trailing bytes in payload", len(d.b)-d.off)
+	}
+	return nil
+}

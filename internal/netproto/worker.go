@@ -1,0 +1,146 @@
+package netproto
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+// WorkerConfig configures a worker process.
+type WorkerConfig struct {
+	// Name identifies this worker to the master.
+	Name string
+	// Workers is the local goroutine count (0 = NumCPU).
+	Workers int
+	// TuneStart and TuneTarget parameterize the local tuning step.
+	TuneStart  uint64
+	TuneTarget float64
+}
+
+// ServeConn runs the worker side of the protocol on an established
+// connection: register, receive the job, then answer tune and search
+// requests until the connection closes or ctx is cancelled.
+func ServeConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	defer conn.Close()
+	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{Version: Version, Name: cfg.Name})); err != nil {
+		return err
+	}
+
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if t != MsgJob {
+		return fmt.Errorf("netproto: expected job, got message type %d", t)
+	}
+	spec, err := DecodeJob(payload)
+	if err != nil {
+		sendError(conn, err)
+		return err
+	}
+	job, err := spec.Build()
+	if err != nil {
+		sendError(conn, err)
+		return err
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			return err // connection closed: master is done with us
+		}
+		switch t {
+		case MsgTune:
+			res, err := tuneLocal(ctx, job, cfg)
+			if err != nil {
+				sendError(conn, err)
+				continue
+			}
+			if err := WriteFrame(conn, MsgTuneResult, EncodeTuneResult(res)); err != nil {
+				return err
+			}
+		case MsgSearch:
+			req, err := DecodeSearch(payload)
+			if err != nil {
+				sendError(conn, err)
+				continue
+			}
+			res, err := searchLocal(ctx, job, req, cfg)
+			if err != nil {
+				sendError(conn, err)
+				continue
+			}
+			if err := WriteFrame(conn, MsgSearchResult, EncodeSearchResult(res)); err != nil {
+				return err
+			}
+		default:
+			sendError(conn, fmt.Errorf("netproto: unexpected message type %d", t))
+		}
+	}
+}
+
+func sendError(conn net.Conn, err error) {
+	_ = WriteFrame(conn, MsgError, []byte(err.Error()))
+}
+
+func tuneLocal(ctx context.Context, job *cracker.Job, cfg WorkerConfig) (TuneResult, error) {
+	factory, err := job.TestFactory()
+	if err != nil {
+		return TuneResult{}, err
+	}
+	size, ok := job.Space.Size64()
+	if !ok {
+		size = 1 << 62
+	}
+	bench := func(n uint64) time.Duration {
+		if n > size {
+			n = size
+		}
+		start := time.Now()
+		iv := keyspace.NewInterval(0, int64(n))
+		_, err := core.SearchEach(ctx, core.KeyspaceFactory(job.Space), iv, factory,
+			core.Options{Workers: cfg.Workers})
+		if err != nil {
+			return time.Hour // poison: tuning converges immediately
+		}
+		return time.Since(start)
+	}
+	tuneStart := cfg.TuneStart
+	if tuneStart == 0 {
+		tuneStart = 4096
+	}
+	tn := core.Tune(bench, core.TuneOptions{
+		Start:            tuneStart,
+		TargetEfficiency: cfg.TuneTarget,
+		MaxBatch:         size,
+	})
+	return TuneResult{MinBatch: tn.MinBatch, Throughput: tn.Throughput}, nil
+}
+
+func searchLocal(ctx context.Context, job *cracker.Job, req SearchRequest, cfg WorkerConfig) (SearchResult, error) {
+	iv := keyspace.Interval{Start: req.Start, End: req.End}
+	start := time.Now()
+	res, err := cracker.CrackAll(ctx, job, iv, core.Options{Workers: cfg.Workers})
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Found: res.Solutions, Tested: res.Tested, Elapsed: time.Since(start)}, nil
+}
+
+// Dial connects to a master and serves until done.
+func Dial(ctx context.Context, addr string, cfg WorkerConfig) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeConn(ctx, conn, cfg)
+}

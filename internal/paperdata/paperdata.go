@@ -1,0 +1,112 @@
+// Package paperdata records the values published in "Exhaustive Key
+// Search on Clusters of GPUs" (IPPS 2014) verbatim, so that every
+// regenerated table and benchmark can print paper-vs-measured columns.
+// Nothing here is computed; it is the ground truth the reproduction is
+// judged against.
+package paperdata
+
+// InstrCount is one column of the instruction-count tables (III–VI).
+type InstrCount struct {
+	IADD  int
+	Logic int // AND/OR/XOR
+	Not   int // unary NOT (Table III only; merged away afterwards)
+	Shift int // SHR/SHL
+	IMAD  int // IMAD/ISCADD
+	Perm  int // PRMT (__byte_perm), Table VI only
+}
+
+// Total sums the counted machine classes.
+func (c InstrCount) Total() int { return c.IADD + c.Logic + c.Shift + c.IMAD + c.Perm }
+
+// TableIII is the source-level MD5 instruction count ("we are simply
+// counting all the operations that cannot be evaluated at compile time in
+// the CUDA source code").
+var TableIII = InstrCount{IADD: 320, Logic: 160, Not: 160, Shift: 128}
+
+// TableIV is the compiled count of the length-4 kernel per target family.
+var TableIV = map[string]InstrCount{
+	"1.*":         {IADD: 284, Logic: 156, Shift: 128},
+	"2.* and 3.0": {IADD: 220, Logic: 155, Shift: 64, IMAD: 64},
+}
+
+// TableV is the compiled count of the optimized kernel (reversal + early
+// exit).
+var TableV = map[string]InstrCount{
+	"1.*":         {IADD: 197, Logic: 118, Shift: 90},
+	"2.* and 3.0": {IADD: 150, Logic: 120, Shift: 46, IMAD: 46},
+}
+
+// TableVI is the final kernel with byte-perm rotations.
+var TableVI = map[string]InstrCount{
+	"1.*":         {IADD: 197, Logic: 118, Shift: 90},
+	"2.* and 3.0": {IADD: 150, Logic: 120, Shift: 43, IMAD: 43, Perm: 3},
+}
+
+// GPURow is one device column of Table VIII, in MKey/s.
+type GPURow struct {
+	MD5Theoretical  float64
+	MD5Ours         float64
+	MD5BarsWF       float64 // 0 = not reported
+	MD5Cryptohaze   float64
+	SHA1Theoretical float64
+	SHA1Ours        float64
+	SHA1Cryptohaze  float64
+}
+
+// TableVIII holds the single-GPU throughput table, keyed by the device
+// names of arch.Catalog.
+var TableVIII = map[string]GPURow{
+	"GeForce 8600M GT": {
+		MD5Theoretical: 83, MD5Ours: 71, MD5BarsWF: 71, MD5Cryptohaze: 49.4,
+		SHA1Theoretical: 25, SHA1Ours: 22, SHA1Cryptohaze: 20.8,
+	},
+	"GeForce 8800 GTS 512": {
+		MD5Theoretical: 568, MD5Ours: 480, MD5BarsWF: 490, MD5Cryptohaze: 316,
+		SHA1Theoretical: 170, SHA1Ours: 137, SHA1Cryptohaze: 132,
+	},
+	"GeForce GT 540M": {
+		MD5Theoretical: 359.4, MD5Ours: 214, MD5BarsWF: 205, MD5Cryptohaze: 146,
+		SHA1Theoretical: 128, SHA1Ours: 92, SHA1Cryptohaze: 68,
+	},
+	"GeForce GTX 550 Ti": {
+		MD5Theoretical: 962.7, MD5Ours: 654, MD5BarsWF: 560, MD5Cryptohaze: 410,
+		SHA1Theoretical: 345, SHA1Ours: 310, SHA1Cryptohaze: 185,
+	},
+	"GeForce GTX 660": {
+		MD5Theoretical: 1851, MD5Ours: 1841, MD5BarsWF: 1340, MD5Cryptohaze: 1280,
+		SHA1Theoretical: 390, SHA1Ours: 390, SHA1Cryptohaze: 377,
+	},
+}
+
+// NetworkRow is one row of Table IX, in MKey/s.
+type NetworkRow struct {
+	Theoretical float64
+	Ours        float64
+	Efficiency  float64
+}
+
+// TableIX holds the whole-network throughput table.
+var TableIX = map[string]NetworkRow{
+	"MD5":  {Theoretical: 3824.1, Ours: 3258.4, Efficiency: 0.852},
+	"SHA1": {Theoretical: 1058, Ours: 950.1, Efficiency: 0.898},
+}
+
+// Headline facts quoted in the running text of Section VI.
+const (
+	// KeplerEfficiency is "roughly the maximum expected efficiency, that
+	// is 99.46%" on the GTX 660.
+	KeplerEfficiency = 0.9946
+	// BarsWFKeplerFraction: BarsWF reaches 72.39% of theoretical on Kepler.
+	BarsWFKeplerFraction = 0.7239
+	// CryptohazeKeplerFraction: Cryptohaze reaches 69.15% of theoretical.
+	CryptohazeKeplerFraction = 0.6915
+	// ReversalSpeedup is the BarsWF reversal trick's gain, "about 1.25 in
+	// almost all architectures".
+	ReversalSpeedup = 1.25
+	// MD5ShiftRatio is R = 270/92 for the optimized MD5 kernel on cc2+.
+	MD5ShiftRatio = 2.93
+	// SHA1ShiftRatio is the corresponding SHA1 ratio (≈1.53).
+	SHA1ShiftRatio = 1.53
+	// MaxKeyLen is the kernel's key-length limit (Section IV-A).
+	MaxKeyLen = 20
+)

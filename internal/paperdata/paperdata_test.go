@@ -1,0 +1,79 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIXIsSumOfTableVIII verifies the paper's internal consistency,
+// which our reproduction relies on: the network "theoretical" value is the
+// sum of the per-device theoretical peaks, and the measured network
+// throughput is close to the sum of the measured single-GPU rates
+// ("roughly equal to the sum of the throughputs of the single devices").
+func TestTableIXIsSumOfTableVIII(t *testing.T) {
+	var sumTheoMD5, sumOursMD5, sumTheoSHA1, sumOursSHA1 float64
+	for _, row := range TableVIII {
+		sumTheoMD5 += row.MD5Theoretical
+		sumOursMD5 += row.MD5Ours
+		sumTheoSHA1 += row.SHA1Theoretical
+		sumOursSHA1 += row.SHA1Ours
+	}
+	if math.Abs(sumTheoMD5-TableIX["MD5"].Theoretical) > 0.2 {
+		t.Errorf("sum of MD5 theoretical = %.1f, Table IX says %.1f", sumTheoMD5, TableIX["MD5"].Theoretical)
+	}
+	if math.Abs(sumTheoSHA1-TableIX["SHA1"].Theoretical) > 0.2 {
+		t.Errorf("sum of SHA1 theoretical = %.1f, Table IX says %.1f", sumTheoSHA1, TableIX["SHA1"].Theoretical)
+	}
+	// Measured cluster ≈ sum of measured devices (within 0.2%).
+	if d := math.Abs(sumOursMD5-TableIX["MD5"].Ours) / TableIX["MD5"].Ours; d > 0.002 {
+		t.Errorf("sum of MD5 measured = %.1f vs network %.1f (%.3f off)", sumOursMD5, TableIX["MD5"].Ours, d)
+	}
+	if d := math.Abs(sumOursSHA1-TableIX["SHA1"].Ours) / TableIX["SHA1"].Ours; d > 0.002 {
+		t.Errorf("sum of SHA1 measured = %.1f vs network %.1f (%.3f off)", sumOursSHA1, TableIX["SHA1"].Ours, d)
+	}
+}
+
+// TestEfficiencyColumns: Table IX's efficiency equals ours/theoretical.
+func TestEfficiencyColumns(t *testing.T) {
+	for name, row := range TableIX {
+		if got := row.Ours / row.Theoretical; math.Abs(got-row.Efficiency) > 0.001 {
+			t.Errorf("%s: ours/theoretical = %.3f, table says %.3f", name, got, row.Efficiency)
+		}
+	}
+}
+
+// TestKeplerFractionsConsistent: the §VI text fractions match Table VIII.
+func TestKeplerFractionsConsistent(t *testing.T) {
+	row := TableVIII["GeForce GTX 660"]
+	if got := row.MD5Ours / row.MD5Theoretical; math.Abs(got-KeplerEfficiency) > 0.001 {
+		t.Errorf("Kepler efficiency from table = %.4f, text says %.4f", got, KeplerEfficiency)
+	}
+	if got := row.MD5BarsWF / row.MD5Theoretical; math.Abs(got-BarsWFKeplerFraction) > 0.001 {
+		t.Errorf("BarsWF fraction from table = %.4f, text says %.4f", got, BarsWFKeplerFraction)
+	}
+	if got := row.MD5Cryptohaze / row.MD5Theoretical; math.Abs(got-CryptohazeKeplerFraction) > 0.001 {
+		t.Errorf("Cryptohaze fraction from table = %.4f, text says %.4f", got, CryptohazeKeplerFraction)
+	}
+}
+
+// TestOptimizedKernelRatio: Table VI's counts produce the R the text
+// quotes (270/92 = 2.93 with the pre-byte-perm shift counts of Table V).
+func TestOptimizedKernelRatio(t *testing.T) {
+	v := TableV["2.* and 3.0"]
+	r := float64(v.IADD+v.Logic) / float64(v.Shift+v.IMAD)
+	if math.Abs(r-MD5ShiftRatio) > 0.01 {
+		t.Errorf("Table V ratio = %.3f, text says %.2f", r, MD5ShiftRatio)
+	}
+}
+
+// TestInstrCountMonotonic: each optimization tier only shrinks counts.
+func TestInstrCountMonotonic(t *testing.T) {
+	for _, fam := range []string{"1.*", "2.* and 3.0"} {
+		if TableV[fam].Total() >= TableIV[fam].Total() {
+			t.Errorf("%s: Table V total %d not below Table IV %d", fam, TableV[fam].Total(), TableIV[fam].Total())
+		}
+		if TableVI[fam].Total() > TableV[fam].Total() {
+			t.Errorf("%s: Table VI total %d above Table V %d", fam, TableVI[fam].Total(), TableV[fam].Total())
+		}
+	}
+}

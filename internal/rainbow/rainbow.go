@@ -1,0 +1,180 @@
+// Package rainbow implements the two precomputation attacks the paper's
+// introduction surveys — full lookup tables and rainbow tables — and
+// demonstrates the property the paper builds on: both are "completely
+// useless when the key is concatenated with a random string in a technique
+// called salting", while brute force is unaffected because "the random
+// part of the string (the salt) to be concatenated is known by
+// definition".
+package rainbow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+// LookupTable is the naive digest -> key map. Its memory grows linearly
+// with the space ("such method becomes quickly unmanageable for the amount
+// of memory required").
+type LookupTable struct {
+	alg   cracker.Algorithm
+	table map[string]string
+}
+
+// BuildLookup precomputes the full table for a space, refusing spaces
+// larger than limit entries.
+func BuildLookup(space *keyspace.Space, alg cracker.Algorithm, limit uint64) (*LookupTable, error) {
+	n, ok := space.Size64()
+	if !ok || n > limit {
+		return nil, fmt.Errorf("rainbow: space of %v keys exceeds lookup limit %d", space.Size(), limit)
+	}
+	t := &LookupTable{alg: alg, table: make(map[string]string, n)}
+	cur, err := keyspace.NewCursor(space, new(big.Int))
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		t.table[string(alg.HashKey(cur.Key()))] = string(cur.Key())
+		if i+1 < n && !cur.Next() {
+			return nil, errors.New("rainbow: space exhausted early")
+		}
+	}
+	return t, nil
+}
+
+// Lookup returns the preimage of digest if the table covers it.
+func (t *LookupTable) Lookup(digest []byte) (string, bool) {
+	k, ok := t.table[string(digest)]
+	return k, ok
+}
+
+// Entries returns the table size.
+func (t *LookupTable) Entries() int { return len(t.table) }
+
+// MemoryBytes estimates the table's resident size (digest + key + map
+// overhead per entry).
+func (t *LookupTable) MemoryBytes() uint64 {
+	per := uint64(t.alg.DigestSize()) + 8 + 48 // key bytes + map overhead
+	return uint64(len(t.table)) * per
+}
+
+// Table is a rainbow table: chains of alternating hash and reduction
+// steps, storing only (start, end) pairs — "a tradeoff between hash
+// cracking speed and size of lookup tables. It concentrates in less space
+// the information about solutions, but a certain amount of computation is
+// needed to lookup a key."
+type Table struct {
+	space    *keyspace.Space
+	alg      cracker.Algorithm
+	chainLen int
+	// chains maps the end key of each chain to its start key.
+	chains map[string]string
+}
+
+// Build constructs a rainbow table with the given number of chains of the
+// given length. Start keys are drawn deterministically from seed.
+func Build(space *keyspace.Space, alg cracker.Algorithm, chains, chainLen int, seed uint64) (*Table, error) {
+	size, ok := space.Size64()
+	if !ok {
+		return nil, errors.New("rainbow: space too large")
+	}
+	if chains <= 0 || chainLen <= 0 {
+		return nil, errors.New("rainbow: chains and chainLen must be positive")
+	}
+	t := &Table{space: space, alg: alg, chainLen: chainLen, chains: make(map[string]string, chains)}
+	state := seed
+	for c := 0; c < chains; c++ {
+		state = splitmix(state)
+		start := space.Key64(state % size)
+		key := append([]byte(nil), start...)
+		for i := 0; i < chainLen; i++ {
+			key = t.reduce(t.alg.HashKey(key), i, key[:0])
+		}
+		t.chains[string(key)] = string(start)
+	}
+	return t, nil
+}
+
+// reduce maps a digest to a key, parameterized by the chain position (the
+// defining trick of rainbow tables: a different reduction per column
+// prevents chain merges from collapsing the table).
+func (t *Table) reduce(digest []byte, column int, dst []byte) []byte {
+	size, _ := t.space.Size64()
+	v := binary.LittleEndian.Uint64(digest[:8]) + uint64(column)*0x9e3779b97f4a7c15
+	return t.space.AppendKey64(dst, v%size)
+}
+
+// Chains returns the number of stored chains (merges collapse some).
+func (t *Table) Chains() int { return len(t.chains) }
+
+// MemoryBytes estimates the table's resident size.
+func (t *Table) MemoryBytes() uint64 {
+	return uint64(len(t.chains)) * uint64(2*t.space.MaxLen()+48)
+}
+
+// Lookup attempts to invert digest. It walks the digest forward from every
+// possible chain column, looks for a matching endpoint, and on a hit
+// replays the chain from its start to find the preimage. False alarms
+// (merged chains) are detected and skipped.
+func (t *Table) Lookup(digest []byte) (string, bool) {
+	buf := make([]byte, 0, t.space.MaxLen())
+	for col := t.chainLen - 1; col >= 0; col-- {
+		// Assume the key was hashed at column col: finish the chain.
+		key := t.reduce(digest, col, buf[:0])
+		for i := col + 1; i < t.chainLen; i++ {
+			key = t.reduce(t.alg.HashKey(key), i, key[:0])
+		}
+		start, ok := t.chains[string(key)]
+		if !ok {
+			continue
+		}
+		// Replay from the start to column col and verify.
+		replay := append(buf[:0], start...)
+		for i := 0; i < col; i++ {
+			replay = t.reduce(t.alg.HashKey(replay), i, replay[:0])
+		}
+		if string(t.alg.HashKey(replay)) == string(digest) {
+			return string(replay), true
+		}
+		// False alarm: a merged chain; keep scanning earlier columns.
+	}
+	return "", false
+}
+
+// SaltedLookup demonstrates the salting defeat: given a salted digest
+// hash(password || salt), neither table type can invert it even when the
+// unsalted password is covered, because every stored digest corresponds to
+// an unsalted key.
+func (t *Table) SaltedLookup(saltedDigest []byte) (string, bool) {
+	return t.Lookup(saltedDigest) // identical mechanics; succeeds only by fluke
+}
+
+// Coverage empirically measures the fraction of n sampled keys the table
+// can invert — the quality metric a table is sized by.
+func (t *Table) Coverage(n int, seed uint64) float64 {
+	size, _ := t.space.Size64()
+	hit := 0
+	state := seed
+	for i := 0; i < n; i++ {
+		state = splitmix(state)
+		key := t.space.Key64(state % size)
+		if _, ok := t.Lookup(t.alg.HashKey(key)); ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(n)
+}
+
+// splitmix is the SplitMix64 generator step (deterministic, seedable,
+// dependency-free).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,162 @@
+package rainbow
+
+import (
+	"testing"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+func smallSpace(t *testing.T) *keyspace.Space {
+	t.Helper()
+	s, err := keyspace.New(keyspace.Lower, 1, 3, keyspace.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLookupTable(t *testing.T) {
+	space := smallSpace(t)
+	lt, err := BuildLookup(space, cracker.MD5, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := space.Size64()
+	if uint64(lt.Entries()) > size {
+		t.Errorf("entries %d > space %d", lt.Entries(), size)
+	}
+	for _, key := range []string{"a", "zz", "cat", "zzz"} {
+		got, ok := lt.Lookup(cracker.MD5.HashKey([]byte(key)))
+		if !ok || got != key {
+			t.Errorf("Lookup(%q) = %q, %v", key, got, ok)
+		}
+	}
+	if _, ok := lt.Lookup(cracker.MD5.HashKey([]byte("missing!"))); ok {
+		t.Error("lookup hit outside the space")
+	}
+	if lt.MemoryBytes() == 0 {
+		t.Error("memory estimate zero")
+	}
+}
+
+func TestLookupTableRefusesHugeSpace(t *testing.T) {
+	big8, err := keyspace.New(keyspace.Alnum, 1, 8, keyspace.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildLookup(big8, cracker.MD5, 1<<24); err == nil {
+		t.Error("oversized lookup table accepted — the paper's memory objection")
+	}
+}
+
+func TestRainbowBuildAndLookup(t *testing.T) {
+	space := smallSpace(t)
+	size, _ := space.Size64()
+	// Enough chains x length to cover the space several times over.
+	tbl, err := Build(space, cracker.MD5, int(size/4), 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Chains() == 0 {
+		t.Fatal("no chains stored")
+	}
+	// The table must be much smaller than the full lookup.
+	lt, _ := BuildLookup(space, cracker.MD5, 1<<20)
+	if tbl.MemoryBytes() >= lt.MemoryBytes() {
+		t.Errorf("rainbow memory %d not below lookup %d", tbl.MemoryBytes(), lt.MemoryBytes())
+	}
+
+	cov := tbl.Coverage(150, 7)
+	if cov < 0.5 {
+		t.Errorf("coverage = %.2f, want >= 0.5", cov)
+	}
+	// Every reported hit must be a true preimage (verified inside Lookup);
+	// spot-check a few fixed keys.
+	hits := 0
+	for _, key := range []string{"a", "ok", "abc", "xyz", "qq"} {
+		digest := cracker.MD5.HashKey([]byte(key))
+		if got, ok := tbl.Lookup(digest); ok {
+			hits++
+			if string(cracker.MD5.HashKey([]byte(got))) != string(digest) {
+				t.Errorf("false preimage %q for %q", got, key)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no fixed key inverted; table too weak")
+	}
+}
+
+// TestSaltingDefeatsTables is the paper's central motivating fact: a salt
+// makes both precomputation attacks useless while brute force (with the
+// salt folded into the kernel) still works.
+func TestSaltingDefeatsTables(t *testing.T) {
+	space := smallSpace(t)
+	password := []byte("cat")
+	salt := cracker.Salt{Suffix: []byte("NaCl4you")}
+	saltedDigest := cracker.MD5.HashKey(salt.Apply(nil, password))
+
+	lt, err := BuildLookup(space, cracker.MD5, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lt.Lookup(saltedDigest); ok {
+		t.Error("lookup table inverted a salted digest")
+	}
+
+	size, _ := space.Size64()
+	tbl, err := Build(space, cracker.MD5, int(size/4), 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.SaltedLookup(saltedDigest); ok {
+		t.Error("rainbow table inverted a salted digest")
+	}
+
+	// Brute force with the salt in the kernel still finds it.
+	k, err := cracker.NewSaltedKernel(cracker.MD5, cracker.KernelOptimized, saltedDigest, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Test(password) {
+		t.Error("salted brute-force kernel missed the password")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	space := smallSpace(t)
+	if _, err := Build(space, cracker.MD5, 0, 10, 1); err == nil {
+		t.Error("zero chains accepted")
+	}
+	if _, err := Build(space, cracker.MD5, 10, 0, 1); err == nil {
+		t.Error("zero chain length accepted")
+	}
+	huge, _ := keyspace.New(keyspace.Alnum, 1, 20, keyspace.SuffixMajor)
+	if _, err := Build(huge, cracker.MD5, 1, 1, 1); err == nil {
+		t.Error("non-uint64 space accepted")
+	}
+}
+
+// TestTradeoffCurve: longer chains shrink memory for comparable coverage —
+// the time/space tradeoff the introduction describes.
+func TestTradeoffCurve(t *testing.T) {
+	space := smallSpace(t)
+	size, _ := space.Size64()
+	short, err := Build(space, cracker.MD5, int(size/2), 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Build(space, cracker.MD5, int(size/16), 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MemoryBytes() >= short.MemoryBytes() {
+		t.Errorf("long-chain table (%d B) should be smaller than short-chain (%d B)",
+			long.MemoryBytes(), short.MemoryBytes())
+	}
+	cs, cl := short.Coverage(100, 5), long.Coverage(100, 5)
+	if cl < cs-0.35 {
+		t.Errorf("long-chain coverage %.2f collapsed versus short-chain %.2f", cl, cs)
+	}
+}

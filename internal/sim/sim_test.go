@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedSchedule(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() { hits = append(hits, e.Now()) })
+	})
+	end := e.Run()
+	if end != 3 || len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Errorf("hits = %v end = %v", hits, end)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(2, func() {
+		e.Schedule(-5, func() { fired = true })
+	})
+	e.Run()
+	if !fired || e.Now() != 2 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for _, d := range []float64{1, 2, 3, 4} {
+		e.Schedule(d, func() { count++ })
+	}
+	e.RunUntil(2.5)
+	if count != 2 || e.Now() != 2.5 {
+		t.Errorf("count=%d now=%v", count, e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if count != 4 {
+		t.Errorf("final count = %d", count)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: 0.001, Bandwidth: 1000}
+	if got := l.TransferTime(500); got != 0.001+0.5 {
+		t.Errorf("TransferTime = %v", got)
+	}
+	inf := Link{Latency: 0.002}
+	if got := inf.TransferTime(1 << 30); got != 0.002 {
+		t.Errorf("infinite bandwidth TransferTime = %v", got)
+	}
+}
+
+func TestLinkSend(t *testing.T) {
+	e := NewEngine()
+	l := Link{Latency: 0.5, Bandwidth: 100}
+	delivered := -1.0
+	l.Send(e, 50, func() { delivered = e.Now() })
+	e.Run()
+	if delivered != 1.0 {
+		t.Errorf("delivered at %v, want 1.0", delivered)
+	}
+}
+
+func TestLANIsFast(t *testing.T) {
+	if LAN().TransferTime(64) > 0.001 {
+		t.Error("LAN small-message transfer should be sub-millisecond")
+	}
+}

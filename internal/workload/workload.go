@@ -1,0 +1,93 @@
+// Package workload generates deterministic benchmark and experiment
+// inputs: target digests drawn from a key space, salted audit databases
+// (the periodic "auditing sessions" of the paper's introduction), and
+// parameter sweeps for the granularity and ablation benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+// RandomKey returns a uniformly random key of the space.
+func RandomKey(space *keyspace.Space, rng *rand.Rand) []byte {
+	size, ok := space.Size64()
+	if !ok {
+		// Sample a random length then random symbols; adequate for
+		// generator purposes on huge spaces.
+		n := space.MinLen() + rng.Intn(space.MaxLen()-space.MinLen()+1)
+		key := make([]byte, n)
+		cs := space.Charset()
+		for i := range key {
+			key[i] = cs.Symbol(rng.Intn(cs.Len()))
+		}
+		return key
+	}
+	return space.Key64(rng.Uint64() % size)
+}
+
+// Target pairs a digest with the key that produced it (kept for
+// verification; a real audit would not have it).
+type Target struct {
+	Key    []byte
+	Digest []byte
+}
+
+// Targets generates n targets from random keys of the space.
+func Targets(space *keyspace.Space, alg cracker.Algorithm, n int, seed int64) []Target {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Target, n)
+	for i := range out {
+		key := RandomKey(space, rng)
+		out[i] = Target{Key: key, Digest: alg.HashKey(key)}
+	}
+	return out
+}
+
+// AuditRow is one row of a synthetic credential store: per-user random
+// salt, salted digest. This is the substitution for a production password
+// database (DESIGN.md §2): same shape, same code path, no real secrets.
+type AuditRow struct {
+	User   string
+	Salt   cracker.Salt
+	Digest []byte
+	// Plain is the ground-truth password, retained so experiments can
+	// verify their cracks.
+	Plain []byte
+}
+
+// AuditDB builds n salted rows whose passwords are drawn from the space.
+func AuditDB(space *keyspace.Space, alg cracker.Algorithm, n, saltLen int, seed int64) []AuditRow {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]AuditRow, n)
+	for i := range rows {
+		password := RandomKey(space, rng)
+		salt := make([]byte, saltLen)
+		for j := range salt {
+			salt[j] = byte('!' + rng.Intn(94))
+		}
+		s := cracker.Salt{Suffix: salt}
+		rows[i] = AuditRow{
+			User:   fmt.Sprintf("user%03d", i),
+			Salt:   s,
+			Digest: alg.HashKey(s.Apply(nil, password)),
+			Plain:  password,
+		}
+	}
+	return rows
+}
+
+// Sweep returns a geometric parameter sweep [start, start*factor, ...] of
+// length n, for granularity and batch-size benchmarks.
+func Sweep(start float64, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

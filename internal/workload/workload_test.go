@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+func TestRandomKeyInSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, _ := keyspace.New(keyspace.Lower, 2, 4, keyspace.PrefixMajor)
+	for i := 0; i < 100; i++ {
+		if k := RandomKey(small, rng); !small.Contains(k) {
+			t.Fatalf("key %q outside space", k)
+		}
+	}
+	huge, _ := keyspace.New(keyspace.Alnum, 5, 20, keyspace.PrefixMajor)
+	for i := 0; i < 100; i++ {
+		if k := RandomKey(huge, rng); !huge.Contains(k) {
+			t.Fatalf("huge-space key %q outside space", k)
+		}
+	}
+}
+
+func TestTargetsVerify(t *testing.T) {
+	space, _ := keyspace.New(keyspace.Digits, 2, 3, keyspace.PrefixMajor)
+	ts := Targets(space, cracker.SHA1, 20, 7)
+	if len(ts) != 20 {
+		t.Fatalf("targets = %d", len(ts))
+	}
+	for _, tgt := range ts {
+		if string(cracker.SHA1.HashKey(tgt.Key)) != string(tgt.Digest) {
+			t.Errorf("digest mismatch for %q", tgt.Key)
+		}
+	}
+	// Determinism.
+	again := Targets(space, cracker.SHA1, 20, 7)
+	for i := range ts {
+		if string(ts[i].Key) != string(again[i].Key) {
+			t.Fatal("targets not deterministic")
+		}
+	}
+}
+
+func TestAuditDB(t *testing.T) {
+	space, _ := keyspace.New(keyspace.Lower, 2, 3, keyspace.PrefixMajor)
+	rows := AuditDB(space, cracker.MD5, 10, 8, 3)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	salts := make(map[string]bool)
+	for _, r := range rows {
+		if len(r.Salt.Suffix) != 8 {
+			t.Errorf("%s: salt length %d", r.User, len(r.Salt.Suffix))
+		}
+		salts[string(r.Salt.Suffix)] = true
+		want := cracker.MD5.HashKey(r.Salt.Apply(nil, r.Plain))
+		if string(want) != string(r.Digest) {
+			t.Errorf("%s: digest mismatch", r.User)
+		}
+		k, err := cracker.NewSaltedKernel(cracker.MD5, cracker.KernelOptimized, r.Digest, r.Salt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !k.Test(r.Plain) {
+			t.Errorf("%s: kernel rejects ground truth", r.User)
+		}
+	}
+	if len(salts) < 9 {
+		t.Errorf("only %d distinct salts in 10 rows", len(salts))
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := Sweep(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sweep = %v", s)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package keysearch_test
+
+import (
+	"context"
+	"math/big"
+	"testing"
+	"time"
+
+	"keysearch"
+)
+
+func TestCrackHexQuickstart(t *testing.T) {
+	space, err := keysearch.NewSpace(keysearch.Lowercase, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// md5("abc")
+	res, err := keysearch.CrackHex(context.Background(), keysearch.MD5,
+		"900150983cd24fb0d6963f7d28e17f72", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "abc" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+}
+
+func TestCrackSHA1(t *testing.T) {
+	space, err := keysearch.NewSpace(keysearch.DigitsSet, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := keysearch.HashKey(keysearch.SHA1, []byte("2016"))
+	job := &keysearch.Job{Algorithm: keysearch.SHA1, Target: digest, Space: space}
+	res, err := keysearch.Crack(context.Background(), job, keysearch.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "2016" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+}
+
+func TestCrackSalted(t *testing.T) {
+	space, err := keysearch.NewSpace(keysearch.Lowercase, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salt := keysearch.Salt{Suffix: []byte("pepper")}
+	digest := keysearch.HashKey(keysearch.MD5, append([]byte("dog"), []byte("pepper")...))
+	res, err := keysearch.CrackSalted(context.Background(), keysearch.MD5, digest, salt, space, keysearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "dog" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+	if _, err := keysearch.CrackSalted(context.Background(), keysearch.MD5, []byte("short"), salt, space, keysearch.Options{}); err == nil {
+		t.Error("bad digest length accepted")
+	}
+}
+
+func TestDispatchedCrackAcrossMixedWorkers(t *testing.T) {
+	space, err := keysearch.NewSpace(keysearch.Lowercase, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &keysearch.Job{
+		Algorithm: keysearch.MD5,
+		Target:    keysearch.HashKey(keysearch.MD5, []byte("fox")),
+		Space:     space,
+	}
+	dev, err := keysearch.DeviceByName("660")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := keysearch.NewDispatcher("mixed", keysearch.DispatchOptions{MaxSolutions: 1},
+		keysearch.NewCPUWorker("cpu", job, 2),
+		keysearch.NewGPUWorker("sim-660", dev, job),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := d.Search(ctx, keysearch.Interval{Start: big.NewInt(0), End: space.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Found) == 0 || string(rep.Found[0]) != "fox" {
+		t.Errorf("found %q", rep.Found)
+	}
+}
+
+func TestPaperNetworkSimulation(t *testing.T) {
+	tree := keysearch.PaperNetwork(keysearch.MD5)
+	res, err := keysearch.SimulateCluster(tree, 1e11, keysearch.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theo := keysearch.TheoreticalNetworkThroughput(keysearch.MD5)
+	eff := res.Throughput / theo
+	// Table IX reports 0.852 for MD5; our per-device models differ
+	// slightly, so accept 0.75–0.95.
+	if eff < 0.70 || eff > 0.98 {
+		t.Errorf("network efficiency vs theoretical = %.3f, paper: 0.852", eff)
+	}
+	if res.DispatchEfficiency < 0.9 {
+		t.Errorf("dispatch efficiency = %.3f, want near-perfect parallelism", res.DispatchEfficiency)
+	}
+}
+
+func TestDictAttackFacade(t *testing.T) {
+	mask, err := keysearch.NewSpaceOrdered(keysearch.DigitsSet, 1, 1, keysearch.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := keysearch.NewDictSpace([]string{"winter", "summer"},
+		[]keysearch.Rule{keysearch.RuleIdentity, keysearch.RuleCapitalize}, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := keysearch.HashKey(keysearch.MD5, []byte("Summer7"))
+	res, err := keysearch.DictAttack(context.Background(), keysearch.MD5, digest, ds, keysearch.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "Summer7" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+}
+
+func TestRainbowFacade(t *testing.T) {
+	space, err := keysearch.NewSpaceOrdered(keysearch.Lowercase, 1, 2, keysearch.SuffixMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := keysearch.BuildLookupTable(space, keysearch.MD5, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := lt.Lookup(keysearch.HashKey(keysearch.MD5, []byte("go"))); !ok || got != "go" {
+		t.Errorf("lookup = %q %v", got, ok)
+	}
+	rt, err := keysearch.BuildRainbowTable(space, keysearch.MD5, 200, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Chains() == 0 {
+		t.Error("empty rainbow table")
+	}
+}
+
+func TestMineFacade(t *testing.T) {
+	var tmpl keysearch.BlockHeader
+	tmpl.Version = 2
+	nonce, ok, err := keysearch.Mine(context.Background(), tmpl, 10, 0, 1<<18, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no nonce found")
+	}
+	tmpl.Nonce = nonce
+	if !tmpl.MeetsDifficulty(10) {
+		t.Error("nonce does not meet difficulty")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if alg, err := keysearch.ParseAlgorithm("sha1"); err != nil || alg != keysearch.SHA1 {
+		t.Error("ParseAlgorithm")
+	}
+	if _, err := keysearch.NewSpace("", 1, 2); err == nil {
+		t.Error("empty charset accepted")
+	}
+	if _, err := keysearch.NewSpaceOrdered(keysearch.Lowercase, 3, 2, keysearch.SuffixMajor); err == nil {
+		t.Error("inverted lengths accepted")
+	}
+	rules, err := keysearch.ParseRules("leet,upper")
+	if err != nil || len(rules) != 2 {
+		t.Error("ParseRules")
+	}
+	if len(keysearch.Devices()) != 5 {
+		t.Error("device catalog size")
+	}
+}
+
+func TestMaskAttackFacade(t *testing.T) {
+	m, err := keysearch.ParseMask("?u?d?d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := keysearch.HashKey(keysearch.SHA1, []byte("Q42"))
+	res, err := keysearch.MaskAttack(context.Background(), keysearch.SHA1, digest, m, keysearch.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != "Q42" {
+		t.Errorf("solutions = %q", res.Solutions)
+	}
+	if _, err := keysearch.ParseMask("?x"); err == nil {
+		t.Error("bad mask accepted")
+	}
+}
+
+func TestMarkovFacade(t *testing.T) {
+	model, err := keysearch.TrainMarkov([]string{"banana", "cabana", "pajama"}, keysearch.Lowercase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := keysearch.NewMarkovSpace(model, 4, 4, -1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size64() == 0 {
+		t.Fatal("empty markov band")
+	}
+	// Pick an actual member of the band as the target.
+	member, err := space.AppendKey(nil, space.Size64()/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := keysearch.HashKey(keysearch.MD5, member)
+	res, err := keysearch.MarkovAttack(context.Background(), keysearch.MD5, digest, space, keysearch.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || string(res.Solutions[0]) != string(member) {
+		t.Errorf("solutions = %q, want %q", res.Solutions, member)
+	}
+	if len(keysearch.MarkovBands(20, 4)) != 4 {
+		t.Error("MarkovBands")
+	}
+	if _, err := keysearch.TrainMarkov(nil, ""); err == nil {
+		t.Error("empty charset accepted")
+	}
+}
+
+func TestFindBestFacade(t *testing.T) {
+	space, err := keysearch.NewSpace(keysearch.DigitsSet, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score: numeric distance from 42.
+	score := func(c []byte) float64 {
+		v := float64(c[0]-'0')*10 + float64(c[1]-'0')
+		if v > 42 {
+			return v - 42
+		}
+		return 42 - v
+	}
+	best, tested, err := keysearch.FindBest(context.Background(), space, space.Whole(), score, keysearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(best.Candidate) != "42" || best.Score != 0 {
+		t.Errorf("best = %q (%v)", best.Candidate, best.Score)
+	}
+	if tested != 100 {
+		t.Errorf("tested = %d", tested)
+	}
+	if keysearch.MergeBest(best, nil) == nil {
+		t.Error("MergeBest dropped the result")
+	}
+}
+
+func TestGPUEngineFacade(t *testing.T) {
+	dev, err := keysearch.DeviceByName("8800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := keysearch.NewGPUEngine(dev)
+	if e.Device().Name != dev.Name {
+		t.Error("engine device mismatch")
+	}
+}
