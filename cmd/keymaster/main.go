@@ -37,6 +37,11 @@ func main() {
 		maxLen  = flag.Int("max", 5, "maximum key length")
 		all     = flag.Bool("all", false, "exhaust the space instead of stopping at the first hit")
 		cpPath  = flag.String("checkpoint", "", "checkpoint file: saved after every chunk, resumed from if present")
+
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "ping interval while a call is in flight (0 disables)")
+		detect    = flag.Duration("failure-detect", 0, "silence after which a worker is declared dead (0 = 4x heartbeat)")
+		retries   = flag.Int("retries", 3, "attempts per worker call before requeuing its interval")
+		maxChunk  = flag.Uint64("max-chunk", 0, "cap per-worker chunk size; bounds work lost to one failure (0 = no cap)")
 	)
 	flag.Parse()
 
@@ -63,7 +68,15 @@ func main() {
 		fatal(err)
 	}
 
-	master, err := netproto.NewMaster(*listen, spec)
+	mopts := netproto.MasterOptions{
+		Heartbeat:        *heartbeat,
+		HeartbeatTimeout: *detect,
+		Retry:            netproto.RetryPolicy{MaxAttempts: *retries},
+	}
+	if *heartbeat == 0 {
+		mopts.Heartbeat = -1
+	}
+	master, err := netproto.NewMaster(*listen, spec, mopts)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,7 +94,14 @@ func main() {
 		fmt.Printf("worker connected: %s\n", w.Name())
 	}
 
-	opts := dispatch.Options{MaxSolutions: 1}
+	opts := dispatch.Options{
+		MaxSolutions: 1,
+		MaxChunk:     *maxChunk,
+		OnRequeue: func(worker string, iv keyspace.Interval, cause error) {
+			fmt.Printf("worker %s failed (%v); requeued %v keys\n",
+				worker, cause, iv.Len())
+		},
+	}
 	if *all {
 		opts.MaxSolutions = 0
 	}

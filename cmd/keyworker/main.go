@@ -1,10 +1,12 @@
 // Command keyworker is a cluster worker: it dials a keymaster, receives
 // the cracking job, and serves tune/search requests on the local CPU
-// cores until the master disconnects.
+// cores until the master disconnects. With -reconnect it re-dials after
+// transient failures, re-registering under the same name so the master
+// hands it back its place in the cluster.
 //
 // Usage:
 //
-//	keyworker -master 127.0.0.1:9031 -name node-B -threads 8
+//	keyworker -master 127.0.0.1:9031 -name node-B -threads 8 -reconnect
 package main
 
 import (
@@ -13,15 +15,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 )
 
 import "keysearch/internal/netproto"
 
 func main() {
 	var (
-		master  = flag.String("master", "127.0.0.1:9031", "master address")
-		name    = flag.String("name", hostnameDefault(), "worker name")
-		threads = flag.Int("threads", 0, "goroutines (0 = all cores)")
+		master    = flag.String("master", "127.0.0.1:9031", "master address")
+		name      = flag.String("name", hostnameDefault(), "worker name")
+		threads   = flag.Int("threads", 0, "goroutines (0 = all cores)")
+		reconnect = flag.Bool("reconnect", false, "re-dial the master after transient failures")
+		attempts  = flag.Int("reconnect-attempts", 8, "consecutive failed dials before giving up")
 	)
 	flag.Parse()
 
@@ -29,7 +34,17 @@ func main() {
 	defer stop()
 
 	fmt.Printf("worker %s connecting to %s\n", *name, *master)
-	err := netproto.Dial(ctx, *master, netproto.WorkerConfig{Name: *name, Workers: *threads})
+	cfg := netproto.WorkerConfig{Name: *name, Workers: *threads}
+	var err error
+	if *reconnect {
+		err = netproto.DialRetry(ctx, *master, cfg, netproto.RetryPolicy{
+			MaxAttempts: *attempts,
+			BaseDelay:   200 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+		})
+	} else {
+		err = netproto.Dial(ctx, *master, cfg)
+	}
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "keyworker:", err)
 		os.Exit(1)

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math/big"
 
 	"keysearch/internal/keyspace"
@@ -43,21 +44,58 @@ func (cp *Checkpoint) RemainingKeys() *big.Int {
 // Done reports whether nothing remains.
 func (cp *Checkpoint) Done() bool { return cp.RemainingKeys().Sign() == 0 }
 
-// Marshal encodes the checkpoint as JSON.
-func (cp *Checkpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+// checkpointFile is the on-disk form: the checkpoint plus a CRC32 of its
+// canonical JSON encoding. A checkpoint is the sole record of which
+// identifiers still need searching — silently loading a corrupted one
+// could skip part of the space — so Load verifies the sum and fails
+// cleanly on any byte damage.
+type checkpointFile struct {
+	Checkpoint
+	Sum string `json:"sum,omitempty"`
+}
 
-// LoadCheckpoint decodes a JSON checkpoint.
+func checkpointSum(cp *Checkpoint) (string, error) {
+	body, err := json.Marshal(cp)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(body)), nil
+}
+
+// Marshal encodes the checkpoint as JSON with an integrity checksum.
+func (cp *Checkpoint) Marshal() ([]byte, error) {
+	sum, err := checkpointSum(cp)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(checkpointFile{Checkpoint: *cp, Sum: sum})
+}
+
+// LoadCheckpoint decodes a JSON checkpoint, verifying its checksum: a
+// corrupted file is rejected rather than resumed from (a flipped byte in
+// an interval bound would silently skip part of the space).
 func LoadCheckpoint(data []byte) (*Checkpoint, error) {
-	cp := &Checkpoint{}
-	if err := json.Unmarshal(data, cp); err != nil {
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
 		return nil, fmt.Errorf("dispatch: bad checkpoint: %w", err)
 	}
+	if file.Sum == "" {
+		return nil, fmt.Errorf("dispatch: bad checkpoint: missing checksum")
+	}
+	want, err := checkpointSum(&file.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: bad checkpoint: %w", err)
+	}
+	if file.Sum != want {
+		return nil, fmt.Errorf("dispatch: bad checkpoint: checksum mismatch (file %s, content %s)", file.Sum, want)
+	}
+	cp := file.Checkpoint
 	for _, r := range cp.Remaining {
 		if _, err := r.interval(); err != nil {
 			return nil, err
 		}
 	}
-	return cp, nil
+	return &cp, nil
 }
 
 func (r CheckpointInterval) interval() (keyspace.Interval, error) {

@@ -1,0 +1,283 @@
+package dispatch
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// TestCheckpointRoundTripCases: Marshal → Load must be the identity
+// across representative checkpoint shapes.
+func TestCheckpointRoundTripCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cp   Checkpoint
+	}{
+		{"empty", Checkpoint{}},
+		{"tested-only", Checkpoint{Tested: 12345}},
+		{"one-interval", Checkpoint{
+			Remaining: []CheckpointInterval{{Start: "0", End: "1000"}},
+			Tested:    42,
+		}},
+		{"multi-interval-with-found", Checkpoint{
+			Remaining: []CheckpointInterval{
+				{Start: "300", End: "600"},
+				{Start: "800", End: "1000"},
+			},
+			Found:  [][]byte{[]byte("abc"), {0x00, 0xff, 0x7f}},
+			Tested: 500,
+		}},
+		{"huge-interval", Checkpoint{
+			// 2^200: far beyond uint64, must survive exactly.
+			Remaining: []CheckpointInterval{{
+				Start: "1606938044258990275541962092341162602522202993782792835301376",
+				End:   "1606938044258990275541962092341162602522202993782792835301377",
+			}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.cp.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadCheckpoint(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tested != tc.cp.Tested {
+				t.Errorf("tested: %d != %d", got.Tested, tc.cp.Tested)
+			}
+			if len(got.Remaining) != len(tc.cp.Remaining) {
+				t.Fatalf("remaining: %d != %d", len(got.Remaining), len(tc.cp.Remaining))
+			}
+			for i := range got.Remaining {
+				if got.Remaining[i] != tc.cp.Remaining[i] {
+					t.Errorf("remaining[%d]: %+v != %+v", i, got.Remaining[i], tc.cp.Remaining[i])
+				}
+			}
+			if len(got.Found) != len(tc.cp.Found) {
+				t.Fatalf("found: %d != %d", len(got.Found), len(tc.cp.Found))
+			}
+			for i := range got.Found {
+				if string(got.Found[i]) != string(tc.cp.Found[i]) {
+					t.Errorf("found[%d] differs", i)
+				}
+			}
+			if got.RemainingKeys().Cmp(tc.cp.RemainingKeys()) != 0 {
+				t.Errorf("remaining keys: %v != %v", got.RemainingKeys(), tc.cp.RemainingKeys())
+			}
+		})
+	}
+}
+
+// TestCheckpointCorruption: flipping ANY single byte of a marshaled
+// checkpoint must make LoadCheckpoint fail cleanly — a checkpoint is the
+// only record of the unsearched space, and resuming from a damaged one
+// could silently skip identifiers.
+func TestCheckpointCorruption(t *testing.T) {
+	cp := Checkpoint{
+		Remaining: []CheckpointInterval{
+			{Start: "12345", End: "67890"},
+			{Start: "100000", End: "999999"},
+		},
+		Found:  [][]byte{[]byte("hit1"), []byte("hit2")},
+		Tested: 424242,
+	}
+	data, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(data); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	for i := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x01
+		if _, err := LoadCheckpoint(corrupt); err == nil {
+			t.Errorf("byte %d (%q -> %q): corrupted checkpoint accepted",
+				i, data[i], corrupt[i])
+		}
+	}
+}
+
+// TestCheckpointRejectsLegacyAndGarbage: files without a checksum (or
+// that aren't checkpoints at all) must be rejected, not half-loaded.
+func TestCheckpointRejectsLegacyAndGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"no-checksum", `{"remaining":[{"start":"0","end":"10"}],"tested":5}`},
+		{"wrong-checksum", `{"remaining":[],"tested":5,"sum":"crc32:deadbeef"}`},
+		{"bad-interval", `{"remaining":[{"start":"x","end":"10"}],"tested":0,"sum":"crc32:00000000"}`},
+		{"not-json", "tested: 5"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadCheckpoint([]byte(tc.data)); err == nil {
+				t.Error("accepted")
+			} else if !strings.Contains(err.Error(), "dispatch:") {
+				t.Errorf("unwrapped error: %v", err)
+			}
+		})
+	}
+}
+
+// countingWorker records exactly which identifiers it is asked to search.
+func countingWorker(name string, mu *sync.Mutex, seen map[int64]int, match int64) Worker {
+	return &FuncWorker{
+		WorkerName: name,
+		TuneFunc: func(ctx context.Context) (core.Tuning, error) {
+			return core.Tuning{MinBatch: 64, Throughput: 1e6}, nil
+		},
+		SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+			rep := &Report{Elapsed: time.Millisecond}
+			mu.Lock()
+			defer mu.Unlock()
+			for id := iv.Start.Int64(); id < iv.End.Int64(); id++ {
+				seen[id]++
+				rep.Tested++
+				if id == match {
+					rep.Found = append(rep.Found, []byte("match"))
+				}
+			}
+			return rep, nil
+		},
+	}
+}
+
+// TestResumeSkipsCompletedIntervals: resuming from a saved checkpoint
+// must search exactly the remaining intervals — every remaining
+// identifier once, no completed identifier at all — and seed the report
+// with the checkpointed results.
+func TestResumeSkipsCompletedIntervals(t *testing.T) {
+	cp := &Checkpoint{
+		Remaining: []CheckpointInterval{
+			{Start: "300", End: "600"},
+			{Start: "800", End: "1000"},
+		},
+		Found:  [][]byte{[]byte("early-match")},
+		Tested: 500, // [0,300) and [600,800) already done in a past life
+	}
+	data, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	d := NewDispatcher("resume", Options{MaxChunk: 128},
+		countingWorker("w1", &mu, seen, 950),
+		countingWorker("w2", &mu, seen, 950))
+
+	rep, err := d.Resume(context.Background(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id := int64(0); id < 1000; id++ {
+		inRemaining := (id >= 300 && id < 600) || (id >= 800 && id < 1000)
+		switch {
+		case inRemaining && seen[id] != 1:
+			t.Fatalf("remaining id %d searched %d times, want 1", id, seen[id])
+		case !inRemaining && seen[id] != 0:
+			t.Fatalf("completed id %d re-searched %d times", id, seen[id])
+		}
+	}
+	if rep.Tested != 1000 { // 500 from the checkpoint + 500 remaining
+		t.Errorf("tested %d, want 1000", rep.Tested)
+	}
+	if len(rep.Found) != 2 {
+		t.Fatalf("found %d results, want checkpointed + new", len(rep.Found))
+	}
+	if string(rep.Found[0]) != "early-match" {
+		t.Errorf("checkpointed find lost: %q", rep.Found[0])
+	}
+}
+
+// TestCheckpointWrittenOnRequeue: a worker failure must produce a
+// checkpoint containing the requeued interval, so a master that dies
+// right after losing a worker still resumes without losing it.
+func TestCheckpointWrittenOnRequeue(t *testing.T) {
+	var mu sync.Mutex
+	var afterFailure *Checkpoint
+	var requeues int
+
+	failed := make(chan struct{})
+	failing := &FuncWorker{
+		WorkerName: "dies",
+		TuneFunc: func(ctx context.Context) (core.Tuning, error) {
+			return core.Tuning{MinBatch: 64, Throughput: 1e6}, nil
+		},
+		SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+			close(failed) // dies on its first chunk
+			return nil, context.DeadlineExceeded
+		},
+	}
+	seen := make(map[int64]int)
+	counting := countingWorker("lives", &mu, seen, -1).(*FuncWorker)
+	// The survivor stalls until the failure has happened, so the requeue
+	// deterministically occurs while work is still outstanding.
+	survivor := &FuncWorker{
+		WorkerName: counting.WorkerName,
+		TuneFunc:   counting.TuneFunc,
+		SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+			select {
+			case <-failed:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return counting.SearchFunc(ctx, iv)
+		},
+	}
+
+	d := NewDispatcher("requeue-cp", Options{
+		MaxChunk: 100,
+		OnRequeue: func(worker string, iv keyspace.Interval, cause error) {
+			mu.Lock()
+			requeues++
+			mu.Unlock()
+		},
+		Checkpoint: func(cp *Checkpoint) {
+			mu.Lock()
+			if requeues > 0 && afterFailure == nil {
+				afterFailure = cp
+			}
+			mu.Unlock()
+		},
+	}, failing, survivor)
+
+	rep, err := d.Search(context.Background(), keyspace.NewInterval(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tested != 1000 {
+		t.Errorf("tested %d, want 1000", rep.Tested)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", requeues)
+	}
+	if afterFailure == nil {
+		t.Fatal("no checkpoint written on requeue")
+	}
+	// The requeued interval must be covered by the checkpoint's
+	// remaining set (nothing lost between failure and snapshot).
+	if afterFailure.RemainingKeys().Sign() == 0 {
+		t.Error("post-failure checkpoint claims nothing remains")
+	}
+}

@@ -24,15 +24,24 @@ type Options struct {
 	TargetEfficiency float64
 	// MinChunk floors the per-worker chunk size (0 = 1).
 	MinChunk uint64
+	// MaxChunk caps the per-worker chunk size (0 = no cap). A failed
+	// worker's whole in-flight chunk is requeued and re-searched, so the
+	// cap bounds the work lost to a single failure at the cost of more
+	// dispatch round-trips.
+	MaxChunk uint64
 	// Progress, when non-nil, is called (serialized) after every gathered
 	// chunk with the cumulative tested count and number of solutions so
 	// far — §III's periodic collection of "a fairly small amount of data
 	// from each device".
 	Progress func(tested uint64, found int)
 	// Checkpoint, when non-nil, receives (serialized) a resumable snapshot
-	// after every gathered chunk; persist the latest one to survive a
-	// master crash and continue with Resume.
+	// after every gathered chunk and after every requeue; persist the
+	// latest one to survive a master crash and continue with Resume.
 	Checkpoint func(*Checkpoint)
+	// OnRequeue, when non-nil, is called (serialized) each time a worker
+	// is declared dead and its in-flight interval returns to the pool —
+	// the real-time counterpart of the simulator's FailureDetect event.
+	OnRequeue func(worker string, iv keyspace.Interval, cause error)
 }
 
 // Dispatcher drives a set of workers over identifier intervals. It
@@ -159,10 +168,14 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 		if shares[i] < minChunk && tunings[i].Throughput > 0 {
 			shares[i] = minChunk
 		}
+		if d.opts.MaxChunk > 0 && shares[i] > d.opts.MaxChunk {
+			shares[i] = d.opts.MaxChunk
+		}
 	}
 
 	var (
 		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
 		errs     []error
 		stopped  bool
 		inflight = make(map[int]keyspace.Interval)
@@ -170,6 +183,12 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 	)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	go func() { // wake idle waiters when the search is cancelled
+		<-ctx.Done()
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	}()
 
 	var wg sync.WaitGroup
 	for i, w := range d.workers {
@@ -180,37 +199,55 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 		go func(i int, w Worker) {
 			defer wg.Done()
 			for {
-				if ctx.Err() != nil {
-					return
-				}
 				mu.Lock()
-				done := stopped
-				mu.Unlock()
-				if done {
-					return
-				}
-				mu.Lock()
-				chunk, ok := work.claim(shares[i])
+				var chunk keyspace.Interval
 				var token int
-				if ok {
-					tokens++
-					token = tokens
-					inflight[token] = chunk
+				for {
+					if stopped || ctx.Err() != nil {
+						mu.Unlock()
+						return
+					}
+					var ok bool
+					chunk, ok = work.claim(shares[i])
+					if ok {
+						tokens++
+						token = tokens
+						inflight[token] = chunk
+						break
+					}
+					if len(inflight) == 0 {
+						mu.Unlock()
+						return // pool drained and nothing pending anywhere
+					}
+					// The pool is empty but chunks are in flight on other
+					// workers; one of them may fail and requeue its chunk,
+					// so an idle worker must wait here, not exit — leaving
+					// would strand a requeued interval with no one to
+					// search it.
+					cond.Wait()
 				}
 				mu.Unlock()
-				if !ok {
-					return
-				}
+
 				sub, err := w.Search(ctx, chunk)
+
 				mu.Lock()
 				delete(inflight, token)
 				if err != nil && ctx.Err() == nil {
 					// Worker failed mid-chunk: reclaim the whole chunk so
 					// surviving workers pick it up (§III fault tolerance).
 					// Re-testing a prefix the worker may have covered is
-					// the price of never missing an identifier.
+					// the price of never missing an identifier. The
+					// checkpoint written here is what lets a restarted
+					// master resume without losing the requeued interval.
 					errs = append(errs, err)
 					work.putBack(chunk)
+					if d.opts.OnRequeue != nil {
+						d.opts.OnRequeue(w.Name(), chunk, err)
+					}
+					if d.opts.Checkpoint != nil {
+						d.opts.Checkpoint(snapshotCheckpoint(work, inflight, rep))
+					}
+					cond.Broadcast()
 					mu.Unlock()
 					return
 				}
@@ -228,6 +265,7 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 						cancel()
 					}
 				}
+				cond.Broadcast()
 				mu.Unlock()
 			}
 		}(i, w)

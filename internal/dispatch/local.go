@@ -62,7 +62,9 @@ func (w *LocalWorker) Tune(ctx context.Context) (core.Tuning, error) {
 }
 
 // Search exhausts the interval, returning every match (the dispatcher
-// layer owns early stopping).
+// layer owns early stopping). On error — including cancellation — no
+// Report is returned: per the Worker contract the dispatcher treats the
+// whole interval as unsearched and requeues it.
 func (w *LocalWorker) Search(ctx context.Context, iv keyspace.Interval) (*Report, error) {
 	start := time.Now()
 	res, err := cracker.CrackAll(ctx, w.job, iv, core.Options{Workers: w.workers})

@@ -52,7 +52,10 @@ type Worker interface {
 	Tune(ctx context.Context) (core.Tuning, error)
 	// Search evaluates the candidates of the identifier interval and
 	// returns what it found. Implementations must test every identifier
-	// of the interval unless the context is cancelled.
+	// of the interval unless the context is cancelled. On error the
+	// dispatcher assumes nothing of the interval was searched and
+	// requeues the whole chunk, so a partial Report must never
+	// accompany a non-nil error.
 	Search(ctx context.Context, iv keyspace.Interval) (*Report, error)
 }
 
@@ -149,6 +152,9 @@ func (e *errNoWorkers) Error() string {
 	return fmt.Sprintf("dispatch %s: all workers failed with %d identifiers unsearched (first cause: %v)",
 		e.name, e.remaining, firstErr(e.causes))
 }
+
+// Unwrap exposes the per-worker causes to errors.Is/As.
+func (e *errNoWorkers) Unwrap() []error { return e.causes }
 
 func firstErr(errs []error) error {
 	if len(errs) == 0 {

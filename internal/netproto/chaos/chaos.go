@@ -1,0 +1,303 @@
+// Package chaos provides a deterministic fault-injection harness for the
+// netproto layer: a net.Conn wrapper that drops, delays, or severs a
+// connection on a seeded schedule, plus listener/dialer adapters to
+// splice it into either endpoint.
+//
+// Determinism is the point. A Plan is a pure schedule — operation counts
+// and a seed — so a test that kills worker 2 after its 7th write does so
+// on every run, and a recovery path is exercised by construction rather
+// than by timing luck.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Mode selects how a severed connection manifests to the peer.
+type Mode int
+
+const (
+	// Close severs by closing the underlying connection: the peer sees
+	// EOF/RST promptly. This models a crashed process.
+	Close Mode = iota
+	// Blackhole severs silently: local reads hang until the deadline and
+	// writes vanish, while the peer sees nothing at all. This models a
+	// network partition or a wedged host, and is the case that only a
+	// heartbeat timeout can detect.
+	Blackhole
+)
+
+// Plan is a deterministic fault schedule for one connection. The zero
+// value injects nothing.
+type Plan struct {
+	// SeverAfterReads severs the connection after this many successful
+	// Read calls (0 = never).
+	SeverAfterReads int
+	// SeverAfterWrites severs after this many successful Write calls
+	// (0 = never). Note the framing layer issues two writes per frame
+	// (header, payload).
+	SeverAfterWrites int
+	// Mode selects Close or Blackhole severing.
+	Mode Mode
+	// ReadDelay and WriteDelay are injected before each operation.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+	// DropWriteProb silently discards each write with this probability,
+	// drawn from the deterministic Seed stream (the bytes never reach the
+	// peer but the caller sees success).
+	DropWriteProb float64
+	// Seed selects the deterministic random stream for DropWriteProb.
+	Seed uint64
+}
+
+// ErrSevered is returned by operations on a connection the plan has
+// severed in Close mode.
+var ErrSevered = errors.New("chaos: connection severed")
+
+// Conn wraps a net.Conn with fault injection. It is safe for the usual
+// one-reader/one-writer concurrent use of net.Conn.
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu           sync.Mutex
+	reads        int
+	writes       int
+	severed      bool
+	rng          uint64
+	readDeadline time.Time
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+// Wrap applies a fault plan to a connection.
+func Wrap(c net.Conn, p Plan) *Conn {
+	return &Conn{inner: c, plan: p, rng: p.Seed | 1, closedCh: make(chan struct{})}
+}
+
+// next steps the deterministic random stream (xorshift64).
+func (c *Conn) next() float64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return float64(c.rng>>11) / float64(1<<53)
+}
+
+// Sever triggers the plan's sever mode immediately, regardless of
+// operation counts.
+func (c *Conn) Sever() {
+	c.mu.Lock()
+	c.severed = true
+	mode := c.plan.Mode
+	c.mu.Unlock()
+	if mode == Close {
+		_ = c.inner.Close()
+	}
+}
+
+func (c *Conn) severedNow() (bool, Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.severed, c.plan.Mode
+}
+
+// blackholeRead blocks like a partitioned socket: until the read
+// deadline, or forever if none is set, or until Close.
+func (c *Conn) blackholeRead() (int, error) {
+	c.mu.Lock()
+	dl := c.readDeadline
+	c.mu.Unlock()
+	var timeout <-chan time.Time
+	if !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-timeout:
+		return 0, os.ErrDeadlineExceeded
+	case <-c.closedCh:
+		return 0, net.ErrClosed
+	}
+}
+
+// Read forwards to the inner connection, applying delays and the sever
+// schedule.
+func (c *Conn) Read(b []byte) (int, error) {
+	if sev, mode := c.severedNow(); sev {
+		if mode == Blackhole {
+			return c.blackholeRead()
+		}
+		return 0, ErrSevered
+	}
+	if c.plan.ReadDelay > 0 {
+		if err := c.sleep(c.plan.ReadDelay); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.inner.Read(b)
+	if err == nil {
+		c.mu.Lock()
+		c.reads++
+		hit := c.plan.SeverAfterReads > 0 && c.reads >= c.plan.SeverAfterReads
+		c.mu.Unlock()
+		if hit {
+			c.Sever()
+		}
+	}
+	return n, err
+}
+
+// Write forwards to the inner connection, applying delays, drops and the
+// sever schedule.
+func (c *Conn) Write(b []byte) (int, error) {
+	if sev, mode := c.severedNow(); sev {
+		if mode == Blackhole {
+			return len(b), nil // vanishes into the partition
+		}
+		return 0, ErrSevered
+	}
+	if c.plan.WriteDelay > 0 {
+		if err := c.sleep(c.plan.WriteDelay); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	drop := c.plan.DropWriteProb > 0 && c.next() < c.plan.DropWriteProb
+	c.mu.Unlock()
+	var n int
+	var err error
+	if drop {
+		n, err = len(b), nil
+	} else {
+		n, err = c.inner.Write(b)
+	}
+	if err == nil {
+		c.mu.Lock()
+		c.writes++
+		hit := c.plan.SeverAfterWrites > 0 && c.writes >= c.plan.SeverAfterWrites
+		c.mu.Unlock()
+		if hit {
+			c.Sever()
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) sleep(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closedCh:
+		return net.ErrClosed
+	}
+}
+
+// Close closes the wrapper and the inner connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	return c.inner.Close()
+}
+
+// LocalAddr returns the inner local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the inner remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline tracks the deadline (blackholed reads honor it) and
+// forwards it.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline forwards the deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Stats reports the operation counts so far and whether the connection
+// has been severed.
+func (c *Conn) Stats() (reads, writes int, severed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads, c.writes, c.severed
+}
+
+// Listener wraps a net.Listener so every accepted connection gets a plan
+// chosen by connection index — worker 0 healthy, worker 1 severed after
+// its 9th write, and so on.
+type Listener struct {
+	inner net.Listener
+
+	mu    sync.Mutex
+	n     int
+	plan  func(i int) Plan
+	conns []*Conn
+}
+
+// WrapListener builds a fault-injecting listener. plan receives the
+// 0-based accept index; a nil plan injects nothing anywhere.
+func WrapListener(ln net.Listener, plan func(i int) Plan) *Listener {
+	return &Listener{inner: ln, plan: plan}
+}
+
+// Accept wraps the next connection with its scheduled plan.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	var p Plan
+	if l.plan != nil {
+		p = l.plan(i)
+	}
+	c := Wrap(conn, p)
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Conns returns the wrapped connections accepted so far, in accept order.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Dial connects and wraps the resulting connection with the plan —
+// the worker-side splice point.
+func Dial(ctx context.Context, network, addr string, p Plan) (*Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(conn, p), nil
+}

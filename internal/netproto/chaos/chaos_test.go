@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func pipePair(t *testing.T, p Plan) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	c := Wrap(a, p)
+	t.Cleanup(func() { c.Close(); b.Close() })
+	return c, b
+}
+
+// TestSeverAfterWritesClose: the scheduled sever in Close mode must fail
+// the faulty side and give the peer a prompt EOF.
+func TestSeverAfterWritesClose(t *testing.T) {
+	c, peer := pipePair(t, Plan{SeverAfterWrites: 2, Mode: Close})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := c.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("two")); err != nil {
+		t.Fatal(err) // the severing op itself succeeds
+	}
+	if _, err := c.Write([]byte("three")); !errors.Is(err, ErrSevered) {
+		t.Errorf("post-sever write: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Errorf("post-sever read: %v", err)
+	}
+	_, writes, severed := c.Stats()
+	if writes != 2 || !severed {
+		t.Errorf("stats: writes=%d severed=%v", writes, severed)
+	}
+}
+
+// TestSeverDeterministic: the same plan severs at the same operation on
+// every run.
+func TestSeverDeterministic(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		c, peer := pipePair(t, Plan{SeverAfterWrites: 3, Mode: Close})
+		go func() {
+			buf := make([]byte, 16)
+			for {
+				if _, err := peer.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		n := 0
+		for i := 0; i < 10; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				break
+			}
+			n++
+		}
+		if n != 3 {
+			t.Fatalf("run %d: severed after %d writes, want 3", run, n)
+		}
+	}
+}
+
+// TestBlackhole: a blackholed conn swallows writes and hangs reads until
+// the deadline.
+func TestBlackhole(t *testing.T) {
+	c, _ := pipePair(t, Plan{Mode: Blackhole})
+	c.Sever()
+	if n, err := c.Write([]byte("vanishes")); n != 8 || err != nil {
+		t.Errorf("blackholed write: n=%d err=%v", n, err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("blackholed read: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("blackholed read returned before the deadline")
+	}
+}
+
+// TestBlackholeUnblocksOnClose: with no deadline set, Close must unblock
+// a hung blackhole read.
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	c, _ := pipePair(t, Plan{Mode: Blackhole})
+	c.Sever()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		c.Close()
+	}()
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("read after close: %v", err)
+	}
+}
+
+// TestDropWritesDeterministic: the seeded drop stream is identical across
+// runs and actually drops data.
+func TestDropWritesDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := Wrap(a, Plan{DropWriteProb: 0.5, Seed: 42})
+		got := make(chan byte, 64)
+		go func() {
+			buf := make([]byte, 1)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					close(got)
+					return
+				}
+				got <- buf[0]
+			}
+		}()
+		var delivered []bool
+		for i := 0; i < 16; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case v := <-got:
+				delivered = append(delivered, true)
+				if int(v) != i {
+					t.Fatalf("byte %d delivered as %d", i, v)
+				}
+			case <-time.After(20 * time.Millisecond):
+				delivered = append(delivered, false)
+			}
+		}
+		return delivered
+	}
+	first := pattern()
+	second := pattern()
+	var drops int
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("drop schedule differs at op %d: %v vs %v", i, first, second)
+		}
+		if !first[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(first) {
+		t.Errorf("drop schedule degenerate: %d/%d dropped", drops, len(first))
+	}
+}
+
+// TestDelayInjection: per-op delays are applied.
+func TestDelayInjection(t *testing.T) {
+	c, peer := pipePair(t, Plan{WriteDelay: 20 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 4)
+		peer.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("write delay not applied")
+	}
+}
+
+// TestListenerSchedule: per-connection plans go to the right conns.
+func TestListenerSchedule(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, func(i int) Plan {
+		if i == 1 {
+			return Plan{SeverAfterWrites: 1, Mode: Close}
+		}
+		return Plan{}
+	})
+	defer ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io := make([]byte, 8)
+				n, _ := conn.Read(io)
+				conn.Write(io[:n]) // echo once
+				conn.Write(io[:n]) // second write severs conn 1
+				conn.Write(io[:n])
+			}()
+		}
+	}()
+
+	var peers []net.Conn
+	for i := 0; i < 2; i++ {
+		p, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+		p.Write([]byte("hi"))
+	}
+	<-done
+
+	// Healthy conn 0 echoes three times; severed conn 1 delivers once.
+	p0 := make([]byte, 6)
+	if _, err := readFull(peers[0], p0); err != nil || !bytes.Equal(p0, []byte("hihihi")) {
+		t.Errorf("conn 0: %q %v", p0, err)
+	}
+	p1 := make([]byte, 6)
+	n, _ := readFull(peers[1], p1)
+	if n != 2 {
+		t.Errorf("conn 1 delivered %d bytes, want 2 (then severed)", n)
+	}
+	conns := ln.Conns()
+	if len(conns) != 2 {
+		t.Fatalf("tracked %d conns", len(conns))
+	}
+	if _, _, severed := conns[1].Stats(); !severed {
+		t.Error("conn 1 not severed")
+	}
+	if _, _, severed := conns[0].Stats(); severed {
+		t.Error("conn 0 severed")
+	}
+}
+
+func readFull(c net.Conn, buf []byte) (int, error) {
+	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -2,6 +2,8 @@ package netproto
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math/big"
 	"testing"
 )
 
@@ -14,8 +16,18 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(good(MsgHello, EncodeHello(Hello{Version: 1, Name: "w"})))
 	f.Add(good(MsgSearch, []byte{1, 2, 3}))
+	f.Add(good(MsgPing, EncodeHeartbeat(Heartbeat{Seq: 7})))
+	f.Add(good(MsgPong, EncodeHeartbeat(Heartbeat{Seq: ^uint64(0)})))
+	f.Add(good(MsgRequeue, EncodeRequeue(Requeue{
+		Start: big.NewInt(1 << 40), End: new(big.Int).Lsh(big.NewInt(1), 200),
+		Reason: "worker shutting down",
+	})))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add([]byte{})
+	// Truncated heartbeat (claims 8 bytes, carries 3).
+	f.Add([]byte{0, 0, 0, 8, byte(MsgPing), 1, 2, 3})
+	// Requeue whose inner length prefix overruns the frame.
+	f.Add([]byte{0, 0, 0, 5, byte(MsgRequeue), 0xff, 0xff, 0xff, 0xff, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -34,6 +46,66 @@ func FuzzReadFrame(f *testing.F) {
 			_, _ = DecodeSearch(payload)
 		case MsgSearchResult:
 			_, _ = DecodeSearchResult(payload)
+		case MsgPing, MsgPong:
+			_, _ = DecodeHeartbeat(payload)
+		case MsgRequeue:
+			_, _ = DecodeRequeue(payload)
+		}
+	})
+}
+
+// FuzzHeartbeatFrame: heartbeat payloads are exactly one u64; anything
+// else must error (never panic), and valid payloads must round-trip.
+func FuzzHeartbeatFrame(f *testing.F) {
+	f.Add(EncodeHeartbeat(Heartbeat{Seq: 0}))
+	f.Add(EncodeHeartbeat(Heartbeat{Seq: 1<<64 - 1}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})               // truncated
+	f.Add(append(make([]byte, 8), 0xee)) // trailing byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := DecodeHeartbeat(data)
+		if err != nil {
+			if len(data) == 8 {
+				t.Fatalf("8-byte heartbeat rejected: %v", err)
+			}
+			return
+		}
+		if len(data) != 8 {
+			t.Fatalf("heartbeat accepted %d bytes", len(data))
+		}
+		if hb.Seq != binary.BigEndian.Uint64(data) {
+			t.Fatal("heartbeat seq mangled")
+		}
+		if !bytes.Equal(EncodeHeartbeat(hb), data) {
+			t.Fatal("heartbeat round trip changed the frame")
+		}
+	})
+}
+
+// FuzzRequeueFrame: arbitrary bytes through DecodeRequeue must never
+// panic or over-allocate, and whatever decodes must re-encode to an
+// equivalent Requeue (interval bounds and reason preserved).
+func FuzzRequeueFrame(f *testing.F) {
+	f.Add(EncodeRequeue(Requeue{Start: big.NewInt(0), End: big.NewInt(1), Reason: "r"}))
+	f.Add(EncodeRequeue(Requeue{
+		Start:  new(big.Int).Lsh(big.NewInt(7), 130),
+		End:    new(big.Int).Lsh(big.NewInt(9), 130),
+		Reason: "worker shutting down",
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 0xab})                   // truncated field
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}) // oversized length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequeue(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeRequeue(EncodeRequeue(r))
+		if err != nil {
+			t.Fatalf("re-decode of valid requeue failed: %v", err)
+		}
+		if back.Start.Cmp(r.Start) != 0 || back.End.Cmp(r.End) != 0 || back.Reason != r.Reason {
+			t.Fatal("requeue round trip changed the message")
 		}
 	})
 }

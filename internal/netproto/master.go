@@ -2,6 +2,7 @@ package netproto
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,101 +13,381 @@ import (
 	"keysearch/internal/keyspace"
 )
 
+// ErrMasterClosed is returned by AcceptWorkers and pending worker calls
+// when Master.Close tears the master down.
+var ErrMasterClosed = errors.New("netproto: master closed")
+
+// RemoteError is an application-level failure reported by a worker over
+// MsgError: the connection is healthy and the call is NOT retried (the
+// same request would fail the same way).
+type RemoteError struct {
+	Worker string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("netproto: %s: remote error: %s", e.Worker, e.Msg)
+}
+
+// RequeueError reports that a worker handed its interval back with
+// MsgRequeue instead of finishing it. The master treats it like a
+// transport failure (the retry/backoff window gives the worker a chance
+// to rejoin), so the dispatcher requeues the interval either way.
+type RequeueError struct {
+	Worker string
+	Reason string
+}
+
+func (e *RequeueError) Error() string {
+	return fmt.Sprintf("netproto: %s: worker requeued its interval: %s", e.Worker, e.Reason)
+}
+
+// MasterOptions tunes the master's failure model. The defaults mirror the
+// virtual-time simulator's FailureDetect: a dead worker is detected
+// within roughly HeartbeatTimeout and its interval requeued.
+type MasterOptions struct {
+	// Heartbeat is the ping interval while a call is in flight
+	// (0 = 2s; negative disables heartbeats).
+	Heartbeat time.Duration
+	// HeartbeatTimeout is how long the master waits for ANY frame (pong
+	// or result) before declaring the worker dead (0 = 4×Heartbeat).
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds every frame write (0 = 10s).
+	WriteTimeout time.Duration
+	// Retry governs failed worker calls: each backoff doubles as a
+	// reconnection window in which a re-registering worker (same name)
+	// picks its calls back up on the fresh connection.
+	Retry RetryPolicy
+}
+
+func (o MasterOptions) withDefaults() MasterOptions {
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.HeartbeatTimeout <= 0 && o.Heartbeat > 0 {
+		o.HeartbeatTimeout = 4 * o.Heartbeat
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
 // Master accepts worker connections and exposes each as a
 // dispatch.Worker, so the regular Dispatcher drives the network exactly
 // like local workers — the paper's hierarchy-agnostic pattern.
+//
+// The accept loop runs for the master's whole life: a worker that
+// re-registers under a name seen before is a REJOIN, and its fresh
+// connection replaces the broken one inside the existing dispatch.Worker
+// rather than surfacing as a new worker.
 type Master struct {
-	ln   net.Listener
-	spec JobSpec
+	ln      net.Listener
+	spec    JobSpec
+	opts    MasterOptions
+	pending chan dispatch.Worker
+	regErr  chan error
+	done    chan struct{}
+
+	mu        sync.Mutex
+	closed    bool
+	acceptErr error
+	workers   map[string]*remoteWorker
+	conns     map[net.Conn]struct{}
 }
 
 // NewMaster listens on addr (e.g. "127.0.0.1:0") for workers and will
-// hand each the given job.
-func NewMaster(addr string, spec JobSpec) (*Master, error) {
+// hand each the given job. At most one MasterOptions may be passed;
+// omitting it selects the defaults documented on MasterOptions.
+func NewMaster(addr string, spec JobSpec, opts ...MasterOptions) (*Master, error) {
+	var o MasterOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Master{ln: ln, spec: spec}, nil
+	m := &Master{
+		ln:      ln,
+		spec:    spec,
+		opts:    o.withDefaults(),
+		pending: make(chan dispatch.Worker, 64),
+		regErr:  make(chan error, 8),
+		done:    make(chan struct{}),
+		workers: make(map[string]*remoteWorker),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	go m.acceptLoop()
+	return m, nil
 }
 
 // Addr returns the listen address workers should dial.
 func (m *Master) Addr() string { return m.ln.Addr().String() }
 
-// Close stops accepting workers.
-func (m *Master) Close() error { return m.ln.Close() }
+// Close stops accepting workers, closes every accepted worker connection
+// and fails pending AcceptWorkers calls and in-flight worker calls with
+// ErrMasterClosed.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	workers := make([]*remoteWorker, 0, len(m.workers))
+	for _, w := range m.workers {
+		workers = append(workers, w)
+	}
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+
+	err := m.ln.Close()
+	for _, w := range workers {
+		w.shutdown()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			m.mu.Lock()
+			if m.closed {
+				m.acceptErr = ErrMasterClosed
+			} else {
+				m.acceptErr = err
+			}
+			m.mu.Unlock()
+			close(m.done)
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+		go m.register(conn)
+	}
+}
+
+func (m *Master) dropConn(c net.Conn) {
+	_ = c.Close()
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+}
+
+// register runs the handshake on a fresh connection: hello in, job out,
+// then either bind the connection into an existing (rejoining) worker or
+// surface a brand-new worker to AcceptWorkers. Registration failures go
+// to the regErr channel so AcceptWorkers can report them, but never stop
+// the accept loop.
+func (m *Master) register(conn net.Conn) {
+	fail := func(err error) {
+		m.dropConn(conn)
+		select {
+		case m.regErr <- err:
+		default:
+		}
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(m.opts.WriteTimeout))
+	t, payload, err := ReadFrame(conn)
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		fail(err)
+		return
+	}
+	if t != MsgHello {
+		fail(fmt.Errorf("netproto: expected hello, got type %d", t))
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if hello.Version != Version {
+		fail(fmt.Errorf("netproto: version mismatch: worker %d, master %d", hello.Version, Version))
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+	err = WriteFrame(conn, MsgJob, EncodeJob(m.spec))
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.dropConn(conn)
+		return
+	}
+	if w, ok := m.workers[hello.Name]; ok {
+		m.mu.Unlock()
+		w.offerConn(conn) // rejoin: hand the fresh conn to the existing worker
+		return
+	}
+	w := &remoteWorker{
+		name:    hello.Name,
+		opts:    m.opts,
+		conn:    conn,
+		newConn: make(chan net.Conn, 1),
+		closeCh: make(chan struct{}),
+		drop:    m.dropConn,
+	}
+	m.workers[hello.Name] = w
+	m.mu.Unlock()
+
+	select {
+	case m.pending <- w:
+	default:
+		// Nobody is collecting workers and the buffer is full; drop the
+		// registration so the worker redials later.
+		m.mu.Lock()
+		delete(m.workers, hello.Name)
+		m.mu.Unlock()
+		m.dropConn(conn)
+	}
+}
 
 // AcceptWorkers waits for n workers to register and returns them as
-// dispatch.Workers. The job spec is sent to each on registration.
+// dispatch.Workers. The job spec is sent to each on registration. A
+// registration failure (bad hello, version mismatch) is returned as the
+// error; Close unblocks the call with ErrMasterClosed.
 func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]dispatch.Worker, error) {
-	type result struct {
-		w   dispatch.Worker
-		err error
-	}
-	ch := make(chan result, n)
-	go func() {
-		for i := 0; i < n; i++ {
-			conn, err := m.ln.Accept()
-			if err != nil {
-				ch <- result{err: err}
-				return
-			}
-			w, err := m.register(conn)
-			ch <- result{w: w, err: err}
-		}
-	}()
-
 	var workers []dispatch.Worker
 	for len(workers) < n {
 		select {
 		case <-ctx.Done():
 			return workers, ctx.Err()
-		case r := <-ch:
-			if r.err != nil {
-				return workers, r.err
-			}
-			workers = append(workers, r.w)
+		case <-m.done:
+			m.mu.Lock()
+			err := m.acceptErr
+			m.mu.Unlock()
+			return workers, err
+		case err := <-m.regErr:
+			return workers, err
+		case w := <-m.pending:
+			workers = append(workers, w)
 		}
 	}
 	return workers, nil
 }
 
-func (m *Master) register(conn net.Conn) (dispatch.Worker, error) {
-	t, payload, err := ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if t != MsgHello {
-		conn.Close()
-		return nil, fmt.Errorf("netproto: expected hello, got type %d", t)
-	}
-	hello, err := DecodeHello(payload)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if hello.Version != Version {
-		conn.Close()
-		return nil, fmt.Errorf("netproto: version mismatch: worker %d, master %d", hello.Version, Version)
-	}
-	if err := WriteFrame(conn, MsgJob, EncodeJob(m.spec)); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return &remoteWorker{name: hello.Name, conn: conn}, nil
-}
-
 // remoteWorker proxies dispatch.Worker calls over the connection. Calls
-// are serialized: the protocol is strict request/response.
+// are serialized: the protocol is strict request/response, with MsgPing /
+// MsgPong liveness frames interleaved while a call is in flight. A failed
+// call closes the connection, waits out the retry backoff for the worker
+// to re-register, and retries on the replacement connection.
 type remoteWorker struct {
 	name string
-	mu   sync.Mutex
-	conn net.Conn
+	opts MasterOptions
+	drop func(net.Conn)
+
+	mu sync.Mutex // serializes calls
+
+	cmu     sync.Mutex // guards conn
+	conn    net.Conn
+	newConn chan net.Conn
+	closeCh chan struct{}
+	closed  bool
 }
 
 // Name identifies the remote worker.
 func (w *remoteWorker) Name() string { return w.name }
+
+// shutdown (master closing) aborts waits for reconnection.
+func (w *remoteWorker) shutdown() {
+	w.cmu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.closeCh)
+	}
+	w.cmu.Unlock()
+}
+
+// offerConn installs a replacement connection from a rejoining worker.
+func (w *remoteWorker) offerConn(c net.Conn) {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	if w.closed {
+		c.Close()
+		return
+	}
+	if w.conn != nil {
+		// The old conn is stale the moment its worker re-registered.
+		w.drop(w.conn)
+		w.conn = nil
+	}
+	select {
+	case old := <-w.newConn:
+		w.drop(old)
+	default:
+	}
+	w.newConn <- c
+}
+
+// takeConn returns the live connection, waiting up to wait for a
+// rejoining worker to supply one.
+func (w *remoteWorker) takeConn(ctx context.Context, wait time.Duration) (net.Conn, error) {
+	w.cmu.Lock()
+	c := w.conn
+	if c == nil {
+		select {
+		case c = <-w.newConn:
+			w.conn = c
+		default:
+		}
+	}
+	closed := w.closed
+	w.cmu.Unlock()
+	if closed {
+		return nil, ErrMasterClosed
+	}
+	if c != nil {
+		return c, nil
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case c = <-w.newConn:
+		w.cmu.Lock()
+		w.conn = c
+		w.cmu.Unlock()
+		return c, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("netproto: %s: no connection (worker did not rejoin)", w.name)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-w.closeCh:
+		return nil, ErrMasterClosed
+	}
+}
+
+// discardConn closes a failed connection; the next call waits for a
+// replacement.
+func (w *remoteWorker) discardConn(c net.Conn) {
+	w.drop(c)
+	w.cmu.Lock()
+	if w.conn == c {
+		w.conn = nil
+	}
+	w.cmu.Unlock()
+}
 
 // Tune runs the tuning step remotely.
 func (w *remoteWorker) Tune(ctx context.Context) (core.Tuning, error) {
@@ -134,41 +415,123 @@ func (w *remoteWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispa
 	return &dispatch.Report{Found: res.Found, Tested: res.Tested, Elapsed: res.Elapsed}, nil
 }
 
-// call sends a request and awaits the matching response type; a MsgError
-// response becomes an error. Cancellation closes the connection (the
-// worker notices EOF), which is also how a hung remote is abandoned.
+// call sends a request and awaits the matching response, retrying per the
+// policy on transport failures. Each backoff window doubles as a rejoin
+// window: if the worker re-registers in time, the retry lands on the new
+// connection. A RemoteError is returned immediately (the connection is
+// fine, the request is not).
 func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, want MsgType) ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = w.conn.SetDeadline(deadline)
-	} else {
-		_ = w.conn.SetDeadline(time.Time{})
+	var lastErr error
+	for attempt := 0; attempt < w.opts.Retry.attempts(); attempt++ {
+		conn, err := w.takeConn(ctx, w.opts.Retry.Backoff(attempt))
+		if err != nil {
+			if errors.Is(err, ErrMasterClosed) || ctx.Err() != nil {
+				return nil, err
+			}
+			if lastErr == nil {
+				lastErr = err
+			}
+			continue
+		}
+		resp, err := w.callOn(ctx, conn, req, payload, want)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return nil, err
+		}
+		w.discardConn(conn)
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
 	}
+	return nil, lastErr
+}
+
+// callOn performs one request/response exchange on conn, pinging at the
+// heartbeat interval and bounding every read by the heartbeat timeout. A
+// worker that is merely busy keeps answering pongs from its read loop; a
+// dead one times out and is declared failed.
+func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+	var wmu sync.Mutex
+	write := func(t MsgType, p []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(w.opts.WriteTimeout))
+		err := WriteFrame(conn, t, p)
+		_ = conn.SetWriteDeadline(time.Time{})
+		return err
+	}
+
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-ctx.Done():
-			_ = w.conn.SetDeadline(time.Now()) // unblock pending IO
+			_ = conn.SetDeadline(time.Now()) // unblock pending IO
 		case <-stop:
 		}
 	}()
 
-	if err := WriteFrame(w.conn, req, payload); err != nil {
+	if err := write(req, payload); err != nil {
 		return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
 	}
-	t, resp, err := ReadFrame(w.conn)
-	if err != nil {
-		return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
+
+	if w.opts.Heartbeat > 0 {
+		go func() {
+			tick := time.NewTicker(w.opts.Heartbeat)
+			defer tick.Stop()
+			var seq uint64
+			for {
+				select {
+				case <-tick.C:
+					seq++
+					if write(MsgPing, EncodeHeartbeat(Heartbeat{Seq: seq})) != nil {
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
-	switch t {
-	case want:
-		return resp, nil
-	case MsgError:
-		return nil, fmt.Errorf("netproto: %s: remote error: %s", w.name, resp)
-	default:
-		return nil, fmt.Errorf("netproto: %s: unexpected response type %d", w.name, t)
+
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if w.opts.HeartbeatTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(w.opts.HeartbeatTimeout))
+		}
+		t, resp, err := ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
+		}
+		switch t {
+		case MsgPong:
+			continue // liveness confirmed; the deadline resets on the next read
+		case want:
+			_ = conn.SetReadDeadline(time.Time{})
+			return resp, nil
+		case MsgError:
+			_ = conn.SetReadDeadline(time.Time{})
+			return nil, &RemoteError{Worker: w.name, Msg: string(resp)}
+		case MsgRequeue:
+			rq, derr := DecodeRequeue(resp)
+			if derr != nil {
+				return nil, fmt.Errorf("netproto: %s: bad requeue: %w", w.name, derr)
+			}
+			return nil, &RequeueError{Worker: w.name, Reason: rq.Reason}
+		default:
+			return nil, fmt.Errorf("netproto: %s: unexpected response type %d", w.name, t)
+		}
 	}
 }

@@ -150,6 +150,53 @@ func DecodeSearch(b []byte) (SearchRequest, error) {
 	return s, d.err()
 }
 
+// Heartbeat is the payload of MsgPing and MsgPong. The master pings while
+// a call is in flight; the worker echoes the sequence number back even
+// while a search occupies its cores, which is what lets the master tell a
+// slow worker from a dead one.
+type Heartbeat struct {
+	Seq uint64
+}
+
+// EncodeHeartbeat serializes a Heartbeat.
+func EncodeHeartbeat(h Heartbeat) []byte {
+	var e enc
+	e.u64(h.Seq)
+	return e.b
+}
+
+// DecodeHeartbeat parses a Heartbeat.
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	d := dec{b: b}
+	h := Heartbeat{Seq: d.u64()}
+	return h, d.err()
+}
+
+// Requeue is a worker's graceful hand-back of an interval it will not
+// finish (local shutdown, resource loss). The master returns the interval
+// to the dispatch pool exactly as if the worker had failed, but without
+// waiting for a heartbeat timeout.
+type Requeue struct {
+	Start, End *big.Int
+	Reason     string
+}
+
+// EncodeRequeue serializes a Requeue.
+func EncodeRequeue(r Requeue) []byte {
+	var e enc
+	e.bigint(r.Start)
+	e.bigint(r.End)
+	e.str(r.Reason)
+	return e.b
+}
+
+// DecodeRequeue parses a Requeue.
+func DecodeRequeue(b []byte) (Requeue, error) {
+	d := dec{b: b}
+	r := Requeue{Start: d.bigint(), End: d.bigint(), Reason: d.str()}
+	return r, d.err()
+}
+
 // SearchResult carries a worker's findings for one interval.
 type SearchResult struct {
 	Found   [][]byte

@@ -1,0 +1,113 @@
+package netproto
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy is a capped exponential backoff with deterministic jitter.
+// The master applies it to failed worker calls (waiting out each backoff
+// for the worker to reconnect before retrying), and DialRetry applies it
+// on the worker side to re-dial a lost master. The zero value means
+// "use the defaults below".
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (0 = 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff after the first failure (0 = 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (0 = 2).
+	Multiplier float64
+	// Jitter spreads each backoff by ±Jitter fraction (0 = none). The
+	// jitter stream is a pure function of (Seed, attempt), so a seeded
+	// policy replays identically — the chaos tests depend on this.
+	Jitter float64
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the delay to wait after the given 0-based failed
+// attempt.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		// splitmix64 of (seed, attempt) -> fraction in [-1, 1).
+		x := p.Seed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		frac := float64(int64(x))/float64(1<<63)*p.Jitter + 1
+		d *= frac
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits out the backoff for the given attempt, or returns early
+// with the context's error.
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn up to MaxAttempts times, backing off between failures. The
+// last error is returned; a nil fn result or a done context stops the
+// loop immediately.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if attempt > 0 {
+			if serr := p.Sleep(ctx, attempt-1); serr != nil {
+				return err
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

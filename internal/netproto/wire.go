@@ -12,6 +12,31 @@
 // length-prefixed fields; the amount of data is deliberately tiny (§III:
 // "only a very small amount of data must be scattered ... to each
 // computing node" — an interval is two integers).
+//
+// # Failure model
+//
+// A search call can outlive any fixed network timeout, so liveness and
+// progress are separated: while a call is in flight the master sends
+// MsgPing every MasterOptions.Heartbeat (default 2s) and arms a read
+// deadline of MasterOptions.HeartbeatTimeout (default 4x the interval)
+// per frame; the worker answers MsgPong from its read loop even while
+// the search runs in another goroutine. A worker that is merely slow
+// keeps ponging; a dead or partitioned one goes silent and is detected
+// within one HeartbeatTimeout — the real-network mirror of the
+// simulator's FailureDetect event.
+//
+// When a call fails at the transport level the connection is discarded
+// and the call retried per MasterOptions.Retry (capped exponential
+// backoff with deterministic jitter); each backoff doubles as a rejoin
+// window, because the accept loop runs for the master's lifetime and a
+// worker re-registering under a known name has its fresh connection
+// handed to the existing remote worker. Only when every attempt is
+// exhausted does the call error back to the dispatcher, which requeues
+// the worker's in-flight interval for the survivors and snapshots a
+// checkpoint (see internal/dispatch). Application-level failures
+// (MsgError) are never retried: the worker is alive and has answered.
+// A worker shutting down cleanly sends MsgRequeue so the master can
+// return its interval to the pool without waiting out a timeout.
 package netproto
 
 import (
@@ -34,6 +59,9 @@ const (
 	MsgSearch                          // master -> worker: identifier interval
 	MsgSearchResult                    // worker -> master: found keys, tested count
 	MsgError                           // either direction: failure description
+	MsgPing                            // master -> worker: liveness probe (sent during long calls)
+	MsgPong                            // worker -> master: liveness answer, echoes the ping sequence
+	MsgRequeue                         // worker -> master: cannot finish this interval, give it back
 )
 
 // Version is the protocol version exchanged in MsgHello.
@@ -70,7 +98,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
 	}
 	t := MsgType(hdr[4])
-	if t < MsgHello || t > MsgError {
+	if t < MsgHello || t > MsgRequeue {
 		return 0, nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
 	}
 	payload := make([]byte, n)

@@ -2,8 +2,10 @@ package netproto
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"keysearch/internal/core"
@@ -13,25 +15,81 @@ import (
 
 // WorkerConfig configures a worker process.
 type WorkerConfig struct {
-	// Name identifies this worker to the master.
+	// Name identifies this worker to the master. Rejoins are keyed by
+	// name: a worker that reconnects under the same name resumes the
+	// master-side identity it had before the connection broke.
 	Name string
 	// Workers is the local goroutine count (0 = NumCPU).
 	Workers int
 	// TuneStart and TuneTarget parameterize the local tuning step.
 	TuneStart  uint64
 	TuneTarget float64
+	// WriteTimeout bounds every frame write (0 = 10s).
+	WriteTimeout time.Duration
+	// JoinTimeout bounds the registration handshake (0 = 30s).
+	JoinTimeout time.Duration
+	// Dialer, when non-nil, replaces the default TCP dialer in Dial and
+	// DialRetry — the splice point for the chaos harness and for future
+	// TLS transport.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+func (cfg WorkerConfig) dial(ctx context.Context, addr string) (net.Conn, error) {
+	if cfg.Dialer != nil {
+		return cfg.Dialer(ctx, "tcp", addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func (cfg WorkerConfig) writeTimeout() time.Duration {
+	if cfg.WriteTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return cfg.WriteTimeout
+}
+
+func (cfg WorkerConfig) joinTimeout() time.Duration {
+	if cfg.JoinTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return cfg.JoinTimeout
 }
 
 // ServeConn runs the worker side of the protocol on an established
-// connection: register, receive the job, then answer tune and search
-// requests until the connection closes or ctx is cancelled.
+// connection: register, receive the job, then answer tune, search and
+// ping requests until the connection closes or ctx is cancelled.
+//
+// Requests execute on a separate goroutine so the read loop keeps
+// answering MsgPing with MsgPong while a long search occupies the cores —
+// that is what distinguishes this worker from a dead one on the master's
+// side. If ctx is cancelled while a search is in flight, the worker hands
+// the interval back with MsgRequeue (best effort) before hanging up, so
+// the master requeues it without waiting for a heartbeat timeout.
 func ServeConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	return serveConn(ctx, conn, cfg, nil)
+}
+
+func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady func()) error {
 	defer conn.Close()
-	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{Version: Version, Name: cfg.Name})); err != nil {
+
+	var wmu sync.Mutex
+	write := func(t MsgType, p []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(cfg.writeTimeout()))
+		err := WriteFrame(conn, t, p)
+		_ = conn.SetWriteDeadline(time.Time{})
 		return err
 	}
+	sendErr := func(err error) { _ = write(MsgError, []byte(err.Error())) }
 
+	if err := write(MsgHello, EncodeHello(Hello{Version: Version, Name: cfg.Name})); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(cfg.joinTimeout()))
 	t, payload, err := ReadFrame(conn)
+	_ = conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		return err
 	}
@@ -40,55 +98,124 @@ func ServeConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 	}
 	spec, err := DecodeJob(payload)
 	if err != nil {
-		sendError(conn, err)
+		sendErr(err)
 		return err
 	}
 	job, err := spec.Build()
 	if err != nil {
-		sendError(conn, err)
+		sendErr(err)
 		return err
 	}
+	if onReady != nil {
+		onReady()
+	}
+
+	// st tracks the single in-flight request (the protocol is strict
+	// request/response; pings are the only interleaved frames).
+	var st struct {
+		sync.Mutex
+		busy     bool
+		inflight *keyspace.Interval
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-serveCtx.Done()
+		if ctx.Err() == nil {
+			return // normal return path, connection already going down
+		}
+		// Local shutdown: hand back the in-flight interval, then hang up.
+		st.Lock()
+		iv := st.inflight
+		st.Unlock()
+		if iv != nil {
+			_ = write(MsgRequeue, EncodeRequeue(Requeue{
+				Start: iv.Start, End: iv.End, Reason: "worker shutting down",
+			}))
+		}
+		conn.Close()
+	}()
 
 	for {
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
 		t, payload, err := ReadFrame(conn)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return err // connection closed: master is done with us
 		}
 		switch t {
-		case MsgTune:
-			res, err := tuneLocal(ctx, job, cfg)
+		case MsgPing:
+			hb, err := DecodeHeartbeat(payload)
 			if err != nil {
-				sendError(conn, err)
+				sendErr(err)
 				continue
 			}
-			if err := WriteFrame(conn, MsgTuneResult, EncodeTuneResult(res)); err != nil {
+			if err := write(MsgPong, EncodeHeartbeat(hb)); err != nil {
 				return err
 			}
+		case MsgTune:
+			if !beginOp(&st.Mutex, &st.busy) {
+				sendErr(errors.New("netproto: request while another is in flight"))
+				continue
+			}
+			go func() {
+				res, err := tuneLocal(serveCtx, job, cfg)
+				st.Lock()
+				st.busy = false
+				st.Unlock()
+				if err != nil {
+					sendErr(err)
+					return
+				}
+				if err := write(MsgTuneResult, EncodeTuneResult(res)); err != nil {
+					conn.Close()
+				}
+			}()
 		case MsgSearch:
 			req, err := DecodeSearch(payload)
 			if err != nil {
-				sendError(conn, err)
+				sendErr(err)
 				continue
 			}
-			res, err := searchLocal(ctx, job, req, cfg)
-			if err != nil {
-				sendError(conn, err)
+			iv := keyspace.Interval{Start: req.Start, End: req.End}
+			if !beginOp(&st.Mutex, &st.busy) {
+				sendErr(errors.New("netproto: request while another is in flight"))
 				continue
 			}
-			if err := WriteFrame(conn, MsgSearchResult, EncodeSearchResult(res)); err != nil {
-				return err
-			}
+			st.Lock()
+			st.inflight = &iv
+			st.Unlock()
+			go func() {
+				res, err := searchLocal(serveCtx, job, req, cfg)
+				st.Lock()
+				st.busy = false
+				st.inflight = nil
+				st.Unlock()
+				if err != nil {
+					if serveCtx.Err() == nil {
+						sendErr(err)
+					}
+					return
+				}
+				if err := write(MsgSearchResult, EncodeSearchResult(res)); err != nil {
+					conn.Close()
+				}
+			}()
 		default:
-			sendError(conn, fmt.Errorf("netproto: unexpected message type %d", t))
+			sendErr(fmt.Errorf("netproto: unexpected message type %d", t))
 		}
 	}
 }
 
-func sendError(conn net.Conn, err error) {
-	_ = WriteFrame(conn, MsgError, []byte(err.Error()))
+func beginOp(mu *sync.Mutex, busy *bool) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	if *busy {
+		return false
+	}
+	*busy = true
+	return true
 }
 
 func tuneLocal(ctx context.Context, job *cracker.Job, cfg WorkerConfig) (TuneResult, error) {
@@ -137,10 +264,39 @@ func searchLocal(ctx context.Context, job *cracker.Job, req SearchRequest, cfg W
 
 // Dial connects to a master and serves until done.
 func Dial(ctx context.Context, addr string, cfg WorkerConfig) error {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := cfg.dial(ctx, addr)
 	if err != nil {
 		return err
 	}
 	return ServeConn(ctx, conn, cfg)
+}
+
+// DialRetry keeps a worker attached to a master across connection loss:
+// dial, serve, and on failure re-dial with the policy's backoff. The
+// attempt counter resets every time registration succeeds, so a
+// long-lived worker survives any number of transient outages but gives
+// up after MaxAttempts consecutive failures to (re)join.
+func DialRetry(ctx context.Context, addr string, cfg WorkerConfig, policy RetryPolicy) error {
+	attempt := 0
+	var lastErr error
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := cfg.dial(ctx, addr)
+		if err == nil {
+			err = serveConn(ctx, conn, cfg, func() { attempt = 0 })
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+		attempt++
+		if attempt >= policy.attempts() {
+			return fmt.Errorf("netproto: worker %s giving up after %d attempts: %w", cfg.Name, attempt, lastErr)
+		}
+		if serr := policy.Sleep(ctx, attempt-1); serr != nil {
+			return serr
+		}
+	}
 }
