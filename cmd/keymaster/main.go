@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"math/big"
+	"net/http"
+	_ "net/http/pprof" // registered on the -status mux for live profiling
 	"os"
 	"os/signal"
 	"time"
@@ -24,6 +26,7 @@ import (
 	"keysearch/internal/dispatch"
 	"keysearch/internal/keyspace"
 	"keysearch/internal/netproto"
+	"keysearch/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +45,26 @@ func main() {
 		detect    = flag.Duration("failure-detect", 0, "silence after which a worker is declared dead (0 = 4x heartbeat)")
 		retries   = flag.Int("retries", 3, "attempts per worker call before requeuing its interval")
 		maxChunk  = flag.Uint64("max-chunk", 0, "cap per-worker chunk size; bounds work lost to one failure (0 = no cap)")
+
+		statusAddr  = flag.String("status", "", "serve /status (telemetry JSON), /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9032)")
+		statusEvery = flag.Duration("status-every", 0, "log a one-line telemetry status at this interval (0 disables)")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	if *statusAddr != "" {
+		telemetry.PublishExpvar("keymaster", reg)
+		mux := http.NewServeMux()
+		mux.Handle("/status", telemetry.Handler(reg))
+		mux.Handle("/debug/", http.DefaultServeMux) // expvar + pprof
+		srv := &http.Server{Addr: *statusAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "keymaster: status server:", err)
+			}
+		}()
+		fmt.Printf("status endpoint on http://%s/status\n", *statusAddr)
+	}
 
 	alg, err := cracker.ParseAlgorithm(*algName)
 	if err != nil {
@@ -72,6 +93,7 @@ func main() {
 		Heartbeat:        *heartbeat,
 		HeartbeatTimeout: *detect,
 		Retry:            netproto.RetryPolicy{MaxAttempts: *retries},
+		Telemetry:        reg,
 	}
 	if *heartbeat == 0 {
 		mopts.Heartbeat = -1
@@ -86,6 +108,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *statusEvery > 0 {
+		stopLog := telemetry.StartLogger(ctx, reg, *statusEvery, func(line string) {
+			fmt.Println("status:", line)
+		})
+		defer stopLog()
+	}
+
 	workers, err := master.AcceptWorkers(ctx, *nworker)
 	if err != nil {
 		fatal(err)
@@ -97,6 +126,7 @@ func main() {
 	opts := dispatch.Options{
 		MaxSolutions: 1,
 		MaxChunk:     *maxChunk,
+		Telemetry:    reg,
 		OnRequeue: func(worker string, iv keyspace.Interval, cause error) {
 			fmt.Printf("worker %s failed (%v); requeued %v keys\n",
 				worker, cause, iv.Len())
@@ -146,6 +176,10 @@ func main() {
 	fmt.Printf("tested %d keys in %v (%.2f MKey/s aggregate)\n",
 		rep.Tested, elapsed.Round(time.Millisecond),
 		float64(rep.Tested)/elapsed.Seconds()/1e6)
+	if rep.Requeues > 0 {
+		fmt.Printf("requeues: %d incident(s), %d keys re-dispatched\n", rep.Requeues, rep.Retested)
+	}
+	fmt.Println("final:", telemetry.StatusLine(reg.Snapshot()))
 }
 
 func fatal(err error) {

@@ -16,25 +16,35 @@ import (
 	"os"
 	"os/signal"
 	"time"
-)
 
-import "keysearch/internal/netproto"
+	"keysearch/internal/netproto"
+	"keysearch/internal/telemetry"
+)
 
 func main() {
 	var (
-		master    = flag.String("master", "127.0.0.1:9031", "master address")
-		name      = flag.String("name", hostnameDefault(), "worker name")
-		threads   = flag.Int("threads", 0, "goroutines (0 = all cores)")
-		reconnect = flag.Bool("reconnect", false, "re-dial the master after transient failures")
-		attempts  = flag.Int("reconnect-attempts", 8, "consecutive failed dials before giving up")
+		master      = flag.String("master", "127.0.0.1:9031", "master address")
+		name        = flag.String("name", hostnameDefault(), "worker name")
+		threads     = flag.Int("threads", 0, "goroutines (0 = all cores)")
+		reconnect   = flag.Bool("reconnect", false, "re-dial the master after transient failures")
+		attempts    = flag.Int("reconnect-attempts", 8, "consecutive failed dials before giving up")
+		statusEvery = flag.Duration("status-every", 0, "log a one-line telemetry status at this interval (0 disables)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	reg := telemetry.NewRegistry()
+	if *statusEvery > 0 {
+		stopLog := telemetry.StartLogger(ctx, reg, *statusEvery, func(line string) {
+			fmt.Println("status:", line)
+		})
+		defer stopLog()
+	}
+
 	fmt.Printf("worker %s connecting to %s\n", *name, *master)
-	cfg := netproto.WorkerConfig{Name: *name, Workers: *threads}
+	cfg := netproto.WorkerConfig{Name: *name, Workers: *threads, Telemetry: reg}
 	var err error
 	if *reconnect {
 		err = netproto.DialRetry(ctx, *master, cfg, netproto.RetryPolicy{
@@ -49,6 +59,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "keyworker:", err)
 		os.Exit(1)
 	}
+	fmt.Println("final:", telemetry.StatusLine(reg.Snapshot()))
 	fmt.Println("master disconnected; done")
 }
 

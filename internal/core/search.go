@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
 )
 
 // Options configures a Search run.
@@ -32,6 +33,11 @@ type Options struct {
 	// of data from each device").
 	Progress      func(tested uint64)
 	ProgressEvery uint64
+	// Telemetry, when non-nil, receives the core.tested counter and
+	// core.rate meter. Updates are batched per claimed chunk, so the
+	// per-candidate hot loop is untouched and the overhead is one atomic
+	// add plus one meter mark per ChunkSize candidates.
+	Telemetry *telemetry.Registry
 }
 
 const defaultChunkSize = 1 << 14
@@ -128,7 +134,12 @@ func SearchEach(ctx context.Context, factory Factory, iv keyspace.Interval, newT
 		return startID, n
 	}
 
+	testedCtr := opt.Telemetry.Counter(telemetry.MetricCoreTested)
+	rateMeter := opt.Telemetry.Meter(telemetry.MetricCoreRate)
+
 	report := func(found [][]byte, tested uint64) {
+		testedCtr.Add(tested)
+		rateMeter.Mark(tested)
 		mu.Lock()
 		defer mu.Unlock()
 		testedAll += tested

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"crypto/md5"
+	"testing"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
+)
+
+// benchSearch exhausts an interval of the lowercase length-4 space with
+// the optimized MD5 searcher — the hot loop keybench measures — so the
+// two variants below expose the cost of telemetry on the search path.
+// The acceptance bar is <2% regression: telemetry updates are batched
+// per claimed chunk, one atomic add + one meter mark per ChunkSize
+// candidates, so the per-candidate loop is identical in both runs.
+func benchSearch(b *testing.B, reg *telemetry.Registry) {
+	space, err := keyspace.New(keyspace.Lower, 4, 4, keyspace.PrefixMajor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := md5.Sum([]byte("not-in-space!"))
+	size, _ := space.Size64()
+	n := size // 26^4 = 456976 candidates per iteration
+	b.SetBytes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SearchEach(context.Background(), KeyspaceFactory(space),
+			keyspace.NewInterval(0, int64(n)),
+			func() TestFunc {
+				s := md5x.NewSearcher(target)
+				return s.Test
+			},
+			Options{Workers: 1, Telemetry: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Tested != n {
+			b.Fatalf("tested %d, want %d", res.Tested, n)
+		}
+	}
+	b.ReportMetric(float64(n), "keys/op")
+}
+
+func BenchmarkSearchTelemetryOff(b *testing.B) {
+	benchSearch(b, nil)
+}
+
+func BenchmarkSearchTelemetryOn(b *testing.B) {
+	benchSearch(b, telemetry.NewRegistry())
+}

@@ -3,9 +3,11 @@ package dispatch
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"keysearch/internal/core"
 	"keysearch/internal/sim"
+	"keysearch/internal/telemetry"
 )
 
 // SimNode models a leaf computing node of the virtual-time cluster: a GPU
@@ -90,6 +92,11 @@ type ClusterOptions struct {
 	// FailureDetect is the delay before a dead node's unfinished work is
 	// reassigned (0 = 0.5s).
 	FailureDetect float64
+	// Telemetry, when non-nil, receives the simulation's events stamped
+	// with VIRTUAL time (the trace's At field is simulated seconds, not
+	// wall clock) and, after the run, per-node measured-vs-model
+	// throughput gauges and per-leaf tested counters.
+	Telemetry *telemetry.Registry
 }
 
 // ClusterResult reports a virtual-time cluster search (the Table IX rows).
@@ -107,8 +114,32 @@ type ClusterResult struct {
 	DispatchEfficiency float64
 	// PerNode is the number of keys each leaf tested.
 	PerNode map[string]float64
+	// Levels reports, per tree depth, the aggregate throughput of the
+	// dispatch frontier at that depth against the model's SumThroughput
+	// yardstick — the hierarchical version of Table IX's "roughly equal
+	// to the sum of the throughputs" check.
+	Levels []LevelStats
 	// Failed lists nodes (and exhausted subtrees) that died during the run.
 	Failed []string
+}
+
+// LevelStats aggregates one depth of the dispatch tree. The frontier at
+// depth d is every tree node at depth d plus every leaf shallower than
+// d, so each level partitions the keyspace and its totals are
+// comparable with the whole-cluster numbers.
+type LevelStats struct {
+	// Depth is the tree depth (0 = root).
+	Depth int
+	// Nodes is the number of frontier nodes at this depth.
+	Nodes int
+	// Keys is the number of key tests the frontier performed (sums to
+	// the run's total on every level).
+	Keys float64
+	// Throughput is Keys divided by the run's virtual duration.
+	Throughput float64
+	// SumThroughput is the model yardstick: the sum of the frontier
+	// subtrees' per-device sustained throughputs.
+	SumThroughput float64
 }
 
 // simActor is the runtime state of one tree node within the simulation.
@@ -181,7 +212,84 @@ func SimulateCluster(tree *SimTree, totalKeys float64, opt ClusterOptions) (*Clu
 	if res.SumThroughput > 0 {
 		res.DispatchEfficiency = res.Throughput / res.SumThroughput
 	}
+	res.Levels = treeLevels(tree, res)
+	recordClusterTelemetry(tree, res, opt.Telemetry)
 	return res, nil
+}
+
+// subtreeKeys sums the tested keys of a subtree's leaves.
+func subtreeKeys(t *SimTree, res *ClusterResult) float64 {
+	if t.Node != nil {
+		return res.PerNode[t.Node.Name]
+	}
+	var s float64
+	for _, c := range t.Children {
+		s += subtreeKeys(c, res)
+	}
+	return s
+}
+
+// treeLevels computes the per-depth frontier aggregates: at each depth,
+// inner nodes at that depth plus leaves above it partition the leaves,
+// so Keys sums to the run total on every level while SumThroughput is
+// the model's yardstick for the same frontier.
+func treeLevels(tree *SimTree, res *ClusterResult) []LevelStats {
+	var levels []LevelStats
+	frontier := []*SimTree{tree}
+	for depth := 0; len(frontier) > 0; depth++ {
+		st := LevelStats{Depth: depth, Nodes: len(frontier)}
+		var next []*SimTree
+		for _, t := range frontier {
+			st.Keys += subtreeKeys(t, res)
+			st.SumThroughput += t.SumThroughput()
+			if t.Node != nil {
+				next = append(next, t) // leaves stay on the frontier
+			} else {
+				next = append(next, t.Children...)
+			}
+		}
+		if res.SimSeconds > 0 {
+			st.Throughput = st.Keys / res.SimSeconds
+		}
+		levels = append(levels, st)
+		allLeaves := true
+		for _, t := range frontier {
+			if t.Node == nil {
+				allLeaves = false
+				break
+			}
+		}
+		if allLeaves {
+			break
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// recordClusterTelemetry publishes the run's outcome: per-leaf tested
+// counters and, for every tree node, the measured subtree throughput
+// against the model's SumThroughput.
+func recordClusterTelemetry(tree *SimTree, res *ClusterResult, reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var walk func(t *SimTree)
+	walk = func(t *SimTree) {
+		keys := subtreeKeys(t, res)
+		if res.SimSeconds > 0 {
+			reg.Gauge(telemetry.PerNode(telemetry.MetricClusterX, t.Name)).Set(keys / res.SimSeconds)
+		}
+		reg.Gauge(telemetry.PerNode(telemetry.MetricClusterModelX, t.Name)).Set(t.SumThroughput())
+		if t.Node != nil {
+			reg.Counter(telemetry.PerNode(telemetry.MetricClusterTested, t.Name)).Add(uint64(keys))
+			return
+		}
+		for _, c := range t.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
 }
 
 func buildActor(t *SimTree, parent *simActor, res *ClusterResult, opt ClusterOptions, eng *sim.Engine) *simActor {
@@ -195,6 +303,16 @@ func buildActor(t *SimTree, parent *simActor, res *ClusterResult, opt ClusterOpt
 	return a
 }
 
+// emit records an event on the telemetry trace stamped with VIRTUAL
+// time — the simulated clock, not the wall clock.
+func (a *simActor) emit(typ telemetry.EventType, node string, keys float64, detail string) {
+	if a.opt.Telemetry == nil {
+		return
+	}
+	at := time.Duration(a.eng.Now() * float64(time.Second))
+	a.opt.Telemetry.Trace().RecordAt(at, typ, node, uint64(keys), detail)
+}
+
 // scheduleJoins arms the join events of late-arriving nodes: at JoinAt the
 // node comes online and its parent immediately rebalances — "executing the
 // above mentioned steps each time the number of depending nodes ... vary".
@@ -203,6 +321,7 @@ func scheduleJoins(a *simActor, eng *sim.Engine) {
 		node := a
 		eng.Schedule(node.tree.Node.JoinAt, func() {
 			node.offline = false
+			node.emit(telemetry.EventJoin, node.tree.Name, 0, "joined at runtime")
 			if p := node.parent; p != nil {
 				p.distribute()
 				p.maybeFinish()
@@ -328,12 +447,14 @@ func (a *simActor) distribute() {
 		a.active++
 		c.busy = true
 		child := c
+		a.emit(telemetry.EventDispatch, child.tree.Name, share, "")
 		// Scatter: the assignment crosses the child's link; the child's
 		// completion (gather) fires the callback back here.
 		child.tree.Link.Send(a.eng, a.opt.MessageBytes, func() {
 			child.assign(share, func() {
 				child.busy = false
 				a.active--
+				a.emit(telemetry.EventGather, child.tree.Name, share, "")
 				a.distribute()
 				a.maybeFinish()
 			})
@@ -360,7 +481,9 @@ func (a *simActor) maybeFinish() {
 		if !a.failed {
 			a.failed = true
 			a.res.Failed = append(a.res.Failed, a.tree.Name)
+			a.emit(telemetry.EventFailure, a.tree.Name, 0, "subtree exhausted")
 		}
+		a.emit(telemetry.EventRequeue, a.tree.Name, rest, "bubbled to grandparent")
 		if parent := a.parent; parent != nil {
 			a.tree.Link.Send(a.eng, a.opt.MessageBytes, func() {
 				a.busy = false
@@ -414,9 +537,11 @@ func (a *simActor) computeLeaf(keys float64, done func()) {
 			if !a.failed {
 				a.failed = true
 				a.res.Failed = append(a.res.Failed, n.Name)
+				a.emit(telemetry.EventFailure, n.Name, did, "died mid-chunk")
 			}
 			a.busy = false
 			if parent := a.parent; parent != nil {
+				a.emit(telemetry.EventRequeue, n.Name, rest, "reclaimed by parent")
 				parent.pool += rest
 				parent.active--
 				parent.distribute()

@@ -7,6 +7,7 @@ import (
 
 	"keysearch/internal/core"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
 )
 
 // Options configures a Dispatcher.
@@ -42,6 +43,11 @@ type Options struct {
 	// is declared dead and its in-flight interval returns to the pool —
 	// the real-time counterpart of the simulator's FailureDetect event.
 	OnRequeue func(worker string, iv keyspace.Interval, cause error)
+	// Telemetry, when non-nil, receives the dispatch metrics and events:
+	// per-worker tested counts, chunk sizes, round latencies, requeues
+	// and the retested counter (see internal/telemetry's names.go). A
+	// nil registry costs one branch per gathered chunk.
+	Telemetry *telemetry.Registry
 }
 
 // Dispatcher drives a set of workers over identifier intervals. It
@@ -145,15 +151,11 @@ func (d *Dispatcher) Resume(ctx context.Context, cp *Checkpoint) (*Report, error
 	return d.searchPool(ctx, work, rep)
 }
 
-func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*Report, error) {
-	start := time.Now()
-	if _, err := d.Tune(ctx); err != nil {
-		return nil, err
-	}
-	d.mu.Lock()
-	tunings := append([]core.Tuning(nil), d.tunings...)
-	d.mu.Unlock()
-
+// workerShares applies the paper's balancing rule plus the Options
+// clamps to the tuned throughputs: N_j = N_max · X_j / X_max, scaled by
+// RoundScale and clamped to [MinChunk, MaxChunk]. Extracted so the
+// property tests exercise exactly the arithmetic the dispatcher uses.
+func (d *Dispatcher) workerShares(tunings []core.Tuning) []uint64 {
 	shares := core.Balance(tunings)
 	scale := d.opts.RoundScale
 	if scale == 0 {
@@ -171,6 +173,27 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 		if d.opts.MaxChunk > 0 && shares[i] > d.opts.MaxChunk {
 			shares[i] = d.opts.MaxChunk
 		}
+	}
+	return shares
+}
+
+func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*Report, error) {
+	start := time.Now()
+	if _, err := d.Tune(ctx); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	tunings := append([]core.Tuning(nil), d.tunings...)
+	d.mu.Unlock()
+
+	shares := d.workerShares(tunings)
+	tel := d.opts.Telemetry
+	for i, w := range d.workers {
+		if shares[i] == 0 {
+			continue
+		}
+		tel.Gauge(telemetry.PerNode(telemetry.MetricDispatchXj, w.Name())).Set(tunings[i].Throughput)
+		tel.Gauge(telemetry.PerNode(telemetry.MetricDispatchShare, w.Name())).Set(float64(shares[i]))
 	}
 
 	var (
@@ -198,6 +221,7 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 		wg.Add(1)
 		go func(i int, w Worker) {
 			defer wg.Done()
+			wt := newWorkerTelemetry(tel, w.Name())
 			for {
 				mu.Lock()
 				var chunk keyspace.Interval
@@ -227,8 +251,12 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 					cond.Wait()
 				}
 				mu.Unlock()
+				chunkLen, _ := chunk.Len64()
+				wt.dispatched(chunkLen)
 
+				roundStart := time.Now()
 				sub, err := w.Search(ctx, chunk)
+				round := time.Since(roundStart)
 
 				mu.Lock()
 				delete(inflight, token)
@@ -239,8 +267,15 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 					// the price of never missing an identifier. The
 					// checkpoint written here is what lets a restarted
 					// master resume without losing the requeued interval.
+					// The chunk's identifiers count toward Retested, NOT
+					// Tested: the failed pass was never gathered, so the
+					// gathered totals stay exactly equal to the interval
+					// size while the duplicated work stays visible.
 					errs = append(errs, err)
 					work.putBack(chunk)
+					rep.Requeues++
+					rep.Retested += chunkLen
+					wt.requeued(chunkLen, err)
 					if d.opts.OnRequeue != nil {
 						d.opts.OnRequeue(w.Name(), chunk, err)
 					}
@@ -254,6 +289,7 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 				if sub != nil {
 					rep.Found = append(rep.Found, sub.Found...)
 					rep.Tested += sub.Tested
+					wt.gathered(sub.Tested, round)
 					if d.opts.Progress != nil {
 						d.opts.Progress(rep.Tested, len(rep.Found))
 					}

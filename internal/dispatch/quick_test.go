@@ -1,0 +1,199 @@
+package dispatch
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+)
+
+// quickParams derives a random-but-valid dispatcher configuration from a
+// seed: RoundScale, MinChunk, MaxChunk and a worker throughput vector.
+type quickParams struct {
+	opts     Options
+	tunings  []core.Tuning
+	interval uint64
+}
+
+func paramsFromSeed(seed int64) quickParams {
+	rng := rand.New(rand.NewSource(seed))
+	nWorkers := 1 + rng.Intn(6)
+	tunings := make([]core.Tuning, nWorkers)
+	for i := range tunings {
+		// Throughputs spread over four orders of magnitude; an occasional
+		// zero models a dead/untunable worker.
+		if rng.Intn(8) == 0 {
+			tunings[i] = core.Tuning{}
+			continue
+		}
+		tunings[i] = core.Tuning{
+			MinBatch:   uint64(1 + rng.Intn(5000)),
+			Throughput: float64(1+rng.Intn(10_000)) * 1e3,
+		}
+	}
+	opts := Options{
+		RoundScale: []float64{0, 0.5, 1, 2, 7.3}[rng.Intn(5)],
+		MinChunk:   uint64(rng.Intn(3) * 100),
+	}
+	if rng.Intn(2) == 0 {
+		opts.MaxChunk = uint64(1 + rng.Intn(20_000))
+	}
+	return quickParams{
+		opts:     opts,
+		tunings:  tunings,
+		interval: uint64(1 + rng.Intn(500_000)),
+	}
+}
+
+// TestQuickChunksPartitionInterval: for any RoundScale/MinChunk/MaxChunk
+// and any throughput vector, the chunks the dispatcher issues partition
+// the interval — no identifier skipped, none issued twice.
+func TestQuickChunksPartitionInterval(t *testing.T) {
+	property := func(seed int64) bool {
+		p := paramsFromSeed(seed)
+		alive := false
+		for _, tn := range p.tunings {
+			if tn.Throughput > 0 {
+				alive = true
+			}
+		}
+		if !alive {
+			return true // nothing to dispatch with; vacuously fine
+		}
+
+		var mu sync.Mutex
+		type span struct{ start, end uint64 }
+		var spans []span
+		workers := make([]Worker, len(p.tunings))
+		for i := range p.tunings {
+			tn := p.tunings[i]
+			workers[i] = &FuncWorker{
+				WorkerName: "q",
+				TuneFunc: func(context.Context) (core.Tuning, error) {
+					return tn, nil
+				},
+				SearchFunc: func(ctx context.Context, iv keyspace.Interval) (*Report, error) {
+					n, _ := iv.Len64()
+					mu.Lock()
+					spans = append(spans, span{iv.Start.Uint64(), iv.Start.Uint64() + n})
+					mu.Unlock()
+					return &Report{Tested: n}, nil
+				},
+			}
+		}
+		d := NewDispatcher("quick", p.opts, workers...)
+		rep, err := d.Search(context.Background(), keyspace.NewInterval(0, int64(p.interval)))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if rep.Tested != p.interval {
+			t.Logf("seed %d: tested %d, want %d", seed, rep.Tested, p.interval)
+			return false
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		cursor := uint64(0)
+		for _, s := range spans {
+			if s.start != cursor {
+				t.Logf("seed %d: gap/overlap at %d (next span starts %d)", seed, cursor, s.start)
+				return false
+			}
+			cursor = s.end
+		}
+		if cursor != p.interval {
+			t.Logf("seed %d: coverage ends at %d, want %d", seed, cursor, p.interval)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSharesFollowBalanceRule: workerShares must respect
+// N_j = N_max · X_j / X_max within rounding, scaled by RoundScale and
+// clamped to [MinChunk, MaxChunk]; zero-throughput workers get nothing.
+func TestQuickSharesFollowBalanceRule(t *testing.T) {
+	property := func(seed int64) bool {
+		p := paramsFromSeed(seed)
+		d := NewDispatcher("shares", p.opts)
+		shares := d.workerShares(p.tunings)
+		if len(shares) != len(p.tunings) {
+			return false
+		}
+
+		scale := p.opts.RoundScale
+		if scale == 0 {
+			scale = 1
+		}
+		minChunk := p.opts.MinChunk
+		if minChunk == 0 {
+			minChunk = 1
+		}
+		balanced := core.Balance(p.tunings)
+		for i, tn := range p.tunings {
+			if tn.Throughput == 0 {
+				if shares[i] != 0 {
+					t.Logf("seed %d: dead worker %d got share %d", seed, i, shares[i])
+					return false
+				}
+				continue
+			}
+			want := uint64(float64(balanced[i]) * scale)
+			if want < minChunk {
+				want = minChunk
+			}
+			if p.opts.MaxChunk > 0 && want > p.opts.MaxChunk {
+				want = p.opts.MaxChunk
+			}
+			if shares[i] != want {
+				t.Logf("seed %d: worker %d share %d, want %d", seed, i, shares[i], want)
+				return false
+			}
+			// MaxChunk wins over MinChunk when they conflict (the cap
+			// bounds failure blast radius), so only check the floor when
+			// the cap does not override it.
+			if p.opts.MaxChunk > 0 && shares[i] > p.opts.MaxChunk {
+				t.Logf("seed %d: worker %d share %d above cap", seed, i, shares[i])
+				return false
+			}
+			if (p.opts.MaxChunk == 0 || p.opts.MaxChunk >= minChunk) && shares[i] < minChunk {
+				t.Logf("seed %d: worker %d share %d below floor", seed, i, shares[i])
+				return false
+			}
+		}
+
+		// Unclamped shares must follow the proportionality within the ±1
+		// rounding of Balance: N_j/N_max within 1/N_max of X_j/X_max.
+		if p.opts.MaxChunk == 0 {
+			var xmax float64
+			var nmax uint64
+			for i, tn := range p.tunings {
+				if tn.Throughput > xmax {
+					xmax, nmax = tn.Throughput, balanced[i]
+				}
+			}
+			for i, tn := range p.tunings {
+				if tn.Throughput == 0 || nmax == 0 {
+					continue
+				}
+				got := float64(balanced[i]) / float64(nmax)
+				want := tn.Throughput / xmax
+				if diff := got - want; diff > 1.0/float64(nmax)+1e-9 || diff < -(1.0/float64(nmax))-1e-9 {
+					t.Logf("seed %d: worker %d ratio %g, want %g (±1/N_max)", seed, i, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

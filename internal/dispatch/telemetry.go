@@ -1,0 +1,69 @@
+package dispatch
+
+import (
+	"time"
+
+	"keysearch/internal/telemetry"
+)
+
+// workerTelemetry caches one worker's metric handles so the dispatch
+// loop pays map lookups once per search, not once per chunk. Every
+// field is nil when telemetry is disabled; the telemetry package's
+// nil-receiver methods make each call a single branch.
+type workerTelemetry struct {
+	reg      *telemetry.Registry
+	name     string
+	tested   *telemetry.Counter   // per-worker gathered identifiers
+	total    *telemetry.Counter   // aggregate gathered identifiers
+	retested *telemetry.Counter   // aggregate re-dispatched identifiers
+	requeues *telemetry.Counter   // aggregate requeue incidents
+	chunks   *telemetry.Counter   // per-worker gathered chunks
+	rate     *telemetry.Meter     // aggregate windowed rate
+	round    *telemetry.Histogram // per-worker round latency, ns
+	chunkLen *telemetry.Histogram // per-worker issued chunk size, keys
+}
+
+func newWorkerTelemetry(reg *telemetry.Registry, name string) *workerTelemetry {
+	wt := &workerTelemetry{reg: reg, name: name}
+	if reg == nil {
+		return wt
+	}
+	wt.tested = reg.Counter(telemetry.PerNode(telemetry.MetricDispatchTested, name))
+	wt.total = reg.Counter(telemetry.MetricDispatchTested)
+	wt.retested = reg.Counter(telemetry.MetricDispatchRetested)
+	wt.requeues = reg.Counter(telemetry.MetricDispatchRequeues)
+	wt.chunks = reg.Counter(telemetry.PerNode(telemetry.MetricDispatchChunks, name))
+	wt.rate = reg.Meter(telemetry.MetricDispatchRate)
+	wt.round = reg.Histogram(telemetry.PerNode(telemetry.MetricDispatchRound, name))
+	wt.chunkLen = reg.Histogram(telemetry.PerNode(telemetry.MetricDispatchChunkLen, name))
+	return wt
+}
+
+// dispatched records a chunk being issued to the worker.
+func (wt *workerTelemetry) dispatched(chunkLen uint64) {
+	wt.chunkLen.Observe(float64(chunkLen))
+	wt.reg.Emit(telemetry.EventDispatch, wt.name, chunkLen, "")
+}
+
+// gathered records a completed round: tested identifiers and latency.
+func (wt *workerTelemetry) gathered(tested uint64, round time.Duration) {
+	wt.tested.Add(tested)
+	wt.total.Add(tested)
+	wt.chunks.Inc()
+	wt.rate.Mark(tested)
+	wt.round.ObserveDuration(round)
+	wt.reg.Emit(telemetry.EventGather, wt.name, tested, "")
+}
+
+// requeued records the worker's death and its chunk returning to the
+// pool: the chunk counts as retested (it will be dispatched again), not
+// as tested — the failed pass was never gathered.
+func (wt *workerTelemetry) requeued(chunkLen uint64, cause error) {
+	wt.requeues.Inc()
+	wt.retested.Add(chunkLen)
+	detail := ""
+	if cause != nil {
+		detail = cause.Error()
+	}
+	wt.reg.Emit(telemetry.EventRequeue, wt.name, chunkLen, detail)
+}

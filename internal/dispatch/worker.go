@@ -27,8 +27,19 @@ import (
 type Report struct {
 	// Found lists matching keys.
 	Found [][]byte
-	// Tested is the number of candidates evaluated.
+	// Tested is the number of candidates whose results were gathered.
+	// Failed workers report nothing, so Tested is exact coverage: at the
+	// end of an exhaustive search it equals the interval size even when
+	// chunks were requeued and re-searched.
 	Tested uint64
+	// Retested counts identifiers that were dispatched more than once —
+	// the chunks requeued after worker deaths, whose first (partial,
+	// never gathered) pass is re-run by a survivor. Kept separate from
+	// Tested so duplicated work is visible instead of inflating coverage.
+	Retested uint64
+	// Requeues counts requeue incidents (workers declared dead
+	// mid-chunk).
+	Requeues int
 	// Elapsed is the wall-clock duration of the search.
 	Elapsed time.Duration
 }

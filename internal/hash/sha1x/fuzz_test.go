@@ -1,0 +1,98 @@
+package sha1x
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+)
+
+// FuzzPackedDigest cross-checks the packed single-block path against
+// crypto/sha1 for arbitrary short keys and verifies unpack round trips.
+func FuzzPackedDigest(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("Key4SUFF"))
+	f.Add(bytes.Repeat([]byte{0xff}, 55))
+	f.Fuzz(func(t *testing.T, key []byte) {
+		if len(key) > MaxSingleBlockKey {
+			key = key[:MaxSingleBlockKey]
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatal(err)
+		}
+		if got := UnpackKey(nil, &block); !bytes.Equal(got, key) {
+			t.Fatalf("unpack = %x, want %x", got, key)
+		}
+		got := DigestBytes(SumPacked(&block))
+		want := sha1.Sum(key)
+		if got != want {
+			t.Fatalf("packed digest %x, want %x", got, want)
+		}
+		// Both the early-exit searcher and the plain baseline built on
+		// this target must accept exactly this key.
+		s := NewSearcher(want)
+		if !s.Test(key) {
+			t.Fatal("searcher rejected its own key")
+		}
+		if !s.TestPlain(key) {
+			t.Fatal("plain searcher rejected its own key")
+		}
+	})
+}
+
+// FuzzStreamingMatchesStdlib checks the multi-block streaming path.
+func FuzzStreamingMatchesStdlib(f *testing.F) {
+	f.Add([]byte("hello"), 3)
+	f.Add(bytes.Repeat([]byte("x"), 200), 64)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		want := sha1.Sum(data)
+		if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Fatalf("streamed %x, want %x", got, want)
+		}
+	})
+}
+
+// TestSearcherDifferentialRandom sweeps randomized packed candidates
+// through the early-exit searcher and checks every verdict against
+// crypto/sha1. Non-matching keys must be rejected at some early-exit
+// step, matching keys accepted.
+func TestSearcherDifferentialRandom(t *testing.T) {
+	target := sha1.Sum([]byte("bcd"))
+	s := NewSearcher(target)
+	// Deterministic xorshift corpus; no seeding dependency on the clock.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	key := make([]byte, 0, 8)
+	for i := 0; i < 20_000; i++ {
+		n := int(next() % 6)
+		key = key[:0]
+		for j := 0; j < n; j++ {
+			key = append(key, byte('a'+next()%26))
+		}
+		got := s.Test(key)
+		want := sha1.Sum(key) == target
+		if got != want {
+			t.Fatalf("key %q: searcher says %v, crypto/sha1 says %v", key, got, want)
+		}
+	}
+	if !s.Test([]byte("bcd")) {
+		t.Fatal("searcher rejected the planted key")
+	}
+}

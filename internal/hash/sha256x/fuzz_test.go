@@ -1,0 +1,96 @@
+package sha256x
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzPackedDigest cross-checks the packed single-block path against
+// crypto/sha256 for arbitrary short keys and verifies unpack round trips.
+func FuzzPackedDigest(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("Key4SUFF"))
+	f.Add(bytes.Repeat([]byte{0xff}, 55))
+	f.Fuzz(func(t *testing.T, key []byte) {
+		if len(key) > MaxSingleBlockKey {
+			key = key[:MaxSingleBlockKey]
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatal(err)
+		}
+		if got := UnpackKey(nil, &block); !bytes.Equal(got, key) {
+			t.Fatalf("unpack = %x, want %x", got, key)
+		}
+		got := DigestBytes(SumPacked(&block))
+		want := sha256.Sum256(key)
+		if got != want {
+			t.Fatalf("packed digest %x, want %x", got, want)
+		}
+		// StateWords and DigestBytes must be inverses through the digest.
+		if rt := DigestBytes(StateWords(got)); rt != got {
+			t.Fatalf("state-word round trip %x, want %x", rt, got)
+		}
+	})
+}
+
+// TestPackedDifferentialRandom sweeps a deterministic randomized corpus
+// of packed candidates through SumPacked and checks every digest against
+// crypto/sha256 — the fuzz corpus's always-on little sibling.
+func TestPackedDifferentialRandom(t *testing.T) {
+	state := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	key := make([]byte, 0, MaxSingleBlockKey)
+	for i := 0; i < 5_000; i++ {
+		n := int(next() % (MaxSingleBlockKey + 1))
+		key = key[:0]
+		for j := 0; j < n; j++ {
+			key = append(key, byte(next()))
+		}
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := DigestBytes(SumPacked(&block)), sha256.Sum256(key); got != want {
+			t.Fatalf("key %x: packed %x, want %x", key, got, want)
+		}
+	}
+}
+
+// TestPackKeyRejectsLongKeys: the single-block packer must refuse keys
+// that cannot fit alongside the padding.
+func TestPackKeyRejectsLongKeys(t *testing.T) {
+	var block [16]uint32
+	if err := PackKey(bytes.Repeat([]byte("x"), MaxSingleBlockKey+1), &block); err == nil {
+		t.Fatal("expected an error for a 56-byte key")
+	}
+	if err := PackKey(bytes.Repeat([]byte("x"), MaxSingleBlockKey), &block); err != nil {
+		t.Fatalf("55-byte key rejected: %v", err)
+	}
+}
+
+// TestPackKeyMatchesPadding: for every legal length, the packed block
+// must equal the padding crypto/sha256 applies (verified via the digest)
+// and PackedLen must report the length back.
+func TestPackKeyMatchesPadding(t *testing.T) {
+	for n := 0; n <= MaxSingleBlockKey; n++ {
+		key := bytes.Repeat([]byte{byte('A' + n%26)}, n)
+		var block [16]uint32
+		if err := PackKey(key, &block); err != nil {
+			t.Fatal(err)
+		}
+		if got := PackedLen(&block); got != n {
+			t.Fatalf("PackedLen = %d, want %d", got, n)
+		}
+		if got, want := DigestBytes(SumPacked(&block)), sha256.Sum256(key); got != want {
+			t.Fatalf("len %d: packed %x, want %x", n, got, want)
+		}
+	}
+}

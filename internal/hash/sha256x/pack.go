@@ -1,0 +1,65 @@
+package sha256x
+
+import "fmt"
+
+// MaxSingleBlockKey is the longest key that fits a single SHA-256 block
+// with its 0x80 terminator and 64-bit length field.
+const MaxSingleBlockKey = 55
+
+// PackKey encodes a key of at most 55 bytes as a single padded SHA-256
+// block of 16 big-endian words. The layout is identical to SHA-1's: the
+// message bytes, a 0x80 terminator, zeros, and the bit length in the
+// last word (keys this short never touch word 14).
+func PackKey(key []byte, block *[16]uint32) error {
+	if len(key) > MaxSingleBlockKey {
+		return fmt.Errorf("sha256x: key length %d exceeds single block limit %d", len(key), MaxSingleBlockKey)
+	}
+	*block = [16]uint32{}
+	for i, b := range key {
+		block[i/4] |= uint32(b) << (24 - 8*uint(i%4))
+	}
+	block[len(key)/4] |= 0x80 << (24 - 8*uint(len(key)%4))
+	block[15] = uint32(len(key)) << 3
+	return nil
+}
+
+// PackedLen returns the key length encoded in a packed block.
+func PackedLen(block *[16]uint32) int { return int(block[15] >> 3) }
+
+// UnpackKey decodes the key bytes from a packed block, appending to dst.
+func UnpackKey(dst []byte, block *[16]uint32) []byte {
+	n := PackedLen(block)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(block[i/4]>>(24-8*uint(i%4))))
+	}
+	return dst
+}
+
+// SumPacked computes the SHA-256 state words of a packed single-block key.
+func SumPacked(block *[16]uint32) [8]uint32 {
+	state := iv
+	Compress(&state, block)
+	return state
+}
+
+// StateWords decodes a raw digest into the eight big-endian state words.
+func StateWords(digest [Size]byte) [8]uint32 {
+	var w [8]uint32
+	for i := range w {
+		w[i] = uint32(digest[4*i])<<24 | uint32(digest[4*i+1])<<16 |
+			uint32(digest[4*i+2])<<8 | uint32(digest[4*i+3])
+	}
+	return w
+}
+
+// DigestBytes encodes state words back into a raw digest.
+func DigestBytes(w [8]uint32) [Size]byte {
+	var d [Size]byte
+	for i, s := range w {
+		d[4*i] = byte(s >> 24)
+		d[4*i+1] = byte(s >> 16)
+		d[4*i+2] = byte(s >> 8)
+		d[4*i+3] = byte(s)
+	}
+	return d
+}

@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+)
+
+// These cross-kernel tests pin the IR executor to the native Go search:
+// over the same word-0 intervals the reference executor (kernel.Match on
+// the built search program) and the hash packages' Searchers — the code
+// path the CPU workers run — must agree on find/no-find and on the exact
+// set of matching candidates. Word 0 of the packed block varies, so the
+// interval enumerates keys whose first four bytes change while the
+// suffix, padding and length stay baked into the program.
+
+// crossScan walks [start, start+n) and returns the candidates each side
+// accepted. native tests the unpacked key bytes, ir tests the raw word.
+func crossScan(t *testing.T, start uint32, n int,
+	native func(key []byte) bool, ir func(w uint32) bool,
+	template [16]uint32) (nativeFinds, irFinds []uint32) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		w := start + uint32(i)
+		b := template
+		b[0] = w
+		key := md5x.UnpackKey(nil, &b)
+		if native(key) {
+			nativeFinds = append(nativeFinds, w)
+		}
+		if ir(w) {
+			irFinds = append(irFinds, w)
+		}
+	}
+	return nativeFinds, irFinds
+}
+
+func TestCrossExecutorMD5(t *testing.T) {
+	const planted = "Key4SUFF"
+	block, target := md5Template(t, planted)
+	s := md5x.NewSearcherWords(target)
+	for _, cfg := range []MD5Config{
+		{Template: block, Target: target},
+		{Template: block, Target: target, Reversal: true, EarlyExit: true},
+	} {
+		prog := BuildMD5(cfg)
+		for _, iv := range []struct {
+			name  string
+			start uint32
+			n     int
+			find  bool
+		}{
+			{"contains-planted", block[0] - 500, 1000, true},
+			{"above-planted", block[0] + 1000, 1000, false},
+			{"zero-origin", 0, 1000, false},
+		} {
+			t.Run(prog.Name+"/"+iv.name, func(t *testing.T) {
+				nat, ir := crossScan(t, iv.start, iv.n,
+					func(key []byte) bool { return s.Test(key) },
+					func(w uint32) bool { return Match(prog, w) },
+					block)
+				if len(nat) != len(ir) {
+					t.Fatalf("native found %d, IR found %d", len(nat), len(ir))
+				}
+				for i := range nat {
+					if nat[i] != ir[i] {
+						t.Fatalf("match sets differ: native %08x vs IR %08x", nat[i], ir[i])
+					}
+				}
+				if found := len(nat) > 0; found != iv.find {
+					t.Fatalf("interval find = %v, want %v", found, iv.find)
+				}
+				if iv.find {
+					b := block
+					b[0] = nat[0]
+					if key := md5x.UnpackKey(nil, &b); !bytes.Equal(key, []byte(planted)) {
+						t.Fatalf("found key %q, want %q", key, planted)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestCrossExecutorSHA1(t *testing.T) {
+	const planted = "Key4SUFF"
+	block, target := sha1Template(t, planted)
+	s := sha1x.NewSearcherWords(target)
+	for _, cfg := range []SHA1Config{
+		{Template: block, Target: target},
+		{Template: block, Target: target, EarlyExit: true},
+	} {
+		prog := BuildSHA1(cfg)
+		for _, iv := range []struct {
+			name  string
+			start uint32
+			n     int
+			find  bool
+		}{
+			{"contains-planted", block[0] - 500, 1000, true},
+			{"above-planted", block[0] + 1000, 1000, false},
+		} {
+			t.Run(prog.Name+"/"+iv.name, func(t *testing.T) {
+				// SHA1 packs big-endian, so unpack with sha1x.
+				var nat, ir []uint32
+				for i := 0; i < iv.n; i++ {
+					w := iv.start + uint32(i)
+					b := block
+					b[0] = w
+					if s.Test(sha1x.UnpackKey(nil, &b)) {
+						nat = append(nat, w)
+					}
+					if Match(prog, w) {
+						ir = append(ir, w)
+					}
+				}
+				if len(nat) != len(ir) {
+					t.Fatalf("native found %d, IR found %d", len(nat), len(ir))
+				}
+				for i := range nat {
+					if nat[i] != ir[i] {
+						t.Fatalf("match sets differ: native %08x vs IR %08x", nat[i], ir[i])
+					}
+				}
+				if found := len(nat) > 0; found != iv.find {
+					t.Fatalf("interval find = %v, want %v", found, iv.find)
+				}
+			})
+		}
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"keysearch/internal/core"
 	"keysearch/internal/dispatch"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
 )
 
 // ErrMasterClosed is returned by AcceptWorkers and pending worker calls
@@ -58,6 +60,11 @@ type MasterOptions struct {
 	// reconnection window in which a re-registering worker (same name)
 	// picks its calls back up on the fresh connection.
 	Retry RetryPolicy
+	// Telemetry, when non-nil, receives the master-side protocol metrics:
+	// frames sent/received, pings/pongs and their round trips, call
+	// retries, rejoins and requeues, plus join/retry/reconnect events
+	// (see internal/telemetry's names.go).
+	Telemetry *telemetry.Registry
 }
 
 func (o MasterOptions) withDefaults() MasterOptions {
@@ -89,6 +96,8 @@ type Master struct {
 	regErr  chan error
 	done    chan struct{}
 
+	tel *netTelemetry
+
 	mu        sync.Mutex
 	closed    bool
 	acceptErr error
@@ -117,6 +126,7 @@ func NewMaster(addr string, spec JobSpec, opts ...MasterOptions) (*Master, error
 		done:    make(chan struct{}),
 		workers: make(map[string]*remoteWorker),
 		conns:   make(map[net.Conn]struct{}),
+		tel:     newNetTelemetry(o.Telemetry),
 	}
 	go m.acceptLoop()
 	return m, nil
@@ -209,6 +219,7 @@ func (m *Master) register(conn net.Conn) {
 		fail(err)
 		return
 	}
+	m.tel.recv.Inc()
 	if t != MsgHello {
 		fail(fmt.Errorf("netproto: expected hello, got type %d", t))
 		return
@@ -229,6 +240,7 @@ func (m *Master) register(conn net.Conn) {
 		fail(err)
 		return
 	}
+	m.tel.sent.Inc()
 
 	m.mu.Lock()
 	if m.closed {
@@ -239,11 +251,15 @@ func (m *Master) register(conn net.Conn) {
 	if w, ok := m.workers[hello.Name]; ok {
 		m.mu.Unlock()
 		w.offerConn(conn) // rejoin: hand the fresh conn to the existing worker
+		m.tel.reconnects.Inc()
+		m.tel.reg.Emit(telemetry.EventReconnect, hello.Name, 0, "rejoined by name")
 		return
 	}
 	w := &remoteWorker{
 		name:    hello.Name,
 		opts:    m.opts,
+		tel:     m.tel,
+		pings:   newPingClock(),
 		conn:    conn,
 		newConn: make(chan net.Conn, 1),
 		closeCh: make(chan struct{}),
@@ -251,6 +267,7 @@ func (m *Master) register(conn net.Conn) {
 	}
 	m.workers[hello.Name] = w
 	m.mu.Unlock()
+	m.tel.reg.Emit(telemetry.EventJoin, hello.Name, 0, "registered")
 
 	select {
 	case m.pending <- w:
@@ -296,7 +313,14 @@ func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]dispatch.Worker, e
 type remoteWorker struct {
 	name string
 	opts MasterOptions
+	tel  *netTelemetry
 	drop func(net.Conn)
+
+	// pings spans the connection's whole lifetime (with pingSeq never
+	// reused), so a pong that crosses the wire with a result and is read
+	// by the NEXT call still matches the ping that caused it.
+	pings   *pingClock
+	pingSeq atomic.Uint64
 
 	mu sync.Mutex // serializes calls
 
@@ -426,6 +450,10 @@ func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, wa
 
 	var lastErr error
 	for attempt := 0; attempt < w.opts.Retry.attempts(); attempt++ {
+		if attempt > 0 {
+			w.tel.retries.Inc()
+			w.tel.reg.Emit(telemetry.EventRetry, w.name, uint64(attempt), lastErr.Error())
+		}
 		conn, err := w.takeConn(ctx, w.opts.Retry.Backoff(attempt))
 		if err != nil {
 			if errors.Is(err, ErrMasterClosed) || ctx.Err() != nil {
@@ -465,6 +493,9 @@ func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, p
 		_ = conn.SetWriteDeadline(time.Now().Add(w.opts.WriteTimeout))
 		err := WriteFrame(conn, t, p)
 		_ = conn.SetWriteDeadline(time.Time{})
+		if err == nil {
+			w.tel.sent.Inc()
+		}
 		return err
 	}
 
@@ -486,14 +517,15 @@ func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, p
 		go func() {
 			tick := time.NewTicker(w.opts.Heartbeat)
 			defer tick.Stop()
-			var seq uint64
 			for {
 				select {
 				case <-tick.C:
-					seq++
+					seq := w.pingSeq.Add(1)
+					w.pings.sentAt(seq)
 					if write(MsgPing, EncodeHeartbeat(Heartbeat{Seq: seq})) != nil {
 						return
 					}
+					w.tel.pings.Inc()
 				case <-stop:
 					return
 				}
@@ -515,9 +547,18 @@ func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, p
 			}
 			return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
 		}
+		w.tel.recv.Inc()
 		switch t {
 		case MsgPong:
-			continue // liveness confirmed; the deadline resets on the next read
+			// Liveness confirmed; the deadline resets on the next read.
+			w.tel.pongs.Inc()
+			if hb, derr := DecodeHeartbeat(resp); derr == nil {
+				if rtt, ok := w.pings.rtt(hb.Seq); ok {
+					w.tel.rtt.ObserveDuration(rtt)
+					w.tel.reg.Emit(telemetry.EventHeartbeat, w.name, hb.Seq, rtt.String())
+				}
+			}
+			continue
 		case want:
 			_ = conn.SetReadDeadline(time.Time{})
 			return resp, nil
@@ -529,6 +570,8 @@ func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, p
 			if derr != nil {
 				return nil, fmt.Errorf("netproto: %s: bad requeue: %w", w.name, derr)
 			}
+			w.tel.requeues.Inc()
+			w.tel.reg.Emit(telemetry.EventRequeue, w.name, 0, rq.Reason)
 			return nil, &RequeueError{Worker: w.name, Reason: rq.Reason}
 		default:
 			return nil, fmt.Errorf("netproto: %s: unexpected response type %d", w.name, t)

@@ -1,0 +1,79 @@
+package netproto
+
+import (
+	"sync"
+	"time"
+
+	"keysearch/internal/telemetry"
+)
+
+// netTelemetry caches the protocol's metric handles so the frame paths
+// pay registry lookups once per connection, not once per frame. Both
+// sides of the protocol use it: the master counts pings sent and pongs
+// received (and their round trips), the worker the mirror image. All
+// handles are nil when telemetry is disabled; the telemetry package's
+// nil-receiver methods keep every call a single branch.
+type netTelemetry struct {
+	reg        *telemetry.Registry
+	sent       *telemetry.Counter   // frames written
+	recv       *telemetry.Counter   // frames read
+	pings      *telemetry.Counter   // MsgPing frames
+	pongs      *telemetry.Counter   // MsgPong frames
+	retries    *telemetry.Counter   // call retry attempts after transport failures
+	reconnects *telemetry.Counter   // rejoins replacing a broken connection
+	requeues   *telemetry.Counter   // MsgRequeue hand-backs
+	rtt        *telemetry.Histogram // ping → pong round trip, ns
+}
+
+func newNetTelemetry(reg *telemetry.Registry) *netTelemetry {
+	nt := &netTelemetry{reg: reg}
+	if reg == nil {
+		return nt
+	}
+	nt.sent = reg.Counter(telemetry.MetricNetFramesSent)
+	nt.recv = reg.Counter(telemetry.MetricNetFramesRecv)
+	nt.pings = reg.Counter(telemetry.MetricNetPings)
+	nt.pongs = reg.Counter(telemetry.MetricNetPongs)
+	nt.retries = reg.Counter(telemetry.MetricNetRetries)
+	nt.reconnects = reg.Counter(telemetry.MetricNetReconnects)
+	nt.requeues = reg.Counter(telemetry.MetricNetRequeues)
+	nt.rtt = reg.Histogram(telemetry.MetricNetPingRTT)
+	return nt
+}
+
+// pingClock matches pongs back to the pings that caused them by sequence
+// number, yielding the round-trip time. Entries whose pong never arrives
+// (the connection died in between) are evicted once they fall a window
+// behind the newest ping, so the map stays small on flappy links.
+type pingClock struct {
+	mu   sync.Mutex
+	sent map[uint64]time.Time
+}
+
+func newPingClock() *pingClock {
+	return &pingClock{sent: make(map[uint64]time.Time)}
+}
+
+const pingClockWindow = 64
+
+func (p *pingClock) sentAt(seq uint64) {
+	p.mu.Lock()
+	p.sent[seq] = time.Now()
+	if seq > pingClockWindow {
+		delete(p.sent, seq-pingClockWindow)
+	}
+	p.mu.Unlock()
+}
+
+// rtt returns the round trip for seq, or false if the ping was not seen
+// (stale pong from a previous call, or telemetry raced the write).
+func (p *pingClock) rtt(seq uint64) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	at, ok := p.sent[seq]
+	if !ok {
+		return 0, false
+	}
+	delete(p.sent, seq)
+	return time.Since(at), true
+}

@@ -11,6 +11,7 @@ import (
 	"keysearch/internal/core"
 	"keysearch/internal/cracker"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
 )
 
 // WorkerConfig configures a worker process.
@@ -32,6 +33,11 @@ type WorkerConfig struct {
 	// DialRetry — the splice point for the chaos harness and for future
 	// TLS transport.
 	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Telemetry, when non-nil, receives the worker-side protocol metrics
+	// (frames sent/received, pings answered, reconnect attempts) and is
+	// threaded into the local search so core.tested / core.rate reflect
+	// the candidates this worker evaluates.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg WorkerConfig) dial(ctx context.Context, addr string) (net.Conn, error) {
@@ -73,6 +79,7 @@ func ServeConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady func()) error {
 	defer conn.Close()
 
+	nt := newNetTelemetry(cfg.Telemetry)
 	var wmu sync.Mutex
 	write := func(t MsgType, p []byte) error {
 		wmu.Lock()
@@ -80,6 +87,9 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 		_ = conn.SetWriteDeadline(time.Now().Add(cfg.writeTimeout()))
 		err := WriteFrame(conn, t, p)
 		_ = conn.SetWriteDeadline(time.Time{})
+		if err == nil {
+			nt.sent.Inc()
+		}
 		return err
 	}
 	sendErr := func(err error) { _ = write(MsgError, []byte(err.Error())) }
@@ -144,6 +154,7 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 			}
 			return err // connection closed: master is done with us
 		}
+		nt.recv.Inc()
 		switch t {
 		case MsgPing:
 			hb, err := DecodeHeartbeat(payload)
@@ -154,6 +165,7 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 			if err := write(MsgPong, EncodeHeartbeat(hb)); err != nil {
 				return err
 			}
+			nt.pongs.Inc()
 		case MsgTune:
 			if !beginOp(&st.Mutex, &st.busy) {
 				sendErr(errors.New("netproto: request while another is in flight"))
@@ -255,7 +267,7 @@ func tuneLocal(ctx context.Context, job *cracker.Job, cfg WorkerConfig) (TuneRes
 func searchLocal(ctx context.Context, job *cracker.Job, req SearchRequest, cfg WorkerConfig) (SearchResult, error) {
 	iv := keyspace.Interval{Start: req.Start, End: req.End}
 	start := time.Now()
-	res, err := cracker.CrackAll(ctx, job, iv, core.Options{Workers: cfg.Workers})
+	res, err := cracker.CrackAll(ctx, job, iv, core.Options{Workers: cfg.Workers, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return SearchResult{}, err
 	}
@@ -294,6 +306,10 @@ func DialRetry(ctx context.Context, addr string, cfg WorkerConfig, policy RetryP
 		attempt++
 		if attempt >= policy.attempts() {
 			return fmt.Errorf("netproto: worker %s giving up after %d attempts: %w", cfg.Name, attempt, lastErr)
+		}
+		cfg.Telemetry.Counter(telemetry.MetricNetRetries).Inc()
+		if lastErr != nil {
+			cfg.Telemetry.Emit(telemetry.EventRetry, cfg.Name, uint64(attempt), lastErr.Error())
 		}
 		if serr := policy.Sleep(ctx, attempt-1); serr != nil {
 			return serr

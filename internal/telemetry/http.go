@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// Handler serves the registry's snapshot as JSON — the body of the
+// keymaster -status endpoint. Query parameter "events=0" omits the
+// event trace for compact polling.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("events") == "0" {
+			s.Events, s.DroppedEvents = nil, 0
+		}
+		body, err := s.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+}
+
+var expvarOnce sync.Map // name -> struct{} : expvar.Publish panics on duplicates
+
+// PublishExpvar exposes the registry under the given expvar name (at
+// /debug/vars), snapshotting lazily on each scrape. Repeated calls with
+// the same name rebind to the latest registry instead of panicking.
+func PublishExpvar(name string, r *Registry) {
+	holder, loaded := expvarOnce.LoadOrStore(name, &registryHolder{})
+	h := holder.(*registryHolder)
+	h.mu.Lock()
+	h.reg = r
+	h.mu.Unlock()
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			h.mu.Lock()
+			reg := h.reg
+			h.mu.Unlock()
+			s := reg.Snapshot()
+			s.Events, s.DroppedEvents = nil, 0 // expvar is for metrics, not traces
+			return s
+		}))
+	}
+}
+
+type registryHolder struct {
+	mu  sync.Mutex
+	reg *Registry
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+// Conventional metric names of the pipeline. Per-entity variants append
+// "." plus the entity name (PerNode). Packages own their updates; the
+// names live here so producers (dispatch, netproto, core), consumers
+// (status logger, keybench) and the README's schema section agree.
+const (
+	// Dispatcher (internal/dispatch): real-time coarse-grain dispatch.
+	MetricDispatchTested   = "dispatch.tested"    // counter: identifiers gathered (exact coverage)
+	MetricDispatchRetested = "dispatch.retested"  // counter: identifiers re-dispatched after a requeue
+	MetricDispatchRequeues = "dispatch.requeues"  // counter: requeue incidents
+	MetricDispatchRate     = "dispatch.rate"      // meter: gathered identifiers/s (windowed)
+	MetricDispatchChunks   = "dispatch.chunks"    // counter (per worker): chunks gathered
+	MetricDispatchRound    = "dispatch.round_ns"  // histogram (per worker): search round latency, ns
+	MetricDispatchChunkLen = "dispatch.chunk_len" // histogram (per worker): issued chunk size, keys
+	MetricDispatchShare    = "dispatch.share"     // gauge (per worker): balanced chunk size N_j
+	MetricDispatchXj       = "dispatch.x"         // gauge (per worker): tuned throughput X_j, keys/s
+
+	// Cluster simulator (internal/dispatch, virtual time).
+	MetricClusterTested = "cluster.tested" // counter (per leaf): keys tested
+	MetricClusterX      = "cluster.x"      // gauge (per tree node): measured subtree throughput, keys/s
+	MetricClusterModelX = "cluster.model_x" // gauge (per tree node): SumThroughput yardstick, keys/s
+
+	// Transport (internal/netproto).
+	MetricNetFramesSent = "net.frames_sent" // counter: frames written
+	MetricNetFramesRecv = "net.frames_recv" // counter: frames read
+	MetricNetPings      = "net.pings"       // counter: pings sent (master) / received (worker)
+	MetricNetPongs      = "net.pongs"       // counter: pongs received (master) / sent (worker)
+	MetricNetPingRTT    = "net.ping_rtt_ns" // histogram: ping round-trip time, ns
+	MetricNetRetries    = "net.retries"     // counter: call retry attempts
+	MetricNetReconnects = "net.reconnects"  // counter: worker rejoins bound to an existing identity
+	MetricNetRequeues   = "net.requeues"    // counter: MsgRequeue frames (graceful hand-backs)
+
+	// Fine-grain search loops (internal/core). Batched per chunk.
+	MetricCoreTested = "core.tested" // counter: candidates evaluated locally
+	MetricCoreRate   = "core.rate"   // meter: candidates/s (windowed)
+)
+
+// PerNode appends a node/worker name to a base metric name.
+func PerNode(base, node string) string { return base + "." + node }

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// MeterStats is a meter's snapshot.
+type MeterStats struct {
+	// Total is the lifetime event count.
+	Total uint64 `json:"total"`
+	// Rate is the windowed rate in events/s.
+	Rate float64 `json:"rate"`
+}
+
+// HistogramStats is a histogram's snapshot. Units are whatever the
+// producer observed (nanoseconds for *_ns metrics, keys for sizes).
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is
+// read atomically; the set is read under the registry lock. It is the
+// JSON document served by the HTTP status endpoint and embedded in
+// keybench's BENCH_telemetry.json.
+type Snapshot struct {
+	Counters      map[string]uint64         `json:"counters,omitempty"`
+	Gauges        map[string]float64        `json:"gauges,omitempty"`
+	Meters        map[string]MeterStats     `json:"meters,omitempty"`
+	Histograms    map[string]HistogramStats `json:"histograms,omitempty"`
+	Events        []Event                   `json:"events,omitempty"`
+	DroppedEvents uint64                    `json:"dropped_events,omitempty"`
+}
+
+// Snapshot captures the current state of every metric and the retained
+// events. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	meters := make(map[string]*Meter, len(r.meters))
+	for k, v := range r.meters {
+		meters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s.Counters = make(map[string]uint64, len(counters))
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	s.Gauges = make(map[string]float64, len(gauges))
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	s.Meters = make(map[string]MeterStats, len(meters))
+	for k, m := range meters {
+		s.Meters[k] = MeterStats{Total: m.Total(), Rate: m.Rate()}
+	}
+	s.Histograms = make(map[string]HistogramStats, len(hists))
+	for k, h := range hists {
+		s.Histograms[k] = HistogramStats{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			Mean: h.Mean(), P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		}
+	}
+	s.Events = r.trace.Events()
+	s.DroppedEvents = r.trace.Dropped()
+	return s
+}
+
+// JSON renders the snapshot as an indented JSON document.
+func (s *Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// CounterNames returns the counter names in sorted order — handy for
+// tests and for the status line's per-worker summaries.
+func (s *Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SumPrefix sums every counter whose name starts with prefix — e.g.
+// SumPrefix("dispatch.tested.") is the per-worker tested total, which
+// the exactness tests compare against the interval size.
+func (s *Snapshot) SumPrefix(prefix string) uint64 {
+	var sum uint64
+	for k, v := range s.Counters {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			sum += v
+		}
+	}
+	return sum
+}

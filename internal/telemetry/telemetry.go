@@ -1,0 +1,404 @@
+// Package telemetry is the observability substrate of the search
+// pipeline: a dependency-free metrics registry (counters, gauges,
+// windowed-rate meters, exponential histograms) plus a structured event
+// trace with monotonic timestamps.
+//
+// The package is built for the dispatch hot path: every metric type is
+// lock-free on its update path (atomics only), and every method is safe
+// on a nil receiver, so call sites thread an optional *Registry without
+// guarding each update — a nil registry degrades every operation to a
+// single predictable branch. Counter updates from the search loops are
+// batched per chunk by the callers, so the per-key cost is zero.
+//
+// Metric names are dotted paths; per-entity metrics append the entity
+// name as the last segment ("dispatch.tested.node-B"). The conventional
+// names of the pipeline are documented in names.go, and the README's
+// Observability section is the user-facing schema reference.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// meterBuckets and meterBucket size the meter's sliding window: 15
+// one-second buckets give a rate smoothed over the last ~15 seconds,
+// matching the cadence of the status logger.
+const (
+	meterBuckets = 15
+	meterBucket  = time.Second
+)
+
+// Meter measures a windowed event rate: marks land in one-second ring
+// buckets and Rate averages over the surviving window, so the reported
+// rate tracks the last few seconds rather than the whole run.
+type Meter struct {
+	mu      sync.Mutex
+	start   time.Time
+	buckets [meterBuckets]uint64
+	last    int64 // highest bucket index ever written
+	total   uint64
+}
+
+func newMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events now.
+func (m *Meter) Mark(n uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	idx := int64(time.Since(m.start) / meterBucket)
+	m.advance(idx)
+	m.buckets[idx%meterBuckets] += n
+	m.total += n
+	m.mu.Unlock()
+}
+
+// advance zeroes buckets between the last written index and idx, so
+// stale windows do not leak into the rate. Callers hold mu.
+func (m *Meter) advance(idx int64) {
+	if idx <= m.last {
+		return
+	}
+	steps := idx - m.last
+	if steps > meterBuckets {
+		steps = meterBuckets
+	}
+	for i := int64(1); i <= steps; i++ {
+		m.buckets[(m.last+i)%meterBuckets] = 0
+	}
+	m.last = idx
+}
+
+// Rate returns the windowed rate in events per second.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := time.Since(m.start)
+	m.advance(int64(elapsed / meterBucket))
+	var sum uint64
+	for _, b := range m.buckets {
+		sum += b
+	}
+	window := time.Duration(meterBuckets) * meterBucket
+	if elapsed < window {
+		window = elapsed
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(sum) / window.Seconds()
+}
+
+// Total returns the lifetime event count.
+func (m *Meter) Total() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// histBuckets is one bucket per power of two of the observed value, so
+// the histogram covers the full uint64 range with bounded error.
+const histBuckets = 64
+
+// Histogram accumulates non-negative samples in exponential (power of
+// two) buckets. It is used both for latencies (observed in nanoseconds
+// via ObserveDuration) and for sizes (chunk lengths in keys). Updates
+// are atomic; quantiles are approximate to within a factor of two —
+// plenty for spotting a straggler tail or an unbalanced chunk mix.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // integral part of samples, accumulated
+	min    atomic.Uint64
+	max    atomic.Uint64
+	once   sync.Once
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	u := uint64(v)
+	h.once.Do(func() { h.min.Store(math.MaxUint64) })
+	h.counts[bucketOf(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.min.Load()
+		if u >= cur || h.min.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(float64(d.Nanoseconds()))
+}
+
+// bucketOf maps a sample to its power-of-two bucket: 0 -> 0, otherwise
+// bits.Len64(u)-1, so bucket k holds samples in [2^k, 2^(k+1)).
+func bucketOf(u uint64) int {
+	if u == 0 {
+		return 0
+	}
+	return bits.Len64(u) - 1
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples (integral parts).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load())
+}
+
+// Min returns the smallest observed sample (0 if none).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return float64(h.min.Load())
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.max.Load())
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1): the
+// geometric midpoint of the bucket holding the q-th sample, clamped to
+// the observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for k := 0; k < histBuckets; k++ {
+		seen += h.counts[k].Load()
+		if seen >= rank {
+			lo := float64(uint64(1) << uint(k))
+			if k == 0 {
+				lo = 0
+			}
+			hi := lo*2 + 1
+			mid := (lo + hi) / 2
+			if mn := h.Min(); mid < mn {
+				mid = mn
+			}
+			if mx := h.Max(); mid > mx {
+				mid = mx
+			}
+			return mid
+		}
+	}
+	return h.Max()
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Registry owns a namespace of metrics plus the event trace. The zero
+// value is not usable; construct with NewRegistry. A nil *Registry is a
+// valid no-op sink: every lookup returns a nil metric, whose methods do
+// nothing.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	meters     map[string]*Meter
+	histograms map[string]*Histogram
+	trace      *Trace
+}
+
+// DefaultTraceCap is the event ring capacity of NewRegistry.
+const DefaultTraceCap = 4096
+
+// NewRegistry returns an empty registry with a DefaultTraceCap-event
+// trace.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		meters:     make(map[string]*Meter),
+		histograms: make(map[string]*Histogram),
+		trace:      NewTrace(DefaultTraceCap),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Meter returns the named meter, creating it on first use.
+func (r *Registry) Meter(name string) *Meter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = newMeter()
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Trace returns the registry's event trace (nil on a nil registry).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Emit records an event on the registry's trace, stamped with the
+// current monotonic offset.
+func (r *Registry) Emit(typ EventType, node string, n uint64, detail string) {
+	if r == nil {
+		return
+	}
+	r.trace.Record(typ, node, n, detail)
+}
