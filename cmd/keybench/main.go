@@ -49,7 +49,10 @@ type DeviceRow struct {
 	PaperMKeys float64 `json:"paper_mkeys"`
 	// MeasuredOverModeled is the simulation/model agreement ratio.
 	MeasuredOverModeled float64 `json:"measured_over_modeled"`
-	DualIssue           float64 `json:"dual_issue"`
+	// DualIssue and ILP are the statically derived dependency facts the
+	// model consumed (ircheck dataflow), not hand-set parameters.
+	DualIssue float64 `json:"dual_issue"`
+	ILP       float64 `json:"ilp"`
 }
 
 // HostRow is one host-CPU benchmark line.
@@ -164,7 +167,12 @@ func deviceRow(dev arch.Device, alg string, iters int) (DeviceRow, error) {
 			Template: block, Target: md5x.StateWords(md5x.Sum(key)), Reversal: true, EarlyExit: true,
 		})
 	}
-	c := compile.Compile(src, compile.DefaultOptions(dev.CC))
+	// The benchmark is not a hot path: run the verified pipeline, so a
+	// miscompile fails the report instead of skewing it.
+	c, err := compile.CompileChecked(src, compile.DefaultOptions(dev.CC))
+	if err != nil {
+		return DeviceRow{}, err
+	}
 	prof := model.FromCompiled(c)
 	modeled := model.Achieved(dev, prof, model.AchievedOptions{ILP: -1})
 
@@ -193,7 +201,7 @@ func deviceRow(dev arch.Device, alg string, iters int) (DeviceRow, error) {
 	return DeviceRow{
 		Device: dev.Name, CC: dev.CC.String(), Alg: alg,
 		ModeledMKeys: modeled / 1e6, MeasuredMKeys: measured / 1e6, PaperMKeys: paper,
-		MeasuredOverModeled: ratio, DualIssue: prof.DualIssue,
+		MeasuredOverModeled: ratio, DualIssue: prof.DualIssue, ILP: prof.ILP,
 	}, nil
 }
 

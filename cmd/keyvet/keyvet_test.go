@@ -1,0 +1,192 @@
+package main
+
+import (
+	"go/build"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	testLoader *loader
+	testRoot   string
+	loaderErr  error
+)
+
+// sharedLoader builds one loader for all tests: the source importer
+// type-checks the standard library once, and the seeded packages reuse
+// the cached real module packages they import.
+func sharedLoader(t *testing.T) (*loader, string) {
+	t.Helper()
+	loaderOnce.Do(func() {
+		build.Default.CgoEnabled = false
+		testRoot, loaderErr = findModuleRoot()
+		if loaderErr != nil {
+			return
+		}
+		testLoader, loaderErr = newLoader(testRoot)
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return testLoader, testRoot
+}
+
+// loadSeed type-checks a testdata package under a fake import path that
+// places it inside the scope the rule under test is bound to.
+func loadSeed(t *testing.T, dir, as string) []finding {
+	t.Helper()
+	l, root := sharedLoader(t)
+	p, err := l.loadDirAs(filepath.Join(root, "cmd", "keyvet", "testdata", dir), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkPackage(p)
+}
+
+func countRule(fs []finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func wantFinding(t *testing.T, fs []finding, rule, msgPart string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Rule == rule && strings.Contains(f.Msg, msgPart) {
+			return
+		}
+	}
+	t.Errorf("no %s finding containing %q; got %v", rule, msgPart, fs)
+}
+
+// TestHotloopSeeds: every violation class in the annotated loop is
+// flagged; the unannotated dirty loop and the allow'd loop stay silent.
+func TestHotloopSeeds(t *testing.T) {
+	fs := loadSeed(t, "hotloop", "keysearch/seeds/hotloop")
+	if got := countRule(fs, ruleHotloop); got != 6 {
+		t.Errorf("hotloop findings = %d, want 6: %v", got, fs)
+	}
+	if len(fs) != 6 {
+		t.Errorf("total findings = %d, want 6 (other rules must stay silent): %v", len(fs), fs)
+	}
+	wantFinding(t, fs, ruleHotloop, "make allocates")
+	wantFinding(t, fs, ruleHotloop, "map access")
+	wantFinding(t, fs, ruleHotloop, "string conversion")
+	wantFinding(t, fs, ruleHotloop, "telemetry call")
+	wantFinding(t, fs, ruleHotloop, "type assertion")
+}
+
+// TestLockConnSeeds: the struct-mutex-across-write patterns are flagged;
+// the function-local serializer and the release-before-write pattern are
+// not. The fake path places the seeds inside internal/netproto.
+func TestLockConnSeeds(t *testing.T) {
+	fs := loadSeed(t, "lockconn", "keysearch/internal/netproto/lockconnseeds")
+	if got := countRule(fs, ruleLockConn); got != 2 {
+		t.Errorf("lockconn findings = %d, want 2: %v", got, fs)
+	}
+	wantFinding(t, fs, ruleLockConn, "net.Conn.Write")
+	wantFinding(t, fs, ruleLockConn, "WriteFrame")
+	for _, f := range fs {
+		if f.Rule == ruleLockConn && !strings.Contains(f.Msg, "p.mu") {
+			t.Errorf("finding names the wrong mutex: %v", f)
+		}
+	}
+}
+
+// TestMetricNameSeeds: literal metric names are flagged, names from the
+// telemetry constants are not, and a literal inside PerNode is reported
+// exactly once.
+func TestMetricNameSeeds(t *testing.T) {
+	fs := loadSeed(t, "metricname", "keysearch/seeds/metricname")
+	if got := countRule(fs, ruleMetricName); got != 2 {
+		t.Errorf("metricname findings = %d, want 2: %v", got, fs)
+	}
+	wantFinding(t, fs, ruleMetricName, "telemetry.Counter")
+	wantFinding(t, fs, ruleMetricName, "telemetry.PerNode")
+}
+
+// TestSwallowedErrSeeds: call-statement, blank-assignment and
+// blank-in-tuple discards are flagged inside the dispatch scope; the
+// handled error and the allow'd discard are not.
+func TestSwallowedErrSeeds(t *testing.T) {
+	fs := loadSeed(t, "swallowederr", "keysearch/internal/dispatch/swallowederrseeds")
+	if got := countRule(fs, ruleSwallowedErr); got != 3 {
+		t.Errorf("swallowederr findings = %d, want 3: %v", got, fs)
+	}
+	wantFinding(t, fs, ruleSwallowedErr, "error result discarded")
+	wantFinding(t, fs, ruleSwallowedErr, "blank identifier")
+}
+
+// TestSeedScopesDoNotLeak: the lockconn and swallowederr seeds loaded
+// OUTSIDE their rule's package scope produce no findings — the rules are
+// path-scoped, not global.
+func TestSeedScopesDoNotLeak(t *testing.T) {
+	if fs := loadSeed(t, "lockconn", "keysearch/seeds/lockconnneutral"); len(fs) != 0 {
+		t.Errorf("lockconn seeds outside netproto scope: %v", fs)
+	}
+	if fs := loadSeed(t, "swallowederr", "keysearch/seeds/swallowederrneutral"); len(fs) != 0 {
+		t.Errorf("swallowederr seeds outside dispatch scope: %v", fs)
+	}
+}
+
+// TestRepoIsClean runs every rule over every package of the module —
+// the CI gate: the shipped tree must be keyvet-clean.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	l, root := sharedLoader(t)
+	paths, err := discover(root, l.module, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 15 {
+		t.Fatalf("discovered only %d packages (%v); discovery is broken", len(paths), paths)
+	}
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, f := range checkPackage(p) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestAnnotatedHotLoopsExist guards against the annotations silently
+// disappearing: the per-candidate loops of the searchers must stay
+// marked, or the hotloop rule checks nothing.
+func TestAnnotatedHotLoopsExist(t *testing.T) {
+	l, _ := sharedLoader(t)
+	marked := 0
+	for _, path := range []string{
+		"keysearch/internal/core",
+		"keysearch/internal/gpu",
+		"keysearch/internal/hash/md5x",
+		"keysearch/internal/hash/sha1x",
+	} {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &checker{p: p, hot: map[string]bool{}, allow: map[string]map[string]bool{}}
+		for _, f := range p.Files {
+			c.directives(f)
+		}
+		if len(c.hot) == 0 {
+			t.Errorf("%s: no //keyvet:hotloop annotations", path)
+		}
+		marked += len(c.hot)
+	}
+	if marked < 8 {
+		t.Errorf("only %d hot-loop annotations across the searchers, want >= 8", marked)
+	}
+}

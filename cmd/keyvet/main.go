@@ -1,0 +1,148 @@
+// Command keyvet is the project linter: it encodes repository invariants
+// that generic tools cannot see, using only the standard library's go/ast
+// and go/types (no build cache, no external analysis framework).
+//
+// Rules:
+//
+//   - hotloop: loops annotated //keyvet:hotloop (the per-candidate search
+//     loops) must not allocate, touch maps, convert to interfaces or call
+//     telemetry. Candidate throughput is the product the paper measures;
+//     a single map probe per candidate is a 2x regression.
+//   - lockconn: internal/netproto must not hold a struct-field or global
+//     mutex across a net.Conn read/write or a frame call. Function-local
+//     write-serializer mutexes are exempt.
+//   - metricname: telemetry metric names come from telemetry/names.go
+//     constants, never string literals, so the schema stays greppable.
+//   - swallowederr: internal/dispatch (the fault-tolerance machinery)
+//     must not discard error results.
+//
+// Suppress a deliberate exception with //keyvet:allow <rule> on the same
+// or the preceding line.
+//
+// Usage:
+//
+//	keyvet [./... | ./dir/... | import/path ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/build"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: keyvet [packages]\n\nLints the repository invariants (hotloop, lockconn, metricname, swallowederr).\nWith no arguments, checks every package in the module.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	// The source importer consults go/build; the repo never links cgo, and
+	// disabling it keeps the pure-Go variants of the standard library.
+	build.Default.CgoEnabled = false
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	l, err := newLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var paths []string
+	seen := make(map[string]bool)
+	for _, a := range args {
+		expanded, err := expandArg(l, root, a)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range expanded {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+
+	var all []finding
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		all = append(all, checkPackage(p)...)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, f := range all {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expandArg turns one command-line package argument into import paths.
+func expandArg(l *loader, root, arg string) ([]string, error) {
+	switch {
+	case arg == "./..." || arg == "all":
+		return discover(root, l.module, root)
+	case strings.HasSuffix(arg, "/..."):
+		base := strings.TrimSuffix(arg, "/...")
+		dir, err := argDir(l, root, base)
+		if err != nil {
+			return nil, err
+		}
+		return discover(root, l.module, dir)
+	default:
+		dir, err := argDir(l, root, arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			return []string{l.module}, nil
+		}
+		return []string{l.module + "/" + filepath.ToSlash(rel)}, nil
+	}
+}
+
+// argDir resolves a package argument (relative directory or module import
+// path) to a directory inside the module.
+func argDir(l *loader, root, arg string) (string, error) {
+	if arg == l.module || strings.HasPrefix(arg, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(arg, l.module), "/")
+		return filepath.Join(root, filepath.FromSlash(rel)), nil
+	}
+	abs, err := filepath.Abs(arg)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("package %s is outside module %s", arg, l.module)
+	}
+	return abs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keyvet:", err)
+	os.Exit(2)
+}

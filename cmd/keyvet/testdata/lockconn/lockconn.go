@@ -1,0 +1,55 @@
+// Package lockconn seeds the mutex-across-connection-I/O violations. The
+// self-test loads it under a fake path inside internal/netproto, where
+// the lockconn rule applies.
+package lockconn
+
+import (
+	"net"
+	"sync"
+)
+
+// WriteFrame mimics the protocol's frame writer; calls to it while a
+// tracked mutex is held must be flagged too.
+func WriteFrame(c net.Conn, b []byte) error {
+	_, err := c.Write(b)
+	return err
+}
+
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Bad holds the struct mutex across a raw conn write.
+func (p *peer) Bad(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conn.Write(b) // want: lockconn
+	return err
+}
+
+// BadFrame holds the struct mutex across a frame write.
+func (p *peer) BadFrame(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return WriteFrame(p.conn, b) // want: lockconn
+}
+
+// Good serializes writes with a function-local mutex — the sanctioned
+// pattern, exempt from tracking.
+func Good(conn net.Conn, b []byte) error {
+	var wmu sync.Mutex
+	wmu.Lock()
+	defer wmu.Unlock()
+	_, err := conn.Write(b)
+	return err
+}
+
+// Released snapshots state under the lock and writes after releasing it.
+func (p *peer) Released(b []byte) error {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	_, err := conn.Write(b)
+	return err
+}

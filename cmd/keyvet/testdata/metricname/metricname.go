@@ -1,0 +1,13 @@
+// Package metricname seeds ad-hoc metric-name violations: names must
+// come from the telemetry/names.go constants.
+package metricname
+
+import "keysearch/internal/telemetry"
+
+// Track mixes literal and constant metric names.
+func Track(reg *telemetry.Registry, node string) {
+	reg.Counter("ad.hoc.counter").Inc()                            // want: metricname
+	reg.Gauge(telemetry.MetricDispatchShare).Set(1)                // ok
+	reg.Histogram(telemetry.PerNode("ad.hoc.hist", node)).Observe(1) // want: metricname (literal inside PerNode)
+	reg.Meter(telemetry.PerNode(telemetry.MetricCoreRate, node)).Mark(1) // ok
+}

@@ -1,0 +1,116 @@
+package ircheck
+
+import "keysearch/internal/kernel"
+
+// Dataflow is the dependency-chain summary of a program: how many issue
+// slots it costs, how long its critical path is, and how much static
+// instruction-level parallelism an in-order dual-issue scheduler could
+// extract. The Section VI model's δ (dual-issue fraction) and ILP bound
+// are derived from these numbers instead of hand-set.
+type Dataflow struct {
+	// Instructions counts issue slots: every instruction except NOP
+	// placeholders and MOV copies (erased by copy propagation; a surviving
+	// constant-materializing MOV is overlapped with the constant bank and
+	// costs nothing in the paper's accounting). Exit checks are counted —
+	// they occupy an issue slot even though they retire in the branch unit.
+	Instructions int
+	// CriticalPath is the longest register-dependency chain, in
+	// instructions. A program whose every instruction consumes its
+	// predecessor's result has CriticalPath == Instructions.
+	CriticalPath int
+	// ILP is Instructions/CriticalPath — the average width of the
+	// dependency DAG, an upper bound on sustained instructions per cycle
+	// per warp. 1.0 means a fully serial chain.
+	ILP float64
+	// Pairs counts disjoint in-order dual-issue pairs under the
+	// scheduler's rule (the second instruction must not read the first's
+	// result), scanned greedily like the cycle simulator issues.
+	Pairs int
+	// DualIssue is the derived δ: the fraction of instructions that issue
+	// as part of a pair, 2·Pairs/Instructions. The paper measured this
+	// with the CUDA profiler ("less than 10%" for the single-stream
+	// kernels); here it is a static fact of the dependency structure.
+	DualIssue float64
+}
+
+// Analyze computes the dependency-chain dataflow of p. It accepts both
+// source-level programs (pseudo rotations count as one issued
+// instruction) and machine programs; for machine programs the pairing
+// scan mirrors the cycle simulator's dual-issue rule exactly.
+func Analyze(p *kernel.Program) Dataflow {
+	// depthOf[r] is the dependency depth of the instruction chain that
+	// produced register r; inputs have depth 0. MOV copies are
+	// transparent: they forward their source's depth.
+	depthOf := make([]int, p.NumRegs)
+	// defOf[r] is the issued-instruction serial that defined r, or -1
+	// for inputs (and registers defined by transparent copies, which
+	// forward their source's serial).
+	defOf := make([]int, p.NumRegs)
+	for i := range defOf {
+		defOf[i] = -1
+	}
+
+	var df Dataflow
+	prevSerial := -1 // issued serial of the previous instruction
+	prevPaired := false
+
+	operand := func(o kernel.Operand) (depth, def int) {
+		if o.IsImm || o.Reg < 0 || o.Reg >= p.NumRegs {
+			return 0, -1
+		}
+		return depthOf[o.Reg], defOf[o.Reg]
+	}
+
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case kernel.OpNop:
+			continue
+		case kernel.OpMov:
+			// Transparent copy: the destination aliases its source's
+			// depth and defining instruction, so a chain routed through a
+			// copy is still one chain.
+			if in.Dst >= 0 && in.Dst < p.NumRegs {
+				d, s := operand(in.A)
+				depthOf[in.Dst] = d
+				defOf[in.Dst] = s
+			}
+			continue
+		}
+
+		serial := df.Instructions
+		df.Instructions++
+
+		da, sa := operand(in.A)
+		db, sb := operand(in.B)
+		depth := 1 + max(da, db)
+		if depth > df.CriticalPath {
+			df.CriticalPath = depth
+		}
+
+		// Dual-issue pairing, greedy and disjoint: this instruction pairs
+		// with its immediate predecessor iff the predecessor is not
+		// already the second of a pair and neither operand was defined by
+		// the predecessor — the cycle simulator's exact rule, expressed
+		// on defining-instruction serials (so copies stay transparent).
+		if prevSerial >= 0 && !prevPaired && sa != prevSerial && sb != prevSerial {
+			df.Pairs++
+			prevPaired = true
+		} else {
+			prevPaired = false
+		}
+		prevSerial = serial
+
+		if in.Op != kernel.OpExitNE && in.Dst >= 0 && in.Dst < p.NumRegs {
+			depthOf[in.Dst] = depth
+			defOf[in.Dst] = serial
+		}
+	}
+
+	if df.Instructions > 0 {
+		df.DualIssue = 2 * float64(df.Pairs) / float64(df.Instructions)
+		if df.CriticalPath > 0 {
+			df.ILP = float64(df.Instructions) / float64(df.CriticalPath)
+		}
+	}
+	return df
+}

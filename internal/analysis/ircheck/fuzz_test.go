@@ -1,0 +1,157 @@
+package ircheck_test
+
+import (
+	"testing"
+
+	"keysearch/internal/analysis/ircheck"
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/gpu"
+	"keysearch/internal/kernel"
+)
+
+// genProgram decodes fuzz bytes into a well-formed, exit-free source
+// program: every instruction reads only defined registers and writes a
+// fresh one, shift amounts stay in range, outputs name defined registers.
+// Exit-free keeps every lane alive, which is what makes the static class
+// counts provably equal to the dynamic trace.
+func genProgram(data []byte) *kernel.Program {
+	if len(data) < 4 {
+		return nil
+	}
+	numInputs := 2 + int(data[0]%3)
+	b := kernel.NewBuilder("fuzz", numInputs)
+	vals := make([]kernel.Val, 0, 64)
+	for i := 0; i < numInputs; i++ {
+		vals = append(vals, b.Input(i))
+	}
+
+	pick := func(sel byte) kernel.Val {
+		if sel >= 0xe0 { // sprinkle immediates
+			return b.Const(0x01000193 * uint32(sel))
+		}
+		return vals[int(sel)%len(vals)]
+	}
+
+	data = data[1:]
+	emitted := 0
+	for len(data) >= 3 && emitted < 48 {
+		op, aSel, shSel := data[0], data[1], data[2]
+		var bSel byte
+		if len(data) >= 4 {
+			bSel = data[3]
+		}
+		x := pick(aSel)
+		sh := uint8(shSel%31) + 1
+		var v kernel.Val
+		switch op % 8 {
+		case 0:
+			v = b.Add(x, pick(bSel))
+		case 1:
+			v = b.And(x, pick(bSel))
+		case 2:
+			v = b.Or(x, pick(bSel))
+		case 3:
+			v = b.Xor(x, pick(bSel))
+		case 4:
+			v = b.Not(x)
+		case 5:
+			v = b.Shl(x, sh)
+		case 6:
+			v = b.Shr(x, sh)
+		default:
+			v = b.Rotl(x, sh)
+		}
+		vals = append(vals, v)
+		if len(data) < 4 {
+			data = nil
+		} else {
+			data = data[4:]
+		}
+		emitted++
+	}
+	if emitted == 0 {
+		return nil
+	}
+	// Outputs: the last two values (registers or materialized constants).
+	b.Output(vals[len(vals)-1])
+	if len(vals) > 1 {
+		b.Output(vals[len(vals)-2])
+	}
+	return b.Build()
+}
+
+// FuzzVerifiedPrograms is the satellite fuzz target: generator-produced
+// programs must pass the source verifier; the checked compile pipeline
+// must accept them on every architecture; the compiled programs must
+// neither panic the scalar executor nor the warp interpreter; and the
+// static per-class counts must equal the dynamic trace exactly.
+func FuzzVerifiedPrograms(f *testing.F) {
+	f.Add([]byte{0x01, 0x00, 0x01, 0x05, 0x02, 0x03, 0x02, 0x11, 0xff})
+	f.Add([]byte{0x02, 0x07, 0x00, 0x0c, 0x01, 0x05, 0x01, 0x09, 0x03, 0x04, 0x02, 0x1f, 0xe2})
+	f.Add([]byte{0x00, 0x04, 0x01, 0x08, 0x00, 0x06, 0x02, 0x10, 0x20, 0x05, 0x03, 0x18, 0x00,
+		0x07, 0x02, 0x07, 0x00, 0x03, 0x01, 0x16, 0xee})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77, 0x66, 0x55, 0x44})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := genProgram(data)
+		if src == nil {
+			t.Skip()
+		}
+		if err := ircheck.Verify(src, ircheck.Source()); err != nil {
+			t.Fatalf("generator emitted ill-formed program: %v", err)
+		}
+
+		inputs := make([]uint32, src.NumInputs)
+		for i := range inputs {
+			inputs[i] = 0x9e3779b9*uint32(i) + 0x243f6a88
+		}
+		wantOut, _, err := kernel.Run(src, inputs)
+		if err != nil {
+			t.Fatalf("source run: %v", err)
+		}
+
+		interp := gpu.NewWarpInterp()
+		for _, cc := range arch.All {
+			c, err := compile.CompileChecked(src, compile.DefaultOptions(cc))
+			if err != nil {
+				t.Fatalf("cc %v: %v", cc, err)
+			}
+
+			// The compiled program agrees with the source semantics.
+			gotOut, _, err := kernel.Run(c.Program, inputs)
+			if err != nil {
+				t.Fatalf("cc %v: compiled run: %v", cc, err)
+			}
+			for i := range wantOut {
+				if gotOut[i] != wantOut[i] {
+					t.Fatalf("cc %v: output %d = %#x, source %#x", cc, i, gotOut[i], wantOut[i])
+				}
+			}
+
+			// Static class counts equal the warp interpreter's dynamic
+			// trace: the program is exit-free, so every lane survives and
+			// every instruction issues exactly once.
+			warpIn := make([][arch.WarpSize]uint32, c.Program.NumInputs)
+			for i := range warpIn {
+				for lane := 0; lane < arch.WarpSize; lane++ {
+					warpIn[i][lane] = inputs[i] + uint32(lane)*0x85ebca6b
+				}
+			}
+			res, err := interp.Run(c.Program, warpIn, gpu.FullMask)
+			if err != nil {
+				t.Fatalf("cc %v: warp run: %v", cc, err)
+			}
+			static := c.Program.CountClasses()
+			for _, class := range []kernel.Class{
+				kernel.ClassAdd, kernel.ClassLogic, kernel.ClassShift,
+				kernel.ClassMAD, kernel.ClassPerm, kernel.ClassControl,
+			} {
+				if static[class] != res.ExecutedByClass[class] {
+					t.Fatalf("cc %v: class %v static %d != dynamic %d",
+						cc, class, static[class], res.ExecutedByClass[class])
+				}
+			}
+		}
+	})
+}

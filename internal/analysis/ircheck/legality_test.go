@@ -1,0 +1,122 @@
+package ircheck
+
+import (
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/kernel"
+)
+
+// TestArchLegalityTable pins the per-architecture instruction gating to
+// the paper's Tables III–VI: the MAD-lowered rotate (SHL+IMAD.HI) appears
+// from cc2.0 on (Table IV/V), PRMT exists from cc2.x (and the paper
+// applies it on cc3.0, Table VI), and the funnel shift is the cc3.5
+// extension of Section V. Plain shifts and additions are legal everywhere
+// (Table II lists their throughput on every family).
+func TestArchLegalityTable(t *testing.T) {
+	instr := func(op kernel.Op, b kernel.Operand, sh uint8) kernel.Instr {
+		return kernel.Instr{Op: op, Dst: 2, A: kernel.R(0), B: b, Sh: sh}
+	}
+	imm0 := kernel.Imm(0)
+
+	cases := []struct {
+		name    string
+		in      kernel.Instr
+		legalOn map[arch.CC]bool
+	}{
+		{
+			name: "add",
+			in:   instr(kernel.OpAdd, kernel.R(1), 0),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: true, arch.CC20: true, arch.CC21: true, arch.CC30: true, arch.CC35: true,
+			},
+		},
+		{
+			name: "shl",
+			in:   instr(kernel.OpShl, imm0, 7),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: true, arch.CC20: true, arch.CC21: true, arch.CC30: true, arch.CC35: true,
+			},
+		},
+		{
+			name: "imad-hi",
+			in:   instr(kernel.OpIMADHi, kernel.R(1), 7),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: false, arch.CC20: true, arch.CC21: true, arch.CC30: true, arch.CC35: true,
+			},
+		},
+		{
+			name: "iscadd",
+			in:   instr(kernel.OpISCADD, kernel.R(1), 2),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: false, arch.CC20: true, arch.CC21: true, arch.CC30: true, arch.CC35: true,
+			},
+		},
+		{
+			name: "prmt",
+			in:   instr(kernel.OpPerm, imm0, 16),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: false, arch.CC20: true, arch.CC21: true, arch.CC30: true, arch.CC35: true,
+			},
+		},
+		{
+			name: "funnel",
+			in:   instr(kernel.OpFunnel, imm0, 5),
+			legalOn: map[arch.CC]bool{
+				arch.CC1x: false, arch.CC20: false, arch.CC21: false, arch.CC30: false, arch.CC35: true,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.legalOn) != len(arch.All) {
+				t.Fatalf("case covers %d of %d architectures", len(tc.legalOn), len(arch.All))
+			}
+			for _, cc := range arch.All {
+				p := prog([]kernel.Instr{tc.in}, 3, 2)
+				vs := Check(p, Machine(cc))
+				var gate *Violation
+				for i := range vs {
+					if vs[i].Rule == RuleArch {
+						gate = &vs[i]
+						break
+					}
+				}
+				if tc.legalOn[cc] && gate != nil {
+					t.Errorf("cc %v: %s should be legal, got %v", cc, tc.name, *gate)
+				}
+				if !tc.legalOn[cc] && gate == nil {
+					t.Errorf("cc %v: %s should be rejected, got %v", cc, tc.name, vs)
+				}
+			}
+		})
+	}
+}
+
+// TestLegalityAgreesWithArchHelpers cross-checks the gate against the
+// arch package's capability helpers so the two encodings of Tables III–VI
+// cannot drift apart.
+func TestLegalityAgreesWithArchHelpers(t *testing.T) {
+	for _, cc := range arch.All {
+		checks := []struct {
+			in   kernel.Instr
+			want bool
+		}{
+			{kernel.Instr{Op: kernel.OpIMADHi, Dst: 2, A: kernel.R(0), B: kernel.R(1), Sh: 7}, cc.HasIMAD()},
+			{kernel.Instr{Op: kernel.OpFunnel, Dst: 2, A: kernel.R(0), B: kernel.Imm(0), Sh: 7}, cc.HasFunnelShift()},
+		}
+		for _, chk := range checks {
+			p := prog([]kernel.Instr{chk.in}, 3, 2)
+			legal := true
+			for _, v := range Check(p, Machine(cc)) {
+				if v.Rule == RuleArch {
+					legal = false
+				}
+			}
+			if legal != chk.want {
+				t.Errorf("cc %v: %v legal=%v, arch helper says %v", cc, chk.in.Op, legal, chk.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package compile
+
+import (
+	"testing"
+
+	"keysearch/internal/analysis/ircheck"
+	"keysearch/internal/arch"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+	"keysearch/internal/kernel"
+)
+
+// realKernels returns the full set of shipped kernels: both search
+// programs (exit checks, early exit, reversal) and both pure hash
+// programs (digest outputs).
+func realKernels(t *testing.T) []*kernel.Program {
+	t.Helper()
+	key := []byte("Key4SUFF")
+	var block [16]uint32
+	if err := md5x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	md5Search := kernel.BuildMD5(kernel.MD5Config{
+		Template: block, Target: md5x.StateWords(md5x.Sum(key)), Reversal: true, EarlyExit: true,
+	})
+	md5Hash := kernel.BuildMD5Hash(block)
+	if err := sha1x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	sha1Search := kernel.BuildSHA1(kernel.SHA1Config{
+		Template: block, Target: sha1x.StateWords(sha1x.Sum(key)), EarlyExit: true,
+	})
+	sha1Hash := kernel.BuildSHA1Hash(block)
+	return []*kernel.Program{md5Search, md5Hash, sha1Search, sha1Hash}
+}
+
+// TestCompileCheckedAllArches runs the verified pipeline — ircheck after
+// every pass, machine legality and tidiness at the end, differential
+// sampling against the source semantics — for every shipped kernel on
+// every modeled architecture, and asserts the result is identical to the
+// unchecked hot-path Compile.
+func TestCompileCheckedAllArches(t *testing.T) {
+	for _, src := range realKernels(t) {
+		for _, cc := range arch.All {
+			opt := DefaultOptions(cc)
+			checked, err := CompileChecked(src, opt)
+			if err != nil {
+				t.Errorf("%s on cc %v: %v", src.Name, cc, err)
+				continue
+			}
+			plain := Compile(src, opt)
+			if len(checked.Program.Instrs) != len(plain.Program.Instrs) {
+				t.Errorf("%s on cc %v: checked pipeline produced %d instrs, Compile %d",
+					src.Name, cc, len(checked.Program.Instrs), len(plain.Program.Instrs))
+			}
+			for class, n := range plain.Counts {
+				if checked.Counts[class] != n {
+					t.Errorf("%s on cc %v: class %v checked %d, plain %d",
+						src.Name, cc, class, checked.Counts[class], n)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineStageInvariants walks the pipeline pass by pass on a real
+// kernel and asserts the stage-appropriate verifier options hold at each
+// point: source rules between passes, full machine rules only at the end.
+func TestPipelineStageInvariants(t *testing.T) {
+	for _, cc := range arch.All {
+		opt := DefaultOptions(cc)
+		for _, src := range realKernels(t) {
+			p := cloneProgram(src)
+			for _, pass := range Pipeline(opt) {
+				pass.Fn(p)
+				if err := ircheck.Verify(p, ircheck.MidPass()); err != nil {
+					t.Fatalf("%s on cc %v after pass %q: %v", src.Name, cc, pass.Name, err)
+				}
+			}
+			if err := ircheck.Verify(p, ircheck.Machine(cc)); err != nil {
+				t.Fatalf("%s on cc %v final state: %v", src.Name, cc, err)
+			}
+			if p.HasPseudo() {
+				t.Fatalf("%s on cc %v: pseudo ops survived the pipeline", src.Name, cc)
+			}
+		}
+	}
+}
+
+// TestLoweringEmitsCanonicalOperands pins the operand-encoding fix: every
+// unary shift-family instruction the pipeline emits carries an inert
+// immediate-zero B operand, so liveness and use counts never see a
+// phantom read of register 0.
+func TestLoweringEmitsCanonicalOperands(t *testing.T) {
+	for _, cc := range arch.All {
+		c := Compile(realKernels(t)[0], DefaultOptions(cc))
+		for i, in := range c.Program.Instrs {
+			switch in.Op {
+			case kernel.OpShl, kernel.OpShr, kernel.OpPerm, kernel.OpFunnel, kernel.OpNot:
+				if !in.B.IsImm || in.B.Imm != 0 {
+					t.Fatalf("cc %v instr #%d (%v): unary B operand = %v, want immediate 0",
+						cc, i, in.Op, in.B)
+				}
+			}
+		}
+	}
+}
+
+// TestConstantOutputKeepsDefinition pins the fold-guard fix: a program
+// output whose value is compile-time constant keeps its defining
+// instruction instead of being folded into nothing.
+func TestConstantOutputKeepsDefinition(t *testing.T) {
+	b := kernel.NewBuilder("const-out", 1)
+	sum := b.Add(b.Const(40), b.Const(2)) // fully constant
+	mixed := b.Xor(b.Input(0), sum)
+	b.Output(sum, mixed)
+	src := b.Build()
+
+	for _, cc := range arch.All {
+		c, err := CompileChecked(src, DefaultOptions(cc))
+		if err != nil {
+			t.Fatalf("cc %v: %v", cc, err)
+		}
+		out, _, err := kernel.Run(c.Program, []uint32{7})
+		if err != nil {
+			t.Fatalf("cc %v: %v", cc, err)
+		}
+		if out[0] != 42 || out[1] != (7^42) {
+			t.Fatalf("cc %v: outputs = %#x, want [42, 7^42]", cc, out)
+		}
+	}
+}

@@ -15,6 +15,10 @@
 //   - dead-code elimination.
 //
 // The class counts of the compiled programs regenerate Tables IV, V and VI.
+//
+// The pipeline is a list of named passes (Pipeline); CompileChecked runs
+// the same passes with the internal/analysis/ircheck verifier after every
+// one, so a miscompiling pass is pinned to the stage that introduced it.
 package compile
 
 import (
@@ -58,24 +62,51 @@ type Compiled struct {
 	Streams int
 }
 
-// Compile runs the pass pipeline on a copy of src.
-func Compile(src *kernel.Program, opt Options) *Compiled {
-	p := cloneProgram(src)
-	copyPropFold(p)
+// Pass is one named rewrite of the compilation pipeline. Every Fn mutates
+// the program in place and must preserve semantics; CompileChecked holds
+// each one to that contract.
+type Pass struct {
+	Name string
+	Fn   func(*kernel.Program)
+}
+
+// Pipeline returns the pass list Compile runs for opt, in order. The
+// names are stable — CI and the mutation tests address passes by them.
+func Pipeline(opt Options) []Pass {
+	ps := []Pass{{Name: "fold", Fn: copyPropFold}}
 	if !opt.NoReassociate {
 		// Chains of three constants need two rounds.
-		reassociate(p)
-		reassociate(p)
-		copyPropFold(p)
+		ps = append(ps,
+			Pass{Name: "reassociate", Fn: reassociate},
+			Pass{Name: "reassociate2", Fn: reassociate},
+			Pass{Name: "fold2", Fn: copyPropFold},
+		)
 	}
 	if !opt.NoNotMerge {
-		mergeNot(p)
+		ps = append(ps, Pass{Name: "mergenot", Fn: mergeNot})
 	}
-	lowerRotates(p, opt)
-	copyPropFold(p)
-	deadCode(p)
-	compact(p)
+	ps = append(ps,
+		Pass{Name: "lower", Fn: func(p *kernel.Program) { lowerRotates(p, opt) }},
+		Pass{Name: "fold3", Fn: copyPropFold},
+		Pass{Name: "deadcode", Fn: deadCode},
+		Pass{Name: "compact", Fn: compact},
+	)
+	return ps
+}
 
+// Compile runs the pass pipeline on a copy of src. This is the unchecked
+// hot path (the search engine recompiles per suffix run); CompileChecked
+// is the verified variant.
+func Compile(src *kernel.Program, opt Options) *Compiled {
+	p := cloneProgram(src)
+	for _, pass := range Pipeline(opt) {
+		pass.Fn(p)
+	}
+	return finish(src, p, opt)
+}
+
+// finish wraps a fully lowered program into its Compiled summary.
+func finish(src, p *kernel.Program, opt Options) *Compiled {
 	streams := src.NumInputs
 	if streams == 0 {
 		streams = 1

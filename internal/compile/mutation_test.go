@@ -1,0 +1,316 @@
+package compile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/kernel"
+
+	"keysearch/internal/arch"
+)
+
+// The mutation smoke test: each case forks the real pipeline with one
+// deliberate miscompile — the classes of bug a lowering or folding pass
+// could realistically introduce — and asserts the per-pass verification
+// of RunPipeline flags it, naming the stage. A mutation the verifier
+// misses would silently corrupt every Table IV–VI count downstream.
+
+// mutationSource returns the exit-free MD5 hash kernel: rich enough to
+// exercise every pass (rotations, constants, NOTs) and fully observable
+// (outputs are the digest words), so differential checks have teeth.
+func mutationSource(t *testing.T) *kernel.Program {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	return kernel.BuildMD5Hash(block)
+}
+
+// withoutPass filters the named pass out of a pipeline.
+func withoutPass(ps []Pass, name string) []Pass {
+	out := make([]Pass, 0, len(ps))
+	for _, p := range ps {
+		if p.Name != name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// insertBefore adds a mutation pass in front of the named pass (or at the
+// end when name is "").
+func insertBefore(ps []Pass, name string, m Pass) []Pass {
+	out := make([]Pass, 0, len(ps)+1)
+	for _, p := range ps {
+		if p.Name == name {
+			out = append(out, m)
+		}
+		out = append(out, p)
+	}
+	if name == "" {
+		out = append(out, m)
+	}
+	return out
+}
+
+// usedLater returns the index of the first instruction whose destination
+// is read by a later instruction (a safe target for drop/reorder
+// mutations), or -1.
+func usedLater(p *kernel.Program) int {
+	for i, in := range p.Instrs {
+		if in.Op == kernel.OpNop || in.Op == kernel.OpExitNE || in.Dst < 0 {
+			continue
+		}
+		for _, later := range p.Instrs[i+1:] {
+			if (!later.A.IsImm && later.A.Reg == in.Dst) || (!later.B.IsImm && later.B.Reg == in.Dst) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestMutationsFlagged(t *testing.T) {
+	opt := DefaultOptions(arch.CC21)
+
+	cases := []struct {
+		name string
+		// pipeline builds the mutated pass list from the genuine one.
+		pipeline func([]Pass) []Pass
+		// wantStage is the pass name the error must carry.
+		wantStage string
+		// wantText must appear in the error (a rule name or differential
+		// marker).
+		wantText string
+		// cc overrides the target (0 = CC21 default).
+		cc arch.CC
+	}{
+		{
+			name: "drop-op",
+			pipeline: func(ps []Pass) []Pass {
+				return insertBefore(ps, "lower", Pass{Name: "mut-drop", Fn: func(p *kernel.Program) {
+					if i := usedLater(p); i >= 0 {
+						p.Instrs = append(p.Instrs[:i], p.Instrs[i+1:]...)
+					}
+				}})
+			},
+			wantStage: "mut-drop",
+			wantText:  "use-undef",
+		},
+		{
+			name: "duplicate-op",
+			pipeline: func(ps []Pass) []Pass {
+				return insertBefore(ps, "lower", Pass{Name: "mut-dup", Fn: func(p *kernel.Program) {
+					if i := usedLater(p); i >= 0 {
+						dup := p.Instrs[i]
+						p.Instrs = append(p.Instrs[:i+1], append([]kernel.Instr{dup}, p.Instrs[i+1:]...)...)
+					}
+				}})
+			},
+			wantStage: "mut-dup",
+			wantText:  "redefine",
+		},
+		{
+			name: "reorder-before-def",
+			pipeline: func(ps []Pass) []Pass {
+				return insertBefore(ps, "lower", Pass{Name: "mut-reorder", Fn: func(p *kernel.Program) {
+					// Move the first def above an instruction that feeds it.
+					for i := 1; i < len(p.Instrs); i++ {
+						in := p.Instrs[i]
+						prev := p.Instrs[i-1]
+						if prev.Dst >= 0 && !in.A.IsImm && in.A.Reg == prev.Dst {
+							p.Instrs[i-1], p.Instrs[i] = p.Instrs[i], p.Instrs[i-1]
+							return
+						}
+					}
+				}})
+			},
+			wantStage: "mut-reorder",
+			wantText:  "use-undef",
+		},
+		{
+			name:      "skip-lowering",
+			pipeline:  func(ps []Pass) []Pass { return withoutPass(ps, "lower") },
+			wantStage: "final",
+			wantText:  "pseudo",
+		},
+		{
+			name:      "skip-compaction",
+			pipeline:  func(ps []Pass) []Pass { return withoutPass(ps, "compact") },
+			wantStage: "final",
+			wantText:  string("nop"),
+		},
+		{
+			name: "funnel-on-kepler",
+			pipeline: func(ps []Pass) []Pass {
+				// A lowering that reaches for the cc3.5 funnel shift on a
+				// target that does not have it.
+				return insertBefore(withoutPass(ps, "lower"), "fold3",
+					Pass{Name: "mut-funnel", Fn: func(p *kernel.Program) {
+						for i := range p.Instrs {
+							if p.Instrs[i].Op == kernel.OpRotl {
+								p.Instrs[i].Op = kernel.OpFunnel
+							}
+						}
+					}})
+			},
+			cc:        arch.CC30,
+			wantStage: "final",
+			wantText:  "arch-gate",
+		},
+		{
+			name: "prmt-non-byte-rotation",
+			pipeline: func(ps []Pass) []Pass {
+				// A byte-perm lowering whose alignment check is wrong
+				// (n%4 instead of n%8): MD5's rotate-by-12 becomes an
+				// illegal PRMT encoding.
+				return insertBefore(ps, "lower", Pass{Name: "mut-prmt", Fn: func(p *kernel.Program) {
+					for i := range p.Instrs {
+						if p.Instrs[i].Op == kernel.OpRotl && p.Instrs[i].Sh%4 == 0 && p.Instrs[i].Sh%8 != 0 {
+							p.Instrs[i].Op = kernel.OpPerm
+							return
+						}
+					}
+				}})
+			},
+			wantStage: "mut-prmt",
+			wantText:  "shift-range",
+		},
+		{
+			name: "shift-amount-overflow",
+			pipeline: func(ps []Pass) []Pass {
+				// The classic 32-n complement applied twice.
+				return insertBefore(ps, "deadcode", Pass{Name: "mut-sh", Fn: func(p *kernel.Program) {
+					for i := range p.Instrs {
+						if p.Instrs[i].Op == kernel.OpShl {
+							p.Instrs[i].Sh += 32
+							return
+						}
+					}
+				}})
+			},
+			wantStage: "mut-sh",
+			wantText:  "shift-range",
+		},
+		{
+			name: "dst-out-of-bounds",
+			pipeline: func(ps []Pass) []Pass {
+				// A pass that allocates a temporary without growing the
+				// register file.
+				return insertBefore(ps, "deadcode", Pass{Name: "mut-oob", Fn: func(p *kernel.Program) {
+					p.Instrs = append(p.Instrs, kernel.Instr{
+						Op: kernel.OpAdd, Dst: p.NumRegs, A: kernel.R(0), B: kernel.Imm(1),
+					})
+				}})
+			},
+			wantStage: "mut-oob",
+			wantText:  "dst-bounds",
+		},
+		{
+			name: "clobber-input",
+			pipeline: func(ps []Pass) []Pass {
+				return insertBefore(ps, "lower", Pass{Name: "mut-input", Fn: func(p *kernel.Program) {
+					for i := range p.Instrs {
+						in := p.Instrs[i]
+						if in.Op != kernel.OpNop && in.Op != kernel.OpExitNE && in.Dst >= p.NumInputs {
+							p.Instrs[i].Dst = 0
+							return
+						}
+					}
+				}})
+			},
+			wantStage: "mut-input",
+			wantText:  "write-input",
+		},
+		{
+			name: "plant-dead-code",
+			pipeline: func(ps []Pass) []Pass {
+				// Dead result after dead-code elimination already ran.
+				return insertBefore(ps, "compact", Pass{Name: "mut-dead", Fn: func(p *kernel.Program) {
+					t := p.NumRegs
+					p.NumRegs++
+					p.Instrs = append(p.Instrs, kernel.Instr{
+						Op: kernel.OpXor, Dst: t, A: kernel.R(0), B: kernel.Imm(0xdeadbeef),
+					})
+				}})
+			},
+			wantStage: "final",
+			wantText:  "dead-code",
+		},
+		{
+			name: "swap-imad-operands",
+			pipeline: func(ps []Pass) []Pass {
+				// Structurally valid, semantically wrong: only the
+				// differential check can catch it.
+				return insertBefore(ps, "deadcode", Pass{Name: "mut-swap", Fn: func(p *kernel.Program) {
+					for i := range p.Instrs {
+						in := &p.Instrs[i]
+						if in.Op == kernel.OpIMADHi && !in.A.IsImm && !in.B.IsImm {
+							in.A, in.B = in.B, in.A
+							return
+						}
+					}
+				}})
+			},
+			wantStage: "final",
+			wantText:  "differential",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := opt
+			if tc.cc != 0 {
+				o = DefaultOptions(tc.cc)
+			}
+			src := mutationSource(t)
+			passes := tc.pipeline(Pipeline(o))
+			_, err := RunPipeline(src, passes, o)
+			if err == nil {
+				t.Fatalf("mutation %s compiled clean; verifier missed it", tc.name)
+			}
+			var pe *PassError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a PassError", err)
+			}
+			if pe.Pass != tc.wantStage {
+				t.Errorf("flagged at stage %q, want %q (err: %v)", pe.Pass, tc.wantStage, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantText) {
+				t.Errorf("error %q does not mention %q", err, tc.wantText)
+			}
+		})
+	}
+}
+
+// TestDroppedExitCheckCaught covers the exit-check class of miscompile on
+// a small search-style program: dropping the check is invisible to the
+// SSA rules (nothing depends on an exit) but flips the match verdict,
+// which the differential stage catches.
+func TestDroppedExitCheckCaught(t *testing.T) {
+	b := kernel.NewBuilder("exit", 1)
+	sum := b.Add(b.Input(0), b.Const(13))
+	b.ExitNE(sum, b.Const(5))
+	b.Output(sum)
+	src := b.Build()
+
+	opt := DefaultOptions(arch.CC21)
+	passes := insertBefore(Pipeline(opt), "deadcode", Pass{Name: "mut-exit", Fn: func(p *kernel.Program) {
+		for i := range p.Instrs {
+			if p.Instrs[i].Op == kernel.OpExitNE {
+				p.Instrs[i].Op = kernel.OpNop
+				return
+			}
+		}
+	}})
+	_, err := RunPipeline(src, passes, opt)
+	if err == nil {
+		t.Fatal("dropped exit check compiled clean")
+	}
+	if !strings.Contains(err.Error(), "differential") {
+		t.Errorf("error %q should come from the differential check", err)
+	}
+}

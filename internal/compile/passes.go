@@ -4,8 +4,18 @@ import "keysearch/internal/kernel"
 
 // copyPropFold performs one forward pass of copy propagation, constant
 // folding and algebraic identity simplification. Folded instructions
-// become OpNop (removed later by compact).
+// become OpNop (removed later by compact). Instructions defining a
+// program output are never folded away: the Outputs list names registers,
+// so erasing the definition would leave the output undefined (a constant
+// output keeps its materializing instruction, as real machine code keeps
+// an MOV32I).
 func copyPropFold(p *kernel.Program) {
+	isOut := make([]bool, p.NumRegs)
+	for _, r := range p.Outputs {
+		if r >= 0 && r < p.NumRegs {
+			isOut[r] = true
+		}
+	}
 	// val[r] is the canonical operand for register r: an immediate when r
 	// is known constant, another register when r is a copy, or unset.
 	val := make(map[int]kernel.Operand)
@@ -33,6 +43,9 @@ func copyPropFold(p *kernel.Program) {
 				in.Op = kernel.OpNop // check statically true
 			}
 			continue
+		}
+		if isOut[in.Dst] {
+			continue // keep output definitions in place
 		}
 		if in.Op == kernel.OpMov {
 			val[in.Dst] = in.A
@@ -220,17 +233,17 @@ func lowerRotates(p *kernel.Program, opt Options) {
 		switch {
 		case opt.BytePerm && n%8 == 0:
 			// PRMT performs any byte rotation in one instruction.
-			out = append(out, kernel.Instr{Op: kernel.OpPerm, Dst: in.Dst, A: x, Sh: n})
+			out = append(out, kernel.Instr{Op: kernel.OpPerm, Dst: in.Dst, A: x, B: kernel.Imm(0), Sh: n})
 		case opt.CC.HasFunnelShift():
 			// SHF.L performs the full rotation in one instruction.
-			out = append(out, kernel.Instr{Op: kernel.OpFunnel, Dst: in.Dst, A: x, Sh: n})
+			out = append(out, kernel.Instr{Op: kernel.OpFunnel, Dst: in.Dst, A: x, B: kernel.Imm(0), Sh: n})
 		case opt.CC.HasIMAD():
 			// SHL t = x << n; IMAD.HI dst = hi(x * 2^n) + t — the IMAD
 			// emulates the right shift and absorbs the addition.
 			t := p.NumRegs
 			p.NumRegs++
 			out = append(out,
-				kernel.Instr{Op: kernel.OpShl, Dst: t, A: x, Sh: n},
+				kernel.Instr{Op: kernel.OpShl, Dst: t, A: x, B: kernel.Imm(0), Sh: n},
 				kernel.Instr{Op: kernel.OpIMADHi, Dst: in.Dst, A: x, B: kernel.R(t), Sh: n},
 			)
 		default:
@@ -239,8 +252,8 @@ func lowerRotates(p *kernel.Program, opt Options) {
 			t2 := p.NumRegs + 1
 			p.NumRegs += 2
 			out = append(out,
-				kernel.Instr{Op: kernel.OpShl, Dst: t1, A: x, Sh: n},
-				kernel.Instr{Op: kernel.OpShr, Dst: t2, A: x, Sh: 32 - n},
+				kernel.Instr{Op: kernel.OpShl, Dst: t1, A: x, B: kernel.Imm(0), Sh: n},
+				kernel.Instr{Op: kernel.OpShr, Dst: t2, A: x, B: kernel.Imm(0), Sh: 32 - n},
 				kernel.Instr{Op: kernel.OpAdd, Dst: in.Dst, A: kernel.R(t1), B: kernel.R(t2)},
 			)
 		}

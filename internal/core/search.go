@@ -178,16 +178,20 @@ func SearchEach(ctx context.Context, factory Factory, iv keyspace.Interval, newT
 				}
 				var found [][]byte
 				tested := uint64(0)
+				//keyvet:hotloop
 				for i := uint64(0); i < n; i++ {
 					cand := enum.Candidate()
 					tested++
 					if test(cand) {
-						cp := make([]byte, len(cand))
+						// Solutions are vanishingly rare; copying out of
+						// the enumerator's reused buffer on a match is the
+						// one allocation this loop may make.
+						cp := make([]byte, len(cand)) //keyvet:allow hotloop
 						copy(cp, cand)
-						found = append(found, cp)
+						found = append(found, cp) //keyvet:allow hotloop
 					}
 					if i+1 < n && !enum.Next() {
-						errCh <- fmt.Errorf("core: enumerator exhausted %d candidates early", n-i-1)
+						errCh <- fmt.Errorf("core: enumerator exhausted %d candidates early", n-i-1) //keyvet:allow hotloop (fatal exit path)
 						report(found, tested)
 						return
 					}

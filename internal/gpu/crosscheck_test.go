@@ -1,0 +1,158 @@
+package gpu
+
+import (
+	"testing"
+
+	"keysearch/internal/analysis/ircheck"
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/hash/sha1x"
+	"keysearch/internal/kernel"
+)
+
+// TestStaticCountsMatchDynamicTrace is the tentpole cross-check: for MD5
+// and SHA1 on all five modeled architectures, the static per-class
+// instruction counts the model consumes (Tables IV–VI, produced by
+// CountClasses over the compiled program) must equal the warp
+// interpreter's dynamic execution trace instruction for instruction. The
+// hash kernels are exit-free, so every lane survives and every
+// instruction issues exactly once per run — any static/dynamic
+// disagreement is an accounting bug, not scheduling.
+func TestStaticCountsMatchDynamicTrace(t *testing.T) {
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	md5 := kernel.BuildMD5Hash(block)
+	if err := sha1x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	sha := kernel.BuildSHA1Hash(block)
+
+	classes := []kernel.Class{
+		kernel.ClassAdd, kernel.ClassLogic, kernel.ClassShift,
+		kernel.ClassMAD, kernel.ClassPerm, kernel.ClassControl,
+	}
+
+	interp := NewWarpInterp()
+	for _, src := range []*kernel.Program{md5, sha} {
+		for _, cc := range arch.All {
+			c, err := compile.CompileChecked(src, compile.DefaultOptions(cc))
+			if err != nil {
+				t.Fatalf("%s on cc %v: %v", src.Name, cc, err)
+			}
+			if err := ircheck.Verify(c.Program, ircheck.Machine(cc)); err != nil {
+				t.Fatalf("%s on cc %v: machine program rejected: %v", src.Name, cc, err)
+			}
+
+			inputs := make([][arch.WarpSize]uint32, c.Program.NumInputs)
+			for i := range inputs {
+				for lane := 0; lane < arch.WarpSize; lane++ {
+					inputs[i][lane] = 0x6c078965*uint32(lane+1) + uint32(i)
+				}
+			}
+			res, err := interp.Run(c.Program, inputs, FullMask)
+			if err != nil {
+				t.Fatalf("%s on cc %v: %v", src.Name, cc, err)
+			}
+
+			static := c.Program.CountClasses()
+			for _, class := range classes {
+				if static[class] != res.ExecutedByClass[class] {
+					t.Errorf("%s on cc %v: class %v static %d != dynamic %d",
+						src.Name, cc, class, static[class], res.ExecutedByClass[class])
+				}
+			}
+			// The totals the model consumes agree with what executed.
+			if got := res.Executed; got != len(c.Program.Instrs) {
+				t.Errorf("%s on cc %v: executed %d of %d instructions (exit-free program)",
+					src.Name, cc, got, len(c.Program.Instrs))
+			}
+		}
+	}
+}
+
+// TestSearchKernelTraceMatchesWithSurvivors repeats the cross-check on
+// the real search kernels (exit checks present) by giving every lane the
+// matching candidate: all exits pass, every instruction still issues
+// once, and the static counts must again equal the trace. This covers
+// the ClassControl rows too.
+func TestSearchKernelTraceMatchesWithSurvivors(t *testing.T) {
+	key := []byte("Key4SUFF")
+	var block [16]uint32
+	if err := md5x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	md5 := kernel.BuildMD5(kernel.MD5Config{
+		Template: block, Target: md5x.StateWords(md5x.Sum(key)), Reversal: true, EarlyExit: true,
+	})
+	if err := sha1x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	sha := kernel.BuildSHA1(kernel.SHA1Config{
+		Template: block, Target: sha1x.StateWords(sha1x.Sum(key)), EarlyExit: true,
+	})
+
+	interp := NewWarpInterp()
+	for _, src := range []*kernel.Program{md5, sha} {
+		for _, cc := range arch.All {
+			c, err := compile.CompileChecked(src, compile.DefaultOptions(cc))
+			if err != nil {
+				t.Fatalf("%s on cc %v: %v", src.Name, cc, err)
+			}
+			// Every lane carries the suffix word that makes the candidate
+			// match (input 0 is the variable word for single-stream
+			// kernels); all exit checks then pass in every lane.
+			inputs := make([][arch.WarpSize]uint32, c.Program.NumInputs)
+			match := matchingInput(t, src)
+			for i := range inputs {
+				for lane := 0; lane < arch.WarpSize; lane++ {
+					inputs[i][lane] = match[i]
+				}
+			}
+			res, err := interp.Run(c.Program, inputs, FullMask)
+			if err != nil {
+				t.Fatalf("%s on cc %v: %v", src.Name, cc, err)
+			}
+			if res.Survivors != FullMask {
+				t.Fatalf("%s on cc %v: survivors %#x, want full warp", src.Name, cc, res.Survivors)
+			}
+			static := c.Program.CountClasses()
+			for _, class := range []kernel.Class{
+				kernel.ClassAdd, kernel.ClassLogic, kernel.ClassShift,
+				kernel.ClassMAD, kernel.ClassPerm, kernel.ClassControl,
+			} {
+				if static[class] != res.ExecutedByClass[class] {
+					t.Errorf("%s on cc %v: class %v static %d != dynamic %d",
+						src.Name, cc, class, static[class], res.ExecutedByClass[class])
+				}
+			}
+		}
+	}
+}
+
+// matchingInput recovers the input vector that satisfies every exit check
+// of a search kernel built from template "Key4SUFF": the variable words
+// are the template words the suffix occupies. For the single-stream
+// kernels here, input i is template word i's packed value.
+func matchingInput(t *testing.T, src *kernel.Program) []uint32 {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	if src.Name == "sha1" || len(src.Name) >= 4 && src.Name[:4] == "sha1" {
+		if err := sha1x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := make([]uint32, src.NumInputs)
+	for i := range in {
+		in[i] = block[i]
+	}
+	if !kernel.Match(src, in...) {
+		t.Fatalf("%s: template words do not satisfy the kernel's own exit checks", src.Name)
+	}
+	return in
+}

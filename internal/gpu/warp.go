@@ -75,15 +75,19 @@ func (w *WarpInterp) Run(prog *kernel.Program, inputs [][arch.WarpSize]uint32, a
 		regs[i] = inputs[i]
 	}
 
-	res := WarpResult{Survivors: activeIn, ExecutedByClass: make(kernel.Counts)}
+	res := WarpResult{Survivors: activeIn}
 	alive := activeIn
+	// Per-class tallies accumulate in a dense array; the map is built once
+	// after the loop (no map access per instruction on the hot path).
+	var byClass [kernel.NumClasses]int
 
+	//keyvet:hotloop
 	for _, in := range prog.Instrs {
 		if alive == 0 {
 			break // whole warp exited: SIMT branches around the rest
 		}
 		res.Executed++
-		res.ExecutedByClass[in.Op.Classify()]++
+		byClass[in.Op.Classify()]++
 
 		if in.Op == kernel.OpExitNE {
 			for lane := 0; lane < arch.WarpSize; lane++ {
@@ -110,6 +114,12 @@ func (w *WarpInterp) Run(prog *kernel.Program, inputs [][arch.WarpSize]uint32, a
 	}
 
 	res.Survivors = alive
+	res.ExecutedByClass = make(kernel.Counts, kernel.NumClasses)
+	for class, n := range byClass {
+		if n > 0 {
+			res.ExecutedByClass[kernel.Class(class)] = n
+		}
+	}
 	if len(prog.Outputs) > 0 {
 		res.Outputs = make([][arch.WarpSize]uint32, len(prog.Outputs))
 		for i, r := range prog.Outputs {

@@ -54,14 +54,17 @@ func (r *ReverseContext) Test(m0 uint32) bool {
 	m[0] = m0
 	a, b, c, d := iv[0], iv[1], iv[2], iv[3]
 
+	//keyvet:hotloop
 	for i := 0; i < 16; i++ {
 		t := a + fF(b, c, d) + m[i] + T[i]
 		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
 	}
+	//keyvet:hotloop
 	for i := 16; i < 32; i++ {
 		t := a + fG(b, c, d) + m[(5*i+1)%16] + T[i]
 		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
 	}
+	//keyvet:hotloop
 	for i := 32; i < 46; i++ {
 		t := a + fH(b, c, d) + m[(3*i+5)%16] + T[i]
 		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c
@@ -71,6 +74,7 @@ func (r *ReverseContext) Test(m0 uint32) bool {
 	if b != r.rev[0] {
 		return false
 	}
+	//keyvet:hotloop
 	for i := 46; i < 48; i++ {
 		t := a + fH(b, c, d) + m[(3*i+5)%16] + T[i]
 		a, b, c, d = d, b+bits.RotateLeft32(t, int(shifts[i])), b, c

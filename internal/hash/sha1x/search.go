@@ -83,18 +83,22 @@ func (s *Searcher) TestPacked(block *[16]uint32) bool {
 	Expand(&w)
 
 	a, b, c, d, e := iv[0], iv[1], iv[2], iv[3], iv[4]
+	//keyvet:hotloop
 	for i := 0; i < 20; i++ {
 		t := bits.RotateLeft32(a, 5) + fCh(b, c, d) + e + w[i] + K[0]
 		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
 	}
+	//keyvet:hotloop
 	for i := 20; i < 40; i++ {
 		t := bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[i] + K[1]
 		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
 	}
+	//keyvet:hotloop
 	for i := 40; i < 60; i++ {
 		t := bits.RotateLeft32(a, 5) + fMaj(b, c, d) + e + w[i] + K[2]
 		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
 	}
+	//keyvet:hotloop
 	for i := 60; i < 76; i++ {
 		t := bits.RotateLeft32(a, 5) + fParity(b, c, d) + e + w[i] + K[3]
 		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d

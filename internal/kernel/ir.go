@@ -35,6 +35,11 @@ const (
 	ClassControl       // compare-and-exit; not part of the paper's tables
 )
 
+// NumClasses is the number of distinct instruction classes — the size of
+// a dense per-class array (hot paths accumulate into one instead of a
+// map).
+const NumClasses = int(ClassControl) + 1
+
 // String names the class as the tables do.
 func (c Class) String() string {
 	switch c {

@@ -21,26 +21,53 @@
 package model
 
 import (
+	"keysearch/internal/analysis/ircheck"
 	"keysearch/internal/arch"
 	"keysearch/internal/compile"
 	"keysearch/internal/kernel"
 )
 
-// Profile is what the model needs to know about a kernel.
+// Profile is what the model needs to know about a kernel. The dependency
+// facts (DualIssue, ILP) are derived from the program by the ircheck
+// dataflow analyzer, not hand-set; AchievedOptions.ILP remains the
+// explicit override for modeling a δ the analyzer cannot see (e.g. a
+// hypothetical hardware scheduler).
 type Profile struct {
 	// Counts are static machine-instruction counts per class for the whole
 	// program (all streams).
 	Counts kernel.Counts
-	// DualIssue is the fraction of instructions that can pair with their
-	// predecessor (δ).
+	// DualIssue is the derived δ: the fraction of instructions that issue
+	// as part of an in-order dual-issue pair (2·pairs/instructions, the
+	// ircheck pairing estimate under the cycle simulator's rule).
 	DualIssue float64
+	// ILP is the derived instruction-level-parallelism bound:
+	// instructions over critical-path length. 1.0 means a fully serial
+	// dependency chain (the paper's single-stream hash kernels).
+	ILP float64
 	// Streams is the number of candidates one program run tests.
 	Streams int
 }
 
-// FromCompiled extracts a Profile from a compiled kernel.
+// ProfileFromProgram derives a Profile from a machine program using the
+// ircheck dataflow analysis: class counts from the static tally
+// (Tables IV–VI), δ and the ILP bound from the dependency chains.
+func ProfileFromProgram(p *kernel.Program, streams int) Profile {
+	if streams <= 0 {
+		streams = 1
+	}
+	df := ircheck.Analyze(p)
+	return Profile{
+		Counts:    p.CountClasses(),
+		DualIssue: df.DualIssue,
+		ILP:       df.ILP,
+		Streams:   streams,
+	}
+}
+
+// FromCompiled extracts a Profile from a compiled kernel. The dependency
+// facts come from the program itself via ProfileFromProgram.
 func FromCompiled(c *compile.Compiled) Profile {
-	return Profile{Counts: c.Counts, DualIssue: c.DualIssue, Streams: c.Streams}
+	return ProfileFromProgram(c.Program, c.Streams)
 }
 
 // perCandidate returns the class counts normalized to one candidate.

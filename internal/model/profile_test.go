@@ -1,0 +1,120 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/kernel"
+)
+
+func md5SearchKernel(t *testing.T) *kernel.Program {
+	t.Helper()
+	key := []byte("Key4SUFF")
+	var block [16]uint32
+	if err := md5x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	return kernel.BuildMD5(kernel.MD5Config{
+		Template: block, Target: md5x.StateWords(md5x.Sum(key)), Reversal: true, EarlyExit: true,
+	})
+}
+
+// TestProfileFromProgramDerivesDependencyFacts pins the derived profile:
+// a serial chain has ILP 1 and δ 0; the real MD5 kernel has the low δ the
+// paper measured ("less than 10%" of issue slots in the second slot of a
+// pair — our δ counts both slots, so the bound is 2×10%) and an ILP
+// bound barely above 1.
+func TestProfileFromProgramDerivesDependencyFacts(t *testing.T) {
+	b := kernel.NewBuilder("chain", 1)
+	v := b.Input(0)
+	for i := 0; i < 8; i++ {
+		v = b.Add(v, b.Const(uint32(i+1)))
+	}
+	b.Output(v)
+	chain := ProfileFromProgram(b.Build(), 1)
+	if chain.ILP != 1 || chain.DualIssue != 0 {
+		t.Fatalf("serial chain: ILP=%v δ=%v, want 1/0", chain.ILP, chain.DualIssue)
+	}
+	if chain.Counts[kernel.ClassAdd] != 8 {
+		t.Fatalf("serial chain: %d additions counted, want 8", chain.Counts[kernel.ClassAdd])
+	}
+
+	c := compile.Compile(md5SearchKernel(t), compile.DefaultOptions(arch.CC21))
+	p := ProfileFromProgram(c.Program, c.Streams)
+	if p.DualIssue <= 0 || p.DualIssue > 0.25 {
+		t.Fatalf("MD5 derived δ = %v, want small and positive (paper: <10%% second-slot rate)", p.DualIssue)
+	}
+	if p.ILP < 1 || p.ILP > 1.3 {
+		t.Fatalf("MD5 derived ILP = %v, want barely above 1 (serial hash chain)", p.ILP)
+	}
+}
+
+// TestFromCompiledUsesDerivedProfile asserts the compiled-kernel path and
+// the program path produce the same profile — the model consumes derived
+// facts everywhere.
+func TestFromCompiledUsesDerivedProfile(t *testing.T) {
+	c := compile.Compile(md5SearchKernel(t), compile.DefaultOptions(arch.CC30))
+	fromCompiled := FromCompiled(c)
+	fromProgram := ProfileFromProgram(c.Program, c.Streams)
+	if fromCompiled.DualIssue != fromProgram.DualIssue || fromCompiled.ILP != fromProgram.ILP {
+		t.Fatalf("FromCompiled (δ=%v ILP=%v) != ProfileFromProgram (δ=%v ILP=%v)",
+			fromCompiled.DualIssue, fromCompiled.ILP, fromProgram.DualIssue, fromProgram.ILP)
+	}
+	for class, n := range fromProgram.Counts {
+		if fromCompiled.Counts[class] != n {
+			t.Fatalf("class %v: FromCompiled %d != ProfileFromProgram %d", class, fromCompiled.Counts[class], n)
+		}
+	}
+}
+
+// TestHandSetILPIsAnOverride pins the override contract: a negative
+// AchievedOptions.ILP consumes the profile's derived δ, a non-negative
+// one replaces it entirely.
+func TestHandSetILPIsAnOverride(t *testing.T) {
+	c := compile.Compile(md5SearchKernel(t), compile.DefaultOptions(arch.CC21))
+	p := FromCompiled(c)
+	dev := arch.GeForceGT540M
+
+	derived := Achieved(dev, p, AchievedOptions{ILP: -1})
+	overridden := Achieved(dev, p, AchievedOptions{ILP: p.DualIssue})
+	if math.Abs(derived-overridden) > 1e-6 {
+		t.Fatalf("override with the derived value changed the result: %v vs %v", derived, overridden)
+	}
+
+	zero := Achieved(dev, p, AchievedOptions{ILP: 0})
+	one := Achieved(dev, p, AchievedOptions{ILP: 1})
+	if !(one > zero) {
+		t.Fatalf("cc2.1 achieved should grow with δ: δ=0 -> %v, δ=1 -> %v", zero, one)
+	}
+	if derived <= zero || derived >= one {
+		t.Fatalf("derived δ=%v should land between the δ=0 (%v) and δ=1 (%v) bounds: %v",
+			p.DualIssue, zero, one, derived)
+	}
+}
+
+// TestInterleavedKernelDerivesHighILP checks the derived facts move the
+// right way with the Section V interleaving transform: two streams double
+// the ILP bound and δ approaches 1.
+func TestInterleavedKernelDerivesHighILP(t *testing.T) {
+	key := []byte("Key4SUFF")
+	var block [16]uint32
+	if err := md5x.PackKey(key, &block); err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernel.MD5Config{
+		Template: block, Target: md5x.StateWords(md5x.Sum(key)), Reversal: true, EarlyExit: true,
+	}
+	single := FromCompiled(compile.Compile(kernel.BuildMD5(cfg), compile.DefaultOptions(arch.CC21)))
+	cfg.Interleave = true
+	double := FromCompiled(compile.Compile(kernel.BuildMD5(cfg), compile.DefaultOptions(arch.CC21)))
+
+	if !(double.ILP > 1.8*single.ILP) {
+		t.Fatalf("interleaving should ~double the ILP bound: single %v, interleaved %v", single.ILP, double.ILP)
+	}
+	if !(double.DualIssue > 0.8) {
+		t.Fatalf("interleaved δ = %v, want near 1 (every instruction pairs)", double.DualIssue)
+	}
+}
