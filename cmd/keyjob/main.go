@@ -1,0 +1,248 @@
+// Command keyjob is the client for keymaster's -jobs mode: it submits,
+// inspects and steers jobs over the HTTP job API.
+//
+// Usage:
+//
+//	keyjob -server http://127.0.0.1:9040 submit -tenant alice \
+//	    -alg md5 -hash 900150983cd24fb0d6963f7d28e17f72 \
+//	    -charset abcdefghijklmnopqrstuvwxyz -min 1 -max 4
+//	keyjob -server ... list [-tenant alice]
+//	keyjob -server ... get j000001
+//	keyjob -server ... watch [j000001]
+//	keyjob -server ... pause|resume|cancel j000001
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/keyspace"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:9040", "job API base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*server, "/")
+
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = submit(base, rest)
+	case "list":
+		err = list(base, rest)
+	case "get":
+		err = get(base, rest)
+	case "watch":
+		err = watch(base, rest)
+	case "pause", "resume", "cancel":
+		err = lifecycle(base, cmd, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "keyjob: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "keyjob:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: keyjob [-server URL] <command> [args]
+
+commands:
+  submit -tenant T [-priority N] -alg A -hash H -charset C -min N -max N [-solutions N]
+  list   [-tenant T]
+  get    <job-id>
+  watch  [job-id]            stream events (all jobs when id omitted)
+  pause  <job-id>
+  resume <job-id>
+  cancel <job-id> [reason]`)
+}
+
+func submit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	tenant := fs.String("tenant", "", "tenant the job belongs to (required)")
+	priority := fs.Int("priority", 0, "scheduling priority (higher first)")
+	alg := fs.String("alg", "md5", "hash algorithm: md5 or sha1")
+	hash := fs.String("hash", "", "hex digest to invert (required)")
+	charset := fs.String("charset", keyspace.Lower.String(), "candidate charset")
+	minLen := fs.Int("min", 1, "minimum key length")
+	maxLen := fs.Int("max", 5, "maximum key length")
+	solutions := fs.Int("solutions", 1, "stop after this many hits (0 = exhaust the space)")
+	fs.Parse(args)
+
+	body, err := json.Marshal(map[string]any{
+		"tenant":   *tenant,
+		"priority": *priority,
+		"spec": jobs.Spec{
+			Algorithm:    *alg,
+			Target:       *hash,
+			Charset:      *charset,
+			MinLen:       *minLen,
+			MaxLen:       *maxLen,
+			MaxSolutions: *solutions,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	j, err := decodeJob(resp, http.StatusCreated)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (tenant %s, %s keys)\n", j.ID, j.Tenant, j.Space)
+	return nil
+}
+
+func list(base string, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	tenant := fs.String("tenant", "", "only this tenant's jobs")
+	fs.Parse(args)
+
+	url := base + "/jobs"
+	if *tenant != "" {
+		url += "?tenant=" + *tenant
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	var js []jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return err
+	}
+	for _, j := range js {
+		printJob(j)
+	}
+	if len(js) == 0 {
+		fmt.Println("no jobs")
+	}
+	return nil
+}
+
+func get(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("get: want exactly one job id")
+	}
+	resp, err := http.Get(base + "/jobs/" + args[0])
+	if err != nil {
+		return err
+	}
+	j, err := decodeJob(resp, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	printJob(j)
+	for _, f := range j.Found {
+		fmt.Printf("  found: %q\n", f)
+	}
+	if j.Reason != "" {
+		fmt.Printf("  reason: %s\n", j.Reason)
+	}
+	return nil
+}
+
+func lifecycle(base, op string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("%s: want a job id", op)
+	}
+	var body io.Reader
+	if op == "cancel" && len(args) > 1 {
+		b, err := json.Marshal(map[string]string{"reason": strings.Join(args[1:], " ")})
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	resp, err := http.Post(base+"/jobs/"+args[0]+"/"+op, "application/json", body)
+	if err != nil {
+		return err
+	}
+	j, err := decodeJob(resp, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	printJob(j)
+	return nil
+}
+
+// watch follows the SSE stream, printing one line per event, until the
+// stream ends (for a single job: its terminal state).
+func watch(base string, args []string) error {
+	url := base + "/events"
+	if len(args) == 1 {
+		url = base + "/jobs/" + args[0] + "/events"
+	} else if len(args) > 1 {
+		return fmt.Errorf("watch: want at most one job id")
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %w", line, err)
+		}
+		fmt.Printf("%-9s ", ev.Type)
+		printJob(ev.Job)
+	}
+	return sc.Err()
+}
+
+func printJob(j jobs.Job) {
+	fmt.Printf("%s  %-9s  tenant=%s prio=%d  tested=%d remaining=%s found=%d\n",
+		j.ID, j.State, j.Tenant, j.Priority, j.Tested, j.Remaining, len(j.Found))
+}
+
+func decodeJob(resp *http.Response, want int) (jobs.Job, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return jobs.Job{}, apiErr(resp)
+	}
+	var j jobs.Job
+	err := json.NewDecoder(resp.Body).Decode(&j)
+	return j, err
+}
+
+func apiErr(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("HTTP %d", resp.StatusCode)
+}

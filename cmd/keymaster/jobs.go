@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/telemetry"
+)
+
+// jobsFlags hold the -jobs mode configuration (see runJobs).
+type jobsFlags struct {
+	dir        string
+	execs      int
+	threads    int
+	maxRunning int
+	quota      int
+	weights    string
+	leaseScale float64
+	maxLease   uint64
+	drain      time.Duration
+	noSync     bool
+}
+
+// runJobs is keymaster's multi-tenant service mode: instead of driving
+// one search to completion, it opens the WAL-backed job store, builds a
+// local executor fleet, and serves the job API on the listen address
+// until SIGTERM/SIGINT. Shutdown is graceful: admission stops, in-flight
+// leases drain to their chunk boundary and checkpoint, the WAL flushes —
+// bounded by -jobs-drain, after which leases are cut loose (their
+// intervals stay in the durable remaining set).
+func runJobs(listen, statusAddr string, jf jobsFlags, reg *telemetry.Registry) error {
+	weights, err := parseWeights(jf.weights)
+	if err != nil {
+		return err
+	}
+
+	store, err := jobs.Open(jf.dir, jobs.StoreOptions{
+		NoSync:    jf.noSync,
+		Telemetry: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	execs := make([]jobs.Executor, jf.execs)
+	for i := range execs {
+		execs[i] = jobs.NewLocalExecutor(fmt.Sprintf("local-%d", i), jf.threads)
+	}
+	svc := jobs.NewService(store, execs, jobs.Options{
+		Sched: jobs.SchedOptions{
+			MaxRunning:  jf.maxRunning,
+			TenantQuota: jf.quota,
+			Weights:     weights,
+		},
+		LeaseScale: jf.leaseScale,
+		MaxLease:   jf.maxLease,
+		Telemetry:  reg,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := svc.Start(ctx); err != nil {
+		store.Close()
+		return err
+	}
+	fmt.Printf("job service: %d job(s) recovered, executor shares %v\n",
+		len(svc.List("")), svc.Shares())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", jobs.NewAPI(svc).Handler())
+	if statusAddr == "" {
+		// No separate status listener: mount telemetry beside the API.
+		mux.Handle("/status", telemetry.Handler(reg))
+	}
+	srv := &http.Server{Addr: listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Printf("job API on http://%s/jobs\n", listen)
+
+	select {
+	case err := <-errc:
+		svc.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "keymaster: draining (deadline %v)...\n", jf.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), jf.drain)
+	defer cancel()
+	srv.Shutdown(dctx)
+	if err := svc.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("keymaster: job service drained cleanly")
+	fmt.Println("final:", telemetry.StatusLine(reg.Snapshot()))
+	return nil
+}
+
+// parseWeights reads "alice=3,bob=1" into the fair-share weight map.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad weight %q (want tenant=weight)", part)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q: must be a positive number", part)
+		}
+		out[k] = w
+	}
+	return out, nil
+}

@@ -8,6 +8,13 @@
 //	keymaster -listen :9031 -workers 2 \
 //	    -alg md5 -hash 900150983cd24fb0d6963f7d28e17f72 \
 //	    -charset abcdefghijklmnopqrstuvwxyz -min 1 -max 4
+//
+// With -jobs it instead runs the multi-tenant job service: a WAL-backed
+// job store, a fair-share scheduler over a local executor fleet, and the
+// HTTP job API on -listen (see cmd/keyjob for the client):
+//
+//	keymaster -jobs /var/lib/keysearch -listen 127.0.0.1:9040 \
+//	    -jobs-weights alice=3,bob=1
 package main
 
 import (
@@ -48,7 +55,19 @@ func main() {
 
 		statusAddr  = flag.String("status", "", "serve /status (telemetry JSON), /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9032)")
 		statusEvery = flag.Duration("status-every", 0, "log a one-line telemetry status at this interval (0 disables)")
+
+		jf jobsFlags
 	)
+	flag.StringVar(&jf.dir, "jobs", "", "run the multi-tenant job service backed by this state directory (WAL + snapshots); serves the job API on -listen instead of dispatching one search")
+	flag.IntVar(&jf.execs, "jobs-execs", 2, "local executors in the fleet (jobs mode)")
+	flag.IntVar(&jf.threads, "jobs-threads", 0, "goroutines per executor, 0 = NumCPU (jobs mode)")
+	flag.IntVar(&jf.maxRunning, "jobs-max-running", 0, "admission cap on concurrently running jobs, 0 = default (jobs mode)")
+	flag.IntVar(&jf.quota, "jobs-quota", 0, "per-tenant cap on concurrently running jobs, 0 = default (jobs mode)")
+	flag.StringVar(&jf.weights, "jobs-weights", "", "fair-share weights, e.g. alice=3,bob=1 (jobs mode)")
+	flag.Float64Var(&jf.leaseScale, "jobs-lease-scale", 0, "multiplier on the balance-rule lease size (jobs mode)")
+	flag.Uint64Var(&jf.maxLease, "jobs-max-lease", 0, "cap on lease size in keys, 0 = uncapped (jobs mode)")
+	flag.DurationVar(&jf.drain, "jobs-drain", 30*time.Second, "graceful-shutdown drain deadline (jobs mode)")
+	flag.BoolVar(&jf.noSync, "jobs-no-sync", false, "skip fsync on WAL appends; faster, loses the last commits on power loss (jobs mode)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -64,6 +83,13 @@ func main() {
 			}
 		}()
 		fmt.Printf("status endpoint on http://%s/status\n", *statusAddr)
+	}
+
+	if jf.dir != "" {
+		if err := runJobs(*listen, *statusAddr, jf, reg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	alg, err := cracker.ParseAlgorithm(*algName)
@@ -137,12 +163,11 @@ func main() {
 	}
 	if *cpPath != "" {
 		opts.Checkpoint = func(cp *dispatch.Checkpoint) {
-			data, err := cp.Marshal()
-			if err != nil {
-				return
+			// Atomic write-temp+rename: a crash mid-save leaves the previous
+			// good checkpoint, never a torn file.
+			if err := dispatch.WriteCheckpointFile(*cpPath, cp); err != nil {
+				fmt.Fprintln(os.Stderr, "keymaster: checkpoint save:", err)
 			}
-			_ = os.WriteFile(*cpPath+".tmp", data, 0o600)
-			_ = os.Rename(*cpPath+".tmp", *cpPath)
 		}
 	}
 	d := dispatch.NewDispatcher("keymaster", opts, workers...)

@@ -310,7 +310,7 @@ func (c *checker) metricNames(f *ast.File) {
 			return true
 		}
 		switch fn.Name() {
-		case "Counter", "Gauge", "Meter", "Histogram", "PerNode":
+		case "Counter", "Gauge", "Meter", "Histogram", "PerNode", "PerTenant":
 		default:
 			return true
 		}

@@ -101,15 +101,16 @@ func TestLockConnSeeds(t *testing.T) {
 }
 
 // TestMetricNameSeeds: literal metric names are flagged, names from the
-// telemetry constants are not, and a literal inside PerNode is reported
-// exactly once.
+// telemetry constants are not, and a literal inside PerNode or PerTenant
+// is reported exactly once.
 func TestMetricNameSeeds(t *testing.T) {
 	fs := loadSeed(t, "metricname", "keysearch/seeds/metricname")
-	if got := countRule(fs, ruleMetricName); got != 2 {
-		t.Errorf("metricname findings = %d, want 2: %v", got, fs)
+	if got := countRule(fs, ruleMetricName); got != 3 {
+		t.Errorf("metricname findings = %d, want 3: %v", got, fs)
 	}
 	wantFinding(t, fs, ruleMetricName, "telemetry.Counter")
 	wantFinding(t, fs, ruleMetricName, "telemetry.PerNode")
+	wantFinding(t, fs, ruleMetricName, "telemetry.PerTenant")
 }
 
 // TestSwallowedErrSeeds: call-statement, blank-assignment and

@@ -6,8 +6,10 @@ import "keysearch/internal/telemetry"
 
 // Track mixes literal and constant metric names.
 func Track(reg *telemetry.Registry, node string) {
-	reg.Counter("ad.hoc.counter").Inc()                            // want: metricname
-	reg.Gauge(telemetry.MetricDispatchShare).Set(1)                // ok
-	reg.Histogram(telemetry.PerNode("ad.hoc.hist", node)).Observe(1) // want: metricname (literal inside PerNode)
-	reg.Meter(telemetry.PerNode(telemetry.MetricCoreRate, node)).Mark(1) // ok
+	reg.Counter("ad.hoc.counter").Inc()                                          // want: metricname
+	reg.Gauge(telemetry.MetricDispatchShare).Set(1)                              // ok
+	reg.Histogram(telemetry.PerNode("ad.hoc.hist", node)).Observe(1)             // want: metricname (literal inside PerNode)
+	reg.Meter(telemetry.PerNode(telemetry.MetricCoreRate, node)).Mark(1)         // ok
+	reg.Counter(telemetry.PerTenant("ad.hoc.tenant", node)).Inc()                // want: metricname (literal inside PerTenant)
+	reg.Gauge(telemetry.PerTenant(telemetry.MetricJobsTenantShare, node)).Set(1) // ok
 }

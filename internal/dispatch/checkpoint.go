@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/big"
+	"os"
 
 	"keysearch/internal/keyspace"
 )
@@ -115,18 +116,88 @@ func checkpointInterval(iv keyspace.Interval) CheckpointInterval {
 }
 
 // snapshot captures the pool plus in-flight chunks.
-func snapshotCheckpoint(work *pool, inflight map[int]keyspace.Interval, rep *Report) *Checkpoint {
-	cp := &Checkpoint{Tested: rep.Tested}
-	for _, f := range rep.Found {
-		cp.Found = append(cp.Found, append([]byte(nil), f...))
-	}
-	work.mu.Lock()
-	for _, iv := range work.ivs {
-		cp.Remaining = append(cp.Remaining, checkpointInterval(iv))
-	}
-	work.mu.Unlock()
+func snapshotCheckpoint(work *Pool, inflight map[int]keyspace.Interval, rep *Report) *Checkpoint {
+	cp := NewCheckpoint(work.Intervals(), rep.Tested, rep.Found)
 	for _, iv := range inflight {
 		cp.Remaining = append(cp.Remaining, checkpointInterval(iv))
 	}
 	return cp
+}
+
+// NewCheckpoint builds a checkpoint from explicit remaining intervals and
+// accumulated results — the constructor the job service uses to persist
+// each job's resumable state into its WAL.
+func NewCheckpoint(remaining []keyspace.Interval, tested uint64, found [][]byte) *Checkpoint {
+	cp := &Checkpoint{Tested: tested}
+	for _, f := range found {
+		cp.Found = append(cp.Found, append([]byte(nil), f...))
+	}
+	for _, iv := range remaining {
+		if iv.Empty() {
+			continue
+		}
+		cp.Remaining = append(cp.Remaining, checkpointInterval(iv))
+	}
+	return cp
+}
+
+// Intervals decodes the checkpoint's remaining set back into intervals.
+func (cp *Checkpoint) Intervals() ([]keyspace.Interval, error) {
+	out := make([]keyspace.Interval, 0, len(cp.Remaining))
+	for _, r := range cp.Remaining {
+		iv, err := r.interval()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, iv)
+	}
+	return out, nil
+}
+
+// WriteCheckpointFile persists the checkpoint atomically: the encoding is
+// written to path+".tmp", synced, and renamed over path (atomic on
+// POSIX), so a crash mid-write leaves either the old checkpoint or the
+// new one — never a torn file. A torn file would be rejected by
+// LoadCheckpoint's checksum anyway, but rejecting the only copy of the
+// remaining set is still losing it; atomic replacement keeps the previous
+// good snapshot.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	data, err := cp.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()      //keyvet:allow swallowederr (cleanup; the write error is reported)
+		os.Remove(tmp) //keyvet:allow swallowederr (cleanup; the write error is reported)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()      //keyvet:allow swallowederr (cleanup; the sync error is reported)
+		os.Remove(tmp) //keyvet:allow swallowederr (cleanup; the sync error is reported)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //keyvet:allow swallowederr (cleanup; the close error is reported)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //keyvet:allow swallowederr (cleanup; the rename error is reported)
+		return err
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads and verifies a checkpoint written by
+// WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadCheckpoint(data)
 }

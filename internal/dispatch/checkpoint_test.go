@@ -2,6 +2,8 @@ package dispatch
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -127,6 +129,60 @@ func TestCheckpointRejectsLegacyAndGarbage(t *testing.T) {
 				t.Errorf("unwrapped error: %v", err)
 			}
 		})
+	}
+}
+
+// TestCheckpointTruncatedFileRejected: every proper prefix of a
+// checkpoint file (the torn-write failure mode of an in-place writer)
+// must be rejected by LoadCheckpoint with a clear error, never loaded as
+// a smaller remaining set.
+func TestCheckpointTruncatedFileRejected(t *testing.T) {
+	cp := Checkpoint{
+		Remaining: []CheckpointInterval{
+			{Start: "0", End: "500000"},
+			{Start: "700000", End: "900000"},
+		},
+		Found:  [][]byte{[]byte("hit")},
+		Tested: 200000,
+	}
+	data, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := LoadCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		} else if !strings.Contains(err.Error(), "dispatch: bad checkpoint") {
+			t.Fatalf("truncation at byte %d: unclear error %v", cut, err)
+		}
+	}
+}
+
+// TestWriteCheckpointFileAtomic: the write-temp+rename helper must leave
+// a loadable file, replace previous checkpoints in place, and not leave
+// the temp file behind.
+func TestWriteCheckpointFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	first := &Checkpoint{Remaining: []CheckpointInterval{{Start: "0", End: "100"}}}
+	if err := WriteCheckpointFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := &Checkpoint{
+		Remaining: []CheckpointInterval{{Start: "40", End: "100"}},
+		Tested:    40,
+	}
+	if err := WriteCheckpointFile(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tested != 40 || len(got.Remaining) != 1 || got.Remaining[0].Start != "40" {
+		t.Errorf("loaded checkpoint is not the latest write: %+v", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind (stat err %v)", err)
 	}
 }
 

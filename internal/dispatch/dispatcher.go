@@ -136,13 +136,13 @@ func (d *Dispatcher) Search(ctx context.Context, iv keyspace.Interval) (*Report,
 // Resume continues a search from a checkpoint: the remaining intervals
 // become the work pool and the recorded results seed the report.
 func (d *Dispatcher) Resume(ctx context.Context, cp *Checkpoint) (*Report, error) {
-	work := &pool{}
+	work := &Pool{}
 	for _, r := range cp.Remaining {
 		iv, err := r.interval()
 		if err != nil {
 			return nil, err
 		}
-		work.putBack(iv)
+		work.PutBack(iv)
 	}
 	rep := &Report{Tested: cp.Tested}
 	for _, f := range cp.Found {
@@ -177,7 +177,7 @@ func (d *Dispatcher) workerShares(tunings []core.Tuning) []uint64 {
 	return shares
 }
 
-func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*Report, error) {
+func (d *Dispatcher) searchPool(ctx context.Context, work *Pool, rep *Report) (*Report, error) {
 	start := time.Now()
 	if _, err := d.Tune(ctx); err != nil {
 		return nil, err
@@ -232,7 +232,7 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 						return
 					}
 					var ok bool
-					chunk, ok = work.claim(shares[i])
+					chunk, ok = work.Claim(shares[i])
 					if ok {
 						tokens++
 						token = tokens
@@ -272,7 +272,7 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 					// gathered totals stay exactly equal to the interval
 					// size while the duplicated work stays visible.
 					errs = append(errs, err)
-					work.putBack(chunk)
+					work.PutBack(chunk)
 					rep.Requeues++
 					rep.Retested += chunkLen
 					wt.requeued(chunkLen, err)
@@ -312,8 +312,8 @@ func (d *Dispatcher) searchPool(ctx context.Context, work *pool, rep *Report) (*
 	if ctx.Err() != nil && !stopped {
 		return rep, ctx.Err()
 	}
-	if !work.empty() && !stopped {
-		return rep, &errNoWorkers{name: d.name, remaining: work.remaining(), causes: errs}
+	if !work.Empty() && !stopped {
+		return rep, &errNoWorkers{name: d.name, remaining: work.Remaining(), causes: errs}
 	}
 	return rep, nil
 }

@@ -279,14 +279,14 @@ func TestDispatcherUntunableWorkerGetsNoWork(t *testing.T) {
 
 func TestPoolClaimPutBack(t *testing.T) {
 	p := newPool(keyspace.NewInterval(0, 100))
-	a, ok := p.claim(30)
+	a, ok := p.Claim(30)
 	if !ok || a.Len().Int64() != 30 {
 		t.Fatalf("claim: %v %v", a, ok)
 	}
-	p.putBack(a)
+	p.PutBack(a)
 	total := uint64(0)
 	for {
-		c, ok := p.claim(7)
+		c, ok := p.Claim(7)
 		if !ok {
 			break
 		}
@@ -296,11 +296,11 @@ func TestPoolClaimPutBack(t *testing.T) {
 	if total != 100 {
 		t.Errorf("reclaimed %d, want 100", total)
 	}
-	if !p.empty() || p.remaining() != 0 {
+	if !p.Empty() || p.Remaining() != 0 {
 		t.Error("pool should be empty")
 	}
-	p.putBack(keyspace.Interval{Start: big.NewInt(5), End: big.NewInt(5)})
-	if !p.empty() {
+	p.PutBack(keyspace.Interval{Start: big.NewInt(5), End: big.NewInt(5)})
+	if !p.Empty() {
 		t.Error("empty interval must not refill the pool")
 	}
 }

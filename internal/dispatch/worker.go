@@ -89,27 +89,34 @@ func (w *FuncWorker) Search(ctx context.Context, iv keyspace.Interval) (*Report,
 	return w.SearchFunc(ctx, iv)
 }
 
-// pool is the shared work queue: a list of disjoint identifier intervals
+// Pool is a shared work queue: a list of disjoint identifier intervals
 // still to be searched. Failed workers' unfinished intervals return here,
-// which is the fault-tolerance story of §III.
-type pool struct {
+// which is the fault-tolerance story of §III. The type is exported as the
+// lease primitive of the job service (internal/jobs): every lease it
+// issues is a Claim against a per-job Pool, and a lease abandoned by a
+// failed executor is a PutBack — the same machinery whose exactness the
+// dispatcher's partition tests pin down.
+type Pool struct {
 	mu    sync.Mutex
 	ivs   []keyspace.Interval
 	total uint64 // identifiers currently in the pool (diagnostics)
 }
 
-func newPool(iv keyspace.Interval) *pool {
-	p := &pool{}
-	if !iv.Empty() {
-		n, _ := iv.Len64()
-		p.ivs = []keyspace.Interval{iv.Clone()}
-		p.total = n
+// NewPool builds a pool holding the given intervals. Callers are
+// responsible for the intervals being disjoint; the pool hands out
+// exactly what it was given, once.
+func NewPool(ivs ...keyspace.Interval) *Pool {
+	p := &Pool{}
+	for _, iv := range ivs {
+		p.PutBack(iv)
 	}
 	return p
 }
 
-// claim removes and returns up to n identifiers from the pool.
-func (p *pool) claim(n uint64) (keyspace.Interval, bool) {
+func newPool(iv keyspace.Interval) *Pool { return NewPool(iv) }
+
+// Claim removes and returns up to n identifiers from the pool.
+func (p *Pool) Claim(n uint64) (keyspace.Interval, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.ivs) == 0 || n == 0 {
@@ -126,8 +133,8 @@ func (p *pool) claim(n uint64) (keyspace.Interval, bool) {
 	return head, !head.Empty()
 }
 
-// putBack returns an unfinished interval to the pool.
-func (p *pool) putBack(iv keyspace.Interval) {
+// PutBack returns an unfinished interval to the pool.
+func (p *Pool) PutBack(iv keyspace.Interval) {
 	if iv.Empty() {
 		return
 	}
@@ -138,18 +145,29 @@ func (p *pool) putBack(iv keyspace.Interval) {
 	p.total += n
 }
 
-// empty reports whether no work remains.
-func (p *pool) empty() bool {
+// Empty reports whether no work remains.
+func (p *Pool) Empty() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.ivs) == 0
 }
 
-// remaining returns the number of unclaimed identifiers.
-func (p *pool) remaining() uint64 {
+// Remaining returns the number of unclaimed identifiers.
+func (p *Pool) Remaining() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.total
+}
+
+// Intervals returns a deep copy of the pool's current intervals.
+func (p *Pool) Intervals() []keyspace.Interval {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]keyspace.Interval, len(p.ivs))
+	for i, iv := range p.ivs {
+		out[i] = iv.Clone()
+	}
+	return out
 }
 
 // errNoWorkers reports a search that ran out of live workers.

@@ -1,0 +1,103 @@
+package jobs
+
+import "sync"
+
+// EventType labels a job lifecycle event.
+type EventType string
+
+// Event types, in rough lifecycle order.
+const (
+	EventSubmitted EventType = "submitted"
+	EventState     EventType = "state"    // state transition (incl. terminal)
+	EventProgress  EventType = "progress" // a lease committed
+	EventFound     EventType = "found"    // a lease committed with solutions
+)
+
+// Event is one job lifecycle notification, carrying the job snapshot
+// taken at emit time.
+type Event struct {
+	Type EventType `json:"type"`
+	Job  Job       `json:"job"`
+}
+
+// hub fans events out to subscribers (the SSE handlers). Sends never
+// block: a subscriber that stops draining its channel loses events
+// rather than stalling the scheduler — SSE clients always re-read the
+// job snapshot they missed from the next event or a GET.
+type hub struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*subscriber
+	closed bool
+}
+
+type subscriber struct {
+	jobID string // "" = all jobs
+	ch    chan Event
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[int]*subscriber)}
+}
+
+// subscribe registers for events of one job (or all when jobID is "")
+// and returns the channel plus a cancel function. The channel is
+// closed on cancel or hub shutdown.
+func (h *hub) subscribe(jobID string, buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	sub := &subscriber{jobID: jobID, ch: make(chan Event, buf)}
+	h.subs[id] = sub
+	return sub.ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if s, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+	}
+}
+
+// publish delivers the event to every matching subscriber, dropping it
+// for any whose buffer is full.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for _, s := range h.subs {
+		if s.jobID != "" && s.jobID != ev.Job.ID {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+		}
+	}
+}
+
+// close shuts the hub: all subscriber channels close and further
+// publishes are dropped.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, s := range h.subs {
+		delete(h.subs, id)
+		close(s.ch)
+	}
+}

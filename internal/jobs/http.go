@@ -1,0 +1,198 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API is the HTTP face of the Service:
+//
+//	POST /jobs                {tenant, priority, spec}  -> 201 + Job
+//	GET  /jobs[?tenant=t]                               -> [Job]
+//	GET  /jobs/{id}                                     -> Job
+//	POST /jobs/{id}/pause                               -> Job
+//	POST /jobs/{id}/resume                              -> Job
+//	POST /jobs/{id}/cancel    {reason?}                 -> Job
+//	GET  /jobs/{id}/events                              -> SSE Event stream
+//	GET  /events                                        -> SSE, all jobs
+//
+// Mount with http.Handler() wherever the process serves HTTP (keymaster
+// mounts it beside -status).
+type API struct {
+	svc *Service
+}
+
+// NewAPI wraps a service.
+func NewAPI(svc *Service) *API { return &API{svc: svc} }
+
+// Handler builds the routing table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", a.submit)
+	mux.HandleFunc("GET /jobs", a.list)
+	mux.HandleFunc("GET /jobs/{id}", a.get)
+	mux.HandleFunc("POST /jobs/{id}/pause", a.lifecycle((*Service).Pause))
+	mux.HandleFunc("POST /jobs/{id}/resume", a.lifecycle((*Service).Resume))
+	mux.HandleFunc("POST /jobs/{id}/cancel", a.cancel)
+	mux.HandleFunc("GET /jobs/{id}/events", a.events)
+	mux.HandleFunc("GET /events", a.events)
+	return mux
+}
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	Spec     Spec   `json:"spec"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors onto status codes: unknown job 404,
+// forbidden transition 409, everything else (validation) 400.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTransition):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("jobs: bad request body: %w", err))
+		return
+	}
+	j, err := a.svc.Submit(req.Tenant, req.Priority, req.Spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, j)
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.svc.List(r.URL.Query().Get("tenant")))
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request) {
+	j, err := a.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// lifecycle adapts the one-argument transitions (pause, resume).
+func (a *API) lifecycle(op func(*Service, string) (Job, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, err := op(a.svc, r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Reason string `json:"reason"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&body) // empty body = no reason
+	j, err := a.svc.Cancel(r.PathValue("id"), body.Reason)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// events streams job events as server-sent events: one "event:" line
+// with the event type and a "data:" line with the JSON Event. The
+// stream begins with a synthetic snapshot event per matching job so a
+// late subscriber starts from current truth, and ends when the client
+// goes away, the service shuts down, or (for a single-job stream) the
+// job reaches a terminal state.
+func (a *API) events(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "jobs: streaming unsupported"})
+		return
+	}
+	jobID := r.PathValue("id")
+	if jobID != "" {
+		if _, err := a.svc.Get(jobID); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	ch, cancel := a.svc.Watch(jobID)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush() // deliver headers before the first event arrives
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// Snapshot prologue: where every matching job stands right now.
+	if jobID != "" {
+		j, err := a.svc.Get(jobID)
+		if err != nil || !send(Event{Type: EventState, Job: j}) {
+			return
+		}
+		if j.State.Terminal() {
+			return
+		}
+	} else {
+		for _, j := range a.svc.List("") {
+			if !send(Event{Type: EventState, Job: j}) {
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(ev) {
+				return
+			}
+			if jobID != "" && ev.Job.State.Terminal() {
+				return
+			}
+		}
+	}
+}

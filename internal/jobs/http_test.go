@@ -1,0 +1,221 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startAPI(t *testing.T, delay time.Duration, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := startService(t, t.TempDir(), fleet(2, delay), opts)
+	srv := httptest.NewServer(NewAPI(svc).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Shutdown(context.Background())
+	})
+	return svc, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int) []byte {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d (body %s)", method, url, resp.StatusCode, wantCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// TestAPILifecycle: submit, read, list-by-tenant, pause, resume, and
+// run to completion through the HTTP surface alone.
+func TestAPILifecycle(t *testing.T) {
+	_, srv := startAPI(t, 5*time.Millisecond, Options{})
+
+	var j Job
+	body := doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "alice", Priority: 2, Spec: specFor(t, "cba", "abc", 1, 9)},
+		http.StatusCreated)
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Tenant != "alice" || j.State != StatePending || j.Space != "29523" {
+		t.Fatalf("submitted: %+v", j)
+	}
+
+	// Pause straight away, while leases are still outstanding.
+	doJSON(t, "POST", srv.URL+"/jobs/"+j.ID+"/pause", nil, http.StatusOK)
+	var got Job
+	json.Unmarshal(doJSON(t, "GET", srv.URL+"/jobs/"+j.ID, nil, http.StatusOK), &got)
+	if got.State != StatePaused {
+		t.Fatalf("after pause: %s", got.State)
+	}
+
+	var list []Job
+	json.Unmarshal(doJSON(t, "GET", srv.URL+"/jobs?tenant=alice", nil, http.StatusOK), &list)
+	if len(list) != 1 || list[0].ID != j.ID {
+		t.Fatalf("list: %+v", list)
+	}
+	json.Unmarshal(doJSON(t, "GET", srv.URL+"/jobs?tenant=nobody", nil, http.StatusOK), &list)
+	if len(list) != 0 {
+		t.Fatalf("foreign tenant sees jobs: %+v", list)
+	}
+
+	doJSON(t, "POST", srv.URL+"/jobs/"+j.ID+"/resume", nil, http.StatusOK)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		json.Unmarshal(doJSON(t, "GET", srv.URL+"/jobs/"+j.ID, nil, http.StatusOK), &got)
+		if got.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished over HTTP: %+v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got.Found) != 1 || got.Found[0] != "cba" {
+		t.Fatalf("solution: %+v", got.Found)
+	}
+}
+
+// TestAPIErrors: the error mapping — 404 unknown job, 409 forbidden
+// transition, 400 bad spec.
+func TestAPIErrors(t *testing.T) {
+	_, srv := startAPI(t, 5*time.Millisecond, Options{})
+	doJSON(t, "GET", srv.URL+"/jobs/j999999", nil, http.StatusNotFound)
+	doJSON(t, "POST", srv.URL+"/jobs/j999999/pause", nil, http.StatusNotFound)
+	doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "t", Spec: Spec{Algorithm: "rot13", Target: "00", Charset: "ab", MinLen: 1, MaxLen: 2}},
+		http.StatusBadRequest)
+
+	var j Job
+	json.Unmarshal(doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "t", Spec: specFor(t, "ba", "ab", 1, 16)}, http.StatusCreated), &j)
+	doJSON(t, "POST", srv.URL+"/jobs/"+j.ID+"/cancel", map[string]string{"reason": "test"}, http.StatusOK)
+	// Terminal: resume conflicts.
+	doJSON(t, "POST", srv.URL+"/jobs/"+j.ID+"/resume", nil, http.StatusConflict)
+}
+
+// TestAPIEventsSSE: the per-job stream opens with a snapshot event and
+// follows the job to its terminal state.
+func TestAPIEventsSSE(t *testing.T) {
+	_, srv := startAPI(t, 5*time.Millisecond, Options{})
+	var j Job
+	json.Unmarshal(doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "alice", Spec: specFor(t, "acab", "abc", 1, 9)}, http.StatusCreated), &j)
+
+	resp, err := http.Get(srv.URL + "/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var events []Event
+	var sawProgress bool
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		events = append(events, ev)
+		if ev.Type == EventProgress || ev.Type == EventFound {
+			sawProgress = true
+		}
+		if ev.Job.State.Terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Job.ID != j.ID {
+		t.Fatalf("no snapshot prologue: %+v", events)
+	}
+	if !sawProgress {
+		t.Error("stream carried no progress events")
+	}
+	last := events[len(events)-1]
+	if last.Job.State != StateDone || last.Job.Tested != 29523 {
+		t.Fatalf("terminal event: %+v", last.Job)
+	}
+	// The stream closed server-side at the terminal event.
+	if sc.Scan() && sc.Text() != "" {
+		t.Log("stream still open after terminal event (tolerated: buffered frames)")
+	}
+
+	doJSON(t, "GET", srv.URL+"/jobs/j424242/events", nil, http.StatusNotFound)
+}
+
+// TestAPIGlobalEvents: the all-jobs stream sees events from multiple
+// tenants.
+func TestAPIGlobalEvents(t *testing.T) {
+	_, srv := startAPI(t, 100*time.Microsecond, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var a, b Job
+	json.Unmarshal(doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "alice", Spec: specFor(t, "ba", "ab", 1, 12)}, http.StatusCreated), &a)
+	json.Unmarshal(doJSON(t, "POST", srv.URL+"/jobs",
+		submitRequest{Tenant: "bob", Spec: specFor(t, "ab", "ab", 1, 12)}, http.StatusCreated), &b)
+
+	seenDone := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Job.State == StateDone {
+			seenDone[ev.Job.ID] = true
+		}
+		if seenDone[a.ID] && seenDone[b.ID] {
+			return
+		}
+	}
+	t.Fatalf("global stream ended early (done: %v, err: %v)", seenDone, sc.Err())
+}

@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"time"
+
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+// Job states. A job is admitted PENDING -> RUNNING by the scheduler,
+// may bounce RUNNING <-> PAUSED (resume re-queues through PENDING so it
+// passes admission control again), and ends in exactly one of the
+// terminal states.
+const (
+	StatePending   State = iota + 1 // submitted, waiting for admission
+	StateRunning                    // admitted, schedulable for leases
+	StatePaused                     // excluded from scheduling, progress kept
+	StateDone                       // keyspace exhausted or solution quota met
+	StateFailed                     // unrecoverable error (reason recorded)
+	StateCancelled                  // cancelled by the client
+)
+
+var stateNames = map[State]string{
+	StatePending:   "pending",
+	StateRunning:   "running",
+	StatePaused:    "paused",
+	StateDone:      "done",
+	StateFailed:    "failed",
+	StateCancelled: "cancelled",
+}
+
+// String names the state.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Valid reports whether the state is one of the defined values.
+func (s State) Valid() bool { _, ok := stateNames[s]; return ok }
+
+// Terminal reports whether no further transition is allowed.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// MarshalText renders the state by name (JSON, WAL records).
+func (s State) MarshalText() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("jobs: invalid state %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses a state name; unknown names error so corrupted
+// WAL records are rejected rather than replayed as zero states.
+func (s *State) UnmarshalText(b []byte) error {
+	for st, name := range stateNames {
+		if name == string(b) {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("jobs: unknown state %q", b)
+}
+
+// validTransition is the lifecycle graph. WAL replay enforces it, so a
+// reordered or replayed record stream fails recovery instead of building
+// an impossible job table.
+func validTransition(from, to State) bool {
+	if from.Terminal() {
+		return false
+	}
+	switch from {
+	case StatePending:
+		return to == StateRunning || to == StatePaused || to == StateCancelled || to == StateFailed
+	case StateRunning:
+		return to == StatePaused || to == StateDone || to == StateFailed || to == StateCancelled
+	case StatePaused:
+		// Paused -> Done covers a job whose final in-flight lease commits
+		// after the pause landed: pausing stops new leases, it does not
+		// abandon completed work.
+		return to == StatePending || to == StateDone || to == StateCancelled || to == StateFailed
+	}
+	return false
+}
+
+// Spec describes what a job searches: the same information the cluster
+// wire protocol ships to workers, in API-friendly form.
+type Spec struct {
+	// Algorithm is the hash to invert: "md5" or "sha1".
+	Algorithm string `json:"algorithm"`
+	// Target is the hex digest to invert.
+	Target string `json:"target"`
+	// Charset is the candidate alphabet.
+	Charset string `json:"charset"`
+	// MinLen/MaxLen bound the candidate length.
+	MinLen int `json:"min_len"`
+	MaxLen int `json:"max_len"`
+	// MaxSolutions stops the job early after this many hits
+	// (0 = exhaust the space).
+	MaxSolutions int `json:"max_solutions,omitempty"`
+}
+
+// Validate checks the spec without building the full space.
+func (sp Spec) Validate() error {
+	alg, err := cracker.ParseAlgorithm(sp.Algorithm)
+	if err != nil {
+		return err
+	}
+	target, err := hex.DecodeString(sp.Target)
+	if err != nil || len(target) != alg.DigestSize() {
+		return fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
+	}
+	if _, err := sp.Space(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Space builds the job's keyspace.
+func (sp Spec) Space() (*keyspace.Space, error) {
+	cs, err := keyspace.NewCharset(sp.Charset)
+	if err != nil {
+		return nil, err
+	}
+	return keyspace.New(cs, sp.MinLen, sp.MaxLen, keyspace.PrefixMajor)
+}
+
+// CrackerJob materializes the spec into a runnable cracking job — the
+// LocalExecutor's per-job build step.
+func (sp Spec) CrackerJob() (*cracker.Job, error) {
+	alg, err := cracker.ParseAlgorithm(sp.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	target, err := hex.DecodeString(sp.Target)
+	if err != nil || len(target) != alg.DigestSize() {
+		return nil, fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
+	}
+	space, err := sp.Space()
+	if err != nil {
+		return nil, err
+	}
+	return &cracker.Job{
+		Algorithm: alg,
+		Target:    target,
+		Space:     space,
+		Kind:      cracker.KernelOptimized,
+	}, nil
+}
+
+// Job is the externally visible snapshot of one job — what the API
+// serves and the store returns. It is a copy; mutating it changes
+// nothing.
+type Job struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	Spec     Spec   `json:"spec"`
+	State    State  `json:"state"`
+	// Reason annotates FAILED/CANCELLED states.
+	Reason string `json:"reason,omitempty"`
+	// Space is the keyspace size in decimal (arbitrarily large spaces
+	// serialize exactly).
+	Space string `json:"space"`
+	// Tested counts identifiers whose results were gathered and
+	// committed — exact coverage, never inflated by re-searched leases.
+	Tested uint64 `json:"tested"`
+	// Remaining is the uncommitted identifier count, decimal.
+	Remaining string `json:"remaining"`
+	// Found lists recovered keys.
+	Found []string `json:"found,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// remainingBig parses the Remaining field (helper for tests/clients).
+func (j Job) remainingBig() *big.Int {
+	n, ok := new(big.Int).SetString(j.Remaining, 10)
+	if !ok {
+		return new(big.Int)
+	}
+	return n
+}
+
+// Done reports whether the job reached a terminal state.
+func (j Job) Done() bool { return j.State.Terminal() }

@@ -1,0 +1,676 @@
+package jobs
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
+)
+
+// Executor is a computing resource the job service leases work to. It
+// differs from dispatch.Worker in one way: Search takes the job spec,
+// because the service multiplexes many specs over one executor where a
+// dispatch tree is bound to a single search. The same contract holds:
+// on error nothing of the interval counts as searched — the service
+// requeues the whole lease.
+type Executor interface {
+	Name() string
+	Tune(ctx context.Context) (core.Tuning, error)
+	Search(ctx context.Context, spec Spec, iv keyspace.Interval) (*dispatch.Report, error)
+}
+
+// LocalExecutor runs leases on local goroutines, building (and
+// caching) the cracker job for each spec it sees.
+type LocalExecutor struct {
+	name    string
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*cracker.Job
+}
+
+// NewLocalExecutor wraps the in-process CPU engine as an executor.
+// workers is the goroutine count (0 = NumCPU).
+func NewLocalExecutor(name string, workers int) *LocalExecutor {
+	return &LocalExecutor{name: name, workers: workers, cache: make(map[string]*cracker.Job)}
+}
+
+// Name identifies the executor.
+func (e *LocalExecutor) Name() string { return e.name }
+
+// Tune benchmarks the local engine over a synthetic MD5 space, the
+// same doubling-batch fit dispatch.LocalWorker runs.
+func (e *LocalExecutor) Tune(ctx context.Context) (core.Tuning, error) {
+	sum := md5.Sum([]byte("keysearch-tune"))
+	spec := Spec{
+		Algorithm: "md5",
+		Target:    hex.EncodeToString(sum[:]),
+		Charset:   "abcdefghijklmnopqrstuvwxyz0123456789",
+		MinLen:    1,
+		MaxLen:    8,
+	}
+	job, err := spec.CrackerJob()
+	if err != nil {
+		return core.Tuning{}, err
+	}
+	w := dispatch.NewLocalWorker(e.name, job, e.workers)
+	return w.Tune(ctx)
+}
+
+// Search exhausts the lease with the cached cracker job for the spec.
+func (e *LocalExecutor) Search(ctx context.Context, spec Spec, iv keyspace.Interval) (*dispatch.Report, error) {
+	job, err := e.job(spec)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := cracker.CrackAll(ctx, job, iv, core.Options{Workers: e.workers})
+	if err != nil {
+		return nil, err
+	}
+	return &dispatch.Report{Found: res.Solutions, Tested: res.Tested, Elapsed: time.Since(start)}, nil
+}
+
+func (e *LocalExecutor) job(spec Spec) (*cracker.Job, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d|%d", spec.Algorithm, spec.Target, spec.Charset, spec.MinLen, spec.MaxLen)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j, ok := e.cache[key]; ok {
+		return j, nil
+	}
+	j, err := spec.CrackerJob()
+	if err != nil {
+		return nil, err
+	}
+	e.cache[key] = j
+	return j, nil
+}
+
+// Options configure the Service.
+type Options struct {
+	Sched SchedOptions
+	// LeaseScale multiplies the balance-rule lease size (default 1).
+	// Smaller leases mean finer-grained fairness and preemption at the
+	// cost of more WAL checkpoints.
+	LeaseScale float64
+	// MinLease/MaxLease clamp the lease size (defaults 1 / uncapped).
+	MinLease, MaxLease uint64
+	// MaxSearchFailures retires an executor after this many consecutive
+	// Search errors (default 3); its in-flight lease returns to the
+	// pool each time, so a flapping executor costs requeues, not keys.
+	MaxSearchFailures int
+	// Telemetry receives the scheduler metrics (nil = no-op).
+	Telemetry *telemetry.Registry
+	// Now stamps store records (nil = time.Now).
+	Now func() time.Time
+	// OnCommit, when set, observes every committed lease in commit
+	// order: it runs under the service lock after the checkpoint is
+	// durable, so implementations must be fast and must not call back
+	// into the Service or Store. Tests use it to audit exactness.
+	OnCommit func(jobID, tenant string, iv keyspace.Interval, tested uint64)
+}
+
+func (o Options) leaseScale() float64 {
+	if o.LeaseScale <= 0 {
+		return 1
+	}
+	return o.LeaseScale
+}
+
+func (o Options) maxFailures() int {
+	if o.MaxSearchFailures <= 0 {
+		return 3
+	}
+	return o.MaxSearchFailures
+}
+
+// lease is one unit of issued work.
+type lease struct {
+	id     uint64
+	jobID  string
+	tenant string
+	spec   Spec
+	iv     keyspace.Interval
+	n      uint64
+}
+
+// Service multiplexes jobs over a fleet of executors: admission
+// control and fair-share scheduling on the lease path, synchronous WAL
+// checkpoints on the commit path, events out the side.
+type Service struct {
+	store *Store
+	execs []Executor
+	opts  Options
+	tel   *serviceTelemetry
+	hub   *hub
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	sched     *scheduler
+	active    map[string]*activeJob
+	shares    []uint64 // per-executor lease size (balance rule)
+	lastJob   []string // per-executor last leased job (preemption metric)
+	leaseSeq  uint64
+	draining  bool
+	started   bool
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewService wires a store and a fleet. Call Start before use.
+func NewService(store *Store, execs []Executor, opts Options) *Service {
+	s := &Service{
+		store:  store,
+		execs:  execs,
+		opts:   opts,
+		tel:    newServiceTelemetry(opts.Telemetry),
+		hub:    newHub(),
+		sched:  newScheduler(opts.Sched),
+		active: make(map[string]*activeJob),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start tunes the fleet, sizes leases by the balance rule
+// N_j = N_max·(X_j/X_max), recovers RUNNING jobs from their last
+// checkpoint, and launches the executor loops.
+func (s *Service) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("jobs: service already started")
+	}
+	s.ctx, s.cancel = context.WithCancel(ctx)
+
+	tunings := make([]core.Tuning, len(s.execs))
+	var tuneWG sync.WaitGroup
+	for i, ex := range s.execs {
+		tuneWG.Add(1)
+		go func(i int, ex Executor) {
+			defer tuneWG.Done()
+			tn, err := ex.Tune(s.ctx)
+			if err != nil {
+				return // zero tuning: the executor gets no leases
+			}
+			tunings[i] = tn
+		}(i, ex)
+	}
+	tuneWG.Wait()
+	s.shares = make([]uint64, len(s.execs))
+	usable := 0
+	for i, n := range core.Balance(tunings) {
+		n = uint64(float64(n) * s.opts.leaseScale())
+		if min := s.opts.MinLease; n < min {
+			n = min
+		}
+		if n == 0 && tunings[i].Throughput > 0 {
+			n = 1
+		}
+		if max := s.opts.MaxLease; max > 0 && n > max {
+			n = max
+		}
+		s.shares[i] = n
+		if n > 0 {
+			usable++
+		}
+	}
+	if usable == 0 {
+		s.cancel()
+		return errors.New("jobs: no usable executors (all tunings failed or zero)")
+	}
+	s.lastJob = make([]string, len(s.execs))
+
+	// Recovery: every RUNNING job resumes from its last checkpoint; its
+	// former in-flight leases are inside that checkpoint's remaining
+	// set, so they are simply re-leased.
+	for _, j := range s.store.List("") {
+		if j.State != StateRunning {
+			continue
+		}
+		if err := s.activateLocked(j); err != nil {
+			s.cancel()
+			return fmt.Errorf("jobs: resuming %s: %w", j.ID, err)
+		}
+	}
+	s.refreshGaugesLocked()
+
+	for i, ex := range s.execs {
+		if s.shares[i] == 0 {
+			continue
+		}
+		s.wg.Add(1)
+		go s.runExecutor(i, ex)
+	}
+	// Wake lease waiters when the context dies.
+	go func() {
+		<-s.ctx.Done()
+		s.cond.Broadcast()
+	}()
+	s.started = true
+	return nil
+}
+
+// Shares exposes the per-executor lease sizes chosen at Start
+// (diagnostics and tests).
+func (s *Service) Shares() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.shares...)
+}
+
+// activateLocked builds runtime state for a RUNNING job from its
+// durable checkpoint. Callers hold s.mu.
+func (s *Service) activateLocked(j Job) error {
+	if a, ok := s.active[j.ID]; ok {
+		// A pause left leases in flight and the job never drained from
+		// the active set. The in-memory pool — not the stored
+		// checkpoint, which still counts those leases as remaining — is
+		// the live truth; rebuilding from the checkpoint would issue the
+		// in-flight intervals a second time.
+		a.stopLeasing = false
+		s.sched.admit(j.Tenant, s.runnableTenantsLocked())
+		s.finishIfDoneLocked(a)
+		return nil
+	}
+	cp, err := s.store.Progress(j.ID)
+	if err != nil {
+		return err
+	}
+	ivs, err := cp.Intervals()
+	if err != nil {
+		return err
+	}
+	a := &activeJob{
+		id:       j.ID,
+		tenant:   j.Tenant,
+		priority: j.Priority,
+		spec:     j.Spec,
+		subAt:    j.SubmittedAt,
+		pool:     dispatch.NewPool(ivs...),
+		inflight: make(map[uint64]keyspace.Interval),
+		tested:   cp.Tested,
+		found:    cp.Found,
+		maxSol:   j.Spec.MaxSolutions,
+	}
+	s.active[j.ID] = a
+	s.sched.admit(j.Tenant, s.runnableTenantsLocked())
+	s.finishIfDoneLocked(a)
+	return nil
+}
+
+func (s *Service) runnableTenantsLocked() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range s.active {
+		if a.runnable() && !seen[a.tenant] {
+			seen[a.tenant] = true
+			out = append(out, a.tenant)
+		}
+	}
+	return out
+}
+
+// admitLocked moves PENDING jobs to RUNNING while admission control
+// allows: a global cap on running jobs and a per-tenant quota.
+// Admission order is priority, then submission order.
+func (s *Service) admitLocked() {
+	if s.draining {
+		return
+	}
+	perTenant := make(map[string]int)
+	for _, a := range s.active {
+		perTenant[a.tenant]++
+	}
+	for len(s.active) < s.opts.Sched.maxRunning() {
+		var best *Job
+		for _, j := range s.store.List("") {
+			if j.State != StatePending {
+				continue
+			}
+			if perTenant[j.Tenant] >= s.opts.Sched.tenantQuota() {
+				continue
+			}
+			if best == nil || j.Priority > best.Priority ||
+				(j.Priority == best.Priority && j.SubmittedAt.Before(best.SubmittedAt)) {
+				jj := j
+				best = &jj
+			}
+		}
+		if best == nil {
+			return
+		}
+		j, err := s.store.SetState(best.ID, StateRunning, "")
+		if err != nil {
+			return
+		}
+		if err := s.activateLocked(j); err != nil {
+			s.store.SetState(best.ID, StateFailed, err.Error())
+			s.tel.failed.Inc()
+			continue
+		}
+		perTenant[j.Tenant]++
+		s.hub.publish(Event{Type: EventState, Job: j})
+	}
+}
+
+func (s *Service) refreshGaugesLocked() {
+	pending := 0
+	for _, j := range s.store.List("") {
+		if j.State == StatePending {
+			pending++
+		}
+	}
+	s.tel.queueDepth.Set(float64(pending))
+	s.tel.running.Set(float64(len(s.active)))
+}
+
+// next blocks until a lease is available for executor i, the service
+// drains, or the context dies.
+func (s *Service) next(i int) (lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waitStart := time.Now()
+	for {
+		if s.draining || s.ctx.Err() != nil {
+			return lease{}, false
+		}
+		s.admitLocked()
+		s.refreshGaugesLocked()
+		var runnable []*activeJob
+		for _, a := range s.active {
+			if a.runnable() {
+				runnable = append(runnable, a)
+			}
+		}
+		a := s.sched.pick(runnable)
+		if a == nil {
+			s.cond.Wait()
+			continue
+		}
+		iv, ok := a.pool.Claim(s.shares[i])
+		if !ok {
+			continue
+		}
+		n, _ := iv.Len64()
+		s.leaseSeq++
+		l := lease{id: s.leaseSeq, jobID: a.id, tenant: a.tenant, spec: a.spec, iv: iv, n: n}
+		a.inflight[l.id] = iv
+		s.sched.charge(a.tenant, n)
+		s.tel.leases.Inc()
+		s.tel.leaseLen.Observe(float64(n))
+		s.tel.schedWait.ObserveDuration(time.Since(waitStart))
+		if prev := s.lastJob[i]; prev != "" && prev != a.id {
+			if pa, ok := s.active[prev]; ok && pa.runnable() {
+				// The previous job still had work; the deficit moved this
+				// executor to another job at the chunk boundary.
+				s.tel.preempted.Inc()
+			}
+		}
+		s.lastJob[i] = a.id
+		return l, true
+	}
+}
+
+// fail returns a lease whose executor errored: the interval goes back
+// to the pool untested and the tenant's deficit is refunded.
+func (s *Service) fail(l lease) {
+	s.mu.Lock()
+	a := s.active[l.jobID]
+	if a != nil {
+		delete(a.inflight, l.id)
+		a.pool.PutBack(l.iv)
+		s.sched.credit(l.tenant, l.n)
+		s.tel.requeues.Inc()
+		s.dropIfDrainedLocked(a)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// commit lands a completed lease: progress accumulates, the job's
+// checkpoint (remaining = pool ∪ in-flight, tested = committed keys)
+// is appended to the WAL before anything acknowledges the work, and
+// completion is detected. A crash at ANY point re-searches only leases
+// whose checkpoint never landed — committed spans are never re-issued.
+func (s *Service) commit(l lease, rep *dispatch.Report) {
+	s.mu.Lock()
+	a := s.active[l.jobID]
+	if a == nil {
+		s.mu.Unlock()
+		return
+	}
+	delete(a.inflight, l.id)
+	a.tested += rep.Tested
+	a.found = append(a.found, rep.Found...)
+
+	j, err := s.store.Get(l.jobID)
+	if err != nil {
+		s.mu.Unlock()
+		return
+	}
+	var events []Event
+	if !j.State.Terminal() {
+		remaining := a.pool.Intervals()
+		for _, iv := range a.inflight {
+			remaining = append(remaining, iv)
+		}
+		cp := dispatch.NewCheckpoint(remaining, a.tested, a.found)
+		if cerr := s.store.RecordCheckpoint(l.jobID, cp); cerr != nil {
+			// The WAL refused or failed: the job's durable state can no
+			// longer be trusted to advance. Fail the job loudly rather
+			// than keep burning keys whose coverage would be lost.
+			if fj, ferr := s.store.SetState(l.jobID, StateFailed, cerr.Error()); ferr == nil {
+				a.stopLeasing = true
+				s.tel.failed.Inc()
+				events = append(events, Event{Type: EventState, Job: fj})
+			}
+		} else {
+			s.tel.committed(l.tenant, rep.Tested)
+			if s.opts.OnCommit != nil {
+				s.opts.OnCommit(l.jobID, l.tenant, l.iv, rep.Tested)
+			}
+			j, _ = s.store.Get(l.jobID)
+			typ := EventProgress
+			if len(rep.Found) > 0 {
+				typ = EventFound
+			}
+			events = append(events, Event{Type: typ, Job: j})
+			if de := s.finishIfDoneLocked(a); de != nil {
+				events = append(events, *de)
+			}
+		}
+	}
+	s.dropIfDrainedLocked(a)
+	s.refreshGaugesLocked()
+	for _, ev := range events {
+		s.hub.publish(ev)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// finishIfDoneLocked transitions a job to DONE when its keyspace is
+// exhausted or its solution quota is met, returning the event to
+// publish.
+func (s *Service) finishIfDoneLocked(a *activeJob) *Event {
+	exhausted := a.pool.Empty() && len(a.inflight) == 0
+	quota := a.maxSol > 0 && len(a.found) >= a.maxSol
+	if !exhausted && !quota {
+		return nil
+	}
+	reason := ""
+	if quota && !exhausted {
+		reason = fmt.Sprintf("solution quota met (%d found)", len(a.found))
+	}
+	j, err := s.store.SetState(a.id, StateDone, reason)
+	if err != nil {
+		return nil
+	}
+	a.stopLeasing = true
+	s.tel.completed.Inc()
+	s.dropIfDrainedLocked(a)
+	return &Event{Type: EventState, Job: j}
+}
+
+// dropIfDrainedLocked removes a no-longer-leasing job from the active
+// set once its in-flight leases are gone, freeing its admission slot.
+func (s *Service) dropIfDrainedLocked(a *activeJob) {
+	if a.stopLeasing && len(a.inflight) == 0 {
+		delete(s.active, a.id)
+	}
+}
+
+func (s *Service) runExecutor(i int, ex Executor) {
+	defer s.wg.Done()
+	failures := 0
+	for {
+		l, ok := s.next(i)
+		if !ok {
+			return
+		}
+		rep, err := ex.Search(s.ctx, l.spec, l.iv)
+		if err != nil || rep == nil {
+			s.fail(l)
+			failures++
+			if s.ctx.Err() != nil || failures >= s.opts.maxFailures() {
+				return
+			}
+			continue
+		}
+		failures = 0
+		s.commit(l, rep)
+	}
+}
+
+// Submit validates and enqueues a job.
+func (s *Service) Submit(tenant string, priority int, spec Spec) (Job, error) {
+	j, err := s.store.Submit(tenant, priority, spec)
+	if err != nil {
+		return Job{}, err
+	}
+	s.tel.submitted.Inc()
+	s.hub.publish(Event{Type: EventSubmitted, Job: j})
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// Get returns a job snapshot.
+func (s *Service) Get(id string) (Job, error) { return s.store.Get(id) }
+
+// List returns jobs in submission order, optionally filtered by tenant.
+func (s *Service) List(tenant string) []Job { return s.store.List(tenant) }
+
+// Watch subscribes to a job's events ("" = all jobs).
+func (s *Service) Watch(jobID string) (<-chan Event, func()) {
+	return s.hub.subscribe(jobID, 64)
+}
+
+// Pause stops new leases for the job; in-flight leases run to their
+// chunk boundary and still commit. Valid from PENDING or RUNNING.
+func (s *Service) Pause(id string) (Job, error) {
+	s.mu.Lock()
+	j, err := s.store.SetState(id, StatePaused, "")
+	if err == nil {
+		if a, ok := s.active[id]; ok {
+			a.stopLeasing = true
+			s.dropIfDrainedLocked(a)
+		}
+		s.hub.publish(Event{Type: EventState, Job: j})
+		s.refreshGaugesLocked()
+	}
+	s.mu.Unlock()
+	return j, err
+}
+
+// Resume re-queues a PAUSED job through admission control.
+func (s *Service) Resume(id string) (Job, error) {
+	s.mu.Lock()
+	j, err := s.store.SetState(id, StatePending, "")
+	if err == nil {
+		s.hub.publish(Event{Type: EventState, Job: j})
+	}
+	s.mu.Unlock()
+	if err == nil {
+		s.cond.Broadcast()
+	}
+	return j, err
+}
+
+// Cancel terminates a job. In-flight leases finish their chunk but
+// their results are discarded (the job is terminal; no further
+// checkpoint lands).
+func (s *Service) Cancel(id, reason string) (Job, error) {
+	s.mu.Lock()
+	j, err := s.store.SetState(id, StateCancelled, reason)
+	if err == nil {
+		if a, ok := s.active[id]; ok {
+			a.stopLeasing = true
+			s.dropIfDrainedLocked(a)
+		}
+		s.tel.cancelled.Inc()
+		s.hub.publish(Event{Type: EventState, Job: j})
+		s.refreshGaugesLocked()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return j, err
+}
+
+// Shutdown drains gracefully: admission and leasing stop, in-flight
+// leases run to their chunk boundary and checkpoint as usual, then the
+// WAL is flushed and closed. If ctx expires first, in-flight leases
+// are cancelled hard — their intervals are still in every job's
+// checkpointed remaining set, so nothing is lost either way.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("jobs: service not started")
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+	s.hub.close()
+	var err error
+	s.closeOnce.Do(func() { err = s.store.Close() })
+	return err
+}
+
+// Kill simulates a crash for tests: executors are cancelled, nothing
+// drains, nothing is flushed beyond what commit already made durable,
+// and the store file handles are simply abandoned. After Kill, reopen
+// the directory with Open/NewService to exercise recovery.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	s.hub.close()
+}

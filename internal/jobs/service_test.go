@@ -1,0 +1,563 @@
+package jobs
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
+)
+
+// fakeExec is a deterministic executor: Search "tests" the whole lease
+// instantly (after an optional pacing delay) and reports a hit when the
+// lease contains the spec target's identifier.
+type fakeExec struct {
+	name  string
+	tn    core.Tuning
+	delay time.Duration
+	fail  func(iv keyspace.Interval) error // optional fault injection
+}
+
+func (e *fakeExec) Name() string                              { return e.name }
+func (e *fakeExec) Tune(context.Context) (core.Tuning, error) { return e.tn, nil }
+func (e *fakeExec) Search(ctx context.Context, spec Spec, iv keyspace.Interval) (*dispatch.Report, error) {
+	if e.fail != nil {
+		if err := e.fail(iv); err != nil {
+			return nil, err
+		}
+	}
+	if e.delay > 0 {
+		select {
+		case <-time.After(e.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	n, _ := iv.Len64()
+	rep := &dispatch.Report{Tested: n, Elapsed: e.delay}
+	space, err := spec.Space()
+	if err != nil {
+		return nil, err
+	}
+	target, _ := hex.DecodeString(spec.Target)
+	// The fake knows the answer the honest way a test can: scan the
+	// tiny candidate prefix map is overkill — instead each test builds
+	// specs with specFor, whose key the fake recovers by identifier.
+	solutionIDsMu.Lock()
+	id, ok := solutionIDs[spec.Target]
+	solutionIDsMu.Unlock()
+	if ok && iv.Contains(id) {
+		key, kerr := space.Key(id)
+		if kerr == nil {
+			sum := md5.Sum(key)
+			if string(sum[:]) == string(target) {
+				rep.Found = [][]byte{key}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// solutionIDs maps spec targets to the identifier of their preimage,
+// registered by specFor.
+var (
+	solutionIDsMu sync.Mutex
+	solutionIDs   = map[string]*big.Int{}
+)
+
+// specFor builds a spec whose target is md5(key) over the given space
+// bounds, registering the solution identifier for fakeExec.
+func specFor(t *testing.T, key, charset string, minLen, maxLen int) Spec {
+	t.Helper()
+	sum := md5.Sum([]byte(key))
+	sp := Spec{Algorithm: "md5", Target: hex.EncodeToString(sum[:]), Charset: charset, MinLen: minLen, MaxLen: maxLen}
+	space, err := sp.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := space.ID([]byte(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutionIDsMu.Lock()
+	solutionIDs[sp.Target] = id
+	solutionIDsMu.Unlock()
+	return sp
+}
+
+// commitAudit records every committed lease in commit order — the
+// exactness ledger the integration tests check against the keyspace.
+type commitAudit struct {
+	mu      sync.Mutex
+	seq     []auditEntry
+	commits chan struct{} // one token per commit, for pacing kills
+}
+
+type auditEntry struct {
+	jobID  string
+	tenant string
+	start  uint64
+	end    uint64
+}
+
+func newAudit() *commitAudit {
+	return &commitAudit{commits: make(chan struct{}, 1<<20)}
+}
+
+func (c *commitAudit) hook(jobID, tenant string, iv keyspace.Interval, tested uint64) {
+	c.mu.Lock()
+	c.seq = append(c.seq, auditEntry{jobID: jobID, tenant: tenant, start: iv.Start.Uint64(), end: iv.End.Uint64()})
+	c.mu.Unlock()
+	select {
+	case c.commits <- struct{}{}:
+	default:
+	}
+}
+
+func (c *commitAudit) entries() []auditEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]auditEntry(nil), c.seq...)
+}
+
+// verifyExactCoverage asserts the job's committed spans tile [0, total)
+// exactly once: no gap, no overlap, nothing beyond the space.
+func verifyExactCoverage(t *testing.T, jobID string, entries []auditEntry, total uint64) {
+	t.Helper()
+	var spans []auditEntry
+	for _, e := range entries {
+		if e.jobID == jobID {
+			spans = append(spans, e)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	cursor := uint64(0)
+	for _, sp := range spans {
+		if sp.start != cursor {
+			t.Fatalf("job %s: coverage gap/overlap at %d (next span [%d,%d))", jobID, cursor, sp.start, sp.end)
+		}
+		cursor = sp.end
+	}
+	if cursor != total {
+		t.Fatalf("job %s: coverage ends at %d, want %d", jobID, cursor, total)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func startService(t *testing.T, dir string, execs []Executor, opts Options) *Service {
+	t.Helper()
+	store, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(store, execs, opts)
+	if err := svc.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func fleet(n int, delay time.Duration) []Executor {
+	execs := make([]Executor, n)
+	for i := range execs {
+		execs[i] = &fakeExec{
+			name:  fmt.Sprintf("exec-%d", i),
+			tn:    core.Tuning{MinBatch: 2048, Throughput: 1e6},
+			delay: delay,
+		}
+	}
+	return execs
+}
+
+// TestServiceKillRestartExactCoverageAndFairShare is the acceptance
+// test of the job service: four concurrent jobs from two tenants over
+// one simulated fleet; the server is killed mid-run and restarted from
+// the WAL; every job completes with its keyspace covered exactly once
+// (no lost intervals, no double-tested intervals across the crash),
+// and the committed-key ratio between the tenants tracks the
+// configured fair-share weights within 10%.
+func TestServiceKillRestartExactCoverageAndFairShare(t *testing.T) {
+	dir := t.TempDir()
+	audit := newAudit()
+	const spaceSize = 488280 // sum of 5^l for l=1..8
+	opts := Options{
+		Sched: SchedOptions{
+			MaxRunning: 4,
+			Weights:    map[string]float64{"alice": 1, "bob": 3},
+		},
+		OnCommit: audit.hook,
+	}
+
+	svc := startService(t, dir, fleet(3, 200*time.Microsecond), opts)
+	keys := map[string]string{} // jobID -> tenant
+	var jobIDs []string
+	for i, tenant := range []string{"alice", "alice", "bob", "bob"} {
+		j, err := svc.Submit(tenant, 0, specFor(t, fmt.Sprintf("abcd%c", 'a'+i), "abcde", 1, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[j.ID] = tenant
+		jobIDs = append(jobIDs, j.ID)
+	}
+
+	// Kill mid-run, after a healthy number of commits.
+	for i := 0; i < 60; i++ {
+		select {
+		case <-audit.commits:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d commits before stall", i)
+		}
+	}
+	svc.Kill()
+	if n := len(audit.entries()); n < 60 {
+		t.Fatalf("audit saw %d commits, expected >= 60", n)
+	}
+	for _, id := range jobIDs {
+		if j, err := svc.Get(id); err != nil || j.Done() {
+			t.Fatalf("job %s finished before the kill (%+v, %v) — not a mid-run crash", id, j, err)
+		}
+	}
+
+	// Restart from the WAL: RUNNING jobs resume from their last
+	// checkpoint; only their uncommitted leases are re-searched.
+	svc2 := startService(t, dir, fleet(3, 200*time.Microsecond), opts)
+	defer svc2.Shutdown(context.Background())
+	waitFor(t, 60*time.Second, "all jobs done", func() bool {
+		for _, id := range jobIDs {
+			if j, err := svc2.Get(id); err != nil || j.State != StateDone {
+				return false
+			}
+		}
+		return true
+	})
+
+	entries := audit.entries()
+	for _, id := range jobIDs {
+		verifyExactCoverage(t, id, entries, spaceSize)
+		j, err := svc2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Tested != spaceSize || j.Remaining != "0" {
+			t.Fatalf("job %s: tested=%d remaining=%s, want %d/0", id, j.Tested, j.Remaining, spaceSize)
+		}
+		if len(j.Found) != 1 {
+			t.Fatalf("job %s: found %v, want its one planted solution", id, j.Found)
+		}
+	}
+
+	// Fair share: up to the commit that completes bob's final job, both
+	// tenants were continuously runnable, so their committed keys must
+	// split 3:1 (weight ratio) within 10%.
+	perTenant := map[string]uint64{}
+	perJob := map[string]uint64{}
+	bobDoneAt := -1
+	for i, e := range entries {
+		perJob[e.jobID] += e.end - e.start
+		bobFinished := true
+		for id, tenant := range keys {
+			if tenant == "bob" && perJob[id] < spaceSize {
+				bobFinished = false
+			}
+		}
+		if bobFinished {
+			bobDoneAt = i
+			break
+		}
+		perTenant[e.tenant] += e.end - e.start
+	}
+	// Whichever tenant drains first bounds the window; if alice somehow
+	// finished first under weights 1:3 the scheduler is broken outright.
+	if bobDoneAt < 0 {
+		t.Fatal("bob never finished inside the audit")
+	}
+	ratio := float64(perTenant["bob"]) / float64(perTenant["alice"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("fair-share ratio bob/alice = %.3f (bob=%d alice=%d), want 3.0 +/- 10%%",
+			ratio, perTenant["bob"], perTenant["alice"])
+	}
+}
+
+// TestServiceSolutionQuotaStopsEarly: MaxSolutions ends the job at the
+// chunk boundary after the hit, without exhausting the space.
+func TestServiceSolutionQuotaStopsEarly(t *testing.T) {
+	dir := t.TempDir()
+	svc := startService(t, dir, fleet(2, 0), Options{})
+	defer svc.Shutdown(context.Background())
+	sp := specFor(t, "cab", "abc", 1, 8) // 3+9+...+3^8 = 9840 keys
+	sp.MaxSolutions = 1
+	j, err := svc.Submit("t", 0, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "job done", func() bool {
+		g, _ := svc.Get(j.ID)
+		return g.Done()
+	})
+	g, _ := svc.Get(j.ID)
+	if g.State != StateDone || len(g.Found) != 1 || g.Found[0] != "cab" {
+		t.Fatalf("quota stop: %+v", g)
+	}
+}
+
+// TestServiceAdmissionControl: MaxRunning and TenantQuota bound the
+// concurrently running set; queued jobs are admitted by priority.
+func TestServiceAdmissionControl(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	var mu sync.Mutex
+	running := map[string]bool{}
+	maxSeen := 0
+	audit := newAudit()
+	opts := Options{
+		Sched:     SchedOptions{MaxRunning: 2, TenantQuota: 1},
+		Telemetry: reg,
+		OnCommit:  audit.hook,
+	}
+	svc := startService(t, dir, fleet(2, 100*time.Microsecond), opts)
+	defer svc.Shutdown(context.Background())
+
+	watch, stop := svc.Watch("")
+	defer stop()
+	go func() {
+		for ev := range watch {
+			if ev.Type != EventState {
+				continue
+			}
+			mu.Lock()
+			if ev.Job.State == StateRunning {
+				running[ev.Job.ID] = true
+			} else if ev.Job.State.Terminal() {
+				delete(running, ev.Job.ID)
+			}
+			if len(running) > maxSeen {
+				maxSeen = len(running)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	var ids []string
+	for i, tenant := range []string{"a", "a", "b", "b", "c"} {
+		j, err := svc.Submit(tenant, i, specFor(t, "ba", "ab", 1, 10)) // 2046 keys
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	waitFor(t, 30*time.Second, "all jobs done", func() bool {
+		for _, id := range ids {
+			if g, _ := svc.Get(id); g.State != StateDone {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if maxSeen > 2 {
+		t.Errorf("saw %d jobs running concurrently, cap is 2", maxSeen)
+	}
+	if got := reg.Counter(telemetry.MetricJobsCompleted).Value(); got != 5 {
+		t.Errorf("completed counter = %d, want 5", got)
+	}
+	if reg.Counter(telemetry.MetricJobsLeases).Value() == 0 ||
+		reg.Histogram(telemetry.MetricJobsSchedLatency).Count() == 0 {
+		t.Error("lease/scheduling-latency metrics did not move")
+	}
+	if reg.Counter(telemetry.PerTenant(telemetry.MetricJobsTenantServed, "a")).Value() == 0 {
+		t.Error("per-tenant served counter did not move")
+	}
+}
+
+// TestServicePauseResume: pausing stops new leases at the chunk
+// boundary; resuming re-admits and the job still covers its space
+// exactly once.
+func TestServicePauseResume(t *testing.T) {
+	dir := t.TempDir()
+	audit := newAudit()
+	svc := startService(t, dir, fleet(2, 300*time.Microsecond), Options{OnCommit: audit.hook})
+	defer svc.Shutdown(context.Background())
+	j, err := svc.Submit("t", 0, specFor(t, "abcda", "abcde", 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-audit.commits // some progress first
+	if _, err := svc.Pause(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "in-flight leases drained", func() bool {
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		_, active := svc.active[j.ID]
+		return !active
+	})
+	g, _ := svc.Get(j.ID)
+	if g.State != StatePaused {
+		t.Fatalf("state = %s, want paused", g.State)
+	}
+	if g.Remaining == "0" {
+		t.Skip("job finished before the pause landed; nothing to assert")
+	}
+	paused := len(audit.entries())
+	time.Sleep(20 * time.Millisecond)
+	if got := len(audit.entries()); got != paused {
+		t.Fatalf("commits continued while paused: %d -> %d", paused, got)
+	}
+
+	if _, err := svc.Resume(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "job done after resume", func() bool {
+		g, _ := svc.Get(j.ID)
+		return g.State == StateDone
+	})
+	verifyExactCoverage(t, j.ID, audit.entries(), 488280)
+}
+
+// TestServiceResumeWithInflightLeases: resuming before the pause has
+// drained must reuse the live pool — rebuilding from the stored
+// checkpoint would re-issue the in-flight intervals and break exact
+// coverage (regression test).
+func TestServiceResumeWithInflightLeases(t *testing.T) {
+	dir := t.TempDir()
+	audit := newAudit()
+	svc := startService(t, dir, fleet(2, 10*time.Millisecond), Options{OnCommit: audit.hook})
+	defer svc.Shutdown(context.Background())
+	j, err := svc.Submit("t", 0, specFor(t, "cba", "abc", 1, 9)) // 29523 keys
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "a lease in flight", func() bool {
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		a := svc.active[j.ID]
+		return a != nil && len(a.inflight) > 0
+	})
+	if _, err := svc.Pause(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Resume immediately: the in-flight leases have NOT drained.
+	if _, err := svc.Resume(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "job done after hot resume", func() bool {
+		g, _ := svc.Get(j.ID)
+		return g.State == StateDone
+	})
+	verifyExactCoverage(t, j.ID, audit.entries(), 29523)
+	g, _ := svc.Get(j.ID)
+	if g.Tested != 29523 || g.Remaining != "0" {
+		t.Fatalf("tested=%d remaining=%s after hot resume", g.Tested, g.Remaining)
+	}
+}
+
+// TestServiceCancel: cancelled jobs stop leasing and never reach Done.
+func TestServiceCancel(t *testing.T) {
+	dir := t.TempDir()
+	svc := startService(t, dir, fleet(2, 300*time.Microsecond), Options{})
+	defer svc.Shutdown(context.Background())
+	j, err := svc.Submit("t", 0, specFor(t, "abcda", "abcde", 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Cancel(j.ID, "operator says no"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := svc.Get(j.ID)
+	if g.State != StateCancelled || g.Reason != "operator says no" {
+		t.Fatalf("cancel: %+v", g)
+	}
+	if _, err := svc.Resume(j.ID); err == nil {
+		t.Fatal("resume of a cancelled job accepted")
+	}
+}
+
+// TestServiceRequeueOnExecutorFailure: a flapping executor's leases go
+// back to the pool; the job still covers its space exactly once and
+// the requeue counter records the incidents.
+func TestServiceRequeueOnExecutorFailure(t *testing.T) {
+	dir := t.TempDir()
+	audit := newAudit()
+	reg := telemetry.NewRegistry()
+	var fails sync.Map
+	flaky := &fakeExec{
+		name: "flaky",
+		tn:   core.Tuning{MinBatch: 1024, Throughput: 1e6},
+		fail: func(iv keyspace.Interval) error {
+			// Fail each distinct lease start once, then let it pass.
+			k := iv.Start.String()
+			if _, seen := fails.LoadOrStore(k, true); !seen {
+				return fmt.Errorf("injected fault at %s", k)
+			}
+			return nil
+		},
+	}
+	steady := &fakeExec{name: "steady", tn: core.Tuning{MinBatch: 1024, Throughput: 1e6}}
+	opts := Options{
+		Telemetry:         reg,
+		OnCommit:          audit.hook,
+		MaxSearchFailures: 1 << 30, // flaky never retires in this test
+	}
+	svc := startService(t, dir, []Executor{flaky, steady}, opts)
+	defer svc.Shutdown(context.Background())
+	j, err := svc.Submit("t", 0, specFor(t, "bca", "abc", 1, 9)) // 29523 keys
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "job done despite faults", func() bool {
+		g, _ := svc.Get(j.ID)
+		return g.State == StateDone
+	})
+	verifyExactCoverage(t, j.ID, audit.entries(), 29523)
+	if reg.Counter(telemetry.MetricJobsRequeues).Value() == 0 {
+		t.Error("requeue counter did not move")
+	}
+}
+
+// TestServiceSharesFollowBalanceRule: per-executor lease sizes obey
+// N_j = N_max·(X_j/X_max) from the tuned throughputs.
+func TestServiceSharesFollowBalanceRule(t *testing.T) {
+	dir := t.TempDir()
+	execs := []Executor{
+		&fakeExec{name: "fast", tn: core.Tuning{MinBatch: 4000, Throughput: 4e6}},
+		&fakeExec{name: "mid", tn: core.Tuning{MinBatch: 1000, Throughput: 2e6}},
+		&fakeExec{name: "slow", tn: core.Tuning{MinBatch: 500, Throughput: 1e6}},
+	}
+	svc := startService(t, dir, execs, Options{})
+	defer svc.Shutdown(context.Background())
+	shares := svc.Shares()
+	want := core.Balance([]core.Tuning{
+		{MinBatch: 4000, Throughput: 4e6},
+		{MinBatch: 1000, Throughput: 2e6},
+		{MinBatch: 500, Throughput: 1e6},
+	})
+	for i := range want {
+		if shares[i] != want[i] {
+			t.Fatalf("share[%d] = %d, want %d (balance rule)", i, shares[i], want[i])
+		}
+	}
+	if !(shares[0] > shares[1] && shares[1] > shares[2]) {
+		t.Fatalf("shares not throughput-ordered: %v", shares)
+	}
+}

@@ -1,0 +1,574 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/big"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
+)
+
+// On-disk layout inside the store directory.
+const (
+	walFile  = "jobs.wal"
+	snapFile = "jobs.snap"
+)
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrTransition reports a lifecycle transition the graph forbids.
+var ErrTransition = errors.New("jobs: invalid state transition")
+
+// StoreOptions configure Open.
+type StoreOptions struct {
+	// NoSync skips the per-append fsync. Tests use it to keep the WAL
+	// hot path fast; production leaves it false — durability of the
+	// job table is the point of the log.
+	NoSync bool
+	// Telemetry receives the WAL/store metrics (nil = no-op).
+	Telemetry *telemetry.Registry
+	// Now stamps records (nil = time.Now). Replay ignores it: recovered
+	// timestamps come from the records themselves, so a rebuilt table
+	// matches the one that crashed.
+	Now func() time.Time
+	// CompactEvery triggers snapshot compaction after this many WAL
+	// records (0 = compact only when Compact is called).
+	CompactEvery int
+}
+
+// jobRec is the store's mutable record of one job. The public Job type
+// is a snapshot of this.
+type jobRec struct {
+	id       string
+	tenant   string
+	priority int
+	spec     Spec
+	state    State
+	reason   string
+	space    *big.Int
+	cp       dispatch.Checkpoint // remaining intervals, tested, found
+	subAt    time.Time
+	updAt    time.Time
+}
+
+// Store is the persistent job table: an in-memory map rebuilt on Open
+// from snapshot + WAL replay, mutated only through append-then-apply —
+// every mutation is framed into the log (and fsynced, unless NoSync)
+// before the table changes, so the table on disk is never behind the
+// one in memory.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	opts  StoreOptions
+	now   func() time.Time
+	tel   *storeTelemetry
+	w     *wal
+	jobs  map[string]*jobRec
+	order []string // submission order, for stable listings
+	dirty int      // records appended since the last snapshot
+}
+
+// Open recovers (or creates) a store in dir: load the snapshot if one
+// exists, replay the WAL suffix past its watermark, repair a torn tail
+// by truncation, and refuse to start on corruption — a damaged job
+// table silently resumed could skip or double-search keyspace.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		now:  opts.Now,
+		tel:  newStoreTelemetry(opts.Telemetry),
+		jobs: make(map[string]*jobRec),
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	watermark, err := s.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	last, err := s.replayWAL(watermark)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, walFile), last, !opts.NoSync, s.tel)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	return s, nil
+}
+
+// replayWAL applies the log suffix past the snapshot watermark, then
+// truncates any torn tail so the next append starts at a clean record
+// boundary. Returns the last sequence in use.
+func (s *Store) replayWAL(after uint64) (uint64, error) {
+	path := filepath.Join(s.dir, walFile)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return after, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	replayed := 0
+	last, clean, err := replayLog(f, after, func(rec record) error {
+		replayed++
+		return s.apply(rec)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("jobs: recovering %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() > clean {
+		if err := os.Truncate(path, clean); err != nil {
+			return 0, fmt.Errorf("jobs: repairing torn tail of %s: %w", path, err)
+		}
+	}
+	s.tel.replayed.Add(uint64(replayed))
+	return last, nil
+}
+
+// apply routes one WAL record into the table, enforcing the package
+// invariants. Both replay and the live mutation path go through it, so
+// the table rebuilt after a crash is the table that crashed.
+func (s *Store) apply(rec record) error {
+	switch rec.typ {
+	case recSubmit:
+		var sr submitRecord
+		if err := json.Unmarshal(rec.payload, &sr); err != nil {
+			return fmt.Errorf("%w: submit record: %v", ErrCorrupt, err)
+		}
+		return s.applySubmit(sr)
+	case recState:
+		var tr stateRecord
+		if err := json.Unmarshal(rec.payload, &tr); err != nil {
+			return fmt.Errorf("%w: state record: %v", ErrCorrupt, err)
+		}
+		return s.applyState(tr)
+	case recCheckpoint:
+		var cr checkpointRecord
+		if err := json.Unmarshal(rec.payload, &cr); err != nil {
+			return fmt.Errorf("%w: checkpoint record: %v", ErrCorrupt, err)
+		}
+		return s.applyCheckpoint(cr)
+	}
+	return fmt.Errorf("%w: unhandled record type %d", ErrCorrupt, rec.typ)
+}
+
+func (s *Store) applySubmit(sr submitRecord) error {
+	if _, ok := s.jobs[sr.ID]; ok {
+		return fmt.Errorf("%w: duplicate submit for job %s", ErrCorrupt, sr.ID)
+	}
+	space, err := sr.Spec.Space()
+	if err != nil {
+		return fmt.Errorf("jobs: job %s: %w", sr.ID, err)
+	}
+	at := time.Unix(0, sr.At)
+	r := &jobRec{
+		id:       sr.ID,
+		tenant:   sr.Tenant,
+		priority: sr.Priority,
+		spec:     sr.Spec,
+		state:    StatePending,
+		space:    space.Size(),
+		cp:       *dispatch.NewCheckpoint([]keyspace.Interval{space.Whole()}, 0, nil),
+		subAt:    at,
+		updAt:    at,
+	}
+	s.jobs[sr.ID] = r
+	s.order = append(s.order, sr.ID)
+	return nil
+}
+
+func (s *Store) applyState(tr stateRecord) error {
+	r, ok := s.jobs[tr.ID]
+	if !ok {
+		return fmt.Errorf("%w: state record for unknown job %s", ErrCorrupt, tr.ID)
+	}
+	if !tr.To.Valid() || !validTransition(r.state, tr.To) {
+		return fmt.Errorf("%w: job %s: %s -> %s", ErrTransition, tr.ID, r.state, tr.To)
+	}
+	r.state = tr.To
+	r.reason = tr.Reason
+	r.updAt = time.Unix(0, tr.At)
+	return nil
+}
+
+func (s *Store) applyCheckpoint(cr checkpointRecord) error {
+	r, ok := s.jobs[cr.ID]
+	if !ok {
+		return fmt.Errorf("%w: checkpoint for unknown job %s", ErrCorrupt, cr.ID)
+	}
+	if r.state.Terminal() {
+		return fmt.Errorf("%w: checkpoint for terminal job %s (%s)", ErrTransition, cr.ID, r.state)
+	}
+	if cr.CP.Tested < r.cp.Tested {
+		return fmt.Errorf("%w: job %s: tested went backwards (%d -> %d)", ErrCorrupt, cr.ID, r.cp.Tested, cr.CP.Tested)
+	}
+	remaining := cr.CP.RemainingKeys()
+	covered := new(big.Int).Add(remaining, new(big.Int).SetUint64(cr.CP.Tested))
+	if covered.Cmp(r.space) > 0 {
+		return fmt.Errorf("%w: job %s: tested %d + remaining %s exceeds space %s",
+			ErrCorrupt, cr.ID, cr.CP.Tested, remaining, r.space)
+	}
+	r.cp = cr.CP
+	r.updAt = time.Unix(0, cr.At)
+	return nil
+}
+
+// append frames and logs one record, then applies it. The mutation is
+// durable before it is visible. Callers hold s.mu and must have
+// validated the mutation — an apply failure after a successful append
+// means the in-memory table and the log disagree, which is fatal.
+func (s *Store) append(typ recType, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	seq, err := s.w.append(typ, body)
+	if err != nil {
+		return err
+	}
+	if err := s.apply(record{typ: typ, seq: seq, payload: body}); err != nil {
+		return fmt.Errorf("jobs: applying own record: %w", err)
+	}
+	s.dirty++
+	if s.opts.CompactEvery > 0 && s.dirty >= s.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			return fmt.Errorf("jobs: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// Submit validates and admits a job, returning its snapshot. The ID is
+// derived from the WAL sequence, which never repeats within a store
+// (compaction preserves the watermark), so IDs are unique for the
+// directory's lifetime.
+func (s *Store) Submit(tenant string, priority int, spec Spec) (Job, error) {
+	if tenant == "" {
+		return Job{}, errors.New("jobs: empty tenant")
+	}
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := fmt.Sprintf("j%06d", s.w.seq+1)
+	sr := submitRecord{ID: id, Tenant: tenant, Priority: priority, Spec: spec, At: s.now().UnixNano()}
+	if err := s.append(recSubmit, sr); err != nil {
+		return Job{}, err
+	}
+	return s.snapshotJob(s.jobs[id]), nil
+}
+
+// Get returns a job snapshot.
+func (s *Store) Get(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.snapshotJob(r), nil
+}
+
+// List returns job snapshots in submission order; a non-empty tenant
+// filters to that tenant's jobs.
+func (s *Store) List(tenant string) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.jobs[id]
+		if tenant != "" && r.tenant != tenant {
+			continue
+		}
+		out = append(out, s.snapshotJob(r))
+	}
+	return out
+}
+
+// Tenants returns the distinct tenant names with jobs in the table.
+func (s *Store) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range s.jobs {
+		if !seen[r.tenant] {
+			seen[r.tenant] = true
+			out = append(out, r.tenant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetState logs and applies a lifecycle transition.
+func (s *Store) SetState(id string, to State, reason string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !to.Valid() || !validTransition(r.state, to) {
+		return Job{}, fmt.Errorf("%w: job %s: %s -> %s", ErrTransition, id, r.state, to)
+	}
+	tr := stateRecord{ID: id, To: to, Reason: reason, At: s.now().UnixNano()}
+	if err := s.append(recState, tr); err != nil {
+		return Job{}, err
+	}
+	return s.snapshotJob(r), nil
+}
+
+// RecordCheckpoint logs and applies a job's new resumable progress.
+// Called after every committed lease, before the commit is acknowledged
+// to the scheduler — so a crash at any instant re-searches at most the
+// in-flight leases and never loses a committed one.
+func (s *Store) RecordCheckpoint(id string, cp *dispatch.Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.state.Terminal() {
+		return fmt.Errorf("%w: job %s: checkpoint in terminal state %s", ErrTransition, id, r.state)
+	}
+	if cp.Tested < r.cp.Tested {
+		return fmt.Errorf("jobs: job %s: tested went backwards (%d -> %d)", id, r.cp.Tested, cp.Tested)
+	}
+	covered := new(big.Int).Add(cp.RemainingKeys(), new(big.Int).SetUint64(cp.Tested))
+	if covered.Cmp(r.space) > 0 {
+		return fmt.Errorf("jobs: job %s: checkpoint covers more than the space", id)
+	}
+	cr := checkpointRecord{ID: id, CP: *cp, At: s.now().UnixNano()}
+	return s.append(recCheckpoint, cr)
+}
+
+// Progress returns a deep copy of the job's latest checkpoint — the
+// scheduler seeds its lease pool from this at resume.
+func (s *Store) Progress(id string) (*dispatch.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	cp := r.cp
+	cp.Remaining = append([]dispatch.CheckpointInterval(nil), r.cp.Remaining...)
+	cp.Found = nil
+	for _, f := range r.cp.Found {
+		cp.Found = append(cp.Found, append([]byte(nil), f...))
+	}
+	return &cp, nil
+}
+
+// snapshotJob builds the public view. Callers hold s.mu.
+func (s *Store) snapshotJob(r *jobRec) Job {
+	j := Job{
+		ID:          r.id,
+		Tenant:      r.tenant,
+		Priority:    r.priority,
+		Spec:        r.spec,
+		State:       r.state,
+		Reason:      r.reason,
+		Space:       r.space.String(),
+		Tested:      r.cp.Tested,
+		Remaining:   r.cp.RemainingKeys().String(),
+		SubmittedAt: r.subAt,
+		UpdatedAt:   r.updAt,
+	}
+	for _, f := range r.cp.Found {
+		j.Found = append(j.Found, string(f))
+	}
+	return j
+}
+
+// Snapshot file format: the job table plus the WAL sequence watermark
+// it covers, with a CRC over the canonical encoding (same integrity
+// scheme as dispatch checkpoints). Replay skips records at or below
+// Seq, so a crash between snapshot rename and WAL truncation applies
+// nothing twice.
+
+type snapJob struct {
+	ID          string              `json:"id"`
+	Tenant      string              `json:"tenant"`
+	Priority    int                 `json:"priority"`
+	Spec        Spec                `json:"spec"`
+	State       State               `json:"state"`
+	Reason      string              `json:"reason,omitempty"`
+	CP          dispatch.Checkpoint `json:"cp"`
+	SubmittedAt int64               `json:"submitted_at_unix_ns"`
+	UpdatedAt   int64               `json:"updated_at_unix_ns"`
+}
+
+type snapBody struct {
+	Seq  uint64    `json:"seq"`
+	Jobs []snapJob `json:"jobs"`
+}
+
+type snapEnvelope struct {
+	snapBody
+	Sum string `json:"sum"`
+}
+
+func snapSum(b *snapBody) (string, error) {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(body)), nil
+}
+
+// loadSnapshot populates the table from snapFile if present, returning
+// the WAL sequence watermark it covers.
+func (s *Store) loadSnapshot() (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var env snapEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return 0, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	if env.Sum == "" {
+		return 0, fmt.Errorf("%w: snapshot: missing checksum", ErrCorrupt)
+	}
+	want, err := snapSum(&env.snapBody)
+	if err != nil {
+		return 0, err
+	}
+	if env.Sum != want {
+		return 0, fmt.Errorf("%w: snapshot: checksum mismatch (file %s, content %s)", ErrCorrupt, env.Sum, want)
+	}
+	for _, sj := range env.Jobs {
+		space, err := sj.Spec.Space()
+		if err != nil {
+			return 0, fmt.Errorf("%w: snapshot job %s: %v", ErrCorrupt, sj.ID, err)
+		}
+		if !sj.State.Valid() {
+			return 0, fmt.Errorf("%w: snapshot job %s: invalid state", ErrCorrupt, sj.ID)
+		}
+		s.jobs[sj.ID] = &jobRec{
+			id:       sj.ID,
+			tenant:   sj.Tenant,
+			priority: sj.Priority,
+			spec:     sj.Spec,
+			state:    sj.State,
+			reason:   sj.Reason,
+			space:    space.Size(),
+			cp:       sj.CP,
+			subAt:    time.Unix(0, sj.SubmittedAt),
+			updAt:    time.Unix(0, sj.UpdatedAt),
+		}
+		s.order = append(s.order, sj.ID)
+	}
+	sort.Strings(s.order)
+	return env.Seq, nil
+}
+
+// Compact snapshots the table and truncates the WAL.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked writes the snapshot atomically (tmp + fsync + rename),
+// then truncates the log. The order matters: after the rename the
+// snapshot alone reconstructs the table, so losing the log contents is
+// safe; before the rename the old snapshot + full log still does.
+func (s *Store) compactLocked() error {
+	body := snapBody{Seq: s.w.seq}
+	for _, id := range s.order {
+		r := s.jobs[id]
+		body.Jobs = append(body.Jobs, snapJob{
+			ID:          r.id,
+			Tenant:      r.tenant,
+			Priority:    r.priority,
+			Spec:        r.spec,
+			State:       r.state,
+			Reason:      r.reason,
+			CP:          r.cp,
+			SubmittedAt: r.subAt.UnixNano(),
+			UpdatedAt:   r.updAt.UnixNano(),
+		})
+	}
+	sum, err := snapSum(&body)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(snapEnvelope{snapBody: body, Sum: sum})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, snapFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
+		return err
+	}
+	s.dirty = 0
+	s.tel.snapshots.Inc()
+	return nil
+}
+
+// Close flushes and releases the WAL. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.f.Sync()
+	if cerr := s.w.close(); err == nil {
+		err = cerr
+	}
+	s.w = nil
+	return err
+}

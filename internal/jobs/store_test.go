@@ -1,0 +1,407 @@
+package jobs
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"keysearch/internal/dispatch"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
+)
+
+// testSpec is a tiny two-letter space: charset "ab", lengths 1..3,
+// 2+4+8 = 14 keys, target md5("ba").
+func testSpec() Spec {
+	sum := md5.Sum([]byte("ba"))
+	return Spec{Algorithm: "md5", Target: hex.EncodeToString(sum[:]), Charset: "ab", MinLen: 1, MaxLen: 3}
+}
+
+func testStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	var tick int64
+	s, err := Open(dir, StoreOptions{
+		NoSync: true,
+		Now:    func() time.Time { tick++; return time.Unix(0, tick) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// cut carves n keys off the front of the job's remaining set and
+// returns the checkpoint that records them as tested.
+func cut(t *testing.T, s *Store, id string, n int64) *dispatch.Checkpoint {
+	t.Helper()
+	cp, err := s.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := cp.Intervals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) == 0 {
+		t.Fatalf("job %s has nothing remaining", id)
+	}
+	head, tail := ivs[0].Take(big.NewInt(n))
+	taken, _ := head.Len64()
+	rest := append([]keyspace.Interval{tail}, ivs[1:]...)
+	return dispatch.NewCheckpoint(rest, cp.Tested+taken, cp.Found)
+}
+
+func TestStoreSubmitGetList(t *testing.T) {
+	s := testStore(t, t.TempDir())
+	a, err := s.Submit("alice", 1, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit("bob", 2, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("duplicate IDs: %s", a.ID)
+	}
+	if a.State != StatePending || a.Space != "14" || a.Remaining != "14" || a.Tested != 0 {
+		t.Fatalf("fresh job wrong: %+v", a)
+	}
+	got, err := s.Get(a.ID)
+	if err != nil || got.Tenant != "alice" {
+		t.Fatalf("Get: %+v, %v", got, err)
+	}
+	if l := s.List(""); len(l) != 2 || l[0].ID != a.ID || l[1].ID != b.ID {
+		t.Fatalf("List all: %+v", l)
+	}
+	if l := s.List("bob"); len(l) != 1 || l[0].ID != b.ID {
+		t.Fatalf("List bob: %+v", l)
+	}
+	if _, err := s.Get("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing job: %v", err)
+	}
+	if ts := s.Tenants(); len(ts) != 2 || ts[0] != "alice" || ts[1] != "bob" {
+		t.Fatalf("Tenants: %v", ts)
+	}
+}
+
+func TestStoreSubmitValidation(t *testing.T) {
+	s := testStore(t, t.TempDir())
+	if _, err := s.Submit("", 0, testSpec()); err == nil {
+		t.Error("empty tenant accepted")
+	}
+	bad := testSpec()
+	bad.Target = "zz"
+	if _, err := s.Submit("t", 0, bad); err == nil {
+		t.Error("bad digest accepted")
+	}
+	bad = testSpec()
+	bad.Algorithm = "rot13"
+	if _, err := s.Submit("t", 0, bad); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := testStore(t, t.TempDir())
+	j, err := s.Submit("t", 0, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, to := range []State{StateRunning, StatePaused, StatePending, StateRunning, StateDone} {
+		if _, err := s.SetState(j.ID, to, ""); err != nil {
+			t.Fatalf("-> %s: %v", to, err)
+		}
+	}
+	if _, err := s.SetState(j.ID, StateRunning, ""); !errors.Is(err, ErrTransition) {
+		t.Fatalf("transition out of terminal: %v", err)
+	}
+	if err := s.RecordCheckpoint(j.ID, cut(t, s, j.ID, 2)); err == nil {
+		t.Error("checkpoint accepted in terminal state")
+	}
+	if _, err := s.SetState(j.ID, State(42), ""); !errors.Is(err, ErrTransition) {
+		t.Fatalf("invalid target state: %v", err)
+	}
+}
+
+func TestStoreCheckpointProgress(t *testing.T) {
+	s := testStore(t, t.TempDir())
+	j, _ := s.Submit("t", 0, testSpec())
+	s.SetState(j.ID, StateRunning, "")
+
+	cp := cut(t, s, j.ID, 5)
+	cp.Found = [][]byte{[]byte("ba")}
+	if err := s.RecordCheckpoint(j.ID, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(j.ID)
+	if got.Tested != 5 || got.Remaining != "9" {
+		t.Fatalf("after checkpoint: tested=%d remaining=%s", got.Tested, got.Remaining)
+	}
+	if len(got.Found) != 1 || got.Found[0] != "ba" {
+		t.Fatalf("found: %v", got.Found)
+	}
+
+	// Tested must be monotonic; coverage must never exceed the space.
+	back := dispatch.NewCheckpoint(nil, 3, nil)
+	if err := s.RecordCheckpoint(j.ID, back); err == nil {
+		t.Error("tested went backwards, accepted")
+	}
+	over := cut(t, s, j.ID, 2)
+	over.Tested = 14 // remaining still 7: 14+7 > 14
+	if err := s.RecordCheckpoint(j.ID, over); err == nil {
+		t.Error("coverage beyond space accepted")
+	}
+	if err := s.RecordCheckpoint("nope", cp); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: %v", err)
+	}
+}
+
+// reopen simulates a crash: the old store is NOT closed; a second store
+// opens the same directory from what reached the files.
+func reopen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func sameTable(t *testing.T, a, b *Store) {
+	t.Helper()
+	la, lb := a.List(""), b.List("")
+	if len(la) != len(lb) {
+		t.Fatalf("table sizes differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		x, y := la[i], lb[i]
+		if x.ID != y.ID || x.Tenant != y.Tenant || x.Priority != y.Priority ||
+			x.State != y.State || x.Tested != y.Tested || x.Remaining != y.Remaining ||
+			x.Space != y.Space || len(x.Found) != len(y.Found) ||
+			!x.SubmittedAt.Equal(y.SubmittedAt) || !x.UpdatedAt.Equal(y.UpdatedAt) {
+			t.Fatalf("job %d differs:\n  %+v\n  %+v", i, x, y)
+		}
+	}
+}
+
+func TestStoreRecoverAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir)
+	a, _ := s.Submit("alice", 1, testSpec())
+	b, _ := s.Submit("bob", 2, testSpec())
+	s.SetState(a.ID, StateRunning, "")
+	s.SetState(b.ID, StateRunning, "")
+	if err := s.RecordCheckpoint(a.ID, cut(t, s, a.ID, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordCheckpoint(b.ID, cut(t, s, b.ID, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetState(b.ID, StatePaused, "operator")
+
+	// Kill: no Close, no flush beyond what append already wrote.
+	s2 := reopen(t, dir)
+	sameTable(t, s, s2)
+	cp, err := s2.Progress(a.ID)
+	if err != nil || cp.Tested != 6 || cp.RemainingKeys().String() != "8" {
+		t.Fatalf("recovered progress: %+v, %v", cp, err)
+	}
+	// The recovered store keeps working and its writes survive another
+	// reopen.
+	if err := s2.RecordCheckpoint(a.ID, cut(t, s2, a.ID, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.SetState(a.ID, StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	s3 := reopen(t, dir)
+	sameTable(t, s2, s3)
+	done, _ := s3.Get(a.ID)
+	if done.State != StateDone || done.Tested != 14 || done.Remaining != "0" {
+		t.Fatalf("after resume: %+v", done)
+	}
+}
+
+func TestStoreTornTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir)
+	j, _ := s.Submit("t", 0, testSpec())
+	s.SetState(j.ID, StateRunning, "")
+	s.Close()
+
+	// A crash mid-append leaves a partial frame at the tail.
+	path := filepath.Join(dir, walFile)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), clean...), appendRecord(nil, recState, 99, []byte(`{"id":"x"}`))[:7]...)
+	if err := os.WriteFile(path, torn, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, dir)
+	got, err := s2.Get(j.ID)
+	if err != nil || got.State != StateRunning {
+		t.Fatalf("recovered: %+v, %v", got, err)
+	}
+	// The tail was truncated, so the next append lands on a record
+	// boundary and a further reopen still works.
+	if after, err := os.ReadFile(path); err != nil || len(after) != len(clean) {
+		t.Fatalf("tail not truncated: %d bytes, want %d (%v)", len(after), len(clean), err)
+	}
+	if _, err := s2.SetState(j.ID, StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	s3 := reopen(t, dir)
+	sameTable(t, s2, s3)
+}
+
+func TestStoreCorruptLogRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir)
+	s.Submit("t", 0, testSpec())
+	s.Submit("t", 0, testSpec())
+	s.Close()
+
+	path := filepath.Join(dir, walFile)
+	data, _ := os.ReadFile(path)
+	data[walHeader+2] ^= 0x20 // damage the first record's payload
+	os.WriteFile(path, data, 0o600)
+	if _, err := Open(dir, StoreOptions{NoSync: true}); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestStoreReorderedLogRefused(t *testing.T) {
+	dir := t.TempDir()
+	sr1 := mustJSON(t, submitRecord{ID: "j1", Tenant: "t", Spec: testSpec(), At: 1})
+	sr3 := mustJSON(t, submitRecord{ID: "j3", Tenant: "t", Spec: testSpec(), At: 3})
+	var buf []byte
+	buf = appendRecord(buf, recSubmit, 1, sr1)
+	buf = appendRecord(buf, recSubmit, 3, sr3) // gap: seq 2 missing
+	os.WriteFile(filepath.Join(dir, walFile), buf, 0o600)
+	if _, err := Open(dir, StoreOptions{NoSync: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("spliced log: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir)
+	a, _ := s.Submit("alice", 1, testSpec())
+	b, _ := s.Submit("bob", 0, testSpec())
+	s.SetState(a.ID, StateRunning, "")
+	s.RecordCheckpoint(a.ID, cut(t, s, a.ID, 4))
+	walBefore, _ := os.ReadFile(filepath.Join(dir, walFile))
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, walFile)); err != nil || st.Size() != 0 {
+		t.Fatalf("WAL not truncated: %v, %v", st, err)
+	}
+	// Mutations after compaction land in the (empty) log; recovery uses
+	// snapshot + suffix.
+	s.SetState(b.ID, StateCancelled, "not needed")
+	s2 := reopen(t, dir)
+	sameTable(t, s, s2)
+
+	// Crash between snapshot rename and WAL truncation: the old log is
+	// still there in full, but replay skips everything the snapshot
+	// covers — nothing applies twice.
+	if err := os.WriteFile(filepath.Join(dir, walFile), walBefore, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, _ := s3.Get(a.ID)
+	if got.Tested != 4 || got.Remaining != "10" {
+		t.Fatalf("snapshot+stale-log replay: %+v", got)
+	}
+}
+
+func TestStoreAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, StoreOptions{NoSync: true, CompactEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, _ := s.Submit("t", 0, testSpec())
+	s.SetState(j.ID, StateRunning, "")
+	s.SetState(j.ID, StatePaused, "")
+	if _, err := os.Stat(filepath.Join(dir, snapFile)); err != nil {
+		t.Fatalf("no snapshot after CompactEvery records: %v", err)
+	}
+	if st, _ := os.Stat(filepath.Join(dir, walFile)); st.Size() != 0 {
+		t.Fatalf("WAL not truncated after auto-compaction: %d bytes", st.Size())
+	}
+	s2 := reopen(t, dir)
+	sameTable(t, s, s2)
+}
+
+func TestStoreCorruptSnapshotRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, dir)
+	s.Submit("t", 0, testSpec())
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapFile)
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x01
+	os.WriteFile(path, data, 0o600)
+	if _, err := Open(dir, StoreOptions{NoSync: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreTelemetry: the WAL counters move with the writes they count.
+func TestStoreTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	s, err := Open(dir, StoreOptions{Telemetry: reg}) // sync mode: fsync observed
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Submit("t", 0, testSpec())
+	s.SetState(j.ID, StateRunning, "")
+	if got := reg.Counter(telemetry.MetricJobsWALAppends).Value(); got != 2 {
+		t.Errorf("appends = %d, want 2", got)
+	}
+	if reg.Counter(telemetry.MetricJobsWALBytes).Value() == 0 {
+		t.Error("bytes = 0")
+	}
+	if reg.Histogram(telemetry.MetricJobsWALFsync).Count() != 2 {
+		t.Error("fsync latency not observed")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter(telemetry.MetricJobsSnapshots).Value() != 1 {
+		t.Error("snapshot not counted")
+	}
+	s.Close()
+
+	reg2 := telemetry.NewRegistry()
+	s2, err := Open(dir, StoreOptions{Telemetry: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := reg2.Counter(telemetry.MetricJobsWALReplayed).Value(); got != 0 {
+		t.Errorf("replayed %d records after compaction, want 0", got)
+	}
+}

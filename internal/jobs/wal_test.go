@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRecordRoundTrip: frames written by appendRecord decode back
+// unchanged, one after another.
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte(`{"a":1}`), {}, bytes.Repeat([]byte{0xab}, 1000)}
+	for i, p := range payloads {
+		buf = appendRecord(buf, recSubmit, uint64(i+1), p)
+	}
+	r := bytes.NewReader(buf)
+	for i, p := range payloads {
+		rec, err := readRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.typ != recSubmit || rec.seq != uint64(i+1) || !bytes.Equal(rec.payload, p) {
+			t.Fatalf("record %d mangled: %+v", i, rec)
+		}
+	}
+	if _, err := readRecord(r); err != io.EOF {
+		t.Fatalf("end of log: got %v, want io.EOF", err)
+	}
+}
+
+// TestReadRecordTornVsCorrupt: every truncation point inside a record is
+// ErrTorn (repairable crash residue); byte damage is ErrCorrupt.
+func TestReadRecordTornVsCorrupt(t *testing.T) {
+	frame := appendRecord(nil, recState, 7, []byte(`{"id":"j1"}`))
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := readRecord(bytes.NewReader(frame[:cut]))
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut at %d/%d: got %v, want ErrTorn", cut, len(frame), err)
+		}
+	}
+	for i := range frame {
+		damaged := append([]byte(nil), frame...)
+		damaged[i] ^= 0x40
+		_, err := readRecord(bytes.NewReader(damaged))
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Oversized length prefix must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, byte(recSubmit), 0, 0, 0, 0, 0, 0, 0, 1}
+	if _, err := readRecord(bytes.NewReader(huge)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized payload: got %v, want ErrCorrupt", err)
+	}
+	// Unknown record type.
+	bad := appendRecord(nil, recType(99), 1, nil)
+	if _, err := readRecord(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown type: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayLogTornTail: a log whose last record is cut short replays
+// the clean prefix without error and reports the truncation offset.
+func TestReplayLogTornTail(t *testing.T) {
+	var buf []byte
+	buf = appendRecord(buf, recSubmit, 1, []byte(`1`))
+	buf = appendRecord(buf, recSubmit, 2, []byte(`2`))
+	clean := int64(len(buf))
+	buf = append(buf, appendRecord(nil, recSubmit, 3, []byte(`3`))[:5]...)
+
+	var got []uint64
+	last, off, err := replayLog(bytes.NewReader(buf), 0, func(r record) error {
+		got = append(got, r.seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 2 || off != clean {
+		t.Fatalf("last=%d off=%d, want last=2 off=%d", last, off, clean)
+	}
+	if len(got) != 2 {
+		t.Fatalf("applied %v, want seqs 1,2", got)
+	}
+}
+
+// TestReplayLogRejectsReordered: sequence gaps and repeats are corrupt,
+// not torn — a spliced log must not replay.
+func TestReplayLogRejectsReordered(t *testing.T) {
+	cases := map[string][]uint64{
+		"gap":      {1, 3},
+		"repeat":   {1, 1},
+		"backward": {2, 1},
+	}
+	for name, seqs := range cases {
+		var buf []byte
+		for _, q := range seqs {
+			buf = appendRecord(buf, recSubmit, q, []byte(`{}`))
+		}
+		_, _, err := replayLog(bytes.NewReader(buf), 0, func(record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s (%v): got %v, want ErrCorrupt", name, seqs, err)
+		}
+	}
+}
+
+// TestReplayLogSnapshotWatermark: records at or below the watermark are
+// skipped (crash between snapshot rename and log truncation), records
+// above it apply.
+func TestReplayLogSnapshotWatermark(t *testing.T) {
+	var buf []byte
+	for q := uint64(1); q <= 5; q++ {
+		buf = appendRecord(buf, recState, q, []byte(`{}`))
+	}
+	var got []uint64
+	last, off, err := replayLog(bytes.NewReader(buf), 3, func(r record) error {
+		got = append(got, r.seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 5 || off != int64(len(buf)) {
+		t.Fatalf("last=%d off=%d, want 5, %d", last, off, len(buf))
+	}
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("applied %v, want [4 5]", got)
+	}
+}
+
+// TestReplayLogApplyErrorAborts: a record that fails to apply aborts
+// recovery with that error rather than skipping it.
+func TestReplayLogApplyErrorAborts(t *testing.T) {
+	var buf []byte
+	buf = appendRecord(buf, recSubmit, 1, []byte(`{}`))
+	buf = appendRecord(buf, recSubmit, 2, []byte(`{}`))
+	boom := errors.New("boom")
+	applied := 0
+	_, _, err := replayLog(bytes.NewReader(buf), 0, func(r record) error {
+		applied++
+		if r.seq == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d records, want 2", applied)
+	}
+}

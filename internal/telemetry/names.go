@@ -17,8 +17,8 @@ const (
 	MetricDispatchXj       = "dispatch.x"         // gauge (per worker): tuned throughput X_j, keys/s
 
 	// Cluster simulator (internal/dispatch, virtual time).
-	MetricClusterTested = "cluster.tested" // counter (per leaf): keys tested
-	MetricClusterX      = "cluster.x"      // gauge (per tree node): measured subtree throughput, keys/s
+	MetricClusterTested = "cluster.tested"  // counter (per leaf): keys tested
+	MetricClusterX      = "cluster.x"       // gauge (per tree node): measured subtree throughput, keys/s
 	MetricClusterModelX = "cluster.model_x" // gauge (per tree node): SumThroughput yardstick, keys/s
 
 	// Transport (internal/netproto).
@@ -34,7 +34,33 @@ const (
 	// Fine-grain search loops (internal/core). Batched per chunk.
 	MetricCoreTested = "core.tested" // counter: candidates evaluated locally
 	MetricCoreRate   = "core.rate"   // meter: candidates/s (windowed)
+
+	// Job service (internal/jobs): multi-tenant multiplexing of search
+	// jobs over one fleet. Per-tenant variants append the tenant name
+	// (PerTenant).
+	MetricJobsSubmitted    = "jobs.submitted"        // counter: jobs accepted
+	MetricJobsCompleted    = "jobs.completed"        // counter: jobs reaching DONE
+	MetricJobsFailed       = "jobs.failed"           // counter: jobs reaching FAILED
+	MetricJobsCancelled    = "jobs.cancelled"        // counter: jobs reaching CANCELLED
+	MetricJobsQueueDepth   = "jobs.queue_depth"      // gauge: jobs waiting for admission
+	MetricJobsRunning      = "jobs.running"          // gauge: jobs admitted and schedulable
+	MetricJobsLeases       = "jobs.leases"           // counter: leases issued to executors
+	MetricJobsLeaseLen     = "jobs.lease_len"        // histogram: issued lease size, keys
+	MetricJobsPreempted    = "jobs.preempted"        // counter: chunk-boundary hand-offs to another job
+	MetricJobsRequeues     = "jobs.requeues"         // counter: leases returned by failed executors
+	MetricJobsSchedLatency = "jobs.sched_latency_ns" // histogram: executor-idle time between leases, ns
+	MetricJobsTenantServed = "jobs.tenant_served"    // counter (per tenant): keys committed
+	MetricJobsTenantShare  = "jobs.tenant_share"     // gauge (per tenant): fraction of committed keys
+	MetricJobsWALAppends   = "jobs.wal_appends"      // counter: WAL records written
+	MetricJobsWALBytes     = "jobs.wal_bytes"        // counter: WAL bytes written
+	MetricJobsWALFsync     = "jobs.wal_fsync_ns"     // histogram: per-append fsync latency, ns
+	MetricJobsWALReplayed  = "jobs.wal_replayed"     // counter: records replayed at open
+	MetricJobsSnapshots    = "jobs.wal_snapshots"    // counter: snapshot compactions
 )
 
 // PerNode appends a node/worker name to a base metric name.
 func PerNode(base, node string) string { return base + "." + node }
+
+// PerTenant appends a tenant name to a base metric name (the job
+// service's per-tenant fair-share metrics).
+func PerTenant(base, tenant string) string { return base + "." + tenant }
