@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"keysearch/internal/jobs"
+	"keysearch/internal/netproto"
 	"keysearch/internal/telemetry"
 )
 
@@ -27,16 +28,19 @@ type jobsFlags struct {
 	maxLease   uint64
 	drain      time.Duration
 	noSync     bool
+	fleet      int
+	fleetAddr  string
 }
 
 // runJobs is keymaster's multi-tenant service mode: instead of driving
-// one search to completion, it opens the WAL-backed job store, builds a
-// local executor fleet, and serves the job API on the listen address
-// until SIGTERM/SIGINT. Shutdown is graceful: admission stops, in-flight
-// leases drain to their chunk boundary and checkpoint, the WAL flushes —
-// bounded by -jobs-drain, after which leases are cut loose (their
-// intervals stay in the durable remaining set).
-func runJobs(listen, statusAddr string, jf jobsFlags, reg *telemetry.Registry) error {
+// one search to completion, it opens the WAL-backed job store, builds an
+// executor fleet — local executors plus, with -jobs-fleet, keyworker TCP
+// processes wrapped in netproto.Executor — and serves the job API on the
+// listen address until SIGTERM/SIGINT. Shutdown is graceful: admission
+// stops, in-flight leases drain to their chunk boundary and checkpoint,
+// the WAL flushes — bounded by -jobs-drain, after which leases are cut
+// loose (their intervals stay in the durable remaining set).
+func runJobs(listen, statusAddr string, jf jobsFlags, mopts netproto.MasterOptions, reg *telemetry.Registry) error {
 	weights, err := parseWeights(jf.weights)
 	if err != nil {
 		return err
@@ -50,9 +54,30 @@ func runJobs(listen, statusAddr string, jf jobsFlags, reg *telemetry.Registry) e
 		return err
 	}
 
-	execs := make([]jobs.Executor, jf.execs)
-	for i := range execs {
-		execs[i] = jobs.NewLocalExecutor(fmt.Sprintf("local-%d", i), jf.threads)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	execs := make([]jobs.Executor, 0, jf.execs+jf.fleet)
+	for i := 0; i < jf.execs; i++ {
+		execs = append(execs, jobs.NewLocalExecutor(fmt.Sprintf("local-%d", i), jf.threads))
+	}
+	if jf.fleet > 0 {
+		master, err := netproto.NewMaster(jf.fleetAddr, mopts)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		defer master.Close()
+		fmt.Printf("fleet: listening on %s, waiting for %d keyworker(s)\n", master.Addr(), jf.fleet)
+		remote, err := master.AcceptWorkers(ctx, jf.fleet)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		for _, w := range remote {
+			fmt.Printf("fleet: worker connected: %s\n", w.Name())
+			execs = append(execs, netproto.NewExecutor(w))
+		}
 	}
 	svc := jobs.NewService(store, execs, jobs.Options{
 		Sched: jobs.SchedOptions{
@@ -64,9 +89,6 @@ func runJobs(listen, statusAddr string, jf jobsFlags, reg *telemetry.Registry) e
 		MaxLease:   jf.maxLease,
 		Telemetry:  reg,
 	})
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if err := svc.Start(ctx); err != nil {
 		store.Close()

@@ -1,7 +1,8 @@
 // Command keymaster is the cluster master: it listens for keyworker
-// processes, sends them the cracking job, runs the tuning step, balances
-// interval sizes to measured throughputs and dispatches until the digest
-// is cracked — the coarse-grain half of the paper's pattern over real TCP.
+// processes, registers the cracking job's spec on each connection, runs
+// the tuning step, balances interval sizes to measured throughputs and
+// dispatches until the digest is cracked — the coarse-grain half of the
+// paper's pattern over real TCP.
 //
 // Usage:
 //
@@ -10,11 +11,15 @@
 //	    -charset abcdefghijklmnopqrstuvwxyz -min 1 -max 4
 //
 // With -jobs it instead runs the multi-tenant job service: a WAL-backed
-// job store, a fair-share scheduler over a local executor fleet, and the
-// HTTP job API on -listen (see cmd/keyjob for the client):
+// job store, a fair-share scheduler over an executor fleet, and the
+// HTTP job API on -listen (see cmd/keyjob for the client). The fleet is
+// local executors (-jobs-execs), keyworker TCP processes (-jobs-fleet /
+// -jobs-fleet-listen; protocol v2 lets one worker serve every tenant's
+// jobs), or a mix:
 //
 //	keymaster -jobs /var/lib/keysearch -listen 127.0.0.1:9040 \
-//	    -jobs-weights alice=3,bob=1
+//	    -jobs-weights alice=3,bob=1 \
+//	    -jobs-fleet 2 -jobs-fleet-listen 127.0.0.1:9031
 package main
 
 import (
@@ -68,6 +73,8 @@ func main() {
 	flag.Uint64Var(&jf.maxLease, "jobs-max-lease", 0, "cap on lease size in keys, 0 = uncapped (jobs mode)")
 	flag.DurationVar(&jf.drain, "jobs-drain", 30*time.Second, "graceful-shutdown drain deadline (jobs mode)")
 	flag.BoolVar(&jf.noSync, "jobs-no-sync", false, "skip fsync on WAL appends; faster, loses the last commits on power loss (jobs mode)")
+	flag.IntVar(&jf.fleet, "jobs-fleet", 0, "accept this many keyworker TCP processes into the executor fleet (jobs mode)")
+	flag.StringVar(&jf.fleetAddr, "jobs-fleet-listen", "127.0.0.1:9031", "address the fleet master listens on for keyworkers (jobs mode)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -85,8 +92,18 @@ func main() {
 		fmt.Printf("status endpoint on http://%s/status\n", *statusAddr)
 	}
 
+	mopts := netproto.MasterOptions{
+		Heartbeat:        *heartbeat,
+		HeartbeatTimeout: *detect,
+		Retry:            netproto.RetryPolicy{MaxAttempts: *retries},
+		Telemetry:        reg,
+	}
+	if *heartbeat == 0 {
+		mopts.Heartbeat = -1
+	}
+
 	if jf.dir != "" {
-		if err := runJobs(*listen, *statusAddr, jf, reg); err != nil {
+		if err := runJobs(*listen, *statusAddr, jf, mopts, reg); err != nil {
 			fatal(err)
 		}
 		return
@@ -115,16 +132,7 @@ func main() {
 		fatal(err)
 	}
 
-	mopts := netproto.MasterOptions{
-		Heartbeat:        *heartbeat,
-		HeartbeatTimeout: *detect,
-		Retry:            netproto.RetryPolicy{MaxAttempts: *retries},
-		Telemetry:        reg,
-	}
-	if *heartbeat == 0 {
-		mopts.Heartbeat = -1
-	}
-	master, err := netproto.NewMaster(*listen, spec, mopts)
+	master, err := netproto.NewMaster(*listen, mopts)
 	if err != nil {
 		fatal(err)
 	}
@@ -170,7 +178,7 @@ func main() {
 			}
 		}
 	}
-	d := dispatch.NewDispatcher("keymaster", opts, workers...)
+	d := dispatch.NewDispatcher("keymaster", opts, netproto.BindWorkers(spec, workers)...)
 
 	start := time.Now()
 	var rep *dispatch.Report

@@ -1,6 +1,8 @@
-// Command keyworker is a cluster worker: it dials a keymaster, receives
-// the cracking job, and serves tune/search requests on the local CPU
-// cores until the master disconnects. With -reconnect it re-dials after
+// Command keyworker is a cluster worker: it dials a keymaster and serves
+// tune/search requests on the local CPU cores until the master
+// disconnects. Job specs arrive over the wire per call (protocol v2's
+// spec table), so one worker serves any number of jobs — including every
+// tenant of a keymaster -jobs service. With -reconnect it re-dials after
 // transient failures, re-registering under the same name so the master
 // hands it back its place in the cluster.
 //

@@ -1,0 +1,99 @@
+package netproto
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/dispatch"
+	"keysearch/internal/jobs"
+	"keysearch/internal/keyspace"
+)
+
+// Executor adapts a RemoteWorker to the job service's jobs.Executor
+// contract: every Search carries its spec, so one TCP fleet serves any
+// number of tenants' jobs concurrently. The spec rides to the worker at
+// most once per connection (see RemoteWorker), and rejoin, heartbeat and
+// requeue semantics are exactly those of the dispatch path — the service
+// sees a failed lease and requeues it, never a torn one.
+type Executor struct {
+	w *RemoteWorker
+
+	mu    sync.Mutex
+	specs map[jobs.Spec]JobSpec
+}
+
+// NewExecutor wraps an accepted remote worker as a job-service executor.
+func NewExecutor(w *RemoteWorker) *Executor {
+	return &Executor{w: w, specs: make(map[jobs.Spec]JobSpec)}
+}
+
+// Name identifies the underlying worker.
+func (e *Executor) Name() string { return e.w.Name() }
+
+// Tune benchmarks the remote worker over the same synthetic MD5 space
+// jobs.LocalExecutor uses, so a mixed local/remote fleet's balance-rule
+// shares are comparable.
+func (e *Executor) Tune(ctx context.Context) (core.Tuning, error) {
+	sum := md5.Sum([]byte("keysearch-tune"))
+	spec, err := e.wireSpec(jobs.Spec{
+		Algorithm: "md5",
+		Target:    hex.EncodeToString(sum[:]),
+		Charset:   "abcdefghijklmnopqrstuvwxyz0123456789",
+		MinLen:    1,
+		MaxLen:    8,
+	})
+	if err != nil {
+		return core.Tuning{}, err
+	}
+	return e.w.TuneSpec(ctx, spec)
+}
+
+// Search runs the lease remotely against the job's spec.
+func (e *Executor) Search(ctx context.Context, spec jobs.Spec, iv keyspace.Interval) (*dispatch.Report, error) {
+	ws, err := e.wireSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.w.SearchSpec(ctx, ws, iv)
+}
+
+func (e *Executor) wireSpec(spec jobs.Spec) (JobSpec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ws, ok := e.specs[spec]; ok {
+		return ws, nil
+	}
+	ws, err := WireSpec(spec)
+	if err == nil {
+		e.specs[spec] = ws
+	}
+	return ws, err
+}
+
+// WireSpec converts an API-level job spec to its wire form. The order
+// must stay PrefixMajor: the service's interval identifiers are defined
+// over jobs.Spec.Space and the worker must map them to the same keys.
+func WireSpec(spec jobs.Spec) (JobSpec, error) {
+	alg, err := cracker.ParseAlgorithm(spec.Algorithm)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	target, err := hex.DecodeString(spec.Target)
+	if err != nil || len(target) != alg.DigestSize() {
+		return JobSpec{}, fmt.Errorf("netproto: bad %s digest %q", spec.Algorithm, spec.Target)
+	}
+	return JobSpec{
+		Algorithm: alg,
+		Kind:      cracker.KernelOptimized,
+		Target:    target,
+		Charset:   spec.Charset,
+		MinLen:    spec.MinLen,
+		MaxLen:    spec.MaxLen,
+		Order:     keyspace.PrefixMajor,
+	}, nil
+}

@@ -1,0 +1,259 @@
+package netproto
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/keyspace"
+)
+
+// TestHelperWorkerProcess is not a test: it is the keyworker subprocess
+// body for TestJobServiceDrivesTCPFleet, re-executed from the test
+// binary so the fleet is real OS processes. Env-gated; normal runs skip
+// it instantly.
+func TestHelperWorkerProcess(t *testing.T) {
+	if os.Getenv("KEYSEARCH_WORKER_HELPER") != "1" {
+		return
+	}
+	err := DialRetry(context.Background(), os.Getenv("KEYSEARCH_MASTER_ADDR"), WorkerConfig{
+		Name:      os.Getenv("KEYSEARCH_WORKER_NAME"),
+		Workers:   2,
+		TuneStart: 1024,
+	}, RetryPolicy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper worker:", err)
+	}
+	os.Exit(0)
+}
+
+func spawnHelperWorker(t *testing.T, addr, name string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorkerProcess$")
+	cmd.Env = append(os.Environ(),
+		"KEYSEARCH_WORKER_HELPER=1",
+		"KEYSEARCH_MASTER_ADDR="+addr,
+		"KEYSEARCH_WORKER_NAME="+name)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestJobServiceDrivesTCPFleet is the keymaster -jobs -jobs-fleet path
+// end to end: a multi-tenant job service whose only executors are
+// netproto.Executor adapters over keyworker processes — real fork/exec
+// subprocesses of the test binary, reached over real TCP. Three jobs
+// from two tenants run concurrently over two workers (the multi-spec
+// protocol interleaves their specs on the same connections), one worker
+// is SIGKILLed mid-run and a same-name replacement process rejoins
+// inside the retry window. Every job must finish with exact coverage:
+// its committed leases tile its keyspace with no gap, overlap, or
+// double count.
+func TestJobServiceDrivesTCPFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+
+	master, err := NewMaster("127.0.0.1:0", MasterOptions{
+		Heartbeat:        100 * time.Millisecond,
+		HeartbeatTimeout: 3 * time.Second,
+		Retry:            RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	procs := map[string]*exec.Cmd{
+		"fleet-1": spawnHelperWorker(t, master.Addr(), "fleet-1"),
+		"fleet-2": spawnHelperWorker(t, master.Addr(), "fleet-2"),
+	}
+	defer func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	remote, err := master.AcceptWorkers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := make([]jobs.Executor, len(remote))
+	for i, w := range remote {
+		execs[i] = NewExecutor(w)
+	}
+
+	store, err := jobs.Open(t.TempDir(), jobs.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Audit every committed lease; OnCommit runs under the service lock
+	// in commit order, after the checkpoint is durable.
+	type span struct {
+		iv     keyspace.Interval
+		tested uint64
+	}
+	var amu sync.Mutex
+	spans := make(map[string][]span)
+	total := 0
+	committed := make(chan struct{}, 256)
+	svc := jobs.NewService(store, execs, jobs.Options{
+		MaxLease:          200,
+		MaxSearchFailures: 20,
+		OnCommit: func(jobID, tenant string, iv keyspace.Interval, tested uint64) {
+			amu.Lock()
+			spans[jobID] = append(spans[jobID], span{iv, tested})
+			total++
+			amu.Unlock()
+			select {
+			case committed <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err := svc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Kill()
+
+	md5hex := func(s string) string {
+		sum := md5.Sum([]byte(s))
+		return hex.EncodeToString(sum[:])
+	}
+	submit := func(tenant, key, charset string, maxLen int) jobs.Job {
+		t.Helper()
+		j, err := svc.Submit(tenant, 0, jobs.Spec{
+			Algorithm: "md5",
+			Target:    md5hex(key),
+			Charset:   charset,
+			MinLen:    1,
+			MaxLen:    maxLen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	want := map[string]struct {
+		job  jobs.Job
+		key  string
+		size uint64
+	}{}
+	j := submit("alice", "cab", "abc", 6) // 3+9+...+729 = 1092 keys
+	want[j.ID] = struct {
+		job  jobs.Job
+		key  string
+		size uint64
+	}{j, "cab", 1092}
+	j = submit("alice", "deb", "bde", 6) // 1092 keys
+	want[j.ID] = struct {
+		job  jobs.Job
+		key  string
+		size uint64
+	}{j, "deb", 1092}
+	j = submit("bob", "fee", "ef", 9) // 2+4+...+512 = 1022 keys
+	want[j.ID] = struct {
+		job  jobs.Job
+		key  string
+		size uint64
+	}{j, "fee", 1022}
+
+	// Let a few leases commit, then SIGKILL one worker mid-run and start
+	// a replacement process under the same name: the master's retry
+	// backoff is its rejoin window, and the replacement's empty spec
+	// table is refilled transparently by the MsgSpec preludes.
+	for {
+		amu.Lock()
+		n := total
+		amu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-committed:
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for the first commits")
+		}
+	}
+	_ = procs["fleet-1"].Process.Kill()
+	_ = procs["fleet-1"].Wait()
+	procs["fleet-1"] = spawnHelperWorker(t, master.Addr(), "fleet-1")
+
+	// Drive all three jobs to completion.
+	for deadline := time.Now().Add(110 * time.Second); ; {
+		done := 0
+		for id := range want {
+			got, err := svc.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State == jobs.StateFailed || got.State == jobs.StateCancelled {
+				t.Fatalf("job %s reached %v (%s)", id, got.State, got.Reason)
+			}
+			if got.Done() {
+				done++
+			}
+		}
+		if done == len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs finished before the deadline", done, len(want))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Exactness: per job, the committed spans tile [0, size) — sorted by
+	// start they must be gapless, non-overlapping, and each span's
+	// tested count must equal its width. A kill mid-lease may cost a
+	// requeue, never a gap and never a double count.
+	amu.Lock()
+	defer amu.Unlock()
+	for id, w := range want {
+		got, err := svc.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tested != w.size {
+			t.Errorf("job %s (tenant %s): tested %d of %d keys", id, got.Tenant, got.Tested, w.size)
+		}
+		if len(got.Found) != 1 || got.Found[0] != w.key {
+			t.Errorf("job %s: found %q, want [%s]", id, got.Found, w.key)
+		}
+		ss := spans[id]
+		sort.Slice(ss, func(i, k int) bool { return ss[i].iv.Start.Cmp(ss[k].iv.Start) < 0 })
+		next := uint64(0)
+		for _, s := range ss {
+			if !s.iv.Start.IsUint64() || s.iv.Start.Uint64() != next {
+				t.Fatalf("job %s: span starts at %v, want %d (gap or overlap)", id, s.iv.Start, next)
+			}
+			width := s.iv.End.Uint64() - s.iv.Start.Uint64()
+			if s.tested != width {
+				t.Fatalf("job %s: span [%v,%v) committed %d tested keys, want %d", id, s.iv.Start, s.iv.End, s.tested, width)
+			}
+			next = s.iv.End.Uint64()
+		}
+		if next != w.size {
+			t.Errorf("job %s: committed spans cover [0,%d), keyspace is %d", id, next, w.size)
+		}
+	}
+
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

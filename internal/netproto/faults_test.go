@@ -62,7 +62,7 @@ func spaceSize(t *testing.T) uint64 {
 func TestClusterSurvivesWorkerDeath(t *testing.T) {
 	run := func(t *testing.T, inject bool) (*dispatch.Report, []string) {
 		spec := testJob(t, "zzz") // last key: the space must be fully searched
-		m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+		m, err := NewMaster("127.0.0.1:0", MasterOptions{
 			Heartbeat: -1, // keep the worker write schedule exact
 			Retry:     fastRetry,
 		})
@@ -98,7 +98,7 @@ func TestClusterSurvivesWorkerDeath(t *testing.T) {
 				requeued = append(requeued, worker)
 				mu.Unlock()
 			},
-		}, workers...)
+		}, BindWorkers(spec, workers)...)
 		rep := searchSpace(ctx, t, d)
 		mu.Lock()
 		defer mu.Unlock()
@@ -138,7 +138,7 @@ func TestClusterSurvivesWorkerDeath(t *testing.T) {
 // the retried call completes — no dispatcher-level requeue, no failure.
 func TestWorkerReconnectsAndRejoins(t *testing.T) {
 	spec := testJob(t, "net")
-	m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+	m, err := NewMaster("127.0.0.1:0", MasterOptions{
 		Heartbeat: -1,
 		Retry:     RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond},
 	})
@@ -167,7 +167,7 @@ func TestWorkerReconnectsAndRejoins(t *testing.T) {
 		MaxSolutions: 1,
 		MaxChunk:     4096,
 		OnRequeue:    func(string, keyspace.Interval, error) { requeues++ },
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
 	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
 	if err != nil {
@@ -187,7 +187,7 @@ func TestWorkerReconnectsAndRejoins(t *testing.T) {
 // interval and finish on the survivor.
 func TestHeartbeatDetectsBlackhole(t *testing.T) {
 	spec := testJob(t, "zzz")
-	m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+	m, err := NewMaster("127.0.0.1:0", MasterOptions{
 		Heartbeat:        50 * time.Millisecond,
 		HeartbeatTimeout: 300 * time.Millisecond,
 		Retry:            fastRetry,
@@ -223,7 +223,7 @@ func TestHeartbeatDetectsBlackhole(t *testing.T) {
 			requeued = append(requeued, worker)
 			mu.Unlock()
 		},
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	rep := searchSpace(ctx, t, d)
 
 	if len(rep.Found) != 1 || string(rep.Found[0]) != "zzz" {
@@ -253,7 +253,7 @@ func TestMasterRestartResumesFromCheckpoint(t *testing.T) {
 	defer cancel()
 
 	// --- first master: search until a few checkpoints land, then "crash".
-	m1, err := NewMaster("127.0.0.1:0", spec, MasterOptions{Heartbeat: -1, Retry: fastRetry})
+	m1, err := NewMaster("127.0.0.1:0", MasterOptions{Heartbeat: -1, Retry: fastRetry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestMasterRestartResumesFromCheckpoint(t *testing.T) {
 			}
 			mu.Unlock()
 		},
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
 	_, err = d1.Search(run1Ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
 	if err == nil {
@@ -303,7 +303,7 @@ func TestMasterRestartResumesFromCheckpoint(t *testing.T) {
 	}
 
 	// --- second master: fresh process, fresh worker, resume.
-	m2, err := NewMaster("127.0.0.1:0", spec, MasterOptions{Heartbeat: -1, Retry: fastRetry})
+	m2, err := NewMaster("127.0.0.1:0", MasterOptions{Heartbeat: -1, Retry: fastRetry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestMasterRestartResumesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2 := dispatch.NewDispatcher("restart-2", dispatch.Options{MaxChunk: 4096}, workers2...)
+	d2 := dispatch.NewDispatcher("restart-2", dispatch.Options{MaxChunk: 4096}, BindWorkers(spec, workers2)...)
 	rep, err := d2.Resume(ctx, cp)
 	if err != nil {
 		t.Fatalf("resume: %v", err)
@@ -332,7 +332,7 @@ func TestMasterRestartResumesFromCheckpoint(t *testing.T) {
 // with ErrMasterClosed (not a raw accept error) and hang up accepted
 // worker connections.
 func TestMasterCloseUnblocksAccept(t *testing.T) {
-	m, err := NewMaster("127.0.0.1:0", testJob(t, "x"))
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

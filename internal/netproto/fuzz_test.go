@@ -22,6 +22,8 @@ func FuzzReadFrame(f *testing.F) {
 		Start: big.NewInt(1 << 40), End: new(big.Int).Lsh(big.NewInt(1), 200),
 		Reason: "worker shutting down",
 	})))
+	f.Add(good(MsgSpec, EncodeSpec(JobSpec{Charset: "ab", MinLen: 1, MaxLen: 2})))
+	f.Add(good(MsgTune, EncodeTuneRequest(TuneRequest{SpecID: 0xdeadbeef})))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add([]byte{})
 	// Truncated heartbeat (claims 8 bytes, carries 3).
@@ -40,6 +42,8 @@ func FuzzReadFrame(f *testing.F) {
 			_, _ = DecodeHello(payload)
 		case MsgJob:
 			_, _ = DecodeJob(payload)
+		case MsgTune:
+			_, _ = DecodeTuneRequest(payload)
 		case MsgTuneResult:
 			_, _ = DecodeTuneResult(payload)
 		case MsgSearch:
@@ -50,6 +54,47 @@ func FuzzReadFrame(f *testing.F) {
 			_, _ = DecodeHeartbeat(payload)
 		case MsgRequeue:
 			_, _ = DecodeRequeue(payload)
+		case MsgSpec:
+			_, _ = DecodeSpec(payload)
+		}
+	})
+}
+
+// FuzzSpecFrames: the MsgSpec codec must never panic, must reject any
+// frame whose carried ID does not hash to its content, and must be the
+// identity on frames it built itself.
+func FuzzSpecFrames(f *testing.F) {
+	valid := EncodeSpec(JobSpec{
+		Algorithm: 1, Charset: "abc", MinLen: 1, MaxLen: 3,
+		Target: bytes.Repeat([]byte{0x5a}, 16),
+	})
+	f.Add(valid)
+	// Every single-bit corruption of the ID field is a mismatch frame.
+	for bit := 0; bit < 8; bit++ {
+		flipped := append([]byte(nil), valid...)
+		flipped[bit] ^= 1 << uint(bit)
+		f.Add(flipped)
+	}
+	// ID claims match but the spec bytes moved underneath it.
+	moved := append([]byte(nil), valid...)
+	moved[len(moved)-1] ^= 0xff
+	f.Add(moved)
+	f.Add([]byte{})
+	f.Add(valid[:7])                                // shorter than the ID itself
+	f.Add(valid[:len(valid)-3])                     // truncated spec body
+	f.Add(append(append([]byte{}, valid...), 0xcc)) // trailing byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must carry the content hash of its own spec...
+		if sf.ID != SpecID(sf.Spec) {
+			t.Fatalf("accepted frame with ID %016x, content hashes to %016x", sf.ID, SpecID(sf.Spec))
+		}
+		// ...and re-encode byte-identically.
+		if !bytes.Equal(EncodeSpec(sf.Spec), data) {
+			t.Fatal("spec frame round trip changed the bytes")
 		}
 	})
 }

@@ -60,6 +60,10 @@ type MasterOptions struct {
 	// reconnection window in which a re-registering worker (same name)
 	// picks its calls back up on the fresh connection.
 	Retry RetryPolicy
+	// PendingBuffer caps how many registered-but-uncollected workers the
+	// master holds for AcceptWorkers before refusing new registrations
+	// (0 = 64).
+	PendingBuffer int
 	// Telemetry, when non-nil, receives the master-side protocol metrics:
 	// frames sent/received, pings/pongs and their round trips, call
 	// retries, rejoins and requeues, plus join/retry/reconnect events
@@ -77,22 +81,32 @@ func (o MasterOptions) withDefaults() MasterOptions {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
 	}
+	if o.PendingBuffer <= 0 {
+		o.PendingBuffer = 64
+	}
 	return o
 }
 
-// Master accepts worker connections and exposes each as a
-// dispatch.Worker, so the regular Dispatcher drives the network exactly
-// like local workers — the paper's hierarchy-agnostic pattern.
+// testHookPendingFull, nil outside tests, fires on the registration
+// goroutine when the pending buffer is full, before the worker entry is
+// torn down — the window in which a concurrent rejoin can offer a
+// replacement connection.
+var testHookPendingFull atomic.Pointer[func(worker string)]
+
+// Master accepts worker connections and exposes each as a RemoteWorker:
+// a spec-carrying proxy that any number of jobs can call into, or — via
+// Bind — a plain dispatch.Worker for a fixed spec, so the regular
+// Dispatcher drives the network exactly like local workers (the paper's
+// hierarchy-agnostic pattern).
 //
 // The accept loop runs for the master's whole life: a worker that
 // re-registers under a name seen before is a REJOIN, and its fresh
-// connection replaces the broken one inside the existing dispatch.Worker
+// connection replaces the broken one inside the existing RemoteWorker
 // rather than surfacing as a new worker.
 type Master struct {
 	ln      net.Listener
-	spec    JobSpec
 	opts    MasterOptions
-	pending chan dispatch.Worker
+	pending chan *RemoteWorker
 	regErr  chan error
 	done    chan struct{}
 
@@ -101,30 +115,32 @@ type Master struct {
 	mu        sync.Mutex
 	closed    bool
 	acceptErr error
-	workers   map[string]*remoteWorker
+	workers   map[string]*RemoteWorker
 	conns     map[net.Conn]struct{}
 }
 
-// NewMaster listens on addr (e.g. "127.0.0.1:0") for workers and will
-// hand each the given job. At most one MasterOptions may be passed;
-// omitting it selects the defaults documented on MasterOptions.
-func NewMaster(addr string, spec JobSpec, opts ...MasterOptions) (*Master, error) {
+// NewMaster listens on addr (e.g. "127.0.0.1:0") for workers. Job specs
+// are not fixed at listen time: each call names its spec, and the master
+// registers specs on worker connections as needed. At most one
+// MasterOptions may be passed; omitting it selects the defaults
+// documented on MasterOptions.
+func NewMaster(addr string, opts ...MasterOptions) (*Master, error) {
 	var o MasterOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	o = o.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	m := &Master{
 		ln:      ln,
-		spec:    spec,
-		opts:    o.withDefaults(),
-		pending: make(chan dispatch.Worker, 64),
+		opts:    o,
+		pending: make(chan *RemoteWorker, o.PendingBuffer),
 		regErr:  make(chan error, 8),
 		done:    make(chan struct{}),
-		workers: make(map[string]*remoteWorker),
+		workers: make(map[string]*RemoteWorker),
 		conns:   make(map[net.Conn]struct{}),
 		tel:     newNetTelemetry(o.Telemetry),
 	}
@@ -145,7 +161,7 @@ func (m *Master) Close() error {
 		return nil
 	}
 	m.closed = true
-	workers := make([]*remoteWorker, 0, len(m.workers))
+	workers := make([]*RemoteWorker, 0, len(m.workers))
 	for _, w := range m.workers {
 		workers = append(workers, w)
 	}
@@ -198,11 +214,11 @@ func (m *Master) dropConn(c net.Conn) {
 	m.mu.Unlock()
 }
 
-// register runs the handshake on a fresh connection: hello in, job out,
-// then either bind the connection into an existing (rejoining) worker or
-// surface a brand-new worker to AcceptWorkers. Registration failures go
-// to the regErr channel so AcceptWorkers can report them, but never stop
-// the accept loop.
+// register runs the handshake on a fresh connection: hello in, hello ack
+// out, then either bind the connection into an existing (rejoining)
+// worker or surface a brand-new worker to AcceptWorkers. Registration
+// failures go to the regErr channel so AcceptWorkers can report them,
+// but never stop the accept loop.
 func (m *Master) register(conn net.Conn) {
 	fail := func(err error) {
 		m.dropConn(conn)
@@ -210,6 +226,15 @@ func (m *Master) register(conn net.Conn) {
 		case m.regErr <- err:
 		default:
 		}
+	}
+	write := func(t MsgType, p []byte) error {
+		_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
+		err := WriteFrame(conn, t, p)
+		_ = conn.SetWriteDeadline(time.Time{})
+		if err == nil {
+			m.tel.sent.Inc()
+		}
+		return err
 	}
 
 	_ = conn.SetReadDeadline(time.Now().Add(m.opts.WriteTimeout))
@@ -230,17 +255,15 @@ func (m *Master) register(conn net.Conn) {
 		return
 	}
 	if hello.Version != Version {
-		fail(fmt.Errorf("netproto: version mismatch: worker %d, master %d", hello.Version, Version))
-		return
-	}
-	_ = conn.SetWriteDeadline(time.Now().Add(m.opts.WriteTimeout))
-	err = WriteFrame(conn, MsgJob, EncodeJob(m.spec))
-	_ = conn.SetWriteDeadline(time.Time{})
-	if err != nil {
+		err := fmt.Errorf("netproto: version mismatch: worker %d, master %d", hello.Version, Version)
+		_ = write(MsgError, []byte(err.Error())) // tell the v1 worker why before hanging up
 		fail(err)
 		return
 	}
-	m.tel.sent.Inc()
+	if err := write(MsgHello, EncodeHello(Hello{Version: Version, Name: "master"})); err != nil {
+		fail(err)
+		return
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -255,7 +278,7 @@ func (m *Master) register(conn net.Conn) {
 		m.tel.reg.Emit(telemetry.EventReconnect, hello.Name, 0, "rejoined by name")
 		return
 	}
-	w := &remoteWorker{
+	w := &RemoteWorker{
 		name:    hello.Name,
 		opts:    m.opts,
 		tel:     m.tel,
@@ -272,21 +295,36 @@ func (m *Master) register(conn net.Conn) {
 	select {
 	case m.pending <- w:
 	default:
+		if hook := testHookPendingFull.Load(); hook != nil {
+			(*hook)(hello.Name)
+		}
 		// Nobody is collecting workers and the buffer is full; drop the
-		// registration so the worker redials later.
+		// registration so the worker redials later. A concurrent rejoin
+		// may already have found this worker in the map and offered it a
+		// replacement connection, so tear down in an order that cannot
+		// orphan a live conn: only delete the entry if it is still ours,
+		// mark the worker closed (offerConn refuses new conns from here
+		// on), then drain the one conn that may have been enqueued first.
 		m.mu.Lock()
-		delete(m.workers, hello.Name)
+		if m.workers[hello.Name] == w {
+			delete(m.workers, hello.Name)
+		}
 		m.mu.Unlock()
+		w.shutdown()
+		select {
+		case old := <-w.newConn:
+			m.dropConn(old)
+		default:
+		}
 		m.dropConn(conn)
 	}
 }
 
-// AcceptWorkers waits for n workers to register and returns them as
-// dispatch.Workers. The job spec is sent to each on registration. A
+// AcceptWorkers waits for n workers to register and returns them. A
 // registration failure (bad hello, version mismatch) is returned as the
 // error; Close unblocks the call with ErrMasterClosed.
-func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]dispatch.Worker, error) {
-	var workers []dispatch.Worker
+func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]*RemoteWorker, error) {
+	var workers []*RemoteWorker
 	for len(workers) < n {
 		select {
 		case <-ctx.Done():
@@ -305,12 +343,19 @@ func (m *Master) AcceptWorkers(ctx context.Context, n int) ([]dispatch.Worker, e
 	return workers, nil
 }
 
-// remoteWorker proxies dispatch.Worker calls over the connection. Calls
-// are serialized: the protocol is strict request/response, with MsgPing /
-// MsgPong liveness frames interleaved while a call is in flight. A failed
-// call closes the connection, waits out the retry backoff for the worker
-// to re-register, and retries on the replacement connection.
-type remoteWorker struct {
+// RemoteWorker proxies calls to one worker process over its connection.
+// Calls are serialized: the protocol is strict request/response, with
+// MsgPing / MsgPong liveness frames interleaved while a call is in
+// flight. A failed call closes the connection, waits out the retry
+// backoff for the worker to re-register, and retries on the replacement
+// connection.
+//
+// Every call names a JobSpec; the proxy tracks which spec IDs the
+// CURRENT connection has seen and sends a MsgSpec registration ahead of
+// the first call that references a new one. A replacement connection
+// after a reconnect starts with an empty table, so specs are re-sent
+// transparently and rejoin works mid-job for any number of jobs.
+type RemoteWorker struct {
 	name string
 	opts MasterOptions
 	tel  *netTelemetry
@@ -324,18 +369,23 @@ type remoteWorker struct {
 
 	mu sync.Mutex // serializes calls
 
-	cmu     sync.Mutex // guards conn
+	cmu     sync.Mutex // guards conn and the spec-sent table
 	conn    net.Conn
 	newConn chan net.Conn
 	closeCh chan struct{}
 	closed  bool
+
+	// specConn names the connection the sent-set below is valid for; a
+	// different current connection means an empty worker-side table.
+	specConn net.Conn
+	specSent map[uint64]bool
 }
 
 // Name identifies the remote worker.
-func (w *remoteWorker) Name() string { return w.name }
+func (w *RemoteWorker) Name() string { return w.name }
 
 // shutdown (master closing) aborts waits for reconnection.
-func (w *remoteWorker) shutdown() {
+func (w *RemoteWorker) shutdown() {
 	w.cmu.Lock()
 	if !w.closed {
 		w.closed = true
@@ -345,7 +395,7 @@ func (w *remoteWorker) shutdown() {
 }
 
 // offerConn installs a replacement connection from a rejoining worker.
-func (w *remoteWorker) offerConn(c net.Conn) {
+func (w *RemoteWorker) offerConn(c net.Conn) {
 	w.cmu.Lock()
 	defer w.cmu.Unlock()
 	if w.closed {
@@ -367,7 +417,7 @@ func (w *remoteWorker) offerConn(c net.Conn) {
 
 // takeConn returns the live connection, waiting up to wait for a
 // rejoining worker to supply one.
-func (w *remoteWorker) takeConn(ctx context.Context, wait time.Duration) (net.Conn, error) {
+func (w *RemoteWorker) takeConn(ctx context.Context, wait time.Duration) (net.Conn, error) {
 	w.cmu.Lock()
 	c := w.conn
 	if c == nil {
@@ -404,7 +454,7 @@ func (w *remoteWorker) takeConn(ctx context.Context, wait time.Duration) (net.Co
 
 // discardConn closes a failed connection; the next call waits for a
 // replacement.
-func (w *remoteWorker) discardConn(c net.Conn) {
+func (w *RemoteWorker) discardConn(c net.Conn) {
 	w.drop(c)
 	w.cmu.Lock()
 	if w.conn == c {
@@ -413,9 +463,30 @@ func (w *remoteWorker) discardConn(c net.Conn) {
 	w.cmu.Unlock()
 }
 
-// Tune runs the tuning step remotely.
-func (w *remoteWorker) Tune(ctx context.Context) (core.Tuning, error) {
-	payload, err := w.call(ctx, MsgTune, nil, MsgTuneResult)
+// specNeeded reports whether the spec must be (re-)registered before a
+// call that references it can run on conn.
+func (w *RemoteWorker) specNeeded(conn net.Conn, id uint64) bool {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return w.specConn != conn || !w.specSent[id]
+}
+
+// markSpecSent records that conn's worker-side table holds the spec. Only
+// called after a successful exchange, so a spec the worker refused is
+// retried (idempotently — re-installing a spec overwrites in place).
+func (w *RemoteWorker) markSpecSent(conn net.Conn, id uint64) {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	if w.specConn != conn {
+		w.specConn = conn
+		w.specSent = make(map[uint64]bool)
+	}
+	w.specSent[id] = true
+}
+
+// TuneSpec runs the tuning step remotely against the given spec.
+func (w *RemoteWorker) TuneSpec(ctx context.Context, spec JobSpec) (core.Tuning, error) {
+	payload, err := w.call(ctx, spec, MsgTune, EncodeTuneRequest(TuneRequest{SpecID: SpecID(spec)}), MsgTuneResult)
 	if err != nil {
 		return core.Tuning{}, err
 	}
@@ -426,9 +497,9 @@ func (w *remoteWorker) Tune(ctx context.Context) (core.Tuning, error) {
 	return core.Tuning{MinBatch: res.MinBatch, Throughput: res.Throughput}, nil
 }
 
-// Search runs an interval remotely.
-func (w *remoteWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispatch.Report, error) {
-	payload, err := w.call(ctx, MsgSearch, EncodeSearch(SearchRequest{Start: iv.Start, End: iv.End}), MsgSearchResult)
+// SearchSpec runs an interval remotely against the given spec.
+func (w *RemoteWorker) SearchSpec(ctx context.Context, spec JobSpec, iv keyspace.Interval) (*dispatch.Report, error) {
+	payload, err := w.call(ctx, spec, MsgSearch, EncodeSearch(SearchRequest{SpecID: SpecID(spec), Start: iv.Start, End: iv.End}), MsgSearchResult)
 	if err != nil {
 		return nil, err
 	}
@@ -439,15 +510,48 @@ func (w *remoteWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispa
 	return &dispatch.Report{Found: res.Found, Tested: res.Tested, Elapsed: res.Elapsed}, nil
 }
 
+// Bind fixes a spec, adapting the worker to the spec-less
+// dispatch.Worker interface so a Dispatcher can drive it for one job.
+// Any number of Bind adapters can share one RemoteWorker; the underlying
+// calls are serialized either way.
+func (w *RemoteWorker) Bind(spec JobSpec) dispatch.Worker {
+	return &boundWorker{w: w, spec: spec}
+}
+
+// BindWorkers binds every worker to the same spec — the common
+// one-job-per-fleet case (keymaster's classic mode and most tests).
+func BindWorkers(spec JobSpec, workers []*RemoteWorker) []dispatch.Worker {
+	out := make([]dispatch.Worker, len(workers))
+	for i, w := range workers {
+		out[i] = w.Bind(spec)
+	}
+	return out
+}
+
+type boundWorker struct {
+	w    *RemoteWorker
+	spec JobSpec
+}
+
+func (b *boundWorker) Name() string { return b.w.Name() }
+func (b *boundWorker) Tune(ctx context.Context) (core.Tuning, error) {
+	return b.w.TuneSpec(ctx, b.spec)
+}
+func (b *boundWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispatch.Report, error) {
+	return b.w.SearchSpec(ctx, b.spec, iv)
+}
+
 // call sends a request and awaits the matching response, retrying per the
 // policy on transport failures. Each backoff window doubles as a rejoin
 // window: if the worker re-registers in time, the retry lands on the new
-// connection. A RemoteError is returned immediately (the connection is
-// fine, the request is not).
-func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+// connection — with the spec re-registered first, since the fresh
+// connection's table is empty. A RemoteError is returned immediately
+// (the connection is fine, the request is not).
+func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payload []byte, want MsgType) ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
+	id := SpecID(spec)
 	var lastErr error
 	for attempt := 0; attempt < w.opts.Retry.attempts(); attempt++ {
 		if attempt > 0 {
@@ -464,12 +568,24 @@ func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, wa
 			}
 			continue
 		}
-		resp, err := w.callOn(ctx, conn, req, payload, want)
+		var prelude []byte
+		if w.specNeeded(conn, id) {
+			prelude = EncodeSpec(spec)
+		}
+		resp, err := w.callOn(ctx, conn, prelude, req, payload, want)
 		if err == nil {
+			w.markSpecSent(conn, id)
 			return resp, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
+			if prelude != nil {
+				// The error may answer the spec registration rather than
+				// the request itself, in which case a second error frame
+				// for the request is still in flight; drop the connection
+				// so no later call reads a stale frame.
+				w.discardConn(conn)
+			}
 			return nil, err
 		}
 		w.discardConn(conn)
@@ -481,11 +597,12 @@ func (w *remoteWorker) call(ctx context.Context, req MsgType, payload []byte, wa
 	return nil, lastErr
 }
 
-// callOn performs one request/response exchange on conn, pinging at the
+// callOn performs one request/response exchange on conn — preceded by a
+// MsgSpec registration when prelude is non-nil — pinging at the
 // heartbeat interval and bounding every read by the heartbeat timeout. A
 // worker that is merely busy keeps answering pongs from its read loop; a
 // dead one times out and is declared failed.
-func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []byte, req MsgType, payload []byte, want MsgType) ([]byte, error) {
 	var wmu sync.Mutex
 	write := func(t MsgType, p []byte) error {
 		wmu.Lock()
@@ -509,6 +626,11 @@ func (w *remoteWorker) callOn(ctx context.Context, conn net.Conn, req MsgType, p
 		}
 	}()
 
+	if prelude != nil {
+		if err := write(MsgSpec, prelude); err != nil {
+			return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
+		}
+	}
 	if err := write(req, payload); err != nil {
 		return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
 	}

@@ -13,7 +13,9 @@ import (
 func mathFloat64bits(v float64) uint64     { return math.Float64bits(v) }
 func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
 
-// Hello is the worker's registration message.
+// Hello is the registration handshake, both directions: the worker
+// announces its version and name, the master acks with its own version
+// (name "master"). Either side refuses a version it does not speak.
 type Hello struct {
 	Version int
 	Name    string
@@ -109,6 +111,79 @@ func (j JobSpec) Build() (*cracker.Job, error) {
 	}, nil
 }
 
+// SpecID is the content hash that keys the per-connection spec table:
+// FNV-1a over the spec's wire encoding. Both sides compute it from the
+// spec itself, so a MsgSpec frame whose ID does not match its payload is
+// detectably corrupt and an ID can never silently name the wrong space.
+func SpecID(spec JobSpec) uint64 { return specHash(EncodeJob(spec)) }
+
+func specHash(encoded []byte) uint64 {
+	// FNV-1a 64-bit; inlined to keep the wire layer dependency-free.
+	h := uint64(14695981039346656037)
+	for _, b := range encoded {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SpecFrame is the payload of MsgSpec: a job spec and its content-hash
+// ID, installing the spec in the receiving connection's table.
+type SpecFrame struct {
+	ID   uint64
+	Spec JobSpec
+}
+
+// EncodeSpec serializes a spec registration; the ID is derived from the
+// spec's encoding, never caller-supplied.
+func EncodeSpec(spec JobSpec) []byte {
+	job := EncodeJob(spec)
+	var e enc
+	e.u64(specHash(job))
+	e.b = append(e.b, job...)
+	return e.b
+}
+
+// DecodeSpec parses and verifies a spec registration: the job must
+// decode and the carried ID must equal the content hash of the job
+// bytes.
+func DecodeSpec(b []byte) (SpecFrame, error) {
+	if len(b) < 8 {
+		return SpecFrame{}, errShortPayload
+	}
+	d := dec{b: b}
+	id := d.u64()
+	job := b[8:]
+	spec, err := DecodeJob(job)
+	if err != nil {
+		return SpecFrame{}, err
+	}
+	if want := specHash(job); id != want {
+		return SpecFrame{}, fmt.Errorf("netproto: spec ID mismatch: frame says %016x, content hashes to %016x", id, want)
+	}
+	return SpecFrame{ID: id, Spec: spec}, nil
+}
+
+// TuneRequest asks the worker to run the tuning step against a
+// registered spec.
+type TuneRequest struct {
+	SpecID uint64
+}
+
+// EncodeTuneRequest serializes a TuneRequest.
+func EncodeTuneRequest(t TuneRequest) []byte {
+	var e enc
+	e.u64(t.SpecID)
+	return e.b
+}
+
+// DecodeTuneRequest parses a TuneRequest.
+func DecodeTuneRequest(b []byte) (TuneRequest, error) {
+	d := dec{b: b}
+	t := TuneRequest{SpecID: d.u64()}
+	return t, d.err()
+}
+
 // TuneResult carries the tuning step's outcome.
 type TuneResult struct {
 	MinBatch   uint64
@@ -130,14 +205,17 @@ func DecodeTuneResult(b []byte) (TuneResult, error) {
 	return t, d.err()
 }
 
-// SearchRequest is an identifier interval to search.
+// SearchRequest is an identifier interval to search against a
+// registered spec.
 type SearchRequest struct {
+	SpecID     uint64
 	Start, End *big.Int
 }
 
 // EncodeSearch serializes a SearchRequest.
 func EncodeSearch(s SearchRequest) []byte {
 	var e enc
+	e.u64(s.SpecID)
 	e.bigint(s.Start)
 	e.bigint(s.End)
 	return e.b
@@ -146,7 +224,7 @@ func EncodeSearch(s SearchRequest) []byte {
 // DecodeSearch parses a SearchRequest.
 func DecodeSearch(b []byte) (SearchRequest, error) {
 	d := dec{b: b}
-	s := SearchRequest{Start: d.bigint(), End: d.bigint()}
+	s := SearchRequest{SpecID: d.u64(), Start: d.bigint(), End: d.bigint()}
 	return s, d.err()
 }
 

@@ -3,8 +3,10 @@ package netproto
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math/big"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -93,9 +95,19 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Errorf("tune: %+v %v", tr, err)
 	}
 
-	sr, err := DecodeSearch(EncodeSearch(SearchRequest{Start: big.NewInt(100), End: big.NewInt(2000)}))
-	if err != nil || sr.Start.Int64() != 100 || sr.End.Int64() != 2000 {
+	sr, err := DecodeSearch(EncodeSearch(SearchRequest{SpecID: 0xfeedbeef, Start: big.NewInt(100), End: big.NewInt(2000)}))
+	if err != nil || sr.SpecID != 0xfeedbeef || sr.Start.Int64() != 100 || sr.End.Int64() != 2000 {
 		t.Errorf("search: %+v %v", sr, err)
+	}
+
+	tq, err := DecodeTuneRequest(EncodeTuneRequest(TuneRequest{SpecID: 42}))
+	if err != nil || tq.SpecID != 42 {
+		t.Errorf("tune request: %+v %v", tq, err)
+	}
+
+	sf, err := DecodeSpec(EncodeSpec(spec))
+	if err != nil || sf.ID != SpecID(spec) || sf.Spec.Charset != spec.Charset || !bytes.Equal(sf.Spec.Target, spec.Target) {
+		t.Errorf("spec frame: %+v %v", sf, err)
 	}
 
 	res, err := DecodeSearchResult(EncodeSearchResult(SearchResult{
@@ -124,13 +136,22 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeTuneResult(append(good, 0)); err == nil {
 		t.Error("trailing bytes accepted")
 	}
+	// Spec frame whose carried ID does not hash to its content.
+	frame := EncodeSpec(JobSpec{Algorithm: cracker.MD5, Charset: "abc", MinLen: 1, MaxLen: 2, Order: keyspace.PrefixMajor})
+	frame[0] ^= 0x80
+	if _, err := DecodeSpec(frame); err == nil {
+		t.Error("spec ID mismatch accepted")
+	}
+	if _, err := DecodeSpec([]byte{1, 2, 3}); err == nil {
+		t.Error("short spec frame accepted")
+	}
 }
 
 // TestEndToEndCrack runs a real master and three worker connections over
 // loopback TCP and cracks a password through the standard dispatcher.
 func TestEndToEndCrack(t *testing.T) {
 	spec := testJob(t, "net")
-	m, err := NewMaster("127.0.0.1:0", spec)
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +174,7 @@ func TestEndToEndCrack(t *testing.T) {
 		t.Fatalf("workers = %d", len(workers))
 	}
 
-	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{MaxSolutions: 1}, workers...)
+	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{MaxSolutions: 1}, BindWorkers(spec, workers)...)
 	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
 	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
 	if err != nil {
@@ -168,7 +189,7 @@ func TestEndToEndCrack(t *testing.T) {
 // break the search — the dispatcher reassigns to the survivor.
 func TestWorkerDeathMidSearch(t *testing.T) {
 	spec := testJob(t, "zzz") // last key: the space must be fully searched
-	m, err := NewMaster("127.0.0.1:0", spec)
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +223,7 @@ func TestWorkerDeathMidSearch(t *testing.T) {
 		victimConn.Close()
 	}()
 
-	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{}, workers...)
+	d := dispatch.NewDispatcher("tcp-root", dispatch.Options{}, BindWorkers(spec, workers)...)
 	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
 	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
 	if err != nil {
@@ -216,7 +237,7 @@ func TestWorkerDeathMidSearch(t *testing.T) {
 // TestVersionMismatch: a worker with the wrong protocol version must be
 // rejected at registration.
 func TestVersionMismatch(t *testing.T) {
-	m, err := NewMaster("127.0.0.1:0", testJob(t, "x"))
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,6 +245,7 @@ func TestVersionMismatch(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	reply := make(chan MsgType, 1)
 	go func() {
 		conn, err := net.Dial("tcp", m.Addr())
 		if err != nil {
@@ -231,16 +253,28 @@ func TestVersionMismatch(t *testing.T) {
 		}
 		defer conn.Close()
 		_ = WriteFrame(conn, MsgHello, EncodeHello(Hello{Version: 99, Name: "old"}))
+		if typ, _, err := ReadFrame(conn); err == nil {
+			reply <- typ
+		}
 	}()
 	if _, err := m.AcceptWorkers(ctx, 1); err == nil {
 		t.Error("version mismatch accepted")
+	}
+	// The refused worker is told why, not just hung up on.
+	select {
+	case typ := <-reply:
+		if typ != MsgError {
+			t.Errorf("refusal frame type = %d, want MsgError", typ)
+		}
+	case <-ctx.Done():
+		t.Error("no refusal frame before the hangup")
 	}
 }
 
 // TestMasterRejectsGarbage: raw garbage bytes at registration must not
 // wedge or crash the master.
 func TestMasterRejectsGarbage(t *testing.T) {
-	m, err := NewMaster("127.0.0.1:0", testJob(t, "x"))
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,49 +304,145 @@ func TestDecodeSearchResultBounds(t *testing.T) {
 	}
 }
 
-// TestWorkerRejectsNonJobFirstMessage: the first master message must be
-// the job.
-func TestWorkerRejectsNonJobFirstMessage(t *testing.T) {
-	client, server := net.Pipe()
-	done := make(chan error, 1)
-	go func() {
-		done <- ServeConn(context.Background(), server, WorkerConfig{Name: "w"})
-	}()
-	// Read the hello, reply with a Search instead of a Job.
-	if _, _, err := ReadFrame(client); err != nil {
-		t.Fatal(err)
+// TestWorkerRejectsNonHelloFirstMessage: the master's first frame must be
+// the handshake ack; anything else — including a v1 master's MsgJob —
+// fails the registration with a targeted error.
+func TestWorkerRejectsNonHelloFirstMessage(t *testing.T) {
+	run := func(t *testing.T, reply func(client net.Conn) error) error {
+		t.Helper()
+		client, server := net.Pipe()
+		defer client.Close()
+		done := make(chan error, 1)
+		go func() {
+			done <- ServeConn(context.Background(), server, WorkerConfig{Name: "w"})
+		}()
+		// Read the hello, then answer with the wrong frame.
+		if _, _, err := ReadFrame(client); err != nil {
+			t.Fatal(err)
+		}
+		if err := reply(client); err != nil {
+			t.Fatal(err)
+		}
+		return <-done
 	}
-	if err := WriteFrame(client, MsgSearch, EncodeSearch(SearchRequest{Start: big.NewInt(0), End: big.NewInt(1)})); err != nil {
-		t.Fatal(err)
+
+	err := run(t, func(c net.Conn) error {
+		return WriteFrame(c, MsgSearch, EncodeSearch(SearchRequest{Start: big.NewInt(0), End: big.NewInt(1)}))
+	})
+	if err == nil {
+		t.Error("worker accepted a non-hello first message")
 	}
-	if err := <-done; err == nil {
-		t.Error("worker accepted a non-job first message")
+
+	err = run(t, func(c net.Conn) error {
+		return WriteFrame(c, MsgJob, EncodeJob(testJob(t, "abc")))
+	})
+	if err == nil || !strings.Contains(err.Error(), "protocol v1") {
+		t.Errorf("v1 master's job frame: err = %v, want a protocol v1 mention", err)
 	}
-	client.Close()
 }
 
 // TestSearchOutOfSpaceInterval: the worker must answer MsgError (not die)
 // for an interval beyond its space.
 func TestSearchOutOfSpaceInterval(t *testing.T) {
 	spec := testJob(t, "abc")
-	m, err := NewMaster("127.0.0.1:0", spec)
+	m, err := NewMaster("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	go func() { _ = Dial(ctx, m.Addr(), WorkerConfig{Name: "w", Workers: 1}) }()
+	go func() {
+		_ = DialRetry(ctx, m.Addr(), WorkerConfig{Name: "w", Workers: 1}, RetryPolicy{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond})
+	}()
 	workers, err := m.AcceptWorkers(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := workers[0].Search(ctx, keyspace.NewInterval(0, 1<<40)); err == nil {
+	if _, err := workers[0].SearchSpec(ctx, spec, keyspace.NewInterval(0, 1<<40)); err == nil {
 		t.Error("out-of-space interval accepted")
 	}
-	// The connection must still work afterwards.
-	rep, err := workers[0].Search(ctx, keyspace.NewInterval(0, 100))
+	// The worker must still serve searches afterwards (the master may
+	// resync the connection after an ambiguous error, so allow a redial).
+	rep, err := workers[0].SearchSpec(ctx, spec, keyspace.NewInterval(0, 100))
 	if err != nil || rep.Tested != 100 {
 		t.Errorf("post-error search: %+v, %v", rep, err)
+	}
+}
+
+// TestUnknownSpecID: a search naming a spec the connection never
+// registered must come back as a remote error, not wedge the worker.
+func TestUnknownSpecID(t *testing.T) {
+	spec := testJob(t, "abc")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() { _ = ServeConn(ctx, server, WorkerConfig{Name: "w", Workers: 1}) }()
+	if _, _, err := ReadFrame(client); err != nil { // worker hello
+		t.Fatal(err)
+	}
+	if err := WriteFrame(client, MsgHello, EncodeHello(Hello{Version: Version, Name: "master"})); err != nil {
+		t.Fatal(err)
+	}
+	req := SearchRequest{SpecID: SpecID(spec), Start: big.NewInt(0), End: big.NewInt(10)}
+	if err := WriteFrame(client, MsgSearch, EncodeSearch(req)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError || !strings.Contains(string(payload), "unknown spec") {
+		t.Errorf("got type %d %q, want an unknown-spec MsgError", typ, payload)
+	}
+}
+
+// TestMultiSpecFleet: one fleet serves two different jobs concurrently —
+// the v2 protocol's whole point. Both dispatchers share the same two
+// RemoteWorkers via Bind, and both passwords must be found.
+func TestMultiSpecFleet(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		name := string(rune('A' + i))
+		go func() {
+			_ = Dial(ctx, m.Addr(), WorkerConfig{Name: "worker-" + name, Workers: 2, TuneStart: 1024})
+		}()
+	}
+	workers, err := m.AcceptWorkers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
+	results := make(chan error, 2)
+	for _, password := range []string{"cat", "dog"} {
+		spec := testJob(t, password)
+		go func() {
+			d := dispatch.NewDispatcher("fleet-"+password, dispatch.Options{MaxSolutions: 1}, BindWorkers(spec, workers)...)
+			rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
+			if err != nil {
+				results <- err
+				return
+			}
+			if len(rep.Found) == 0 || string(rep.Found[0]) != password {
+				results <- fmt.Errorf("job %q found %q", password, rep.Found)
+				return
+			}
+			results <- nil
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Error(err)
+		}
 	}
 }

@@ -20,7 +20,7 @@ func TestTelemetryCleanRun(t *testing.T) {
 	spec := testJob(t, "net")
 	mreg := telemetry.NewRegistry()
 	wreg := telemetry.NewRegistry()
-	m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+	m, err := NewMaster("127.0.0.1:0", MasterOptions{
 		Heartbeat:        25 * time.Millisecond,
 		HeartbeatTimeout: 5 * time.Second,
 		Retry:            fastRetry,
@@ -46,7 +46,7 @@ func TestTelemetryCleanRun(t *testing.T) {
 	d := dispatch.NewDispatcher("tel-root", dispatch.Options{
 		MaxChunk:  2048,
 		Telemetry: mreg,
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	rep := searchSpace(ctx, t, d)
 	if want := spaceSize(t); rep.Tested != want {
 		t.Fatalf("tested %d, want %d", rep.Tested, want)
@@ -91,7 +91,7 @@ func TestTelemetryCleanRun(t *testing.T) {
 func TestTelemetryChaosExactness(t *testing.T) {
 	spec := testJob(t, "zzz")
 	reg := telemetry.NewRegistry()
-	m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+	m, err := NewMaster("127.0.0.1:0", MasterOptions{
 		Heartbeat: -1, // keep the worker write schedule exact
 		Retry:     fastRetry,
 		Telemetry: reg,
@@ -119,7 +119,7 @@ func TestTelemetryChaosExactness(t *testing.T) {
 	d := dispatch.NewDispatcher("chaos-tel", dispatch.Options{
 		MaxChunk:  1024,
 		Telemetry: reg,
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	rep := searchSpace(ctx, t, d)
 	want := spaceSize(t)
 	if rep.Tested != want {
@@ -155,7 +155,7 @@ func TestTelemetryChaosExactness(t *testing.T) {
 func TestTelemetryReconnectCounters(t *testing.T) {
 	spec := testJob(t, "net")
 	reg := telemetry.NewRegistry()
-	m, err := NewMaster("127.0.0.1:0", spec, MasterOptions{
+	m, err := NewMaster("127.0.0.1:0", MasterOptions{
 		Heartbeat: -1,
 		Retry:     RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond},
 		Telemetry: reg,
@@ -191,7 +191,7 @@ func TestTelemetryReconnectCounters(t *testing.T) {
 			requeues++
 			mu.Unlock()
 		},
-	}, workers...)
+	}, BindWorkers(spec, workers)...)
 	space, _ := keyspace.New(keyspace.Lower, 1, 3, keyspace.PrefixMajor)
 	rep, err := d.Search(ctx, keyspace.Interval{Start: big.NewInt(0), End: space.Size()})
 	if err != nil {

@@ -11,7 +11,33 @@
 // message type, then the payload. Payloads are hand-encoded with
 // length-prefixed fields; the amount of data is deliberately tiny (§III:
 // "only a very small amount of data must be scattered ... to each
-// computing node" — an interval is two integers).
+// computing node" — an interval is two integers and a spec ID).
+//
+// # Protocol v2: the spec table
+//
+// A worker is not bound to one job. Registration is a bare handshake —
+// the worker sends MsgHello{Version, Name}, the master answers with its
+// own MsgHello (version negotiation both ways) — and every subsequent
+// call names the job it runs against:
+//
+//   - MsgSpec registers a job spec in the connection's spec table. The
+//     frame carries the spec's ID — a content hash of its encoding — and
+//     the spec itself; the receiver recomputes the hash and rejects a
+//     mismatched frame, so a corrupted table entry can never silently
+//     search the wrong space. The master sends each spec at most once
+//     per connection (a fresh connection after a reconnect starts with
+//     an empty table and the spec is re-sent before its next use).
+//   - MsgTune and MsgSearch reference a previously registered spec by
+//     ID. The worker builds the cracker job for a spec the first time it
+//     is installed and caches it per ID, so the same TCP fleet serves
+//     many tenants' jobs — the multiplexing the internal/jobs service
+//     needs — with per-call overhead of eight bytes.
+//
+// Version 1 peers are incompatible and fail fast at the handshake: a v1
+// worker announces Version 1 and is refused with MsgError before any
+// work is exchanged; a v1 master answers the hello with MsgJob, which a
+// v2 worker rejects with a targeted error instead of waiting for a spec
+// table that will never come.
 //
 // # Failure model
 //
@@ -37,6 +63,17 @@
 // (MsgError) are never retried: the worker is alive and has answered.
 // A worker shutting down cleanly sends MsgRequeue so the master can
 // return its interval to the pool without waiting out a timeout.
+//
+// Exactly one disposition leaves the worker per accepted interval:
+// either MsgSearchResult or MsgRequeue, never both. The worker claims
+// the in-flight interval under the same lock from both the shutdown
+// path and the search-completion path, so a cancellation that lands at
+// the instant a search finishes cannot requeue an interval whose result
+// is already on the wire (which would make the master re-search — and
+// re-count — finished work). Symmetrically, the interval is recorded as
+// in flight in the same critical section that accepts the search, so a
+// cancellation can never land in a window where the worker is busy but
+// nothing is requeueable.
 package netproto
 
 import (
@@ -52,20 +89,23 @@ type MsgType byte
 
 // Protocol messages.
 const (
-	MsgHello        MsgType = iota + 1 // worker -> master: version, name
-	MsgJob                             // master -> worker: job description
-	MsgTune                            // master -> worker: run the tuning step
+	MsgHello        MsgType = iota + 1 // worker -> master: version, name; master -> worker: handshake ack
+	MsgJob                             // v1 only (master -> worker job at registration); v2 peers reject it
+	MsgTune                            // master -> worker: run the tuning step for a spec ID
 	MsgTuneResult                      // worker -> master: n_j, X_j
-	MsgSearch                          // master -> worker: identifier interval
+	MsgSearch                          // master -> worker: spec ID + identifier interval
 	MsgSearchResult                    // worker -> master: found keys, tested count
 	MsgError                           // either direction: failure description
 	MsgPing                            // master -> worker: liveness probe (sent during long calls)
 	MsgPong                            // worker -> master: liveness answer, echoes the ping sequence
 	MsgRequeue                         // worker -> master: cannot finish this interval, give it back
+	MsgSpec                            // master -> worker: register a job spec (content-hash ID + spec)
 )
 
-// Version is the protocol version exchanged in MsgHello.
-const Version = 1
+// Version is the protocol version exchanged in MsgHello. Version 2
+// introduced the per-connection spec table (MsgSpec) and per-call spec
+// IDs in MsgTune/MsgSearch; v1 peers are refused at the handshake.
+const Version = 2
 
 // MaxFrame is the maximum accepted payload size; anything larger is
 // treated as a malformed frame. Search results carry at most a few keys,
@@ -98,7 +138,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
 	}
 	t := MsgType(hdr[4])
-	if t < MsgHello || t > MsgRequeue {
+	if t < MsgHello || t > MsgSpec {
 		return 0, nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
 	}
 	payload := make([]byte, n)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"keysearch/internal/core"
@@ -62,16 +63,40 @@ func (cfg WorkerConfig) joinTimeout() time.Duration {
 	return cfg.JoinTimeout
 }
 
+// Test hooks, nil outside tests. They let the race tests park a
+// goroutine at the exact point a historical interleaving bug lived:
+// testHookSearchBegin fires on the read loop right after a search is
+// accepted (busy and inflight set); testHookSearchDone fires on the
+// search goroutine after the local search returns, before the
+// result/requeue disposition is decided; testHookRequeueClaimed fires
+// on the shutdown goroutine after it claims the in-flight interval,
+// before the requeue frame is written.
+// They are atomic because worker goroutines from one test (blocked in
+// a teardown write, say) may still load a hook while the next test
+// stores its own.
+// Each hook receives the worker's name so a test can ignore firings
+// from other tests' workers still winding down.
+var (
+	testHookSearchBegin    atomic.Pointer[func(worker string)]
+	testHookSearchDone     atomic.Pointer[func(worker string)]
+	testHookRequeueClaimed atomic.Pointer[func(worker string)]
+)
+
 // ServeConn runs the worker side of the protocol on an established
-// connection: register, receive the job, then answer tune, search and
-// ping requests until the connection closes or ctx is cancelled.
+// connection: exchange hellos, then answer spec registrations, tune,
+// search and ping requests until the connection closes or ctx is
+// cancelled. Job specs arrive over MsgSpec and are cached per spec ID,
+// so one connection serves any number of different jobs.
 //
 // Requests execute on a separate goroutine so the read loop keeps
 // answering MsgPing with MsgPong while a long search occupies the cores —
 // that is what distinguishes this worker from a dead one on the master's
 // side. If ctx is cancelled while a search is in flight, the worker hands
 // the interval back with MsgRequeue (best effort) before hanging up, so
-// the master requeues it without waiting for a heartbeat timeout.
+// the master requeues it without waiting for a heartbeat timeout. The
+// requeue decision and the search's own completion race is resolved
+// under one lock: exactly one of MsgSearchResult and MsgRequeue leaves
+// the worker for any accepted interval.
 func ServeConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 	return serveConn(ctx, conn, cfg, nil)
 }
@@ -103,29 +128,43 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 	if err != nil {
 		return err
 	}
-	if t != MsgJob {
-		return fmt.Errorf("netproto: expected job, got message type %d", t)
-	}
-	spec, err := DecodeJob(payload)
-	if err != nil {
-		sendErr(err)
-		return err
-	}
-	job, err := spec.Build()
-	if err != nil {
-		sendErr(err)
-		return err
+	switch t {
+	case MsgHello:
+		ack, err := DecodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if ack.Version != Version {
+			return fmt.Errorf("netproto: version mismatch: master %d, worker %d", ack.Version, Version)
+		}
+	case MsgJob:
+		// A v1 master sends the job at registration instead of acking the
+		// hello; name the incompatibility rather than failing obscurely.
+		return fmt.Errorf("netproto: master speaks protocol v1 (sent job at registration); this worker requires v%d", Version)
+	case MsgError:
+		return fmt.Errorf("netproto: master refused registration: %s", payload)
+	default:
+		return fmt.Errorf("netproto: expected handshake ack, got message type %d", t)
 	}
 	if onReady != nil {
 		onReady()
 	}
 
+	// specs is the per-connection spec table: cracker jobs built once per
+	// spec ID and reused across calls. Only the read loop touches it.
+	specs := make(map[uint64]*cracker.Job)
+
 	// st tracks the single in-flight request (the protocol is strict
-	// request/response; pings are the only interleaved frames).
+	// request/response; pings are the only interleaved frames). The
+	// in-flight interval is set in the same critical section that marks
+	// the worker busy, and claimed — by exactly one of the shutdown path
+	// and the search-completion path — under the same lock, so each
+	// accepted interval gets exactly one disposition.
 	var st struct {
 		sync.Mutex
 		busy     bool
 		inflight *keyspace.Interval
+		requeued bool // shutdown claimed the interval; drop the result
 	}
 	serveCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -134,10 +173,19 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 		if ctx.Err() == nil {
 			return // normal return path, connection already going down
 		}
-		// Local shutdown: hand back the in-flight interval, then hang up.
+		// Local shutdown: claim the in-flight interval (so a concurrently
+		// completing search drops its result instead of double-reporting),
+		// hand it back, then hang up.
 		st.Lock()
 		iv := st.inflight
+		if iv != nil {
+			st.requeued = true
+			st.inflight = nil
+		}
 		st.Unlock()
+		if hook := testHookRequeueClaimed.Load(); hook != nil {
+			(*hook)(cfg.Name)
+		}
 		if iv != nil {
 			_ = write(MsgRequeue, EncodeRequeue(Requeue{
 				Start: iv.Start, End: iv.End, Reason: "worker shutting down",
@@ -166,11 +214,37 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 				return err
 			}
 			nt.pongs.Inc()
+		case MsgSpec:
+			sf, err := DecodeSpec(payload)
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			job, err := sf.Spec.Build()
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			specs[sf.ID] = job
 		case MsgTune:
-			if !beginOp(&st.Mutex, &st.busy) {
+			req, err := DecodeTuneRequest(payload)
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			job, ok := specs[req.SpecID]
+			if !ok {
+				sendErr(unknownSpec(req.SpecID))
+				continue
+			}
+			st.Lock()
+			if st.busy {
+				st.Unlock()
 				sendErr(errors.New("netproto: request while another is in flight"))
 				continue
 			}
+			st.busy = true
+			st.Unlock()
 			go func() {
 				res, err := tuneLocal(serveCtx, job, cfg)
 				st.Lock()
@@ -190,20 +264,41 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 				sendErr(err)
 				continue
 			}
+			job, ok := specs[req.SpecID]
+			if !ok {
+				sendErr(unknownSpec(req.SpecID))
+				continue
+			}
 			iv := keyspace.Interval{Start: req.Start, End: req.End}
-			if !beginOp(&st.Mutex, &st.busy) {
+			st.Lock()
+			if st.busy {
+				st.Unlock()
 				sendErr(errors.New("netproto: request while another is in flight"))
 				continue
 			}
-			st.Lock()
+			// busy and inflight are set together: from this instant a
+			// cancellation finds the interval and requeues it — there is no
+			// window where the worker is busy with nothing to hand back.
+			st.busy = true
 			st.inflight = &iv
 			st.Unlock()
+			if hook := testHookSearchBegin.Load(); hook != nil {
+				(*hook)(cfg.Name)
+			}
 			go func() {
 				res, err := searchLocal(serveCtx, job, req, cfg)
+				if hook := testHookSearchDone.Load(); hook != nil {
+					(*hook)(cfg.Name)
+				}
 				st.Lock()
+				requeued := st.requeued
+				st.requeued = false
 				st.busy = false
 				st.inflight = nil
 				st.Unlock()
+				if requeued {
+					return // the shutdown path already sent MsgRequeue
+				}
 				if err != nil {
 					if serveCtx.Err() == nil {
 						sendErr(err)
@@ -220,14 +315,8 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 	}
 }
 
-func beginOp(mu *sync.Mutex, busy *bool) bool {
-	mu.Lock()
-	defer mu.Unlock()
-	if *busy {
-		return false
-	}
-	*busy = true
-	return true
+func unknownSpec(id uint64) error {
+	return fmt.Errorf("netproto: unknown spec %016x (not registered on this connection)", id)
 }
 
 func tuneLocal(ctx context.Context, job *cracker.Job, cfg WorkerConfig) (TuneResult, error) {
