@@ -7,9 +7,19 @@
 // the tested totals) and runs a dispatch exactness smoke: summed
 // per-worker tested counters must equal the interval size exactly.
 //
+// With -targetset it instead benchmarks multi-target search: per-candidate
+// cost at corpus sizes 1, 10^3 and 10^6 against the single-target
+// baseline, plus the Bloom filter's measured false-positive rate against
+// the requested rate — the BENCH_targetset.json document. The run fails
+// if the million-target per-candidate cost exceeds 1.5x the single-target
+// baseline or the measured FPR exceeds 2x the requested rate, so a
+// regression in the pre-screen's flatness breaks the build instead of
+// the report.
+//
 // Usage:
 //
 //	keybench -quick -out BENCH_telemetry.json
+//	keybench -targetset -out BENCH_targetset.json
 package main
 
 import (
@@ -86,10 +96,24 @@ type Report struct {
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "smaller CPU intervals and fewer simulated iterations (CI smoke)")
-		out   = flag.String("out", "BENCH_telemetry.json", "output path for the machine-readable report")
+		quick     = flag.Bool("quick", false, "smaller CPU intervals and fewer simulated iterations (CI smoke)")
+		targetset = flag.Bool("targetset", false, "benchmark multi-target corpus search instead of the Table VIII report")
+		out       = flag.String("out", "", "output path for the machine-readable report")
 	)
 	flag.Parse()
+
+	if *targetset {
+		if *out == "" {
+			*out = "BENCH_targetset.json"
+		}
+		if err := targetsetMain(*quick, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_telemetry.json"
+	}
 
 	rep := &Report{Quick: *quick}
 	iters := 4

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"keysearch/internal/core"
+	"keysearch/internal/cracker"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
+)
+
+// TargetRow is one corpus-size line of the multi-target benchmark.
+type TargetRow struct {
+	CorpusSize  int     `json:"corpus_size"`
+	BloomBits   uint64  `json:"bloom_bits"`
+	BloomHashes int     `json:"bloom_hashes"`
+	// RequestedFPR / EstimatedFPR / MeasuredFPR compare what the filter
+	// was asked for, what its geometry predicts, and what probing it with
+	// random non-members observes.
+	RequestedFPR float64 `json:"requested_fpr"`
+	EstimatedFPR float64 `json:"estimated_fpr"`
+	MeasuredFPR  float64 `json:"measured_fpr"`
+	Tested       uint64  `json:"tested"`
+	Seconds      float64 `json:"seconds"`
+	NsPerKey     float64 `json:"ns_per_key"`
+	MKeys        float64 `json:"mkeys"`
+	// OverSingleTarget is this row's per-candidate cost relative to the
+	// single-target cost of the same two-stage kernel (the corpus-of-one
+	// row) — the flatness-in-corpus-size ratio the subsystem promises.
+	OverSingleTarget float64 `json:"over_single_target"`
+}
+
+// TargetReport is the whole BENCH_targetset.json document.
+type TargetReport struct {
+	Quick bool `json:"quick"`
+	// ClassicOptimizedNsPerKey and ClassicPlainNsPerKey are the classic
+	// single-target kernels over the same interval, for context. The
+	// optimized tier's reversal/early-exit tricks are unavailable in
+	// corpus mode by construction (the Bloom probe consumes the complete
+	// digest), so the corpus rows are expected to sit near the plain
+	// (full-hash) cost, not the optimized one.
+	ClassicOptimizedNsPerKey float64 `json:"classic_optimized_ns_per_key"`
+	ClassicPlainNsPerKey     float64 `json:"classic_plain_ns_per_key"`
+	// SingleTargetNsPerKey is the two-stage kernel's cost at corpus size
+	// one — the "single-target cost" the flatness bound is measured
+	// against.
+	SingleTargetNsPerKey float64     `json:"single_target_ns_per_key"`
+	Rows                 []TargetRow `json:"rows"`
+	// Ratio1e6OverSingleTarget is the headline number: per-candidate cost
+	// at 10^6 targets over the single-target (corpus-of-one) cost.
+	Ratio1e6OverSingleTarget float64 `json:"ratio_1e6_over_single_target"`
+	// CostFlat: the ratio above stays within 1.5x — per-candidate cost is
+	// flat in the corpus size across six orders of magnitude.
+	CostFlat bool `json:"cost_flat"`
+	// FPRBounded: measured FPR at 10^6 targets within 2x requested.
+	FPRBounded bool `json:"fpr_bounded"`
+}
+
+// corpusDigests generates n deterministic pseudo-random 16-byte digests
+// (a splitmix64 stream), none of which any searched key hashes to.
+func corpusDigests(n int, seed uint64) [][]byte {
+	out := make([][]byte, n)
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range out {
+		d := make([]byte, 16)
+		for j := 0; j < 16; j += 8 {
+			v := next()
+			for k := 0; k < 8; k++ {
+				d[j+k] = byte(v >> (8 * k))
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// targetsetMain runs the multi-target benchmark and writes the report.
+func targetsetMain(quick bool, out string) error {
+	rep := &TargetReport{Quick: quick}
+
+	cs, err := keyspace.NewCharset("abcdefghijklmnopqrstuvwxyz")
+	if err != nil {
+		return err
+	}
+	space, err := keyspace.New(cs, 1, 5, keyspace.PrefixMajor)
+	if err != nil {
+		return err
+	}
+	n := int64(1 << 20)
+	if quick {
+		n = 1 << 18
+	}
+	iv := keyspace.NewInterval(0, n)
+	run := func(job *cracker.Job) (uint64, float64, error) {
+		// One untimed warm-up pass settles code and allocator state so the
+		// baseline and corpus rows see the same steady state.
+		if _, err := cracker.CrackAll(context.Background(), job, keyspace.NewInterval(0, n/8), core.Options{}); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		res, err := cracker.CrackAll(context.Background(), job, iv, core.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Tested, time.Since(start).Seconds(), nil
+	}
+
+	// Classic single-target kernels, for context: the optimized tier's
+	// reversal/early-exit shortcut skips part of every hash, which corpus
+	// mode cannot do (the Bloom probe needs the complete digest), so the
+	// plain full-hash tier is the honest floor for the two-stage kernel.
+	fmt.Printf("== Multi-target search: per-candidate cost vs corpus size ==\n")
+	for _, tier := range []struct {
+		kind cracker.KernelKind
+		dst  *float64
+	}{
+		{cracker.KernelOptimized, &rep.ClassicOptimizedNsPerKey},
+		{cracker.KernelPlain, &rep.ClassicPlainNsPerKey},
+	} {
+		base, err := cracker.NewJobHex(cracker.MD5, targetHex(cracker.MD5), space)
+		if err != nil {
+			return err
+		}
+		base.Kind = tier.kind
+		tested, sec, err := run(base)
+		if err != nil {
+			return err
+		}
+		*tier.dst = sec / float64(tested) * 1e9
+		fmt.Printf("classic %-9s: %9d keys in %6.3fs  %7.2f ns/key  %8.2f MKey/s\n",
+			tier.kind, tested, sec, *tier.dst, float64(tested)/sec/1e6)
+	}
+
+	for _, size := range []int{1, 1_000, 1_000_000} {
+		set, err := targetset.Build(corpusDigests(size, 0xbe9c), targetset.Options{})
+		if err != nil {
+			return err
+		}
+		job := &cracker.Job{Algorithm: cracker.MD5, Corpus: set, Space: space}
+		tested, sec, err := run(job)
+		if err != nil {
+			return err
+		}
+		row := TargetRow{
+			CorpusSize:   size,
+			BloomBits:    set.Bits(),
+			BloomHashes:  set.Hashes(),
+			RequestedFPR: set.FPRequested(),
+			EstimatedFPR: set.FPEstimate(),
+			MeasuredFPR:  set.MeasuredFPR(200_000, 0x5eed),
+			Tested:       tested,
+			Seconds:      sec,
+			NsPerKey:     sec / float64(tested) * 1e9,
+			MKeys:        float64(tested) / sec / 1e6,
+		}
+		if len(rep.Rows) == 0 {
+			rep.SingleTargetNsPerKey = row.NsPerKey
+		}
+		row.OverSingleTarget = row.NsPerKey / rep.SingleTargetNsPerKey
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("corpus %8d: %9d keys in %6.3fs  %7.2f ns/key  %8.2f MKey/s  (%.3fx single-target)  fpr req %.1e meas %.1e\n",
+			size, tested, sec, row.NsPerKey, row.MKeys, row.OverSingleTarget, row.RequestedFPR, row.MeasuredFPR)
+	}
+
+	last := rep.Rows[len(rep.Rows)-1]
+	rep.Ratio1e6OverSingleTarget = last.OverSingleTarget
+	rep.CostFlat = last.OverSingleTarget <= 1.5
+	rep.FPRBounded = last.MeasuredFPR <= 2*last.RequestedFPR
+	fmt.Printf("== cost_flat=%v (1e6 corpus %.3fx single-target, bound 1.5x)  fpr_bounded=%v (measured %.2e, bound %.2e) ==\n",
+		rep.CostFlat, last.OverSingleTarget, rep.FPRBounded, last.MeasuredFPR, 2*last.RequestedFPR)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	if !rep.CostFlat {
+		return fmt.Errorf("keybench: million-target per-candidate cost is %.3fx single-target (bound 1.5x)", last.OverSingleTarget)
+	}
+	if !rep.FPRBounded {
+		return fmt.Errorf("keybench: measured FPR %.3e exceeds 2x requested %.3e", last.MeasuredFPR, last.RequestedFPR)
+	}
+	return nil
+}

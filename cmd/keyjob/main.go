@@ -65,7 +65,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: keyjob [-server URL] <command> [args]
 
 commands:
-  submit -tenant T [-priority N] -alg A -hash H -charset C -min N -max N [-solutions N]
+  submit -tenant T [-priority N] -alg A (-hash H | -hashes FILE) -charset C -min N -max N [-solutions N]
   list   [-tenant T]
   get    <job-id>
   watch  [job-id]            stream events (all jobs when id omitted)
@@ -79,24 +79,36 @@ func submit(base string, args []string) error {
 	tenant := fs.String("tenant", "", "tenant the job belongs to (required)")
 	priority := fs.Int("priority", 0, "scheduling priority (higher first)")
 	alg := fs.String("alg", "md5", "hash algorithm: md5 or sha1")
-	hash := fs.String("hash", "", "hex digest to invert (required)")
+	hash := fs.String("hash", "", "hex digest to invert (required unless -hashes)")
+	hashes := fs.String("hashes", "", "file of hex digests, one per line: multi-target corpus mode")
 	charset := fs.String("charset", keyspace.Lower.String(), "candidate charset")
 	minLen := fs.Int("min", 1, "minimum key length")
 	maxLen := fs.Int("max", 5, "maximum key length")
 	solutions := fs.Int("solutions", 1, "stop after this many hits (0 = exhaust the space)")
 	fs.Parse(args)
 
+	spec := jobs.Spec{
+		Algorithm:    *alg,
+		Target:       *hash,
+		Charset:      *charset,
+		MinLen:       *minLen,
+		MaxLen:       *maxLen,
+		MaxSolutions: *solutions,
+	}
+	if *hashes != "" {
+		if *hash != "" {
+			return fmt.Errorf("-hash and -hashes are mutually exclusive")
+		}
+		targets, err := readDigestFile(*hashes)
+		if err != nil {
+			return err
+		}
+		spec.Target, spec.Targets = "", targets
+	}
 	body, err := json.Marshal(map[string]any{
 		"tenant":   *tenant,
 		"priority": *priority,
-		"spec": jobs.Spec{
-			Algorithm:    *alg,
-			Target:       *hash,
-			Charset:      *charset,
-			MinLen:       *minLen,
-			MaxLen:       *maxLen,
-			MaxSolutions: *solutions,
-		},
+		"spec":     spec,
 	})
 	if err != nil {
 		return err
@@ -111,6 +123,32 @@ func submit(base string, args []string) error {
 	}
 	fmt.Printf("submitted %s (tenant %s, %s keys)\n", j.ID, j.Tenant, j.Space)
 	return nil
+}
+
+// readDigestFile loads a multi-target corpus: one hex digest per line,
+// blank lines and #-comments skipped.
+func readDigestFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no digests", path)
+	}
+	return out, nil
 }
 
 func list(base string, args []string) error {

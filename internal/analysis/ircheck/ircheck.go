@@ -44,6 +44,9 @@ const (
 	// Per-architecture legality (Tables III–VI gating).
 	RulePseudo Rule = "pseudo"   // pseudo-op survives into a machine program
 	RuleArch   Rule = "arch-gate" // operation illegal on the target architecture
+	// Multi-target pre-screen integrity (enforced at every stage: a broken
+	// bank would silently drop keys, not just miscompile).
+	RuleBloomBank Rule = "bloom-bank" // LDC.BLOOM with a missing or non-power-of-two bank
 	// Tidiness (end-of-pipeline state).
 	RuleNop  Rule = "nop"       // OpNop placeholder survives compaction
 	RuleMov  Rule = "mov"       // un-propagated copy survives
@@ -122,6 +125,7 @@ func Check(p *kernel.Program, opt Options) []Violation {
 		defined[r] = true
 	}
 	defAt := make([]int, p.NumRegs)
+	usesBloom := false
 
 	checkOperand := func(idx int, name string, o kernel.Operand) {
 		if o.IsImm {
@@ -154,12 +158,15 @@ func Check(p *kernel.Program, opt Options) []Violation {
 		case kernel.OpAdd, kernel.OpAnd, kernel.OpOr, kernel.OpXor, kernel.OpNot,
 			kernel.OpShl, kernel.OpShr, kernel.OpAndN, kernel.OpOrN,
 			kernel.OpIMADHi, kernel.OpISCADD, kernel.OpPerm, kernel.OpFunnel,
-			kernel.OpExitNE:
+			kernel.OpExitNE, kernel.OpBloomBit:
 		default:
 			add(RuleUnknownOp, idx, "operation %d outside the virtual ISA", int(in.Op))
 			continue
 		}
 
+		if in.Op == kernel.OpBloomBit {
+			usesBloom = true
+		}
 		if opt.CheckArch {
 			archGate(add, idx, in.Op, opt.Arch)
 		}
@@ -195,7 +202,7 @@ func Check(p *kernel.Program, opt Options) []Violation {
 		// Imm(0)); a live register there would miscount uses and liveness.
 		switch in.Op {
 		case kernel.OpNot, kernel.OpMov, kernel.OpShl, kernel.OpShr,
-			kernel.OpRotl, kernel.OpPerm, kernel.OpFunnel:
+			kernel.OpRotl, kernel.OpPerm, kernel.OpFunnel, kernel.OpBloomBit:
 			if !in.B.IsImm || in.B.Imm != 0 {
 				add(RuleSpuriousB, idx, "unary %v carries live B operand %v", in.Op, in.B)
 			}
@@ -242,6 +249,20 @@ func Check(p *kernel.Program, opt Options) []Violation {
 		}
 	}
 
+	// Bank integrity holds at every stage: a Bloom probe against a missing
+	// bank rejects every candidate (silently dropping keys), and a
+	// non-power-of-two bank breaks the mask-wrap indexing contract of
+	// Program.BloomBit. Either way the search is wrong before any
+	// architecture question arises.
+	if usesBloom {
+		switch n := len(p.Bloom); {
+		case n == 0:
+			add(RuleBloomBank, -1, "LDC.BLOOM used but the program has no Bloom bank")
+		case n&(n-1) != 0:
+			add(RuleBloomBank, -1, "Bloom bank length %d words is not a power of two", n)
+		}
+	}
+
 	if opt.RequireTidy {
 		for _, idx := range Dead(p) {
 			add(RuleDead, idx, "%v result r%d is never observed", p.Instrs[idx].Op, p.Instrs[idx].Dst)
@@ -268,6 +289,10 @@ func archGate(add func(Rule, int, string, ...any), idx int, op kernel.Op, cc arc
 		if !cc.HasIMAD() {
 			add(RuleArch, idx, "%v illegal on cc %v (MAD rotate lowering requires cc >= 2.0)", op, cc)
 		}
+	case kernel.OpBloomBit:
+		// Legal on every modeled architecture: constant memory with a
+		// broadcast cache exists from cc1.x on — it is where the paper keeps
+		// the target hash and common substring.
 	}
 }
 

@@ -104,16 +104,22 @@ type Throughput struct {
 	Logic int // 32-bit bitwise AND/OR/XOR
 	Shift int // 32-bit integer shift
 	MAD   int // 32-bit integer multiply-add (IMAD/ISCADD); also PRMT
+	// Load is the constant-cache load throughput (the Bloom-bank probes of
+	// the multi-target kernels). Not a Table II column — the paper has no
+	// load-class accounting — so these are modeled values: scattered
+	// constant-cache reads serialize on the cache port at roughly the
+	// restricted-group rate of each family.
+	Load int
 }
 
 var throughputs = map[CC]Throughput{
-	CC1x: {Add: 10, Logic: 8, Shift: 8, MAD: 8},
-	CC20: {Add: 32, Logic: 32, Shift: 16, MAD: 16},
-	CC21: {Add: 48, Logic: 48, Shift: 16, MAD: 16},
-	CC30: {Add: 160, Logic: 160, Shift: 32, MAD: 32},
+	CC1x: {Add: 10, Logic: 8, Shift: 8, MAD: 8, Load: 8},
+	CC20: {Add: 32, Logic: 32, Shift: 16, MAD: 16, Load: 16},
+	CC21: {Add: 48, Logic: 48, Shift: 16, MAD: 16, Load: 16},
+	CC30: {Add: 160, Logic: 160, Shift: 32, MAD: 32, Load: 32},
 	// CC35 doubles the shift-class speed (funnel shift runs at 64/cycle,
 	// and one SHF replaces a SHL+IMAD pair: 4x rotate throughput overall).
-	CC35: {Add: 160, Logic: 160, Shift: 64, MAD: 64},
+	CC35: {Add: 160, Logic: 160, Shift: 64, MAD: 64, Load: 32},
 }
 
 // InstrThroughput returns the Table II throughputs of a compute capability.

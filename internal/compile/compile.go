@@ -127,6 +127,8 @@ func cloneProgram(src *kernel.Program) *kernel.Program {
 		NumRegs:   src.NumRegs,
 		Instrs:    make([]kernel.Instr, len(src.Instrs)),
 		Outputs:   append([]int(nil), src.Outputs...),
+		// The Bloom bank is immutable after build; clones share it.
+		Bloom: src.Bloom,
 	}
 	copy(p.Instrs, src.Instrs)
 	return p

@@ -52,6 +52,12 @@ func copyPropFold(p *kernel.Program) {
 			in.Op = kernel.OpNop
 			continue
 		}
+		if in.Op == kernel.OpBloomBit {
+			// The bank lookup reads program state (Program.Bloom), not just
+			// its operands: never constant-evaluate it, even with an
+			// immediate index (Eval would panic).
+			continue
+		}
 
 		// Full constant evaluation.
 		aImm, bImm := in.A.IsImm, in.B.IsImm

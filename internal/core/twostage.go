@@ -1,0 +1,51 @@
+package core
+
+// TwoStage models a composed test condition C = confirm ∘ filter: every
+// candidate pays the filter cost, and the fraction that passes the
+// pre-screen (true hits plus the filter's false-positive rate) also pays
+// the exact-confirm cost. This is the multi-target search shape of
+// internal/targetset — a Bloom pre-screen in front of a sorted digest
+// index — folded into the paper's §III.A constants: the effective
+// per-candidate test cost is
+//
+//	K_C = K_filter + p_pass·K_confirm
+//
+// so Search, Tune and every dispatch-level cost bound see a corpus-backed
+// job as an ordinary job with a composite K_C.
+type TwoStage struct {
+	// KFilter is the pre-screen cost per candidate, in seconds (hash +
+	// k probe loads; independent of the corpus cardinality).
+	KFilter float64
+	// KConfirm is the exact-membership cost for a candidate that passes
+	// the filter (binary search: O(log n) compares).
+	KConfirm float64
+	// PassRate is the fraction of candidates reaching the confirm stage.
+	// For a corpus of n targets in a space of size N with false-positive
+	// rate p, PassRate ≈ p + n/N; the n/N term is negligible in every
+	// realistic search, so the requested rate is the working value.
+	PassRate float64
+}
+
+// KC returns the effective per-candidate test cost of the composition.
+func (t TwoStage) KC() float64 {
+	return t.KFilter + t.PassRate*t.KConfirm
+}
+
+// WithTwoStage returns a copy of the cost model whose K_C is the
+// two-stage effective cost, leaving K_f and K_next untouched — the
+// candidate-generation side of §III.A does not change when the test
+// condition becomes filter ∘ confirm.
+func (m CostModel) WithTwoStage(t TwoStage) CostModel {
+	m.KC = t.KC()
+	return m
+}
+
+// FilterConfirm composes a cheap pre-screen with an exact check into one
+// TestFunc: confirm runs only when filter passes. The filter must never
+// produce a false negative (a Bloom filter's contract); the composition
+// is then exactly as correct as confirm alone.
+func FilterConfirm(filter, confirm TestFunc) TestFunc {
+	return func(candidate []byte) bool {
+		return filter(candidate) && confirm(candidate)
+	}
+}

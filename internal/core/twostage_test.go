@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoStageKC(t *testing.T) {
+	ts := TwoStage{KFilter: 2e-9, KConfirm: 10e-9, PassRate: 1e-3}
+	want := 2e-9 + 1e-3*10e-9
+	if got := ts.KC(); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("KC = %g, want %g", got, want)
+	}
+	// With a perfect filter (nothing passes) only the filter is paid.
+	if got := (TwoStage{KFilter: 5, KConfirm: 100}).KC(); got != 5 {
+		t.Fatalf("KC with zero pass rate = %g, want 5", got)
+	}
+	// With a pass-everything filter the full confirm cost is paid.
+	if got := (TwoStage{KFilter: 5, KConfirm: 100, PassRate: 1}).KC(); got != 105 {
+		t.Fatalf("KC with pass rate 1 = %g, want 105", got)
+	}
+}
+
+func TestWithTwoStage(t *testing.T) {
+	base := CostModel{Kf: 100e-9, Knext: 1e-9, KC: 42e-9}
+	ts := TwoStage{KFilter: 3e-9, KConfirm: 20e-9, PassRate: 0.01}
+	m := base.WithTwoStage(ts)
+	if m.Kf != base.Kf || m.Knext != base.Knext {
+		t.Fatal("WithTwoStage must not touch Kf/Knext")
+	}
+	if m.KC != ts.KC() {
+		t.Fatalf("KC = %g, want %g", m.KC, ts.KC())
+	}
+	// The search cost at any batch size is the §III.A formula with the
+	// composite K_C.
+	n := 1e6
+	want := base.Kf + (n-1)*base.Knext + n*ts.KC()
+	if got := m.SearchCost(n); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("SearchCost(%g) = %g, want %g", n, got, want)
+	}
+	// A lower pass rate can only lower the cost (monotonicity the tuner
+	// relies on).
+	cheaper := base.WithTwoStage(TwoStage{KFilter: 3e-9, KConfirm: 20e-9, PassRate: 0.001})
+	if cheaper.SearchCost(n) >= m.SearchCost(n) {
+		t.Fatal("lower pass rate did not lower the search cost")
+	}
+	// Efficiency still behaves: it grows with the batch size.
+	if m.Efficiency(1e3) >= m.Efficiency(1e6) {
+		t.Fatal("efficiency not increasing in n")
+	}
+}
+
+func TestFilterConfirm(t *testing.T) {
+	var filterCalls, confirmCalls int
+	filter := func(c []byte) bool { filterCalls++; return len(c) > 0 && c[0] == 'x' }
+	confirm := func(c []byte) bool { confirmCalls++; return string(c) == "xy" }
+	test := FilterConfirm(filter, confirm)
+
+	if test([]byte("ab")) {
+		t.Fatal("filter-rejected candidate passed")
+	}
+	if confirmCalls != 0 {
+		t.Fatal("confirm ran for a filter-rejected candidate")
+	}
+	if test([]byte("xz")) {
+		t.Fatal("confirm-rejected candidate passed")
+	}
+	if confirmCalls != 1 {
+		t.Fatalf("confirm ran %d times, want 1", confirmCalls)
+	}
+	if !test([]byte("xy")) {
+		t.Fatal("true hit rejected")
+	}
+	if filterCalls != 3 {
+		t.Fatalf("filter ran %d times, want 3", filterCalls)
+	}
+}

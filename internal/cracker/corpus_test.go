@@ -1,0 +1,222 @@
+package cracker
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"keysearch/internal/core"
+	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
+)
+
+// splitmix64 generates deterministic pseudo-random noise digests without
+// touching the global RNG (matches the targetset test helper).
+func noiseDigests(n, size int, seed uint64) [][]byte {
+	out := make([][]byte, n)
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range out {
+		d := make([]byte, size)
+		for j := 0; j < size; j += 8 {
+			v := next()
+			for b := 0; b < 8 && j+b < size; b++ {
+				d[j+b] = byte(v >> (8 * b))
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// solutionsSorted flattens a result's solutions into sorted strings.
+func solutionsSorted(res *core.Result) []string {
+	out := make([]string, len(res.Solutions))
+	for i, s := range res.Solutions {
+		out[i] = string(s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCorpusDifferential: for each algorithm, a corpus-backed CrackAll over
+// a real key space must return the byte-identical hit set produced by a
+// brute-force linear scan that hashes every key in the space and compares
+// against every corpus digest — no filter, no index, no shared code with
+// the targetset path. Run twice: default rate, and an adversarial 0.5-rate
+// filter where most of the correctness burden falls on the confirm stage.
+func TestCorpusDifferential(t *testing.T) {
+	sp := space(t, keyspace.Lower, 1, 3)
+	for _, alg := range []Algorithm{MD5, SHA1} {
+		for _, opt := range []targetset.Options{{FPRate: 1e-3}, {FPRate: 0.5, Seed: 0xbad}} {
+			t.Run(fmt.Sprintf("%v/fpr=%v", alg, opt.FPRate), func(t *testing.T) {
+				// Plant a spread of in-space keys plus out-of-space noise.
+				planted := []string{"a", "zz", "fox", "cat", "m", "qrs"}
+				var corpus [][]byte
+				for _, k := range planted {
+					corpus = append(corpus, alg.HashKey([]byte(k)))
+				}
+				corpus = append(corpus, noiseDigests(3000, alg.DigestSize(), 7)...)
+
+				set, err := targetset.Build(corpus, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				job := &Job{Algorithm: alg, Corpus: set, Space: sp}
+				res, err := CrackAll(context.Background(), job, sp.Whole(), core.Options{Workers: 4, ChunkSize: 256})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := solutionsSorted(res)
+
+				// Brute-force reference: enumerate the space, hash every key,
+				// linear-scan the raw corpus.
+				var want []string
+				size, _ := sp.Size64()
+				for id := uint64(0); id < size; id++ {
+					key := sp.Key64(id)
+					d := alg.HashKey(key)
+					for _, c := range corpus {
+						if bytes.Equal(c, d) {
+							want = append(want, string(key))
+							break
+						}
+					}
+				}
+				sort.Strings(want)
+
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("corpus search %v differs from linear scan %v", got, want)
+				}
+				sort.Strings(planted)
+				if fmt.Sprint(got) != fmt.Sprint(planted) {
+					t.Fatalf("hit set %v differs from planted keys %v", got, planted)
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusSalted checks the salted corpus path against the same
+// linear-scan oracle: digests are of salt-wrapped keys, hits are reported
+// as bare keys.
+func TestCorpusSalted(t *testing.T) {
+	sp := space(t, keyspace.Digits, 1, 3)
+	salt := Salt{Prefix: []byte("s$"), Suffix: []byte("#")}
+	planted := []string{"7", "42", "999"}
+	var corpus [][]byte
+	for _, k := range planted {
+		corpus = append(corpus, MD5.HashKey(salt.Apply(nil, []byte(k))))
+	}
+	corpus = append(corpus, noiseDigests(500, 16, 3)...)
+	set, err := targetset.Build(corpus, targetset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{Algorithm: MD5, Corpus: set, Space: sp, Salt: salt}
+	res, err := CrackAll(context.Background(), job, sp.Whole(), core.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := solutionsSorted(res)
+	sort.Strings(planted)
+	if fmt.Sprint(got) != fmt.Sprint(planted) {
+		t.Fatalf("salted corpus hits %v, want %v", got, planted)
+	}
+}
+
+// TestCorpusKernelErrors covers the constructor error paths.
+func TestCorpusKernelErrors(t *testing.T) {
+	if _, err := NewCorpusKernel(MD5, nil); err == nil {
+		t.Error("nil set: want error")
+	}
+	set, err := targetset.Build(noiseDigests(10, 20, 1), targetset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCorpusKernel(MD5, set); err == nil {
+		t.Error("20-byte digests under MD5: want error")
+	}
+	if _, err := NewCorpusKernel(Algorithm(99), mustSet(t, noiseDigests(10, 16, 1))); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+	// A corpus job whose factory fails must surface the error through
+	// TestFactory, not panic later.
+	sp := space(t, keyspace.Lower, 1, 1)
+	job := &Job{Algorithm: MD5, Corpus: set, Space: sp}
+	if _, err := job.TestFactory(); err == nil {
+		t.Error("mismatched corpus job: want factory error")
+	}
+}
+
+func mustSet(t *testing.T, digests [][]byte) *targetset.Set {
+	t.Helper()
+	s, err := targetset.Build(digests, targetset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCorpusExactnessChaos is the million-digest acceptance suite: a corpus
+// of 10^6 digests with planted in-space keys, searched under a grid of
+// worker/chunk schedules. Every planted key must be reported exactly once —
+// no loss to the Bloom filter (false negatives are impossible by
+// construction) and no duplicate from overlapping chunks.
+func TestCorpusExactnessChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-digest corpus; skipped in -short")
+	}
+	sp := space(t, keyspace.Lower, 1, 4) // 475,254 keys
+	size, _ := sp.Size64()
+
+	// Plant every 9973rd key (48 planted), then flood with noise to 10^6.
+	var planted []string
+	var corpus [][]byte
+	for id := uint64(0); id < size; id += 9973 {
+		key := sp.Key64(id)
+		planted = append(planted, string(key))
+		corpus = append(corpus, MD5.HashKey(key))
+	}
+	corpus = append(corpus, noiseDigests(1_000_000-len(corpus), 16, 0xc0ffee)...)
+	set, err := targetset.Build(corpus, targetset.Options{FPRate: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(planted)
+
+	for _, sched := range []core.Options{
+		{Workers: 1, ChunkSize: 100_000},
+		{Workers: 7, ChunkSize: 64},
+		{Workers: 16, ChunkSize: 1},
+		{Workers: 4, ChunkSize: 9973}, // chunk boundary rides the plant stride
+	} {
+		name := fmt.Sprintf("w%d-c%d", sched.Workers, sched.ChunkSize)
+		t.Run(name, func(t *testing.T) {
+			job := &Job{Algorithm: MD5, Corpus: set, Space: sp}
+			res, err := CrackAll(context.Background(), job, sp.Whole(), sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Exhausted {
+				t.Fatal("search did not exhaust the space")
+			}
+			if res.Tested != size {
+				t.Fatalf("tested %d keys, space has %d", res.Tested, size)
+			}
+			got := solutionsSorted(res)
+			if fmt.Sprint(got) != fmt.Sprint(planted) {
+				t.Fatalf("schedule %s: got %d hits, want %d planted exactly once\n got: %v\nwant: %v",
+					name, len(got), len(planted), got, planted)
+			}
+		})
+	}
+}

@@ -7,17 +7,25 @@ import (
 
 	"keysearch/internal/core"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
 )
 
 // Job describes one cracking task: which digest to invert over which key
 // space, with which kernel tier.
 type Job struct {
 	Algorithm Algorithm
-	// Target is the raw digest to invert.
+	// Target is the raw digest to invert. Ignored when Corpus is set.
 	Target []byte
+	// Corpus, when non-nil, switches the job to multi-target mode: a
+	// candidate is a solution when its digest is a member of the corpus
+	// (Bloom pre-screen + exact confirm). Searches over a corpus usually
+	// want MaxSolutions -1 (CrackAll) since many keys can hit.
+	Corpus *targetset.Set
 	// Space is the candidate key space.
 	Space *keyspace.Space
 	// Kind selects the kernel optimization tier (default KernelOptimized).
+	// Corpus mode always hashes the full candidate, so Kind only applies
+	// to single-target jobs.
 	Kind KernelKind
 	// Salt, when non-empty, is combined with each candidate before
 	// hashing.
@@ -38,6 +46,17 @@ func NewJobHex(alg Algorithm, hexDigest string, space *keyspace.Space) (*Job, er
 
 // TestFactory returns a core.TestFactory producing one kernel per worker.
 func (j *Job) TestFactory() (core.TestFactory, error) {
+	if j.Corpus != nil {
+		// The set is immutable and safe for concurrent readers, so every
+		// worker shares it; only the salt buffer is per-kernel state.
+		if _, err := NewSaltedCorpusKernel(j.Algorithm, j.Corpus, j.Salt); err != nil {
+			return nil, err
+		}
+		return func() core.TestFunc {
+			k, _ := NewSaltedCorpusKernel(j.Algorithm, j.Corpus, j.Salt)
+			return k.Test
+		}, nil
+	}
 	// Build one kernel eagerly to surface configuration errors.
 	if _, err := NewSaltedKernel(j.Algorithm, j.Kind, j.Target, j.Salt); err != nil {
 		return nil, err

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"keysearch/internal/hash/md5x"
-	"keysearch/internal/hash/sha1x"
+	"keysearch/internal/targetset"
 )
 
 // multiReverseThreshold is the target count up to which an MD5 multi-target
@@ -18,7 +18,9 @@ const multiReverseThreshold = 4
 //
 // For MD5 with at most multiReverseThreshold targets the kernel keeps a
 // reversal context per target and still skips 15 of 64 steps per candidate;
-// larger sets and SHA1 hash each candidate once and probe a digest set.
+// larger sets and SHA1 hash each candidate once and probe a target set
+// (Bloom pre-screen plus exact confirm), so cost stays flat in the corpus
+// size.
 func NewMultiKernel(alg Algorithm, targets [][]byte) (Kernel, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("cracker: no targets")
@@ -45,24 +47,9 @@ func NewMultiKernel(alg Algorithm, targets [][]byte) (Kernel, error) {
 		}), nil
 	}
 
-	set := make(map[string]struct{}, len(targets))
-	for _, tgt := range targets {
-		set[string(tgt)] = struct{}{}
+	set, err := targetset.Build(targets, targetset.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cracker: building target set: %w", err)
 	}
-	switch alg {
-	case MD5:
-		return kernelFunc(func(key []byte) bool {
-			d := md5x.Sum(key)
-			_, ok := set[string(d[:])]
-			return ok
-		}), nil
-	case SHA1:
-		return kernelFunc(func(key []byte) bool {
-			d := sha1x.Sum(key)
-			_, ok := set[string(d[:])]
-			return ok
-		}), nil
-	default:
-		return nil, fmt.Errorf("cracker: unsupported algorithm %v", alg)
-	}
+	return NewCorpusKernel(alg, set)
 }

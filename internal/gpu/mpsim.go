@@ -205,6 +205,13 @@ func (sim *mpSim) tryIssue(st *simWarp, cycle, sched int, dualSlot bool) bool {
 		st.pc++
 		return true
 	}
+	// Constant-cache loads (Bloom probes) consume an issue slot and pay
+	// full pipeline latency, but go to the cache port, not a core group.
+	if m.class == kernel.ClassLoad {
+		st.ready[st.pc] = cycle + sim.spec.PipelineLatency
+		st.pc++
+		return true
+	}
 	g, ok := sim.pickGroup(m.class, sched, dualSlot, cycle)
 	if !ok {
 		return false

@@ -103,6 +103,16 @@ func (w *WarpInterp) Run(prog *kernel.Program, inputs [][arch.WarpSize]uint32, a
 			continue
 		}
 
+		if in.Op == kernel.OpBloomBit {
+			// Constant-cache probe: per-lane bank lookup (program state,
+			// not an Eval of operands).
+			dst := &regs[in.Dst]
+			for lane := 0; lane < arch.WarpSize; lane++ {
+				dst[lane] = prog.BloomBit(readLane(regs, in.A, lane))
+			}
+			continue
+		}
+
 		dst := &regs[in.Dst]
 		for lane := 0; lane < arch.WarpSize; lane++ {
 			// Arithmetic on dead lanes is harmless (predicated off in

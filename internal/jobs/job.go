@@ -8,6 +8,7 @@ import (
 
 	"keysearch/internal/cracker"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
 )
 
 // State is a job's lifecycle position.
@@ -97,8 +98,15 @@ func validTransition(from, to State) bool {
 type Spec struct {
 	// Algorithm is the hash to invert: "md5" or "sha1".
 	Algorithm string `json:"algorithm"`
-	// Target is the hex digest to invert.
-	Target string `json:"target"`
+	// Target is the hex digest to invert (single-target mode). Exactly one
+	// of Target and Targets must be set.
+	Target string `json:"target,omitempty"`
+	// Targets is the multi-target digest corpus, hex-encoded: the job
+	// reports every key in the space whose digest appears here (an audit
+	// run over a leaked database). Workers pre-screen candidates with a
+	// Bloom filter and exact-confirm against the sorted corpus
+	// (internal/targetset), so cost stays flat in the corpus size.
+	Targets []string `json:"targets,omitempty"`
 	// Charset is the candidate alphabet.
 	Charset string `json:"charset"`
 	// MinLen/MaxLen bound the candidate length.
@@ -109,20 +117,88 @@ type Spec struct {
 	MaxSolutions int `json:"max_solutions,omitempty"`
 }
 
+// MaxTargets caps the corpus cardinality a spec may carry (the encoded
+// target set must also fit the wire codec's frame budget).
+const MaxTargets = 1 << 20
+
+// MultiTarget reports whether the spec searches a digest corpus.
+func (sp Spec) MultiTarget() bool { return len(sp.Targets) > 0 }
+
+// TargetDigests decodes the multi-target corpus into raw digests,
+// enforcing the cardinality cap and per-digest size. The wire layer uses
+// it to build the corpus blob it ships to workers.
+func (sp Spec) TargetDigests() ([][]byte, error) {
+	alg, err := cracker.ParseAlgorithm(sp.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return sp.decodeTargets(alg)
+}
+
+// decodeTargets validates and decodes the corpus digests.
+func (sp Spec) decodeTargets(alg cracker.Algorithm) ([][]byte, error) {
+	if len(sp.Targets) > MaxTargets {
+		return nil, fmt.Errorf("jobs: %d targets exceed the %d cap", len(sp.Targets), MaxTargets)
+	}
+	out := make([][]byte, len(sp.Targets))
+	for i, t := range sp.Targets {
+		d, err := hex.DecodeString(t)
+		if err != nil || len(d) != alg.DigestSize() {
+			return nil, fmt.Errorf("jobs: bad %s digest %q at target %d", sp.Algorithm, t, i)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
 // Validate checks the spec without building the full space.
 func (sp Spec) Validate() error {
 	alg, err := cracker.ParseAlgorithm(sp.Algorithm)
 	if err != nil {
 		return err
 	}
-	target, err := hex.DecodeString(sp.Target)
-	if err != nil || len(target) != alg.DigestSize() {
-		return fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
+	switch {
+	case sp.MultiTarget():
+		if sp.Target != "" {
+			return fmt.Errorf("jobs: spec sets both target and targets")
+		}
+		if _, err := sp.decodeTargets(alg); err != nil {
+			return err
+		}
+	default:
+		target, err := hex.DecodeString(sp.Target)
+		if err != nil || len(target) != alg.DigestSize() {
+			return fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
+		}
 	}
 	if _, err := sp.Space(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Key returns a stable cache identity for the spec: executors key their
+// built cracker jobs (and wire-side corpus registrations) by it. The
+// corpus contributes through an FNV-1a digest of its entries, so a
+// million-target spec does not cost a megabyte-long map key.
+func (sp Spec) Key() string {
+	base := fmt.Sprintf("%s|%s|%s|%d|%d|%d", sp.Algorithm, sp.Target, sp.Charset, sp.MinLen, sp.MaxLen, sp.MaxSolutions)
+	if !sp.MultiTarget() {
+		return base
+	}
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // record separator
+		h *= 1099511628211
+	}
+	for _, t := range sp.Targets {
+		mix(t)
+	}
+	return fmt.Sprintf("%s|corpus:%d:%016x", base, len(sp.Targets), h)
 }
 
 // Space builds the job's keyspace.
@@ -135,19 +211,39 @@ func (sp Spec) Space() (*keyspace.Space, error) {
 }
 
 // CrackerJob materializes the spec into a runnable cracking job — the
-// LocalExecutor's per-job build step.
+// LocalExecutor's per-job build step. Multi-target specs build the Bloom
+// pre-screened corpus set once here; every lease then shares it.
 func (sp Spec) CrackerJob() (*cracker.Job, error) {
 	alg, err := cracker.ParseAlgorithm(sp.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	target, err := hex.DecodeString(sp.Target)
-	if err != nil || len(target) != alg.DigestSize() {
-		return nil, fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
-	}
 	space, err := sp.Space()
 	if err != nil {
 		return nil, err
+	}
+	if sp.MultiTarget() {
+		if sp.Target != "" {
+			return nil, fmt.Errorf("jobs: spec sets both target and targets")
+		}
+		digests, err := sp.decodeTargets(alg)
+		if err != nil {
+			return nil, err
+		}
+		set, err := targetset.Build(digests, targetset.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &cracker.Job{
+			Algorithm: alg,
+			Corpus:    set,
+			Space:     space,
+			Kind:      cracker.KernelOptimized,
+		}, nil
+	}
+	target, err := hex.DecodeString(sp.Target)
+	if err != nil || len(target) != alg.DigestSize() {
+		return nil, fmt.Errorf("jobs: bad %s digest %q", sp.Algorithm, sp.Target)
 	}
 	return &cracker.Job{
 		Algorithm: alg,

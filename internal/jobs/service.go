@@ -81,7 +81,9 @@ func (e *LocalExecutor) Search(ctx context.Context, spec Spec, iv keyspace.Inter
 }
 
 func (e *LocalExecutor) job(spec Spec) (*cracker.Job, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d|%d", spec.Algorithm, spec.Target, spec.Charset, spec.MinLen, spec.MaxLen)
+	// Spec.Key covers the corpus too, so a multi-target job's Bloom set is
+	// built once and shared by every lease.
+	key := spec.Key()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if j, ok := e.cache[key]; ok {

@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// This file is the IR side of multi-target search: a Bloom filter over
+// digest state words, compiled into the kernel as a constant-memory bit
+// bank (OpBloomBit) probed with plain Add/Rotl arithmetic. A lane that
+// survives the pre-screen outputs its digest words for exact host-side
+// confirmation (internal/targetset holds the sorted corpus); a lane whose
+// digest misses any probe exits early, so the per-candidate cost of a
+// million-target search stays within a handful of instructions of the
+// single-target kernel. The paper ships the target hash and the common
+// substring through constant memory for exactly this access pattern —
+// warp-uniform-free, broadcast-cached reads.
+
+// MaxBloomProbes bounds the probe count; it is the length of the constant
+// schedule tables below.
+const MaxBloomProbes = 8
+
+// The probe schedule: probe i reads state word i mod len(state), adds a
+// per-probe constant and rotates by a per-probe amount, then indexes the
+// bank with the result. Digest state words are already uniform (they are
+// hash outputs), so the add+rotate is only there to decorrelate the k
+// probes from one another. Constants are odd 32-bit pieces of well-known
+// hash constants; rotations are distinct and in [1,31] (Builder.Rotl and
+// ircheck both reject 0).
+var (
+	bloomProbeAdd = [MaxBloomProbes]uint32{
+		0x9e3779b9, 0x85ebca6b, 0xc2b2ae35, 0x27d4eb2f,
+		0x165667b1, 0xd3a2646d, 0xfd7046c5, 0xb55a4f09,
+	}
+	bloomProbeRot = [MaxBloomProbes]uint8{13, 7, 17, 5, 11, 19, 23, 29}
+)
+
+// BloomSpec is a built filter: the bank words plus the probe count. The
+// same spec drives host-side construction (Insert at build time), the
+// emitted IR (AppendBloomPreScreen) and the host mirror (MayContain), so
+// the three can be differential-tested against each other.
+type BloomSpec struct {
+	// Words is the bit bank; len(Words) is a power of two.
+	Words []uint32
+	// K is the number of probes per candidate, 1..MaxBloomProbes.
+	K int
+}
+
+// NewBloomSpec sizes and populates a filter for the given digest states at
+// the requested false-positive rate. Each state is one target digest as
+// 32-bit words (e.g. the four MD5 state words); all must have the same
+// nonzero length.
+func NewBloomSpec(states [][]uint32, fpRate float64) (*BloomSpec, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("kernel: bloom spec needs at least one target state")
+	}
+	if fpRate <= 0 || fpRate > 0.5 || math.IsNaN(fpRate) {
+		return nil, fmt.Errorf("kernel: false-positive rate %v outside (0, 0.5]", fpRate)
+	}
+	width := len(states[0])
+	if width == 0 {
+		return nil, fmt.Errorf("kernel: empty target state")
+	}
+	for i, st := range states {
+		if len(st) != width {
+			return nil, fmt.Errorf("kernel: target state %d has %d words, want %d", i, len(st), width)
+		}
+	}
+
+	n := float64(len(states))
+	mBits := n * -math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	words := 2 // 64-bit minimum bank
+	for float64(words*32) < mBits {
+		words *= 2
+	}
+	k := int(math.Round(float64(words*32) / n * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxBloomProbes {
+		k = MaxBloomProbes
+	}
+
+	s := &BloomSpec{Words: make([]uint32, words), K: k}
+	for _, st := range states {
+		for i := 0; i < k; i++ {
+			idx := BloomProbe(st, i) & s.mask()
+			s.Words[idx>>5] |= 1 << (idx & 31)
+		}
+	}
+	return s, nil
+}
+
+func (s *BloomSpec) mask() uint32 { return uint32(len(s.Words)*32 - 1) }
+
+// BloomProbe is the host mirror of the probe arithmetic the IR emits for
+// probe i: rotl(state[i mod len] + C_i, R_i). The caller masks the result
+// to the bank size (Program.BloomBit does the same on the device side).
+func BloomProbe(state []uint32, i int) uint32 {
+	w := state[i%len(state)]
+	return bits.RotateLeft32(w+bloomProbeAdd[i], int(bloomProbeRot[i]))
+}
+
+// MayContain is the host-side filter check — the reference semantics the
+// compiled pre-screen is differential-tested against. False negatives are
+// impossible for inserted states; false positives occur at roughly the
+// requested rate and are the confirm stage's problem.
+func (s *BloomSpec) MayContain(state []uint32) bool {
+	for i := 0; i < s.K; i++ {
+		idx := BloomProbe(state, i) & s.mask()
+		if s.Words[idx>>5]&(1<<(idx&31)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendBloomPreScreen emits the filter probes over the given state values
+// and an early exit per probe: a lane whose digest misses any probe bit
+// exits with a negative verdict immediately (the Section V early-exit
+// discipline applied to the multi-target test). The builder's program must
+// carry the spec's bank (SetBloom is called here).
+func AppendBloomPreScreen(b *Builder, state []Val, spec *BloomSpec) {
+	b.SetBloom(spec.Words)
+	for i := 0; i < spec.K; i++ {
+		t := b.Add(state[i%len(state)], b.Const(bloomProbeAdd[i]))
+		r := b.Rotl(t, bloomProbeRot[i])
+		bit := b.BloomBit(r)
+		b.ExitNE(bit, b.Const(1))
+	}
+}
+
+// BuildMD5Bloom assembles the multi-target MD5 kernel: full 64-step hash
+// plus feed-forward, Bloom pre-screen over the four digest words, and the
+// digest words as outputs so the host can exact-confirm surviving lanes
+// against the corpus index. Reversal does not apply here — with many
+// targets there is no single final state to run backward from, which is
+// why the corpus path pays the full 64 steps (the flat-in-corpus-size
+// trade the audit scenario accepts).
+func BuildMD5Bloom(template [16]uint32, spec *BloomSpec) *Program {
+	b, digest := buildMD5Digest("md5+bloom", template)
+	AppendBloomPreScreen(b, digest, spec)
+	b.Output(digest...)
+	return b.Build()
+}

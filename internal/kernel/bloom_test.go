@@ -1,0 +1,273 @@
+package kernel_test
+
+// External test package: the cross-architecture differential needs
+// internal/compile (which imports kernel) and the simulator, so it cannot
+// live inside package kernel.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"keysearch/internal/analysis/ircheck"
+	"keysearch/internal/arch"
+	"keysearch/internal/compile"
+	"keysearch/internal/gpu"
+	"keysearch/internal/hash/md5x"
+	"keysearch/internal/kernel"
+)
+
+// bloomFixture builds a template, a set of planted word-0 values, their
+// digest states, and the filter over them.
+type bloomFixture struct {
+	block   [16]uint32
+	planted []uint32 // word-0 values whose digests are in the corpus
+	states  [][]uint32
+	spec    *kernel.BloomSpec
+}
+
+func newBloomFixture(t *testing.T, fpRate float64, extraNoise int) *bloomFixture {
+	t.Helper()
+	var block [16]uint32
+	if err := md5x.PackKey([]byte("Key4SUFF"), &block); err != nil {
+		t.Fatal(err)
+	}
+	f := &bloomFixture{block: block}
+	// Plant digests of specific word-0 candidates around the scan window.
+	for _, w := range []uint32{block[0], block[0] + 17, block[0] + 399, block[0] - 123} {
+		f.planted = append(f.planted, w)
+		f.states = append(f.states, f.digest(w))
+	}
+	// Noise targets far outside any scanned interval, to give the corpus
+	// realistic cardinality.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < extraNoise; i++ {
+		f.states = append(f.states, f.digest(0xf0000000+rng.Uint32()%0x0fffffff))
+	}
+	spec, err := kernel.NewBloomSpec(f.states, fpRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.spec = spec
+	return f
+}
+
+func (f *bloomFixture) digest(w0 uint32) []uint32 {
+	b := f.block
+	b[0] = w0
+	d := md5x.SumPacked(&b)
+	return []uint32{d[0], d[1], d[2], d[3]}
+}
+
+// isTarget is the linear-scan oracle: does w0's digest appear verbatim in
+// the corpus?
+func (f *bloomFixture) isTarget(w0 uint32) bool {
+	d := f.digest(w0)
+	for _, st := range f.states {
+		if st[0] == d[0] && st[1] == d[1] && st[2] == d[2] && st[3] == d[3] {
+			return true
+		}
+	}
+	return false
+}
+
+// confirm exact-checks a surviving lane's digest outputs against the corpus
+// — the host-side confirm stage of the two-stage test.
+func (f *bloomFixture) confirm(out []uint32) bool {
+	for _, st := range f.states {
+		if st[0] == out[0] && st[1] == out[1] && st[2] == out[2] && st[3] == out[3] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBloomSpecHostSemantics(t *testing.T) {
+	f := newBloomFixture(t, 1e-3, 500)
+	// No false negatives, ever.
+	for i, st := range f.states {
+		if !f.spec.MayContain(st) {
+			t.Fatalf("filter misses inserted state %d", i)
+		}
+	}
+	// Geometry: power-of-two bank, probe count in range.
+	if n := len(f.spec.Words); n&(n-1) != 0 {
+		t.Fatalf("bank length %d not a power of two", n)
+	}
+	if f.spec.K < 1 || f.spec.K > kernel.MaxBloomProbes {
+		t.Fatalf("probe count %d out of range", f.spec.K)
+	}
+	// Error paths.
+	if _, err := kernel.NewBloomSpec(nil, 1e-3); err == nil {
+		t.Error("empty corpus: want error")
+	}
+	if _, err := kernel.NewBloomSpec([][]uint32{{1, 2}}, 0); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := kernel.NewBloomSpec([][]uint32{{1, 2}, {1}}, 1e-3); err == nil {
+		t.Error("ragged states: want error")
+	}
+}
+
+// TestBuildMD5BloomDifferential is the IR half of the differential tier:
+// the source program and its compilation for every modeled architecture
+// must produce, over a scan interval, exactly the hit set of the
+// linear-scan oracle once survivors are confirmed — and must never lose a
+// planted target to the filter.
+func TestBuildMD5BloomDifferential(t *testing.T) {
+	for _, fpRate := range []float64{1e-3, 0.5} {
+		f := newBloomFixture(t, fpRate, 500)
+		src := kernel.BuildMD5Bloom(f.block, f.spec)
+		if err := ircheck.Verify(src, ircheck.Source()); err != nil {
+			t.Fatal(err)
+		}
+
+		// The oracle hit set over the scan window.
+		start := f.block[0] - 500
+		const n = 1200
+		var want []uint32
+		for i := 0; i < n; i++ {
+			if f.isTarget(start + uint32(i)) {
+				want = append(want, start+uint32(i))
+			}
+		}
+		if len(want) < 4 {
+			t.Fatalf("scan window holds %d planted targets, want >= 4", len(want))
+		}
+
+		// progs holds the source program plus one compilation per arch.
+		progs := map[string]*kernel.Program{"source": src}
+		for _, cc := range arch.All {
+			c, err := compile.CompileChecked(src, compile.DefaultOptions(cc))
+			if err != nil {
+				t.Fatalf("cc %v: %v", cc, err)
+			}
+			progs["cc"+cc.String()] = c.Program
+		}
+
+		for name, prog := range progs {
+			t.Run(fmt.Sprintf("fpr=%v/%s", fpRate, name), func(t *testing.T) {
+				var got []uint32
+				filterPasses := 0
+				for i := 0; i < n; i++ {
+					w := start + uint32(i)
+					out, survived, err := kernel.Run(prog, []uint32{w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !survived {
+						continue
+					}
+					filterPasses++
+					if f.confirm(out) {
+						got = append(got, w)
+					}
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("hit set %v differs from linear scan %v", got, want)
+				}
+				if fpRate == 0.5 && filterPasses == len(got) {
+					t.Log("adversarial rate produced no filter false positives in this window")
+				}
+			})
+		}
+	}
+}
+
+// TestWarpBloomMatchesScalar runs the compiled multi-target kernel through
+// the warp interpreter and checks lane survivors against the scalar
+// reference executor lane by lane.
+func TestWarpBloomMatchesScalar(t *testing.T) {
+	f := newBloomFixture(t, 1e-3, 200)
+	src := kernel.BuildMD5Bloom(f.block, f.spec)
+	c, err := compile.CompileChecked(src, compile.DefaultOptions(arch.CC30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := gpu.NewWarpInterp()
+	start := f.block[0] - 32
+	for warp := 0; warp < 20; warp++ {
+		var lanes [arch.WarpSize]uint32
+		for l := 0; l < arch.WarpSize; l++ {
+			lanes[l] = start + uint32(warp*arch.WarpSize+l)
+		}
+		res, err := interp.Run(c.Program, [][arch.WarpSize]uint32{lanes}, gpu.FullMask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < arch.WarpSize; l++ {
+			_, scalar, err := kernel.Run(c.Program, []uint32{lanes[l]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Survivors.Lane(l) != scalar {
+				t.Fatalf("warp %d lane %d: warp says %v, scalar says %v", warp, l, res.Survivors.Lane(l), scalar)
+			}
+		}
+	}
+}
+
+// TestBloomSimulatesOnAllArches holds the cycle simulator to the new
+// ClassLoad issue path: the multi-target program must converge and issue
+// its load instructions on every modeled architecture.
+func TestBloomSimulatesOnAllArches(t *testing.T) {
+	f := newBloomFixture(t, 1e-3, 100)
+	src := kernel.BuildMD5Bloom(f.block, f.spec)
+	for _, cc := range arch.All {
+		c, err := compile.CompileChecked(src, compile.DefaultOptions(cc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Counts.Loads() != f.spec.K {
+			t.Fatalf("cc %v: %d loads survived compilation, want %d", cc, c.Counts.Loads(), f.spec.K)
+		}
+		res, err := gpu.SimulateMP(c.Program, cc, 8, 2)
+		if err != nil {
+			t.Fatalf("cc %v: %v", cc, err)
+		}
+		if res.Completed != 16 {
+			t.Fatalf("cc %v: completed %d runs, want 16", cc, res.Completed)
+		}
+	}
+}
+
+// TestBloomBankRule pins the ircheck bank-integrity rule: probes without a
+// bank, or with a non-power-of-two bank, are violations at every stage.
+func TestBloomBankRule(t *testing.T) {
+	build := func(words []uint32) *kernel.Program {
+		b := kernel.NewBuilder("bloom-rule", 1)
+		bit := b.BloomBit(b.Input(0))
+		b.ExitNE(bit, b.Const(1))
+		b.SetBloom(words)
+		return b.Build()
+	}
+	hasRule := func(p *kernel.Program, rule ircheck.Rule) bool {
+		for _, v := range ircheck.Check(p, ircheck.Source()) {
+			if v.Rule == rule {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasRule(build(nil), ircheck.RuleBloomBank) {
+		t.Error("missing bank not flagged")
+	}
+	if !hasRule(build(make([]uint32, 3)), ircheck.RuleBloomBank) {
+		t.Error("non-power-of-two bank not flagged")
+	}
+	if hasRule(build(make([]uint32, 4)), ircheck.RuleBloomBank) {
+		t.Error("valid bank flagged")
+	}
+	// The op itself is legal on every architecture (constant memory is a
+	// cc1.x-era facility); only the bank shape can be wrong.
+	for _, cc := range arch.All {
+		p := build(make([]uint32, 4))
+		for _, v := range ircheck.Check(p, ircheck.Machine(cc)) {
+			if v.Rule == ircheck.RuleArch {
+				t.Errorf("cc %v: LDC.BLOOM arch-gated: %v", cc, v)
+			}
+		}
+	}
+}

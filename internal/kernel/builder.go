@@ -73,6 +73,14 @@ func (b *Builder) Rotl(x Val, n uint8) Val {
 	return b.emit(OpRotl, x, Imm(0), n)
 }
 
+// BloomBit emits dst = Bloom-bank bit (x mod banksize). The program must
+// be given a bank with SetBloom before it runs or is verified.
+func (b *Builder) BloomBit(x Val) Val { return b.emit(OpBloomBit, x, Imm(0), 0) }
+
+// SetBloom attaches the constant-memory Bloom bank. The word count must be
+// a power of two (the probe index wraps with a mask); ircheck enforces it.
+func (b *Builder) SetBloom(words []uint32) { b.prog.Bloom = words }
+
 // ExitNE emits a check: lanes where x != y exit with a negative verdict.
 func (b *Builder) ExitNE(x, y Val) {
 	b.prog.Instrs = append(b.prog.Instrs, Instr{Op: OpExitNE, Dst: -1, A: x, B: y})

@@ -31,6 +31,9 @@ func Run(p *Program, inputs []uint32) (outputs []uint32, survived bool, err erro
 				outputs = collectOutputs(p, regs)
 				return outputs, false, nil
 			}
+		case OpBloomBit:
+			// Bank lookup reads program state, not just operands.
+			regs[in.Dst] = p.BloomBit(read(in.A))
 		default:
 			regs[in.Dst] = Eval(in.Op, read(in.A), read(in.B), in.Sh)
 		}

@@ -33,12 +33,13 @@ const (
 	ClassMAD           // integer multiply-add family (IMAD.HI, ISCADD)
 	ClassPerm          // PRMT / __byte_perm
 	ClassControl       // compare-and-exit; not part of the paper's tables
+	ClassLoad          // constant-cache load (Bloom bank probe); not in the tables
 )
 
 // NumClasses is the number of distinct instruction classes — the size of
 // a dense per-class array (hot paths accumulate into one instead of a
 // map).
-const NumClasses = int(ClassControl) + 1
+const NumClasses = int(ClassLoad) + 1
 
 // String names the class as the tables do.
 func (c Class) String() string {
@@ -57,6 +58,8 @@ func (c Class) String() string {
 		return "PRMT"
 	case ClassControl:
 		return "control"
+	case ClassLoad:
+		return "LDC"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -89,6 +92,10 @@ const (
 	// Control.
 	OpExitNE // if a != b the lane exits with a negative verdict
 	OpMov    // dst = a (erased by copy propagation)
+	// Constant-memory load (legal at every stage; the multi-target Bloom
+	// pre-screen of Section V's audit scenario — the bank lives where the
+	// paper keeps the target hash and common substring: constant memory).
+	OpBloomBit // dst = bit (a mod bankbits) of the program's Bloom bank
 )
 
 // Classify returns the accounting class of an operation.
@@ -106,6 +113,8 @@ func (o Op) Classify() Class {
 		return ClassPerm
 	case OpExitNE:
 		return ClassControl
+	case OpBloomBit:
+		return ClassLoad
 	default:
 		return ClassNone
 	}
@@ -118,6 +127,7 @@ func (o Op) String() string {
 		OpNot: "NOT", OpShl: "SHL", OpShr: "SHR", OpRotl: "ROTL",
 		OpAndN: "ANDN", OpOrN: "ORN", OpIMADHi: "IMAD.HI", OpISCADD: "ISCADD",
 		OpPerm: "PRMT", OpFunnel: "SHF", OpExitNE: "EXIT.NE", OpMov: "MOV",
+		OpBloomBit: "LDC.BLOOM",
 	}
 	if n, ok := names[o]; ok {
 		return n
@@ -166,7 +176,7 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%-8s r%d, %s, %d", in.Op, in.Dst, in.A, in.Sh)
 	case OpIMADHi, OpISCADD:
 		return fmt.Sprintf("%-8s r%d, %s, %d, %s", in.Op, in.Dst, in.A, in.Sh, in.B)
-	case OpNot, OpMov:
+	case OpNot, OpMov, OpBloomBit:
 		return fmt.Sprintf("%-8s r%d, %s", in.Op, in.Dst, in.A)
 	case OpExitNE:
 		return fmt.Sprintf("%-8s %s, %s", in.Op, in.A, in.B)
@@ -208,6 +218,9 @@ func Eval(op Op, a, b uint32, sh uint8) uint32 {
 	case OpMov:
 		return a
 	default:
+		// OpBloomBit reaches here too: its result depends on the program's
+		// Bloom bank, so interpreters must special-case it (Program.BloomBit)
+		// rather than evaluate it operand-only.
 		panic(fmt.Sprintf("kernel: Eval on %v", op))
 	}
 }
@@ -224,16 +237,38 @@ type Program struct {
 	// Outputs lists registers whose final values are the program results
 	// (kept live through dead-code elimination alongside exit checks).
 	Outputs []int
+	// Bloom is the constant-memory bit bank OpBloomBit indexes, as 32-bit
+	// words. Its length must be a power of two (ircheck's bloom-bank rule)
+	// so the probe index wraps with a mask. Nil for programs without a
+	// multi-target pre-screen; shared read-only across clones and lanes.
+	Bloom []uint32
+}
+
+// BloomBit returns bit (idx mod banksize) of the Bloom bank, or 0 when the
+// program has no bank (a bank-less program rejects everything, which is the
+// safe direction: no false accept can come from a missing bank).
+func (p *Program) BloomBit(idx uint32) uint32 {
+	if len(p.Bloom) == 0 {
+		return 0
+	}
+	i := idx & uint32(len(p.Bloom)*32-1)
+	return (p.Bloom[i>>5] >> (i & 31)) & 1
 }
 
 // Counts maps each accounting class to its static instruction count.
 type Counts map[Class]int
 
 // Total sums the counted classes of the paper's tables (Add, Logic,
-// Shift, MAD, Perm), excluding control and pseudo bookkeeping.
+// Shift, MAD, Perm), excluding control, loads and pseudo bookkeeping —
+// Tables III–VI predate the multi-target extension, so constant-cache
+// loads are accounted separately (Loads) and folded into the model's
+// issue bound rather than the five-class total.
 func (c Counts) Total() int {
 	return c[ClassAdd] + c[ClassLogic] + c[ClassShift] + c[ClassMAD] + c[ClassPerm]
 }
+
+// Loads returns the constant-cache load count (Bloom bank probes).
+func (c Counts) Loads() int { return c[ClassLoad] }
 
 // ShiftMAD returns the combined shift/MAD/PRMT count — the class the paper
 // identifies as the Kepler bottleneck.

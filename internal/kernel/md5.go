@@ -201,7 +201,16 @@ func exitAll(b *Builder, st []md5Regs, pick func(md5Regs) Val, want uint32) {
 // replaces template word 0, outputs are the four digest state words. Used
 // to differential-test the interpreter against the scratch MD5.
 func BuildMD5Hash(template [16]uint32) *Program {
-	b := NewBuilder("md5-hash", 1)
+	b, digest := buildMD5Digest("md5-hash", template)
+	b.Output(digest...)
+	return b.Build()
+}
+
+// buildMD5Digest emits the full 64-step hash plus feed-forward and returns
+// the builder with the four digest state words still live, so callers can
+// append a tail (outputs, the multi-target Bloom pre-screen).
+func buildMD5Digest(name string, template [16]uint32) (*Builder, []Val) {
+	b := NewBuilder(name, 1)
 	iv := md5x.IV()
 	st := []md5Regs{{a: Imm(iv[0]), b: Imm(iv[1]), c: Imm(iv[2]), d: Imm(iv[3])}}
 	cfg := MD5Config{Template: template}
@@ -212,6 +221,5 @@ func BuildMD5Hash(template [16]uint32) *Program {
 	fb := b.Add(st[0].b, Imm(iv[1]))
 	fc := b.Add(st[0].c, Imm(iv[2]))
 	fd := b.Add(st[0].d, Imm(iv[3]))
-	b.Output(fa, fb, fc, fd)
-	return b.Build()
+	return b, []Val{fa, fb, fc, fd}
 }

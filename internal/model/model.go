@@ -71,7 +71,10 @@ func FromCompiled(c *compile.Compiled) Profile {
 }
 
 // perCandidate returns the class counts normalized to one candidate.
-func (p Profile) perCandidate() (add, logic, shm, total float64) {
+// total is the five-class Table III–VI sum; load (constant-cache Bloom
+// probes) is carried separately and folded into the per-architecture
+// formulas as its own port.
+func (p Profile) perCandidate() (add, logic, shm, load, total float64) {
 	s := float64(p.Streams)
 	if s == 0 {
 		s = 1
@@ -79,25 +82,31 @@ func (p Profile) perCandidate() (add, logic, shm, total float64) {
 	add = float64(p.Counts[kernel.ClassAdd]) / s
 	logic = float64(p.Counts[kernel.ClassLogic]) / s
 	shm = float64(p.Counts.ShiftMAD()) / s
+	load = float64(p.Counts.Loads()) / s
 	total = float64(p.Counts.Total()) / s
-	return add, logic, shm, total
+	return add, logic, shm, load, total
 }
 
 // CyclesTheoretical returns the best-case cycles per candidate per
 // multiprocessor.
 func CyclesTheoretical(cc arch.CC, p Profile) float64 {
-	add, logic, shm, total := p.perCandidate()
+	add, logic, shm, load, total := p.perCandidate()
 	th := arch.InstrThroughput(cc)
 	switch cc {
 	case arch.CC1x:
-		// Single-issue: classes serialize at their peak rates.
-		return add/float64(th.Add) + logic/float64(th.Logic) + shm/float64(th.Shift)
+		// Single-issue: classes serialize at their peak rates, the
+		// constant-cache loads included.
+		return add/float64(th.Add) + logic/float64(th.Logic) + shm/float64(th.Shift) + load/float64(th.Load)
 	case arch.CC20, arch.CC21:
-		// Shared cores; shifts restricted to one 16-core group.
-		return maxf(shm/float64(th.Shift), total/float64(th.Add))
+		// Shared cores; shifts restricted to one 16-core group; loads run
+		// on their own constant-cache port.
+		return maxf(load/float64(th.Load),
+			maxf(shm/float64(th.Shift), total/float64(th.Add)))
 	default: // CC30, CC35
-		// Dedicated shift group overlaps the addition/logical groups.
-		return maxf(shm/float64(th.Shift), (add+logic)/float64(th.Add))
+		// Dedicated shift group overlaps the addition/logical groups; the
+		// constant-cache port overlaps both.
+		return maxf(load/float64(th.Load),
+			maxf(shm/float64(th.Shift), (add+logic)/float64(th.Add)))
 	}
 }
 
@@ -142,7 +151,7 @@ const DefaultKeysPerThread = 1 << 12
 // CyclesAchieved returns the model's sustained cycles per candidate per
 // multiprocessor, applying the paper's ILP findings.
 func CyclesAchieved(cc arch.CC, p Profile, opt AchievedOptions) float64 {
-	add, logic, shm, total := p.perCandidate()
+	add, logic, shm, load, total := p.perCandidate()
 	th := arch.InstrThroughput(cc)
 	spec := arch.Spec(cc)
 	delta := p.DualIssue
@@ -162,27 +171,32 @@ func CyclesAchieved(cc arch.CC, p Profile, opt AchievedOptions) float64 {
 		if delta > 0.5 {
 			addRate = float64(th.Add)
 		}
-		return add/addRate + logic/float64(th.Logic) + shm/float64(th.Shift)
+		return add/addRate + logic/float64(th.Logic) + shm/float64(th.Shift) + load/float64(th.Load)
 	case arch.CC20:
 		// Two single-issue schedulers reach both 16-core groups; no ILP
 		// needed, so the sustained bound matches the theoretical shape.
-		return maxf(shm/float64(th.Shift), total/float64(th.Add))
+		return maxf(load/float64(th.Load),
+			maxf(shm/float64(th.Shift), total/float64(th.Add)))
 	case arch.CC21:
 		// The third group of cores is reachable only via dual issue: the
 		// usable core throughput is 16·(2+δ) of the nominal 48
 		// ("we leave a group of cores unused most of the time").
 		usable := 16 * (2 + delta)
-		return maxf(shm/float64(th.Shift), total/usable)
+		return maxf(load/float64(th.Load),
+			maxf(shm/float64(th.Shift), total/usable))
 	default: // CC30, CC35
 		// Class capacities plus the warp-scheduler issue bound: with a
 		// serial dependency chain each warp has one instruction in
 		// flight, so at most warps/latency instructions issue per cycle,
-		// capped by the scheduler count times (1+δ) for dual issue.
+		// capped by the scheduler count times (1+δ) for dual issue. Loads
+		// consume issue slots like any instruction, so they join the
+		// issue-bound numerator while keeping their own port bound.
 		issuePerCycle := minf(float64(warps)/float64(spec.PipelineLatency),
 			float64(spec.WarpSchedulers)*(1+delta))
 		opsPerCycle := issuePerCycle * arch.WarpSize
-		return maxf(shm/float64(th.Shift),
-			maxf((add+logic)/float64(th.Add), total/opsPerCycle))
+		return maxf(load/float64(th.Load),
+			maxf(shm/float64(th.Shift),
+				maxf((add+logic)/float64(th.Add), (total+load)/opsPerCycle)))
 	}
 }
 
@@ -200,7 +214,7 @@ func Achieved(dev arch.Device, p Profile, opt AchievedOptions) float64 {
 	}
 	// The per-thread setup adds ThreadOverheadInstrs/kpt instructions per
 	// candidate, executed at the same sustained rate as the kernel body.
-	_, _, _, total := p.perCandidate()
+	_, _, _, _, total := p.perCandidate()
 	if total > 0 {
 		cyc *= 1 + ThreadOverheadInstrs/(float64(kpt)*total)
 	}

@@ -12,24 +12,30 @@ import (
 	"keysearch/internal/dispatch"
 	"keysearch/internal/jobs"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
 )
 
 // Executor adapts a RemoteWorker to the job service's jobs.Executor
 // contract: every Search carries its spec, so one TCP fleet serves any
 // number of tenants' jobs concurrently. The spec rides to the worker at
-// most once per connection (see RemoteWorker), and rejoin, heartbeat and
-// requeue semantics are exactly those of the dispatch path — the service
-// sees a failed lease and requeues it, never a torn one.
+// most once per connection (see RemoteWorker) — and for a multi-target
+// spec the corpus blob is built and registered once here, then streamed
+// to the worker ahead of the spec — while rejoin, heartbeat and requeue
+// semantics are exactly those of the dispatch path: the service sees a
+// failed lease and requeues it, never a torn one.
 type Executor struct {
 	w *RemoteWorker
 
-	mu    sync.Mutex
-	specs map[jobs.Spec]JobSpec
+	mu sync.Mutex
+	// specs caches wire conversions by jobs.Spec.Key() (a spec with a
+	// million-digest corpus hashes its targets into the key rather than
+	// carrying them).
+	specs map[string]JobSpec
 }
 
 // NewExecutor wraps an accepted remote worker as a job-service executor.
 func NewExecutor(w *RemoteWorker) *Executor {
-	return &Executor{w: w, specs: make(map[jobs.Spec]JobSpec)}
+	return &Executor{w: w, specs: make(map[string]JobSpec)}
 }
 
 // Name identifies the underlying worker.
@@ -63,14 +69,18 @@ func (e *Executor) Search(ctx context.Context, spec jobs.Spec, iv keyspace.Inter
 }
 
 func (e *Executor) wireSpec(spec jobs.Spec) (JobSpec, error) {
+	key := spec.Key()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ws, ok := e.specs[spec]; ok {
+	if ws, ok := e.specs[key]; ok {
 		return ws, nil
 	}
-	ws, err := WireSpec(spec)
+	ws, blob, err := WireSpec(spec)
 	if err == nil {
-		e.specs[spec] = ws
+		if blob != nil {
+			e.w.RegisterCorpus(blob)
+		}
+		e.specs[key] = ws
 	}
 	return ws, err
 }
@@ -78,22 +88,39 @@ func (e *Executor) wireSpec(spec jobs.Spec) (JobSpec, error) {
 // WireSpec converts an API-level job spec to its wire form. The order
 // must stay PrefixMajor: the service's interval identifiers are defined
 // over jobs.Spec.Space and the worker must map them to the same keys.
-func WireSpec(spec jobs.Spec) (JobSpec, error) {
+// For a multi-target spec the returned blob is the canonical targetset
+// encoding the worker needs (register it with RemoteWorker.RegisterCorpus
+// before calling); it is nil in single-target mode.
+func WireSpec(spec jobs.Spec) (JobSpec, []byte, error) {
 	alg, err := cracker.ParseAlgorithm(spec.Algorithm)
 	if err != nil {
-		return JobSpec{}, err
+		return JobSpec{}, nil, err
 	}
-	target, err := hex.DecodeString(spec.Target)
-	if err != nil || len(target) != alg.DigestSize() {
-		return JobSpec{}, fmt.Errorf("netproto: bad %s digest %q", spec.Algorithm, spec.Target)
-	}
-	return JobSpec{
+	ws := JobSpec{
 		Algorithm: alg,
 		Kind:      cracker.KernelOptimized,
-		Target:    target,
 		Charset:   spec.Charset,
 		MinLen:    spec.MinLen,
 		MaxLen:    spec.MaxLen,
 		Order:     keyspace.PrefixMajor,
-	}, nil
+	}
+	if spec.MultiTarget() {
+		digests, err := spec.TargetDigests()
+		if err != nil {
+			return JobSpec{}, nil, err
+		}
+		set, err := targetset.Build(digests, targetset.Options{})
+		if err != nil {
+			return JobSpec{}, nil, err
+		}
+		blob := set.Encode()
+		ws.CorpusID = targetset.ID(blob)
+		return ws, blob, nil
+	}
+	target, err := hex.DecodeString(spec.Target)
+	if err != nil || len(target) != alg.DigestSize() {
+		return JobSpec{}, nil, fmt.Errorf("netproto: bad %s digest %q", spec.Algorithm, spec.Target)
+	}
+	ws.Target = target
+	return ws, nil, nil
 }

@@ -257,3 +257,185 @@ func TestJobServiceDrivesTCPFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestJobServiceCorpusSurvivesWorkerKill is the multi-target analogue of
+// the fleet test above, with harsher stakes: a corpus-backed job (the
+// digest set streams to each worker over MsgCorpus ahead of its spec)
+// runs over two real keyworker subprocesses, one of which is SIGKILLed
+// mid-run and replaced under the same name. The replacement connection
+// starts with empty spec AND corpus tables; both must be transparently
+// refilled by the call preludes. Exactness is absolute: every planted
+// digest's key is reported exactly once, the committed leases tile the
+// keyspace with no gap or overlap, and no noise digest produces a hit —
+// a Bloom false positive that survived the exact-confirm stage would
+// show up here as a phantom key.
+func TestJobServiceCorpusSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+
+	master, err := NewMaster("127.0.0.1:0", MasterOptions{
+		Heartbeat:        100 * time.Millisecond,
+		HeartbeatTimeout: 3 * time.Second,
+		Retry:            RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	procs := map[string]*exec.Cmd{
+		"corpus-1": spawnHelperWorker(t, master.Addr(), "corpus-1"),
+		"corpus-2": spawnHelperWorker(t, master.Addr(), "corpus-2"),
+	}
+	defer func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	remote, err := master.AcceptWorkers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := make([]jobs.Executor, len(remote))
+	for i, w := range remote {
+		execs[i] = NewExecutor(w)
+	}
+
+	store, err := jobs.Open(t.TempDir(), jobs.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	type span struct {
+		iv     keyspace.Interval
+		tested uint64
+	}
+	var amu sync.Mutex
+	var spans []span
+	committed := make(chan struct{}, 256)
+	svc := jobs.NewService(store, execs, jobs.Options{
+		MaxLease:          200,
+		MaxSearchFailures: 20,
+		OnCommit: func(jobID, tenant string, iv keyspace.Interval, tested uint64) {
+			amu.Lock()
+			spans = append(spans, span{iv, tested})
+			amu.Unlock()
+			select {
+			case committed <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err := svc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Kill()
+
+	// Plant keys across every length of the 1..6 space over "abcd"
+	// (4 + 16 + ... + 4096 = 5460 keys) and pad the corpus with noise
+	// digests no in-space key can hash to.
+	planted := []string{"a", "db", "cab", "bbbb", "dcbaa", "dddddd"}
+	var targets []string
+	for _, k := range planted {
+		sum := md5.Sum([]byte(k))
+		targets = append(targets, hex.EncodeToString(sum[:]))
+	}
+	for i := 0; i < 500; i++ {
+		sum := md5.Sum([]byte(fmt.Sprintf("NOISE-%d", i)))
+		targets = append(targets, hex.EncodeToString(sum[:]))
+	}
+	job, err := svc.Submit("auditor", 0, jobs.Spec{
+		Algorithm: "md5",
+		Targets:   targets,
+		Charset:   "abcd",
+		MinLen:    1,
+		MaxLen:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4 + 16 + 64 + 256 + 1024 + 4096
+
+	// Let a few leases commit, then SIGKILL one worker mid-run and start
+	// a same-name replacement: its fresh connection must receive the
+	// corpus chunks again before the spec that names them.
+	for {
+		amu.Lock()
+		n := len(spans)
+		amu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-committed:
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for the first commits")
+		}
+	}
+	_ = procs["corpus-1"].Process.Kill()
+	_ = procs["corpus-1"].Wait()
+	procs["corpus-1"] = spawnHelperWorker(t, master.Addr(), "corpus-1")
+
+	for deadline := time.Now().Add(110 * time.Second); ; {
+		got, err := svc.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == jobs.StateFailed || got.State == jobs.StateCancelled {
+			t.Fatalf("job reached %v (%s)", got.State, got.Reason)
+		}
+		if got.Done() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish before the deadline (state %v, tested %d)", got.State, got.Tested)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	got, err := svc.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tested != size {
+		t.Errorf("tested %d of %d keys", got.Tested, size)
+	}
+	// Exactly the planted keys, each exactly once — a kill mid-lease may
+	// cost a requeue, never a lost or duplicated hit.
+	found := append([]string(nil), got.Found...)
+	sort.Strings(found)
+	wantKeys := append([]string(nil), planted...)
+	sort.Strings(wantKeys)
+	if fmt.Sprint(found) != fmt.Sprint(wantKeys) {
+		t.Errorf("found %v, want %v", found, wantKeys)
+	}
+
+	// The committed leases tile [0, size).
+	amu.Lock()
+	defer amu.Unlock()
+	sort.Slice(spans, func(i, k int) bool { return spans[i].iv.Start.Cmp(spans[k].iv.Start) < 0 })
+	next := uint64(0)
+	for _, s := range spans {
+		if !s.iv.Start.IsUint64() || s.iv.Start.Uint64() != next {
+			t.Fatalf("span starts at %v, want %d (gap or overlap)", s.iv.Start, next)
+		}
+		width := s.iv.End.Uint64() - s.iv.Start.Uint64()
+		if s.tested != width {
+			t.Fatalf("span [%v,%v) committed %d tested keys, want %d", s.iv.Start, s.iv.End, s.tested, width)
+		}
+		next = s.iv.End.Uint64()
+	}
+	if next != size {
+		t.Errorf("committed spans cover [0,%d), keyspace is %d", next, size)
+	}
+
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ func FuzzReadFrame(f *testing.F) {
 	})))
 	f.Add(good(MsgSpec, EncodeSpec(JobSpec{Charset: "ab", MinLen: 1, MaxLen: 2})))
 	f.Add(good(MsgTune, EncodeTuneRequest(TuneRequest{SpecID: 0xdeadbeef})))
+	f.Add(good(MsgCorpus, EncodeCorpusChunk(CorpusChunk{ID: 3, Total: 5, Offset: 0, Data: []byte("abcde")})))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add([]byte{})
 	// Truncated heartbeat (claims 8 bytes, carries 3).
@@ -56,6 +57,8 @@ func FuzzReadFrame(f *testing.F) {
 			_, _ = DecodeRequeue(payload)
 		case MsgSpec:
 			_, _ = DecodeSpec(payload)
+		case MsgCorpus:
+			_, _ = DecodeCorpusChunk(payload)
 		}
 	})
 }

@@ -375,10 +375,16 @@ type RemoteWorker struct {
 	closeCh chan struct{}
 	closed  bool
 
-	// specConn names the connection the sent-set below is valid for; a
-	// different current connection means an empty worker-side table.
-	specConn net.Conn
-	specSent map[uint64]bool
+	// specConn names the connection the sent-sets below are valid for; a
+	// different current connection means empty worker-side tables.
+	specConn   net.Conn
+	specSent   map[uint64]bool
+	corpusSent map[uint64]bool
+
+	// corpora holds encoded target sets by content hash for every spec
+	// that names one, so a reconnect can re-transfer the corpus exactly as
+	// it re-registers specs. Registered once, read-only thereafter.
+	corpora map[uint64][]byte
 }
 
 // Name identifies the remote worker.
@@ -471,17 +477,59 @@ func (w *RemoteWorker) specNeeded(conn net.Conn, id uint64) bool {
 	return w.specConn != conn || !w.specSent[id]
 }
 
-// markSpecSent records that conn's worker-side table holds the spec. Only
-// called after a successful exchange, so a spec the worker refused is
-// retried (idempotently — re-installing a spec overwrites in place).
-func (w *RemoteWorker) markSpecSent(conn net.Conn, id uint64) {
+// corpusNeeded reports whether the corpus must be (re-)transferred before
+// a spec that references it can be registered on conn.
+func (w *RemoteWorker) corpusNeeded(conn net.Conn, id uint64) bool {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return w.specConn != conn || !w.corpusSent[id]
+}
+
+// markSpecSent records that conn's worker-side tables hold the spec and
+// (when non-zero) its corpus. Only called after a successful exchange, so
+// a spec the worker refused is retried (idempotently — re-installing a
+// spec overwrites in place, and the worker skips chunks of an
+// already-assembled corpus).
+func (w *RemoteWorker) markSpecSent(conn net.Conn, id, corpusID uint64) {
 	w.cmu.Lock()
 	defer w.cmu.Unlock()
 	if w.specConn != conn {
 		w.specConn = conn
 		w.specSent = make(map[uint64]bool)
+		w.corpusSent = make(map[uint64]bool)
 	}
 	w.specSent[id] = true
+	if corpusID != 0 {
+		if w.corpusSent == nil {
+			w.corpusSent = make(map[uint64]bool)
+		}
+		w.corpusSent[corpusID] = true
+	}
+}
+
+// RegisterCorpus stores an encoded target set with the worker proxy and
+// returns its content hash. Every call whose spec carries that CorpusID
+// transfers the blob (chunked over MsgCorpus) ahead of the spec, at most
+// once per connection. Registering the same blob again is a no-op.
+func (w *RemoteWorker) RegisterCorpus(encoded []byte) uint64 {
+	id := specHash(encoded)
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	if w.corpora == nil {
+		w.corpora = make(map[uint64][]byte)
+	}
+	if _, ok := w.corpora[id]; !ok {
+		w.corpora[id] = encoded
+	}
+	return id
+}
+
+// corpusBlob returns a registered corpus encoding.
+func (w *RemoteWorker) corpusBlob(id uint64) ([]byte, bool) {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	b, ok := w.corpora[id]
+	return b, ok
 }
 
 // TuneSpec runs the tuning step remotely against the given spec.
@@ -568,22 +616,34 @@ func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payl
 			}
 			continue
 		}
-		var prelude []byte
+		// The prelude re-establishes the connection's tables as needed:
+		// corpus chunks first (the spec referencing them is refused
+		// otherwise), then the spec registration.
+		var prelude []frame
+		if spec.CorpusID != 0 && w.corpusNeeded(conn, spec.CorpusID) {
+			blob, ok := w.corpusBlob(spec.CorpusID)
+			if !ok {
+				return nil, fmt.Errorf("netproto: %s: spec references corpus %016x, but no such corpus was registered (call RegisterCorpus first)", w.name, spec.CorpusID)
+			}
+			for _, p := range CorpusFrames(blob) {
+				prelude = append(prelude, frame{t: MsgCorpus, p: p})
+			}
+		}
 		if w.specNeeded(conn, id) {
-			prelude = EncodeSpec(spec)
+			prelude = append(prelude, frame{t: MsgSpec, p: EncodeSpec(spec)})
 		}
 		resp, err := w.callOn(ctx, conn, prelude, req, payload, want)
 		if err == nil {
-			w.markSpecSent(conn, id)
+			w.markSpecSent(conn, id, spec.CorpusID)
 			return resp, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
-			if prelude != nil {
-				// The error may answer the spec registration rather than
-				// the request itself, in which case a second error frame
-				// for the request is still in flight; drop the connection
-				// so no later call reads a stale frame.
+			if len(prelude) > 0 {
+				// The error may answer a prelude frame rather than the
+				// request itself, in which case a second error frame for
+				// the request is still in flight; drop the connection so
+				// no later call reads a stale frame.
 				w.discardConn(conn)
 			}
 			return nil, err
@@ -597,12 +657,18 @@ func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payl
 	return nil, lastErr
 }
 
-// callOn performs one request/response exchange on conn — preceded by a
-// MsgSpec registration when prelude is non-nil — pinging at the
-// heartbeat interval and bounding every read by the heartbeat timeout. A
-// worker that is merely busy keeps answering pongs from its read loop; a
-// dead one times out and is declared failed.
-func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []byte, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+// frame is one queued protocol message (type + payload).
+type frame struct {
+	t MsgType
+	p []byte
+}
+
+// callOn performs one request/response exchange on conn — preceded by
+// the prelude frames (corpus chunks, spec registration) when non-empty —
+// pinging at the heartbeat interval and bounding every read by the
+// heartbeat timeout. A worker that is merely busy keeps answering pongs
+// from its read loop; a dead one times out and is declared failed.
+func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []frame, req MsgType, payload []byte, want MsgType) ([]byte, error) {
 	var wmu sync.Mutex
 	write := func(t MsgType, p []byte) error {
 		wmu.Lock()
@@ -626,8 +692,8 @@ func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []byte
 		}
 	}()
 
-	if prelude != nil {
-		if err := write(MsgSpec, prelude); err != nil {
+	for _, f := range prelude {
+		if err := write(f.t, f.p); err != nil {
 			return nil, fmt.Errorf("netproto: %s: %w", w.name, err)
 		}
 	}

@@ -37,7 +37,9 @@ func DecodeHello(b []byte) (Hello, error) {
 }
 
 // JobSpec describes a cracking job on the wire: everything a worker needs
-// to regenerate its sub-space locally.
+// to regenerate its sub-space locally. A multi-target job carries no
+// Target; instead CorpusID content-addresses a digest corpus transferred
+// separately over MsgCorpus chunks (see the package doc's v3 section).
 type JobSpec struct {
 	Algorithm  cracker.Algorithm
 	Kind       cracker.KernelKind
@@ -48,6 +50,9 @@ type JobSpec struct {
 	MinLen     int
 	MaxLen     int
 	Order      keyspace.Order
+	// CorpusID is the content hash (targetset.ID) of the encoded target
+	// set this spec searches; zero means single-target mode.
+	CorpusID uint64
 }
 
 // EncodeJob serializes a JobSpec.
@@ -62,6 +67,7 @@ func EncodeJob(j JobSpec) []byte {
 	e.u32(uint32(j.MinLen))
 	e.u32(uint32(j.MaxLen))
 	e.u8(byte(j.Order))
+	e.u64(j.CorpusID)
 	return e.b
 }
 
@@ -78,6 +84,7 @@ func DecodeJob(b []byte) (JobSpec, error) {
 		MinLen:     int(d.u32()),
 		MaxLen:     int(d.u32()),
 		Order:      keyspace.Order(d.u8()),
+		CorpusID:   d.u64(),
 	}
 	if err := d.err(); err != nil {
 		return j, err
@@ -88,11 +95,16 @@ func DecodeJob(b []byte) (JobSpec, error) {
 	if !j.Order.Valid() {
 		return j, fmt.Errorf("netproto: bad order %d", int(j.Order))
 	}
+	if j.CorpusID != 0 && len(j.Target) != 0 {
+		return j, fmt.Errorf("netproto: spec carries both a target and corpus %016x", j.CorpusID)
+	}
 	return j, nil
 }
 
 // Build materializes the job: parses the charset, builds the space and the
-// cracker job.
+// cracker job. A multi-target spec's corpus is NOT attached here — the
+// worker resolves CorpusID against its per-connection corpus table and
+// sets Job.Corpus itself, refusing a spec whose corpus never arrived.
 func (j JobSpec) Build() (*cracker.Job, error) {
 	cs, err := keyspace.NewCharset(j.Charset)
 	if err != nil {
@@ -162,6 +174,70 @@ func DecodeSpec(b []byte) (SpecFrame, error) {
 		return SpecFrame{}, fmt.Errorf("netproto: spec ID mismatch: frame says %016x, content hashes to %016x", id, want)
 	}
 	return SpecFrame{ID: id, Spec: spec}, nil
+}
+
+// CorpusChunkSize is the data payload of one MsgCorpus frame: well under
+// MaxFrame, so a corpus transfer is many small frames rather than one
+// huge one and never starves the connection's liveness traffic.
+const CorpusChunkSize = 256 << 10
+
+// CorpusChunk is one MsgCorpus payload: a window of the canonical
+// targetset encoding, addressed by the blob's content hash. Chunks are
+// sent in order; the receiver assembles them per connection and verifies
+// the hash of the whole before decoding.
+type CorpusChunk struct {
+	ID     uint64 // content hash (targetset.ID) of the complete encoding
+	Total  uint32 // total encoded length in bytes
+	Offset uint32 // this chunk's byte offset
+	Data   []byte
+}
+
+// EncodeCorpusChunk serializes a corpus chunk.
+func EncodeCorpusChunk(c CorpusChunk) []byte {
+	var e enc
+	e.u64(c.ID)
+	e.u32(c.Total)
+	e.u32(c.Offset)
+	e.bytes(c.Data)
+	return e.b
+}
+
+// DecodeCorpusChunk parses a corpus chunk and checks its internal
+// geometry (the cross-chunk checks — ordering, completeness, the content
+// hash — belong to the assembler).
+func DecodeCorpusChunk(b []byte) (CorpusChunk, error) {
+	d := dec{b: b}
+	c := CorpusChunk{ID: d.u64(), Total: d.u32(), Offset: d.u32(), Data: d.bytes()}
+	if err := d.err(); err != nil {
+		return CorpusChunk{}, err
+	}
+	if len(c.Data) == 0 {
+		return CorpusChunk{}, fmt.Errorf("netproto: corpus %016x: empty chunk", c.ID)
+	}
+	if uint64(c.Offset)+uint64(len(c.Data)) > uint64(c.Total) {
+		return CorpusChunk{}, fmt.Errorf("netproto: corpus %016x: chunk [%d,%d) overruns total %d",
+			c.ID, c.Offset, int(c.Offset)+len(c.Data), c.Total)
+	}
+	return c, nil
+}
+
+// CorpusFrames splits an encoded target set into ready-to-send MsgCorpus
+// payloads. The ID is derived from the blob itself (specHash, which
+// matches targetset.ID by construction), never caller-supplied.
+func CorpusFrames(encoded []byte) [][]byte {
+	id := specHash(encoded)
+	total := uint32(len(encoded))
+	var frames [][]byte
+	for off := 0; off < len(encoded); off += CorpusChunkSize {
+		end := off + CorpusChunkSize
+		if end > len(encoded) {
+			end = len(encoded)
+		}
+		frames = append(frames, EncodeCorpusChunk(CorpusChunk{
+			ID: id, Total: total, Offset: uint32(off), Data: encoded[off:end],
+		}))
+	}
+	return frames
 }
 
 // TuneRequest asks the worker to run the tuning step against a

@@ -36,8 +36,32 @@
 // Version 1 peers are incompatible and fail fast at the handshake: a v1
 // worker announces Version 1 and is refused with MsgError before any
 // work is exchanged; a v1 master answers the hello with MsgJob, which a
-// v2 worker rejects with a targeted error instead of waiting for a spec
-// table that will never come.
+// newer worker rejects with a targeted error instead of waiting for a
+// spec table that will never come.
+//
+// # Protocol v3: digest corpora
+//
+// A multi-target spec names a digest corpus by content hash (CorpusID,
+// the FNV-1a of the canonical targetset encoding — the same hash that
+// keys the spec table). The corpus itself travels in MsgCorpus chunks
+// ahead of the MsgSpec frame that references it:
+//
+//   - each chunk carries the corpus ID, the total encoded length, the
+//     chunk's offset and its bytes; the worker assembles chunks in
+//     order, per connection, and rejects gaps, overlaps or a total that
+//     exceeds the targetset codec's cap;
+//   - when the last chunk lands, the worker recomputes the content hash
+//     over the reassembled blob and refuses a mismatch, then decodes it
+//     through targetset.Decode — which re-verifies the CRC and every
+//     Bloom/corpus invariant — before installing the set in the
+//     connection's corpus table;
+//   - a MsgSpec whose CorpusID is absent from that table is refused, so
+//     a spec can never silently run with the wrong (or no) corpus.
+//
+// Like specs, corpora are sent at most once per connection and re-sent
+// transparently after a reconnect. The corpus is the one deliberately
+// large payload in the protocol; chunking keeps every frame under
+// MaxFrame so liveness frames never queue behind a megabyte write.
 //
 // # Failure model
 //
@@ -100,12 +124,15 @@ const (
 	MsgPong                            // worker -> master: liveness answer, echoes the ping sequence
 	MsgRequeue                         // worker -> master: cannot finish this interval, give it back
 	MsgSpec                            // master -> worker: register a job spec (content-hash ID + spec)
+	MsgCorpus                          // master -> worker: one chunk of an encoded target-set corpus
 )
 
 // Version is the protocol version exchanged in MsgHello. Version 2
 // introduced the per-connection spec table (MsgSpec) and per-call spec
-// IDs in MsgTune/MsgSearch; v1 peers are refused at the handshake.
-const Version = 2
+// IDs in MsgTune/MsgSearch; version 3 added multi-target specs: a
+// CorpusID field on the wire spec and MsgCorpus chunk transfer of the
+// encoded target set it names. Older peers are refused at the handshake.
+const Version = 3
 
 // MaxFrame is the maximum accepted payload size; anything larger is
 // treated as a malformed frame. Search results carry at most a few keys,
@@ -138,7 +165,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
 	}
 	t := MsgType(hdr[4])
-	if t < MsgHello || t > MsgSpec {
+	if t < MsgHello || t > MsgCorpus {
 		return 0, nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
 	}
 	payload := make([]byte, n)

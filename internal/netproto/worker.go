@@ -12,6 +12,7 @@ import (
 	"keysearch/internal/core"
 	"keysearch/internal/cracker"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/targetset"
 	"keysearch/internal/telemetry"
 )
 
@@ -154,6 +155,16 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 	// spec ID and reused across calls. Only the read loop touches it.
 	specs := make(map[uint64]*cracker.Job)
 
+	// corpora is the per-connection corpus table (decoded target sets by
+	// content hash) and asm the in-flight chunk assemblies feeding it.
+	// Only the read loop touches either.
+	corpora := make(map[uint64]*targetset.Set)
+	type corpusAsm struct {
+		buf   []byte
+		total uint32
+	}
+	asm := make(map[uint64]*corpusAsm)
+
 	// st tracks the single in-flight request (the protocol is strict
 	// request/response; pings are the only interleaved frames). The
 	// in-flight interval is set in the same critical section that marks
@@ -214,6 +225,47 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 				return err
 			}
 			nt.pongs.Inc()
+		case MsgCorpus:
+			ck, err := DecodeCorpusChunk(payload)
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			if _, ok := corpora[ck.ID]; ok {
+				continue // already assembled and verified; re-sends are idempotent
+			}
+			a, ok := asm[ck.ID]
+			if !ok {
+				if ck.Total == 0 || ck.Total > targetset.MaxEncoded {
+					sendErr(fmt.Errorf("netproto: corpus %016x: bad total %d", ck.ID, ck.Total))
+					continue
+				}
+				a = &corpusAsm{buf: make([]byte, 0, ck.Total), total: ck.Total}
+				asm[ck.ID] = a
+			}
+			// Chunks must tile the blob in order; anything else aborts the
+			// assembly so the master's retry starts clean.
+			if ck.Total != a.total || ck.Offset != uint32(len(a.buf)) {
+				delete(asm, ck.ID)
+				sendErr(fmt.Errorf("netproto: corpus %016x: chunk at offset %d does not extend assembly of %d/%d bytes",
+					ck.ID, ck.Offset, len(a.buf), a.total))
+				continue
+			}
+			a.buf = append(a.buf, ck.Data...)
+			if uint32(len(a.buf)) < a.total {
+				continue
+			}
+			delete(asm, ck.ID)
+			if got := specHash(a.buf); got != ck.ID {
+				sendErr(fmt.Errorf("netproto: corpus content hashes to %016x, chunks said %016x", got, ck.ID))
+				continue
+			}
+			set, err := targetset.Decode(a.buf)
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			corpora[ck.ID] = set
 		case MsgSpec:
 			sf, err := DecodeSpec(payload)
 			if err != nil {
@@ -224,6 +276,14 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig, onReady fun
 			if err != nil {
 				sendErr(err)
 				continue
+			}
+			if sf.Spec.CorpusID != 0 {
+				set, ok := corpora[sf.Spec.CorpusID]
+				if !ok {
+					sendErr(fmt.Errorf("netproto: spec %016x references corpus %016x, not transferred on this connection", sf.ID, sf.Spec.CorpusID))
+					continue
+				}
+				job.Corpus = set
 			}
 			specs[sf.ID] = job
 		case MsgTune:

@@ -1,0 +1,70 @@
+package targetset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTargetSetCodec feeds the decoder arbitrary frames — seeded with
+// valid encodings plus corrupted and truncated variants, mirroring the
+// WAL fuzzers — and holds it to the codec contract: no panic ever, and
+// any frame that decodes must re-encode byte-identically (the canonical
+// form), carry a self-consistent geometry, and answer membership for its
+// own corpus.
+func FuzzTargetSetCodec(f *testing.F) {
+	for _, seedCase := range []struct {
+		n, size int
+		seed    uint64
+	}{{1, 1, 0}, {5, 16, 1}, {64, 20, 2}, {200, 32, 3}} {
+		s, err := Build(testDigests(seedCase.n, seedCase.size, seedCase.seed), Options{Seed: seedCase.seed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc := s.Encode()
+		f.Add(enc)
+		// Truncations at interesting boundaries.
+		f.Add(enc[:headerLen])
+		f.Add(enc[:len(enc)/2])
+		f.Add(enc[:len(enc)-4])
+		// Single-byte corruptions across the regions.
+		for _, off := range []int{0, 4, 5, 6, 7, 8, 12, 28, headerLen, len(enc) - 5, len(enc) - 1} {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0x5a
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TSET"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected frames just need to not panic
+		}
+		enc := s.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted frame is not canonical: re-encodes to %d bytes from %d", len(enc), len(data))
+		}
+		if s.Len() < 1 || s.DigestSize() < 1 || s.Hashes() < 1 || s.Hashes() > maxHashes {
+			t.Fatalf("accepted frame with bad geometry: n=%d size=%d k=%d", s.Len(), s.DigestSize(), s.Hashes())
+		}
+		if b := s.Bits(); b < 64 || b&(b-1) != 0 {
+			t.Fatalf("accepted frame with non-power-of-two filter: %d bits", b)
+		}
+		// Every corpus digest must be a member through all three paths.
+		for i := 0; i < s.Len(); i++ {
+			d := s.Digest(i)
+			if !s.MayContain(d) || !s.Confirm(d) || !s.Contains(d) {
+				t.Fatalf("decoded set loses its own digest %d", i)
+			}
+		}
+		// Round trip once more through Decode.
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		if !bytes.Equal(back.Encode(), enc) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

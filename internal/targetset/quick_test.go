@@ -1,0 +1,99 @@
+package targetset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickNoFalseNegatives is the load-bearing Bloom property: any
+// digest inserted into a set is reported present by the filter alone,
+// for arbitrary corpora, rates and seeds.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	prop := func(raw [][16]byte, seed uint64, rateSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		digests := make([][]byte, len(raw))
+		for i := range raw {
+			digests[i] = raw[i][:]
+		}
+		rates := []float64{1e-1, 1e-2, 1e-3, 1e-4, 0.5}
+		s, err := Build(digests, Options{FPRate: rates[int(rateSel)%len(rates)], Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, d := range digests {
+			if !s.MayContain(d) || !s.Confirm(d) || !s.Contains(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContainsIsExact: Contains must agree with the exact index on
+// every probe — the filter can only ever add confirm work, never change
+// the answer.
+func TestQuickContainsIsExact(t *testing.T) {
+	prop := func(members, probes [][8]byte, seed uint64) bool {
+		if len(members) == 0 {
+			return true
+		}
+		digests := make([][]byte, len(members))
+		for i := range members {
+			digests[i] = members[i][:]
+		}
+		s, err := Build(digests, Options{FPRate: 0.5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, p := range probes {
+			if s.Contains(p[:]) != s.Confirm(p[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCodecRoundTrip: encode/decode is the identity on sets, for
+// arbitrary corpora.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	prop := func(raw [][12]byte, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		digests := make([][]byte, len(raw))
+		for i := range raw {
+			digests[i] = raw[i][:]
+		}
+		s, err := Build(digests, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		enc := s.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		enc2 := back.Encode()
+		if len(enc) != len(enc2) {
+			return false
+		}
+		for i := range enc {
+			if enc[i] != enc2[i] {
+				return false
+			}
+		}
+		return ID(enc) == ID(enc2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
