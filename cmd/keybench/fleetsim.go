@@ -1,0 +1,173 @@
+package main
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"keysearch/internal/fleetsim"
+	"keysearch/internal/jobs"
+)
+
+// SimScenario is one fleet-simulation run of the BENCH_sim.json report.
+type SimScenario struct {
+	Name string `json:"name"`
+	// HostSeconds is wall-clock cost of simulating the run; everything
+	// inside Result is virtual time.
+	HostSeconds float64          `json:"host_seconds"`
+	Result      *fleetsim.Result `json:"result"`
+}
+
+// SimReport is the whole BENCH_sim.json document.
+type SimReport struct {
+	Quick     bool   `json:"quick"`
+	Workers   int    `json:"workers"`
+	SpaceKeys uint64 `json:"space_keys"`
+	// Scenarios: an undisturbed fleet, a slowdown-degraded fleet under
+	// the paper's static balance rule alone, the same degraded fleet
+	// with adaptive stealing, and a full churn mix (crashes recovered
+	// by lease timeout, leaves, joins, slowdowns) with stealing.
+	Scenarios []SimScenario `json:"scenarios"`
+	// StealSpeedup is the headline number: static-balancing makespan
+	// over adaptive-stealing makespan on the identical slowdown
+	// schedule. The run fails unless it exceeds 1 — stealing must beat
+	// static balancing, or the report is documenting a regression.
+	StealSpeedup     float64 `json:"steal_speedup"`
+	StealBeatsStatic bool    `json:"steal_beats_static"`
+	// OverlapCurve samples the static-redundancy alternative at
+	// OverlapFailProb agent failure probability: overlap buys a lower
+	// miss rate at a (1+f) makespan cost, where lease-timeout requeue
+	// (the scenarios above) pays for duplicate work only on actual
+	// failure.
+	OverlapFailProb float64                 `json:"overlap_fail_prob"`
+	OverlapCurve    []fleetsim.OverlapPoint `json:"overlap_curve"`
+}
+
+// fleetSpec is the synthetic job the fleet exhausts: a small-alphabet
+// space sized by charset and length; no hashing happens — the target
+// only has to validate.
+func fleetSpec(charset string, maxLen int) jobs.Spec {
+	sum := md5.Sum([]byte("keybench-fleetsim"))
+	return jobs.Spec{
+		Algorithm: "md5",
+		Target:    hex.EncodeToString(sum[:]),
+		Charset:   charset,
+		MinLen:    1,
+		MaxLen:    maxLen,
+		Steal:     true, // per-job opt-in; Config.Steal decides per scenario
+	}
+}
+
+// runSimScenario executes one fleet config against a throwaway store.
+func runSimScenario(name string, cfg fleetsim.Config) (SimScenario, error) {
+	dir, err := os.MkdirTemp("", "keybench-fleetsim-*")
+	if err != nil {
+		return SimScenario{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Dir = dir
+	start := time.Now()
+	res, err := fleetsim.Run(cfg)
+	if err != nil {
+		return SimScenario{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if res.JobsDone != len(cfg.Submissions) {
+		return SimScenario{}, fmt.Errorf("scenario %s: %d of %d jobs completed", name, res.JobsDone, len(cfg.Submissions))
+	}
+	return SimScenario{Name: name, HostSeconds: time.Since(start).Seconds(), Result: res}, nil
+}
+
+// fleetsimMain runs the fleet-simulation benchmark and writes the
+// BENCH_sim.json document.
+func fleetsimMain(quick bool, out string) error {
+	workers, charset, maxLen := 2000, "abc", 15 // 21,523,359 keys
+	trials := 200_000
+	if quick {
+		workers, charset, maxLen = 500, "abc", 14 // 7,174,452 keys
+		trials = 40_000
+	}
+	spec := fleetSpec(charset, maxLen)
+	space, err := spec.Space()
+	if err != nil {
+		return err
+	}
+	spaceKeys, _ := space.Size64()
+	rep := &SimReport{Quick: quick, Workers: workers, SpaceKeys: spaceKeys}
+
+	base := fleetsim.Config{
+		Workers: workers,
+		Seed:    7,
+		TputMin: 50,
+		TputMax: 150,
+		// Unthrottled checkpoints serialize every in-flight lease per
+		// commit; at thousands of workers that is WAL weight the
+		// benchmark is not about.
+		CheckpointEvery: 64,
+		EventBudget:     50_000_000,
+		Submissions:     []fleetsim.Submission{{Tenant: "bench", Spec: spec, Plant: -1}},
+	}
+	slowChurn := fleetsim.ChurnOptions{Horizon: 120, SlowRate: 0.5, SlowMin: 0.05, SlowMax: 0.4}
+
+	baseline := base
+	crashy := base
+	crashy.Steal = true
+	crashy.LeaseTimeout = 600 * time.Second
+	crashy.CheckpointEvery = 64
+	crashy.Churn = fleetsim.ChurnOptions{Horizon: 400, CrashRate: 0.05, LeaveRate: 0.05, JoinRate: 0.15, SlowRate: 0.20}
+	static := base
+	static.Churn = slowChurn
+	adaptive := static
+	adaptive.Steal = true
+
+	fmt.Println("== Fleet simulation: virtual-time runs over the real job service ==")
+	for _, sc := range []struct {
+		name string
+		cfg  fleetsim.Config
+	}{
+		{"baseline-no-churn", baseline},
+		{"slowdown-static", static},
+		{"slowdown-steal", adaptive},
+		{"crash-churn-steal", crashy},
+	} {
+		row, err := runSimScenario(sc.name, sc.cfg)
+		if err != nil {
+			return err
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+		r := row.Result
+		fmt.Printf("%-18s makespan %8.1fs  commits %7d  steals %6d (%9d keys)  requeues %4d  crashes %3d  [%.2fs host]\n",
+			row.Name, r.Makespan, r.Commits, r.Steals, r.StolenKeys, r.Requeues, r.Crashes, row.HostSeconds)
+	}
+
+	staticRes, adaptiveRes := rep.Scenarios[1].Result, rep.Scenarios[2].Result
+	rep.StealSpeedup = staticRes.Makespan / adaptiveRes.Makespan
+	rep.StealBeatsStatic = adaptiveRes.Makespan < staticRes.Makespan && adaptiveRes.Steals > 0
+	fmt.Printf("== Adaptive stealing vs static balance: %.1fx faster makespan (%.1fs -> %.1fs) ==\n",
+		rep.StealSpeedup, staticRes.Makespan, adaptiveRes.Makespan)
+	if !rep.StealBeatsStatic {
+		return fmt.Errorf("adaptive stealing did not beat static balancing (%.1fs vs %.1fs, %d steals)",
+			adaptiveRes.Makespan, staticRes.Makespan, adaptiveRes.Steals)
+	}
+
+	rep.OverlapFailProb = 0.3
+	rep.OverlapCurve = fleetsim.OverlapCurve(7, 64, trials, rep.OverlapFailProb, []float64{0, 0.05, 0.1, 0.2, 0.4})
+	fmt.Println("== Overlap trade-off (static redundancy, fail prob 0.30) ==")
+	for _, p := range rep.OverlapCurve {
+		fmt.Printf("f=%.2f  mean TTF %.3f  p95 %.3f  miss %.4f  makespan %.2f  dup %.3f\n",
+			p.Overlap, p.MeanTTF, p.P95TTF, p.MissRate, p.Makespan, p.DupFraction)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}

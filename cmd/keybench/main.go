@@ -16,10 +16,20 @@
 // regression in the pre-screen's flatness breaks the build instead of
 // the report.
 //
+// With -fleetsim it benchmarks the fleet simulation instead: virtual-time
+// runs of thousands of churning workers over the real job service —
+// an undisturbed baseline, a slowdown-degraded fleet under the static
+// balance rule, the same degraded fleet with adaptive work stealing,
+// and a full crash/leave/join/slowdown mix — plus the static-redundancy
+// overlap trade-off curve. The run fails unless adaptive stealing beats
+// static balancing on makespan, so a regression in the stealing path
+// breaks the build instead of the BENCH_sim.json report.
+//
 // Usage:
 //
 //	keybench -quick -out BENCH_telemetry.json
 //	keybench -targetset -out BENCH_targetset.json
+//	keybench -fleetsim -out BENCH_sim.json
 package main
 
 import (
@@ -98,10 +108,20 @@ func main() {
 	var (
 		quick     = flag.Bool("quick", false, "smaller CPU intervals and fewer simulated iterations (CI smoke)")
 		targetset = flag.Bool("targetset", false, "benchmark multi-target corpus search instead of the Table VIII report")
+		fleetSim  = flag.Bool("fleetsim", false, "benchmark the virtual-time fleet simulation instead of the Table VIII report")
 		out       = flag.String("out", "", "output path for the machine-readable report")
 	)
 	flag.Parse()
 
+	if *fleetSim {
+		if *out == "" {
+			*out = "BENCH_sim.json"
+		}
+		if err := fleetsimMain(*quick, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *targetset {
 		if *out == "" {
 			*out = "BENCH_targetset.json"

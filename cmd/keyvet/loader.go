@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -113,7 +115,14 @@ func (l *loader) loadDirAs(dir, path string) (*pkg, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +146,38 @@ func (l *loader) loadDirAs(dir, path string) (*pkg, error) {
 	p := &pkg{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// buildIncluded evaluates the file's //go:build constraint (if any)
+// against the default build context: GOOS, GOARCH, unix on unixes, and
+// go1.* version tags — notably NOT tool tags like race, matching what
+// `go build` without extra flags would compile. Files whose constraint
+// excludes them (e.g. the race-detector half of a //go:build race /
+// !race pair, which would redeclare its sibling's symbols) are skipped.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true // malformed: let the type-checker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH:
+					return true
+				case "unix":
+					return runtime.GOOS != "windows" && runtime.GOOS != "plan9"
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") || strings.HasPrefix(trimmed, "/*") {
+			continue
+		}
+		break // reached the package clause: constraints must precede it
+	}
+	return true
 }
 
 // findModuleRoot walks up from the working directory to the nearest

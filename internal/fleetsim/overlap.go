@@ -1,0 +1,111 @@
+package fleetsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Overlap analysis after Stojanovski & Krstevski: K equal-speed agents
+// search a unit keyspace, each assigned a contiguous region of size
+// (1+f)/K where f is the overlap fraction — f = 0 is the paper's
+// disjoint partition, f > 0 makes neighboring regions overlap so a
+// target near a boundary is covered by more than one agent. Agents
+// scan front to back at one disjoint region (1/K of the space) per
+// time unit, and may fail: with probability failProb an agent dies at
+// a uniformly random time and never reaches the rest of its region.
+//
+// The trade the curve quantifies:
+//
+//   - With no failures, overlap buys nothing: the nearest covering
+//     agent always reaches the target first, so mean time-to-find
+//     stays flat while makespan grows as (1+f) — every overlapped key
+//     is pure duplicated work.
+//   - With failures, overlap is redundancy: a target orphaned by its
+//     agent's death is still reached by the overlapping neighbor, so
+//     the miss rate falls as f grows — at the same (1+f) makespan
+//     cost.
+//
+// The paper's fleet answers failures with requeue-based recovery
+// (lease timeouts re-issue orphaned intervals) instead of static
+// redundancy, paying the duplicate work only when a failure actually
+// happens; fleetsim's churned runs measure that path.
+
+// OverlapPoint is one sampled point of the overlap trade-off curve.
+type OverlapPoint struct {
+	Overlap     float64 `json:"overlap"`        // fraction f of each region duplicated
+	MeanTTF     float64 `json:"mean_ttf"`       // mean time-to-find over found targets
+	P95TTF      float64 `json:"p95_ttf"`        // 95th percentile time-to-find (found targets)
+	MissRate    float64 `json:"miss_rate"`      // fraction of targets never reached
+	Makespan    float64 `json:"makespan"`       // exhaustive-sweep duration, (1+f)
+	DupFraction float64 `json:"duplicate_work"` // fraction of scanned keys that were duplicates
+}
+
+// OverlapCurve Monte-Carlo samples the trade-off: agents agents,
+// trials uniformly placed targets per overlap fraction, each agent
+// failing mid-sweep with probability failProb. Deterministic in seed.
+func OverlapCurve(seed int64, agents, trials int, failProb float64, overlaps []float64) []OverlapPoint {
+	if agents <= 0 || trials <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	k := float64(agents)
+	out := make([]OverlapPoint, 0, len(overlaps))
+	deadline := make([]float64, agents)
+	for _, f := range overlaps {
+		if f < 0 {
+			f = 0
+		}
+		region := (1 + f) / k
+		makespan := 1 + f
+		var ttfs []float64
+		sum, misses := 0.0, 0
+		for t := 0; t < trials; t++ {
+			// Fresh failure draw per trial: an agent that fails stops at
+			// deadline[j]; a healthy one completes the sweep.
+			for j := range deadline {
+				if failProb > 0 && rng.Float64() < failProb {
+					deadline[j] = rng.Float64() * makespan
+				} else {
+					deadline[j] = makespan
+				}
+			}
+			u := rng.Float64() // target position in the unit keyspace
+			best := math.Inf(1)
+			for j := 0; j < agents; j++ {
+				start := float64(j) / k
+				d := u - start
+				if d < 0 {
+					d += 1
+				}
+				if d >= region {
+					continue // agent j never scans u
+				}
+				// Offset d into the region is reached at time d·k — if the
+				// agent lives that long.
+				if at := d * k; at <= deadline[j] && at < best {
+					best = at
+				}
+			}
+			if math.IsInf(best, 1) {
+				misses++
+				continue
+			}
+			ttfs = append(ttfs, best)
+			sum += best
+		}
+		pt := OverlapPoint{
+			Overlap:     f,
+			MissRate:    float64(misses) / float64(trials),
+			Makespan:    makespan,
+			DupFraction: f / (1 + f),
+		}
+		if len(ttfs) > 0 {
+			sort.Float64s(ttfs)
+			pt.MeanTTF = sum / float64(len(ttfs))
+			pt.P95TTF = ttfs[(len(ttfs)*95)/100]
+		}
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package fleetsim
+
+// raceEnabled is true when the race detector is compiled in; the
+// 10⁵-worker acceptance test skips under -race (the detector's memory
+// overhead, not a data race, is what it cannot afford).
+const raceEnabled = true

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"keysearch/internal/core"
+	"keysearch/internal/dispatch"
+)
+
+// TestQuickSharesFollowBalanceRule property-checks the paper's balance
+// rule end to end: for random fleets of tunings, the lease sizes a
+// manually-started service picks must (a) equal core.Balance's output
+// (modulo the one-key floor for usable executors), and the Balance
+// output itself must satisfy the rule's two invariants — every node
+// receives at least its minimum efficient batch, and all nodes finish
+// their lease in the same time N_j/X_j up to one key of ceil rounding.
+func TestQuickSharesFollowBalanceRule(t *testing.T) {
+	prop := func(raw []struct {
+		Batch uint16
+		Tput  uint32
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		tunings := make([]core.Tuning, len(raw))
+		execs := make([]Executor, len(raw))
+		anyTput := false
+		for i, r := range raw {
+			tn := core.Tuning{MinBatch: uint64(r.Batch), Throughput: float64(r.Tput)}
+			tunings[i] = tn
+			execs[i] = &fakeExec{name: fmt.Sprintf("quick-%d", i), tn: tn}
+			anyTput = anyTput || tn.Throughput > 0
+		}
+		if !anyTput {
+			return true // an all-zero fleet is refused at Start; nothing to check
+		}
+		store, err := Open(t.TempDir(), StoreOptions{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewService(store, execs, Options{})
+		if err := svc.StartManual(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Shutdown(context.Background())
+
+		want := core.Balance(tunings)
+		shares := svc.Shares()
+		for i := range want {
+			w := want[i]
+			if w == 0 && tunings[i].Throughput > 0 {
+				w = 1 // the service floors usable executors at one key
+			}
+			if shares[i] != w {
+				t.Logf("share[%d] = %d, want %d for tunings %+v", i, shares[i], w, tunings)
+				return false
+			}
+		}
+
+		// Invariant 1: N_j >= n_j wherever X_j > 0.
+		for i, tn := range tunings {
+			if tn.Throughput > 0 && want[i] < tn.MinBatch {
+				t.Logf("N_%d = %d < MinBatch %d", i, want[i], tn.MinBatch)
+				return false
+			}
+		}
+		// Invariant 2: equal finish time. N_j = ceil(N_max·X_j/X_max)
+		// pins N_j/X_j to [T, T + 1/X_j) for a common T, so any two
+		// finish times differ by less than a single key's duration.
+		for i, a := range tunings {
+			if a.Throughput == 0 {
+				continue
+			}
+			for j, b := range tunings {
+				if b.Throughput == 0 {
+					continue
+				}
+				ta, tb := float64(want[i])/a.Throughput, float64(want[j])/b.Throughput
+				slack := 1/a.Throughput + 1/b.Throughput + 1e-9*math.Max(ta, tb)
+				if math.Abs(ta-tb) > slack {
+					t.Logf("finish times diverge: N_%d/X_%d = %g vs N_%d/X_%d = %g (slack %g)", i, i, ta, j, j, tb, slack)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTenantFairShareConvergence property-checks weighted fair
+// share: for random weight pairs, driving a manual service lease by
+// lease splits the committed keys between two continuously-runnable
+// tenants in the ratio of their weights, within lease granularity.
+func TestQuickTenantFairShareConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ~500 leases per property sample")
+	}
+	prop := func(rawA, rawB uint8) bool {
+		wa := float64(rawA%8) + 1
+		wb := float64(rawB%8) + 1
+		store, err := Open(t.TempDir(), StoreOptions{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := &fakeExec{name: "manual", tn: core.Tuning{MinBatch: 512, Throughput: 1e6}}
+		svc := NewService(store, []Executor{exec}, Options{
+			Sched: SchedOptions{MaxRunning: 2, Weights: map[string]float64{"alice": wa, "bob": wb}},
+		})
+		if err := svc.StartManual(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Shutdown(context.Background())
+		ja, err := svc.Submit("alice", 0, specFor(t, "ab", "ab", 1, 16)) // 131070 keys each
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := svc.Submit("bob", 0, specFor(t, "ba", "ab", 1, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Drive the real scheduler one lease at a time; stop accounting
+		// at the commit that finishes the first job — fair share is only
+		// defined while both tenants stay runnable.
+		committed := map[string]uint64{}
+		for {
+			l, ok := svc.TryLease(0)
+			if !ok {
+				t.Fatalf("no lease while both jobs runnable (weights %v/%v)", wa, wb)
+			}
+			if !svc.Commit(l, &dispatch.Report{Tested: l.N}) {
+				t.Fatalf("commit of lease %d rejected", l.ID)
+			}
+			ga, _ := svc.Get(ja.ID)
+			gb, _ := svc.Get(jb.ID)
+			if ga.Done() || gb.Done() {
+				break
+			}
+			committed[l.Tenant] += l.N
+		}
+		if committed["alice"] == 0 || committed["bob"] == 0 {
+			t.Logf("a tenant was starved outright: %v (weights %v:%v)", committed, wa, wb)
+			return false
+		}
+		ratio := float64(committed["alice"]) / float64(committed["bob"])
+		want := wa / wb
+		if math.Abs(ratio/want-1) > 0.15 {
+			t.Logf("committed ratio alice/bob = %.3f, want %.3f +/- 15%% (%v)", ratio, want, committed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -88,20 +88,50 @@ func TestAPILifecycle(t *testing.T) {
 
 	doJSON(t, "POST", srv.URL+"/jobs/"+j.ID+"/resume", nil, http.StatusOK)
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		json.Unmarshal(doJSON(t, "GET", srv.URL+"/jobs/"+j.ID, nil, http.StatusOK), &got)
-		if got.State == StateDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job never finished over HTTP: %+v", got)
-		}
-		time.Sleep(5 * time.Millisecond)
+	got = waitTerminalSSE(t, srv, j.ID, 30*time.Second)
+	if got.State != StateDone {
+		t.Fatalf("job never finished over HTTP: %+v", got)
 	}
 	if len(got.Found) != 1 || got.Found[0] != "cba" {
 		t.Fatalf("solution: %+v", got.Found)
 	}
+}
+
+// waitTerminalSSE follows the job's SSE stream until a terminal event
+// arrives and returns that event's job snapshot — the HTTP-surface
+// analogue of waitFor: no GET polling, the server pushes the wakeup.
+func waitTerminalSSE(t *testing.T, srv *httptest.Server, jobID string, timeout time.Duration) Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/events: status %d", jobID, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		if ev.Job.State.Terminal() {
+			return ev.Job
+		}
+	}
+	t.Fatalf("SSE stream for %s ended without a terminal event: %v", jobID, sc.Err())
+	return Job{}
 }
 
 // TestAPIErrors: the error mapping — 404 unknown job, 409 forbidden

@@ -115,6 +115,12 @@ type Spec struct {
 	// MaxSolutions stops the job early after this many hits
 	// (0 = exhaust the space).
 	MaxSolutions int `json:"max_solutions,omitempty"`
+	// Steal opts the job into adaptive work stealing: an idle executor
+	// may split a straggler's in-flight lease at an interior boundary
+	// and take the untested tail as a new lease (Service.Steal). Only
+	// manually driven services honor it; it does not change what is
+	// searched, only who searches it, so it is not part of Key.
+	Steal bool `json:"steal,omitempty"`
 }
 
 // MaxTargets caps the corpus cardinality a spec may carry (the encoded

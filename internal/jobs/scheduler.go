@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"keysearch/internal/dispatch"
-	"keysearch/internal/keyspace"
 )
 
 // SchedOptions tune admission control and fair share.
@@ -144,10 +143,11 @@ type activeJob struct {
 	subAt    time.Time
 
 	pool     *dispatch.Pool
-	inflight map[uint64]keyspace.Interval // lease id -> issued interval
+	inflight map[uint64]*inflightLease // lease id -> live lease record
 	tested   uint64
 	found    [][]byte
 	maxSol   int
+	sinceCP  int // commits applied since the last durable checkpoint
 
 	// stopLeasing marks a job that must issue no further leases
 	// (paused, cancelled, done, or solution quota met); the entry is

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/big"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"keysearch/internal/cracker"
 	"keysearch/internal/dispatch"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/sim"
 	"keysearch/internal/telemetry"
 )
 
@@ -112,13 +114,44 @@ type Options struct {
 	MaxSearchFailures int
 	// Telemetry receives the scheduler metrics (nil = no-op).
 	Telemetry *telemetry.Registry
+	// Clock is the service's time source (nil = the wall clock). A
+	// sim.Virtual clock bound to a discrete-event engine drives the
+	// whole service — scheduler wait metrics, lease timeouts, store
+	// record stamps via StoreOptions — in virtual time, which is how
+	// internal/fleetsim stress-tests fleet-scale scheduling in
+	// milliseconds of host time.
+	Clock sim.Clock
+	// LeaseTimeout requeues a lease that has neither committed nor
+	// failed after this duration on the service clock (0 = never). The
+	// lease's interval returns to the pool and a later commit or fail
+	// from the original executor is rejected, so crashed or wedged
+	// executors cost duplicated work, never duplicated or lost
+	// coverage.
+	LeaseTimeout time.Duration
+	// CheckpointEvery writes the durable per-job checkpoint on every
+	// Nth committed lease instead of every one (<=1 = every commit,
+	// the default). Completion, solution-bearing commits, and quota
+	// stops always checkpoint. Throttling trades crash re-search (up
+	// to N-1 committed leases are re-run after a crash) for commit
+	// throughput; in-memory accounting stays exact either way.
+	CheckpointEvery int
 	// Now stamps store records (nil = time.Now).
+	// Deprecated: set StoreOptions.Clock (or .Now) on the Store
+	// instead; this field is retained for compatibility and unused.
 	Now func() time.Time
 	// OnCommit, when set, observes every committed lease in commit
-	// order: it runs under the service lock after the checkpoint is
-	// durable, so implementations must be fast and must not call back
-	// into the Service or Store. Tests use it to audit exactness.
+	// order: it runs under the service lock after the commit is
+	// applied (and its checkpoint is durable, unless CheckpointEvery
+	// throttled it), so implementations must be fast and must not
+	// call back into the Service or Store. Tests use it to audit
+	// exactness.
 	OnCommit func(jobID, tenant string, iv keyspace.Interval, tested uint64)
+	// OnRequeue, when set, observes every interval returned to a
+	// job's pool by an executor failure or lease timeout. It runs
+	// outside the service lock; manual drivers (internal/fleetsim)
+	// use it to wake idle workers when work reappears. It must not
+	// block.
+	OnRequeue func(jobID string)
 }
 
 func (o Options) leaseScale() float64 {
@@ -135,14 +168,34 @@ func (o Options) maxFailures() int {
 	return o.MaxSearchFailures
 }
 
-// lease is one unit of issued work.
-type lease struct {
-	id     uint64
-	jobID  string
-	tenant string
-	spec   Spec
-	iv     keyspace.Interval
-	n      uint64
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery <= 1 {
+		return 1
+	}
+	return o.CheckpointEvery
+}
+
+// Lease is one unit of issued work: an executor searches Interval on
+// behalf of JobID and reports back through Commit or Fail. Leases are
+// returned by TryLease (manual drive) and threaded through the
+// internal executor loops.
+type Lease struct {
+	ID       uint64
+	JobID    string
+	Tenant   string
+	Spec     Spec
+	Interval keyspace.Interval
+	N        uint64
+}
+
+// inflightLease is the service-side record of an issued lease. Its
+// interval is the live truth — a Steal shrinks it — and the timer, when
+// lease timeouts are enabled, requeues it on expiry. Guarded by the
+// Service mutex.
+type inflightLease struct {
+	iv    keyspace.Interval
+	n     uint64
+	timer sim.Timer
 }
 
 // Service multiplexes jobs over a fleet of executors: admission
@@ -152,6 +205,7 @@ type Service struct {
 	store *Store
 	execs []Executor
 	opts  Options
+	clock sim.Clock
 	tel   *serviceTelemetry
 	hub   *hub
 
@@ -162,6 +216,7 @@ type Service struct {
 	shares    []uint64 // per-executor lease size (balance rule)
 	lastJob   []string // per-executor last leased job (preemption metric)
 	leaseSeq  uint64
+	manual    bool // StartManual: no executor loops, external drive
 	draining  bool
 	started   bool
 	ctx       context.Context
@@ -170,12 +225,18 @@ type Service struct {
 	closeOnce sync.Once
 }
 
-// NewService wires a store and a fleet. Call Start before use.
+// NewService wires a store and a fleet. Call Start (or StartManual)
+// before use.
 func NewService(store *Store, execs []Executor, opts Options) *Service {
+	clock := opts.Clock
+	if clock == nil {
+		clock = sim.Wall{}
+	}
 	s := &Service{
 		store:  store,
 		execs:  execs,
 		opts:   opts,
+		clock:  clock,
 		tel:    newServiceTelemetry(opts.Telemetry),
 		hub:    newHub(),
 		sched:  newScheduler(opts.Sched),
@@ -188,28 +249,52 @@ func NewService(store *Store, execs []Executor, opts Options) *Service {
 // Start tunes the fleet, sizes leases by the balance rule
 // N_j = N_max·(X_j/X_max), recovers RUNNING jobs from their last
 // checkpoint, and launches the executor loops.
-func (s *Service) Start(ctx context.Context) error {
+func (s *Service) Start(ctx context.Context) error { return s.start(ctx, false) }
+
+// StartManual prepares the service without launching executor loops:
+// tuning, balance-rule lease sizing, and recovery happen exactly as in
+// Start, but leases are then pulled with TryLease and settled with
+// Commit/Fail/Steal by an external driver. This is the virtual-time
+// seam: internal/fleetsim drives the real service — scheduler, store,
+// WAL, admission — from a discrete-event engine, one event at a time.
+// Tuning runs sequentially (fleet-scale drivers pass cheap synthetic
+// tunings, and a goroutine per simulated worker would defeat the
+// point).
+func (s *Service) StartManual(ctx context.Context) error { return s.start(ctx, true) }
+
+func (s *Service) start(ctx context.Context, manual bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
 		return errors.New("jobs: service already started")
 	}
+	s.manual = manual
 	s.ctx, s.cancel = context.WithCancel(ctx)
 
 	tunings := make([]core.Tuning, len(s.execs))
-	var tuneWG sync.WaitGroup
-	for i, ex := range s.execs {
-		tuneWG.Add(1)
-		go func(i int, ex Executor) {
-			defer tuneWG.Done()
+	if manual {
+		for i, ex := range s.execs {
 			tn, err := ex.Tune(s.ctx)
 			if err != nil {
-				return // zero tuning: the executor gets no leases
+				continue // zero tuning: the executor gets no leases
 			}
 			tunings[i] = tn
-		}(i, ex)
+		}
+	} else {
+		var tuneWG sync.WaitGroup
+		for i, ex := range s.execs {
+			tuneWG.Add(1)
+			go func(i int, ex Executor) {
+				defer tuneWG.Done()
+				tn, err := ex.Tune(s.ctx)
+				if err != nil {
+					return // zero tuning: the executor gets no leases
+				}
+				tunings[i] = tn
+			}(i, ex)
+		}
+		tuneWG.Wait()
 	}
-	tuneWG.Wait()
 	s.shares = make([]uint64, len(s.execs))
 	usable := 0
 	for i, n := range core.Balance(tunings) {
@@ -248,18 +333,20 @@ func (s *Service) Start(ctx context.Context) error {
 	}
 	s.refreshGaugesLocked()
 
-	for i, ex := range s.execs {
-		if s.shares[i] == 0 {
-			continue
+	if !manual {
+		for i, ex := range s.execs {
+			if s.shares[i] == 0 {
+				continue
+			}
+			s.wg.Add(1)
+			go s.runExecutor(i, ex)
 		}
-		s.wg.Add(1)
-		go s.runExecutor(i, ex)
+		// Wake lease waiters when the context dies.
+		go func() {
+			<-s.ctx.Done()
+			s.cond.Broadcast()
+		}()
 	}
-	// Wake lease waiters when the context dies.
-	go func() {
-		<-s.ctx.Done()
-		s.cond.Broadcast()
-	}()
 	s.started = true
 	return nil
 }
@@ -301,7 +388,7 @@ func (s *Service) activateLocked(j Job) error {
 		spec:     j.Spec,
 		subAt:    j.SubmittedAt,
 		pool:     dispatch.NewPool(ivs...),
-		inflight: make(map[uint64]keyspace.Interval),
+		inflight: make(map[uint64]*inflightLease),
 		tested:   cp.Tested,
 		found:    cp.Found,
 		maxSol:   j.Spec.MaxSolutions,
@@ -326,9 +413,11 @@ func (s *Service) runnableTenantsLocked() []string {
 
 // admitLocked moves PENDING jobs to RUNNING while admission control
 // allows: a global cap on running jobs and a per-tenant quota.
-// Admission order is priority, then submission order.
+// Admission order is priority, then submission order. The cheap
+// pending-count check keeps the no-op case (the common one on the
+// lease hot path) off the full table scan.
 func (s *Service) admitLocked() {
-	if s.draining {
+	if s.draining || s.store.PendingCount() == 0 {
 		return
 	}
 	perTenant := make(map[string]int)
@@ -368,26 +457,48 @@ func (s *Service) admitLocked() {
 }
 
 func (s *Service) refreshGaugesLocked() {
-	pending := 0
-	for _, j := range s.store.List("") {
-		if j.State == StatePending {
-			pending++
-		}
-	}
-	s.tel.queueDepth.Set(float64(pending))
+	s.tel.queueDepth.Set(float64(s.store.PendingCount()))
 	s.tel.running.Set(float64(len(s.active)))
 }
 
 // next blocks until a lease is available for executor i, the service
 // drains, or the context dies.
-func (s *Service) next(i int) (lease, bool) {
+func (s *Service) next(i int) (Lease, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	waitStart := time.Now()
+	waitStart := s.clock.Now()
 	for {
 		if s.draining || s.ctx.Err() != nil {
-			return lease{}, false
+			return Lease{}, false
 		}
+		if l, ok := s.tryLeaseLocked(i, waitStart); ok {
+			return l, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// TryLease issues the next lease for executor exec without blocking:
+// the manual-drive (virtual-time) counterpart of the executor loops.
+// It returns false when nothing is runnable right now — after a
+// requeue or a new submission the driver should try again (the
+// OnRequeue hook and job events signal both).
+func (s *Service) TryLease(exec int) (Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.draining || s.ctx.Err() != nil {
+		return Lease{}, false
+	}
+	return s.tryLeaseLocked(exec, s.clock.Now())
+}
+
+// tryLeaseLocked picks the next lease for executor i, or reports none
+// runnable. Callers hold s.mu.
+func (s *Service) tryLeaseLocked(i int, waitStart time.Time) (Lease, bool) {
+	if i < 0 || i >= len(s.shares) || s.shares[i] == 0 {
+		return Lease{}, false
+	}
+	for {
 		s.admitLocked()
 		s.refreshGaugesLocked()
 		var runnable []*activeJob
@@ -398,8 +509,7 @@ func (s *Service) next(i int) (lease, bool) {
 		}
 		a := s.sched.pick(runnable)
 		if a == nil {
-			s.cond.Wait()
-			continue
+			return Lease{}, false
 		}
 		iv, ok := a.pool.Claim(s.shares[i])
 		if !ok {
@@ -407,12 +517,17 @@ func (s *Service) next(i int) (lease, bool) {
 		}
 		n, _ := iv.Len64()
 		s.leaseSeq++
-		l := lease{id: s.leaseSeq, jobID: a.id, tenant: a.tenant, spec: a.spec, iv: iv, n: n}
-		a.inflight[l.id] = iv
+		l := Lease{ID: s.leaseSeq, JobID: a.id, Tenant: a.tenant, Spec: a.spec, Interval: iv, N: n}
+		fl := &inflightLease{iv: iv, n: n}
+		if d := s.opts.LeaseTimeout; d > 0 {
+			jobID, leaseID := a.id, l.ID
+			fl.timer = s.clock.AfterFunc(d, func() { s.expireLease(jobID, leaseID) })
+		}
+		a.inflight[l.ID] = fl
 		s.sched.charge(a.tenant, n)
 		s.tel.leases.Inc()
 		s.tel.leaseLen.Observe(float64(n))
-		s.tel.schedWait.ObserveDuration(time.Since(waitStart))
+		s.tel.schedWait.ObserveDuration(s.clock.Since(waitStart))
 		if prev := s.lastJob[i]; prev != "" && prev != a.id {
 			if pa, ok := s.active[prev]; ok && pa.runnable() {
 				// The previous job still had work; the deficit moved this
@@ -425,73 +540,159 @@ func (s *Service) next(i int) (lease, bool) {
 	}
 }
 
-// fail returns a lease whose executor errored: the interval goes back
-// to the pool untested and the tenant's deficit is refunded.
-func (s *Service) fail(l lease) {
+// expireLease requeues a lease that outlived Options.LeaseTimeout: the
+// interval returns to the pool, the tenant's deficit is refunded, and
+// any later Commit/Fail for the lease is rejected. Runs on the service
+// clock (a goroutine under the wall clock, an engine event under a
+// virtual one).
+func (s *Service) expireLease(jobID string, leaseID uint64) {
 	s.mu.Lock()
-	a := s.active[l.jobID]
-	if a != nil {
-		delete(a.inflight, l.id)
-		a.pool.PutBack(l.iv)
-		s.sched.credit(l.tenant, l.n)
-		s.tel.requeues.Inc()
-		s.dropIfDrainedLocked(a)
+	a := s.active[jobID]
+	if a == nil {
+		s.mu.Unlock()
+		return
 	}
+	fl, ok := a.inflight[leaseID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(a.inflight, leaseID)
+	a.pool.PutBack(fl.iv)
+	s.sched.credit(a.tenant, fl.n)
+	s.tel.expired.Inc()
+	s.dropIfDrainedLocked(a)
+	hook := s.opts.OnRequeue
 	s.mu.Unlock()
+	if hook != nil {
+		hook(jobID)
+	}
 	s.cond.Broadcast()
 }
+
+// Fail returns a lease whose executor errored: the interval goes back
+// to the pool untested and the tenant's deficit is refunded. A lease
+// the timeout already requeued is ignored.
+func (s *Service) Fail(l Lease) { s.fail(l) }
+
+func (s *Service) fail(l Lease) {
+	s.mu.Lock()
+	a := s.active[l.JobID]
+	if a == nil {
+		s.mu.Unlock()
+		return
+	}
+	fl, ok := a.inflight[l.ID]
+	if !ok {
+		s.tel.lateCommits.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if fl.timer != nil {
+		fl.timer.Stop()
+	}
+	delete(a.inflight, l.ID)
+	a.pool.PutBack(fl.iv)
+	s.sched.credit(l.Tenant, fl.n)
+	s.tel.requeues.Inc()
+	s.dropIfDrainedLocked(a)
+	hook := s.opts.OnRequeue
+	s.mu.Unlock()
+	if hook != nil {
+		hook(l.JobID)
+	}
+	s.cond.Broadcast()
+}
+
+// Commit lands a completed lease from a manual driver: progress
+// accumulates, the job's checkpoint is appended to the WAL (subject to
+// CheckpointEvery), and completion is detected. It reports whether the
+// commit was accepted — false means the lease was already requeued by
+// the timeout (or the job is gone) and the work must be discarded,
+// which is how exactly-once coverage survives late arrivals.
+func (s *Service) Commit(l Lease, rep *dispatch.Report) bool { return s.commit(l, rep) }
 
 // commit lands a completed lease: progress accumulates, the job's
 // checkpoint (remaining = pool ∪ in-flight, tested = committed keys)
 // is appended to the WAL before anything acknowledges the work, and
 // completion is detected. A crash at ANY point re-searches only leases
 // whose checkpoint never landed — committed spans are never re-issued.
-func (s *Service) commit(l lease, rep *dispatch.Report) {
+func (s *Service) commit(l Lease, rep *dispatch.Report) bool {
 	s.mu.Lock()
-	a := s.active[l.jobID]
+	a := s.active[l.JobID]
 	if a == nil {
 		s.mu.Unlock()
-		return
+		return false
 	}
-	delete(a.inflight, l.id)
+	fl, live := a.inflight[l.ID]
+	if !live {
+		// The lease timed out and its interval was requeued; accepting
+		// this commit would double-count the span when the re-issued
+		// lease lands.
+		s.tel.lateCommits.Inc()
+		s.mu.Unlock()
+		return false
+	}
+	if fl.timer != nil {
+		fl.timer.Stop()
+	}
+	delete(a.inflight, l.ID)
 	a.tested += rep.Tested
 	a.found = append(a.found, rep.Found...)
+	a.sinceCP++
 
-	j, err := s.store.Get(l.jobID)
+	accepted := true
+	j, err := s.store.Get(l.JobID)
 	if err != nil {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	var events []Event
 	if !j.State.Terminal() {
-		remaining := a.pool.Intervals()
-		for _, iv := range a.inflight {
-			remaining = append(remaining, iv)
-		}
-		cp := dispatch.NewCheckpoint(remaining, a.tested, a.found)
-		if cerr := s.store.RecordCheckpoint(l.jobID, cp); cerr != nil {
-			// The WAL refused or failed: the job's durable state can no
-			// longer be trusted to advance. Fail the job loudly rather
-			// than keep burning keys whose coverage would be lost.
-			if fj, ferr := s.store.SetState(l.jobID, StateFailed, cerr.Error()); ferr == nil {
-				a.stopLeasing = true
-				s.tel.failed.Inc()
-				events = append(events, Event{Type: EventState, Job: fj})
+		exhausted := a.pool.Empty() && len(a.inflight) == 0
+		quota := a.maxSol > 0 && len(a.found) >= a.maxSol
+		if exhausted || quota || len(rep.Found) > 0 || a.sinceCP >= s.opts.checkpointEvery() {
+			remaining := a.pool.Intervals()
+			for _, ifl := range a.inflight {
+				remaining = append(remaining, ifl.iv)
+			}
+			cp := dispatch.NewCheckpoint(remaining, a.tested, a.found)
+			if cerr := s.store.RecordCheckpoint(l.JobID, cp); cerr != nil {
+				// The WAL refused or failed: the job's durable state can no
+				// longer be trusted to advance. Fail the job loudly rather
+				// than keep burning keys whose coverage would be lost.
+				if fj, ferr := s.store.SetState(l.JobID, StateFailed, cerr.Error()); ferr == nil {
+					a.stopLeasing = true
+					s.tel.failed.Inc()
+					events = append(events, Event{Type: EventState, Job: fj})
+				}
+				accepted = false
+			} else {
+				a.sinceCP = 0
+				s.tel.committed(l.Tenant, rep.Tested)
+				if s.opts.OnCommit != nil {
+					s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, rep.Tested)
+				}
+				j, _ = s.store.Get(l.JobID)
+				typ := EventProgress
+				if len(rep.Found) > 0 {
+					typ = EventFound
+				}
+				events = append(events, Event{Type: typ, Job: j})
+				if de := s.finishIfDoneLocked(a); de != nil {
+					events = append(events, *de)
+				}
 			}
 		} else {
-			s.tel.committed(l.tenant, rep.Tested)
+			// Throttled: the commit is applied in memory and audited, the
+			// durable checkpoint waits for a later commit. A crash before
+			// that checkpoint re-searches this span — duplicated work, not
+			// duplicated coverage.
+			s.tel.committed(l.Tenant, rep.Tested)
 			if s.opts.OnCommit != nil {
-				s.opts.OnCommit(l.jobID, l.tenant, l.iv, rep.Tested)
+				s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, rep.Tested)
 			}
-			j, _ = s.store.Get(l.jobID)
-			typ := EventProgress
-			if len(rep.Found) > 0 {
-				typ = EventFound
-			}
-			events = append(events, Event{Type: typ, Job: j})
-			if de := s.finishIfDoneLocked(a); de != nil {
-				events = append(events, *de)
-			}
+			events = append(events, Event{Type: EventProgress, Job: j})
 		}
 	}
 	s.dropIfDrainedLocked(a)
@@ -501,6 +702,61 @@ func (s *Service) commit(l lease, rep *dispatch.Report) {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	return accepted
+}
+
+// Steal splits a straggler's in-flight lease at an interior boundary:
+// the victim's lease shrinks to its first keep identifiers and a new
+// lease over the stolen tail is issued to the thief executor. The two
+// parts tile the original interval exactly, each with its own lease
+// accounting, so exactly-once coverage is preserved by construction —
+// split-lease accounting, not coverage bookkeeping after the fact.
+//
+// Stealing requires the job to opt in (Spec.Steal) and the service to
+// be manually driven (StartManual): the driver owns both executors, so
+// it can shorten the victim's in-progress search to the new boundary.
+// The internal executor loops have no such back-channel and never
+// steal. keep must leave both halves non-empty (0 < keep < lease
+// size); the caller picks it at or past the victim's current progress.
+func (s *Service) Steal(victim Lease, keep uint64, thief int) (Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.manual || s.draining {
+		return Lease{}, false
+	}
+	a := s.active[victim.JobID]
+	if a == nil || !a.spec.Steal || a.stopLeasing {
+		return Lease{}, false
+	}
+	fl, ok := a.inflight[victim.ID]
+	if !ok || keep == 0 || keep >= fl.n {
+		return Lease{}, false
+	}
+	stolenN := fl.n - keep
+	split := new(big.Int).Add(fl.iv.Start, new(big.Int).SetUint64(keep))
+	stolen := keyspace.Interval{Start: split, End: fl.iv.End}
+	fl.iv = keyspace.Interval{Start: fl.iv.Start, End: new(big.Int).Set(split)}
+	fl.n = keep
+
+	s.leaseSeq++
+	nl := Lease{ID: s.leaseSeq, JobID: victim.JobID, Tenant: a.tenant, Spec: a.spec, Interval: stolen, N: stolenN}
+	nfl := &inflightLease{iv: stolen, n: stolenN}
+	if d := s.opts.LeaseTimeout; d > 0 {
+		jobID, leaseID := a.id, nl.ID
+		nfl.timer = s.clock.AfterFunc(d, func() { s.expireLease(jobID, leaseID) })
+	}
+	a.inflight[nl.ID] = nfl
+	if thief >= 0 && thief < len(s.lastJob) {
+		s.lastJob[thief] = a.id
+	}
+	// The tenant was charged for the full original lease at issue time;
+	// the split moves keys between leases of the same tenant, so the
+	// deficit stands.
+	s.tel.steals.Inc()
+	s.tel.stolenKeys.Add(stolenN)
+	s.tel.leases.Inc()
+	s.tel.leaseLen.Observe(float64(stolenN))
+	return nl, true
 }
 
 // finishIfDoneLocked transitions a job to DONE when its keyspace is
@@ -542,7 +798,7 @@ func (s *Service) runExecutor(i int, ex Executor) {
 		if !ok {
 			return
 		}
-		rep, err := ex.Search(s.ctx, l.spec, l.iv)
+		rep, err := ex.Search(s.ctx, l.Spec, l.Interval)
 		if err != nil || rep == nil {
 			s.fail(l)
 			failures++
@@ -634,7 +890,9 @@ func (s *Service) Cancel(id, reason string) (Job, error) {
 // leases run to their chunk boundary and checkpoint as usual, then the
 // WAL is flushed and closed. If ctx expires first, in-flight leases
 // are cancelled hard — their intervals are still in every job's
-// checkpointed remaining set, so nothing is lost either way.
+// checkpointed remaining set, so nothing is lost either way. Manual
+// drivers must finish driving before calling Shutdown; their
+// outstanding leases are covered by the same checkpoint argument.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.started {

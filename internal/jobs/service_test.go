@@ -152,16 +152,37 @@ func verifyExactCoverage(t *testing.T, jobID string, entries []auditEntry, total
 	}
 }
 
-func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+// waitFor blocks until cond holds, re-checking after every service
+// event rather than polling on a sleep: the wait wakes exactly when
+// the service publishes progress. The hub drops events for slow
+// subscribers and some conditions flip without an event (e.g. a lease
+// being issued), so a coarse ticker backstops lost wakeups; the
+// timeout bounds the whole wait.
+func waitFor(t *testing.T, svc *Service, timeout time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	if cond() {
+		return
+	}
+	events, stop := svc.Watch("")
+	defer stop()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				events = nil // hub closed; fall back to the ticker
+			}
+		case <-tick.C:
+		case <-deadline.C:
+			t.Fatalf("timed out waiting for %s", what)
+		}
 		if cond() {
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
-	t.Fatalf("timed out waiting for %s", what)
 }
 
 func startService(t *testing.T, dir string, execs []Executor, opts Options) *Service {
@@ -242,7 +263,7 @@ func TestServiceKillRestartExactCoverageAndFairShare(t *testing.T) {
 	// checkpoint; only their uncommitted leases are re-searched.
 	svc2 := startService(t, dir, fleet(3, 200*time.Microsecond), opts)
 	defer svc2.Shutdown(context.Background())
-	waitFor(t, 60*time.Second, "all jobs done", func() bool {
+	waitFor(t, svc2, 60*time.Second, "all jobs done", func() bool {
 		for _, id := range jobIDs {
 			if j, err := svc2.Get(id); err != nil || j.State != StateDone {
 				return false
@@ -310,7 +331,7 @@ func TestServiceSolutionQuotaStopsEarly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 10*time.Second, "job done", func() bool {
+	waitFor(t, svc, 10*time.Second, "job done", func() bool {
 		g, _ := svc.Get(j.ID)
 		return g.Done()
 	})
@@ -365,7 +386,7 @@ func TestServiceAdmissionControl(t *testing.T) {
 		}
 		ids = append(ids, j.ID)
 	}
-	waitFor(t, 30*time.Second, "all jobs done", func() bool {
+	waitFor(t, svc, 30*time.Second, "all jobs done", func() bool {
 		for _, id := range ids {
 			if g, _ := svc.Get(id); g.State != StateDone {
 				return false
@@ -406,7 +427,7 @@ func TestServicePauseResume(t *testing.T) {
 	if _, err := svc.Pause(j.ID); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "in-flight leases drained", func() bool {
+	waitFor(t, svc, 5*time.Second, "in-flight leases drained", func() bool {
 		svc.mu.Lock()
 		defer svc.mu.Unlock()
 		_, active := svc.active[j.ID]
@@ -419,8 +440,29 @@ func TestServicePauseResume(t *testing.T) {
 	if g.Remaining == "0" {
 		t.Skip("job finished before the pause landed; nothing to assert")
 	}
+	// A negative check needs a window, but it can at least be event
+	// driven: watch the job's stream and require progress silence until
+	// the window closes.
 	paused := len(audit.entries())
-	time.Sleep(20 * time.Millisecond)
+	quiet, stopQuiet := svc.Watch(j.ID)
+	window := time.NewTimer(20 * time.Millisecond)
+	defer window.Stop()
+pausedWatch:
+	for {
+		select {
+		case ev, ok := <-quiet:
+			if !ok {
+				break pausedWatch
+			}
+			if ev.Type == EventProgress || ev.Type == EventFound {
+				stopQuiet()
+				t.Fatalf("commit event arrived while paused: %+v", ev.Job)
+			}
+		case <-window.C:
+			break pausedWatch
+		}
+	}
+	stopQuiet()
 	if got := len(audit.entries()); got != paused {
 		t.Fatalf("commits continued while paused: %d -> %d", paused, got)
 	}
@@ -428,7 +470,7 @@ func TestServicePauseResume(t *testing.T) {
 	if _, err := svc.Resume(j.ID); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 30*time.Second, "job done after resume", func() bool {
+	waitFor(t, svc, 30*time.Second, "job done after resume", func() bool {
 		g, _ := svc.Get(j.ID)
 		return g.State == StateDone
 	})
@@ -448,7 +490,7 @@ func TestServiceResumeWithInflightLeases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "a lease in flight", func() bool {
+	waitFor(t, svc, 5*time.Second, "a lease in flight", func() bool {
 		svc.mu.Lock()
 		defer svc.mu.Unlock()
 		a := svc.active[j.ID]
@@ -461,7 +503,7 @@ func TestServiceResumeWithInflightLeases(t *testing.T) {
 	if _, err := svc.Resume(j.ID); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 30*time.Second, "job done after hot resume", func() bool {
+	waitFor(t, svc, 30*time.Second, "job done after hot resume", func() bool {
 		g, _ := svc.Get(j.ID)
 		return g.State == StateDone
 	})
@@ -525,7 +567,7 @@ func TestServiceRequeueOnExecutorFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 30*time.Second, "job done despite faults", func() bool {
+	waitFor(t, svc, 30*time.Second, "job done despite faults", func() bool {
 		g, _ := svc.Get(j.ID)
 		return g.State == StateDone
 	})

@@ -56,7 +56,7 @@ func TestServiceGracefulShutdownLosesNoIntervals(t *testing.T) {
 
 	svc2 := startService(t, dir, fleet(3, 0), opts)
 	defer svc2.Shutdown(context.Background())
-	waitFor(t, 60*time.Second, "jobs done after restart", func() bool {
+	waitFor(t, svc2, 60*time.Second, "jobs done after restart", func() bool {
 		for _, id := range ids {
 			if j, err := svc2.Get(id); err != nil || j.State != StateDone {
 				return false
@@ -84,7 +84,7 @@ func TestServiceShutdownDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "a lease in flight", func() bool {
+	waitFor(t, svc, 5*time.Second, "a lease in flight", func() bool {
 		svc.mu.Lock()
 		defer svc.mu.Unlock()
 		a := svc.active[j.ID]

@@ -14,6 +14,7 @@ import (
 
 	"keysearch/internal/dispatch"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/sim"
 	"keysearch/internal/telemetry"
 )
 
@@ -37,10 +38,14 @@ type StoreOptions struct {
 	NoSync bool
 	// Telemetry receives the WAL/store metrics (nil = no-op).
 	Telemetry *telemetry.Registry
-	// Now stamps records (nil = time.Now). Replay ignores it: recovered
-	// timestamps come from the records themselves, so a rebuilt table
-	// matches the one that crashed.
+	// Now stamps records (nil = the Clock, or time.Now). Replay ignores
+	// it: recovered timestamps come from the records themselves, so a
+	// rebuilt table matches the one that crashed.
 	Now func() time.Time
+	// Clock is the store's time source when Now is nil. A sim.Virtual
+	// clock makes WAL record stamps advance in virtual time, so
+	// simulated runs produce deterministic logs.
+	Clock sim.Clock
 	// CompactEvery triggers snapshot compaction after this many WAL
 	// records (0 = compact only when Compact is called).
 	CompactEvery int
@@ -49,16 +54,17 @@ type StoreOptions struct {
 // jobRec is the store's mutable record of one job. The public Job type
 // is a snapshot of this.
 type jobRec struct {
-	id       string
-	tenant   string
-	priority int
-	spec     Spec
-	state    State
-	reason   string
-	space    *big.Int
-	cp       dispatch.Checkpoint // remaining intervals, tested, found
-	subAt    time.Time
-	updAt    time.Time
+	id        string
+	tenant    string
+	priority  int
+	spec      Spec
+	state     State
+	reason    string
+	space     *big.Int
+	cp        dispatch.Checkpoint // remaining intervals, tested, found
+	remaining *big.Int            // cached cp.RemainingKeys(), kept in lockstep
+	subAt     time.Time
+	updAt     time.Time
 }
 
 // Store is the persistent job table: an in-memory map rebuilt on Open
@@ -72,10 +78,11 @@ type Store struct {
 	opts  StoreOptions
 	now   func() time.Time
 	tel   *storeTelemetry
-	w     *wal
-	jobs  map[string]*jobRec
-	order []string // submission order, for stable listings
-	dirty int      // records appended since the last snapshot
+	w       *wal
+	jobs    map[string]*jobRec
+	order   []string // submission order, for stable listings
+	dirty   int      // records appended since the last snapshot
+	pending int      // jobs in StatePending (admission fast path)
 }
 
 // Open recovers (or creates) a store in dir: load the snapshot if one
@@ -94,7 +101,11 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		jobs: make(map[string]*jobRec),
 	}
 	if s.now == nil {
-		s.now = time.Now
+		if opts.Clock != nil {
+			s.now = opts.Clock.Now
+		} else {
+			s.now = time.Now
+		}
 	}
 	watermark, err := s.loadSnapshot()
 	if err != nil {
@@ -104,7 +115,7 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(filepath.Join(dir, walFile), last, !opts.NoSync, s.tel)
+	w, err := openWAL(filepath.Join(dir, walFile), last, !opts.NoSync, s.tel, s.now)
 	if err != nil {
 		return nil, err
 	}
@@ -182,19 +193,22 @@ func (s *Store) applySubmit(sr submitRecord) error {
 		return fmt.Errorf("jobs: job %s: %w", sr.ID, err)
 	}
 	at := time.Unix(0, sr.At)
+	size := space.Size()
 	r := &jobRec{
-		id:       sr.ID,
-		tenant:   sr.Tenant,
-		priority: sr.Priority,
-		spec:     sr.Spec,
-		state:    StatePending,
-		space:    space.Size(),
-		cp:       *dispatch.NewCheckpoint([]keyspace.Interval{space.Whole()}, 0, nil),
-		subAt:    at,
-		updAt:    at,
+		id:        sr.ID,
+		tenant:    sr.Tenant,
+		priority:  sr.Priority,
+		spec:      sr.Spec,
+		state:     StatePending,
+		space:     size,
+		cp:        *dispatch.NewCheckpoint([]keyspace.Interval{space.Whole()}, 0, nil),
+		remaining: new(big.Int).Set(size),
+		subAt:     at,
+		updAt:     at,
 	}
 	s.jobs[sr.ID] = r
 	s.order = append(s.order, sr.ID)
+	s.pending++
 	return nil
 }
 
@@ -205,6 +219,11 @@ func (s *Store) applyState(tr stateRecord) error {
 	}
 	if !tr.To.Valid() || !validTransition(r.state, tr.To) {
 		return fmt.Errorf("%w: job %s: %s -> %s", ErrTransition, tr.ID, r.state, tr.To)
+	}
+	if r.state == StatePending && tr.To != StatePending {
+		s.pending--
+	} else if r.state != StatePending && tr.To == StatePending {
+		s.pending++
 	}
 	r.state = tr.To
 	r.reason = tr.Reason
@@ -230,6 +249,7 @@ func (s *Store) applyCheckpoint(cr checkpointRecord) error {
 			ErrCorrupt, cr.ID, cr.CP.Tested, remaining, r.space)
 	}
 	r.cp = cr.CP
+	r.remaining = remaining
 	r.updAt = time.Unix(0, cr.At)
 	return nil
 }
@@ -305,6 +325,15 @@ func (s *Store) List(tenant string) []Job {
 		out = append(out, s.snapshotJob(r))
 	}
 	return out
+}
+
+// PendingCount returns the number of jobs in StatePending. Maintained
+// incrementally so the scheduler's admission check on the lease hot
+// path is O(1) instead of a table scan.
+func (s *Store) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
 }
 
 // Tenants returns the distinct tenant names with jobs in the table.
@@ -395,7 +424,7 @@ func (s *Store) snapshotJob(r *jobRec) Job {
 		Reason:      r.reason,
 		Space:       r.space.String(),
 		Tested:      r.cp.Tested,
-		Remaining:   r.cp.RemainingKeys().String(),
+		Remaining:   r.remaining.String(),
 		SubmittedAt: r.subAt,
 		UpdatedAt:   r.updAt,
 	}
@@ -474,18 +503,22 @@ func (s *Store) loadSnapshot() (uint64, error) {
 			return 0, fmt.Errorf("%w: snapshot job %s: invalid state", ErrCorrupt, sj.ID)
 		}
 		s.jobs[sj.ID] = &jobRec{
-			id:       sj.ID,
-			tenant:   sj.Tenant,
-			priority: sj.Priority,
-			spec:     sj.Spec,
-			state:    sj.State,
-			reason:   sj.Reason,
-			space:    space.Size(),
-			cp:       sj.CP,
-			subAt:    time.Unix(0, sj.SubmittedAt),
-			updAt:    time.Unix(0, sj.UpdatedAt),
+			id:        sj.ID,
+			tenant:    sj.Tenant,
+			priority:  sj.Priority,
+			spec:      sj.Spec,
+			state:     sj.State,
+			reason:    sj.Reason,
+			space:     space.Size(),
+			cp:        sj.CP,
+			remaining: sj.CP.RemainingKeys(),
+			subAt:     time.Unix(0, sj.SubmittedAt),
+			updAt:     time.Unix(0, sj.UpdatedAt),
 		}
 		s.order = append(s.order, sj.ID)
+		if sj.State == StatePending {
+			s.pending++
+		}
 	}
 	sort.Strings(s.order)
 	return env.Seq, nil

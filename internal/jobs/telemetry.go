@@ -46,6 +46,10 @@ type serviceTelemetry struct {
 	leaseLen    *telemetry.Histogram
 	preempted   *telemetry.Counter
 	requeues    *telemetry.Counter
+	expired     *telemetry.Counter
+	steals      *telemetry.Counter
+	stolenKeys  *telemetry.Counter
+	lateCommits *telemetry.Counter
 	schedWait   *telemetry.Histogram
 	totalServed uint64 // committed keys across tenants (share denominator)
 
@@ -74,6 +78,10 @@ func newServiceTelemetry(reg *telemetry.Registry) *serviceTelemetry {
 	st.leaseLen = reg.Histogram(telemetry.MetricJobsLeaseLen)
 	st.preempted = reg.Counter(telemetry.MetricJobsPreempted)
 	st.requeues = reg.Counter(telemetry.MetricJobsRequeues)
+	st.expired = reg.Counter(telemetry.MetricJobsExpired)
+	st.steals = reg.Counter(telemetry.MetricJobsSteals)
+	st.stolenKeys = reg.Counter(telemetry.MetricJobsStolenKeys)
+	st.lateCommits = reg.Counter(telemetry.MetricJobsLateCommits)
 	st.schedWait = reg.Histogram(telemetry.MetricJobsSchedLatency)
 	return st
 }

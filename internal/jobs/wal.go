@@ -156,18 +156,23 @@ type wal struct {
 	path string
 	seq  uint64 // last sequence written
 	sync bool
+	now  func() time.Time // fsync latency clock (injected by the store)
 
 	tel *storeTelemetry
 }
 
 // openWAL opens (creating if needed) the log for appending, with the
-// given last-used sequence.
-func openWAL(path string, seq uint64, sync bool, tel *storeTelemetry) (*wal, error) {
+// given last-used sequence. now times the per-append fsync for the
+// latency histogram (nil = time.Now).
+func openWAL(path string, seq uint64, sync bool, tel *storeTelemetry, now func() time.Time) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, err
 	}
-	return &wal{f: f, path: path, seq: seq, sync: sync, tel: tel}, nil
+	if now == nil {
+		now = time.Now
+	}
+	return &wal{f: f, path: path, seq: seq, sync: sync, now: now, tel: tel}, nil
 }
 
 // append frames and writes one record, fsyncing when the log is in
@@ -182,11 +187,11 @@ func (w *wal) append(typ recType, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	if w.sync {
-		start := time.Now()
+		start := w.now()
 		if err := w.f.Sync(); err != nil {
 			return 0, err
 		}
-		w.tel.fsync.ObserveDuration(time.Since(start))
+		w.tel.fsync.ObserveDuration(w.now().Sub(start))
 	}
 	w.seq = seq
 	w.tel.appends.Inc()

@@ -1,0 +1,106 @@
+package sim
+
+import "time"
+
+// Clock abstracts the time source of the long-lived services (the job
+// service, its store and WAL, the dispatcher) so the same code runs in
+// wall-clock production and in virtual time on the discrete-event
+// engine. The seam is deliberately small: timestamps, durations, and
+// one-shot timers are all the services need, and all three advance
+// together when the engine advances.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time from t to Now.
+	Since(t time.Time) time.Duration
+	// AfterFunc arranges for fn to run once d has elapsed and returns a
+	// handle that can cancel it. fn runs on the clock's own execution
+	// context: a goroutine for the wall clock, an engine event for the
+	// virtual clock.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable one-shot scheduled by Clock.AfterFunc.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	// Stopping an already-fired or already-stopped timer is a no-op.
+	Stop() bool
+}
+
+// Wall is the real-time Clock. The zero value is ready to use; it is
+// the default everywhere a Clock is injectable.
+type Wall struct{}
+
+// Now returns time.Now.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since returns time.Since(t).
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// AfterFunc wraps time.AfterFunc.
+func (Wall) AfterFunc(d time.Duration, fn func()) Timer { return wallTimer{time.AfterFunc(d, fn)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// Virtual is a Clock bound to an Engine: Now is the engine's virtual
+// time offset from a fixed base, and AfterFunc schedules an engine
+// event. Like the engine itself it is not safe for concurrent use —
+// everything driving it must run inside engine callbacks (or before
+// Run starts).
+type Virtual struct {
+	e    *Engine
+	base time.Time
+}
+
+// NewVirtual binds a virtual clock to the engine. base anchors the
+// virtual epoch: Now() == base at engine time zero. A zero base is
+// replaced with a fixed arbitrary epoch so that timestamps stay
+// deterministic across runs (no wall-clock leakage).
+func NewVirtual(e *Engine, base time.Time) *Virtual {
+	if base.IsZero() {
+		base = time.Date(2014, 5, 19, 0, 0, 0, 0, time.UTC) // the paper's year; any fixed instant works
+	}
+	return &Virtual{e: e, base: base}
+}
+
+// Engine returns the engine the clock is bound to.
+func (v *Virtual) Engine() *Engine { return v.e }
+
+// Now returns base + the engine's virtual seconds.
+func (v *Virtual) Now() time.Time {
+	return v.base.Add(time.Duration(v.e.Now() * float64(time.Second)))
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// AfterFunc schedules fn as an engine event after d of virtual time.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &virtualTimer{}
+	v.e.Schedule(d.Seconds(), func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// virtualTimer marks cancellation: the engine has no event removal, so
+// a stopped timer's event still pops but runs nothing.
+type virtualTimer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the pending event.
+func (t *virtualTimer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}

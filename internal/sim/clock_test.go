@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockTracksRealTime(t *testing.T) {
+	var c Clock = Wall{}
+	start := c.Now()
+	if since := c.Since(start); since < 0 {
+		t.Fatalf("Since went backwards: %v", since)
+	}
+	fired := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired timer reported pending")
+	}
+}
+
+func TestVirtualClockAdvancesWithEngine(t *testing.T) {
+	e := NewEngine()
+	c := NewVirtual(e, time.Time{})
+	base := c.Now()
+
+	var at time.Duration
+	c.AfterFunc(1500*time.Millisecond, func() { at = c.Since(base) })
+	e.Run()
+	if at != 1500*time.Millisecond {
+		t.Fatalf("AfterFunc fired at %v, want 1.5s", at)
+	}
+	if got := c.Since(base); got != 1500*time.Millisecond {
+		t.Fatalf("Since = %v after run, want 1.5s", got)
+	}
+}
+
+func TestVirtualClockDeterministicEpoch(t *testing.T) {
+	// A zero base must map to a fixed instant: two independent clocks
+	// agree exactly, so traces carry no wall-clock contamination.
+	a := NewVirtual(NewEngine(), time.Time{})
+	b := NewVirtual(NewEngine(), time.Time{})
+	if !a.Now().Equal(b.Now()) {
+		t.Fatalf("zero-base virtual epochs differ: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	e := NewEngine()
+	c := NewVirtual(e, time.Time{})
+	ran := false
+	tm := c.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported not-pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported pending")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("stopped timer fired anyway")
+	}
+	// The cancelled event still pops (the heap has no removal), but the
+	// clock ends at its timestamp without running the callback.
+	if e.Now() != 1 {
+		t.Fatalf("engine time %v after draining the cancelled event, want 1", e.Now())
+	}
+}
+
+func TestVirtualTimerStopInsideCallbackRace(t *testing.T) {
+	// Stopping a timer from an event scheduled at the same timestamp but
+	// earlier serial must win: schedule order is the tiebreak.
+	e := NewEngine()
+	c := NewVirtual(e, time.Time{})
+	ran := false
+	e.Schedule(1, func() {}) // placeholder so the timer is not serial 1
+	tm := c.AfterFunc(time.Second, func() { ran = true })
+	e.Schedule(0, func() { tm.Stop() })
+	e.Run()
+	if ran {
+		t.Fatal("timer fired despite Stop at an earlier event")
+	}
+}

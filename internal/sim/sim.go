@@ -18,13 +18,46 @@ import (
 // all behaviour lives in event callbacks executed sequentially in virtual
 // time order.
 type Engine struct {
-	now    float64
-	queue  eventHeap
-	serial int64 // tie-breaker preserving schedule order at equal times
+	now      float64
+	queue    eventHeap
+	serial   int64 // tie-breaker preserving schedule order at equal times
+	limited  bool  // an event budget is in force
+	budget   int64 // remaining events Run/RunUntil may execute
+	exceeded bool  // the budget ran out with events still queued
 }
 
-// NewEngine returns an engine at virtual time zero.
+// NewEngine returns an engine at virtual time zero with no event budget.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetBudget caps the total number of events Run and RunUntil may
+// execute from this point on (n <= 0 = unlimited, the default). When
+// the budget runs out with events still queued, execution stops and
+// BudgetExceeded reports true — a runaway self-rescheduling loop fails
+// fast instead of hanging the caller.
+func (e *Engine) SetBudget(n int64) {
+	e.limited = n > 0
+	e.budget = n
+	e.exceeded = false
+}
+
+// BudgetExceeded reports whether a Run/RunUntil stopped because the
+// event budget ran out while events were still pending.
+func (e *Engine) BudgetExceeded() bool { return e.exceeded }
+
+// spend consumes one event from the budget, reporting false (and
+// latching exceeded) when nothing is left. Only called with events
+// still queued, so exceeded means exactly "stopped with work pending".
+func (e *Engine) spend() bool {
+	if !e.limited {
+		return true
+	}
+	if e.budget == 0 {
+		e.exceeded = true
+		return false
+	}
+	e.budget--
+	return true
+}
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -40,10 +73,13 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.serial, fn: fn})
 }
 
-// Run executes events until the queue drains, returning the final virtual
-// time.
+// Run executes events until the queue drains (or the event budget runs
+// out — see SetBudget), returning the final virtual time.
 func (e *Engine) Run() float64 {
 	for len(e.queue) > 0 {
+		if !e.spend() {
+			return e.now
+		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
 		ev.fn()
@@ -51,9 +87,14 @@ func (e *Engine) Run() float64 {
 	return e.now
 }
 
-// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. An exhausted event budget stops execution early without advancing
+// the clock past the last executed event.
 func (e *Engine) RunUntil(t float64) {
 	for len(e.queue) > 0 && e.queue[0].at <= t {
+		if !e.spend() {
+			return
+		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
 		ev.fn()

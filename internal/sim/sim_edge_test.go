@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// TestRunUntilEqualTimestampTies: events queued at exactly the boundary
+// timestamp all execute (<= semantics), in schedule order, and the
+// clock lands on the boundary.
+func TestRunUntilEqualTimestampTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(2, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Schedule(2, func() { order = append(order, 3) })
+	e.Schedule(2.0000001, func() { order = append(order, 99) })
+
+	e.RunUntil(2)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events at the boundary ran as %v, want [1 2 3]", order)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock at %v after RunUntil(2), want 2", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d events pending, want the one past the boundary", e.Pending())
+	}
+	// An event scheduled from inside the boundary at the same timestamp
+	// must also run within the same RunUntil.
+	e2 := NewEngine()
+	var nested []int
+	e2.Schedule(1, func() {
+		nested = append(nested, 1)
+		e2.Schedule(0, func() { nested = append(nested, 2) })
+	})
+	e2.RunUntil(1)
+	if len(nested) != 2 {
+		t.Fatalf("nested same-timestamp event did not run: %v", nested)
+	}
+}
+
+// TestNegativeDelayClampOrdering: a negative delay runs "now", but
+// after events already queued at the current timestamp — clamping must
+// not let it jump the queue.
+func TestNegativeDelayClampOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(0, func() { order = append(order, "first") })
+	e.Schedule(-5, func() { order = append(order, "clamped") })
+	e.Schedule(0, func() { order = append(order, "third") })
+	e.Run()
+	if len(order) != 3 || order[0] != "first" || order[1] != "clamped" || order[2] != "third" {
+		t.Fatalf("order %v, want schedule order preserved under clamping", order)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %v on clamped events, want 0", e.Now())
+	}
+
+	// Clamped from inside a callback at t>0: runs at the current time,
+	// after anything already queued there, never in the past.
+	e2 := NewEngine()
+	var at []float64
+	e2.Schedule(3, func() {
+		e2.Schedule(-1, func() { at = append(at, e2.Now()) })
+	})
+	e2.Schedule(3, func() { at = append(at, e2.Now()) })
+	e2.Run()
+	if len(at) != 2 || at[0] != 3 || at[1] != 3 {
+		t.Fatalf("clamped-inside-callback times %v, want [3 3]", at)
+	}
+}
+
+// TestEventBudgetFailsFastOnRunawayLoop: a self-rescheduling loop that
+// would run forever stops at the budget with exceeded latched, instead
+// of hanging the test.
+func TestEventBudgetFailsFastOnRunawayLoop(t *testing.T) {
+	e := NewEngine()
+	runs := 0
+	var loop func()
+	loop = func() {
+		runs++
+		e.Schedule(0, loop) // zero-delay self-reschedule: virtual time never advances
+	}
+	e.Schedule(0, loop)
+	e.SetBudget(1000)
+	e.Run()
+	if !e.BudgetExceeded() {
+		t.Fatal("runaway loop did not trip the budget")
+	}
+	if runs != 1000 {
+		t.Fatalf("%d events ran, want exactly the budget of 1000", runs)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("exceeded budget with an empty queue is a contradiction")
+	}
+	// RunUntil honors the same budget.
+	e.SetBudget(10)
+	e.RunUntil(100)
+	if !e.BudgetExceeded() {
+		t.Fatal("RunUntil ignored the budget")
+	}
+}
+
+// TestEventBudgetExactDrainIsNotExceeded: finishing exactly at the
+// budget with nothing left is success, not exceeded.
+func TestEventBudgetExactDrainIsNotExceeded(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.SetBudget(5)
+	e.Run()
+	if e.BudgetExceeded() {
+		t.Fatal("exact drain flagged as exceeded")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d pending after drain", e.Pending())
+	}
+	// And SetBudget(0) disables the limit again.
+	e.Schedule(0, func() {})
+	e.SetBudget(0)
+	e.Run()
+	if e.BudgetExceeded() {
+		t.Fatal("unlimited engine reported exceeded")
+	}
+}

@@ -48,6 +48,10 @@ const (
 	MetricJobsLeaseLen     = "jobs.lease_len"        // histogram: issued lease size, keys
 	MetricJobsPreempted    = "jobs.preempted"        // counter: chunk-boundary hand-offs to another job
 	MetricJobsRequeues     = "jobs.requeues"         // counter: leases returned by failed executors
+	MetricJobsExpired      = "jobs.lease_expired"    // counter: leases requeued by the lease timeout
+	MetricJobsSteals       = "jobs.steals"           // counter: split-lease steals at chunk boundaries
+	MetricJobsStolenKeys   = "jobs.stolen_keys"      // counter: keys moved from stragglers to thieves
+	MetricJobsLateCommits  = "jobs.late_commits"     // counter: commits/fails rejected for dead leases
 	MetricJobsSchedLatency = "jobs.sched_latency_ns" // histogram: executor-idle time between leases, ns
 	MetricJobsTenantServed = "jobs.tenant_served"    // counter (per tenant): keys committed
 	MetricJobsTenantShare  = "jobs.tenant_share"     // gauge (per tenant): fraction of committed keys
