@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicmix: a struct field accessed through sync/atomic in one place
+// and by plain load or store in another has no memory-ordering story at
+// all — the atomic calls buy nothing and the race detector only catches
+// the schedules it sees. The analyzer is global: the set of
+// atomically-accessed fields is collected across every analyzed
+// package, then every plain access to one of those fields is reported.
+//
+// Fields of the modern typed atomics (atomic.Uint64 and friends) cannot
+// be mixed — they have no plain load — so only the address-based API
+// (atomic.AddUint64(&s.n, 1), ...) defines the atomic set. Composite
+// literal initialization before the value is shared is the one
+// tolerated plain "access"; it appears as a keyed literal, not a
+// selector, and is naturally excluded.
+
+// atomicFuncs is the address-based sync/atomic API surface.
+func isAtomicFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAtomicMix collects the atomically-accessed field set across all
+// packages, then flags plain selector accesses to those fields.
+func checkAtomicMix(ps []*pkg, checkers map[*pkg]*checker) []finding {
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	atomicArgs := make(map[*ast.SelectorExpr]bool) // selectors inside atomic call args
+
+	for _, p := range ps {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := calleeObject(info, call).(*types.Func)
+				if !ok || !isAtomicFunc(fn) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldObject(info, sel)
+					if v == nil {
+						continue
+					}
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = sel.Pos()
+					}
+					atomicArgs[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var finds []finding
+	for _, p := range ps {
+		info := p.Info
+		c := checkers[p]
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				v := fieldObject(info, sel)
+				if v == nil {
+					return true
+				}
+				if _, isAtomic := atomicFields[v]; !isAtomic {
+					return true
+				}
+				pos := p.Fset.Position(sel.Pos())
+				if c != nil && c.allowed(pos, ruleAtomicMix) {
+					return true
+				}
+				owner := "?"
+				if o := namedOwner(recvOfSelection(info, sel)); o != "" {
+					owner = display(o)
+				}
+				finds = append(finds, finding{
+					Pos:  pos,
+					Rule: ruleAtomicMix,
+					Msg: fmt.Sprintf("field %s.%s is accessed with sync/atomic elsewhere but plainly here; every access must go through atomic",
+						owner, v.Name()),
+				})
+				return true
+			})
+		}
+	}
+	return finds
+}
+
+// fieldObject resolves a selector to a struct field variable, or nil.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// recvOfSelection returns the receiver type of a field selection for
+// display purposes.
+func recvOfSelection(info *types.Info, sel *ast.SelectorExpr) types.Type {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}

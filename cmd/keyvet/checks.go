@@ -16,6 +16,10 @@ const (
 	ruleLockConn     = "lockconn"
 	ruleMetricName   = "metricname"
 	ruleSwallowedErr = "swallowederr"
+	ruleLockOrder    = "lockorder"
+	ruleClockSeam    = "clockseam"
+	ruleGoLeak       = "goleak"
+	ruleAtomicMix    = "atomicmix"
 )
 
 // Package scopes the rules are bound to.
@@ -23,7 +27,27 @@ const (
 	telemetryPath = "keysearch/internal/telemetry"
 	netprotoPath  = "keysearch/internal/netproto"
 	dispatchPath  = "keysearch/internal/dispatch"
+	jobsPath      = "keysearch/internal/jobs"
+	fleetsimPath  = "keysearch/internal/fleetsim"
+	simPath       = "keysearch/internal/sim"
 )
+
+// concurrencyScope lists the control-plane packages the interprocedural
+// rules (lockorder, goleak) cover: where PRs 4-7 fixed lifecycle races
+// by hand, the analyzers now stand guard.
+func concurrencyScope(path string) bool {
+	return inScope(path, jobsPath) || inScope(path, netprotoPath) ||
+		inScope(path, dispatchPath) || inScope(path, fleetsimPath)
+}
+
+// clockSeamScope lists the packages whose time must flow through
+// sim.Clock: the virtual-time seam from PR 7 only rehearses reality if
+// no code path consults the wall clock behind its back. internal/sim
+// itself is in scope so that nothing but the Wall implementation (the
+// single sanctioned crossing) touches package time.
+func clockSeamScope(path string) bool {
+	return inScope(path, jobsPath) || inScope(path, fleetsimPath) || inScope(path, simPath)
+}
 
 // finding is one reported violation.
 type finding struct {
@@ -36,17 +60,19 @@ func (f finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// checkPackage runs every rule that applies to the package and returns
+// checkPackage runs every per-package rule that applies and returns
 // the surviving (not //keyvet:allow'ed) findings in position order.
+// The cross-package rules (lockorder, atomicmix) run in checkProgram.
 func checkPackage(p *pkg) []finding {
-	c := &checker{
-		p:     p,
-		hot:   make(map[string]bool),
-		allow: make(map[string]map[string]bool),
-	}
-	for _, f := range p.Files {
-		c.directives(f)
-	}
+	c := newChecker(p)
+	c.run()
+	sortFindings(c.findings)
+	return c.findings
+}
+
+// run executes the per-package rules.
+func (c *checker) run() {
+	p := c.p
 	for _, f := range p.Files {
 		c.hotloops(f)
 	}
@@ -65,8 +91,19 @@ func checkPackage(p *pkg) []finding {
 			c.swallowedErrs(f)
 		}
 	}
-	sort.Slice(c.findings, func(i, j int) bool {
-		a, b := c.findings[i].Pos, c.findings[j].Pos
+	if clockSeamScope(p.Path) {
+		for _, f := range p.Files {
+			c.clockSeam(f)
+		}
+	}
+	if concurrencyScope(p.Path) {
+		c.goLeaks()
+	}
+}
+
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -75,21 +112,57 @@ func checkPackage(p *pkg) []finding {
 		}
 		return a.Column < b.Column
 	})
-	return c.findings
 }
 
 func inScope(path, root string) bool {
 	return path == root || strings.HasPrefix(path, root+"/")
 }
 
+// scopeAllow is a //keyvet:allow directive in a function declaration's
+// doc comment: the named rules are suppressed for the whole function
+// body, not just one line.
+type scopeAllow struct {
+	file       string
+	start, end int // line range of the declaration, inclusive
+	rules      map[string]bool
+}
+
 type checker struct {
 	p        *pkg
 	hot      map[string]bool            // "file:line" bearing //keyvet:hotloop
 	allow    map[string]map[string]bool // "file:line" -> allowed rules
+	scopes   []scopeAllow               // function-scoped allows
 	findings []finding
 }
 
+// newChecker builds a checker with the package's directives collected.
+func newChecker(p *pkg) *checker {
+	c := &checker{
+		p:     p,
+		hot:   make(map[string]bool),
+		allow: make(map[string]map[string]bool),
+	}
+	for _, f := range p.Files {
+		c.directives(f)
+	}
+	for _, f := range p.Files {
+		c.scopeDirectives(f)
+	}
+	return c
+}
+
 func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// parseAllow extracts the rule names from the text following a
+// keyvet:allow directive; a parenthesis starts prose.
+func parseAllow(rest string, into map[string]bool) {
+	for _, field := range strings.Fields(rest) {
+		if strings.HasPrefix(field, "(") {
+			break // rest of the line is prose
+		}
+		into[field] = true
+	}
+}
 
 // directives collects //keyvet:hotloop marks and //keyvet:allow
 // suppressions from a file's comments.
@@ -107,25 +180,80 @@ func (c *checker) directives(f *ast.File) {
 					rules = make(map[string]bool)
 					c.allow[lineKey(pos.Filename, pos.Line)] = rules
 				}
-				for _, field := range strings.Fields(rest) {
-					if strings.HasPrefix(field, "(") {
-						break // rest of the line is prose
-					}
-					rules[field] = true
-				}
+				parseAllow(rest, rules)
 			}
 		}
 	}
 }
 
-// report records a finding unless an allow directive on the same or the
-// preceding line suppresses its rule.
-func (c *checker) report(pos token.Pos, rule, msg string) {
-	position := c.p.Fset.Position(pos)
+// scopeDirectives promotes //keyvet:allow directives appearing in a
+// function declaration's doc comment to function scope: the listed
+// rules are suppressed everywhere in the declaration, so a deliberate
+// pattern (the WAL's fsync-under-lock ordering, say) is documented once
+// at the function head instead of line by line.
+func (c *checker) scopeDirectives(f *ast.File) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		rules := make(map[string]bool)
+		for _, co := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(co.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "keyvet:allow"); ok {
+				parseAllow(rest, rules)
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		start := c.p.Fset.Position(fd.Pos())
+		end := c.p.Fset.Position(fd.End())
+		c.scopes = append(c.scopes, scopeAllow{file: start.Filename, start: start.Line, end: end.Line, rules: rules})
+	}
+}
+
+// allowed reports whether a finding of rule at pos is suppressed: a
+// line-level //keyvet:allow on the same or preceding line wins first,
+// then a scope-level allow on the enclosing function declaration.
+func (c *checker) allowed(position token.Position, rule string) bool {
 	for _, line := range []int{position.Line, position.Line - 1} {
 		if rules := c.allow[lineKey(position.Filename, line)]; rules != nil && (rules[rule] || rules["all"]) {
-			return
+			return true
 		}
+	}
+	for _, s := range c.scopes {
+		if s.file == position.Filename && s.start <= position.Line && position.Line <= s.end &&
+			(s.rules[rule] || s.rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeAllowsFunc reports whether the given function declaration carries
+// a scope-level allow for rule. The interprocedural layer uses it to
+// clear a vouched-for function's summary: an allow on the WAL append
+// documents the fsync-under-lock ordering for every caller at once.
+func (c *checker) scopeAllowsFunc(fd *ast.FuncDecl, rule string) bool {
+	if fd == nil {
+		return false
+	}
+	pos := c.p.Fset.Position(fd.Pos())
+	for _, s := range c.scopes {
+		if s.file == pos.Filename && s.start <= pos.Line && pos.Line <= s.end &&
+			(s.rules[rule] || s.rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// report records a finding unless an allow directive suppresses it.
+func (c *checker) report(pos token.Pos, rule, msg string) {
+	position := c.p.Fset.Position(pos)
+	if c.allowed(position, rule) {
+		return
 	}
 	c.findings = append(c.findings, finding{Pos: position, Rule: rule, Msg: msg})
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// clockseam: the virtual-time packages (internal/jobs,
+// internal/fleetsim, and internal/sim itself) must not consult package
+// time for "now", sleeps, or timers — all time flows through the
+// sim.Clock seam so the same code runs under the wall clock in
+// production and under the discrete-event engine in tests. The single
+// sanctioned crossing is internal/sim's Wall implementation (and its
+// wallTimer), which is where the seam touches reality.
+//
+// Both calls (time.Now()) and value references (now = time.Now) are
+// flagged: a stored func value leaks wall time just as surely.
+// Conversions and constructors that carry no clock — time.Unix,
+// time.Date, time.Duration arithmetic — stay legal.
+
+// forbiddenTimeFuncs are the package time functions that read or wait
+// on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallImplTypes are the receiver types inside internal/sim allowed to
+// touch package time: the Clock seam's wall-clock implementation.
+var wallImplTypes = map[string]bool{"Wall": true, "wallTimer": true}
+
+func (c *checker) clockSeam(f *ast.File) {
+	info := c.p.Info
+	exempt := c.wallImplRanges(f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !forbiddenTimeFuncs[fn.Name()] {
+			return true
+		}
+		// Only flag references to the package-level time functions, not
+		// methods like Timer.Stop (their receiver is a time type, but
+		// obtaining the timer was the violation).
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		pos := c.p.Fset.Position(sel.Pos())
+		if exempt(pos.Line) {
+			return true
+		}
+		c.report(sel.Pos(), ruleClockSeam,
+			fmt.Sprintf("direct time.%s in a clock-seamed package; route it through sim.Clock (Wall is the production default)", fn.Name()))
+		return true
+	})
+}
+
+// wallImplRanges returns a predicate matching the lines of internal/sim
+// function declarations whose receiver is the Wall implementation.
+func (c *checker) wallImplRanges(f *ast.File) func(line int) bool {
+	if c.p.Path != simPath {
+		return func(int) bool { return false }
+	}
+	type span struct{ start, end int }
+	var spans []span
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		id, ok := t.(*ast.Ident)
+		if !ok || !wallImplTypes[id.Name] {
+			continue
+		}
+		spans = append(spans, span{
+			start: c.p.Fset.Position(fd.Pos()).Line,
+			end:   c.p.Fset.Position(fd.End()).Line,
+		})
+	}
+	return func(line int) bool {
+		for _, s := range spans {
+			if s.start <= line && line <= s.end {
+				return true
+			}
+		}
+		return false
+	}
+}

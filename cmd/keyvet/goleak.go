@@ -1,0 +1,290 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goleak: every goroutine the control plane spawns must have a
+// reachable shutdown path, and every timer or ticker it creates must be
+// stopped. Two heuristics, tuned for the repo's patterns:
+//
+//   - a `go` statement whose body (a literal, or a same-package named
+//     function) contains an unconditional `for` loop with no way out —
+//     no return, no break, no select, no channel receive — runs until
+//     process exit. The fleet's lifecycle discipline (ctx/done/quit
+//     channels) always shows up as one of those exits.
+//   - `time.NewTimer` / `time.NewTicker` results bound to a local
+//     variable must have a reachable v.Stop() in the same function
+//     (defer included); a value that escapes — returned, stored in a
+//     struct, passed along — is the owner's responsibility. `time.Tick`
+//     has no Stop and is always a leak.
+
+func (c *checker) goLeaks() {
+	decls := c.declIndex()
+	for _, f := range c.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.checkGoStmt(g, decls)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkTimerStops(fd.Body)
+			}
+		}
+		// Function literals own their timers too (goroutine bodies).
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				c.checkTimerStops(fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// declIndex maps the package's declared functions to their bodies so a
+// `go pkgFunc()` statement can be resolved.
+func (c *checker) declIndex() map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range c.p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := c.p.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGoStmt resolves the spawned function's body and applies the
+// forever-loop heuristic.
+func (c *checker) checkGoStmt(g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := decls[c.p.Info.Uses[fun]]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[c.p.Info.Uses[fun.Sel]]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return
+	}
+	if pos, leak := foreverLoop(body); leak {
+		c.report(pos, ruleGoLeak,
+			"goroutine loops forever with no shutdown path (no return, break, select, or channel receive); thread a ctx/done signal")
+	}
+	if pos, park := emptySelect(body); park {
+		c.report(pos, ruleGoLeak, "goroutine parks forever on an empty select")
+	}
+}
+
+// foreverLoop finds an unconditional for loop in body with no exit:
+// no return, no break, no select, no channel receive or send anywhere
+// inside it (nested function literals excluded — they run elsewhere).
+func foreverLoop(body *ast.BlockStmt) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		hasExit := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			if hasExit {
+				return false
+			}
+			switch e := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt, *ast.RangeStmt:
+				hasExit = true
+			case *ast.BranchStmt:
+				if e.Tok == token.BREAK || e.Tok == token.GOTO {
+					hasExit = true
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW {
+					hasExit = true
+				}
+			case *ast.CallExpr:
+				// A call to something that can panic/exit is beyond the
+				// heuristic; but runtime.Goexit/os.Exit/panic count.
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					hasExit = true
+				}
+			}
+			return true
+		})
+		if !hasExit {
+			found = loop.For
+		}
+		return false // don't descend into nested loops of a flagged one
+	})
+	return found, found != token.NoPos
+}
+
+// emptySelect finds a bare `select {}`.
+func emptySelect(body *ast.BlockStmt) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok && len(sel.Body.List) == 0 {
+			found = sel.Select
+		}
+		return true
+	})
+	return found, found != token.NoPos
+}
+
+// checkTimerStops flags time.NewTimer/NewTicker results that are bound
+// to a local variable and never stopped in the enclosing function, and
+// any use of time.Tick.
+func (c *checker) checkTimerStops(body *ast.BlockStmt) {
+	info := c.p.Info
+	// Pass 1: collect candidate bindings and Stop/escape evidence.
+	type binding struct {
+		obj  types.Object
+		kind string // "NewTimer" or "NewTicker"
+		pos  token.Pos
+	}
+	var candidates []binding
+	stopped := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+
+	timeFunc := func(call *ast.CallExpr) string {
+		fn, ok := calleeObject(info, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return ""
+		}
+		return fn.Name()
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if e.Body != body {
+				return false // literals check their own bodies
+			}
+		case *ast.CallExpr:
+			switch timeFunc(e) {
+			case "Tick":
+				c.report(e.Pos(), ruleGoLeak, "time.Tick leaks its ticker (no Stop); use time.NewTicker and stop it")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range e.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(e.Lhs) {
+					continue
+				}
+				kind := timeFunc(call)
+				if kind != "NewTimer" && kind != "NewTicker" {
+					continue
+				}
+				id, ok := e.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					c.report(call.Pos(), ruleGoLeak, "time."+kind+" result discarded; it can never be stopped")
+					continue
+				}
+				var obj types.Object
+				if e.Tok == token.DEFINE {
+					obj = info.Defs[id]
+				} else {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				// Assignment to a pre-existing non-local (field via ident
+				// impossible; package var) counts as escape.
+				if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					escaped[obj] = true
+					continue
+				}
+				candidates = append(candidates, binding{obj: obj, kind: kind, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+
+	// Pass 2: find Stop calls and escapes of the bound variables
+	// anywhere in the function, nested literals included (a deferred
+	// closure stopping the ticker counts).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						stopped[obj] = true
+					}
+				}
+			} else {
+				// The variable passed whole to another function escapes.
+				for _, arg := range e.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v stored somewhere else (field, map, another variable).
+			for i, r := range e.Rhs {
+				id, ok := ast.Unparen(r).(*ast.Ident)
+				if !ok || i >= len(e.Lhs) {
+					continue
+				}
+				if obj := info.Uses[id]; obj != nil {
+					if lhsID, ok := e.Lhs[i].(*ast.Ident); !ok || info.Defs[lhsID] == nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range candidates {
+		if stopped[b.obj] || escaped[b.obj] {
+			continue
+		}
+		what := "timer"
+		if b.kind == "NewTicker" {
+			what = "ticker (leaks its goroutine forever)"
+		}
+		c.report(b.pos, ruleGoLeak,
+			fmt.Sprintf("time.%s result never stopped: the %s outlives the function; add defer Stop", b.kind, what))
+	}
+}

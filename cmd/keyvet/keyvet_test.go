@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"go/build"
+	"go/token"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -44,6 +47,19 @@ func loadSeed(t *testing.T, dir, as string) []finding {
 		t.Fatal(err)
 	}
 	return checkPackage(p)
+}
+
+// loadSeedAll runs the full gate — per-package and interprocedural
+// rules — over one seeded package, for the rules that live in
+// checkProgram (lockorder, atomicmix).
+func loadSeedAll(t *testing.T, dir, as string) []finding {
+	t.Helper()
+	l, root := sharedLoader(t)
+	p, err := l.loadDirAs(filepath.Join(root, "cmd", "keyvet", "testdata", dir), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runChecks([]*pkg{p})
 }
 
 func countRule(fs []finding, rule string) int {
@@ -125,15 +141,187 @@ func TestSwallowedErrSeeds(t *testing.T) {
 	wantFinding(t, fs, ruleSwallowedErr, "blank identifier")
 }
 
-// TestSeedScopesDoNotLeak: the lockconn and swallowederr seeds loaded
-// OUTSIDE their rule's package scope produce no findings — the rules are
-// path-scoped, not global.
+// TestSeededViolations drives all four interprocedural analyzers over
+// their seeded-violation corpora. Each case loads one testdata package
+// under a fake import path that places it inside the rule's scope,
+// runs the full gate, and pins the exact finding count — so the ok.go
+// negative fixtures (correct lock order, clock-injected code, stopped
+// tickers, allow'd sites) are asserted silent by the same check that
+// proves the seeds fire.
+func TestSeededViolations(t *testing.T) {
+	cases := []struct {
+		dir      string   // testdata subdirectory
+		as       string   // fake import path selecting the scope
+		rule     string   // the analyzer under test
+		want     int      // exact finding count (all under rule)
+		msgParts []string // one finding must contain each
+		inEvery  string   // every finding must contain (optional)
+	}{
+		{
+			// The opposite-order cycle, the direct and interprocedural
+			// held-across-blocking patterns, and the self-deadlock-via-
+			// callee fire; release-before-send, local-serializer,
+			// select-with-default, vouched-callee, and spawned-goroutine
+			// patterns stay silent.
+			dir:  "lockorder",
+			as:   "keysearch/internal/dispatch/lockorderseeds",
+			rule: ruleLockOrder,
+			want: 5,
+			msgParts: []string{
+				"lock order cycle",
+				"held across channel send",
+				"held across sync.WaitGroup.Wait",
+				"time.Sleep via nap",
+				"self-deadlock",
+			},
+		},
+		{
+			// Calls and stored function values of the wall-clock time
+			// functions fire; the injected-clock path, clock-less
+			// constructors, and the allow'd read stay silent.
+			dir:  "clockseam",
+			as:   "keysearch/internal/jobs/clockseamseeds",
+			rule: ruleClockSeam,
+			want: 5,
+			msgParts: []string{
+				"time.Now",
+				"time.Sleep",
+				"time.Since",
+				"time.After",
+			},
+		},
+		{
+			// Forever-loops (literal and named), the empty select, and
+			// the three timer leaks fire; the ctx-draining loop,
+			// channel-closing receiver, stopped timer, escaping ticker,
+			// and allow'd pump stay silent.
+			dir:  "goleak",
+			as:   "keysearch/internal/dispatch/goleakseeds",
+			rule: ruleGoLeak,
+			want: 6,
+			msgParts: []string{
+				"no shutdown path",
+				"empty select",
+				"never stopped",
+				"time.Tick leaks",
+				"result discarded",
+			},
+		},
+		{
+			// The plain read, write, and read-modify-write of the
+			// atomically-used field fire; atomic-only and plain-only
+			// fields, keyed composite literals, and the allow'd read
+			// stay silent. Every finding must name the mixed field.
+			dir:     "atomicmix",
+			as:      "keysearch/seeds/atomicmixseeds",
+			rule:    ruleAtomicMix,
+			want:    3,
+			inEvery: "stats.hits",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			fs := loadSeedAll(t, tc.dir, tc.as)
+			if got := countRule(fs, tc.rule); got != tc.want {
+				t.Errorf("%s findings = %d, want %d: %v", tc.rule, got, tc.want, fs)
+			}
+			if len(fs) != tc.want {
+				t.Errorf("total findings = %d, want %d (other rules must stay silent): %v", len(fs), tc.want, fs)
+			}
+			for _, part := range tc.msgParts {
+				wantFinding(t, fs, tc.rule, part)
+			}
+			if tc.inEvery != "" {
+				for _, f := range fs {
+					if !strings.Contains(f.Msg, tc.inEvery) {
+						t.Errorf("finding missing %q: %v", tc.inEvery, f)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllowScopeSeeds pins the scope-level //keyvet:allow semantics: a
+// rule list in a doc comment suppresses exactly the listed rules inside
+// exactly that declaration, line-level allows still work inside
+// unallowed functions, and neighboring scopes do not leak.
+func TestAllowScopeSeeds(t *testing.T) {
+	fs := loadSeedAll(t, "allowscope", "keysearch/internal/jobs/allowscopeseeds")
+	if got := countRule(fs, ruleClockSeam); got != 1 {
+		t.Errorf("clockseam findings = %d, want 1 (only uncovered): %v", got, fs)
+	}
+	if got := countRule(fs, ruleGoLeak); got != 3 {
+		t.Errorf("goleak findings = %d, want 3 (coveredOne, uncovered, lineInside): %v", got, fs)
+	}
+	if len(fs) != 4 {
+		t.Errorf("total findings = %d, want 4: %v", len(fs), fs)
+	}
+}
+
+// TestSeedScopesDoNotLeak: seeds loaded OUTSIDE their rule's package
+// scope produce no findings — the rules are path-scoped, not global
+// (atomicmix excepted: it is global by design and covered above).
 func TestSeedScopesDoNotLeak(t *testing.T) {
 	if fs := loadSeed(t, "lockconn", "keysearch/seeds/lockconnneutral"); len(fs) != 0 {
 		t.Errorf("lockconn seeds outside netproto scope: %v", fs)
 	}
 	if fs := loadSeed(t, "swallowederr", "keysearch/seeds/swallowederrneutral"); len(fs) != 0 {
 		t.Errorf("swallowederr seeds outside dispatch scope: %v", fs)
+	}
+	if fs := loadSeedAll(t, "lockorder", "keysearch/seeds/lockorderneutral"); len(fs) != 0 {
+		t.Errorf("lockorder seeds outside concurrency scope: %v", fs)
+	}
+	if fs := loadSeedAll(t, "clockseam", "keysearch/seeds/clockseamneutral"); len(fs) != 0 {
+		t.Errorf("clockseam seeds outside clock-seam scope: %v", fs)
+	}
+	if fs := loadSeedAll(t, "goleak", "keysearch/seeds/goleakneutral"); len(fs) != 0 {
+		t.Errorf("goleak seeds outside concurrency scope: %v", fs)
+	}
+}
+
+// TestJSONOutput pins the -json schema: an array of
+// {file, line, col, rule, msg} objects, [] for a clean tree.
+func TestJSONOutput(t *testing.T) {
+	fs := []finding{{
+		Pos:  token.Position{Filename: "/repo/internal/jobs/service.go", Line: 3, Column: 7},
+		Rule: ruleClockSeam,
+		Msg:  "direct time.Now",
+	}}
+	var buf bytes.Buffer
+	rel := func(s string) string { return strings.TrimPrefix(s, "/repo/") }
+	if err := writeJSON(&buf, fs, rel); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("records = %d, want 1", len(out))
+	}
+	want := map[string]any{
+		"file": "internal/jobs/service.go",
+		"line": float64(3),
+		"col":  float64(7),
+		"rule": "clockseam",
+		"msg":  "direct time.Now",
+	}
+	for k, v := range want {
+		if out[0][k] != v {
+			t.Errorf("%s = %v, want %v", k, out[0][k], v)
+		}
+	}
+	if len(out[0]) != len(want) {
+		t.Errorf("schema has %d keys, want %d: %v", len(out[0]), len(want), out[0])
+	}
+
+	buf.Reset()
+	if err := writeJSON(&buf, nil, rel); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
 	}
 }
 
@@ -151,14 +339,16 @@ func TestRepoIsClean(t *testing.T) {
 	if len(paths) < 15 {
 		t.Fatalf("discovered only %d packages (%v); discovery is broken", len(paths), paths)
 	}
+	var ps []*pkg
 	for _, path := range paths {
 		p, err := l.load(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
-		for _, f := range checkPackage(p) {
-			t.Errorf("%s", f)
-		}
+		ps = append(ps, p)
+	}
+	for _, f := range runChecks(ps) {
+		t.Errorf("%s", f)
 	}
 }
 

@@ -1,0 +1,478 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the global mutex-acquisition graph across the
+// concurrency-scope packages and reports two failure classes the
+// control plane cannot tolerate:
+//
+//   - cycles: function f acquires A then (possibly through calls) B,
+//     while g acquires B then A — a potential deadlock the moment both
+//     run concurrently. Edges are interprocedural: holding A while
+//     calling anything that transitively locks B draws A -> B.
+//   - locks held across blocking operations: channel sends/receives,
+//     blocking selects, WaitGroup.Wait, time.Sleep, and os.File.Sync
+//     (the WAL fsync) stall every other path through the held mutex.
+//     This extends the lockconn rule (conn I/O stays its domain) to the
+//     blocking operations the job service and fleet sim actually use.
+//
+// sync.Cond.Wait is exempt (it releases the lock by contract), and a
+// goroutine or deferred closure does not inherit the spawner's locks.
+
+// lockEdge is one observed ordering: `to` acquired while `from` held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	c        *checker // declaring package's directives + fset
+	where    string   // enclosing function, for the report
+}
+
+type lockGraph struct {
+	pr    *program
+	edges map[[2]string]*lockEdge
+	finds []finding
+}
+
+// checkLockOrder walks every function (and function literal) in the
+// concurrency scope with a simulated held-lock set, accumulating
+// ordering edges and held-across-blocking findings, then reports each
+// cycle in the resulting graph once.
+func checkLockOrder(pr *program) []finding {
+	g := &lockGraph{pr: pr, edges: make(map[[2]string]*lockEdge)}
+	for _, p := range pr.pkgs {
+		if !concurrencyScope(p.Path) {
+			continue
+		}
+		c := pr.checkers[p]
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{g: g, p: p, c: c, fn: fd.Name.Name}
+				w.walkStmts(fd.Body.List, map[string]token.Pos{})
+			}
+			// Function literals run under their own lock discipline:
+			// goroutine bodies and callbacks start with nothing held.
+			name := "func literal"
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w := &lockWalker{g: g, p: p, c: c, fn: name}
+					w.walkStmts(fl.Body.List, map[string]token.Pos{})
+				}
+				return true
+			})
+		}
+	}
+	g.reportCycles()
+	return g.finds
+}
+
+// report appends a finding unless an allow directive suppresses it.
+func (g *lockGraph) report(c *checker, pos token.Pos, msg string) {
+	position := c.p.Fset.Position(pos)
+	if c.allowed(position, ruleLockOrder) {
+		return
+	}
+	g.finds = append(g.finds, finding{Pos: position, Rule: ruleLockOrder, Msg: msg})
+}
+
+// addEdge records from -> to, keeping the first witness.
+func (g *lockGraph) addEdge(from, to string, pos token.Pos, c *checker, where string) {
+	key := [2]string{from, to}
+	if _, ok := g.edges[key]; ok {
+		return
+	}
+	g.edges[key] = &lockEdge{from: from, to: to, pos: pos, c: c, where: where}
+}
+
+// display trims the module prefix from a mutex key for readability.
+func display(key string) string {
+	return strings.TrimPrefix(key, "keysearch/internal/")
+}
+
+// lockWalker tracks the held-lock set through one function body.
+type lockWalker struct {
+	g  *lockGraph
+	p  *pkg
+	c  *checker
+	fn string
+}
+
+func copyHeldSet(held map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, locking, isMutex := mutexOpIn(w.p, call); isMutex {
+				if key == "" {
+					return // function-local mutex: exempt
+				}
+				if locking {
+					w.acquire(key, call.Pos(), held)
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.scan(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock to the end of the function;
+		// other deferred work runs at return time, outside this flow.
+		return
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the spawner's locks.
+		return
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.scan(st.Cond, held)
+		w.walkStmts(st.Body.List, copyHeldSet(held))
+		if st.Else != nil {
+			w.walkStmt(st.Else, copyHeldSet(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.scan(st.Cond, held)
+		}
+		w.walkStmts(st.Body.List, copyHeldSet(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := w.p.Info.TypeOf(st.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.blocked("range over channel", st.X.Pos(), held)
+				}
+			}
+		}
+		w.scan(st.X, held)
+		w.walkStmts(st.Body.List, copyHeldSet(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.scan(st.Tag, held)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(st) {
+			w.blocked("blocking select", st.Select, held)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.blocked("channel send", st.Arrow, held)
+		}
+		w.scan(st.Value, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.scan(r, held)
+		}
+		for _, l := range st.Lhs {
+			w.scan(l, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.scan(r, held)
+		}
+	default:
+		w.scan(s, held)
+	}
+}
+
+// acquire records the Lock of key with the current held set: ordering
+// edges to every held mutex, and a self-deadlock report when the mutex
+// is already held.
+func (w *lockWalker) acquire(key string, pos token.Pos, held map[string]token.Pos) {
+	for h := range held {
+		if h == key {
+			w.g.report(w.c, pos, fmt.Sprintf("mutex %s locked again while already held in %s (self-deadlock)", display(key), w.fn))
+			continue
+		}
+		w.g.addEdge(h, key, pos, w.c, w.fn)
+	}
+	held[key] = pos
+}
+
+// blocked reports every held mutex stalled behind a blocking operation.
+func (w *lockWalker) blocked(desc string, pos token.Pos, held map[string]token.Pos) {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, display(k))
+	}
+	sort.Strings(names)
+	w.g.report(w.c, pos, fmt.Sprintf("mutex %s held across %s in %s; release it first",
+		strings.Join(names, ", "), desc, w.fn))
+}
+
+// scan inspects an expression subtree for blocking operations and calls
+// while locks are held. Function literals are skipped: they execute
+// under their own discipline.
+func (w *lockWalker) scan(n ast.Node, held map[string]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && len(held) > 0 {
+				w.blocked("channel receive", e.Pos(), held)
+			}
+		case *ast.CallExpr:
+			w.scanCall(e, held)
+		}
+		return true
+	})
+}
+
+// scanCall handles one call while locks may be held: an intrinsic
+// blocking call reports directly; a call to a summarized function
+// imports its transitive acquisitions as ordering edges and its
+// transitive blocking as a held-across report.
+func (w *lockWalker) scanCall(call *ast.CallExpr, held map[string]token.Pos) {
+	if _, _, isMutex := mutexOpIn(w.p, call); isMutex {
+		return // lock flow handled at statement level
+	}
+	if desc, ok := blockingCall(w.p, call); ok {
+		if len(held) > 0 {
+			w.blocked(desc, call.Pos(), held)
+		}
+		return
+	}
+	fn, ok := calleeObject(w.p.Info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	ff := w.pr().summaryFor(fn)
+	if ff == nil {
+		return
+	}
+	if len(held) > 0 {
+		for key := range ff.transAcquires {
+			if _, already := held[key]; already {
+				w.g.report(w.c, call.Pos(), fmt.Sprintf("mutex %s held across call to %s, which locks it again (self-deadlock)",
+					display(key), fn.Name()))
+				continue
+			}
+			for h := range held {
+				w.g.addEdge(h, key, call.Pos(), w.c, w.fn+" -> "+fn.Name())
+			}
+		}
+		if len(ff.transBlocks) > 0 {
+			descs := make([]string, 0, len(ff.transBlocks))
+			for d := range ff.transBlocks {
+				descs = append(descs, d)
+			}
+			sort.Strings(descs)
+			w.blocked(descs[0]+" via "+fn.Name(), call.Pos(), held)
+		}
+	}
+}
+
+func (w *lockWalker) pr() *program { return w.g.pr }
+
+// reportCycles finds strongly connected components of the edge graph
+// and reports one finding per cyclic component, unless any edge on the
+// witness cycle carries an allow.
+func (g *lockGraph) reportCycles() {
+	adj := make(map[string][]string)
+	for k := range g.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, vs := range adj {
+		sort.Strings(vs)
+	}
+
+	// Tarjan's SCC, iterative over the sorted node list for determinism.
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	for k := range g.edges {
+		for _, n := range []string{k[0], k[1]} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	counter := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, u := range adj[v] {
+			if _, ok := index[u]; !ok {
+				strongconnect(u)
+				if low[u] < low[v] {
+					low[v] = low[u]
+				}
+			} else if onStack[u] && index[u] < low[v] {
+				low[v] = index[u]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[u] = false
+				comp = append(comp, u)
+				if u == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	for _, comp := range sccs {
+		sort.Strings(comp)
+		g.reportCycle(comp, adj)
+	}
+}
+
+// reportCycle renders one cyclic component: a concrete witness path
+// from the smallest member back to itself, with each edge's position.
+func (g *lockGraph) reportCycle(comp []string, adj map[string][]string) {
+	inComp := make(map[string]bool, len(comp))
+	for _, n := range comp {
+		inComp[n] = true
+	}
+	start := comp[0]
+	// DFS within the component for a path start -> ... -> start.
+	var path []string
+	var dfs func(v string, visited map[string]bool) bool
+	dfs = func(v string, visited map[string]bool) bool {
+		for _, u := range adj[v] {
+			if !inComp[u] {
+				continue
+			}
+			if u == start {
+				path = append(path, v)
+				return true
+			}
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			if dfs(u, visited) {
+				path = append(path, v)
+				return true
+			}
+		}
+		return false
+	}
+	if !dfs(start, map[string]bool{start: true}) {
+		return // should not happen for a true SCC
+	}
+	// path is reversed: last element is start's successor chain head.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	cycle := append(path, start) // start -> ... -> start
+
+	var labels []string
+	var details []string
+	var first *lockEdge
+	allowed := false
+	for i := 0; i < len(cycle)-1; i++ {
+		e := g.edges[[2]string{cycle[i], cycle[i+1]}]
+		if e == nil {
+			continue
+		}
+		if first == nil {
+			first = e
+		}
+		pos := e.c.p.Fset.Position(e.pos)
+		if e.c.allowed(pos, ruleLockOrder) {
+			allowed = true
+		}
+		details = append(details, fmt.Sprintf("%s acquired at %s:%d while %s held (%s)",
+			display(e.to), shortFile(pos.Filename), pos.Line, display(e.from), e.where))
+	}
+	if first == nil || allowed {
+		return
+	}
+	for _, n := range cycle {
+		labels = append(labels, display(n))
+	}
+	g.finds = append(g.finds, finding{
+		Pos:  first.c.p.Fset.Position(first.pos),
+		Rule: ruleLockOrder,
+		Msg: fmt.Sprintf("lock order cycle: %s [%s]",
+			strings.Join(labels, " -> "), strings.Join(details, "; ")),
+	})
+}
+
+// shortFile trims the path to its last two elements for compact cycle
+// reports.
+func shortFile(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) <= 2 {
+		return name
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

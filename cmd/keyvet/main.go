@@ -2,7 +2,7 @@
 // that generic tools cannot see, using only the standard library's go/ast
 // and go/types (no build cache, no external analysis framework).
 //
-// Rules:
+// Per-package rules:
 //
 //   - hotloop: loops annotated //keyvet:hotloop (the per-candidate search
 //     loops) must not allocate, touch maps, convert to interfaces or call
@@ -15,27 +15,49 @@
 //     constants, never string literals, so the schema stays greppable.
 //   - swallowederr: internal/dispatch (the fault-tolerance machinery)
 //     must not discard error results.
+//   - clockseam: the virtual-time packages (internal/jobs,
+//     internal/fleetsim, internal/sim) must not call package time
+//     directly; all time flows through the sim.Clock seam. internal/sim's
+//     Wall implementation is the single sanctioned crossing.
+//   - goleak: goroutines in the control-plane packages must have a
+//     reachable shutdown path, and timers/tickers must be stopped.
 //
-// Suppress a deliberate exception with //keyvet:allow <rule> on the same
-// or the preceding line.
+// Interprocedural rules (run over the whole analyzed set at once):
+//
+//   - lockorder: a global mutex-acquisition graph over the control-plane
+//     packages (internal/jobs, internal/netproto, internal/dispatch,
+//     internal/fleetsim); cycles are potential deadlocks, and a mutex
+//     held across a blocking operation (channel op, WaitGroup.Wait,
+//     fsync) — directly or through a callee — stalls every other path
+//     through the lock.
+//   - atomicmix: a struct field accessed through sync/atomic anywhere
+//     must be accessed through sync/atomic everywhere.
+//
+// Suppress a deliberate exception with //keyvet:allow <rule...> on the
+// same or the preceding line, or in a function's doc comment to suppress
+// the listed rules for the whole function (for lockorder this also
+// vouches for the function to its callers).
 //
 // Usage:
 //
-//	keyvet [./... | ./dir/... | import/path ...]
+//	keyvet [-json] [./... | ./dir/... | import/path ...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/build"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: keyvet [packages]\n\nLints the repository invariants (hotloop, lockconn, metricname, swallowederr).\nWith no arguments, checks every package in the module.\n")
+		fmt.Fprintf(os.Stderr, "usage: keyvet [-json] [packages]\n\nLints the repository invariants (hotloop, lockconn, metricname, swallowederr,\nclockseam, goleak, lockorder, atomicmix).\nWith no arguments, checks every package in the module.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,28 +94,68 @@ func main() {
 		}
 	}
 
-	var all []finding
+	// Load everything first: the interprocedural rules (lockorder,
+	// atomicmix) want the whole analyzed set at once.
+	var ps []*pkg
 	for _, path := range paths {
 		p, err := l.load(path)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
-		all = append(all, checkPackage(p)...)
+		ps = append(ps, p)
 	}
+	all := runChecks(ps)
 
 	cwd, _ := os.Getwd()
-	for _, f := range all {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+		return name
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, all, relName); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range all {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+		}
 	}
 	if len(all) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json output record. The schema is stable — CI
+// and editor integrations parse it — so fields are only ever added.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSON emits the findings as an indented JSON array ([] when the
+// tree is clean); rel maps absolute filenames to display paths.
+func writeJSON(w io.Writer, all []finding, rel func(string) string) error {
+	out := make([]jsonFinding, 0, len(all))
+	for _, f := range all {
+		out = append(out, jsonFinding{
+			File: rel(f.Pos.Filename),
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // expandArg turns one command-line package argument into import paths.

@@ -1,0 +1,53 @@
+// Fixtures for scope-level //keyvet:allow directives: a rule list in a
+// function's doc comment suppresses exactly the listed rules, exactly
+// inside that declaration. Loaded under a fake path inside
+// internal/jobs, where both clockseam and goleak apply.
+package allowscopeseeds
+
+import "time"
+
+func work() {}
+
+// coveredBoth seeds one clockseam and one goleak violation; the doc
+// directive lists both rules, so neither is reported.
+//
+//keyvet:allow clockseam goleak (fixture: scope-level rule list)
+func coveredBoth() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// coveredOne lists only clockseam: the sleep is suppressed, the
+// forever-loop still reports.
+//
+//keyvet:allow clockseam (fixture: the list is selective)
+func coveredOne() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// uncovered has no directive: neighboring scopes must not leak onto
+// it, so both violations report.
+func uncovered() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// lineInside shows line-level allows still work inside an unallowed
+// function: the sleep is suppressed line-by-line, the loop reports.
+func lineInside() {
+	go func() {
+		for {
+			time.Sleep(time.Second) //keyvet:allow clockseam (fixture: line precedence)
+		}
+	}()
+}

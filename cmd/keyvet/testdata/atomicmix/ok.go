@@ -1,0 +1,25 @@
+package atomicmixseeds
+
+import "sync/atomic"
+
+// legalTotal keeps every access to total atomic.
+func legalTotal(s *stats) uint64 {
+	return atomic.LoadUint64(&s.total)
+}
+
+// legalPlain never touches plain with atomic, so plain access is fine.
+func legalPlain(s *stats) int {
+	s.plain++
+	return s.plain
+}
+
+// Keyed composite literals initialize before the value is shared; they
+// are not selector accesses and are not flagged.
+func newStats() *stats {
+	return &stats{hits: 1, total: 1}
+}
+
+// snapshot documents a deliberate plain read with a line allow.
+func snapshot(s *stats) uint64 {
+	return s.hits //keyvet:allow atomicmix (fixture: single-threaded teardown)
+}

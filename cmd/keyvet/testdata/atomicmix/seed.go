@@ -1,0 +1,32 @@
+// Seeded atomicmix violations. The rule is global — any fake import
+// path works — but the seeds load under a neutral one so no scoped
+// rule interferes with the counts.
+package atomicmixseeds
+
+import "sync/atomic"
+
+type stats struct {
+	hits  uint64 // mixed: atomic in inc, plain below
+	total uint64 // atomic-only: fine
+	plain int    // plain-only: fine
+}
+
+func (s *stats) inc() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.total, 1)
+}
+
+// read loads the atomically-written field without atomic.
+func (s *stats) read() uint64 {
+	return s.hits
+}
+
+// reset stores plainly.
+func (s *stats) reset() {
+	s.hits = 0
+}
+
+// bump read-modify-writes plainly — the worst mix.
+func (s *stats) bump() {
+	s.hits++
+}

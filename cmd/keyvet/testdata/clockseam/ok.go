@@ -1,0 +1,26 @@
+package clockseamseeds
+
+import (
+	"time"
+
+	"keysearch/internal/sim"
+)
+
+// legal routes time through the injected clock.
+func legal(clk sim.Clock) time.Time {
+	return clk.Now()
+}
+
+// Duration arithmetic and zone-less constructors carry no clock.
+func duration(n int) time.Duration {
+	return time.Duration(n) * time.Second
+}
+
+func fromUnix(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// sanctioned documents its one wall-clock read with a line allow.
+func sanctioned() time.Time {
+	return time.Now() //keyvet:allow clockseam (fixture: boot banner only)
+}

@@ -1,0 +1,40 @@
+// Seeded clockseam violations. Loaded by the tests under a fake import
+// path inside internal/jobs, where all time must flow through the
+// sim.Clock seam.
+package clockseamseeds
+
+import "time"
+
+type sampler struct {
+	now func() time.Time
+}
+
+// stamp calls time.Now directly.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// pause sleeps on the wall clock.
+func pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// bind stores the function value — no call, still a leak.
+func (s *sampler) bind() {
+	s.now = time.Now
+}
+
+// elapsed consults the wall clock through Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// wait arms a wall-clock timer through After.
+func wait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}

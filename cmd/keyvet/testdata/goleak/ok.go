@@ -1,0 +1,50 @@
+package goleakseeds
+
+import (
+	"context"
+	"time"
+)
+
+// wellBehaved loops, but the select gives it a shutdown path.
+func wellBehaved(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// receiver exits when its channel closes.
+func receiver(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// stopped timers are fine.
+func stopped() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// escapes hands the ticker to its caller: the owner stops it.
+func escapes() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+// sanctioned documents a process-lifetime pump with a line allow.
+func sanctioned() {
+	go func() {
+		for { //keyvet:allow goleak (fixture: process-lifetime pump)
+			work()
+		}
+	}()
+}

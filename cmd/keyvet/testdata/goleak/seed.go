@@ -1,0 +1,53 @@
+// Seeded goleak violations. Loaded by the tests under a fake import
+// path inside internal/dispatch (concurrency scope, but outside the
+// clockseam scope so the timer seeds trip exactly one rule).
+package goleakseeds
+
+import "time"
+
+func work() {}
+
+// spin launches a literal that loops forever with no way out.
+func spin() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// loopNamed is the same leak through a named function.
+func loopNamed() {
+	for {
+		work()
+	}
+}
+
+func spawnNamed() {
+	go loopNamed()
+}
+
+// park blocks forever on an empty select.
+func park() {
+	go func() {
+		select {}
+	}()
+}
+
+// tickLeak never stops its ticker.
+func tickLeak() {
+	t := time.NewTicker(time.Second)
+	<-t.C
+}
+
+// tickShorthand uses time.Tick, which has no Stop at all.
+func tickShorthand(ch chan<- time.Time) {
+	for v := range time.Tick(time.Second) {
+		ch <- v
+	}
+}
+
+// discard throws the timer away unstopped.
+func discard() {
+	_ = time.NewTimer(time.Second)
+}

@@ -1,0 +1,69 @@
+// Seeded lockorder violations. Loaded by the tests under a fake import
+// path inside internal/dispatch so the concurrency-scope rules apply.
+package lockorderseeds
+
+import (
+	"sync"
+	"time"
+)
+
+type nodeA struct{ mu sync.Mutex }
+type nodeB struct{ mu sync.Mutex }
+
+// lockAB and lockBA acquire the two mutexes in opposite orders: the
+// classic deadlock seed. One cycle finding.
+func lockAB(a *nodeA, b *nodeB) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *nodeA, b *nodeB) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type sender struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push blocks on an unbuffered send with the mutex held.
+func (s *sender) push(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// drain parks on WaitGroup.Wait with the mutex held.
+func (s *sender) drain(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait()
+}
+
+// nap blocks; slow calls it with the mutex held — the interprocedural
+// propagation seed.
+func nap() { time.Sleep(time.Millisecond) }
+
+func (s *sender) slow() {
+	s.mu.Lock()
+	nap()
+	s.mu.Unlock()
+}
+
+// relock acquires the same mutex its caller already holds: the
+// interprocedural self-deadlock seed.
+func (s *sender) relock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *sender) lockAgain() {
+	s.mu.Lock()
+	s.relock()
+	s.mu.Unlock()
+}

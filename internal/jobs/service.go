@@ -36,8 +36,19 @@ type LocalExecutor struct {
 	name    string
 	workers int
 
+	// Clock stamps Report.Elapsed (nil = the wall clock). Clock-driven
+	// tests inject a sim.Virtual so elapsed times are deterministic.
+	Clock sim.Clock
+
 	mu    sync.Mutex
 	cache map[string]*cracker.Job
+}
+
+func (e *LocalExecutor) clock() sim.Clock {
+	if e.Clock != nil {
+		return e.Clock
+	}
+	return sim.Wall{}
 }
 
 // NewLocalExecutor wraps the in-process CPU engine as an executor.
@@ -74,12 +85,13 @@ func (e *LocalExecutor) Search(ctx context.Context, spec Spec, iv keyspace.Inter
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	clk := e.clock()
+	start := clk.Now()
 	res, err := cracker.CrackAll(ctx, job, iv, core.Options{Workers: e.workers})
 	if err != nil {
 		return nil, err
 	}
-	return &dispatch.Report{Found: res.Solutions, Tested: res.Tested, Elapsed: time.Since(start)}, nil
+	return &dispatch.Report{Found: res.Solutions, Tested: res.Tested, Elapsed: clk.Since(start)}, nil
 }
 
 func (e *LocalExecutor) job(spec Spec) (*cracker.Job, error) {
@@ -219,6 +231,7 @@ type Service struct {
 	manual    bool // StartManual: no executor loops, external drive
 	draining  bool
 	started   bool
+	starting  bool // start in progress (tuning runs unlocked)
 	ctx       context.Context
 	cancel    context.CancelFunc
 	wg        sync.WaitGroup
@@ -264,17 +277,25 @@ func (s *Service) StartManual(ctx context.Context) error { return s.start(ctx, t
 
 func (s *Service) start(ctx context.Context, manual bool) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.started {
+	if s.started || s.starting {
+		s.mu.Unlock()
 		return errors.New("jobs: service already started")
 	}
+	s.starting = true
 	s.manual = manual
 	s.ctx, s.cancel = context.WithCancel(ctx)
+	tctx := s.ctx
+	s.mu.Unlock()
 
+	// Tuning runs unlocked: executors benchmark real hardware (or wait
+	// on a network), and holding the service lock across that would
+	// freeze Submit, List, and the event hub for the duration. The
+	// starting flag keeps a second Start out; s.execs is immutable
+	// after NewService, so reading it here is safe.
 	tunings := make([]core.Tuning, len(s.execs))
 	if manual {
 		for i, ex := range s.execs {
-			tn, err := ex.Tune(s.ctx)
+			tn, err := ex.Tune(tctx)
 			if err != nil {
 				continue // zero tuning: the executor gets no leases
 			}
@@ -286,7 +307,7 @@ func (s *Service) start(ctx context.Context, manual bool) error {
 			tuneWG.Add(1)
 			go func(i int, ex Executor) {
 				defer tuneWG.Done()
-				tn, err := ex.Tune(s.ctx)
+				tn, err := ex.Tune(tctx)
 				if err != nil {
 					return // zero tuning: the executor gets no leases
 				}
@@ -295,6 +316,10 @@ func (s *Service) start(ctx context.Context, manual bool) error {
 		}
 		tuneWG.Wait()
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.starting = false
 	s.shares = make([]uint64, len(s.execs))
 	usable := 0
 	for i, n := range core.Balance(tunings) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"keysearch/internal/dispatch"
+	"keysearch/internal/sim"
 )
 
 // WAL record framing, CRC-framed like netproto frames:
@@ -170,7 +171,7 @@ func openWAL(path string, seq uint64, sync bool, tel *storeTelemetry, now func()
 		return nil, err
 	}
 	if now == nil {
-		now = time.Now
+		now = sim.Wall{}.Now
 	}
 	return &wal{f: f, path: path, seq: seq, sync: sync, now: now, tel: tel}, nil
 }
@@ -180,6 +181,11 @@ func openWAL(path string, seq uint64, sync bool, tel *storeTelemetry, now func()
 // at least ordered ahead of any later record) before append returns —
 // the store applies a mutation to its in-memory table only after this
 // succeeds.
+//
+//keyvet:allow lockorder (callers hold Store.mu across this fsync by
+// design: append-then-apply is the durability contract — a mutation is
+// on disk before it is visible, so the commit path pays the fsync under
+// the lock rather than expose un-durable state)
 func (w *wal) append(typ recType, payload []byte) (uint64, error) {
 	seq := w.seq + 1
 	frame := appendRecord(nil, typ, seq, payload)

@@ -401,6 +401,10 @@ func (w *RemoteWorker) shutdown() {
 }
 
 // offerConn installs a replacement connection from a rejoining worker.
+//
+//keyvet:allow lockorder (the newConn send cannot block: the channel has
+// capacity 1, every sender holds cmu, and the select just above drained
+// it under that same lock)
 func (w *RemoteWorker) offerConn(c net.Conn) {
 	w.cmu.Lock()
 	defer w.cmu.Unlock()
@@ -595,6 +599,10 @@ func (b *boundWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispat
 // connection — with the spec re-registered first, since the fresh
 // connection's table is empty. A RemoteError is returned immediately
 // (the connection is fine, the request is not).
+//
+//keyvet:allow lockorder (w.mu is the per-worker RPC serializer: holding
+// it across the backoff/rejoin wait IS the contract — concurrent calls
+// queue behind it rather than interleave frames on one connection)
 func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payload []byte, want MsgType) ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
