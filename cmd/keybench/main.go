@@ -42,8 +42,8 @@ import (
 
 	"keysearch/internal/arch"
 	"keysearch/internal/compile"
-	"keysearch/internal/cracker"
 	"keysearch/internal/core"
+	"keysearch/internal/cracker"
 	"keysearch/internal/dispatch"
 	"keysearch/internal/gpu"
 	"keysearch/internal/hash/md5x"
@@ -109,9 +109,20 @@ func main() {
 		quick     = flag.Bool("quick", false, "smaller CPU intervals and fewer simulated iterations (CI smoke)")
 		targetset = flag.Bool("targetset", false, "benchmark multi-target corpus search instead of the Table VIII report")
 		fleetSim  = flag.Bool("fleetsim", false, "benchmark the virtual-time fleet simulation instead of the Table VIII report")
+		shardPl   = flag.Bool("shardplane", false, "benchmark the sharded control plane (router overhead, failover rehearsal) instead of the Table VIII report")
 		out       = flag.String("out", "", "output path for the machine-readable report")
 	)
 	flag.Parse()
+
+	if *shardPl {
+		if *out == "" {
+			*out = "BENCH_shardplane.json"
+		}
+		if err := shardplaneMain(*quick, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *fleetSim {
 		if *out == "" {

@@ -15,9 +15,9 @@ import (
 
 // TargetRow is one corpus-size line of the multi-target benchmark.
 type TargetRow struct {
-	CorpusSize  int     `json:"corpus_size"`
-	BloomBits   uint64  `json:"bloom_bits"`
-	BloomHashes int     `json:"bloom_hashes"`
+	CorpusSize  int    `json:"corpus_size"`
+	BloomBits   uint64 `json:"bloom_bits"`
+	BloomHashes int    `json:"bloom_hashes"`
 	// RequestedFPR / EstimatedFPR / MeasuredFPR compare what the filter
 	// was asked for, what its geometry predicts, and what probing it with
 	// random non-members observes.

@@ -50,6 +50,8 @@ func main() {
 		err = watch(base, rest)
 	case "pause", "resume", "cancel":
 		err = lifecycle(base, cmd, rest)
+	case "shards":
+		err = shardsCmd(base, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "keyjob: unknown command %q\n", cmd)
 		usage()
@@ -71,7 +73,8 @@ commands:
   watch  [job-id]            stream events (all jobs when id omitted)
   pause  <job-id>
   resume <job-id>
-  cancel <job-id> [reason]`)
+  cancel <job-id> [reason]
+  shards                     sharded control-plane topology (keymaster -jobs-shards)`)
 }
 
 func submit(base string, args []string) error {
@@ -258,6 +261,46 @@ func watch(base string, args []string) error {
 		printJob(ev.Job)
 	}
 	return sc.Err()
+}
+
+// shardsCmd prints the sharded control plane's topology: the ring's
+// content-address ID plus each shard's job count and, when the shard
+// replicates, its follower's acked watermark. Against an unsharded
+// keymaster the endpoint does not exist and this reports the API error.
+func shardsCmd(base string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("shards: no arguments expected")
+	}
+	resp, err := http.Get(base + "/shards")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	var topo struct {
+		RingID string `json:"ring_id"`
+		Seed   uint64 `json:"seed"`
+		VNodes int    `json:"vnodes"`
+		Shards []struct {
+			Name  string `json:"name"`
+			Jobs  int    `json:"jobs"`
+			Acked uint64 `json:"acked"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return err
+	}
+	fmt.Printf("ring %s  (seed %d, %d vnodes, %d shards)\n", topo.RingID, topo.Seed, topo.VNodes, len(topo.Shards))
+	for _, sh := range topo.Shards {
+		fmt.Printf("  %-8s jobs=%d", sh.Name, sh.Jobs)
+		if sh.Acked > 0 {
+			fmt.Printf(" follower-acked=%d", sh.Acked)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func printJob(j jobs.Job) {

@@ -30,6 +30,8 @@ type jobsFlags struct {
 	noSync     bool
 	fleet      int
 	fleetAddr  string
+	shards     int
+	replicate  bool
 }
 
 // runJobs is keymaster's multi-tenant service mode: instead of driving

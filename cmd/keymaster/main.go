@@ -20,6 +20,14 @@
 //	keymaster -jobs /var/lib/keysearch -listen 127.0.0.1:9040 \
 //	    -jobs-weights alice=3,bob=1 \
 //	    -jobs-fleet 2 -jobs-fleet-listen 127.0.0.1:9031
+//
+// With -jobs-shards N the job service runs as a sharded control plane:
+// N independent services (one WAL each, under <dir>/shard-NN) behind a
+// consistent-hash router serving the same API, and -jobs-replicate
+// keeps a warm promotion-ready follower per shard:
+//
+//	keymaster -jobs /var/lib/keysearch -listen 127.0.0.1:9040 \
+//	    -jobs-shards 3 -jobs-replicate
 package main
 
 import (
@@ -75,6 +83,8 @@ func main() {
 	flag.BoolVar(&jf.noSync, "jobs-no-sync", false, "skip fsync on WAL appends; faster, loses the last commits on power loss (jobs mode)")
 	flag.IntVar(&jf.fleet, "jobs-fleet", 0, "accept this many keyworker TCP processes into the executor fleet (jobs mode)")
 	flag.StringVar(&jf.fleetAddr, "jobs-fleet-listen", "127.0.0.1:9031", "address the fleet master listens on for keyworkers (jobs mode)")
+	flag.IntVar(&jf.shards, "jobs-shards", 0, "run the job service as this many consistent-hash shards behind a router (jobs mode; 0 = unsharded)")
+	flag.BoolVar(&jf.replicate, "jobs-replicate", false, "stream each shard's WAL to a warm in-process follower, promotion-ready (requires -jobs-shards)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -103,6 +113,15 @@ func main() {
 	}
 
 	if jf.dir != "" {
+		if jf.replicate && jf.shards <= 0 {
+			fatal(fmt.Errorf("-jobs-replicate requires -jobs-shards"))
+		}
+		if jf.shards > 0 {
+			if err := runShardedJobs(*listen, *statusAddr, jf, reg); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := runJobs(*listen, *statusAddr, jf, mopts, reg); err != nil {
 			fatal(err)
 		}

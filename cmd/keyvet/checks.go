@@ -24,12 +24,13 @@ const (
 
 // Package scopes the rules are bound to.
 const (
-	telemetryPath = "keysearch/internal/telemetry"
-	netprotoPath  = "keysearch/internal/netproto"
-	dispatchPath  = "keysearch/internal/dispatch"
-	jobsPath      = "keysearch/internal/jobs"
-	fleetsimPath  = "keysearch/internal/fleetsim"
-	simPath       = "keysearch/internal/sim"
+	telemetryPath  = "keysearch/internal/telemetry"
+	netprotoPath   = "keysearch/internal/netproto"
+	dispatchPath   = "keysearch/internal/dispatch"
+	jobsPath       = "keysearch/internal/jobs"
+	fleetsimPath   = "keysearch/internal/fleetsim"
+	simPath        = "keysearch/internal/sim"
+	shardplanePath = "keysearch/internal/shardplane"
 )
 
 // concurrencyScope lists the control-plane packages the interprocedural
@@ -37,16 +38,20 @@ const (
 // by hand, the analyzers now stand guard.
 func concurrencyScope(path string) bool {
 	return inScope(path, jobsPath) || inScope(path, netprotoPath) ||
-		inScope(path, dispatchPath) || inScope(path, fleetsimPath)
+		inScope(path, dispatchPath) || inScope(path, fleetsimPath) ||
+		inScope(path, shardplanePath)
 }
 
 // clockSeamScope lists the packages whose time must flow through
 // sim.Clock: the virtual-time seam from PR 7 only rehearses reality if
 // no code path consults the wall clock behind its back. internal/sim
 // itself is in scope so that nothing but the Wall implementation (the
-// single sanctioned crossing) touches package time.
+// single sanctioned crossing) touches package time. The sharded control
+// plane joins the scope because its failover rehearsal runs in virtual
+// time: a stray wall-clock read there would desynchronize promotions.
 func clockSeamScope(path string) bool {
-	return inScope(path, jobsPath) || inScope(path, fleetsimPath) || inScope(path, simPath)
+	return inScope(path, jobsPath) || inScope(path, fleetsimPath) ||
+		inScope(path, simPath) || inScope(path, shardplanePath)
 }
 
 // finding is one reported violation.

@@ -242,6 +242,27 @@ func TestSeededViolations(t *testing.T) {
 	}
 }
 
+// TestShardplaneClockSeamScope pins the shardplane scope extension: a
+// wall-clock read loaded inside internal/shardplane fires exactly one
+// clockseam finding, while the clock-injected twin stays silent — the
+// failover-rehearsal path is held to the same virtual-time discipline
+// as jobs and fleetsim.
+func TestShardplaneClockSeamScope(t *testing.T) {
+	fs := loadSeedAll(t, "shardclock", "keysearch/internal/shardplane/shardclockseeds")
+	if got := countRule(fs, ruleClockSeam); got != 1 {
+		t.Errorf("clockseam findings = %d, want 1: %v", got, fs)
+	}
+	if len(fs) != 1 {
+		t.Errorf("total findings = %d, want 1 (other rules must stay silent): %v", len(fs), fs)
+	}
+	wantFinding(t, fs, ruleClockSeam, "time.Now")
+	// The same package outside any clock-seam scope is silent: the rule
+	// is path-scoped, not global.
+	if fs := loadSeedAll(t, "shardclock", "keysearch/seeds/shardclockneutral"); len(fs) != 0 {
+		t.Errorf("shardclock seeds outside clock-seam scope: %v", fs)
+	}
+}
+
 // TestAllowScopeSeeds pins the scope-level //keyvet:allow semantics: a
 // rule list in a doc comment suppresses exactly the listed rules inside
 // exactly that declaration, line-level allows still work inside

@@ -1,0 +1,18 @@
+package shardclockseeds
+
+import (
+	"time"
+
+	"keysearch/internal/sim"
+)
+
+// injectedDeadline routes the same computation through the seam; the
+// gate must stay silent here.
+func injectedDeadline(clk sim.Clock, leaseSeconds int) time.Time {
+	return clk.Now().Add(time.Duration(leaseSeconds) * time.Second)
+}
+
+// framing arithmetic carries no clock at all.
+func replLagWindow(records int) time.Duration {
+	return time.Duration(records) * time.Millisecond
+}

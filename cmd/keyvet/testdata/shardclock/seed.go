@@ -1,0 +1,13 @@
+// Seeded clockseam violation. Loaded by the tests under a fake import
+// path inside internal/shardplane: the control plane replays failovers
+// in virtual time, so a single wall-clock read there skews promotion
+// timelines between the rehearsal and production.
+package shardclockseeds
+
+import "time"
+
+// leaseDeadline stamps a lease expiry off the wall clock instead of the
+// shard's injected sim.Clock.
+func leaseDeadline(leaseSeconds int) time.Time {
+	return time.Now().Add(time.Duration(leaseSeconds) * time.Second)
+}

@@ -49,6 +49,17 @@ type StoreOptions struct {
 	// CompactEvery triggers snapshot compaction after this many WAL
 	// records (0 = compact only when Compact is called).
 	CompactEvery int
+	// IDPrefix is prepended to generated job IDs ("s0-" makes
+	// "s0-j000001"). A sharded deployment gives each shard a distinct
+	// prefix so IDs stay globally unique and the router can map an ID
+	// back to its owning shard without a lookup.
+	IDPrefix string
+	// OnAppend observes every WAL record after it is durable and
+	// applied, in sequence order, while the store lock is held — the
+	// replication tail hook. The callback must not call back into the
+	// store; it should hand the record off (copying payload if it
+	// retains it) and return.
+	OnAppend func(typ byte, seq uint64, payload []byte)
 }
 
 // jobRec is the store's mutable record of one job. The public Job type
@@ -270,6 +281,9 @@ func (s *Store) append(typ recType, payload any) error {
 	if err := s.apply(record{typ: typ, seq: seq, payload: body}); err != nil {
 		return fmt.Errorf("jobs: applying own record: %w", err)
 	}
+	if s.opts.OnAppend != nil {
+		s.opts.OnAppend(byte(typ), seq, body)
+	}
 	s.dirty++
 	if s.opts.CompactEvery > 0 && s.dirty >= s.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {
@@ -292,7 +306,7 @@ func (s *Store) Submit(tenant string, priority int, spec Spec) (Job, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := fmt.Sprintf("j%06d", s.w.seq+1)
+	id := fmt.Sprintf("%sj%06d", s.opts.IDPrefix, s.w.seq+1)
 	sr := submitRecord{ID: id, Tenant: tenant, Priority: priority, Spec: spec, At: s.now().UnixNano()}
 	if err := s.append(recSubmit, sr); err != nil {
 		return Job{}, err
@@ -470,6 +484,35 @@ func snapSum(b *snapBody) (string, error) {
 	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(body)), nil
 }
 
+// decodeSnapshot parses and checksum-verifies a snapshot encoding.
+// Shared by the store's own recovery and the replication follower,
+// which must refuse a damaged snapshot with the same rigor.
+func decodeSnapshot(data []byte) (*snapEnvelope, error) {
+	var env snapEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	if env.Sum == "" {
+		return nil, fmt.Errorf("%w: snapshot: missing checksum", ErrCorrupt)
+	}
+	want, err := snapSum(&env.snapBody)
+	if err != nil {
+		return nil, err
+	}
+	if env.Sum != want {
+		return nil, fmt.Errorf("%w: snapshot: checksum mismatch (file %s, content %s)", ErrCorrupt, env.Sum, want)
+	}
+	for _, sj := range env.Jobs {
+		if _, err := sj.Spec.Space(); err != nil {
+			return nil, fmt.Errorf("%w: snapshot job %s: %v", ErrCorrupt, sj.ID, err)
+		}
+		if !sj.State.Valid() {
+			return nil, fmt.Errorf("%w: snapshot job %s: invalid state", ErrCorrupt, sj.ID)
+		}
+	}
+	return &env, nil
+}
+
 // loadSnapshot populates the table from snapFile if present, returning
 // the WAL sequence watermark it covers.
 func (s *Store) loadSnapshot() (uint64, error) {
@@ -480,19 +523,9 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var env snapEnvelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return 0, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
-	}
-	if env.Sum == "" {
-		return 0, fmt.Errorf("%w: snapshot: missing checksum", ErrCorrupt)
-	}
-	want, err := snapSum(&env.snapBody)
+	env, err := decodeSnapshot(data)
 	if err != nil {
 		return 0, err
-	}
-	if env.Sum != want {
-		return 0, fmt.Errorf("%w: snapshot: checksum mismatch (file %s, content %s)", ErrCorrupt, env.Sum, want)
 	}
 	for _, sj := range env.Jobs {
 		space, err := sj.Spec.Space()
@@ -531,15 +564,9 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-// compactLocked writes the snapshot atomically (tmp + fsync + rename),
-// then truncates the log. The order matters: after the rename the
-// snapshot alone reconstructs the table, so losing the log contents is
-// safe; before the rename the old snapshot + full log still does.
-//
-//keyvet:allow lockorder (the snapshot fsyncs under Store.mu on purpose:
-// compaction must see a frozen table, and the store serves reads from
-// memory, so the stall is bounded and harmless)
-func (s *Store) compactLocked() error {
+// encodeSnapshotLocked serializes the current table as a checksummed
+// snapshot covering the current WAL watermark. Callers hold s.mu.
+func (s *Store) encodeSnapshotLocked() ([]byte, uint64, error) {
 	body := snapBody{Seq: s.w.seq}
 	for _, id := range s.order {
 		r := s.jobs[id]
@@ -557,13 +584,52 @@ func (s *Store) compactLocked() error {
 	}
 	sum, err := snapSum(&body)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	data, err := json.Marshal(snapEnvelope{snapBody: body, Sum: sum})
 	if err != nil {
+		return nil, 0, err
+	}
+	return data, body.Seq, nil
+}
+
+// ExportSnapshot returns a checksummed snapshot of the whole table and
+// the WAL sequence watermark it covers. Replication senders use it to
+// bring a fresh follower to the watermark before tailing live records.
+func (s *Store) ExportSnapshot() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encodeSnapshotLocked()
+}
+
+// compactLocked writes the snapshot atomically (tmp + fsync + rename),
+// then truncates the log. The order matters: after the rename the
+// snapshot alone reconstructs the table, so losing the log contents is
+// safe; before the rename the old snapshot + full log still does.
+//
+//keyvet:allow lockorder (the snapshot fsyncs under Store.mu on purpose:
+// compaction must see a frozen table, and the store serves reads from
+// memory, so the stall is bounded and harmless)
+func (s *Store) compactLocked() error {
+	data, _, err := s.encodeSnapshotLocked()
+	if err != nil {
 		return err
 	}
-	path := filepath.Join(s.dir, snapFile)
+	if err := writeSnapshotFile(filepath.Join(s.dir, snapFile), data); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
+		return err
+	}
+	s.dirty = 0
+	s.tel.snapshots.Inc()
+	return nil
+}
+
+// writeSnapshotFile lands a snapshot atomically: tmp + fsync + rename,
+// so a crash leaves either the old snapshot or the new one, never a
+// partial write. Shared by compaction and the replication follower.
+func writeSnapshotFile(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
@@ -587,11 +653,6 @@ func (s *Store) compactLocked() error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
-		return err
-	}
-	s.dirty = 0
-	s.tel.snapshots.Inc()
 	return nil
 }
 

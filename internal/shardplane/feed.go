@@ -1,0 +1,101 @@
+package shardplane
+
+import "sync"
+
+// Feed buffers a store's live WAL tail between the append hook and the
+// replication sender. The hook runs under the store lock, so it only
+// copies the record into the buffer and signals; the sender drains
+// from its own goroutine and does all I/O outside the feed lock. The
+// buffer is bounded: when a slow follower falls more than cap records
+// behind, next reports behind and the sender re-snapshots instead of
+// holding the whole history in memory.
+
+type feedRec struct {
+	typ     byte
+	seq     uint64
+	payload []byte
+}
+
+// Feed is a bounded in-memory tail of WAL records.
+type Feed struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	recs   []feedRec // contiguous seqs, oldest first
+	max    int
+	closed bool
+}
+
+// defaultFeedCap bounds the tail buffer (records, not bytes).
+const defaultFeedCap = 4096
+
+// NewFeed builds a tail buffer holding at most max records (0 = a
+// 4096-record default).
+func NewFeed(max int) *Feed {
+	if max <= 0 {
+		max = defaultFeedCap
+	}
+	f := &Feed{max: max}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Append ingests one WAL record — the store's OnAppend hook. The
+// payload is copied; the store may reuse its buffer. A sequence gap
+// (possible only if the feed was attached to a store mid-life) drops
+// the buffered prefix so the tail stays contiguous.
+func (f *Feed) Append(typ byte, seq uint64, payload []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	if n := len(f.recs); n > 0 && f.recs[n-1].seq+1 != seq {
+		f.recs = f.recs[:0]
+	}
+	if len(f.recs) >= f.max {
+		f.recs = f.recs[1:]
+	}
+	f.recs = append(f.recs, feedRec{typ: typ, seq: seq, payload: append([]byte(nil), payload...)})
+	f.cond.Broadcast()
+}
+
+// next blocks until a record after the cursor is available, the cursor
+// has been trimmed out of the buffer (behind: the sender must
+// re-snapshot), or the feed is closed / the stop flag raised.
+func (f *Feed) next(after uint64, stop *bool) (rec feedRec, behind, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed || (stop != nil && *stop) {
+			return feedRec{}, false, false
+		}
+		if n := len(f.recs); n > 0 {
+			if f.recs[0].seq > after+1 {
+				return feedRec{}, true, true
+			}
+			if f.recs[n-1].seq > after {
+				i := int(after + 1 - f.recs[0].seq)
+				return f.recs[i], false, true
+			}
+		}
+		f.cond.Wait()
+	}
+}
+
+// abort raises a sender's stop flag and wakes every waiter. The flag
+// is read under the feed lock, so a sender blocked in next observes it
+// without a data race.
+func (f *Feed) abort(stop *bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	*stop = true
+	f.cond.Broadcast()
+}
+
+// Close wakes all waiters and makes further appends no-ops.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.cond.Broadcast()
+}

@@ -1,0 +1,115 @@
+package shardplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Replication stream framing, the same layout as the store's WAL —
+//
+//	u32 payload length | u8 type | u64 seq | payload | u32 CRC
+//
+// with the CRC covering type+seq+payload — but its own type space and
+// a larger payload cap (a frame can carry a full store snapshot). A
+// torn frame (clean EOF mid-frame) is distinguished from a corrupt one
+// (bad checksum, impossible length) so the follower can report which
+// invariant the link broke; either way the stream is refused, never
+// resynchronized by scanning.
+
+// Frame types.
+const (
+	// FrameSnapshot carries a full checksummed store snapshot; Seq is
+	// the WAL watermark it covers. Always the sender's first frame, and
+	// re-sent whenever the follower has fallen behind the live tail.
+	FrameSnapshot byte = 1
+	// FrameRecord carries one WAL record: payload[0] is the record
+	// type, the rest the record payload. Seq is the WAL sequence.
+	FrameRecord byte = 2
+	// FrameAck flows follower→sender: Seq is the follower's durable
+	// watermark. Payload is empty.
+	FrameAck byte = 3
+)
+
+func frameTypeValid(t byte) bool { return t >= FrameSnapshot && t <= FrameAck }
+
+// maxFramePayload bounds one frame; snapshots dominate, and a control
+// plane snapshot beyond 64 MiB means something upstream went wrong.
+const maxFramePayload = 1 << 26
+
+const (
+	frameHeader  = 4 + 1 + 8
+	frameTrailer = 4
+)
+
+// ErrFrameTorn reports a frame cut short by EOF — a severed link.
+var ErrFrameTorn = errors.New("shardplane: torn replication frame")
+
+// ErrFrameCorrupt reports a frame that failed validation.
+var ErrFrameCorrupt = errors.New("shardplane: corrupt replication frame")
+
+// Frame is one decoded replication frame.
+type Frame struct {
+	Type    byte
+	Seq     uint64
+	Payload []byte
+}
+
+// AppendFrame appends the encoding of one frame to buf.
+func AppendFrame(buf []byte, typ byte, seq uint64, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	start := len(buf)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, typ byte, seq uint64, payload []byte) error {
+	_, err := w.Write(AppendFrame(nil, typ, seq, payload))
+	return err
+}
+
+// ReadFrame decodes the next frame. io.EOF at a frame boundary is a
+// clean end of stream; mid-frame EOF is ErrFrameTorn; anything failing
+// validation is ErrFrameCorrupt.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, ErrFrameTorn
+		}
+		return Frame{}, err
+	}
+	plen := binary.BigEndian.Uint32(hdr[:4])
+	if plen > maxFramePayload {
+		return Frame{}, fmt.Errorf("%w: payload of %d bytes", ErrFrameCorrupt, plen)
+	}
+	typ := hdr[4]
+	if !frameTypeValid(typ) {
+		return Frame{}, fmt.Errorf("%w: frame type %d", ErrFrameCorrupt, typ)
+	}
+	body := make([]byte, int(plen)+frameTrailer)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, ErrFrameTorn
+		}
+		return Frame{}, err
+	}
+	sum := crc32.NewIEEE()
+	sum.Write(hdr[4:])
+	sum.Write(body[:plen])
+	if got, want := binary.BigEndian.Uint32(body[plen:]), sum.Sum32(); got != want {
+		return Frame{}, fmt.Errorf("%w: checksum mismatch (frame %08x, content %08x)", ErrFrameCorrupt, got, want)
+	}
+	return Frame{Type: typ, Seq: binary.BigEndian.Uint64(hdr[5:]), Payload: body[:plen]}, nil
+}

@@ -1,0 +1,271 @@
+package shardplane
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/sim"
+	"keysearch/internal/telemetry"
+)
+
+// ShardOptions configure OpenShard.
+type ShardOptions struct {
+	// Clock is the shard's time source (nil = wall clock via the
+	// store/service defaults).
+	Clock sim.Clock
+	// Telemetry receives shard, store, and service metrics (nil = off).
+	Telemetry *telemetry.Registry
+	// Store configures the shard's job store. IDPrefix, Telemetry, and
+	// Clock are overridden by the shard wiring.
+	Store jobs.StoreOptions
+	// Jobs configures the shard's service. Telemetry and Clock are
+	// overridden by the shard wiring.
+	Jobs jobs.Options
+	// Replicate attaches a live WAL feed so a Sender can stream this
+	// shard to a follower.
+	Replicate bool
+	// FeedCap bounds the replication tail buffer (0 = default).
+	FeedCap int
+}
+
+// Shard is one jobs.Service plus its store and, when replicating, the
+// WAL feed a Sender drains.
+type Shard struct {
+	name    string
+	store   *jobs.Store
+	service *jobs.Service
+	feed    *Feed
+	sender  *Sender
+}
+
+// OpenShard opens (or recovers) one shard in dir. The shard name
+// becomes the job-ID prefix ("s0" mints "s0-j000001"), keeping IDs
+// globally unique across the plane and letting the router map an ID to
+// its owner without a broadcast.
+func OpenShard(name, dir string, execs []jobs.Executor, opts ShardOptions) (*Shard, error) {
+	if name == "" {
+		return nil, fmt.Errorf("shardplane: empty shard name")
+	}
+	sh := &Shard{name: name}
+	so := opts.Store
+	so.IDPrefix = name + "-"
+	so.Telemetry = opts.Telemetry
+	if opts.Clock != nil {
+		so.Clock = opts.Clock
+	}
+	if opts.Replicate {
+		sh.feed = NewFeed(opts.FeedCap)
+		so.OnAppend = sh.feed.Append
+	}
+	store, err := jobs.Open(dir, so)
+	if err != nil {
+		return nil, err
+	}
+	sh.store = store
+	jo := opts.Jobs
+	jo.Telemetry = opts.Telemetry
+	if opts.Clock != nil {
+		jo.Clock = opts.Clock
+	}
+	sh.service = jobs.NewService(store, execs, jo)
+	if opts.Replicate {
+		sh.sender = NewSender(store, sh.feed, opts.Telemetry, name)
+	}
+	return sh, nil
+}
+
+// Name returns the shard name (and job-ID prefix, sans "-").
+func (sh *Shard) Name() string { return sh.name }
+
+// Service returns the shard's job service.
+func (sh *Shard) Service() *jobs.Service { return sh.service }
+
+// Store returns the shard's job store.
+func (sh *Shard) Store() *jobs.Store { return sh.store }
+
+// Owns reports whether a job ID was minted by this shard.
+func (sh *Shard) Owns(jobID string) bool {
+	p := sh.name + "-"
+	return len(jobID) > len(p) && jobID[:len(p)] == p
+}
+
+// ServeFollower streams the shard's WAL to one follower connection
+// (blocking; run it in a goroutine). Only valid on replicating shards.
+func (sh *Shard) ServeFollower(conn io.ReadWriteCloser) error {
+	if sh.sender == nil {
+		return fmt.Errorf("shardplane: shard %s does not replicate", sh.name)
+	}
+	return sh.sender.Serve(conn)
+}
+
+// Acked returns the follower's acked watermark (0 when not
+// replicating or before the first ack).
+func (sh *Shard) Acked() uint64 {
+	if sh.sender == nil {
+		return 0
+	}
+	return sh.sender.Acked()
+}
+
+// Start runs the shard's executor loops.
+func (sh *Shard) Start(ctx context.Context) error { return sh.service.Start(ctx) }
+
+// StartManual starts the shard without executor loops (virtual-time
+// drivers lease explicitly).
+func (sh *Shard) StartManual(ctx context.Context) error { return sh.service.StartManual(ctx) }
+
+// Shutdown drains the service and closes the store and feed.
+func (sh *Shard) Shutdown(ctx context.Context) error {
+	if sh.feed != nil {
+		defer sh.feed.Close()
+	}
+	return sh.service.Shutdown(ctx)
+}
+
+// Kill simulates a crash: the service stops abruptly, the store is
+// abandoned mid-flight, and the feed closes so any Sender drains out —
+// exactly what a follower of a SIGKILLed master observes (EOF at a
+// frame boundary).
+func (sh *Shard) Kill() {
+	sh.service.Kill()
+	if sh.feed != nil {
+		sh.feed.Close()
+	}
+}
+
+// Promote turns a follower's replica into a live shard: close the
+// replica, then run the store's ordinary crash recovery over its
+// directory. The shard keeps the dead master's name, so job-ID
+// prefixes — and therefore routing — survive the handoff. The replica
+// must no longer be fed (its master is dead or its Follower stopped).
+func Promote(name string, rep *jobs.Replica, execs []jobs.Executor, opts ShardOptions) (*Shard, error) {
+	if err := rep.Close(); err != nil {
+		return nil, err
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.Counter(telemetry.MetricShardPromotions).Inc()
+	}
+	return OpenShard(name, rep.Dir(), execs, opts)
+}
+
+// Plane is the routing view over the shard set: the ring that places
+// tenants plus the live shard handles, swappable one at a time as
+// followers are promoted. Event subscriptions survive a swap — the
+// per-shard pump is re-attached to the replacement service.
+type Plane struct {
+	mu       sync.Mutex
+	ring     *Ring
+	shards   map[string]*Shard
+	watchers map[*planeWatch]bool
+}
+
+// NewPlane builds the routing view. Every ring shard must have a
+// handle.
+func NewPlane(shards []*Shard, opts RingOptions) (*Plane, error) {
+	names := make([]string, len(shards))
+	byName := make(map[string]*Shard, len(shards))
+	for i, sh := range shards {
+		names[i] = sh.Name()
+		byName[sh.Name()] = sh
+	}
+	ring, err := NewRing(names, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plane{ring: ring, shards: byName, watchers: make(map[*planeWatch]bool)}, nil
+}
+
+// Ring returns the current topology.
+func (p *Plane) Ring() *Ring {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring
+}
+
+// Owner returns the shard owning a tenant.
+func (p *Plane) Owner(tenant string) *Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shards[p.ring.Owner(tenant)]
+}
+
+// ByJobID returns the shard whose ID prefix matches, or nil.
+func (p *Plane) ByJobID(jobID string) *Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sh := range p.shards {
+		if sh.Owns(jobID) {
+			return sh
+		}
+	}
+	return nil
+}
+
+// Shards returns the live shard handles in ring (sorted-name) order.
+func (p *Plane) Shards() []*Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Shard, 0, len(p.shards))
+	for _, name := range p.ring.Shards() {
+		out = append(out, p.shards[name])
+	}
+	return out
+}
+
+// Join adds a shard to the topology. Existing tenants move only if the
+// new shard's ring points split their arc (the hash-minimal set); the
+// caller is responsible for any job migration — this plane reroutes
+// future submissions only.
+func (p *Plane) Join(sh *Shard) error {
+	p.mu.Lock()
+	if _, ok := p.shards[sh.Name()]; ok {
+		p.mu.Unlock()
+		return fmt.Errorf("shardplane: shard %s already joined", sh.Name())
+	}
+	ring, err := p.ring.Join(sh.Name())
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	p.ring = ring
+	p.shards[sh.Name()] = sh
+	watchers := make([]*planeWatch, 0, len(p.watchers))
+	for w := range p.watchers {
+		watchers = append(watchers, w)
+	}
+	p.mu.Unlock()
+	// Outside the plane lock: attaching subscribes against the new
+	// shard's hub and hands the subscription to a pump.
+	for _, w := range watchers {
+		w.attach(sh)
+	}
+	return nil
+}
+
+// Replace swaps a shard handle after promotion: same name, new
+// service. The old shard must already be dead (Kill or crash) so its
+// event hub is closed and the watchers' old pumps have drained; each
+// live watcher is then re-attached to the replacement, picking up the
+// recovered job stream.
+func (p *Plane) Replace(sh *Shard) error {
+	p.mu.Lock()
+	if _, ok := p.shards[sh.Name()]; !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("shardplane: no shard %s to replace", sh.Name())
+	}
+	p.shards[sh.Name()] = sh
+	watchers := make([]*planeWatch, 0, len(p.watchers))
+	for w := range p.watchers {
+		watchers = append(watchers, w)
+	}
+	p.mu.Unlock()
+	// Outside the plane lock: waiting for the old pump drains a
+	// channel, and attaching subscribes against the new hub.
+	for _, w := range watchers {
+		w.swap(sh)
+	}
+	return nil
+}

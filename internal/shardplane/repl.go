@@ -1,0 +1,158 @@
+package shardplane
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/telemetry"
+)
+
+// replTelemetry caches the replication metric handles; all nil when
+// telemetry is disabled.
+type replTelemetry struct {
+	frames    *telemetry.Counter
+	bytes     *telemetry.Counter
+	snapshots *telemetry.Counter
+	acked     *telemetry.Gauge
+}
+
+func newReplTelemetry(reg *telemetry.Registry, shard string) *replTelemetry {
+	rt := &replTelemetry{}
+	if reg == nil {
+		return rt
+	}
+	rt.frames = reg.Counter(telemetry.MetricShardReplFrames)
+	rt.bytes = reg.Counter(telemetry.MetricShardReplBytes)
+	rt.snapshots = reg.Counter(telemetry.MetricShardReplSnapshots)
+	rt.acked = reg.Gauge(telemetry.PerNode(telemetry.MetricShardReplAcked, shard))
+	return rt
+}
+
+// Sender streams one store's WAL to a follower: a full snapshot to
+// establish the watermark, then the live tail from the store's append
+// hook, re-snapshotting whenever the follower falls behind the feed's
+// bounded buffer. Acks flow back on the same connection and update the
+// acked watermark — the shard's measure of how much a promotion could
+// lose.
+type Sender struct {
+	store *jobs.Store
+	feed  *Feed
+	tel   *replTelemetry
+	acked atomic.Uint64
+}
+
+// NewSender wires a sender to a store's feed. The feed must be
+// attached to the store as its OnAppend hook (Shard does this).
+func NewSender(store *jobs.Store, feed *Feed, reg *telemetry.Registry, shard string) *Sender {
+	return &Sender{store: store, feed: feed, tel: newReplTelemetry(reg, shard)}
+}
+
+// Acked returns the follower's last acknowledged watermark.
+func (s *Sender) Acked() uint64 { return s.acked.Load() }
+
+// Serve replicates over one connection until the feed closes (clean
+// shutdown, returns nil) or the link fails. All I/O happens outside
+// the feed lock.
+func (s *Sender) Serve(conn io.ReadWriteCloser) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer conn.Close()
+
+	// Ack reader: the only reads on the connection. A read error means
+	// the link is gone; raise the stop flag so the main loop's blocking
+	// next() wakes and Serve unwinds.
+	stop := new(bool)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer s.feed.abort(stop)
+		for {
+			fr, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if fr.Type == FrameAck {
+				s.acked.Store(fr.Seq)
+				s.tel.acked.Set(float64(fr.Seq))
+			}
+		}
+	}()
+
+	for {
+		data, seq, err := s.store.ExportSnapshot()
+		if err != nil {
+			return err
+		}
+		if err := WriteFrame(conn, FrameSnapshot, seq, data); err != nil {
+			return err
+		}
+		s.tel.frames.Inc()
+		s.tel.bytes.Add(uint64(len(data)))
+		s.tel.snapshots.Inc()
+		cursor := seq
+		for {
+			rec, behind, ok := s.feed.next(cursor, stop)
+			if !ok {
+				return nil
+			}
+			if behind {
+				break // fell off the tail buffer: catch up with a fresh snapshot
+			}
+			payload := append([]byte{rec.typ}, rec.payload...)
+			if err := WriteFrame(conn, FrameRecord, rec.seq, payload); err != nil {
+				return err
+			}
+			s.tel.frames.Inc()
+			s.tel.bytes.Add(uint64(len(payload)))
+			cursor = rec.seq
+		}
+	}
+}
+
+// Follower consumes a replication stream into a Replica, acking each
+// durable watermark. Torn or reordered frames end the stream with an
+// error — the replica refuses them (jobs.Replica.ApplyRecord), and the
+// follower never scans forward looking for a frame boundary.
+type Follower struct {
+	rep *jobs.Replica
+	seq atomic.Uint64
+}
+
+// NewFollower wraps a replica.
+func NewFollower(rep *jobs.Replica) *Follower {
+	f := &Follower{rep: rep}
+	f.seq.Store(rep.Seq())
+	return f
+}
+
+// Seq returns the follower's durable watermark. Safe to call from
+// other goroutines while Run is consuming the stream.
+func (f *Follower) Seq() uint64 { return f.seq.Load() }
+
+// Replica returns the underlying replica — the promotion input.
+func (f *Follower) Replica() *jobs.Replica { return f.rep }
+
+// Run consumes frames until the stream ends. A clean EOF at a frame
+// boundary returns nil (the master closed or crashed; the replica is
+// intact at its watermark and ready for promotion); anything else —
+// torn frame, checksum failure, sequence gap — is returned.
+func (f *Follower) Run(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	for {
+		fr, err := ReadFrame(conn)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.apply(fr); err != nil {
+			return err
+		}
+		if err := WriteFrame(conn, FrameAck, f.rep.Seq(), nil); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package shardplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"keysearch/internal/jobs"
+	"keysearch/internal/telemetry"
+)
+
+// Router is the plane's HTTP face: the job API, unchanged —
+//
+//	POST /jobs                {tenant, priority, spec}  -> 201 + Job
+//	GET  /jobs[?tenant=t]                               -> [Job]
+//	GET  /jobs/{id}                                     -> Job
+//	POST /jobs/{id}/pause                               -> Job
+//	POST /jobs/{id}/resume                              -> Job
+//	POST /jobs/{id}/cancel    {reason?}                 -> Job
+//	GET  /jobs/{id}/events                              -> SSE Event stream
+//	GET  /events                                        -> SSE, all jobs
+//
+// plus one plane-only endpoint:
+//
+//	GET  /shards                                        -> topology
+//
+// A keyjob client cannot tell the router from a single service:
+// request and response shapes, status codes, and SSE framing are the
+// jobs API's own. Submissions route to the tenant's owning shard;
+// reads fan out and merge.
+type Router struct {
+	plane *Plane
+	tel   *routerTelemetry
+}
+
+type routerTelemetry struct {
+	reg     *telemetry.Registry
+	fanouts *telemetry.Counter
+	events  *telemetry.Counter
+}
+
+func newRouterTelemetry(reg *telemetry.Registry) *routerTelemetry {
+	rt := &routerTelemetry{reg: reg}
+	if reg == nil {
+		return rt
+	}
+	rt.fanouts = reg.Counter(telemetry.MetricShardFanouts)
+	rt.events = reg.Counter(telemetry.MetricShardEvents)
+	return rt
+}
+
+// submitsTo counts a routed submission on the owning shard's counter.
+func (rt *routerTelemetry) submitsTo(shard string) {
+	if rt.reg == nil {
+		return
+	}
+	rt.reg.Counter(telemetry.PerNode(telemetry.MetricShardSubmits, shard)).Inc()
+}
+
+// NewRouter builds the HTTP front end over a plane.
+func NewRouter(plane *Plane, reg *telemetry.Registry) *Router {
+	return &Router{plane: plane, tel: newRouterTelemetry(reg)}
+}
+
+// Handler builds the routing table — the jobs API's, plus /shards.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", rt.submit)
+	mux.HandleFunc("GET /jobs", rt.list)
+	mux.HandleFunc("GET /jobs/{id}", rt.get)
+	mux.HandleFunc("POST /jobs/{id}/pause", rt.lifecycle((*jobs.Service).Pause))
+	mux.HandleFunc("POST /jobs/{id}/resume", rt.lifecycle((*jobs.Service).Resume))
+	mux.HandleFunc("POST /jobs/{id}/cancel", rt.cancel)
+	mux.HandleFunc("GET /jobs/{id}/events", rt.events)
+	mux.HandleFunc("GET /events", rt.events)
+	mux.HandleFunc("GET /shards", rt.shards)
+	return mux
+}
+
+// Wire shapes, duplicated from the jobs API on purpose: the router
+// must keep serving these exact encodings even if it one day fronts a
+// different backend.
+type submitRequest struct {
+	Tenant   string    `json:"tenant"`
+	Priority int       `json:"priority"`
+	Spec     jobs.Spec `json:"spec"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors onto status codes exactly like the
+// single-service API: unknown job 404, forbidden transition 409,
+// everything else 400.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, jobs.ErrTransition):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("jobs: bad request body: %w", err))
+		return
+	}
+	if req.Tenant == "" {
+		writeErr(w, errors.New("jobs: empty tenant"))
+		return
+	}
+	sh := rt.plane.Owner(req.Tenant)
+	j, err := sh.Service().Submit(req.Tenant, req.Priority, req.Spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rt.tel.submitsTo(sh.Name())
+	writeJSON(w, http.StatusCreated, j)
+}
+
+// mergedList fans a listing out across every shard and merges in
+// submission order (SubmittedAt, then ID for same-instant ties), which
+// is the order a single service would have returned.
+func (rt *Router) mergedList(tenant string) []jobs.Job {
+	rt.tel.fanouts.Inc()
+	var out []jobs.Job
+	for _, sh := range rt.plane.Shards() {
+		out = append(out, sh.Service().List(tenant)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
+	out := rt.mergedList(r.URL.Query().Get("tenant"))
+	if out == nil {
+		out = []jobs.Job{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolve runs an operation against the job's shard: the ID prefix
+// names the owner directly; IDs minted outside this plane (an old
+// unprefixed store, say) fall back to asking every shard.
+func (rt *Router) resolve(id string, op func(*jobs.Service) (jobs.Job, error)) (jobs.Job, error) {
+	if sh := rt.plane.ByJobID(id); sh != nil {
+		return op(sh.Service())
+	}
+	rt.tel.fanouts.Inc()
+	for _, sh := range rt.plane.Shards() {
+		j, err := op(sh.Service())
+		if err == nil || !errors.Is(err, jobs.ErrNotFound) {
+			return j, err
+		}
+	}
+	return jobs.Job{}, fmt.Errorf("%w: %s", jobs.ErrNotFound, id)
+}
+
+func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
+	j, err := rt.resolve(r.PathValue("id"), func(svc *jobs.Service) (jobs.Job, error) {
+		return svc.Get(r.PathValue("id"))
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (rt *Router) lifecycle(op func(*jobs.Service, string) (jobs.Job, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, err := rt.resolve(id, func(svc *jobs.Service) (jobs.Job, error) {
+			return op(svc, id)
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (rt *Router) cancel(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Reason string `json:"reason"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&body) // empty body = no reason
+	id := r.PathValue("id")
+	j, err := rt.resolve(id, func(svc *jobs.Service) (jobs.Job, error) {
+		return svc.Cancel(id, body.Reason)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// events streams merged SSE across every shard, same framing and
+// semantics as the single-service handler: snapshot prologue, then
+// live events; single-job streams end at a terminal state. The
+// subscription is taken before the snapshot, so an event raced with
+// the prologue is duplicated (a snapshot re-send), never lost — the
+// jobs API's own guarantee.
+func (rt *Router) events(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "jobs: streaming unsupported"})
+		return
+	}
+	jobID := r.PathValue("id")
+	if jobID != "" {
+		if _, err := rt.resolve(jobID, func(svc *jobs.Service) (jobs.Job, error) {
+			return svc.Get(jobID)
+		}); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	ch, cancel := rt.plane.Watch(jobID)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		rt.tel.events.Inc()
+		return true
+	}
+
+	if jobID != "" {
+		j, err := rt.resolve(jobID, func(svc *jobs.Service) (jobs.Job, error) {
+			return svc.Get(jobID)
+		})
+		if err != nil || !send(jobs.Event{Type: jobs.EventState, Job: j}) {
+			return
+		}
+		if j.State.Terminal() {
+			return
+		}
+	} else {
+		for _, j := range rt.mergedList("") {
+			if !send(jobs.Event{Type: jobs.EventState, Job: j}) {
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(ev) {
+				return
+			}
+			if jobID != "" && ev.Job.State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+// shardInfo is one /shards entry.
+type shardInfo struct {
+	Name  string `json:"name"`
+	Jobs  int    `json:"jobs"`
+	Acked uint64 `json:"acked,omitempty"` // follower watermark, 0 when not replicating
+}
+
+// shardsResponse is the /shards topology document: enough for a
+// client (or another router) to verify ring agreement by ID.
+type shardsResponse struct {
+	RingID string      `json:"ring_id"`
+	Seed   uint64      `json:"seed"`
+	VNodes int         `json:"vnodes"`
+	Shards []shardInfo `json:"shards"`
+}
+
+func (rt *Router) shards(w http.ResponseWriter, r *http.Request) {
+	ring := rt.plane.Ring()
+	resp := shardsResponse{RingID: ring.ID(), Seed: ring.Seed(), VNodes: ring.VNodes()}
+	for _, sh := range rt.plane.Shards() {
+		resp.Shards = append(resp.Shards, shardInfo{
+			Name:  sh.Name(),
+			Jobs:  len(sh.Service().List("")),
+			Acked: sh.Acked(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,319 @@
+package shardplane
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"keysearch/internal/jobs"
+)
+
+// newTestPlane opens n manually driven shards (jobs stay pending
+// unless a test drives leases) behind a router and an HTTP server.
+func newTestPlane(t *testing.T, n int) (*Plane, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	shards := make([]*Shard, n)
+	for i := range shards {
+		sh, err := OpenShard(fmt.Sprintf("s%d", i), t.TempDir(), []jobs.Executor{newScanExec("e0", 0)}, ShardOptions{
+			Store: jobs.StoreOptions{NoSync: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.StartManual(ctx); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = sh
+	}
+	plane, err := NewPlane(shards, RingOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewRouter(plane, nil).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		cancel()
+		for _, sh := range shards {
+			sh.Shutdown(context.Background())
+		}
+	})
+	return plane, srv
+}
+
+// tenantsOnDistinctShards finds one tenant per shard, proving the
+// plane really spreads this test's traffic across all n shards.
+func tenantsOnDistinctShards(t *testing.T, p *Plane, n int) []string {
+	t.Helper()
+	byShard := map[string]string{}
+	for i := 0; len(byShard) < n && i < 10000; i++ {
+		tn := fmt.Sprintf("tenant-%d", i)
+		name := p.Owner(tn).Name()
+		if _, ok := byShard[name]; !ok {
+			byShard[name] = tn
+		}
+	}
+	if len(byShard) < n {
+		t.Fatalf("could not find tenants covering %d shards", n)
+	}
+	out := make([]string, 0, n)
+	for _, sh := range p.Shards() {
+		out = append(out, byShard[sh.Name()])
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response, wantCode int) jobs.Job {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d", resp.StatusCode, wantCode)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestRouterServesJobAPIAcrossShards is the API-compat acceptance
+// test: the full HTTP surface, served over three shards, behaves like
+// one service — and the traffic demonstrably lands on three distinct
+// shards.
+func TestRouterServesJobAPIAcrossShards(t *testing.T) {
+	plane, srv := newTestPlane(t, 3)
+	tenants := tenantsOnDistinctShards(t, plane, 3)
+
+	// Submit two jobs per tenant; each lands on its tenant's shard,
+	// visible in the ID prefix.
+	var ids []string
+	for _, tn := range tenants {
+		for k := 0; k < 2; k++ {
+			j := decodeJob(t, postJSON(t, srv.URL+"/jobs", map[string]any{
+				"tenant": tn,
+				"spec":   testSpec(t, "a", "ab", 1, 2),
+			}), http.StatusCreated)
+			owner := plane.Owner(tn).Name()
+			if !strings.HasPrefix(j.ID, owner+"-j") {
+				t.Fatalf("job %s for tenant %s not minted by owner %s", j.ID, tn, owner)
+			}
+			if j.State != jobs.StatePending {
+				t.Fatalf("fresh job in state %s", j.State)
+			}
+			ids = append(ids, j.ID)
+		}
+	}
+
+	// Merged listing: all six jobs, in submission order.
+	resp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != len(ids) {
+		t.Fatalf("merged list has %d jobs, want %d", len(all), len(ids))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].SubmittedAt.Before(all[i-1].SubmittedAt) {
+			t.Fatalf("merged list out of submission order at %d", i)
+		}
+	}
+
+	// Tenant filter stays per-shard exact.
+	resp, err = http.Get(srv.URL + "/jobs?tenant=" + tenants[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filtered []jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&filtered); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(filtered) != 2 {
+		t.Fatalf("tenant filter returned %d jobs, want 2", len(filtered))
+	}
+	for _, j := range filtered {
+		if j.Tenant != tenants[1] {
+			t.Fatalf("tenant filter leaked job %s of %s", j.ID, j.Tenant)
+		}
+	}
+
+	// Get by ID, from any shard.
+	for _, id := range ids {
+		j := decodeJob(t, mustGet(t, srv.URL+"/jobs/"+id), http.StatusOK)
+		if j.ID != id {
+			t.Fatalf("get %s returned %s", id, j.ID)
+		}
+	}
+
+	// Unknown IDs 404 with the jobs API's error shape.
+	resp = mustGet(t, srv.URL+"/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+		t.Fatalf("404 body not the jobs API error shape: %v %q", err, apiErr.Error)
+	}
+	resp.Body.Close()
+
+	// Lifecycle: pause -> resume -> cancel, with conflict mapping.
+	id := ids[0]
+	if j := decodeJob(t, postJSON(t, srv.URL+"/jobs/"+id+"/pause", nil), http.StatusOK); j.State != jobs.StatePaused {
+		t.Fatalf("pause left state %s", j.State)
+	}
+	if j := decodeJob(t, postJSON(t, srv.URL+"/jobs/"+id+"/resume", nil), http.StatusOK); j.State != jobs.StatePending {
+		t.Fatalf("resume left state %s", j.State)
+	}
+	if j := decodeJob(t, postJSON(t, srv.URL+"/jobs/"+id+"/cancel", map[string]string{"reason": "testing"}), http.StatusOK); j.State != jobs.StateCancelled || j.Reason != "testing" {
+		t.Fatalf("cancel left state %s reason %q", j.State, j.Reason)
+	}
+	resp = postJSON(t, srv.URL+"/jobs/"+id+"/pause", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pause of terminal job: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad spec 400.
+	resp = postJSON(t, srv.URL+"/jobs", map[string]any{"tenant": "t", "spec": map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Topology endpoint: the plane's own ring ID and all three shards.
+	resp = mustGet(t, srv.URL+"/shards")
+	var topo struct {
+		RingID string `json:"ring_id"`
+		Shards []struct {
+			Name string `json:"name"`
+			Jobs int    `json:"jobs"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if topo.RingID != plane.Ring().ID() {
+		t.Fatalf("topology ring ID %s, want %s", topo.RingID, plane.Ring().ID())
+	}
+	if len(topo.Shards) != 3 {
+		t.Fatalf("topology has %d shards, want 3", len(topo.Shards))
+	}
+	total := 0
+	for _, si := range topo.Shards {
+		total += si.Jobs
+	}
+	if total != len(ids) {
+		t.Fatalf("topology counts %d jobs, want %d", total, len(ids))
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// sseEvent is one parsed SSE message.
+type sseEvent struct {
+	Type string
+	Ev   jobs.Event
+}
+
+// readSSE parses an SSE stream until the body ends or the context is
+// done, delivering each event on the channel.
+func readSSE(t *testing.T, body *bufio.Scanner, out chan<- sseEvent) {
+	var typ string
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev jobs.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Errorf("bad SSE data: %v", err)
+				return
+			}
+			out <- sseEvent{Type: typ, Ev: ev}
+		}
+	}
+	close(out)
+}
+
+// TestRouterSingleJobStreamEndsAtTerminal: the /jobs/{id}/events
+// stream opens with a snapshot event and closes after the terminal
+// state, exactly like the single-service API.
+func TestRouterSingleJobStreamEndsAtTerminal(t *testing.T) {
+	plane, srv := newTestPlane(t, 3)
+	tn := tenantsOnDistinctShards(t, plane, 3)[2]
+	j := decodeJob(t, postJSON(t, srv.URL+"/jobs", map[string]any{
+		"tenant": tn,
+		"spec":   testSpec(t, "b", "ab", 1, 1),
+	}), http.StatusCreated)
+
+	resp := mustGet(t, srv.URL+"/jobs/"+j.ID+"/events")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := make(chan sseEvent, 64)
+	go readSSE(t, bufio.NewScanner(resp.Body), events)
+
+	// Snapshot prologue first.
+	first := <-events
+	if first.Type != string(jobs.EventState) || first.Ev.Job.ID != j.ID {
+		t.Fatalf("prologue was %s/%s", first.Type, first.Ev.Job.ID)
+	}
+	// Cancel the job; the stream must deliver the terminal state and
+	// then end (channel closes when the server closes the stream).
+	postJSON(t, srv.URL+"/jobs/"+j.ID+"/cancel", nil).Body.Close()
+	sawTerminal := false
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				if !sawTerminal {
+					t.Fatal("stream ended without a terminal event")
+				}
+				return
+			}
+			if ev.Ev.Job.State.Terminal() {
+				sawTerminal = true
+			}
+		case <-deadline:
+			t.Fatal("stream did not end after the terminal state")
+		}
+	}
+}

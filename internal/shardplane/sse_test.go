@@ -1,0 +1,175 @@
+package shardplane
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"keysearch/internal/jobs"
+)
+
+// TestSSEFanOutExactlyOnceAcrossShardRestart is the satellite
+// acceptance test for merged event streams: a subscriber on the
+// router's /events watches jobs on two shards while one shard is
+// killed and restarted mid-stream. Every job must show per-job
+// ordering (tested counts never regress along the stream), exactly one
+// found event, and exactly one terminal state — no loss, no
+// duplication, across the restart.
+func TestSSEFanOutExactlyOnceAcrossShardRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real executor timing")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	open := func(i int) *Shard {
+		sh, err := OpenShard(fmt.Sprintf("s%d", i), dirs[i],
+			[]jobs.Executor{newScanExec("e0", 4*time.Millisecond)},
+			ShardOptions{
+				Store: jobs.StoreOptions{NoSync: true},
+				Jobs:  jobs.Options{MaxLease: 8},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	shards := []*Shard{open(0), open(1)}
+	for _, sh := range shards {
+		if err := sh.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plane, err := NewPlane(shards, RingOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewRouter(plane, nil).Handler())
+	defer srv.Close()
+
+	// One tenant per shard; three jobs on the shard we kill, two on
+	// the survivor. Each job's spec plants exactly one solution.
+	tenants := tenantsOnDistinctShards(t, plane, 2)
+	keys := []string{"ca", "abc", "bb", "cc", "ab"}
+	var jobIDs []string
+	submit := func(tn, key string) {
+		j := decodeJob(t, postJSON(t, srv.URL+"/jobs", map[string]any{
+			"tenant": tn,
+			"spec":   testSpec(t, key, "abc", 1, 3),
+		}), http.StatusCreated)
+		jobIDs = append(jobIDs, j.ID)
+	}
+
+	// Subscribe before submitting: the stream must carry every job
+	// from submission to terminal state.
+	resp := mustGet(t, srv.URL+"/events")
+	defer resp.Body.Close()
+	events := make(chan sseEvent, 1024)
+	go readSSE(t, bufio.NewScanner(resp.Body), events)
+
+	submit(tenants[0], keys[0])
+	submit(tenants[0], keys[1])
+	submit(tenants[0], keys[2])
+	submit(tenants[1], keys[3])
+	submit(tenants[1], keys[4])
+
+	// Collect until every job is terminal on the stream, restarting
+	// shard s0 once mid-run (after its first progress event).
+	type jobTrack struct {
+		lastTested uint64
+		found      int
+		terminal   int
+		events     int
+	}
+	track := map[string]*jobTrack{}
+	for _, id := range jobIDs {
+		track[id] = &jobTrack{}
+	}
+	restarted := false
+	restart := func() {
+		old := plane.Shards()[0] // "s0" sorts first
+		old.Kill()
+		repl := open(0)
+		// Replace before Start: the watcher re-attaches to the new
+		// hub before any post-recovery event can be published, so the
+		// stream misses nothing.
+		if err := plane.Replace(repl); err != nil {
+			t.Fatal(err)
+		}
+		if err := repl.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	terminals := 0
+	deadline := time.After(60 * time.Second)
+	for terminals < len(jobIDs) {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream ended early: %d/%d terminal", terminals, len(jobIDs))
+			}
+			tr, mine := track[ev.Ev.Job.ID]
+			if !mine {
+				continue
+			}
+			tr.events++
+			if ev.Ev.Job.Tested < tr.lastTested {
+				t.Fatalf("job %s: tested regressed %d -> %d on the stream",
+					ev.Ev.Job.ID, tr.lastTested, ev.Ev.Job.Tested)
+			}
+			tr.lastTested = ev.Ev.Job.Tested
+			switch jobs.EventType(ev.Type) {
+			case jobs.EventFound:
+				tr.found++
+			case jobs.EventState:
+				if ev.Ev.Job.State.Terminal() {
+					tr.terminal++
+					terminals++
+				}
+			}
+			// Kill s0 once some of its work is committed but before
+			// everything finishes.
+			if !restarted && ev.Type == string(jobs.EventProgress) && plane.Shards()[0].Owns(ev.Ev.Job.ID) {
+				restarted = true
+				restart()
+			}
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d jobs terminal on the stream", terminals, len(jobIDs))
+		}
+	}
+	if !restarted {
+		t.Fatal("shard restart never triggered — the stream saw no s0 progress")
+	}
+
+	for id, tr := range track {
+		if tr.terminal != 1 {
+			t.Errorf("job %s: %d terminal events, want exactly 1", id, tr.terminal)
+		}
+		if tr.found != 1 {
+			t.Errorf("job %s: %d found events, want exactly 1 (planted solution)", id, tr.found)
+		}
+	}
+
+	// The promoted/ restarted shard's table must agree: every job done
+	// with its planted solution recorded once.
+	for _, id := range jobIDs {
+		j := decodeJob(t, mustGet(t, srv.URL+"/jobs/"+id), http.StatusOK)
+		if j.State != jobs.StateDone {
+			t.Errorf("job %s ended %s, want done", id, j.State)
+		}
+		if len(j.Found) != 1 {
+			t.Errorf("job %s recorded %d solutions, want 1", id, len(j.Found))
+		}
+	}
+
+	cancel()
+	for _, sh := range plane.Shards() {
+		sh.Shutdown(context.Background())
+	}
+}

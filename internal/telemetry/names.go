@@ -60,6 +60,18 @@ const (
 	MetricJobsWALFsync     = "jobs.wal_fsync_ns"     // histogram: per-append fsync latency, ns
 	MetricJobsWALReplayed  = "jobs.wal_replayed"     // counter: records replayed at open
 	MetricJobsSnapshots    = "jobs.wal_snapshots"    // counter: snapshot compactions
+
+	// Sharded control plane (internal/shardplane): router over N
+	// independent job-service shards with warm replicated followers.
+	// Per-shard variants append the shard name (PerNode).
+	MetricShardSubmits       = "shardplane.submits"        // counter (per shard): submissions routed to the shard
+	MetricShardFanouts       = "shardplane.fanouts"        // counter: list/get/lifecycle fan-out queries
+	MetricShardEvents        = "shardplane.events"         // counter: SSE events merged across shards
+	MetricShardReplFrames    = "shardplane.repl_frames"    // counter: replication frames shipped
+	MetricShardReplBytes     = "shardplane.repl_bytes"     // counter: replication payload bytes shipped
+	MetricShardReplSnapshots = "shardplane.repl_snapshots" // counter: full-snapshot catch-ups sent
+	MetricShardReplAcked     = "shardplane.repl_acked"     // gauge (per shard): follower's acked watermark
+	MetricShardPromotions    = "shardplane.promotions"     // counter: followers promoted to master
 )
 
 // PerNode appends a node/worker name to a base metric name.
