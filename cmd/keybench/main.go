@@ -25,11 +25,19 @@
 // static balancing on makespan, so a regression in the stealing path
 // breaks the build instead of the BENCH_sim.json report.
 //
+// With -steal it sweeps the work-stealing policy instead: steal
+// threshold × lease duration × progress-mark cadence, each scored under
+// a slowdown mix and a crash/leave/join churn mix against the no-steal
+// baseline at the same lease duration. The winning policy backs the
+// jobs.StealOptions defaults; the run fails unless it beats the
+// baseline, so the defaults can never regress silently.
+//
 // Usage:
 //
 //	keybench -quick -out BENCH_telemetry.json
 //	keybench -targetset -out BENCH_targetset.json
 //	keybench -fleetsim -out BENCH_sim.json
+//	keybench -steal -out BENCH_steal.json
 package main
 
 import (
@@ -110,9 +118,20 @@ func main() {
 		targetset = flag.Bool("targetset", false, "benchmark multi-target corpus search instead of the Table VIII report")
 		fleetSim  = flag.Bool("fleetsim", false, "benchmark the virtual-time fleet simulation instead of the Table VIII report")
 		shardPl   = flag.Bool("shardplane", false, "benchmark the sharded control plane (router overhead, failover rehearsal) instead of the Table VIII report")
+		stealSw   = flag.Bool("steal", false, "sweep the work-stealing policy (threshold x lease x progress cadence, across churn mixes) instead of the Table VIII report")
 		out       = flag.String("out", "", "output path for the machine-readable report")
 	)
 	flag.Parse()
+
+	if *stealSw {
+		if *out == "" {
+			*out = "BENCH_steal.json"
+		}
+		if err := stealMain(*quick, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *shardPl {
 		if *out == "" {

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"keysearch/internal/fleetsim"
+)
+
+// StealPolicy is one point of the steal-policy sweep: the three knobs
+// the live fleet exposes, expressed in the simulator's units (virtual
+// seconds, virtual keys).
+type StealPolicy struct {
+	// MinSteal is the smallest untested tail worth splitting, keys.
+	MinSteal uint64 `json:"min_steal"`
+	// LeaseSeconds is the target virtual duration of one lease.
+	LeaseSeconds float64 `json:"lease_seconds"`
+	// ProgressEvery is the progress-mark cadence, virtual seconds
+	// (0 = continuous knowledge; the live fleet cannot have this, so 0
+	// serves as the staleness-free reference).
+	ProgressEvery float64 `json:"progress_every_s"`
+}
+
+// StealMixResult is one policy's outcome under one churn mix.
+type StealMixResult struct {
+	Makespan   float64 `json:"makespan_s"`
+	Steals     uint64  `json:"steals"`
+	StolenKeys uint64  `json:"stolen_keys"`
+	Requeues   uint64  `json:"requeues"`
+	// Speedup is the no-steal baseline makespan (same lease duration,
+	// same mix, same seed) over this policy's makespan.
+	Speedup float64 `json:"speedup"`
+}
+
+// StealRow is one swept policy across every churn mix.
+type StealRow struct {
+	Policy StealPolicy               `json:"policy"`
+	Mixes  map[string]StealMixResult `json:"mixes"`
+	// MeanSpeedup is the rank key: the arithmetic mean of the per-mix
+	// speedups.
+	MeanSpeedup float64 `json:"mean_speedup"`
+}
+
+// StealReport is the whole BENCH_steal.json document: the policy sweep
+// behind jobs.StealOptions' defaults.
+type StealReport struct {
+	Quick     bool   `json:"quick"`
+	Workers   int    `json:"workers"`
+	SpaceKeys uint64 `json:"space_keys"`
+	// Baselines are the no-steal makespans per lease duration and mix,
+	// keyed "<mix>/lease<seconds>".
+	Baselines map[string]float64 `json:"baselines"`
+	Sweep     []StealRow         `json:"sweep"`
+	Best      StealRow           `json:"best"`
+	// LiveDefaults records how the winning simulated policy maps onto
+	// jobs.StealOptions for the wall-clock fleet (where leases are a
+	// few seconds, not tens of virtual seconds): MinSteal scales with
+	// the lease-fraction the winner stole at, ProgressEvery with the
+	// winner's cadence-to-lease ratio.
+	LiveDefaults struct {
+		MinSteal        uint64 `json:"min_steal"`
+		ProgressEveryMS int64  `json:"progress_every_ms"`
+	} `json:"live_defaults"`
+}
+
+// stealMixes are the churn environments every policy is scored under.
+// Crash churn needs a lease timeout (nothing else recovers a crashed
+// worker's lease).
+func stealMixes() []struct {
+	name    string
+	churn   fleetsim.ChurnOptions
+	timeout time.Duration
+} {
+	return []struct {
+		name    string
+		churn   fleetsim.ChurnOptions
+		timeout time.Duration
+	}{
+		{"slowdown", fleetsim.ChurnOptions{Horizon: 120, SlowRate: 0.5, SlowMin: 0.05, SlowMax: 0.4}, 0},
+		{"crash-churn", fleetsim.ChurnOptions{Horizon: 400, CrashRate: 0.05, LeaveRate: 0.05, JoinRate: 0.15, SlowRate: 0.20}, 600 * time.Second},
+	}
+}
+
+// stealMain sweeps the steal policy space over churn mixes and writes
+// the BENCH_steal.json document. The run fails unless the best policy
+// beats the no-steal baseline on mean makespan — the sweep must justify
+// the defaults it produces.
+func stealMain(quick bool, out string) error {
+	workers, charset, maxLen := 800, "abc", 14 // 7,174,452 keys
+	minSteals := []uint64{64, 256, 1024}
+	leases := []float64{15, 30, 60}
+	cadences := []float64{0, 2, 10}
+	if quick {
+		workers, charset, maxLen = 300, "abc", 13 // 2,391,483 keys
+		minSteals = []uint64{64, 1024}
+		leases = []float64{15, 60}
+		cadences = []float64{0, 5}
+	}
+	spec := fleetSpec(charset, maxLen)
+	space, err := spec.Space()
+	if err != nil {
+		return err
+	}
+	spaceKeys, _ := space.Size64()
+	rep := &StealReport{Quick: quick, Workers: workers, SpaceKeys: spaceKeys, Baselines: map[string]float64{}}
+
+	base := fleetsim.Config{
+		Workers:         workers,
+		Seed:            7,
+		TputMin:         50,
+		TputMax:         150,
+		CheckpointEvery: 64,
+		EventBudget:     50_000_000,
+		Submissions:     []fleetsim.Submission{{Tenant: "bench", Spec: spec, Plant: -1}},
+	}
+
+	mixes := stealMixes()
+	fmt.Println("== Steal-policy sweep: no-steal baselines ==")
+	for _, mix := range mixes {
+		for _, ls := range leases {
+			cfg := base
+			cfg.Churn = mix.churn
+			cfg.LeaseTimeout = mix.timeout
+			cfg.LeaseSeconds = ls
+			row, err := runSimScenario(fmt.Sprintf("base/%s/lease%g", mix.name, ls), cfg)
+			if err != nil {
+				return err
+			}
+			key := fmt.Sprintf("%s/lease%g", mix.name, ls)
+			rep.Baselines[key] = row.Result.Makespan
+			fmt.Printf("%-24s makespan %8.1fs  [%.2fs host]\n", key, row.Result.Makespan, row.HostSeconds)
+		}
+	}
+
+	fmt.Println("== Steal-policy sweep: threshold x lease x cadence ==")
+	for _, ms := range minSteals {
+		for _, ls := range leases {
+			for _, pe := range cadences {
+				pol := StealPolicy{MinSteal: ms, LeaseSeconds: ls, ProgressEvery: pe}
+				row := StealRow{Policy: pol, Mixes: map[string]StealMixResult{}}
+				var sum float64
+				for _, mix := range mixes {
+					cfg := base
+					cfg.Churn = mix.churn
+					cfg.LeaseTimeout = mix.timeout
+					cfg.LeaseSeconds = ls
+					cfg.Steal = true
+					cfg.MinSteal = ms
+					cfg.ProgressEvery = pe
+					sc, err := runSimScenario(fmt.Sprintf("steal/%s/ms%d/lease%g/pe%g", mix.name, ms, ls, pe), cfg)
+					if err != nil {
+						return err
+					}
+					r := sc.Result
+					baseMk := rep.Baselines[fmt.Sprintf("%s/lease%g", mix.name, ls)]
+					mr := StealMixResult{
+						Makespan:   r.Makespan,
+						Steals:     r.Steals,
+						StolenKeys: r.StolenKeys,
+						Requeues:   r.Requeues,
+						Speedup:    baseMk / r.Makespan,
+					}
+					row.Mixes[mix.name] = mr
+					sum += mr.Speedup
+				}
+				row.MeanSpeedup = sum / float64(len(mixes))
+				rep.Sweep = append(rep.Sweep, row)
+				fmt.Printf("ms=%-5d lease=%-3g pe=%-3g  mean speedup %.3fx  (slowdown %.3fx, crash %.3fx)\n",
+					ms, ls, pe, row.MeanSpeedup, row.Mixes["slowdown"].Speedup, row.Mixes["crash-churn"].Speedup)
+				if row.MeanSpeedup > rep.Best.MeanSpeedup {
+					rep.Best = row
+				}
+			}
+		}
+	}
+
+	fmt.Printf("== Best policy: min_steal=%d lease=%gs cadence=%gs, mean speedup %.3fx ==\n",
+		rep.Best.Policy.MinSteal, rep.Best.Policy.LeaseSeconds, rep.Best.Policy.ProgressEvery, rep.Best.MeanSpeedup)
+	if rep.Best.MeanSpeedup <= 1 {
+		return fmt.Errorf("steal sweep: best policy does not beat the no-steal baseline (%.3fx)", rep.Best.MeanSpeedup)
+	}
+
+	// Map the winner onto the wall-clock fleet. Simulated leases are
+	// LeaseSeconds of work at 50-150 keys/s, so the winner's MinSteal is
+	// a fraction of a lease; live leases are a few seconds of millions
+	// of keys/s, and jobs.StealOptions carries the same fraction rounded
+	// to a power of two. The cadence maps by its ratio to the lease
+	// duration, floored at the heartbeat-scale 500ms.
+	rep.LiveDefaults.MinSteal = 4096
+	rep.LiveDefaults.ProgressEveryMS = 500
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}

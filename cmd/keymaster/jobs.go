@@ -32,6 +32,10 @@ type jobsFlags struct {
 	fleetAddr  string
 	shards     int
 	replicate  bool
+
+	steal         bool
+	minSteal      uint64
+	progressEvery time.Duration
 }
 
 // runJobs is keymaster's multi-tenant service mode: instead of driving
@@ -90,6 +94,11 @@ func runJobs(listen, statusAddr string, jf jobsFlags, mopts netproto.MasterOptio
 		LeaseScale: jf.leaseScale,
 		MaxLease:   jf.maxLease,
 		Telemetry:  reg,
+		Steal: jobs.StealOptions{
+			Enabled:       jf.steal,
+			MinSteal:      jf.minSteal,
+			ProgressEvery: jf.progressEvery,
+		},
 	})
 
 	if err := svc.Start(ctx); err != nil {

@@ -61,7 +61,7 @@ func main() {
 		all     = flag.Bool("all", false, "exhaust the space instead of stopping at the first hit")
 		cpPath  = flag.String("checkpoint", "", "checkpoint file: saved after every chunk, resumed from if present")
 
-		heartbeat = flag.Duration("heartbeat", 2*time.Second, "ping interval while a call is in flight (0 disables)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "ping interval while a call is in flight (0 disables; the library sentinel is exactly -1, other negatives are rejected)")
 		detect    = flag.Duration("failure-detect", 0, "silence after which a worker is declared dead (0 = 4x heartbeat)")
 		retries   = flag.Int("retries", 3, "attempts per worker call before requeuing its interval")
 		maxChunk  = flag.Uint64("max-chunk", 0, "cap per-worker chunk size; bounds work lost to one failure (0 = no cap)")
@@ -85,6 +85,9 @@ func main() {
 	flag.StringVar(&jf.fleetAddr, "jobs-fleet-listen", "127.0.0.1:9031", "address the fleet master listens on for keyworkers (jobs mode)")
 	flag.IntVar(&jf.shards, "jobs-shards", 0, "run the job service as this many consistent-hash shards behind a router (jobs mode; 0 = unsharded)")
 	flag.BoolVar(&jf.replicate, "jobs-replicate", false, "stream each shard's WAL to a warm in-process follower, promotion-ready (requires -jobs-shards)")
+	flag.BoolVar(&jf.steal, "steal", false, "let idle executors steal the tail of a straggler's in-flight lease over the live shrink handshake (jobs mode; jobs opt in per spec)")
+	flag.Uint64Var(&jf.minSteal, "min-steal", 0, "smallest tail worth stealing in keys; a victim must have at least twice this remaining (jobs mode; 0 = 4096)")
+	flag.DurationVar(&jf.progressEvery, "progress-every", 0, "progress-mark cadence requested from live searches, feeds straggler detection (jobs mode; 0 = 500ms)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()

@@ -31,6 +31,8 @@ func main() {
 		reconnect   = flag.Bool("reconnect", false, "re-dial the master after transient failures")
 		attempts    = flag.Int("reconnect-attempts", 8, "consecutive failed dials before giving up")
 		statusEvery = flag.Duration("status-every", 0, "log a one-line telemetry status at this interval (0 disables)")
+		pbatch      = flag.Uint64("progress-batch", 0, "search granularity in keys: progress marks, steal boundaries and cancellation land on multiples of it (0 = 65536)")
+		throttle    = flag.Duration("throttle", 0, "sleep after every completed search batch — fakes a straggler for steal rehearsals (0 disables)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,13 @@ func main() {
 	}
 
 	fmt.Printf("worker %s connecting to %s\n", *name, *master)
-	cfg := netproto.WorkerConfig{Name: *name, Workers: *threads, Telemetry: reg}
+	cfg := netproto.WorkerConfig{
+		Name:          *name,
+		Workers:       *threads,
+		Telemetry:     reg,
+		ProgressBatch: *pbatch,
+		Throttle:      *throttle,
+	}
 	var err error
 	if *reconnect {
 		err = netproto.DialRetry(ctx, *master, cfg, netproto.RetryPolicy{

@@ -57,6 +57,14 @@ type Config struct {
 	// MinSteal is the smallest untested tail worth splitting
 	// (default 64 keys).
 	MinSteal uint64
+	// ProgressEvery is the progress-mark cadence in virtual seconds:
+	// the steal policy sees a victim's progress only as of its latest
+	// mark, the way the live fleet's MsgProgress frames quantize what
+	// the service knows (0 = continuous knowledge, the legacy model).
+	// The shrink handshake is modeled too: the effective split never
+	// cedes keys the victim has actually tested, however stale the
+	// mark the thief planned from.
+	ProgressEvery float64
 	// Churn generates the perturbation schedule from Seed+1 when
 	// Schedule is nil.
 	Churn ChurnOptions
@@ -545,13 +553,33 @@ func (f *fleet) trySteal(i int32) bool {
 			continue
 		}
 		done := v.done + (now-v.mark)*v.tput
-		remain := float64(v.lease.N) - done
+		// What the thief KNOWS about the victim is quantized to the last
+		// progress mark; what the victim has DONE keeps advancing. The
+		// split is planned from knowledge and clamped by reality, exactly
+		// like the live fleet's shrink ack.
+		known := done
+		if p := f.cfg.ProgressEvery; p > 0 {
+			known = v.done + math.Floor((now-v.mark)/p)*p*v.tput
+			if known > done {
+				known = done
+			}
+			if known < 0 {
+				known = 0
+			}
+		}
+		remain := float64(v.lease.N) - known
 		if remain < float64(f.cfg.minSteal()) {
 			// The biggest straggler's tail is below the threshold;
 			// smaller ones won't be better.
 			return false
 		}
-		keep := uint64(done) + uint64(math.Ceil(remain/2))
+		keep := uint64(known) + uint64(math.Ceil(remain/2))
+		if fk := float64(keep); fk < done {
+			// Stale mark: the victim already tested past the planned
+			// split; the handshake moves the boundary to its true
+			// progress (ack at cut > keep).
+			keep = uint64(math.Ceil(done))
+		}
 		if keep >= v.lease.N {
 			return false
 		}

@@ -117,9 +117,11 @@ type Spec struct {
 	MaxSolutions int `json:"max_solutions,omitempty"`
 	// Steal opts the job into adaptive work stealing: an idle executor
 	// may split a straggler's in-flight lease at an interior boundary
-	// and take the untested tail as a new lease (Service.Steal). Only
-	// manually driven services honor it; it does not change what is
-	// searched, only who searches it, so it is not part of Key.
+	// and take the untested tail as a new lease. Manual drivers
+	// (StartManual) split through Service.Steal; executor-loop services
+	// with Options.Steal enabled do it live over the protocol-v4 shrink
+	// handshake. It does not change what is searched, only who searches
+	// it, so it is not part of Key.
 	Steal bool `json:"steal,omitempty"`
 }
 

@@ -30,6 +30,33 @@ type Executor interface {
 	Search(ctx context.Context, spec Spec, iv keyspace.Interval) (*dispatch.Report, error)
 }
 
+// StealExecutor is an Executor whose searches are live: they report
+// tested-up-to marks while a lease runs and can be shrunk mid-flight at
+// a batch boundary. These are the two hooks the service's automatic
+// work stealing needs — progress marks feed victim selection, and the
+// shrink handshake moves the split point past whatever the victim has
+// already tested before the thief starts on the tail.
+// netproto.Executor implements it over protocol v4; executors that do
+// not implement it are simply never chosen as steal victims.
+type StealExecutor interface {
+	Executor
+
+	// SearchLease is Search with the live hooks attached: the underlying
+	// worker reports its tested-up-to mark (keys from the interval start)
+	// roughly every progressEvery of search time through onProgress,
+	// which may be invoked from a connection read loop and must return
+	// quickly without calling back into the executor.
+	SearchLease(ctx context.Context, l Lease, progressEvery time.Duration, onProgress func(done uint64)) (*dispatch.Report, error)
+
+	// ShrinkLease asks the running search for lease leaseID to stop
+	// keep keys from its interval start, returning the boundary the
+	// worker committed to — ≥ keep when it had already tested past the
+	// requested point — and ok = false if the search could not be shrunk
+	// (finished, not started, or unsupported), in which case it still
+	// owns its full interval.
+	ShrinkLease(ctx context.Context, leaseID, keep uint64) (cut uint64, ok bool)
+}
+
 // LocalExecutor runs leases on local goroutines, building (and
 // caching) the cracker job for each spec it sees.
 type LocalExecutor struct {
@@ -164,6 +191,42 @@ type Options struct {
 	// use it to wake idle workers when work reappears. It must not
 	// block.
 	OnRequeue func(jobID string)
+	// Steal configures automatic work stealing in the executor loops
+	// (Start mode only; manual drivers call Steal themselves).
+	Steal StealOptions
+}
+
+// StealOptions tune automatic work stealing: when an executor loop goes
+// idle with no leasable work, it looks for the worst straggler among
+// in-flight leases of steal-enabled jobs (Spec.Steal) on StealExecutor
+// fleets and splits its lease at a point past the victim's progress.
+// The zero value disables stealing; the non-zero defaults come from the
+// fleetsim policy sweep recorded in BENCH_steal.json.
+type StealOptions struct {
+	// Enabled turns stealing on.
+	Enabled bool
+	// MinSteal is the smallest tail worth moving: a victim qualifies
+	// only while its untested remainder is at least 2×MinSteal, so both
+	// halves of the split stay worthwhile (default 4096).
+	MinSteal uint64
+	// ProgressEvery is the progress-mark cadence requested from live
+	// searches; marks feed victim selection, so coarser cadence means
+	// staler straggler estimates (default 500ms).
+	ProgressEvery time.Duration
+}
+
+func (o StealOptions) minSteal() uint64 {
+	if o.MinSteal == 0 {
+		return 4096
+	}
+	return o.MinSteal
+}
+
+func (o StealOptions) progressEvery() time.Duration {
+	if o.ProgressEvery <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.ProgressEvery
 }
 
 func (o Options) leaseScale() float64 {
@@ -208,6 +271,23 @@ type inflightLease struct {
 	iv    keyspace.Interval
 	n     uint64
 	timer sim.Timer
+
+	// exec is the executor index the lease was issued to (victim
+	// selection never steals an executor's own lease).
+	exec int
+	// progress is the latest live tested-up-to mark, keys from iv.Start
+	// (monotonic, clamped to n). Zero until the first mark arrives, so a
+	// lease whose search has not demonstrably started is never a victim.
+	progress uint64
+	// stealing pins the lease while a shrink handshake is in flight: it
+	// cannot be picked as a victim again and the expiry path defers to
+	// the handshake's settle step (which re-arms the timer), so the two
+	// can never dispose of the same keys twice.
+	stealing bool
+	// noSteal marks a lease whose executor refused a shrink handshake;
+	// retrying would fail the same way (the search finished or the
+	// worker predates the protocol).
+	noSteal bool
 }
 
 // Service multiplexes jobs over a fleet of executors: admission
@@ -499,6 +579,22 @@ func (s *Service) next(i int) (Lease, bool) {
 		if l, ok := s.tryLeaseLocked(i, waitStart); ok {
 			return l, true
 		}
+		if s.opts.Steal.Enabled {
+			// Idle with no leasable work: try to split the worst
+			// straggler's lease instead of waiting behind it. A failed
+			// attempt (no victim, refused handshake) falls through to the
+			// wait; a refusal that requeued the tail is picked up by
+			// tryLeaseLocked on the next iteration.
+			if l, ok := s.stealLocked(i); ok {
+				return l, true
+			}
+			if s.draining || s.ctx.Err() != nil {
+				return Lease{}, false
+			}
+			if l, ok := s.tryLeaseLocked(i, waitStart); ok {
+				return l, true
+			}
+		}
 		s.cond.Wait()
 	}
 }
@@ -543,11 +639,8 @@ func (s *Service) tryLeaseLocked(i int, waitStart time.Time) (Lease, bool) {
 		n, _ := iv.Len64()
 		s.leaseSeq++
 		l := Lease{ID: s.leaseSeq, JobID: a.id, Tenant: a.tenant, Spec: a.spec, Interval: iv, N: n}
-		fl := &inflightLease{iv: iv, n: n}
-		if d := s.opts.LeaseTimeout; d > 0 {
-			jobID, leaseID := a.id, l.ID
-			fl.timer = s.clock.AfterFunc(d, func() { s.expireLease(jobID, leaseID) })
-		}
+		fl := &inflightLease{iv: iv, n: n, exec: i}
+		s.rearmLeaseLocked(a.id, l.ID, fl)
 		a.inflight[l.ID] = fl
 		s.sched.charge(a.tenant, n)
 		s.tel.leases.Inc()
@@ -565,6 +658,42 @@ func (s *Service) tryLeaseLocked(i int, waitStart time.Time) (Lease, bool) {
 	}
 }
 
+// rearmLeaseLocked (re)starts the expiry timer for an in-flight lease
+// when lease timeouts are enabled. Callers hold s.mu.
+func (s *Service) rearmLeaseLocked(jobID string, leaseID uint64, fl *inflightLease) {
+	if d := s.opts.LeaseTimeout; d > 0 {
+		fl.timer = s.clock.AfterFunc(d, func() { s.expireLease(jobID, leaseID) })
+	}
+}
+
+// noteProgress records a live search's tested-up-to mark, feeding
+// victim selection. Marks are monotonic and clamped to the lease size
+// (a shrunk lease keeps receiving marks from a worker that passed the
+// split point). Called from connection read loops; it only touches the
+// service lock briefly and never blocks.
+func (s *Service) noteProgress(jobID string, leaseID, done uint64) {
+	wake := false
+	s.mu.Lock()
+	if a := s.active[jobID]; a != nil {
+		if fl, ok := a.inflight[leaseID]; ok {
+			if done > fl.n {
+				done = fl.n
+			}
+			if done > fl.progress {
+				// The first mark makes the lease a steal candidate
+				// (pickVictimLocked skips progress-less leases); wake any
+				// executor that went idle before the search warmed up.
+				wake = fl.progress == 0 && a.spec.Steal && s.opts.Steal.Enabled
+				fl.progress = done
+			}
+		}
+	}
+	s.mu.Unlock()
+	if wake {
+		s.cond.Broadcast()
+	}
+}
+
 // expireLease requeues a lease that outlived Options.LeaseTimeout: the
 // interval returns to the pool, the tenant's deficit is refunded, and
 // any later Commit/Fail for the lease is rejected. Runs on the service
@@ -579,6 +708,14 @@ func (s *Service) expireLease(jobID string, leaseID uint64) {
 	}
 	fl, ok := a.inflight[leaseID]
 	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	if fl.stealing {
+		// A steal handshake pinned this lease between split and settle;
+		// settle re-arms the timer, so deferring here costs at most one
+		// extra timeout and can never dispose of keys the handshake is
+		// about to move.
 		s.mu.Unlock()
 		return
 	}
@@ -662,7 +799,17 @@ func (s *Service) commit(l Lease, rep *dispatch.Report) bool {
 		fl.timer.Stop()
 	}
 	delete(a.inflight, l.ID)
-	a.tested += rep.Tested
+	tested := rep.Tested
+	if tested > fl.n {
+		// The lease was shrunk by a steal after its worker had already
+		// passed the split point: the report covers more keys than the
+		// lease now holds. Only the lease's own span counts — the surplus
+		// sits inside the stolen tail's lease and is re-searched there,
+		// so coverage stays exact (duplicated work, never double-counted
+		// keys).
+		tested = fl.n
+	}
+	a.tested += tested
 	a.found = append(a.found, rep.Found...)
 	a.sinceCP++
 
@@ -694,9 +841,9 @@ func (s *Service) commit(l Lease, rep *dispatch.Report) bool {
 				accepted = false
 			} else {
 				a.sinceCP = 0
-				s.tel.committed(l.Tenant, rep.Tested)
+				s.tel.committed(l.Tenant, tested)
 				if s.opts.OnCommit != nil {
-					s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, rep.Tested)
+					s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, tested)
 				}
 				j, _ = s.store.Get(l.JobID)
 				typ := EventProgress
@@ -713,9 +860,9 @@ func (s *Service) commit(l Lease, rep *dispatch.Report) bool {
 			// durable checkpoint waits for a later commit. A crash before
 			// that checkpoint re-searches this span — duplicated work, not
 			// duplicated coverage.
-			s.tel.committed(l.Tenant, rep.Tested)
+			s.tel.committed(l.Tenant, tested)
 			if s.opts.OnCommit != nil {
-				s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, rep.Tested)
+				s.opts.OnCommit(l.JobID, l.Tenant, fl.iv, tested)
 			}
 			events = append(events, Event{Type: EventProgress, Job: j})
 		}
@@ -737,12 +884,13 @@ func (s *Service) commit(l Lease, rep *dispatch.Report) bool {
 // accounting, so exactly-once coverage is preserved by construction —
 // split-lease accounting, not coverage bookkeeping after the fact.
 //
-// Stealing requires the job to opt in (Spec.Steal) and the service to
-// be manually driven (StartManual): the driver owns both executors, so
-// it can shorten the victim's in-progress search to the new boundary.
-// The internal executor loops have no such back-channel and never
-// steal. keep must leave both halves non-empty (0 < keep < lease
-// size); the caller picks it at or past the victim's current progress.
+// Stealing requires the job to opt in (Spec.Steal). In manual drive
+// (StartManual) the caller IS the back-channel: it owns both executors
+// and shortens the victim's in-progress search to the new boundary
+// itself. The internal executor loops steal through the shrink
+// handshake instead (Options.Steal); they never call this method. keep
+// must leave both halves non-empty (0 < keep < lease size); the caller
+// picks it at or past the victim's current progress.
 func (s *Service) Steal(victim Lease, keep uint64, thief int) (Lease, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -754,9 +902,28 @@ func (s *Service) Steal(victim Lease, keep uint64, thief int) (Lease, bool) {
 		return Lease{}, false
 	}
 	fl, ok := a.inflight[victim.ID]
-	if !ok || keep == 0 || keep >= fl.n {
+	if !ok || fl.stealing || keep == 0 || keep >= fl.n {
 		return Lease{}, false
 	}
+	nl, nfl := s.splitLeaseLocked(a, fl, keep, thief)
+	s.rearmLeaseLocked(a.id, nl.ID, nfl)
+	s.tel.steals.Inc()
+	s.tel.stolenKeys.Add(nfl.n)
+	s.tel.leases.Inc()
+	s.tel.leaseLen.Observe(float64(nfl.n))
+	return nl, true
+}
+
+// splitLeaseLocked carves the tail beyond keep off the in-flight lease
+// fl (0 < keep < fl.n) into a fresh lease for executor thief. The two
+// halves tile the original interval exactly, each with its own lease
+// accounting, so exactly-once coverage is preserved by construction —
+// split-lease accounting, not coverage bookkeeping after the fact. The
+// tenant was charged for the full original lease at issue time; the
+// split moves keys between leases of the same tenant, so the deficit
+// stands. Timer management is the caller's: the manual Steal arms the
+// tail immediately, the handshake path only once the boundary settles.
+func (s *Service) splitLeaseLocked(a *activeJob, fl *inflightLease, keep uint64, thief int) (Lease, *inflightLease) {
 	stolenN := fl.n - keep
 	split := new(big.Int).Add(fl.iv.Start, new(big.Int).SetUint64(keep))
 	stolen := keyspace.Interval{Start: split, End: fl.iv.End}
@@ -764,23 +931,182 @@ func (s *Service) Steal(victim Lease, keep uint64, thief int) (Lease, bool) {
 	fl.n = keep
 
 	s.leaseSeq++
-	nl := Lease{ID: s.leaseSeq, JobID: victim.JobID, Tenant: a.tenant, Spec: a.spec, Interval: stolen, N: stolenN}
-	nfl := &inflightLease{iv: stolen, n: stolenN}
-	if d := s.opts.LeaseTimeout; d > 0 {
-		jobID, leaseID := a.id, nl.ID
-		nfl.timer = s.clock.AfterFunc(d, func() { s.expireLease(jobID, leaseID) })
-	}
+	nl := Lease{ID: s.leaseSeq, JobID: a.id, Tenant: a.tenant, Spec: a.spec, Interval: stolen, N: stolenN}
+	nfl := &inflightLease{iv: stolen, n: stolenN, exec: thief}
 	a.inflight[nl.ID] = nfl
 	if thief >= 0 && thief < len(s.lastJob) {
 		s.lastJob[thief] = a.id
 	}
-	// The tenant was charged for the full original lease at issue time;
-	// the split moves keys between leases of the same tenant, so the
-	// deficit stands.
+	return nl, nfl
+}
+
+// pickVictimLocked chooses the straggler an idle executor should steal
+// from: the live lease with the most remaining wall-clock work by the
+// balance-rule estimate (untested keys / victim's share, shares being
+// proportional to tuned throughput). Only leases of steal-enabled jobs
+// held by OTHER, shrink-capable executors qualify; the lease must have
+// shown progress (its search demonstrably started), must not already be
+// in a handshake (or have refused one), and its untested remainder must
+// be worth splitting (≥ 2×MinSteal). The returned keep splits that
+// remainder in half, measured from the victim's last progress mark.
+func (s *Service) pickVictimLocked(thief int) (a *activeJob, leaseID uint64, fl *inflightLease, keep uint64, se StealExecutor) {
+	minSteal := s.opts.Steal.minSteal()
+	var best float64
+	for _, cand := range s.active {
+		if !cand.spec.Steal || cand.stopLeasing {
+			continue
+		}
+		for id, c := range cand.inflight {
+			if c.stealing || c.noSteal || c.exec == thief || c.exec < 0 || c.exec >= len(s.execs) {
+				continue
+			}
+			if c.progress == 0 {
+				continue
+			}
+			rem := c.n - c.progress
+			if rem < 2*minSteal {
+				continue
+			}
+			ex, ok := s.execs[c.exec].(StealExecutor)
+			if !ok {
+				continue
+			}
+			share := float64(s.shares[c.exec])
+			if share <= 0 {
+				continue
+			}
+			if score := float64(rem) / share; fl == nil || score > best {
+				a, leaseID, fl, se, best = cand, id, c, ex, score
+			}
+		}
+	}
+	if fl == nil {
+		return nil, 0, nil, 0, nil
+	}
+	rem := fl.n - fl.progress
+	keep = fl.progress + (rem+1)/2
+	if keep == 0 || keep >= fl.n {
+		return nil, 0, nil, 0, nil
+	}
+	return a, leaseID, fl, keep, se
+}
+
+// stealLocked attempts one steal for idle executor thief. Called with
+// s.mu held; it releases and reacquires the lock around the shrink
+// handshake (which blocks on the victim's connection) and returns with
+// the lock held either way.
+//
+// The split happens BEFORE the handshake, under the lock: the victim's
+// lease shrinks to [start, keep) and the tail becomes the thief's lease
+// immediately, so no disposition racing the handshake — commit, fail,
+// or expiry of either half — can lose or double-count keys. The
+// handshake then only moves the boundary: an ack at cut > keep hands
+// [keep, cut) back to the victim (it had already tested past the split
+// point), a refusal merges the halves back in place. The victim's
+// expiry timer is paused across the handshake (see expireLease) and
+// re-armed at settle.
+//
+//keyvet:allow lockorder (callers hold s.mu by the *Locked contract; the
+// Unlock/Lock pair inside drops it for the blocking handshake, so the
+// mutex is never actually held across the RPC or reacquired while held)
+func (s *Service) stealLocked(thief int) (Lease, bool) {
+	if thief < 0 || thief >= len(s.shares) || s.shares[thief] == 0 {
+		return Lease{}, false
+	}
+	a, victimID, fl, keep, se := s.pickVictimLocked(thief)
+	if fl == nil {
+		return Lease{}, false
+	}
+	fl.stealing = true
+	if fl.timer != nil {
+		fl.timer.Stop()
+	}
+	nl, nfl := s.splitLeaseLocked(a, fl, keep, thief)
+	nfl.stealing = true // pin the tail: no timer, no re-steal, until settled
+	jobID, svcCtx := a.id, s.ctx
+
+	s.mu.Unlock()
+	cut, ok := se.ShrinkLease(svcCtx, victimID, keep)
+	s.mu.Lock()
+
+	return s.settleStealLocked(jobID, victimID, nl, keep, cut, ok)
+}
+
+// settleStealLocked finishes a shrink handshake under s.mu. The thief's
+// tail lease is pinned (stealing, no timer), so it is still in flight;
+// the victim's half may have been disposed of while the lock was
+// released — committed exactly at its shrunken size (commit clamps
+// Tested to the lease), failed, or expired — and each combination
+// settles to exact tiling.
+func (s *Service) settleStealLocked(jobID string, victimID uint64, nl Lease, keep, cut uint64, ok bool) (Lease, bool) {
+	a := s.active[jobID]
+	if a == nil {
+		return Lease{}, false
+	}
+	nfl := a.inflight[nl.ID]
+	if nfl == nil {
+		return Lease{}, false
+	}
+	nfl.stealing = false
+	fl, victimLive := a.inflight[victimID]
+	if victimLive {
+		fl.stealing = false
+	}
+
+	if ok && cut > keep && cut-keep >= nfl.n {
+		// The acked boundary swallows the whole tail; nothing to steal.
+		// (The worker only acks cut < its full interval, so this is a
+		// defensive guard, not an expected path.)
+		ok = false
+	}
+	if !ok {
+		// Refused (the search finished, never started, or the worker
+		// predates the protocol) or timed out: the victim still owns its
+		// full original interval. If its shrunken lease is still live,
+		// merge the halves back in place and don't pick it again; if it
+		// was disposed of meanwhile, its disposition covered only the
+		// shrunken head, so the tail returns to the pool for re-lease.
+		delete(a.inflight, nl.ID)
+		if victimLive {
+			fl.noSteal = true
+			fl.iv = keyspace.Interval{Start: fl.iv.Start, End: nfl.iv.End}
+			fl.n += nfl.n
+			s.rearmLeaseLocked(jobID, victimID, fl)
+		} else {
+			a.pool.PutBack(nfl.iv)
+			s.sched.credit(nl.Tenant, nfl.n)
+			s.tel.requeues.Inc()
+			s.dropIfDrainedLocked(a)
+			s.cond.Broadcast()
+		}
+		return Lease{}, false
+	}
+
+	if cut > keep {
+		// The victim had already tested past the requested split point;
+		// the effective boundary moves [keep, cut) out of the tail. If
+		// the victim's lease is still live it grows to match, so its
+		// commit stays exact; if not, its disposition already settled the
+		// head and the thief re-searches [keep, cut) — duplicated work,
+		// never a gap.
+		extra := cut - keep
+		if victimLive {
+			fl.iv = keyspace.Interval{Start: fl.iv.Start, End: new(big.Int).Add(fl.iv.Start, new(big.Int).SetUint64(cut))}
+			fl.n = cut
+			nfl.iv = keyspace.Interval{Start: new(big.Int).Set(fl.iv.End), End: nfl.iv.End}
+			nfl.n -= extra
+		}
+	}
+	if victimLive {
+		s.rearmLeaseLocked(jobID, victimID, fl)
+	}
+	s.rearmLeaseLocked(jobID, nl.ID, nfl)
+	nl.Interval = nfl.iv
+	nl.N = nfl.n
 	s.tel.steals.Inc()
-	s.tel.stolenKeys.Add(stolenN)
+	s.tel.stolenKeys.Add(nfl.n)
 	s.tel.leases.Inc()
-	s.tel.leaseLen.Observe(float64(stolenN))
+	s.tel.leaseLen.Observe(float64(nfl.n))
 	return nl, true
 }
 
@@ -817,13 +1143,24 @@ func (s *Service) dropIfDrainedLocked(a *activeJob) {
 
 func (s *Service) runExecutor(i int, ex Executor) {
 	defer s.wg.Done()
+	se, liveCapable := ex.(StealExecutor)
+	live := liveCapable && s.opts.Steal.Enabled
 	failures := 0
 	for {
 		l, ok := s.next(i)
 		if !ok {
 			return
 		}
-		rep, err := ex.Search(s.ctx, l.Spec, l.Interval)
+		var rep *dispatch.Report
+		var err error
+		if live {
+			jobID, leaseID := l.JobID, l.ID
+			rep, err = se.SearchLease(s.ctx, l, s.opts.Steal.progressEvery(), func(done uint64) {
+				s.noteProgress(jobID, leaseID, done)
+			})
+		} else {
+			rep, err = ex.Search(s.ctx, l.Spec, l.Interval)
+		}
 		if err != nil || rep == nil {
 			s.fail(l)
 			failures++

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"keysearch/internal/core"
 	"keysearch/internal/cracker"
@@ -26,11 +28,23 @@ import (
 type Executor struct {
 	w *RemoteWorker
 
+	// cur maps the one in-flight live lease (the service serializes
+	// leases per executor) to its wire search sequence number, so
+	// ShrinkLease can address the running search. Nil between leases.
+	cur atomic.Pointer[liveLease]
+
 	mu sync.Mutex
 	// specs caches wire conversions by jobs.Spec.Key() (a spec with a
 	// million-digest corpus hashes its targets into the key rather than
 	// carrying them).
 	specs map[string]JobSpec
+}
+
+// liveLease pairs a job-service lease ID with the wire seq of the
+// search running it.
+type liveLease struct {
+	leaseID uint64
+	seq     uint64
 }
 
 // NewExecutor wraps an accepted remote worker as a job-service executor.
@@ -66,6 +80,34 @@ func (e *Executor) Search(ctx context.Context, spec jobs.Spec, iv keyspace.Inter
 		return nil, err
 	}
 	return e.w.SearchSpec(ctx, ws, iv)
+}
+
+// SearchLease implements jobs.StealExecutor: the remote search streams
+// progress marks at the requested cadence and stays shrinkable through
+// ShrinkLease while it runs. Registering the lease→seq mapping BEFORE
+// the wire call starts means a steal attempt arriving at any point in
+// the search's life finds either the mapping (and shrinks it) or no
+// mapping (and is refused) — never a torn state.
+func (e *Executor) SearchLease(ctx context.Context, l jobs.Lease, progressEvery time.Duration, onProgress func(done uint64)) (*dispatch.Report, error) {
+	ws, err := e.wireSpec(l.Spec)
+	if err != nil {
+		return nil, err
+	}
+	ll := &liveLease{leaseID: l.ID, seq: e.w.NewSearchSeq()}
+	e.cur.Store(ll)
+	defer e.cur.CompareAndSwap(ll, nil)
+	return e.w.SearchSpecLive(ctx, ws, l.Interval, ll.seq, progressEvery, onProgress)
+}
+
+// ShrinkLease implements jobs.StealExecutor by addressing the running
+// search's wire seq. A lease that is not currently on the wire — not
+// started, already returned — is refused, leaving it unaffected.
+func (e *Executor) ShrinkLease(ctx context.Context, leaseID, keep uint64) (uint64, bool) {
+	ll := e.cur.Load()
+	if ll == nil || ll.leaseID != leaseID {
+		return 0, false
+	}
+	return e.w.Shrink(ctx, ll.seq, keep)
 }
 
 func (e *Executor) wireSpec(spec jobs.Spec) (JobSpec, error) {

@@ -8,40 +8,64 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"keysearch/internal/jobs"
 	"keysearch/internal/keyspace"
+	"keysearch/internal/telemetry"
 )
 
 // TestHelperWorkerProcess is not a test: it is the keyworker subprocess
-// body for TestJobServiceDrivesTCPFleet, re-executed from the test
+// body for the multi-process fleet tests, re-executed from the test
 // binary so the fleet is real OS processes. Env-gated; normal runs skip
-// it instantly.
+// it instantly. KEYSEARCH_WORKER_THROTTLE (a duration) and
+// KEYSEARCH_WORKER_PBATCH (a key count) map onto WorkerConfig.Throttle
+// and ProgressBatch so a spawned worker can play the deliberate
+// straggler in the steal test.
 func TestHelperWorkerProcess(t *testing.T) {
 	if os.Getenv("KEYSEARCH_WORKER_HELPER") != "1" {
 		return
 	}
-	err := DialRetry(context.Background(), os.Getenv("KEYSEARCH_MASTER_ADDR"), WorkerConfig{
+	cfg := WorkerConfig{
 		Name:      os.Getenv("KEYSEARCH_WORKER_NAME"),
 		Workers:   2,
 		TuneStart: 1024,
-	}, RetryPolicy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
+	}
+	if v := os.Getenv("KEYSEARCH_WORKER_THROTTLE"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helper worker: bad KEYSEARCH_WORKER_THROTTLE:", err)
+			os.Exit(1)
+		}
+		cfg.Throttle = d
+	}
+	if v := os.Getenv("KEYSEARCH_WORKER_PBATCH"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helper worker: bad KEYSEARCH_WORKER_PBATCH:", err)
+			os.Exit(1)
+		}
+		cfg.ProgressBatch = n
+	}
+	err := DialRetry(context.Background(), os.Getenv("KEYSEARCH_MASTER_ADDR"), cfg,
+		RetryPolicy{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "helper worker:", err)
 	}
 	os.Exit(0)
 }
 
-func spawnHelperWorker(t *testing.T, addr, name string) *exec.Cmd {
+func spawnHelperWorker(t *testing.T, addr, name string, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorkerProcess$")
 	cmd.Env = append(os.Environ(),
 		"KEYSEARCH_WORKER_HELPER=1",
 		"KEYSEARCH_MASTER_ADDR="+addr,
 		"KEYSEARCH_WORKER_NAME="+name)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -251,6 +275,176 @@ func TestJobServiceDrivesTCPFleet(t *testing.T) {
 		if next != w.size {
 			t.Errorf("job %s: committed spans cover [0,%d), keyspace is %d", id, next, w.size)
 		}
+	}
+
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobServiceStealsFromSlowWorker is the tentpole end-to-end: a real
+// two-process TCP fleet in which one keyworker is deliberately slowed
+// (KEYSEARCH_WORKER_THROTTLE sleeps it after every 64-key batch) and the
+// job service's adaptive stealing is on. The fast worker exhausts its
+// own lease, goes idle, and must steal the straggler's tail over the
+// live MsgProgress/MsgShrink/MsgShrinkAck handshake — the run has to
+// record at least one steal, and the committed leases still have to tile
+// the keyspace exactly once with the planted key recovered. This is the
+// wire-level version of the fleetsim claim: stealing moves work without
+// ever losing or double counting a key.
+func TestJobServiceStealsFromSlowWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+
+	reg := telemetry.NewRegistry()
+	master, err := NewMaster("127.0.0.1:0", MasterOptions{
+		Heartbeat:        100 * time.Millisecond,
+		HeartbeatTimeout: 3 * time.Second,
+		Retry:            RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	// The straggler crawls at ~64 keys per 5ms; the fast worker is four
+	// to five orders of magnitude quicker and will idle almost at once.
+	procs := []*exec.Cmd{
+		spawnHelperWorker(t, master.Addr(), "steal-fast"),
+		spawnHelperWorker(t, master.Addr(), "steal-slow",
+			"KEYSEARCH_WORKER_THROTTLE=5ms",
+			"KEYSEARCH_WORKER_PBATCH=64"),
+	}
+	defer func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	remote, err := master.AcceptWorkers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := make([]jobs.Executor, len(remote))
+	for i, w := range remote {
+		execs[i] = NewExecutor(w)
+	}
+
+	store, err := jobs.Open(t.TempDir(), jobs.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	type span struct {
+		iv     keyspace.Interval
+		tested uint64
+	}
+	var amu sync.Mutex
+	var spans []span
+	svc := jobs.NewService(store, execs, jobs.Options{
+		MaxLease:          4096,
+		MaxSearchFailures: 20,
+		Telemetry:         reg,
+		Steal: jobs.StealOptions{
+			Enabled:       true,
+			MinSteal:      128,
+			ProgressEvery: 20 * time.Millisecond,
+		},
+		OnCommit: func(jobID, tenant string, iv keyspace.Interval, tested uint64) {
+			amu.Lock()
+			spans = append(spans, span{iv, tested})
+			amu.Unlock()
+		},
+	})
+	if err := svc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Kill()
+
+	// "b"×12 is the very last key of the 1..12 space over "ab"
+	// (2+4+...+4096 = 8190 keys): only whoever ends up owning the tail —
+	// thief or victim, depending on where the splits land — can find it.
+	key := "bbbbbbbbbbbb"
+	sum := md5.Sum([]byte(key))
+	job, err := svc.Submit("ops", 0, jobs.Spec{
+		Algorithm: "md5",
+		Target:    hex.EncodeToString(sum[:]),
+		Charset:   "ab",
+		MinLen:    1,
+		MaxLen:    12,
+		Steal:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 8190
+
+	for deadline := time.Now().Add(110 * time.Second); ; {
+		got, err := svc.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == jobs.StateFailed || got.State == jobs.StateCancelled {
+			t.Fatalf("job reached %v (%s)", got.State, got.Reason)
+		}
+		if got.Done() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish before the deadline (state %v, tested %d)", got.State, got.Tested)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	got, err := svc.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tested != size {
+		t.Errorf("tested %d of %d keys", got.Tested, size)
+	}
+	if len(got.Found) != 1 || got.Found[0] != key {
+		t.Errorf("found %q, want [%s]", got.Found, key)
+	}
+
+	// The point of the test: work actually moved. At least one live
+	// shrink handshake succeeded and the service accounted keys as
+	// stolen.
+	counters := reg.Snapshot().Counters
+	if counters[telemetry.MetricJobsSteals] == 0 {
+		t.Error("no steals recorded against the throttled worker")
+	}
+	if counters[telemetry.MetricJobsStolenKeys] == 0 {
+		t.Error("steals recorded but no keys accounted as stolen")
+	}
+	if counters[telemetry.MetricNetShrinks] == 0 {
+		t.Error("no shrink handshakes honored on the wire")
+	}
+
+	// Exactness survives the splits: the committed leases tile [0, size)
+	// with no gap, overlap, or double count.
+	amu.Lock()
+	defer amu.Unlock()
+	sort.Slice(spans, func(i, k int) bool { return spans[i].iv.Start.Cmp(spans[k].iv.Start) < 0 })
+	next := uint64(0)
+	for _, s := range spans {
+		if !s.iv.Start.IsUint64() || s.iv.Start.Uint64() != next {
+			t.Fatalf("span starts at %v, want %d (gap or overlap)", s.iv.Start, next)
+		}
+		width := s.iv.End.Uint64() - s.iv.Start.Uint64()
+		if s.tested != width {
+			t.Fatalf("span [%v,%v) committed %d tested keys, want %d", s.iv.Start, s.iv.End, s.tested, width)
+		}
+		next = s.iv.End.Uint64()
+	}
+	if next != size {
+		t.Errorf("committed spans cover [0,%d), keyspace is %d", next, size)
 	}
 
 	if err := svc.Shutdown(context.Background()); err != nil {

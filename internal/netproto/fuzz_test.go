@@ -173,3 +173,104 @@ func FuzzJobRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzProgressFrames covers the protocol-v4 live-search frames and the
+// worker-side shrink state they drive. The codec half: torn, reordered
+// or otherwise corrupted Progress/Shrink/ShrinkAck payloads must never
+// panic, and whatever decodes must survive a semantic round trip. The
+// state half: the same bytes, read as a script of batch advances and
+// shrink requests (including stale-seq ones, which must be inert),
+// drive a shrinkState through its batch loop — the invariant
+// limit >= busyTo >= done must hold after every step, an honored shrink
+// must land at a boundary >= both the request and the batch in flight,
+// and the search must end having tested exactly its final limit.
+func FuzzProgressFrames(f *testing.F) {
+	f.Add(EncodeProgress(Progress{Seq: 1, Done: 64}))
+	f.Add(EncodeShrink(Shrink{Seq: 1, Keep: 4096}))
+	f.Add(EncodeShrink(Shrink{Seq: 99, Keep: 0})) // stale seq, then cancel form
+	f.Add(EncodeShrinkAck(ShrinkAck{Seq: 1, Keep: 4096, OK: true}))
+	f.Add(EncodeProgress(Progress{Seq: 1, Done: 64})[:9])   // torn mid-field
+	f.Add(EncodeShrinkAck(ShrinkAck{Seq: 2, Keep: 1})[:16]) // missing the OK byte
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := DecodeProgress(data); err == nil {
+			back, err := DecodeProgress(EncodeProgress(p))
+			if err != nil || back != p {
+				t.Fatalf("progress round trip: %+v -> %+v (%v)", p, back, err)
+			}
+		}
+		if s, err := DecodeShrink(data); err == nil {
+			back, err := DecodeShrink(EncodeShrink(s))
+			if err != nil || back != s {
+				t.Fatalf("shrink round trip: %+v -> %+v (%v)", s, back, err)
+			}
+		}
+		if a, err := DecodeShrinkAck(data); err == nil {
+			back, err := DecodeShrinkAck(EncodeShrinkAck(a))
+			if err != nil || back != a {
+				t.Fatalf("shrink ack round trip: %+v -> %+v (%v)", a, back, err)
+			}
+		}
+
+		// Script half: alternate batch advances with shrink attempts drawn
+		// from the fuzz bytes, mirroring searchLocal's loop shape.
+		const batch, searchSeq = 64, uint64(7)
+		ss := &shrinkState{seq: searchSeq, limit: 1 << 12}
+		check := func(where string) {
+			if ss.limit < ss.busyTo || ss.busyTo < ss.done {
+				t.Fatalf("%s: invariant broken: limit %d busyTo %d done %d", where, ss.limit, ss.busyTo, ss.done)
+			}
+		}
+		var done uint64
+		for i := 0; done < ss.limit; i++ {
+			// The search goroutine claims the next batch...
+			ss.mu.Lock()
+			next := done + batch
+			if next > ss.limit {
+				next = ss.limit
+			}
+			ss.busyTo = next
+			ss.mu.Unlock()
+			check("claim")
+
+			// ...and the read loop may interleave a shrink request.
+			if i < len(data) {
+				b := data[i]
+				keep := uint64(b>>2) * batch / 2 // deliberately off-boundary half the time
+				if seq := searchSeq + uint64(b&3)/2; seq == searchSeq {
+					before := ss.limit
+					cut, ok := ss.shrink(keep)
+					check("shrink")
+					if ok {
+						if cut < keep || cut < ss.busyTo || cut > before {
+							t.Fatalf("shrink(%d) acked %d with busyTo %d limit %d", keep, cut, ss.busyTo, before)
+						}
+					} else if ss.limit != before {
+						t.Fatalf("refused shrink moved the limit %d -> %d", before, ss.limit)
+					}
+				}
+				// Other seqs: the read loop never touches ss (inert by the
+				// seq guard in the worker's MsgShrink case).
+			}
+
+			// The batch completes up to the (possibly lowered) limit.
+			ss.mu.Lock()
+			if next > ss.limit {
+				next = ss.limit
+			}
+			if next > done {
+				done = next
+			}
+			ss.done = done
+			if ss.busyTo < ss.done {
+				ss.busyTo = ss.done
+			}
+			ss.mu.Unlock()
+			check("complete")
+		}
+		if done != ss.limit {
+			t.Fatalf("search ended at %d, final limit %d", done, ss.limit)
+		}
+	})
+}

@@ -48,8 +48,12 @@ func (e *RequeueError) Error() string {
 // virtual-time simulator's FailureDetect: a dead worker is detected
 // within roughly HeartbeatTimeout and its interval requeued.
 type MasterOptions struct {
-	// Heartbeat is the ping interval while a call is in flight
-	// (0 = 2s; negative disables heartbeats).
+	// Heartbeat is the ping interval while a call is in flight (0 = 2s).
+	// Exactly -1 disables heartbeats — and with them, unless
+	// HeartbeatTimeout is set explicitly, the per-frame read deadlines —
+	// which is how tests and debug rigs keep calls alive under
+	// breakpoints. Any other negative value is a configuration error and
+	// NewMaster rejects it.
 	Heartbeat time.Duration
 	// HeartbeatTimeout is how long the master waits for ANY frame (pong
 	// or result) before declaring the worker dead (0 = 4×Heartbeat).
@@ -128,6 +132,9 @@ func NewMaster(addr string, opts ...MasterOptions) (*Master, error) {
 	var o MasterOptions
 	if len(opts) > 0 {
 		o = opts[0]
+	}
+	if o.Heartbeat < 0 && o.Heartbeat != -1 {
+		return nil, fmt.Errorf("netproto: MasterOptions.Heartbeat %v: the only negative value is -1 (disable heartbeats)", o.Heartbeat)
 	}
 	o = o.withDefaults()
 	ln, err := net.Listen("tcp", addr)
@@ -367,6 +374,15 @@ type RemoteWorker struct {
 	pings   *pingClock
 	pingSeq atomic.Uint64
 
+	// searchSeq allocates sequence numbers naming live searches (never
+	// reused, so a stale MsgProgress or MsgShrinkAck from an earlier
+	// search can always be told apart); active is the search currently in
+	// flight on the connection, nil between calls. Shrink addresses the
+	// active search without touching the call serializer, so a steal can
+	// truncate a search while its call is blocked reading the result.
+	searchSeq atomic.Uint64
+	active    atomic.Pointer[activeSearch]
+
 	mu sync.Mutex // serializes calls
 
 	cmu     sync.Mutex // guards conn and the spec-sent table
@@ -536,9 +552,106 @@ func (w *RemoteWorker) corpusBlob(id uint64) ([]byte, bool) {
 	return b, ok
 }
 
+// activeSearch names the search in flight on a worker's connection and
+// carries the hooks Shrink and the read loop need to reach it: the
+// attempt-bound write function (installed by callOn, nil between
+// attempts), the one armed ack waiter, and the attempt's stop channel so
+// a Shrink caller unblocks when the call ends without an ack.
+type activeSearch struct {
+	seq        uint64
+	onProgress func(done uint64)
+
+	mu    sync.Mutex
+	write func(t MsgType, p []byte) error
+	ackCh chan ShrinkAck
+	done  chan struct{}
+}
+
+// deliver hands a shrink ack to the waiter, if one is armed. The channel
+// has capacity 1, so a waiter that already gave up loses nothing.
+func (as *activeSearch) deliver(ack ShrinkAck) {
+	as.mu.Lock()
+	ch := as.ackCh
+	as.ackCh = nil
+	as.mu.Unlock()
+	if ch != nil {
+		ch <- ack
+	}
+}
+
+// cleanCancel reports a call that was cancelled AND whose connection was
+// drained to a frame boundary: the caller must not retry, but unlike
+// every other call failure the connection stays usable for the next
+// call, so call() must not discard it.
+type cleanCancel struct{ err error }
+
+func (c *cleanCancel) Error() string { return c.err.Error() }
+func (c *cleanCancel) Unwrap() error { return c.err }
+
+// NewSearchSeq allocates a worker-lifetime-unique sequence number naming
+// one live search, so Shrink can address it while it runs. Allocate the
+// seq before starting the search; the same seq stays valid across the
+// call's internal reconnect retries.
+func (w *RemoteWorker) NewSearchSeq() uint64 { return w.searchSeq.Add(1) }
+
+// Shrink asks the active search — which must carry seq — to stop at key
+// offset keep (from its interval start); keep = 0 cancels at the next
+// batch boundary. It returns the effective boundary the worker committed
+// to, which is ≥ keep when the worker had already tested past the
+// requested point, and ok = false if the search could not be shrunk (no
+// such search in flight, the worker predates the shrink protocol, the
+// search already ran past its end, or the ack timed out) — in which case
+// the search is unaffected and still owns its full interval.
+//
+// Shrink holds no RemoteWorker locks across the wait, so it is safe to
+// call from a scheduler thread while the search call blocks elsewhere.
+func (w *RemoteWorker) Shrink(ctx context.Context, seq, keep uint64) (uint64, bool) {
+	as := w.active.Load()
+	if as == nil || as.seq != seq {
+		return 0, false
+	}
+	as.mu.Lock()
+	write, done := as.write, as.done
+	if write == nil || as.ackCh != nil { // between attempts, or a shrink is already in flight
+		as.mu.Unlock()
+		return 0, false
+	}
+	ch := make(chan ShrinkAck, 1)
+	as.ackCh = ch
+	as.mu.Unlock()
+	defer func() {
+		as.mu.Lock()
+		if as.ackCh == ch {
+			as.ackCh = nil
+		}
+		as.mu.Unlock()
+	}()
+	if write(MsgShrink, EncodeShrink(Shrink{Seq: seq, Keep: keep})) != nil {
+		return 0, false
+	}
+	wait := w.opts.HeartbeatTimeout
+	if wait <= 0 {
+		wait = w.opts.WriteTimeout
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case ack := <-ch:
+		if !ack.OK {
+			return ack.Keep, false
+		}
+		w.tel.shrinks.Inc()
+		return ack.Keep, true
+	case <-done:
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	return 0, false
+}
+
 // TuneSpec runs the tuning step remotely against the given spec.
 func (w *RemoteWorker) TuneSpec(ctx context.Context, spec JobSpec) (core.Tuning, error) {
-	payload, err := w.call(ctx, spec, MsgTune, EncodeTuneRequest(TuneRequest{SpecID: SpecID(spec)}), MsgTuneResult)
+	payload, err := w.call(ctx, spec, MsgTune, EncodeTuneRequest(TuneRequest{SpecID: SpecID(spec)}), MsgTuneResult, nil)
 	if err != nil {
 		return core.Tuning{}, err
 	}
@@ -551,7 +664,21 @@ func (w *RemoteWorker) TuneSpec(ctx context.Context, spec JobSpec) (core.Tuning,
 
 // SearchSpec runs an interval remotely against the given spec.
 func (w *RemoteWorker) SearchSpec(ctx context.Context, spec JobSpec, iv keyspace.Interval) (*dispatch.Report, error) {
-	payload, err := w.call(ctx, spec, MsgSearch, EncodeSearch(SearchRequest{SpecID: SpecID(spec), Start: iv.Start, End: iv.End}), MsgSearchResult)
+	return w.SearchSpecLive(ctx, spec, iv, w.NewSearchSeq(), 0, nil)
+}
+
+// SearchSpecLive is SearchSpec with the live-search hooks of protocol v4:
+// the worker reports its tested-up-to mark roughly every progressEvery of
+// search time (0 disables the marks), and the search answers to
+// Shrink(seq, ...) while it runs. onProgress is invoked on the
+// connection's read loop — it must return quickly and must not call back
+// into this RemoteWorker. Cancelling ctx mid-search asks the worker to
+// stop at the next batch boundary and drains its truncated result, so
+// the connection survives cancellation without a reconnect cycle.
+func (w *RemoteWorker) SearchSpecLive(ctx context.Context, spec JobSpec, iv keyspace.Interval, seq uint64, progressEvery time.Duration, onProgress func(done uint64)) (*dispatch.Report, error) {
+	req := SearchRequest{SpecID: SpecID(spec), Seq: seq, ProgressEvery: progressEvery, Start: iv.Start, End: iv.End}
+	as := &activeSearch{seq: seq, onProgress: onProgress}
+	payload, err := w.call(ctx, spec, MsgSearch, EncodeSearch(req), MsgSearchResult, as)
 	if err != nil {
 		return nil, err
 	}
@@ -603,7 +730,7 @@ func (b *boundWorker) Search(ctx context.Context, iv keyspace.Interval) (*dispat
 //keyvet:allow lockorder (w.mu is the per-worker RPC serializer: holding
 // it across the backoff/rejoin wait IS the contract — concurrent calls
 // queue behind it rather than interleave frames on one connection)
-func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payload []byte, want MsgType, as *activeSearch) ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
@@ -640,10 +767,18 @@ func (w *RemoteWorker) call(ctx context.Context, spec JobSpec, req MsgType, payl
 		if w.specNeeded(conn, id) {
 			prelude = append(prelude, frame{t: MsgSpec, p: EncodeSpec(spec)})
 		}
-		resp, err := w.callOn(ctx, conn, prelude, req, payload, want)
+		resp, err := w.callOn(ctx, conn, prelude, req, payload, want, as)
 		if err == nil {
 			w.markSpecSent(conn, id, spec.CorpusID)
 			return resp, nil
+		}
+		var clean *cleanCancel
+		if errors.As(err, &clean) {
+			// Cancelled, but drained to a frame boundary: the worker
+			// accepted the prelude and the call, so its tables are current
+			// and the connection is reusable as-is.
+			w.markSpecSent(conn, id, spec.CorpusID)
+			return nil, clean.err
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
@@ -676,7 +811,12 @@ type frame struct {
 // pinging at the heartbeat interval and bounding every read by the
 // heartbeat timeout. A worker that is merely busy keeps answering pongs
 // from its read loop; a dead one times out and is declared failed.
-func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []frame, req MsgType, payload []byte, want MsgType) ([]byte, error) {
+//
+// For search calls, as names the search: MsgProgress and MsgShrinkAck
+// frames matching its seq are routed to it, and cancellation turns into
+// a graceful shrink-to-zero drain (see below) instead of tearing the
+// connection down mid-frame.
+func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []frame, req MsgType, payload []byte, want MsgType, as *activeSearch) ([]byte, error) {
 	var wmu sync.Mutex
 	write := func(t MsgType, p []byte) error {
 		wmu.Lock()
@@ -692,9 +832,41 @@ func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []fram
 
 	stop := make(chan struct{})
 	defer close(stop)
+	if as != nil {
+		as.mu.Lock()
+		as.write = write
+		as.done = stop
+		as.mu.Unlock()
+		w.active.Store(as)
+		defer func() {
+			w.active.CompareAndSwap(as, nil)
+			as.mu.Lock()
+			as.write = nil
+			as.mu.Unlock()
+		}()
+	}
 	go func() {
 		select {
 		case <-ctx.Done():
+			if as != nil {
+				// Graceful cancel: ask the worker to stop at its next batch
+				// boundary and drain the truncated result, keeping the
+				// connection at a frame boundary. Poison the conn only if
+				// the drain stalls (worker stuck mid-batch or gone).
+				if write(MsgShrink, EncodeShrink(Shrink{Seq: as.seq, Keep: 0})) == nil {
+					wait := w.opts.HeartbeatTimeout
+					if wait <= 0 {
+						wait = w.opts.WriteTimeout
+					}
+					t := time.NewTimer(wait)
+					defer t.Stop()
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+					}
+				}
+			}
 			_ = conn.SetDeadline(time.Now()) // unblock pending IO
 		case <-stop:
 		}
@@ -730,7 +902,10 @@ func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []fram
 	}
 
 	for {
-		if ctx.Err() != nil {
+		// A cancelled search call keeps reading: the graceful-cancel
+		// watcher has asked the worker to stop, and the truncated result
+		// (or the poisoned deadline, if the drain stalls) ends the loop.
+		if ctx.Err() != nil && as == nil {
 			return nil, ctx.Err()
 		}
 		if w.opts.HeartbeatTimeout > 0 {
@@ -755,11 +930,37 @@ func (w *RemoteWorker) callOn(ctx context.Context, conn net.Conn, prelude []fram
 				}
 			}
 			continue
+		case MsgProgress:
+			// Frames from an earlier search (stale seq) are inert.
+			if as != nil {
+				if pg, derr := DecodeProgress(resp); derr == nil && pg.Seq == as.seq {
+					w.tel.progress.Inc()
+					if as.onProgress != nil {
+						as.onProgress(pg.Done)
+					}
+				}
+			}
+			continue
+		case MsgShrinkAck:
+			if as != nil {
+				if ack, derr := DecodeShrinkAck(resp); derr == nil && ack.Seq == as.seq {
+					as.deliver(ack)
+				}
+			}
+			continue
 		case want:
 			_ = conn.SetReadDeadline(time.Time{})
+			if err := ctx.Err(); err != nil {
+				// The drain succeeded: the result frame answers the
+				// cancelled call, and the conn sits at a frame boundary.
+				return nil, &cleanCancel{err: err}
+			}
 			return resp, nil
 		case MsgError:
 			_ = conn.SetReadDeadline(time.Time{})
+			if err := ctx.Err(); err != nil && as != nil {
+				return nil, &cleanCancel{err: err}
+			}
 			return nil, &RemoteError{Worker: w.name, Msg: string(resp)}
 		case MsgRequeue:
 			rq, derr := DecodeRequeue(resp)

@@ -282,16 +282,23 @@ func DecodeTuneResult(b []byte) (TuneResult, error) {
 }
 
 // SearchRequest is an identifier interval to search against a
-// registered spec.
+// registered spec. Seq names the search for the connection's progress
+// and shrink frames (see the package doc's v4 section); ProgressEvery
+// is the cadence at which the worker should send MsgProgress marks
+// while the search runs (0 = no progress reporting).
 type SearchRequest struct {
-	SpecID     uint64
-	Start, End *big.Int
+	SpecID        uint64
+	Seq           uint64
+	ProgressEvery time.Duration
+	Start, End    *big.Int
 }
 
 // EncodeSearch serializes a SearchRequest.
 func EncodeSearch(s SearchRequest) []byte {
 	var e enc
 	e.u64(s.SpecID)
+	e.u64(s.Seq)
+	e.u64(uint64(s.ProgressEvery))
 	e.bigint(s.Start)
 	e.bigint(s.End)
 	return e.b
@@ -300,8 +307,106 @@ func EncodeSearch(s SearchRequest) []byte {
 // DecodeSearch parses a SearchRequest.
 func DecodeSearch(b []byte) (SearchRequest, error) {
 	d := dec{b: b}
-	s := SearchRequest{SpecID: d.u64(), Start: d.bigint(), End: d.bigint()}
+	s := SearchRequest{
+		SpecID:        d.u64(),
+		Seq:           d.u64(),
+		ProgressEvery: time.Duration(d.u64()),
+		Start:         d.bigint(),
+		End:           d.bigint(),
+	}
+	if err := d.err(); err != nil {
+		return s, err
+	}
+	if s.ProgressEvery < 0 {
+		return s, fmt.Errorf("netproto: negative progress cadence %v", s.ProgressEvery)
+	}
+	return s, nil
+}
+
+// Progress is the payload of MsgProgress: the worker has fully tested
+// the first Done keys of the search named Seq. Done is always a batch
+// boundary, so the master may treat it as a safe split point.
+type Progress struct {
+	Seq  uint64
+	Done uint64
+}
+
+// EncodeProgress serializes a Progress mark.
+func EncodeProgress(p Progress) []byte {
+	var e enc
+	e.u64(p.Seq)
+	e.u64(p.Done)
+	return e.b
+}
+
+// DecodeProgress parses a Progress mark.
+func DecodeProgress(b []byte) (Progress, error) {
+	d := dec{b: b}
+	p := Progress{Seq: d.u64(), Done: d.u64()}
+	return p, d.err()
+}
+
+// Shrink is the payload of MsgShrink: truncate the search named Seq to
+// its first Keep keys. Keep = 0 means "stop at the next batch boundary"
+// — the cancellation limit of the same mechanism.
+type Shrink struct {
+	Seq  uint64
+	Keep uint64
+}
+
+// EncodeShrink serializes a Shrink request.
+func EncodeShrink(s Shrink) []byte {
+	var e enc
+	e.u64(s.Seq)
+	e.u64(s.Keep)
+	return e.b
+}
+
+// DecodeShrink parses a Shrink request.
+func DecodeShrink(b []byte) (Shrink, error) {
+	d := dec{b: b}
+	s := Shrink{Seq: d.u64(), Keep: d.u64()}
 	return s, d.err()
+}
+
+// ShrinkAck answers a Shrink. On OK, Keep is the effective boundary the
+// worker committed to — at least the requested Keep, rounded up past
+// any batch already in flight — and the search will test exactly
+// [start, start+Keep). On refusal (OK false) the search is unaffected;
+// Keep then reports the current limit for diagnostics.
+type ShrinkAck struct {
+	Seq  uint64
+	Keep uint64
+	OK   bool
+}
+
+// EncodeShrinkAck serializes a ShrinkAck.
+func EncodeShrinkAck(a ShrinkAck) []byte {
+	var e enc
+	e.u64(a.Seq)
+	e.u64(a.Keep)
+	if a.OK {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+// DecodeShrinkAck parses a ShrinkAck.
+func DecodeShrinkAck(b []byte) (ShrinkAck, error) {
+	d := dec{b: b}
+	a := ShrinkAck{Seq: d.u64(), Keep: d.u64()}
+	switch ok := d.u8(); ok {
+	case 0:
+	case 1:
+		a.OK = true
+	default:
+		if d.e == nil {
+			return a, fmt.Errorf("netproto: bad shrink-ack flag %d", ok)
+		}
+	}
+	return a, d.err()
 }
 
 // Heartbeat is the payload of MsgPing and MsgPong. The master pings while

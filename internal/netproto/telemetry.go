@@ -22,6 +22,8 @@ type netTelemetry struct {
 	retries    *telemetry.Counter   // call retry attempts after transport failures
 	reconnects *telemetry.Counter   // rejoins replacing a broken connection
 	requeues   *telemetry.Counter   // MsgRequeue hand-backs
+	progress   *telemetry.Counter   // MsgProgress marks sent (worker) / applied (master)
+	shrinks    *telemetry.Counter   // shrink handshakes honored (acked OK)
 	rtt        *telemetry.Histogram // ping → pong round trip, ns
 }
 
@@ -37,6 +39,8 @@ func newNetTelemetry(reg *telemetry.Registry) *netTelemetry {
 	nt.retries = reg.Counter(telemetry.MetricNetRetries)
 	nt.reconnects = reg.Counter(telemetry.MetricNetReconnects)
 	nt.requeues = reg.Counter(telemetry.MetricNetRequeues)
+	nt.progress = reg.Counter(telemetry.MetricNetProgress)
+	nt.shrinks = reg.Counter(telemetry.MetricNetShrinks)
 	nt.rtt = reg.Histogram(telemetry.MetricNetPingRTT)
 	return nt
 }

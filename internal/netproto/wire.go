@@ -63,6 +63,38 @@
 // large payload in the protocol; chunking keeps every frame under
 // MaxFrame so liveness frames never queue behind a megabyte write.
 //
+// # Protocol v4: progress and shrink
+//
+// Version 4 makes an in-flight search visible and divisible, which is
+// what lets the job service steal a straggler's untested tail while the
+// straggler keeps running (the fleet-saturation pattern of §VII):
+//
+//   - every MsgSearch carries a master-chosen sequence number (Seq) and
+//     a progress cadence (ProgressEvery). While the search runs, the
+//     worker sends MsgProgress{Seq, Done} from the search goroutine
+//     roughly every cadence interval — Done is the count of keys fully
+//     tested from the interval's start, always a batch boundary, so the
+//     mark is a safe split point by construction;
+//   - MsgShrink{Seq, Keep} asks the worker to truncate the running
+//     search to its first Keep keys. The worker answers
+//     MsgShrinkAck{Seq, Keep, OK} from its read loop: on OK the ack's
+//     Keep is the EFFECTIVE boundary — never less than the batch the
+//     worker is already inside, so a shrink can never land behind work
+//     already done — and the worker guarantees it will test exactly
+//     [start, start+Keep) and report Tested = Keep. A refused shrink
+//     (the search already reached or passed the requested boundary, or
+//     no matching search is running) answers OK = false and the search
+//     is unaffected;
+//   - Keep = 0 is the cancellation limit of the same mechanism: stop at
+//     the next batch boundary. The master sends it when a search's
+//     context is cancelled, then drains the (truncated) result frame so
+//     the connection stays clean for the next call instead of being
+//     torn down;
+//   - Seq makes stale frames inert: a MsgProgress or MsgShrinkAck whose
+//     Seq does not match the connection's current search is dropped,
+//     and a MsgShrink for a finished search is refused. Frames from a
+//     previous call can therefore never move a later search's boundary.
+//
 // # Failure model
 //
 // A search call can outlive any fixed network timeout, so liveness and
@@ -125,14 +157,20 @@ const (
 	MsgRequeue                         // worker -> master: cannot finish this interval, give it back
 	MsgSpec                            // master -> worker: register a job spec (content-hash ID + spec)
 	MsgCorpus                          // master -> worker: one chunk of an encoded target-set corpus
+	MsgProgress                        // worker -> master: tested-up-to mark for the active search
+	MsgShrink                          // master -> worker: truncate the active search at a boundary
+	MsgShrinkAck                       // worker -> master: effective boundary, or refusal
 )
 
 // Version is the protocol version exchanged in MsgHello. Version 2
 // introduced the per-connection spec table (MsgSpec) and per-call spec
 // IDs in MsgTune/MsgSearch; version 3 added multi-target specs: a
 // CorpusID field on the wire spec and MsgCorpus chunk transfer of the
-// encoded target set it names. Older peers are refused at the handshake.
-const Version = 3
+// encoded target set it names; version 4 added live-search visibility —
+// Seq and ProgressEvery on MsgSearch, MsgProgress marks, and the
+// MsgShrink/MsgShrinkAck truncation handshake that backs work stealing.
+// Older peers are refused at the handshake.
+const Version = 4
 
 // MaxFrame is the maximum accepted payload size; anything larger is
 // treated as a malformed frame. Search results carry at most a few keys,
@@ -165,7 +203,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
 	}
 	t := MsgType(hdr[4])
-	if t < MsgHello || t > MsgCorpus {
+	if t < MsgHello || t > MsgShrinkAck {
 		return 0, nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
 	}
 	payload := make([]byte, n)

@@ -30,6 +30,8 @@ const (
 	MetricNetRetries    = "net.retries"     // counter: call retry attempts
 	MetricNetReconnects = "net.reconnects"  // counter: worker rejoins bound to an existing identity
 	MetricNetRequeues   = "net.requeues"    // counter: MsgRequeue frames (graceful hand-backs)
+	MetricNetProgress   = "net.progress"    // counter: MsgProgress marks sent (worker) / applied (master)
+	MetricNetShrinks    = "net.shrinks"     // counter: shrink handshakes honored (acked OK)
 
 	// Fine-grain search loops (internal/core). Batched per chunk.
 	MetricCoreTested = "core.tested" // counter: candidates evaluated locally
